@@ -1,0 +1,298 @@
+//! The CodeAgent execution loop.
+//!
+//! Each step: the policy (standing in for the planning LLM) produces code;
+//! the step is billed to the simulated LLM as a call whose prompt is the
+//! task + tool manifest + observation tail and whose completion is the
+//! code; the code runs in a persistent interpreter with the tools bound;
+//! printed output becomes the next observation. The loop ends when
+//! `final_answer` fires or the step budget runs out.
+
+use crate::policy::{PolicyAction, PolicyContext};
+use crate::tool::ToolRegistry;
+use crate::tools::AnswerCell;
+use crate::CodeAgent;
+use aida_data::{DataLake, Value};
+use aida_llm::noise;
+use aida_llm::LlmTask;
+use aida_script::Interpreter;
+use aida_semops::ExecEnv;
+
+/// One executed agent step.
+#[derive(Debug, Clone)]
+pub struct StepTrace {
+    /// Step index.
+    pub step: usize,
+    /// The code the policy wrote.
+    pub code: String,
+    /// The observation the code produced (printed output, final value, or
+    /// the error message).
+    pub observation: String,
+}
+
+/// The result of an agent run.
+#[derive(Debug, Clone)]
+pub struct AgentOutcome {
+    /// The submitted answer, if the agent called `final_answer`.
+    pub answer: Option<Value>,
+    /// Per-step traces.
+    pub steps: Vec<StepTrace>,
+    /// Dollars the run spent (planning + any tool LLM calls).
+    pub cost_usd: f64,
+    /// Virtual seconds the run took.
+    pub time_s: f64,
+}
+
+impl AgentOutcome {
+    /// Renders a compact transcript for figures/traces.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            out.push_str(&format!("--- step {} ---\n{}\n", step.step, step.code));
+            let obs: String = step.observation.chars().take(400).collect();
+            out.push_str(&format!("observation: {obs}\n"));
+        }
+        out.push_str(&format!(
+            "answer: {}  (${:.4}, {:.1}s)\n",
+            self.answer
+                .as_ref()
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "<none>".into()),
+            self.cost_usd,
+            self.time_s
+        ));
+        out
+    }
+}
+
+/// Runs CodeAgents against a tool registry and data lake.
+pub struct AgentRuntime<'a> {
+    env: &'a ExecEnv,
+    registry: ToolRegistry,
+    lake: Option<DataLake>,
+}
+
+/// Maximum observation characters fed back into the next planning prompt.
+const OBSERVATION_CAP: usize = 12_000;
+/// Maximum characters of accumulated observations in a prompt.
+const PROMPT_OBS_CAP: usize = 18_000;
+
+impl<'a> AgentRuntime<'a> {
+    /// Creates a runtime. `lake` enables the policy's manual-judgement
+    /// helper to resolve ground-truth labels, mirroring an agent actually
+    /// reading a document in context.
+    pub fn new(env: &'a ExecEnv, registry: ToolRegistry, lake: Option<DataLake>) -> Self {
+        AgentRuntime { env, registry, lake }
+    }
+
+    /// The tool registry.
+    pub fn registry(&self) -> &ToolRegistry {
+        &self.registry
+    }
+
+    /// Runs an agent on a task to completion.
+    pub fn run(&self, agent: &CodeAgent, task: &str) -> AgentOutcome {
+        let answer = AnswerCell::new();
+        let mut registry = self.registry.clone();
+        registry.register(crate::tools::final_answer_tool(&answer));
+
+        let mut interp = Interpreter::new().with_fuel(5_000_000);
+        registry.bind_into(&mut interp);
+
+        let before = self.env.llm.meter().snapshot();
+        let t0 = self.env.clock.now();
+        let manifest = registry.manifest();
+        let mut observations: Vec<String> = Vec::new();
+        let mut steps: Vec<StepTrace> = Vec::new();
+
+        for step in 0..agent.config.max_steps {
+            let ctx = PolicyContext {
+                task,
+                step,
+                observations: &observations,
+                persona: &agent.config.persona,
+                seed: noise::combine(&[agent.config.seed, noise::hash_str(task)]),
+                tools: &registry,
+                env: self.env,
+                lake: self.lake.as_ref(),
+                model: agent.config.model,
+            };
+            let code = match agent.policy.next_step(&ctx) {
+                PolicyAction::Code(code) => code,
+                PolicyAction::Done => break,
+            };
+
+            // Bill the planning step: the agent "reads" the task, tools,
+            // and observation tail, and "writes" the code.
+            let obs_tail = tail(&observations.join("\n"), PROMPT_OBS_CAP);
+            let prompt = format!("{task}\n{manifest}\n{obs_tail}");
+            let resp = self
+                .env
+                .llm
+                .invoke(agent.config.model, &LlmTask::Freeform { prompt: &prompt, response: &code });
+            self.env.clock.advance(resp.latency_s);
+
+            // Execute the code.
+            let observation = match interp.run(&code) {
+                Ok(value) => {
+                    let mut printed = interp.take_output().join("\n");
+                    if printed.is_empty() {
+                        printed = value.to_string();
+                    }
+                    tail(&printed, OBSERVATION_CAP)
+                }
+                Err(err) => format!("ERROR: {err}"),
+            };
+            steps.push(StepTrace { step, code, observation: observation.clone() });
+            observations.push(observation);
+
+            if answer.is_set() {
+                break;
+            }
+        }
+
+        let delta = self.env.llm.meter().snapshot().since(&before);
+        AgentOutcome {
+            answer: answer.get(),
+            steps,
+            cost_usd: delta.cost(self.env.llm.catalog()),
+            time_s: self.env.clock.now() - t0,
+        }
+    }
+}
+
+fn tail(text: &str, cap: usize) -> String {
+    if text.len() <= cap {
+        return text.to_string();
+    }
+    let start = text.len() - cap;
+    let mut idx = start;
+    while idx < text.len() && !text.is_char_boundary(idx) {
+        idx += 1;
+    }
+    format!("…{}", &text[idx..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AgentPolicy, PolicyAction, PolicyContext};
+    use crate::tools::lake_tools;
+    use crate::{AgentConfig, CodeAgent};
+    use aida_data::Document;
+    use aida_llm::SimLlm;
+
+    struct FixedPolicy(Vec<&'static str>);
+    impl AgentPolicy for FixedPolicy {
+        fn next_step(&self, ctx: &PolicyContext<'_>) -> PolicyAction {
+            match self.0.get(ctx.step) {
+                Some(code) => PolicyAction::Code((*code).to_string()),
+                None => PolicyAction::Done,
+            }
+        }
+    }
+
+    fn lake() -> DataLake {
+        DataLake::from_docs([Document::new("data.csv", "year,n\n2001,10\n2024,130\n")])
+    }
+
+    fn runtime_env() -> ExecEnv {
+        ExecEnv::new(SimLlm::new(3))
+    }
+
+    fn registry(lake: &DataLake) -> ToolRegistry {
+        let mut registry = ToolRegistry::new();
+        for tool in lake_tools(lake) {
+            registry.register(tool);
+        }
+        registry
+    }
+
+    #[test]
+    fn agent_runs_steps_and_answers() {
+        let env = runtime_env();
+        let lake = lake();
+        let rt = AgentRuntime::new(&env, registry(&lake), Some(lake.clone()));
+        let agent = CodeAgent::with_policy(
+            AgentConfig::default(),
+            Box::new(FixedPolicy(vec![
+                "files = list_files()\nprint(files)",
+                "c = read_file('data.csv')\nlines = c.splitlines()\na = float(lines[2].split(',')[1])\nb = float(lines[1].split(',')[1])\nfinal_answer(a / b)",
+            ])),
+        );
+        let outcome = rt.run(&agent, "compute the 2024/2001 ratio");
+        assert_eq!(outcome.answer, Some(Value::Float(13.0)));
+        assert_eq!(outcome.steps.len(), 2);
+        assert!(outcome.cost_usd > 0.0, "planning steps are billed");
+        assert!(outcome.time_s > 0.0);
+    }
+
+    #[test]
+    fn observations_flow_between_steps() {
+        let env = runtime_env();
+        let lake = lake();
+        let rt = AgentRuntime::new(&env, registry(&lake), None);
+        let agent = CodeAgent::with_policy(
+            AgentConfig::default(),
+            Box::new(FixedPolicy(vec!["print(list_files())"])),
+        );
+        let outcome = rt.run(&agent, "look around");
+        assert!(outcome.steps[0].observation.contains("data.csv"));
+        assert!(outcome.answer.is_none());
+    }
+
+    #[test]
+    fn script_errors_become_observations() {
+        let env = runtime_env();
+        let lake = lake();
+        let rt = AgentRuntime::new(&env, registry(&lake), None);
+        let agent = CodeAgent::with_policy(
+            AgentConfig::default(),
+            Box::new(FixedPolicy(vec!["undefined_function()", "final_answer('ok')"])),
+        );
+        let outcome = rt.run(&agent, "do something");
+        assert!(outcome.steps[0].observation.starts_with("ERROR:"));
+        assert_eq!(outcome.answer, Some(Value::Str("ok".into())));
+    }
+
+    #[test]
+    fn max_steps_bounds_the_loop() {
+        let env = runtime_env();
+        let lake = lake();
+        let rt = AgentRuntime::new(&env, registry(&lake), None);
+        let config = AgentConfig { max_steps: 3, ..AgentConfig::default() };
+        let agent = CodeAgent::with_policy(
+            config,
+            Box::new(FixedPolicy(vec!["1", "2", "3", "4", "5"])),
+        );
+        let outcome = rt.run(&agent, "loop forever");
+        assert_eq!(outcome.steps.len(), 3);
+    }
+
+    #[test]
+    fn interpreter_state_persists_across_steps() {
+        let env = runtime_env();
+        let lake = lake();
+        let rt = AgentRuntime::new(&env, registry(&lake), None);
+        let agent = CodeAgent::with_policy(
+            AgentConfig::default(),
+            Box::new(FixedPolicy(vec!["x = 41", "final_answer(x + 1)"])),
+        );
+        let outcome = rt.run(&agent, "carry state");
+        assert_eq!(outcome.answer, Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn render_includes_code_and_answer() {
+        let env = runtime_env();
+        let lake = lake();
+        let rt = AgentRuntime::new(&env, registry(&lake), None);
+        let agent = CodeAgent::with_policy(
+            AgentConfig::default(),
+            Box::new(FixedPolicy(vec!["final_answer(7)"])),
+        );
+        let outcome = rt.run(&agent, "answer 7");
+        let text = outcome.render();
+        assert!(text.contains("final_answer(7)"));
+        assert!(text.contains("answer: 7"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion benches over the paper's experiments.
+//!
+//! Each bench runs a single-trial variant of the corresponding experiment
+//! end to end (workload generation + all systems). Wall-clock here measures
+//! the *simulator*; the simulated dollars/seconds the paper reports come
+//! from the table binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("single_trial", |b| {
+        b.iter(|| black_box(aida_eval::table1(&[1])));
+    });
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("single_trial", |b| {
+        b.iter(|| black_box(aida_eval::table2(&[1])));
+    });
+    group.finish();
+}
+
+fn bench_context_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reuse");
+    group.sample_size(10);
+    group.bench_function("single_trial", |b| {
+        b.iter(|| black_box(aida_eval::ablation_reuse(&[1])));
+    });
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_optimizer");
+    group.sample_size(10);
+    group.bench_function("single_trial", |b| {
+        b.iter(|| black_box(aida_eval::ablation_optimizer(&[1])));
+    });
+    group.finish();
+}
+
+fn bench_access_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_access");
+    group.sample_size(10);
+    group.bench_function("sizes_10_50", |b| {
+        b.iter(|| black_box(aida_eval::ablation_access(&[10, 50], 1)));
+    });
+    group.finish();
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rewrite");
+    group.sample_size(10);
+    group.bench_function("single_trial", |b| {
+        b.iter(|| black_box(aida_eval::ablation_rewrite(&[1])));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    paper_tables,
+    bench_table1,
+    bench_table2,
+    bench_context_reuse,
+    bench_optimizer,
+    bench_access_paths,
+    bench_rewrite
+);
+criterion_main!(paper_tables);

@@ -1,0 +1,4 @@
+//! Ablation B: cost-based model selection.
+fn main() {
+    aida_bench::emit(&aida_eval::ablation_optimizer(&aida_eval::experiments::TRIAL_SEEDS));
+}

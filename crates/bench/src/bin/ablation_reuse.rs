@@ -1,0 +1,4 @@
+//! Ablation A: ContextManager materialized-Context reuse.
+fn main() {
+    aida_bench::emit(&aida_eval::ablation_reuse(&aida_eval::experiments::TRIAL_SEEDS));
+}

@@ -1,0 +1,4 @@
+//! Ablation D: split/merge logical rewrites.
+fn main() {
+    aida_bench::emit(&aida_eval::ablation_rewrite(&aida_eval::experiments::TRIAL_SEEDS));
+}

@@ -1,0 +1,7 @@
+//! Ablation E: the optimizer's sampling budget.
+fn main() {
+    aida_bench::emit(&aida_eval::ablation_sampling(
+        &aida_eval::experiments::TRIAL_SEEDS,
+        &[0, 12, 36, 72],
+    ));
+}

@@ -1,0 +1,13 @@
+//! Runs every table, figure, and ablation, persisting all reports.
+fn main() {
+    let seeds = aida_eval::experiments::TRIAL_SEEDS;
+    aida_bench::emit(&aida_eval::table1(&seeds));
+    aida_bench::emit(&aida_eval::table2(&seeds));
+    aida_bench::emit(&aida_eval::ablation_reuse(&seeds));
+    aida_bench::emit(&aida_eval::ablation_optimizer(&seeds));
+    aida_bench::emit(&aida_eval::ablation_access(&[10, 50, 100, 200], 1));
+    aida_bench::emit(&aida_eval::ablation_rewrite(&seeds));
+    aida_bench::emit(&aida_eval::ablation_sampling(&seeds, &[0, 12, 36, 72]));
+    aida_bench::emit_text("figure1", &aida_eval::figure1(1));
+    aida_bench::emit_text("figure2", &aida_eval::figure2(1));
+}

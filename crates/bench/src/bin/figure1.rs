@@ -1,0 +1,4 @@
+//! Regenerates Figure 1: qualitative traces of both example queries.
+fn main() {
+    aida_bench::emit_text("figure1", &aida_eval::figure1(1));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 2: the search -> compute pipeline over a Context.
+fn main() {
+    aida_bench::emit_text("figure2", &aida_eval::figure2(1));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2: the Enron email-filtering comparison.
+fn main() {
+    aida_bench::emit(&aida_eval::table2(&aida_eval::experiments::TRIAL_SEEDS));
+}

@@ -1,0 +1,68 @@
+//! `aida-bench`: the benchmark harness.
+//!
+//! One runnable binary per table/figure/ablation of the paper (see
+//! `src/bin/`), plus two Criterion suites:
+//!
+//! * `paper_tables` — end-to-end timings of the table experiments,
+//! * `substrates` — microbenchmarks of the substrate crates (CSV parsing,
+//!   embeddings, top-k, keyword search, the script interpreter, SQL).
+//!
+//! Binaries print the experiment report and persist it under `results/`.
+
+use aida_eval::ExperimentReport;
+use std::path::PathBuf;
+
+/// Directory reports are saved into (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("AIDA_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Prints a report and writes `<name>.txt` + `<name>.json` under
+/// [`results_dir`].
+pub fn emit(report: &ExperimentReport) {
+    let rendered = report.render();
+    println!("{rendered}");
+    let dir = results_dir();
+    let txt = std::fs::write(dir.join(format!("{}.txt", report.name)), &rendered);
+    let json = std::fs::write(
+        dir.join(format!("{}.json", report.name)),
+        report.to_json().render(),
+    );
+    match txt.and(json) {
+        Ok(()) => println!("(saved to {}/{}.{{txt,json}})", dir.display(), report.name),
+        Err(err) => eprintln!(
+            "warning: could not save results under {}: {err}",
+            dir.display()
+        ),
+    }
+}
+
+/// Prints free-form figure text and writes `<name>.txt`.
+pub fn emit_text(name: &str, text: &str) {
+    println!("{text}");
+    let dir = results_dir();
+    match std::fs::write(dir.join(format!("{name}.txt")), text) {
+        Ok(()) => println!("(saved to {}/{name}.txt)", dir.display()),
+        Err(err) => eprintln!(
+            "warning: could not save results under {}: {err}",
+            dir.display()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_creatable() {
+        std::env::set_var("AIDA_RESULTS_DIR", std::env::temp_dir().join("aida_results_test"));
+        let dir = results_dir();
+        assert!(dir.exists());
+        std::env::remove_var("AIDA_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,164 @@
+//! The ContextManager: materialized-view-style reuse of Contexts.
+//!
+//! Every `search`/`compute` execution materializes a Context (a narrowed
+//! lake + an enriched description + structured findings). The manager
+//! embeds each description and, when a new instruction arrives, retrieves
+//! the most similar materialized Context; above the runtime's similarity
+//! threshold the operator reuses it instead of re-running an agent — the
+//! paper's §3 physical optimization (and its §2.4 cache).
+
+use crate::context::Context;
+use aida_llm::embed::{cosine, Embedder};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A cached materialization.
+#[derive(Clone)]
+pub struct MaterializedContext {
+    /// The instruction whose execution produced this Context.
+    pub instruction: String,
+    /// The materialized Context.
+    pub context: Context,
+    /// Embedding of `instruction` + description (retrieval key).
+    embedding: Vec<f32>,
+    /// What the producing execution cost (for reporting savings).
+    pub original_cost: f64,
+}
+
+/// A shared registry of materialized Contexts.
+#[derive(Clone, Default)]
+pub struct ContextManager {
+    inner: Arc<RwLock<Vec<MaterializedContext>>>,
+    embedder: Embedder,
+}
+
+impl ContextManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of materialized Contexts.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when nothing is materialized.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Registers a materialization produced by `instruction`.
+    pub fn register(&self, instruction: &str, context: Context, original_cost: f64) {
+        // The retrieval key is the instruction alone: descriptions grow
+        // with every enrichment and would dilute the match.
+        let embedding = self.embedder.embed(instruction);
+        self.inner.write().push(MaterializedContext {
+            instruction: instruction.to_string(),
+            context,
+            embedding,
+            original_cost,
+        });
+    }
+
+    /// Retrieves the materialized Context most similar to `instruction`,
+    /// with its similarity score. Deterministic: earlier registrations win
+    /// ties.
+    pub fn find_similar(&self, instruction: &str) -> Option<(MaterializedContext, f32)> {
+        let q = self.embedder.embed(instruction);
+        let inner = self.inner.read();
+        let mut best: Option<(usize, f32)> = None;
+        for (i, entry) in inner.iter().enumerate() {
+            let sim = cosine(&q, &entry.embedding);
+            if best.is_none_or(|(_, s)| sim > s) {
+                best = Some((i, sim));
+            }
+        }
+        best.map(|(i, s)| (inner[i].clone(), s))
+    }
+
+    /// Retrieves a reusable Context at or above `threshold`.
+    pub fn reuse(&self, instruction: &str, threshold: f32) -> Option<MaterializedContext> {
+        self.find_similar(instruction)
+            .filter(|(_, sim)| *sim >= threshold)
+            .map(|(entry, _)| entry)
+    }
+
+    /// Drops every materialization (tests/trials).
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+impl std::fmt::Debug for ContextManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ContextManager({} materialized)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use aida_data::{DataLake, Document};
+
+    fn ctx(rt: &Runtime, desc: &str) -> Context {
+        Context::builder("c", DataLake::from_docs([Document::new("a.txt", "x")]))
+            .description(desc)
+            .build(rt)
+    }
+
+    #[test]
+    fn register_and_retrieve_by_similarity() {
+        let rt = Runtime::builder().build();
+        let manager = ContextManager::new();
+        manager.register(
+            "find the number of identity theft reports in 2001",
+            ctx(&rt, "FINDINGS: identity theft reports 2001: 86250"),
+            1.2,
+        );
+        manager.register(
+            "summarize pipeline maintenance schedules",
+            ctx(&rt, "FINDINGS: maintenance windows for gas pipelines"),
+            0.8,
+        );
+        let (hit, sim) = manager
+            .find_similar("find the number of identity theft reports in 2024")
+            .unwrap();
+        assert!(hit.instruction.contains("identity theft"));
+        assert!(sim > 0.4, "similar instructions should score high: {sim}");
+    }
+
+    #[test]
+    fn reuse_respects_threshold() {
+        let rt = Runtime::builder().build();
+        let manager = ContextManager::new();
+        manager.register(
+            "find identity theft reports in 2001",
+            ctx(&rt, "FINDINGS: thefts 2001"),
+            1.0,
+        );
+        assert!(manager.reuse("find identity theft reports in 2024", 0.99).is_none());
+        assert!(manager.reuse("find identity theft reports in 2001", 0.95).is_some());
+        // A completely unrelated instruction never reuses.
+        assert!(manager.reuse("weather forecast for tokyo marathon", 0.5).is_none());
+    }
+
+    #[test]
+    fn empty_manager_finds_nothing() {
+        let manager = ContextManager::new();
+        assert!(manager.find_similar("anything").is_none());
+        assert!(manager.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_and_clones_share() {
+        let rt = Runtime::builder().build();
+        let manager = ContextManager::new();
+        let clone = manager.clone();
+        manager.register("i", ctx(&rt, "d"), 0.1);
+        assert_eq!(clone.len(), 1);
+        clone.clear();
+        assert!(manager.is_empty());
+    }
+}

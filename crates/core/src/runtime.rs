@@ -1,0 +1,281 @@
+//! The runtime: shared services every query uses.
+
+use crate::manager::ContextManager;
+use aida_data::Table;
+use aida_llm::{ModelId, SimLlm, UsageSnapshot};
+use aida_optimizer::{OptimizerConfig, Policy};
+use aida_semops::ExecEnv;
+use aida_sql::{Catalog, SqlError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Tunables for the runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Seed for all stochastic simulation.
+    pub seed: u64,
+    /// Model the agentic operators plan with.
+    pub agent_model: ModelId,
+    /// Optimizer configuration used by `run_semantic_program`.
+    pub optimizer: OptimizerConfig,
+    /// Optimization policy for synthesized programs.
+    pub policy: Policy,
+    /// Whether the ContextManager may reuse materialized Contexts.
+    pub enable_context_reuse: bool,
+    /// Similarity threshold for Context reuse.
+    pub reuse_threshold: f32,
+    /// Max steps per agentic operator.
+    pub agent_max_steps: usize,
+    /// Transient-fault rate injected into every simulated LLM call (each
+    /// fault bills a failed attempt and retry backoff; results never
+    /// change).
+    pub fault_rate: f64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            seed: 0,
+            agent_model: ModelId::Flagship,
+            optimizer: OptimizerConfig::default(),
+            policy: Policy::MinCost { quality_floor: 0.85 },
+            enable_context_reuse: true,
+            reuse_threshold: 0.80,
+            agent_max_steps: 8,
+            fault_rate: 0.0,
+        }
+    }
+}
+
+/// The shared runtime: simulated LLM + clock, context manager, and the SQL
+/// catalog of materialized tables.
+#[derive(Clone)]
+pub struct Runtime {
+    env: ExecEnv,
+    config: RuntimeConfig,
+    manager: ContextManager,
+    catalog: Arc<Mutex<Catalog>>,
+}
+
+impl Runtime {
+    /// Starts building a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// The execution environment (LLM, clock, embedder).
+    pub fn env(&self) -> &ExecEnv {
+        &self.env
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The materialized-context manager.
+    pub fn manager(&self) -> &ContextManager {
+        &self.manager
+    }
+
+    /// Registers a materialized table for SQL reuse.
+    pub fn register_table(&self, name: &str, table: Table) {
+        self.catalog.lock().register(name, table);
+    }
+
+    /// The next free `mat_<n>` table name. Computed under the catalog lock
+    /// and skipping existing names, so concurrent queries (or dropped
+    /// tables) never silently overwrite an earlier materialization.
+    pub fn next_table_name(&self) -> String {
+        let catalog = self.catalog.lock();
+        let mut n = catalog.len();
+        loop {
+            let name = format!("mat_{n}");
+            if !catalog.contains(&name) {
+                return name;
+            }
+            n += 1;
+        }
+    }
+
+    /// Names of the materialized tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.lock().names().iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Runs a SQL query over the materialized tables.
+    pub fn sql(&self, query: &str) -> Result<Table, SqlError> {
+        aida_sql::execute(query, &self.catalog.lock())
+    }
+
+    /// Runs a general SQL statement (`SELECT`, `CREATE TABLE … AS`,
+    /// `DROP TABLE`, `EXPLAIN`) over the materialized tables.
+    pub fn sql_statement(&self, sql: &str) -> Result<aida_sql::StatementResult, SqlError> {
+        aida_sql::execute_statement(sql, &mut self.catalog.lock())
+    }
+
+    /// Starts an agentic query pipeline over a context.
+    pub fn query(&self, ctx: &crate::Context) -> crate::ops::Query {
+        crate::ops::Query::new(self.clone(), ctx.clone())
+    }
+
+    /// Snapshot of total LLM usage so far.
+    pub fn usage(&self) -> UsageSnapshot {
+        self.env.llm.meter().snapshot()
+    }
+
+    /// Dollars spent so far.
+    pub fn cost(&self) -> f64 {
+        self.usage().cost(self.env.llm.catalog())
+    }
+
+    /// Virtual seconds elapsed so far.
+    pub fn elapsed(&self) -> f64 {
+        self.env.clock.now()
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Runtime(seed={}, reuse={}, tables={})",
+            self.config.seed,
+            self.config.enable_context_reuse,
+            self.catalog.lock().len()
+        )
+    }
+}
+
+/// Builder for [`Runtime`].
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeBuilder {
+    config: RuntimeConfig,
+}
+
+impl RuntimeBuilder {
+    /// Sets the simulation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the planning model for agentic operators.
+    pub fn agent_model(mut self, model: ModelId) -> Self {
+        self.config.agent_model = model;
+        self
+    }
+
+    /// Sets the optimization policy for synthesized programs.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the optimizer configuration.
+    pub fn optimizer(mut self, optimizer: OptimizerConfig) -> Self {
+        self.config.optimizer = optimizer;
+        self
+    }
+
+    /// Enables/disables materialized-Context reuse.
+    pub fn context_reuse(mut self, enable: bool) -> Self {
+        self.config.enable_context_reuse = enable;
+        self
+    }
+
+    /// Sets the reuse similarity threshold.
+    pub fn reuse_threshold(mut self, threshold: f32) -> Self {
+        self.config.reuse_threshold = threshold;
+        self
+    }
+
+    /// Injects transient LLM faults at the given per-call rate.
+    pub fn fault_rate(mut self, rate: f64) -> Self {
+        self.config.fault_rate = rate;
+        self
+    }
+
+    /// Sets the full configuration at once.
+    pub fn config(mut self, config: RuntimeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds the runtime.
+    pub fn build(self) -> Runtime {
+        let llm = SimLlm::new(self.config.seed).with_fault_rate(self.config.fault_rate);
+        Runtime {
+            env: ExecEnv::new(llm),
+            manager: ContextManager::new(),
+            catalog: Arc::new(Mutex::new(Catalog::new())),
+            config: self.config,
+        }
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::builder().build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aida_data::{Schema, Value};
+
+    #[test]
+    fn builder_applies_settings() {
+        let rt = Runtime::builder()
+            .seed(9)
+            .agent_model(ModelId::Mini)
+            .context_reuse(false)
+            .reuse_threshold(0.5)
+            .build();
+        assert_eq!(rt.config().seed, 9);
+        assert_eq!(rt.config().agent_model, ModelId::Mini);
+        assert!(!rt.config().enable_context_reuse);
+        assert_eq!(rt.config().reuse_threshold, 0.5);
+    }
+
+    #[test]
+    fn sql_over_registered_tables() {
+        let rt = Runtime::builder().build();
+        let mut t = Table::new(Schema::of(["year", "thefts"]));
+        t.push_row(vec![Value::Int(2024), Value::Int(10)]).unwrap();
+        rt.register_table("thefts", t);
+        assert_eq!(rt.table_names(), vec!["thefts".to_string()]);
+        let out = rt.sql("SELECT thefts FROM thefts WHERE year = 2024").unwrap();
+        assert_eq!(out.cell(0, "thefts"), Some(&Value::Int(10)));
+    }
+
+    #[test]
+    fn next_table_name_never_collides() {
+        let rt = Runtime::builder().build();
+        assert_eq!(rt.next_table_name(), "mat_0");
+        rt.register_table("mat_0", Table::new(Schema::empty()));
+        // A foreign table shifts the counter; existing names are skipped.
+        rt.register_table("mat_2", Table::new(Schema::empty()));
+        let next = rt.next_table_name();
+        assert_ne!(next, "mat_0");
+        assert_ne!(next, "mat_2");
+        rt.register_table(&next, Table::new(Schema::empty()));
+        assert_eq!(rt.table_names().len(), 3);
+    }
+
+    #[test]
+    fn cost_and_elapsed_start_at_zero() {
+        let rt = Runtime::builder().build();
+        assert_eq!(rt.cost(), 0.0);
+        assert_eq!(rt.elapsed(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let rt = Runtime::builder().build();
+        let rt2 = rt.clone();
+        rt.register_table("t", Table::new(Schema::empty()));
+        assert_eq!(rt2.table_names().len(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Documents: named files in the unstructured data lake.
+
+use crate::html;
+use crate::table::Table;
+use crate::value::Value;
+use crate::{csv, DataError};
+use std::collections::BTreeMap;
+
+/// The format of a document's content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DocKind {
+    /// Comma-separated values with a header row.
+    Csv,
+    /// An HTML page.
+    Html,
+    /// Plain text.
+    Text,
+    /// An RFC-822-ish email (headers, blank line, body).
+    Email,
+}
+
+impl DocKind {
+    /// Guesses the kind from a file extension.
+    pub fn from_name(name: &str) -> DocKind {
+        let lower = name.to_ascii_lowercase();
+        if lower.ends_with(".csv") {
+            DocKind::Csv
+        } else if lower.ends_with(".html") || lower.ends_with(".htm") {
+            DocKind::Html
+        } else if lower.ends_with(".eml") {
+            DocKind::Email
+        } else {
+            DocKind::Text
+        }
+    }
+}
+
+/// A file in the data lake.
+///
+/// `labels` carries hidden ground-truth annotations set by workload
+/// generators — they are **never** exposed to agents or semantic operators
+/// directly; only the simulated-LLM oracle (which stands in for a model
+/// actually reading the text) consults them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Stable identifier, unique within a lake.
+    pub id: String,
+    /// File name (used by list/read tools and filename heuristics).
+    pub name: String,
+    /// Content format.
+    pub kind: DocKind,
+    /// Raw file content.
+    pub content: String,
+    /// Hidden ground-truth labels (oracle-only).
+    pub labels: BTreeMap<String, Value>,
+}
+
+impl Document {
+    /// Creates a document, deriving `kind` from the file name.
+    pub fn new(name: impl Into<String>, content: impl Into<String>) -> Self {
+        let name = name.into();
+        Document {
+            id: name.clone(),
+            kind: DocKind::from_name(&name),
+            name,
+            content: content.into(),
+            labels: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style ground-truth label insertion.
+    pub fn with_label(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.labels.insert(key.into(), value.into());
+        self
+    }
+
+    /// Ground-truth label accessor (oracle-only).
+    pub fn label(&self, key: &str) -> Option<&Value> {
+        self.labels.get(key)
+    }
+
+    /// Returns the document's visible text: HTML is stripped, other kinds
+    /// pass through unchanged.
+    pub fn text(&self) -> String {
+        match self.kind {
+            DocKind::Html => html::to_text(&self.content),
+            _ => self.content.clone(),
+        }
+    }
+
+    /// Parses structured tables out of the document (CSV body or HTML
+    /// `<table>` elements). Text/email documents yield no tables.
+    pub fn tables(&self) -> Result<Vec<Table>, DataError> {
+        match self.kind {
+            DocKind::Csv => Ok(vec![csv::parse_table(&self.content)?]),
+            DocKind::Html => Ok(html::extract_tables(&self.content)),
+            _ => Ok(Vec::new()),
+        }
+    }
+
+    /// For email documents: the header value (case-insensitive key).
+    pub fn email_header(&self, key: &str) -> Option<&str> {
+        if self.kind != DocKind::Email {
+            return None;
+        }
+        for line in self.content.lines() {
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                if k.trim().eq_ignore_ascii_case(key) {
+                    return Some(v.trim());
+                }
+            }
+        }
+        None
+    }
+
+    /// For email documents: everything after the first blank line.
+    pub fn email_body(&self) -> &str {
+        match self.content.split_once("\n\n") {
+            Some((_, body)) if self.kind == DocKind::Email => body,
+            _ => &self.content,
+        }
+    }
+
+    /// Approximate size in bytes (used by cost/latency models).
+    pub fn size(&self) -> usize {
+        self.content.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_from_extension() {
+        assert_eq!(DocKind::from_name("a.csv"), DocKind::Csv);
+        assert_eq!(DocKind::from_name("A.HTML"), DocKind::Html);
+        assert_eq!(DocKind::from_name("m.eml"), DocKind::Email);
+        assert_eq!(DocKind::from_name("notes.txt"), DocKind::Text);
+        assert_eq!(DocKind::from_name("README"), DocKind::Text);
+    }
+
+    #[test]
+    fn email_header_and_body() {
+        let doc = Document::new(
+            "m1.eml",
+            "From: jeff@enron.com\nSubject: Raptor position\n\nLet's discuss the hedge.",
+        );
+        assert_eq!(doc.email_header("from"), Some("jeff@enron.com"));
+        assert_eq!(doc.email_header("SUBJECT"), Some("Raptor position"));
+        assert_eq!(doc.email_header("cc"), None);
+        assert_eq!(doc.email_body(), "Let's discuss the hedge.");
+    }
+
+    #[test]
+    fn email_header_on_non_email_is_none() {
+        let doc = Document::new("a.txt", "From: x\n\nbody");
+        assert_eq!(doc.email_header("from"), None);
+        // email_body falls through to full content for non-emails.
+        assert_eq!(doc.email_body(), "From: x\n\nbody");
+    }
+
+    #[test]
+    fn csv_document_yields_table() {
+        let doc = Document::new("t.csv", "year,n\n2001,5\n");
+        let tables = doc.tables().unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].cell(0, "n"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn labels_are_oracle_only_storage() {
+        let doc = Document::new("m.eml", "Subject: x\n\nbody").with_label("relevant", true);
+        assert_eq!(doc.label("relevant"), Some(&Value::Bool(true)));
+        assert_eq!(doc.label("nope"), None);
+    }
+
+    #[test]
+    fn html_text_strips_markup() {
+        let doc = Document::new("r.html", "<p>Total &amp; breakdown</p>");
+        assert_eq!(doc.text().trim(), "Total & breakdown");
+    }
+}

@@ -1,0 +1,194 @@
+//! The data lake: a named collection of documents.
+
+use crate::document::Document;
+use crate::error::DataError;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// An in-memory data lake with O(1) name lookup.
+///
+/// Documents are stored in insertion order (list tools return a stable
+/// ordering) behind `Arc` so scans can share them without cloning content.
+#[derive(Debug, Clone, Default)]
+pub struct DataLake {
+    docs: Vec<Arc<Document>>,
+    by_name: HashMap<String, usize>,
+}
+
+impl DataLake {
+    /// Creates an empty lake.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a lake from documents.
+    pub fn from_docs(docs: impl IntoIterator<Item = Document>) -> Self {
+        let mut lake = DataLake::new();
+        for doc in docs {
+            lake.add(doc);
+        }
+        lake
+    }
+
+    /// Adds a document; a document with the same name replaces the old one.
+    pub fn add(&mut self, doc: Document) {
+        match self.by_name.get(&doc.name) {
+            Some(&idx) => self.docs[idx] = Arc::new(doc),
+            None => {
+                self.by_name.insert(doc.name.clone(), self.docs.len());
+                self.docs.push(Arc::new(doc));
+            }
+        }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when the lake holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// All documents in insertion order.
+    pub fn docs(&self) -> &[Arc<Document>] {
+        &self.docs
+    }
+
+    /// Lookup by file name.
+    pub fn get(&self, name: &str) -> Option<&Arc<Document>> {
+        self.by_name.get(name).map(|&idx| &self.docs[idx])
+    }
+
+    /// Lookup by file name, failing with [`DataError::UnknownDocument`].
+    pub fn require(&self, name: &str) -> Result<&Arc<Document>, DataError> {
+        self.get(name).ok_or_else(|| DataError::UnknownDocument(name.to_string()))
+    }
+
+    /// File names in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.docs.iter().map(|d| d.name.as_str()).collect()
+    }
+
+    /// Documents whose names contain `pattern` (case-insensitive).
+    pub fn glob(&self, pattern: &str) -> Vec<&Arc<Document>> {
+        let needle = pattern.to_ascii_lowercase();
+        self.docs
+            .iter()
+            .filter(|d| d.name.to_ascii_lowercase().contains(&needle))
+            .collect()
+    }
+
+    /// Loads every regular file under `dir` (non-recursive) as a document.
+    pub fn load_dir(dir: &Path) -> Result<Self, DataError> {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)?
+            .collect::<std::result::Result<Vec<_>, _>>()?
+            .into_iter()
+            .filter(|e| e.path().is_file())
+            .collect();
+        entries.sort_by_key(|e| e.file_name());
+        let mut lake = DataLake::new();
+        for entry in entries {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let content = std::fs::read_to_string(entry.path())?;
+            lake.add(Document::new(name, content));
+        }
+        Ok(lake)
+    }
+
+    /// Writes every document to `dir` (created if missing). Labels are not
+    /// persisted — they are simulation-side ground truth, not file content.
+    pub fn save_dir(&self, dir: &Path) -> Result<(), DataError> {
+        std::fs::create_dir_all(dir)?;
+        for doc in &self.docs {
+            std::fs::write(dir.join(&doc.name), &doc.content)?;
+        }
+        Ok(())
+    }
+
+    /// Total content bytes across all documents.
+    pub fn total_bytes(&self) -> usize {
+        self.docs.iter().map(|d| d.size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lake() -> DataLake {
+        DataLake::from_docs([
+            Document::new("national.csv", "year,n\n2001,5\n"),
+            Document::new("alabama.csv", "year,n\n2024,2\n"),
+            Document::new("report.html", "<p>hi</p>"),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let lake = lake();
+        assert!(lake.get("national.csv").is_some());
+        assert!(lake.get("missing.csv").is_none());
+        assert!(lake.require("missing.csv").is_err());
+        assert_eq!(lake.len(), 3);
+    }
+
+    #[test]
+    fn add_replaces_same_name() {
+        let mut lake = lake();
+        lake.add(Document::new("national.csv", "year,n\n2001,9\n"));
+        assert_eq!(lake.len(), 3);
+        assert!(lake.get("national.csv").unwrap().content.contains("9"));
+    }
+
+    #[test]
+    fn glob_is_case_insensitive_substring() {
+        let lake = lake();
+        assert_eq!(lake.glob("CSV").len(), 2);
+        assert_eq!(lake.glob("national").len(), 1);
+        assert!(lake.glob("xyz").is_empty());
+    }
+
+    #[test]
+    fn names_preserve_insertion_order() {
+        let lake = lake();
+        assert_eq!(lake.names(), vec!["national.csv", "alabama.csv", "report.html"]);
+    }
+
+    #[test]
+    fn load_dir_reads_files() {
+        let dir = std::env::temp_dir().join(format!("aida_lake_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.csv"), "x\n1\n").unwrap();
+        std::fs::write(dir.join("b.txt"), "hello").unwrap();
+        let lake = DataLake::load_dir(&dir).unwrap();
+        assert_eq!(lake.len(), 2);
+        assert_eq!(lake.names(), vec!["a.csv", "b.txt"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn total_bytes_sums_content() {
+        let lake = DataLake::from_docs([Document::new("a.txt", "abcd")]);
+        assert_eq!(lake.total_bytes(), 4);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("aida_lake_rt_{}", std::process::id()));
+        let original = lake();
+        original.save_dir(&dir).unwrap();
+        let loaded = DataLake::load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), original.len());
+        for doc in original.docs() {
+            let back = loaded.get(&doc.name).unwrap();
+            assert_eq!(back.content, doc.content);
+            assert_eq!(back.kind, doc.kind);
+            // Ground-truth labels intentionally do not survive disk.
+            assert!(back.labels.is_empty());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,126 @@
+//! Exact brute-force vector search.
+
+use crate::topk::TopK;
+use crate::{Hit, VectorIndex};
+use aida_llm::embed;
+
+/// An exact cosine-similarity index: stores every vector and scans on
+/// search. The right choice below a few tens of thousands of items — which
+/// covers every lake in the paper's evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct FlatIndex {
+    ids: Vec<String>,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl FlatIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an index from `(id, vector)` pairs.
+    pub fn from_items(items: impl IntoIterator<Item = (String, Vec<f32>)>) -> Self {
+        let mut index = FlatIndex::new();
+        for (id, v) in items {
+            index.add(&id, v);
+        }
+        index
+    }
+
+    /// Iterates over `(id, vector)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[f32])> {
+        self.ids
+            .iter()
+            .zip(self.vectors.iter())
+            .map(|(id, v)| (id.as_str(), v.as_slice()))
+    }
+
+    /// Returns the stored vector for an id.
+    pub fn get(&self, id: &str) -> Option<&[f32]> {
+        let idx = self.ids.iter().position(|i| i == id)?;
+        Some(&self.vectors[idx])
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn add(&mut self, id: &str, vector: Vec<f32>) {
+        match self.ids.iter().position(|i| i == id) {
+            Some(idx) => self.vectors[idx] = vector,
+            None => {
+                self.ids.push(id.to_string());
+                self.vectors.push(vector);
+            }
+        }
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        let mut topk = TopK::new(k);
+        for (id, v) in self.iter() {
+            topk.push(embed::cosine(query, v), id);
+        }
+        topk.into_sorted_vec()
+            .into_iter()
+            .map(|(score, id)| Hit { id: id.to_string(), score })
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aida_llm::Embedder;
+
+    fn build() -> (FlatIndex, Embedder) {
+        let e = Embedder::default();
+        let mut idx = FlatIndex::new();
+        idx.add("theft", e.embed("identity theft reports by year"));
+        idx.add("fraud", e.embed("fraud complaints by state"));
+        idx.add("gas", e.embed("natural gas pipeline maintenance"));
+        (idx, e)
+    }
+
+    #[test]
+    fn search_returns_most_similar_first() {
+        let (idx, e) = build();
+        let hits = idx.search(&e.embed("identity theft in 2024"), 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, "theft");
+        assert!(hits[0].score >= hits[1].score);
+    }
+
+    #[test]
+    fn add_replaces_existing_id() {
+        let (mut idx, e) = build();
+        let replacement = e.embed("completely different topic now");
+        idx.add("theft", replacement.clone());
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.get("theft"), Some(replacement.as_slice()));
+    }
+
+    #[test]
+    fn k_larger_than_index_returns_all() {
+        let (idx, e) = build();
+        let hits = idx.search(&e.embed("anything"), 10);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = FlatIndex::new();
+        assert!(idx.search(&[1.0, 0.0], 5).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn get_retrieves_stored_vector() {
+        let (idx, e) = build();
+        let v = idx.get("fraud").unwrap();
+        assert_eq!(v, e.embed("fraud complaints by state").as_slice());
+        assert!(idx.get("missing").is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! Exact key → document point lookups.
+//!
+//! The `Context.index()` method in the paper lets programmers register
+//! key-based lookups over their datasets (e.g. `state name → state CSV`,
+//! `year → report page`). `KeyIndex` is that registry: a multimap from
+//! normalized string keys to document ids.
+
+use std::collections::HashMap;
+
+/// A normalized-key multimap index.
+#[derive(Debug, Clone, Default)]
+pub struct KeyIndex {
+    entries: HashMap<String, Vec<String>>,
+}
+
+fn normalize(key: &str) -> String {
+    key.trim().to_ascii_lowercase()
+}
+
+impl KeyIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Associates `key` with a document id (duplicates are ignored).
+    pub fn insert(&mut self, key: &str, doc_id: &str) {
+        let ids = self.entries.entry(normalize(key)).or_default();
+        if !ids.iter().any(|i| i == doc_id) {
+            ids.push(doc_id.to_string());
+        }
+    }
+
+    /// Exact lookup (case/whitespace-insensitive on the key).
+    pub fn get(&self, key: &str) -> &[String] {
+        self.entries
+            .get(&normalize(key))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// True when the key has at least one document.
+    pub fn contains(&self, key: &str) -> bool {
+        !self.get(key).is_empty()
+    }
+
+    /// All keys in sorted order (deterministic listings for agents).
+    pub fn keys(&self) -> Vec<&str> {
+        let mut keys: Vec<&str> = self.entries.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no keys are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup_normalizes() {
+        let mut idx = KeyIndex::new();
+        idx.insert("Alabama", "al.csv");
+        assert_eq!(idx.get("alabama"), ["al.csv"]);
+        assert_eq!(idx.get("  ALABAMA  "), ["al.csv"]);
+        assert!(idx.get("alaska").is_empty());
+    }
+
+    #[test]
+    fn duplicate_doc_ids_deduplicate() {
+        let mut idx = KeyIndex::new();
+        idx.insert("2024", "national.csv");
+        idx.insert("2024", "national.csv");
+        idx.insert("2024", "trends.html");
+        assert_eq!(idx.get("2024").len(), 2);
+    }
+
+    #[test]
+    fn keys_are_sorted() {
+        let mut idx = KeyIndex::new();
+        idx.insert("b", "1");
+        idx.insert("a", "2");
+        idx.insert("c", "3");
+        assert_eq!(idx.keys(), vec!["a", "b", "c"]);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn contains_reflects_presence() {
+        let mut idx = KeyIndex::new();
+        assert!(!idx.contains("x"));
+        idx.insert("x", "d");
+        assert!(idx.contains("x"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Bounded top-k collection.
+//!
+//! A small binary min-heap keyed by score: pushing is O(log k), and the
+//! final `into_sorted_vec` returns the best `k` items best-first. Ties are
+//! broken deterministically by insertion order (earlier wins), which keeps
+//! every search reproducible.
+
+/// A bounded collector keeping the `k` highest-scoring items.
+#[derive(Debug, Clone)]
+pub struct TopK<T> {
+    k: usize,
+    // Min-heap: heap[0] is the *worst* retained item.
+    heap: Vec<(f32, u64, T)>,
+    counter: u64,
+}
+
+impl<T> TopK<T> {
+    /// Creates a collector retaining at most `k` items.
+    pub fn new(k: usize) -> Self {
+        TopK { k, heap: Vec::with_capacity(k.min(1024)), counter: 0 }
+    }
+
+    /// Number of retained items so far.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current k-th best score (the admission threshold), if full.
+    pub fn threshold(&self) -> Option<f32> {
+        if self.heap.len() == self.k {
+            self.heap.first().map(|(s, _, _)| *s)
+        } else {
+            None
+        }
+    }
+
+    /// Offers an item; it is retained if the collector is not yet full or
+    /// the score beats the current worst.
+    pub fn push(&mut self, score: f32, item: T) {
+        if self.k == 0 {
+            return;
+        }
+        let seq = self.counter;
+        self.counter += 1;
+        if self.heap.len() < self.k {
+            self.heap.push((score, seq, item));
+            self.sift_up(self.heap.len() - 1);
+        } else if self.beats_worst(score, seq) {
+            self.heap[0] = (score, seq, item);
+            self.sift_down(0);
+        }
+    }
+
+    fn beats_worst(&self, score: f32, _seq: u64) -> bool {
+        match self.heap.first() {
+            Some((worst, _, _)) => score > *worst,
+            None => true,
+        }
+    }
+
+    /// Consumes the collector, returning items best-first.
+    pub fn into_sorted_vec(mut self) -> Vec<(f32, T)> {
+        // Pop everything (worst-first), then reverse.
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(entry) = self.pop_worst() {
+            out.push(entry);
+        }
+        out.reverse();
+        out.into_iter().map(|(s, _, t)| (s, t)).collect()
+    }
+
+    fn pop_worst(&mut self) -> Option<(f32, u64, T)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let worst = self.heap.pop();
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        worst
+    }
+
+    // Min-heap order: smaller score first; on equal scores, *later* sequence
+    // first (so it is evicted before an earlier equal-scored item).
+    fn less(&self, a: usize, b: usize) -> bool {
+        let (sa, qa, _) = &self.heap[a];
+        let (sb, qb, _) = &self.heap[b];
+        match sa.partial_cmp(sb) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => qa > qb,
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.less(i, parent) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.heap.len() && self.less(l, smallest) {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.less(r, smallest) {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut topk = TopK::new(3);
+        for (score, id) in [(0.1, "a"), (0.9, "b"), (0.5, "c"), (0.7, "d"), (0.3, "e")] {
+            topk.push(score, id);
+        }
+        let out = topk.into_sorted_vec();
+        let ids: Vec<&str> = out.iter().map(|(_, id)| *id).collect();
+        assert_eq!(ids, vec!["b", "d", "c"]);
+    }
+
+    #[test]
+    fn fewer_than_k_returns_all_sorted() {
+        let mut topk = TopK::new(10);
+        topk.push(0.2, 1);
+        topk.push(0.8, 2);
+        let out = topk.into_sorted_vec();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1, 2);
+    }
+
+    #[test]
+    fn k_zero_retains_nothing() {
+        let mut topk = TopK::new(0);
+        topk.push(1.0, "x");
+        assert!(topk.is_empty());
+        assert!(topk.into_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn ties_prefer_earlier_insertion() {
+        let mut topk = TopK::new(2);
+        topk.push(0.5, "first");
+        topk.push(0.5, "second");
+        topk.push(0.5, "third");
+        let out = topk.into_sorted_vec();
+        let ids: Vec<&str> = out.iter().map(|(_, id)| *id).collect();
+        assert_eq!(ids, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn threshold_reports_kth_best() {
+        let mut topk = TopK::new(2);
+        assert_eq!(topk.threshold(), None);
+        topk.push(0.9, ());
+        assert_eq!(topk.threshold(), None);
+        topk.push(0.4, ());
+        assert_eq!(topk.threshold(), Some(0.4));
+        topk.push(0.6, ());
+        assert_eq!(topk.threshold(), Some(0.6));
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_sort(scores in prop::collection::vec(0.0f32..1.0, 0..200), k in 0usize..20) {
+            let mut topk = TopK::new(k);
+            for (i, s) in scores.iter().enumerate() {
+                topk.push(*s, i);
+            }
+            let got: Vec<f32> = topk.into_sorted_vec().into_iter().map(|(s, _)| s).collect();
+            let mut expect = scores.clone();
+            expect.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            expect.truncate(k);
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

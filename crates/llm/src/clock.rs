@@ -1,0 +1,130 @@
+//! Virtual time.
+//!
+//! Experiments report simulated wall-clock seconds, not host time. The
+//! clock is advanced explicitly by execution engines: a sequential agent
+//! loop advances by each call's full latency, while the batched semantic
+//! operator executor advances by the critical path of a parallel batch
+//! (`total_latency / parallelism`, rounded up per wave).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A shared, monotonically-advancing virtual clock (seconds).
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_s: Arc<Mutex<f64>>,
+}
+
+impl SimClock {
+    /// Creates a clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        *self.now_s.lock()
+    }
+
+    /// Advances the clock by `seconds` (negative advances are ignored).
+    pub fn advance(&self, seconds: f64) {
+        if seconds > 0.0 && seconds.is_finite() {
+            *self.now_s.lock() += seconds;
+        }
+    }
+
+    /// Advances by the elapsed virtual time of `n_calls` parallel calls of
+    /// `total_latency_s` aggregate latency across `parallelism` workers:
+    /// the critical path is `ceil(n/p)` waves of average call latency.
+    pub fn advance_parallel(&self, total_latency_s: f64, n_calls: usize, parallelism: usize) {
+        if n_calls == 0 {
+            return;
+        }
+        let p = parallelism.max(1);
+        let avg = total_latency_s / n_calls as f64;
+        let waves = n_calls.div_ceil(p);
+        self.advance(avg * waves as f64);
+    }
+
+    /// Resets to t = 0.
+    pub fn reset(&self) {
+        *self.now_s.lock() = 0.0;
+    }
+}
+
+/// A scoped stopwatch over the virtual clock.
+#[derive(Debug)]
+pub struct SimStopwatch {
+    clock: SimClock,
+    start_s: f64,
+}
+
+impl SimStopwatch {
+    /// Starts timing at the clock's current instant.
+    pub fn start(clock: &SimClock) -> Self {
+        SimStopwatch { clock: clock.clone(), start_s: clock.now() }
+    }
+
+    /// Virtual seconds elapsed since `start`.
+    pub fn elapsed(&self) -> f64 {
+        self.clock.now() - self.start_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let clock = SimClock::new();
+        clock.advance(1.5);
+        clock.advance(0.5);
+        assert!((clock.now() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_advances_ignored() {
+        let clock = SimClock::new();
+        clock.advance(-5.0);
+        clock.advance(f64::NAN);
+        assert_eq!(clock.now(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        b.advance(3.0);
+        assert_eq!(a.now(), 3.0);
+        a.reset();
+        assert_eq!(b.now(), 0.0);
+    }
+
+    #[test]
+    fn parallel_advance_uses_waves() {
+        let clock = SimClock::new();
+        // 10 calls of 1s each over 4 workers: 3 waves of 1s.
+        clock.advance_parallel(10.0, 10, 4);
+        assert!((clock.now() - 3.0).abs() < 1e-9);
+        // Zero calls: no movement.
+        clock.advance_parallel(10.0, 0, 4);
+        assert!((clock.now() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_equals_parallelism_one() {
+        let clock = SimClock::new();
+        clock.advance_parallel(7.0, 7, 1);
+        assert!((clock.now() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stopwatch_measures_interval() {
+        let clock = SimClock::new();
+        clock.advance(1.0);
+        let sw = SimStopwatch::start(&clock);
+        clock.advance(2.5);
+        assert!((sw.elapsed() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,286 @@
+//! The ground-truth oracle behind the simulated LLM.
+//!
+//! A real model answers a semantic question by reading the document. The
+//! simulator reproduces that with two mechanisms, tried in order:
+//!
+//! 1. **Registered rules** ([`OracleRule`]): workload generators know the
+//!    true answer for the predicates/extractions their queries use (they
+//!    planted it), so they register rules mapping instruction patterns to
+//!    ground-truth labels or content-derived answers.
+//! 2. **Generic reading** (in [`crate::sim`]): keyword-overlap filtering and
+//!    line-oriented numeric extraction directly over the subject text.
+//!
+//! Either way, the *noise channel* then corrupts the answer according to the
+//! model tier and the subject's difficulty, which is what makes cheap models
+//! cheap.
+
+use aida_data::{Document, Record, Value};
+use parking_lot::RwLock;
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The thing a semantic question is being asked about.
+#[derive(Debug, Clone)]
+pub struct Subject<'a> {
+    /// Name of the underlying document or record source.
+    pub name: Cow<'a, str>,
+    /// Visible text the "model" reads.
+    pub text: Cow<'a, str>,
+    /// Hidden ground-truth labels (set by workload generators).
+    pub labels: Option<&'a BTreeMap<String, Value>>,
+}
+
+impl<'a> Subject<'a> {
+    /// A subject backed by a document (HTML is stripped to text).
+    pub fn doc(doc: &'a Document) -> Subject<'a> {
+        Subject {
+            name: Cow::Borrowed(doc.name.as_str()),
+            text: Cow::Owned(doc.text()),
+            labels: Some(&doc.labels),
+        }
+    }
+
+    /// A subject backed by a record, optionally linked to the document it
+    /// was scanned from (which carries the ground-truth labels).
+    pub fn record(record: &'a Record, origin: Option<&'a Document>) -> Subject<'a> {
+        Subject {
+            name: Cow::Borrowed(record.source.as_str()),
+            text: Cow::Owned(record.render()),
+            labels: origin.map(|d| &d.labels),
+        }
+    }
+
+    /// A plain-text subject with no labels.
+    pub fn text_only(name: &'a str, text: &'a str) -> Subject<'a> {
+        Subject { name: Cow::Borrowed(name), text: Cow::Borrowed(text), labels: None }
+    }
+
+    /// Ground-truth label lookup.
+    pub fn label(&self, key: &str) -> Option<&Value> {
+        self.labels.and_then(|m| m.get(key))
+    }
+
+    /// The subject's judgement difficulty in `[0, 1]`.
+    ///
+    /// Generators mark borderline items (e.g. a forwarded news article that
+    /// *mentions* a transaction secondhand) with a `difficulty` label; the
+    /// default is an easy 0.15.
+    pub fn difficulty(&self) -> f64 {
+        match self.label("difficulty") {
+            Some(v) => v.as_float().unwrap_or(0.15).clamp(0.0, 1.0),
+            None => 0.15,
+        }
+    }
+}
+
+/// A ground-truth answer produced by the oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleAnswer {
+    /// Boolean judgement (semantic filters).
+    Bool(bool),
+    /// Boolean judgement with an explicit per-question difficulty that
+    /// overrides the subject's document-level difficulty. Generators use
+    /// this when different questions about the same document have very
+    /// different hardness (spotting a name mention vs. judging
+    /// firsthandness).
+    BoolWithDifficulty(bool, f64),
+    /// Extracted value (semantic maps/extracts).
+    Value(Value),
+    /// Free text (summaries).
+    Text(String),
+}
+
+/// A rule that recognizes a family of instructions and answers them from
+/// ground truth.
+pub trait OracleRule: Send + Sync {
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+    /// Returns the true answer, or `None` when the rule doesn't apply to
+    /// this instruction/subject.
+    fn answer(&self, instruction: &str, subject: &Subject<'_>) -> Option<OracleAnswer>;
+}
+
+/// A rule matching instructions that contain **all** of a set of keywords
+/// (case-insensitive) and answering with a subject label.
+pub struct LabelRule {
+    name: String,
+    keywords: Vec<String>,
+    label: String,
+}
+
+impl LabelRule {
+    /// Creates a rule: when the instruction mentions every keyword, answer
+    /// with the subject's `label` value.
+    pub fn new(
+        name: impl Into<String>,
+        keywords: impl IntoIterator<Item = impl Into<String>>,
+        label: impl Into<String>,
+    ) -> Self {
+        LabelRule {
+            name: name.into(),
+            keywords: keywords
+                .into_iter()
+                .map(|k| k.into().to_ascii_lowercase())
+                .collect(),
+            label: label.into(),
+        }
+    }
+}
+
+impl OracleRule for LabelRule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn answer(&self, instruction: &str, subject: &Subject<'_>) -> Option<OracleAnswer> {
+        let lower = instruction.to_ascii_lowercase();
+        if !self.keywords.iter().all(|k| lower.contains(k.as_str())) {
+            return None;
+        }
+        match subject.label(&self.label)? {
+            Value::Bool(b) => Some(OracleAnswer::Bool(*b)),
+            Value::Str(s) => Some(OracleAnswer::Text(s.clone())),
+            other => Some(OracleAnswer::Value(other.clone())),
+        }
+    }
+}
+
+/// A rule backed by a closure (used by generators for computed answers).
+pub struct FnRule<F> {
+    name: String,
+    func: F,
+}
+
+impl<F> FnRule<F>
+where
+    F: Fn(&str, &Subject<'_>) -> Option<OracleAnswer> + Send + Sync,
+{
+    /// Wraps a closure as a rule.
+    pub fn new(name: impl Into<String>, func: F) -> Self {
+        FnRule { name: name.into(), func }
+    }
+}
+
+impl<F> OracleRule for FnRule<F>
+where
+    F: Fn(&str, &Subject<'_>) -> Option<OracleAnswer> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn answer(&self, instruction: &str, subject: &Subject<'_>) -> Option<OracleAnswer> {
+        (self.func)(instruction, subject)
+    }
+}
+
+/// A shared, append-only registry of oracle rules.
+#[derive(Clone, Default)]
+pub struct Oracle {
+    rules: Arc<RwLock<Vec<Arc<dyn OracleRule>>>>,
+}
+
+impl Oracle {
+    /// Creates an empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a rule; later registrations take precedence.
+    pub fn register(&self, rule: Arc<dyn OracleRule>) {
+        self.rules.write().push(rule);
+    }
+
+    /// Asks every rule (most recently registered first) for an answer.
+    pub fn answer(&self, instruction: &str, subject: &Subject<'_>) -> Option<OracleAnswer> {
+        let rules = self.rules.read();
+        rules
+            .iter()
+            .rev()
+            .find_map(|rule| rule.answer(instruction, subject))
+    }
+
+    /// Number of registered rules.
+    pub fn len(&self) -> usize {
+        self.rules.read().len()
+    }
+
+    /// True when no rules are registered.
+    pub fn is_empty(&self) -> bool {
+        self.rules.read().is_empty()
+    }
+}
+
+impl std::fmt::Debug for Oracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Oracle({} rules)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aida_data::Document;
+
+    fn email(relevant: bool, difficulty: f64) -> Document {
+        Document::new("m.eml", "Subject: x\n\nbody text")
+            .with_label("gt_relevant", relevant)
+            .with_label("difficulty", difficulty)
+    }
+
+    #[test]
+    fn label_rule_requires_all_keywords() {
+        let rule = LabelRule::new("enron", ["firsthand", "transaction"], "gt_relevant");
+        let doc = email(true, 0.0);
+        let subject = Subject::doc(&doc);
+        assert_eq!(
+            rule.answer("filter emails with firsthand discussion of a transaction", &subject),
+            Some(OracleAnswer::Bool(true))
+        );
+        assert_eq!(rule.answer("firsthand accounts only", &subject), None);
+    }
+
+    #[test]
+    fn label_rule_missing_label_is_none() {
+        let rule = LabelRule::new("r", ["q"], "missing");
+        let doc = email(true, 0.0);
+        assert_eq!(rule.answer("q", &Subject::doc(&doc)), None);
+    }
+
+    #[test]
+    fn oracle_prefers_later_registrations() {
+        let oracle = Oracle::new();
+        oracle.register(Arc::new(FnRule::new("first", |_, _| {
+            Some(OracleAnswer::Bool(false))
+        })));
+        oracle.register(Arc::new(FnRule::new("second", |_, _| {
+            Some(OracleAnswer::Bool(true))
+        })));
+        let doc = email(false, 0.0);
+        assert_eq!(
+            oracle.answer("anything", &Subject::doc(&doc)),
+            Some(OracleAnswer::Bool(true))
+        );
+        assert_eq!(oracle.len(), 2);
+    }
+
+    #[test]
+    fn subject_difficulty_defaults_and_clamps() {
+        let doc = email(true, 0.9);
+        assert!((Subject::doc(&doc).difficulty() - 0.9).abs() < 1e-12);
+        let plain = Document::new("a.txt", "hi");
+        assert!((Subject::doc(&plain).difficulty() - 0.15).abs() < 1e-12);
+        let wild = Document::new("b.txt", "hi").with_label("difficulty", 5.0);
+        assert_eq!(Subject::doc(&wild).difficulty(), 1.0);
+    }
+
+    #[test]
+    fn record_subject_renders_fields() {
+        let rec = aida_data::Record::new("f.csv").with("year", 2024i64);
+        let subject = Subject::record(&rec, None);
+        assert!(subject.text.contains("year=2024"));
+        assert_eq!(subject.name, "f.csv");
+        assert!(subject.label("x").is_none());
+    }
+}

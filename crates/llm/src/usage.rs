@@ -1,0 +1,209 @@
+//! Usage metering: the single ledger for simulated dollars.
+//!
+//! Every simulated LLM call reports its token usage here, tagged by model.
+//! Experiment harnesses snapshot the meter before/after a system run and
+//! difference the snapshots, so concurrent systems sharing a runtime never
+//! double-count.
+
+use crate::models::{ModelCatalog, ModelId};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Token usage for one model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Usage {
+    /// Total input (prompt) tokens.
+    pub input_tokens: u64,
+    /// Total output (completion) tokens.
+    pub output_tokens: u64,
+    /// Number of calls.
+    pub calls: u64,
+}
+
+impl Usage {
+    /// Element-wise sum.
+    pub fn add(&mut self, other: Usage) {
+        self.input_tokens += other.input_tokens;
+        self.output_tokens += other.output_tokens;
+        self.calls += other.calls;
+    }
+
+    /// Element-wise difference (saturating; used for snapshot deltas).
+    pub fn saturating_sub(&self, other: Usage) -> Usage {
+        Usage {
+            input_tokens: self.input_tokens.saturating_sub(other.input_tokens),
+            output_tokens: self.output_tokens.saturating_sub(other.output_tokens),
+            calls: self.calls.saturating_sub(other.calls),
+        }
+    }
+}
+
+/// An immutable point-in-time copy of the meter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UsageSnapshot {
+    per_model: BTreeMap<ModelId, Usage>,
+}
+
+impl UsageSnapshot {
+    /// Usage for one model (zero if the model never ran).
+    pub fn usage(&self, id: ModelId) -> Usage {
+        self.per_model.get(&id).copied().unwrap_or_default()
+    }
+
+    /// Per-model usage in tier order.
+    pub fn per_model(&self) -> &BTreeMap<ModelId, Usage> {
+        &self.per_model
+    }
+
+    /// Total calls across models.
+    pub fn total_calls(&self) -> u64 {
+        self.per_model.values().map(|u| u.calls).sum()
+    }
+
+    /// Total tokens (input + output) across models.
+    pub fn total_tokens(&self) -> u64 {
+        self.per_model
+            .values()
+            .map(|u| u.input_tokens + u.output_tokens)
+            .sum()
+    }
+
+    /// Dollar cost of this snapshot under a catalog's pricing.
+    pub fn cost(&self, catalog: &ModelCatalog) -> f64 {
+        let total: f64 = self
+            .per_model
+            .iter()
+            .map(|(id, u)| {
+                catalog
+                    .spec(*id)
+                    .cost(u.input_tokens as usize, u.output_tokens as usize)
+            })
+            .sum();
+        // An empty sum is IEEE -0.0; normalize so reports never print "-0".
+        total + 0.0
+    }
+
+    /// The delta from an earlier snapshot to this one.
+    pub fn since(&self, earlier: &UsageSnapshot) -> UsageSnapshot {
+        let mut per_model = BTreeMap::new();
+        for (id, usage) in &self.per_model {
+            let before = earlier.usage(*id);
+            let delta = usage.saturating_sub(before);
+            if delta != Usage::default() {
+                per_model.insert(*id, delta);
+            }
+        }
+        UsageSnapshot { per_model }
+    }
+}
+
+/// A thread-safe, shared usage ledger.
+#[derive(Debug, Clone, Default)]
+pub struct UsageMeter {
+    inner: Arc<Mutex<BTreeMap<ModelId, Usage>>>,
+}
+
+impl UsageMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one call.
+    pub fn record(&self, id: ModelId, input_tokens: usize, output_tokens: usize) {
+        let mut inner = self.inner.lock();
+        let usage = inner.entry(id).or_default();
+        usage.add(Usage {
+            input_tokens: input_tokens as u64,
+            output_tokens: output_tokens as u64,
+            calls: 1,
+        });
+    }
+
+    /// Snapshots current totals.
+    pub fn snapshot(&self) -> UsageSnapshot {
+        UsageSnapshot { per_model: self.inner.lock().clone() }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_model() {
+        let meter = UsageMeter::new();
+        meter.record(ModelId::Flagship, 100, 10);
+        meter.record(ModelId::Flagship, 50, 5);
+        meter.record(ModelId::Nano, 10, 1);
+        let snap = meter.snapshot();
+        assert_eq!(
+            snap.usage(ModelId::Flagship),
+            Usage { input_tokens: 150, output_tokens: 15, calls: 2 }
+        );
+        assert_eq!(snap.usage(ModelId::Nano).calls, 1);
+        assert_eq!(snap.usage(ModelId::Mini), Usage::default());
+        assert_eq!(snap.total_calls(), 3);
+        assert_eq!(snap.total_tokens(), 150 + 15 + 11);
+    }
+
+    #[test]
+    fn cost_uses_catalog_pricing() {
+        let meter = UsageMeter::new();
+        meter.record(ModelId::Flagship, 1_000_000, 0);
+        let cost = meter.snapshot().cost(&ModelCatalog::default());
+        assert!((cost - 2.50).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_a_run() {
+        let meter = UsageMeter::new();
+        meter.record(ModelId::Mini, 100, 10);
+        let before = meter.snapshot();
+        meter.record(ModelId::Mini, 30, 3);
+        meter.record(ModelId::Nano, 7, 1);
+        let delta = meter.snapshot().since(&before);
+        assert_eq!(
+            delta.usage(ModelId::Mini),
+            Usage { input_tokens: 30, output_tokens: 3, calls: 1 }
+        );
+        assert_eq!(delta.usage(ModelId::Nano).input_tokens, 7);
+        // Models with no new activity are absent from the delta.
+        assert!(!delta.per_model().contains_key(&ModelId::Flagship));
+    }
+
+    #[test]
+    fn meter_is_shared_across_clones() {
+        let a = UsageMeter::new();
+        let b = a.clone();
+        b.record(ModelId::Nano, 1, 1);
+        assert_eq!(a.snapshot().total_calls(), 1);
+        a.reset();
+        assert_eq!(b.snapshot().total_calls(), 0);
+    }
+
+    #[test]
+    fn meter_is_thread_safe() {
+        let meter = UsageMeter::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = meter.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record(ModelId::Mini, 1, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(meter.snapshot().usage(ModelId::Mini).calls, 8000);
+    }
+}

@@ -1,0 +1,162 @@
+//! Optimization policies: how to pick one plan from the Pareto frontier.
+
+use crate::cost::PlanEstimate;
+
+/// A plan-selection policy (Abacus-style).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Policy {
+    /// Maximize quality, optionally under a dollar budget.
+    MaxQuality {
+        /// Reject plans predicted to cost more than this.
+        cost_budget: Option<f64>,
+    },
+    /// Minimize dollars among plans meeting a quality floor.
+    MinCost {
+        /// Minimum acceptable predicted quality.
+        quality_floor: f64,
+    },
+    /// Minimize time among plans meeting a quality floor.
+    MinTime {
+        /// Minimum acceptable predicted quality.
+        quality_floor: f64,
+    },
+}
+
+impl Policy {
+    /// Chooses the best estimate from a frontier. Returns `None` only when
+    /// the frontier is empty; if no plan meets the constraint, the policy
+    /// relaxes it (best-effort) rather than failing.
+    pub fn choose<'a>(&self, frontier: &'a [PlanEstimate]) -> Option<&'a PlanEstimate> {
+        if frontier.is_empty() {
+            return None;
+        }
+        match self {
+            Policy::MaxQuality { cost_budget } => {
+                let eligible: Vec<&PlanEstimate> = match cost_budget {
+                    Some(budget) => frontier.iter().filter(|e| e.cost <= *budget).collect(),
+                    None => frontier.iter().collect(),
+                };
+                let pool: Vec<&PlanEstimate> = if eligible.is_empty() {
+                    frontier.iter().collect()
+                } else {
+                    eligible
+                };
+                pool.into_iter().max_by(|a, b| {
+                    a.quality
+                        .partial_cmp(&b.quality)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        // Tie-break: cheaper, then faster.
+                        .then(
+                            b.cost
+                                .partial_cmp(&a.cost)
+                                .unwrap_or(std::cmp::Ordering::Equal),
+                        )
+                        .then(
+                            b.time
+                                .partial_cmp(&a.time)
+                                .unwrap_or(std::cmp::Ordering::Equal),
+                        )
+                })
+            }
+            Policy::MinCost { quality_floor } => pick_min(
+                frontier,
+                *quality_floor,
+                |e| e.cost,
+            ),
+            Policy::MinTime { quality_floor } => pick_min(
+                frontier,
+                *quality_floor,
+                |e| e.time,
+            ),
+        }
+    }
+}
+
+fn pick_min(
+    frontier: &[PlanEstimate],
+    quality_floor: f64,
+    key: impl Fn(&PlanEstimate) -> f64,
+) -> Option<&PlanEstimate> {
+    let eligible: Vec<&PlanEstimate> =
+        frontier.iter().filter(|e| e.quality >= quality_floor).collect();
+    let pool: Vec<&PlanEstimate> = if eligible.is_empty() {
+        // Constraint unmeetable: fall back to the highest-quality plans.
+        let best_q = frontier
+            .iter()
+            .map(|e| e.quality)
+            .fold(f64::NEG_INFINITY, f64::max);
+        frontier
+            .iter()
+            .filter(|e| (e.quality - best_q).abs() < 1e-9)
+            .collect()
+    } else {
+        eligible
+    };
+    pool.into_iter().min_by(|a, b| {
+        key(a)
+            .partial_cmp(&key(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(cost: f64, time: f64, quality: f64) -> PlanEstimate {
+        PlanEstimate { order: vec![], models: vec![], cost, time, quality }
+    }
+
+    fn frontier() -> Vec<PlanEstimate> {
+        vec![est(0.1, 5.0, 0.7), est(0.5, 8.0, 0.9), est(2.0, 20.0, 0.99)]
+    }
+
+    #[test]
+    fn max_quality_unbounded_takes_best() {
+        let f = frontier();
+        let chosen = Policy::MaxQuality { cost_budget: None }.choose(&f).unwrap();
+        assert_eq!(chosen.quality, 0.99);
+    }
+
+    #[test]
+    fn max_quality_respects_budget() {
+        let f = frontier();
+        let chosen = Policy::MaxQuality { cost_budget: Some(1.0) }.choose(&f).unwrap();
+        assert_eq!(chosen.quality, 0.9);
+    }
+
+    #[test]
+    fn max_quality_relaxes_impossible_budget() {
+        let f = frontier();
+        let chosen = Policy::MaxQuality { cost_budget: Some(0.01) }.choose(&f).unwrap();
+        assert_eq!(chosen.quality, 0.99, "falls back to unconstrained best");
+    }
+
+    #[test]
+    fn min_cost_meets_quality_floor() {
+        let f = frontier();
+        let chosen = Policy::MinCost { quality_floor: 0.85 }.choose(&f).unwrap();
+        assert_eq!(chosen.cost, 0.5);
+        let cheap = Policy::MinCost { quality_floor: 0.0 }.choose(&f).unwrap();
+        assert_eq!(cheap.cost, 0.1);
+    }
+
+    #[test]
+    fn min_cost_relaxes_to_best_quality() {
+        let f = frontier();
+        let chosen = Policy::MinCost { quality_floor: 1.5 }.choose(&f).unwrap();
+        assert_eq!(chosen.quality, 0.99);
+    }
+
+    #[test]
+    fn min_time_picks_fastest_eligible() {
+        let f = frontier();
+        let chosen = Policy::MinTime { quality_floor: 0.85 }.choose(&f).unwrap();
+        assert_eq!(chosen.time, 8.0);
+    }
+
+    #[test]
+    fn empty_frontier_is_none() {
+        assert!(Policy::MaxQuality { cost_budget: None }.choose(&[]).is_none());
+    }
+}

@@ -1,0 +1,460 @@
+//! The bandit-driven sampling phase.
+//!
+//! Before choosing a physical plan, the optimizer spends a small, real
+//! budget of LLM calls estimating how each (operator, model) pair behaves
+//! on *this* data: quality relative to the flagship reference model
+//! (LOTUS-style proxy validation), dollars per record, seconds per record,
+//! and operator selectivity. Sample calls are billed to the shared meter —
+//! optimization is not free, exactly as in Abacus.
+
+use crate::bandit::Ucb1;
+use aida_data::{Record, Value};
+use aida_llm::oracle::Subject;
+use aida_llm::{LlmTask, ModelId};
+use aida_semops::plan::{LogicalOp, LogicalPlan};
+use aida_semops::{exec::subject_text, ExecEnv};
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Estimated behaviour of one model on one operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelEstimate {
+    /// Agreement with the flagship reference in `[0, 1]`.
+    pub quality: f64,
+    /// Dollars per processed record.
+    pub cost_per_record: f64,
+    /// Seconds per processed record.
+    pub time_per_record: f64,
+    /// Number of sample observations behind the estimate (0 = prior only).
+    pub observations: u64,
+}
+
+/// Estimates for one semantic operator.
+#[derive(Debug, Clone)]
+pub struct OpEstimate {
+    /// Index of the operator in the logical plan.
+    pub op_index: usize,
+    /// Estimated selectivity (filters; 1.0 for non-filters).
+    pub selectivity: f64,
+    /// Per-model estimates.
+    pub per_model: BTreeMap<ModelId, ModelEstimate>,
+}
+
+/// The full sampling result for a plan.
+#[derive(Debug, Clone, Default)]
+pub struct SampleMatrix {
+    /// One entry per semantic operator, in plan order.
+    pub ops: Vec<OpEstimate>,
+    /// Mean input tokens per scanned record (drives coarse cost guesses).
+    pub avg_record_tokens: f64,
+    /// Dollars spent on sampling itself.
+    pub sampling_cost: f64,
+    /// Virtual seconds spent sampling.
+    pub sampling_time: f64,
+}
+
+impl SampleMatrix {
+    /// The estimate for an operator index, if it was sampled.
+    pub fn for_op(&self, op_index: usize) -> Option<&OpEstimate> {
+        self.ops.iter().find(|o| o.op_index == op_index)
+    }
+}
+
+/// Quality priors used for unsampled arms and unsampleable operators.
+pub fn quality_prior(model: ModelId) -> f64 {
+    match model {
+        ModelId::Flagship => 0.98,
+        ModelId::Mini => 0.88,
+        ModelId::Nano => 0.76,
+    }
+}
+
+/// Sampling configuration.
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Records drawn from the scan for sampling.
+    pub sample_records: usize,
+    /// Total bandit pulls across all non-reference arms.
+    pub bandit_pulls: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig { sample_records: 10, bandit_pulls: 36 }
+    }
+}
+
+/// Runs the sampling phase for a logical plan.
+pub struct Sampler<'a> {
+    env: &'a ExecEnv,
+    config: SamplerConfig,
+}
+
+impl<'a> Sampler<'a> {
+    /// Creates a sampler.
+    pub fn new(env: &'a ExecEnv, config: SamplerConfig) -> Self {
+        Sampler { env, config }
+    }
+
+    /// Estimates the sample matrix for a plan. Returns a prior-only matrix
+    /// when the plan has no scan or no semantic operators.
+    pub fn sample(&self, plan: &LogicalPlan) -> SampleMatrix {
+        let before_usage = self.env.llm.meter().snapshot();
+        let t0 = self.env.clock.now();
+
+        let lake = plan.ops().iter().find_map(|op| match op {
+            LogicalOp::Scan { lake, .. } => Some(Arc::clone(lake)),
+            _ => None,
+        });
+        let sample: Vec<Record> = match &lake {
+            Some(lake) if !lake.is_empty() => {
+                let n = lake.len();
+                let k = self.config.sample_records.clamp(1, n);
+                let stride = n / k;
+                (0..k)
+                    .map(|i| {
+                        let doc = &lake.docs()[(i * stride).min(n - 1)];
+                        Record::new(doc.name.clone())
+                            .with("filename", doc.name.clone())
+                            .with("contents", doc.text())
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+
+        let avg_record_tokens = if sample.is_empty() {
+            0.0
+        } else {
+            sample
+                .iter()
+                .map(|r| aida_llm::tokens::count(&subject_text(r)) as f64)
+                .sum::<f64>()
+                / sample.len() as f64
+        };
+
+        let mut ops = Vec::new();
+        let sem_indices = plan.semantic_indices();
+        if !sample.is_empty() && !sem_indices.is_empty() {
+            // Arms: (op, candidate model) for the two non-reference tiers.
+            let candidates = [ModelId::Mini, ModelId::Nano];
+            let arms: Vec<(usize, ModelId)> = sem_indices
+                .iter()
+                .flat_map(|&op| candidates.iter().map(move |&m| (op, m)))
+                .collect();
+
+            // Reference pass: flagship on every (op, sample record).
+            let mut references: BTreeMap<usize, Vec<ReferenceObs>> = BTreeMap::new();
+            for &op_idx in &sem_indices {
+                let op = &plan.ops()[op_idx];
+                let obs: Vec<ReferenceObs> = sample
+                    .iter()
+                    .map(|rec| self.observe(op, rec, lake.as_deref(), ModelId::Flagship))
+                    .collect();
+                references.insert(op_idx, obs);
+            }
+
+            // Per-op pull order: filter disagreements concentrate on the
+            // records the reference judges *positive* (a model that never
+            // sees a positive looks flawless), so visit those first.
+            let mut pull_order: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for &op_idx in &sem_indices {
+                let refs = &references[&op_idx];
+                let mut order: Vec<usize> = Vec::with_capacity(sample.len());
+                if matches!(plan.ops()[op_idx], LogicalOp::SemFilter { .. }) {
+                    order.extend((0..sample.len()).filter(|&i| refs[i].value.truthy()));
+                    order.extend((0..sample.len()).filter(|&i| !refs[i].value.truthy()));
+                } else {
+                    order.extend(0..sample.len());
+                }
+                pull_order.insert(op_idx, order);
+            }
+
+            // Bandit pass over candidate arms.
+            let mut bandit = Ucb1::new(arms.len());
+            let mut arm_obs: Vec<Vec<ReferenceObs>> = vec![Vec::new(); arms.len()];
+            let pulls = self.config.bandit_pulls.max(arms.len());
+            for _ in 0..pulls {
+                let arm = bandit.select();
+                let (op_idx, model) = arms[arm];
+                let op = &plan.ops()[op_idx];
+                let pull_no = arm_obs[arm].len();
+                let sample_idx = pull_order[&op_idx][pull_no % sample.len()];
+                let rec = &sample[sample_idx];
+                let obs = self.observe(op, rec, lake.as_deref(), model);
+                let reference = &references[&op_idx][sample_idx];
+                let reward = agreement(&obs.value, &reference.value, self.env);
+                bandit.update(arm, reward);
+                arm_obs[arm].push(obs);
+            }
+
+            // Assemble per-op estimates.
+            for &op_idx in &sem_indices {
+                let refs = &references[&op_idx];
+                let selectivity = match &plan.ops()[op_idx] {
+                    LogicalOp::SemFilter { .. } => {
+                        let trues = refs.iter().filter(|o| o.value.truthy()).count();
+                        // Laplace smoothing keeps estimates off the walls.
+                        (trues as f64 + 0.5) / (refs.len() as f64 + 1.0)
+                    }
+                    _ => 1.0,
+                };
+                let mut per_model = BTreeMap::new();
+                per_model.insert(
+                    ModelId::Flagship,
+                    ModelEstimate {
+                        quality: quality_prior(ModelId::Flagship),
+                        cost_per_record: mean(refs.iter().map(|o| o.cost)),
+                        time_per_record: mean(refs.iter().map(|o| o.latency)),
+                        observations: refs.len() as u64,
+                    },
+                );
+                for (arm, &(arm_op, model)) in arms.iter().enumerate() {
+                    if arm_op != op_idx {
+                        continue;
+                    }
+                    let stats = bandit.stats(arm);
+                    let obs = &arm_obs[arm];
+                    // Blend the (small-sample) measurement with the tier
+                    // prior so a handful of lucky pulls can't make a noisy
+                    // tier look flawless. PRIOR_WEIGHT pseudo-observations.
+                    const PRIOR_WEIGHT: f64 = 2.0;
+                    let blend = |mean: f64, pulls: u64| {
+                        (quality_prior(model) * PRIOR_WEIGHT + mean * pulls as f64)
+                            / (PRIOR_WEIGHT + pulls as f64)
+                    };
+                    let (quality, cost, latency, n) = if stats.pulls == 0 {
+                        // Never pulled: prior quality, cost scaled from the
+                        // flagship observation by the price ratio.
+                        let ratio = self.price_ratio(model);
+                        (
+                            quality_prior(model),
+                            mean(refs.iter().map(|o| o.cost)) * ratio,
+                            mean(refs.iter().map(|o| o.latency)) * 0.7,
+                            0,
+                        )
+                    } else {
+                        (
+                            blend(stats.mean(), stats.pulls),
+                            mean(obs.iter().map(|o| o.cost)),
+                            mean(obs.iter().map(|o| o.latency)),
+                            stats.pulls,
+                        )
+                    };
+                    per_model.insert(
+                        model,
+                        ModelEstimate {
+                            quality,
+                            cost_per_record: cost,
+                            time_per_record: latency,
+                            observations: n,
+                        },
+                    );
+                }
+                ops.push(OpEstimate { op_index: op_idx, selectivity, per_model });
+            }
+        }
+
+        let delta = self.env.llm.meter().snapshot().since(&before_usage);
+        SampleMatrix {
+            ops,
+            avg_record_tokens,
+            sampling_cost: delta.cost(self.env.llm.catalog()),
+            sampling_time: self.env.clock.now() - t0,
+        }
+    }
+
+    fn price_ratio(&self, model: ModelId) -> f64 {
+        let catalog = self.env.llm.catalog();
+        let f = catalog.spec(ModelId::Flagship).input_price;
+        (catalog.spec(model).input_price / f).max(1e-3)
+    }
+
+    fn observe(
+        &self,
+        op: &LogicalOp,
+        rec: &Record,
+        lake: Option<&aida_data::DataLake>,
+        model: ModelId,
+    ) -> ReferenceObs {
+        let origin = lake.and_then(|l| l.get(&rec.source)).map(Arc::as_ref);
+        let subject = Subject {
+            name: Cow::Borrowed(rec.source.as_str()),
+            text: Cow::Owned(subject_text(rec)),
+            labels: origin.map(|d| &d.labels),
+        };
+        let resp = match op {
+            LogicalOp::SemFilter { instruction } => self
+                .env
+                .llm
+                .invoke(model, &LlmTask::Filter { instruction, subject }),
+            LogicalOp::SemExtract { instruction, fields } => {
+                let field = fields.first();
+                self.env.llm.invoke(
+                    model,
+                    &LlmTask::Extract {
+                        instruction,
+                        field: field.map(|f| f.name.as_str()).unwrap_or("value"),
+                        field_desc: field.map(|f| f.desc.as_str()).unwrap_or(""),
+                        subject,
+                    },
+                )
+            }
+            LogicalOp::SemMap { instruction, target_tokens, .. } => self.env.llm.invoke(
+                model,
+                &LlmTask::Map { instruction, subject, target_tokens: *target_tokens },
+            ),
+            // Agg/join are sampled like maps over the record.
+            other => {
+                let instruction = other.instruction().unwrap_or("process the item");
+                self.env
+                    .llm
+                    .invoke(model, &LlmTask::Map { instruction, subject, target_tokens: 60 })
+            }
+        };
+        self.env.clock.advance(resp.latency_s * 0.25); // sampling overlaps with setup
+        let catalog = self.env.llm.catalog();
+        let cost = catalog.spec(model).cost(resp.input_tokens, resp.output_tokens);
+        ReferenceObs { value: resp.value, cost, latency: resp.latency_s }
+    }
+}
+
+#[derive(Clone)]
+struct ReferenceObs {
+    value: Value,
+    cost: f64,
+    latency: f64,
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Agreement between a candidate answer and the flagship reference.
+fn agreement(candidate: &Value, reference: &Value, env: &ExecEnv) -> f64 {
+    match (candidate, reference) {
+        (Value::Bool(a), Value::Bool(b)) => {
+            if a == b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        (Value::Str(a), Value::Str(b)) => {
+            let sim =
+                aida_llm::embed::cosine(&env.embedder.embed(a), &env.embedder.embed(b));
+            f64::from(sim).clamp(0.0, 1.0)
+        }
+        (a, b) => {
+            if a.loose_eq(b) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aida_data::{DataLake, Document};
+    use aida_llm::SimLlm;
+    use aida_semops::Dataset;
+
+    fn lake() -> DataLake {
+        DataLake::from_docs((0..20).map(|i| {
+            let relevant = i % 4 == 0;
+            let content = if relevant {
+                format!("report {i}: identity theft statistics for the year")
+            } else {
+                format!("report {i}: pipeline maintenance notes")
+            };
+            Document::new(format!("doc{i}.txt", ), content).with_label("difficulty", 0.6)
+        }))
+    }
+
+    fn sampled() -> SampleMatrix {
+        let env = ExecEnv::new(SimLlm::new(3));
+        let ds = Dataset::scan(&lake(), "docs").sem_filter("mentions identity theft");
+        Sampler::new(&env, SamplerConfig::default()).sample(ds.plan())
+    }
+
+    #[test]
+    fn matrix_covers_every_model_tier() {
+        let m = sampled();
+        assert_eq!(m.ops.len(), 1);
+        let op = &m.ops[0];
+        for model in ModelId::ALL {
+            assert!(op.per_model.contains_key(&model), "missing {model}");
+        }
+    }
+
+    #[test]
+    fn flagship_is_most_expensive_per_record() {
+        let m = sampled();
+        let op = &m.ops[0];
+        let f = op.per_model[&ModelId::Flagship].cost_per_record;
+        let n = op.per_model[&ModelId::Nano].cost_per_record;
+        assert!(f > n, "flagship {f} vs nano {n}");
+    }
+
+    #[test]
+    fn selectivity_reflects_data() {
+        let m = sampled();
+        // A quarter of documents are relevant; smoothing pulls toward 0.5.
+        let s = m.ops[0].selectivity;
+        assert!((0.05..=0.6).contains(&s), "selectivity {s}");
+    }
+
+    #[test]
+    fn sampling_bills_the_meter() {
+        let env = ExecEnv::new(SimLlm::new(3));
+        let ds = Dataset::scan(&lake(), "docs").sem_filter("mentions identity theft");
+        let m = Sampler::new(&env, SamplerConfig::default()).sample(ds.plan());
+        assert!(m.sampling_cost > 0.0);
+        assert!(m.sampling_time > 0.0);
+        assert!(env.llm.meter().snapshot().total_calls() > 0);
+    }
+
+    #[test]
+    fn noisy_tier_scores_lower_quality_on_hard_data() {
+        let m = sampled();
+        let op = &m.ops[0];
+        let nano = &op.per_model[&ModelId::Nano];
+        let flagship = &op.per_model[&ModelId::Flagship];
+        // Difficulty 0.6 data: nano disagrees with flagship noticeably.
+        assert!(
+            nano.quality <= flagship.quality + 1e-9,
+            "nano {} vs flagship {}",
+            nano.quality,
+            flagship.quality
+        );
+    }
+
+    #[test]
+    fn empty_plan_yields_prior_only_matrix() {
+        let env = ExecEnv::new(SimLlm::new(3));
+        let empty_lake = DataLake::new();
+        let ds = Dataset::scan(&empty_lake, "empty").sem_filter("anything");
+        let m = Sampler::new(&env, SamplerConfig::default()).sample(ds.plan());
+        assert!(m.ops.is_empty());
+        assert_eq!(m.avg_record_tokens, 0.0);
+    }
+
+    #[test]
+    fn priors_are_tier_ordered() {
+        assert!(quality_prior(ModelId::Flagship) > quality_prior(ModelId::Mini));
+        assert!(quality_prior(ModelId::Mini) > quality_prior(ModelId::Nano));
+    }
+}

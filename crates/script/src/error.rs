@@ -1,0 +1,93 @@
+//! Script errors.
+
+use std::fmt;
+
+/// An error raised while lexing, parsing, or executing a script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptError {
+    /// Tokenization failure.
+    Lex { line: usize, message: String },
+    /// Parse failure.
+    Parse { line: usize, message: String },
+    /// Runtime type error.
+    Type { line: usize, message: String },
+    /// Reference to an undefined name.
+    Name { line: usize, name: String },
+    /// Index/key error.
+    Index { line: usize, message: String },
+    /// Division by zero and friends.
+    Arithmetic { line: usize, message: String },
+    /// The fuel budget was exhausted (runaway program).
+    FuelExhausted,
+    /// Call-stack depth exceeded.
+    RecursionLimit,
+    /// A host function (tool) failed.
+    Host { message: String },
+}
+
+impl ScriptError {
+    /// A host-side error (for tool implementations).
+    pub fn host(message: impl Into<String>) -> Self {
+        ScriptError::Host { message: message.into() }
+    }
+
+    /// The source line the error was raised at, when known.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            ScriptError::Lex { line, .. }
+            | ScriptError::Parse { line, .. }
+            | ScriptError::Type { line, .. }
+            | ScriptError::Name { line, .. }
+            | ScriptError::Index { line, .. }
+            | ScriptError::Arithmetic { line, .. } => Some(*line),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::Lex { line, message } => write!(f, "lex error (line {line}): {message}"),
+            ScriptError::Parse { line, message } => {
+                write!(f, "syntax error (line {line}): {message}")
+            }
+            ScriptError::Type { line, message } => {
+                write!(f, "type error (line {line}): {message}")
+            }
+            ScriptError::Name { line, name } => {
+                write!(f, "name error (line {line}): '{name}' is not defined")
+            }
+            ScriptError::Index { line, message } => {
+                write!(f, "index error (line {line}): {message}")
+            }
+            ScriptError::Arithmetic { line, message } => {
+                write!(f, "arithmetic error (line {line}): {message}")
+            }
+            ScriptError::FuelExhausted => write!(f, "execution budget exhausted"),
+            ScriptError::RecursionLimit => write!(f, "maximum recursion depth exceeded"),
+            ScriptError::Host { message } => write!(f, "tool error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line_numbers() {
+        let e = ScriptError::Parse { line: 3, message: "unexpected token".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert_eq!(e.line(), Some(3));
+        assert_eq!(ScriptError::FuelExhausted.line(), None);
+    }
+
+    #[test]
+    fn host_constructor() {
+        let e = ScriptError::host("boom");
+        assert_eq!(e.to_string(), "tool error: boom");
+    }
+}

@@ -1,0 +1,672 @@
+//! Recursive-descent parser.
+//!
+//! Grammar (highest line wins):
+//!
+//! ```text
+//! program    := (stmt NEWLINE?)* EOF
+//! block      := NEWLINE INDENT stmt+ DEDENT
+//! stmt       := simple | if | while | for | def
+//! simple     := assign | augassign | return | break | continue | pass | expr
+//! expr       := or_expr
+//! or_expr    := and_expr ("or" and_expr)*
+//! and_expr   := not_expr ("and" not_expr)*
+//! not_expr   := "not" not_expr | comparison
+//! comparison := arith (("=="|"!="|"<"|"<="|">"|">="|"in"|"not in") arith)?
+//! arith      := term (("+"|"-") term)*
+//! term       := unary (("*"|"/"|"//"|"%") unary)*
+//! unary      := "-" unary | postfix
+//! postfix    := atom (call | index | slice | attr-call)*
+//! atom       := literal | name | "(" expr ")" | list | dict
+//! ```
+
+use crate::ast::*;
+use crate::error::ScriptError;
+use crate::lexer::{lex, Tok, Token};
+
+/// Parses Pyrite source into a [`Program`].
+pub fn parse(source: &str) -> Result<Program, ScriptError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn advance(&mut self) -> Tok {
+        let tok = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn eat(&mut self, expected: &Tok) -> bool {
+        if self.peek() == expected {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, expected: Tok, what: &str) -> Result<(), ScriptError> {
+        if self.peek() == &expected {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> ScriptError {
+        ScriptError::Parse { line: self.line(), message }
+    }
+
+    fn program(&mut self) -> Result<Program, ScriptError> {
+        let mut body = Vec::new();
+        while !matches!(self.peek(), Tok::Eof) {
+            if self.eat(&Tok::Newline) {
+                continue;
+            }
+            body.push(self.stmt()?);
+        }
+        Ok(Program { body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ScriptError> {
+        self.expect(Tok::Colon, "':'")?;
+        // Inline single-statement block: `if x: y = 1`
+        if !matches!(self.peek(), Tok::Newline) {
+            return Ok(vec![self.simple_stmt()?]);
+        }
+        self.expect(Tok::Newline, "newline")?;
+        self.expect(Tok::Indent, "an indented block")?;
+        let mut body = Vec::new();
+        while !matches!(self.peek(), Tok::Dedent | Tok::Eof) {
+            if self.eat(&Tok::Newline) {
+                continue;
+            }
+            body.push(self.stmt()?);
+        }
+        self.expect(Tok::Dedent, "dedent")?;
+        if body.is_empty() {
+            return Err(self.err("empty block".into()));
+        }
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ScriptError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::If => self.if_stmt(),
+            Tok::While => {
+                self.advance();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt { kind: StmtKind::While(cond, body), line })
+            }
+            Tok::For => {
+                self.advance();
+                let mut vars = vec![self.name("loop variable")?];
+                while self.eat(&Tok::Comma) {
+                    vars.push(self.name("loop variable")?);
+                }
+                self.expect(Tok::In, "'in'")?;
+                let iter = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt { kind: StmtKind::For(vars, iter, body), line })
+            }
+            Tok::Def => {
+                self.advance();
+                let name = self.name("function name")?;
+                self.expect(Tok::LParen, "'('")?;
+                let mut params = Vec::new();
+                while !matches!(self.peek(), Tok::RParen) {
+                    params.push(self.name("parameter")?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen, "')'")?;
+                let body = self.block()?;
+                Ok(Stmt { kind: StmtKind::Def(name, params, body), line })
+            }
+            _ => {
+                let stmt = self.simple_stmt()?;
+                // A simple statement at top level is terminated by a newline
+                // (already consumed by the caller loop when present).
+                Ok(stmt)
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ScriptError> {
+        let line = self.line();
+        self.expect(Tok::If, "'if'")?;
+        let mut arms = Vec::new();
+        let cond = self.expr()?;
+        let body = self.block()?;
+        arms.push((cond, body));
+        let mut else_body = None;
+        loop {
+            // Skip newlines between arms.
+            while self.eat(&Tok::Newline) {}
+            match self.peek() {
+                Tok::Elif => {
+                    self.advance();
+                    let cond = self.expr()?;
+                    let body = self.block()?;
+                    arms.push((cond, body));
+                }
+                Tok::Else => {
+                    self.advance();
+                    else_body = Some(self.block()?);
+                    break;
+                }
+                _ => break,
+            }
+        }
+        Ok(Stmt { kind: StmtKind::If(arms, else_body), line })
+    }
+
+    fn simple_stmt(&mut self) -> Result<Stmt, ScriptError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Return => {
+                self.advance();
+                let value = if matches!(self.peek(), Tok::Newline | Tok::Eof | Tok::Dedent) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                Ok(Stmt { kind: StmtKind::Return(value), line })
+            }
+            Tok::Break => {
+                self.advance();
+                Ok(Stmt { kind: StmtKind::Break, line })
+            }
+            Tok::Continue => {
+                self.advance();
+                Ok(Stmt { kind: StmtKind::Continue, line })
+            }
+            Tok::Pass => {
+                self.advance();
+                Ok(Stmt { kind: StmtKind::Pass, line })
+            }
+            _ => {
+                let expr = self.expr()?;
+                match self.peek() {
+                    Tok::Eq => {
+                        self.advance();
+                        let target = self.to_target(expr)?;
+                        let value = self.expr()?;
+                        Ok(Stmt { kind: StmtKind::Assign(target, value), line })
+                    }
+                    Tok::PlusEq | Tok::MinusEq => {
+                        let op = if matches!(self.peek(), Tok::PlusEq) {
+                            BinOp::Add
+                        } else {
+                            BinOp::Sub
+                        };
+                        self.advance();
+                        let target = self.to_target(expr)?;
+                        let value = self.expr()?;
+                        Ok(Stmt { kind: StmtKind::AugAssign(target, op, value), line })
+                    }
+                    _ => Ok(Stmt { kind: StmtKind::Expr(expr), line }),
+                }
+            }
+        }
+    }
+
+    fn to_target(&self, expr: Expr) -> Result<Target, ScriptError> {
+        match expr.kind {
+            ExprKind::Name(name) => Ok(Target::Name(name)),
+            ExprKind::Index(obj, key) => Ok(Target::Index(*obj, *key)),
+            _ => Err(ScriptError::Parse {
+                line: expr.line,
+                message: "invalid assignment target".into(),
+            }),
+        }
+    }
+
+    fn name(&mut self, what: &str) -> Result<String, ScriptError> {
+        match self.peek().clone() {
+            Tok::Name(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ScriptError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ScriptError> {
+        let mut left = self.and_expr()?;
+        while matches!(self.peek(), Tok::Or) {
+            let line = self.line();
+            self.advance();
+            let right = self.and_expr()?;
+            left = Expr {
+                kind: ExprKind::Binary(BinOp::Or, Box::new(left), Box::new(right)),
+                line,
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ScriptError> {
+        let mut left = self.not_expr()?;
+        while matches!(self.peek(), Tok::And) {
+            let line = self.line();
+            self.advance();
+            let right = self.not_expr()?;
+            left = Expr {
+                kind: ExprKind::Binary(BinOp::And, Box::new(left), Box::new(right)),
+                line,
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ScriptError> {
+        if matches!(self.peek(), Tok::Not) {
+            let line = self.line();
+            self.advance();
+            let operand = self.not_expr()?;
+            return Ok(Expr { kind: ExprKind::Unary(UnaryOp::Not, Box::new(operand)), line });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ScriptError> {
+        let left = self.arith()?;
+        let line = self.line();
+        let op = match self.peek() {
+            Tok::EqEq => Some(BinOp::Eq),
+            Tok::NotEq => Some(BinOp::NotEq),
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::LtEq => Some(BinOp::LtEq),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::GtEq => Some(BinOp::GtEq),
+            Tok::In => Some(BinOp::In),
+            Tok::Not => {
+                // `not in`
+                self.advance();
+                if !self.eat(&Tok::In) {
+                    return Err(self.err("expected 'in' after 'not'".into()));
+                }
+                let right = self.arith()?;
+                return Ok(Expr {
+                    kind: ExprKind::Binary(BinOp::NotIn, Box::new(left), Box::new(right)),
+                    line,
+                });
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.arith()?;
+            return Ok(Expr {
+                kind: ExprKind::Binary(op, Box::new(left), Box::new(right)),
+                line,
+            });
+        }
+        Ok(left)
+    }
+
+    fn arith(&mut self) -> Result<Expr, ScriptError> {
+        let mut left = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let line = self.line();
+            self.advance();
+            let right = self.term()?;
+            left = Expr { kind: ExprKind::Binary(op, Box::new(left), Box::new(right)), line };
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<Expr, ScriptError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::DoubleSlash => BinOp::FloorDiv,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            let line = self.line();
+            self.advance();
+            let right = self.unary()?;
+            left = Expr { kind: ExprKind::Binary(op, Box::new(left), Box::new(right)), line };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ScriptError> {
+        if matches!(self.peek(), Tok::Minus) {
+            let line = self.line();
+            self.advance();
+            let operand = self.unary()?;
+            return Ok(Expr { kind: ExprKind::Unary(UnaryOp::Neg, Box::new(operand)), line });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ScriptError> {
+        let mut expr = self.atom()?;
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Tok::LParen => {
+                    self.advance();
+                    let args = self.call_args()?;
+                    expr = Expr { kind: ExprKind::Call(Box::new(expr), args), line };
+                }
+                Tok::LBracket => {
+                    self.advance();
+                    // Either index or slice.
+                    let lo = if matches!(self.peek(), Tok::Colon) {
+                        None
+                    } else {
+                        Some(Box::new(self.expr()?))
+                    };
+                    if self.eat(&Tok::Colon) {
+                        let hi = if matches!(self.peek(), Tok::RBracket) {
+                            None
+                        } else {
+                            Some(Box::new(self.expr()?))
+                        };
+                        self.expect(Tok::RBracket, "']'")?;
+                        expr = Expr { kind: ExprKind::Slice(Box::new(expr), lo, hi), line };
+                    } else {
+                        let key = lo.ok_or_else(|| self.err("empty subscript".into()))?;
+                        self.expect(Tok::RBracket, "']'")?;
+                        expr = Expr { kind: ExprKind::Index(Box::new(expr), key), line };
+                    }
+                }
+                Tok::Dot => {
+                    self.advance();
+                    let method = self.name("method name")?;
+                    self.expect(Tok::LParen, "'(' after method name")?;
+                    let args = self.call_args()?;
+                    expr = Expr {
+                        kind: ExprKind::MethodCall(Box::new(expr), method, args),
+                        line,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ScriptError> {
+        let mut args = Vec::new();
+        while !matches!(self.peek(), Tok::RParen) {
+            args.push(self.expr()?);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen, "')'")?;
+        Ok(args)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ScriptError> {
+        let line = self.line();
+        let kind = match self.advance() {
+            Tok::Int(v) => ExprKind::Int(v),
+            Tok::Float(v) => ExprKind::Float(v),
+            Tok::Str(s) => ExprKind::Str(s),
+            Tok::True => ExprKind::Bool(true),
+            Tok::False => ExprKind::Bool(false),
+            Tok::None => ExprKind::None,
+            Tok::Name(name) => ExprKind::Name(name),
+            Tok::LParen => {
+                let inner = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                return Ok(inner);
+            }
+            Tok::LBracket => {
+                if matches!(self.peek(), Tok::RBracket) {
+                    self.advance();
+                    return Ok(Expr { kind: ExprKind::List(Vec::new()), line });
+                }
+                let first = self.expr()?;
+                if matches!(self.peek(), Tok::For) {
+                    // List comprehension.
+                    self.advance();
+                    let mut vars = vec![self.name("loop variable")?];
+                    while self.eat(&Tok::Comma) {
+                        vars.push(self.name("loop variable")?);
+                    }
+                    self.expect(Tok::In, "'in'")?;
+                    let iterable = self.expr()?;
+                    let condition = if matches!(self.peek(), Tok::If) {
+                        self.advance();
+                        Some(Box::new(self.expr()?))
+                    } else {
+                        None
+                    };
+                    self.expect(Tok::RBracket, "']'")?;
+                    return Ok(Expr {
+                        kind: ExprKind::ListComp {
+                            element: Box::new(first),
+                            vars,
+                            iterable: Box::new(iterable),
+                            condition,
+                        },
+                        line,
+                    });
+                }
+                let mut items = vec![first];
+                while self.eat(&Tok::Comma) {
+                    if matches!(self.peek(), Tok::RBracket) {
+                        break;
+                    }
+                    items.push(self.expr()?);
+                }
+                self.expect(Tok::RBracket, "']'")?;
+                ExprKind::List(items)
+            }
+            Tok::LBrace => {
+                let mut pairs = Vec::new();
+                while !matches!(self.peek(), Tok::RBrace) {
+                    let key = self.expr()?;
+                    self.expect(Tok::Colon, "':'")?;
+                    let value = self.expr()?;
+                    pairs.push((key, value));
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBrace, "'}'")?;
+                ExprKind::Dict(pairs)
+            }
+            other => {
+                return Err(ScriptError::Parse {
+                    line,
+                    message: format!("unexpected token {other:?}"),
+                })
+            }
+        };
+        Ok(Expr { kind, line })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_assignment_and_expression() {
+        let p = parse("x = 1 + 2 * 3").unwrap();
+        assert_eq!(p.body.len(), 1);
+        match &p.body[0].kind {
+            StmtKind::Assign(Target::Name(n), value) => {
+                assert_eq!(n, "x");
+                // Precedence: 1 + (2 * 3)
+                match &value.kind {
+                    ExprKind::Binary(BinOp::Add, _, rhs) => {
+                        assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_elif_else() {
+        let src = "if x > 1:\n    a = 1\nelif x > 0:\n    a = 2\nelse:\n    a = 3";
+        let p = parse(src).unwrap();
+        match &p.body[0].kind {
+            StmtKind::If(arms, else_body) => {
+                assert_eq!(arms.len(), 2);
+                assert!(else_body.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_blocks() {
+        let src = "for f in files:\n    if f == target:\n        found = f\n        break";
+        let p = parse(src).unwrap();
+        match &p.body[0].kind {
+            StmtKind::For(vars, _, body) => {
+                assert_eq!(vars, &vec!["f".to_string()]);
+                assert!(matches!(body[0].kind, StmtKind::If(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_def_and_return() {
+        let src = "def ratio(a, b):\n    return a / b";
+        let p = parse(src).unwrap();
+        match &p.body[0].kind {
+            StmtKind::Def(name, params, body) => {
+                assert_eq!(name, "ratio");
+                assert_eq!(params, &vec!["a".to_string(), "b".to_string()]);
+                assert!(matches!(body[0].kind, StmtKind::Return(Some(_))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_method_calls_and_chains() {
+        let p = parse("s.lower().split(\",\")").unwrap();
+        match &p.body[0].kind {
+            StmtKind::Expr(e) => match &e.kind {
+                ExprKind::MethodCall(obj, m, args) => {
+                    assert_eq!(m, "split");
+                    assert_eq!(args.len(), 1);
+                    assert!(matches!(obj.kind, ExprKind::MethodCall(_, _, _)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_index_and_slice() {
+        let p = parse("a[0]\nb[1:3]\nc[:2]\nd[2:]").unwrap();
+        assert!(matches!(
+            p.body[0].kind,
+            StmtKind::Expr(Expr { kind: ExprKind::Index(_, _), .. })
+        ));
+        for stmt in &p.body[1..] {
+            assert!(matches!(
+                stmt.kind,
+                StmtKind::Expr(Expr { kind: ExprKind::Slice(_, _, _), .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn parses_in_and_not_in() {
+        let p = parse("x = \"a\" in s and \"b\" not in s").unwrap();
+        match &p.body[0].kind {
+            StmtKind::Assign(_, e) => match &e.kind {
+                ExprKind::Binary(BinOp::And, l, r) => {
+                    assert!(matches!(l.kind, ExprKind::Binary(BinOp::In, _, _)));
+                    assert!(matches!(r.kind, ExprKind::Binary(BinOp::NotIn, _, _)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_index_assignment() {
+        let p = parse("d[\"k\"] = 5\nd[\"k\"] += 1").unwrap();
+        assert!(matches!(p.body[0].kind, StmtKind::Assign(Target::Index(_, _), _)));
+        assert!(matches!(
+            p.body[1].kind,
+            StmtKind::AugAssign(Target::Index(_, _), BinOp::Add, _)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_assignment_target() {
+        assert!(parse("1 = 2").is_err());
+        assert!(parse("f() = 2").is_err());
+    }
+
+    #[test]
+    fn parses_dict_and_list_literals() {
+        let p = parse("x = {\"a\": 1, \"b\": [1, 2]}").unwrap();
+        match &p.body[0].kind {
+            StmtKind::Assign(_, e) => assert!(matches!(e.kind, ExprKind::Dict(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_inline_block() {
+        let p = parse("if x: y = 1").unwrap();
+        match &p.body[0].kind {
+            StmtKind::If(arms, _) => assert_eq!(arms[0].1.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_block_is_error() {
+        assert!(parse("if x:\n").is_err());
+    }
+
+    #[test]
+    fn unary_minus_and_not() {
+        let p = parse("y = -x + 1\nz = not flag").unwrap();
+        assert_eq!(p.body.len(), 2);
+    }
+}

@@ -1,0 +1,745 @@
+//! The semantic-operator execution engine.
+//!
+//! Iterator semantics with batched parallelism: every operator consumes its
+//! full input batch, fanning LLM calls across `parallelism` workers. Wall
+//! time is accounted on the shared virtual clock as the batch's critical
+//! path (`ceil(n / parallelism)` waves); dollars flow through the shared
+//! usage meter, snapshotted per operator.
+
+use crate::physical::{PhysicalPlan, PhysicalStep};
+use crate::plan::LogicalOp;
+use crate::stats::{OperatorStats, PlanStats};
+use aida_data::{DataLake, Record, Value};
+use aida_llm::oracle::Subject;
+use aida_llm::{Embedder, LlmTask, SimClock, SimLlm};
+use std::borrow::Cow;
+use std::sync::Arc;
+
+/// Shared execution environment.
+#[derive(Debug, Clone)]
+pub struct ExecEnv {
+    /// The (simulated) LLM service; carries the usage meter and oracle.
+    pub llm: SimLlm,
+    /// The virtual clock.
+    pub clock: SimClock,
+    /// Embedder for proxy-scored operators (top-k).
+    pub embedder: Embedder,
+}
+
+impl ExecEnv {
+    /// Creates an environment around an LLM service.
+    pub fn new(llm: SimLlm) -> Self {
+        ExecEnv { llm, clock: SimClock::new(), embedder: Embedder::default() }
+    }
+}
+
+/// The result of executing a physical plan.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Output records.
+    pub records: Vec<Record>,
+    /// Per-operator statistics.
+    pub stats: PlanStats,
+}
+
+impl ExecutionReport {
+    /// Total dollars spent by the plan.
+    pub fn cost(&self) -> f64 {
+        self.stats.total_cost()
+    }
+
+    /// Total virtual seconds consumed by the plan.
+    pub fn time(&self) -> f64 {
+        self.stats.total_time()
+    }
+}
+
+/// Executes physical plans against an environment.
+pub struct Executor<'a> {
+    env: &'a ExecEnv,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor.
+    pub fn new(env: &'a ExecEnv) -> Self {
+        Executor { env }
+    }
+
+    /// Runs the plan to completion.
+    pub fn execute(&self, plan: &PhysicalPlan) -> ExecutionReport {
+        let mut records: Vec<Record> = Vec::new();
+        let mut lake: Option<Arc<DataLake>> = None;
+        let mut stats = PlanStats::default();
+        for step in &plan.steps {
+            let rows_in = records.len();
+            let before = self.env.llm.meter().snapshot();
+            let t0 = self.env.clock.now();
+            records = self.run_step(step, records, &mut lake, plan.parallelism);
+            let delta = self.env.llm.meter().snapshot().since(&before);
+            stats.operators.push(OperatorStats {
+                op: step.op.name().to_string(),
+                model: step.op.is_semantic().then(|| step.model.name().to_string()),
+                rows_in,
+                rows_out: records.len(),
+                calls: delta.total_calls() as usize,
+                cost_usd: delta.cost(self.env.llm.catalog()),
+                time_s: self.env.clock.now() - t0,
+            });
+        }
+        ExecutionReport { records, stats }
+    }
+
+    fn run_step(
+        &self,
+        step: &PhysicalStep,
+        records: Vec<Record>,
+        lake: &mut Option<Arc<DataLake>>,
+        parallelism: usize,
+    ) -> Vec<Record> {
+        match &step.op {
+            LogicalOp::Scan { lake: source, label: _ } => {
+                *lake = Some(Arc::clone(source));
+                // Reading files is ~free next to LLM calls; charge a small
+                // fixed I/O latency per wave.
+                self.env
+                    .clock
+                    .advance_parallel(0.002 * source.len() as f64, source.len().max(1), parallelism);
+                source
+                    .docs()
+                    .iter()
+                    .map(|doc| {
+                        Record::new(doc.name.clone())
+                            .with("filename", doc.name.clone())
+                            .with("contents", doc.text())
+                    })
+                    .collect()
+            }
+            LogicalOp::SemFilter { instruction } => {
+                let verdicts = self.parallel_llm(
+                    &records,
+                    lake.as_deref(),
+                    parallelism,
+                    |llm, subject| {
+                        llm.invoke(
+                            step.model,
+                            &LlmTask::Filter { instruction, subject },
+                        )
+                    },
+                );
+                records
+                    .into_iter()
+                    .zip(verdicts)
+                    .filter(|(_, v)| v.truthy())
+                    .map(|(r, _)| r)
+                    .collect()
+            }
+            LogicalOp::SemExtract { instruction, fields } => {
+                let mut out = records;
+                // One LLM pass per extracted field (documented API shape).
+                for field in fields {
+                    let values = self.parallel_llm(
+                        &out,
+                        lake.as_deref(),
+                        parallelism,
+                        |llm, subject| {
+                            llm.invoke(
+                                step.model,
+                                &LlmTask::Extract {
+                                    instruction,
+                                    field: &field.name,
+                                    field_desc: &field.desc,
+                                    subject,
+                                },
+                            )
+                        },
+                    );
+                    for (rec, value) in out.iter_mut().zip(values) {
+                        rec.set(field.name.clone(), value);
+                    }
+                }
+                out
+            }
+            LogicalOp::SemMap { instruction, output, target_tokens } => {
+                let values = self.parallel_llm(
+                    &records,
+                    lake.as_deref(),
+                    parallelism,
+                    |llm, subject| {
+                        llm.invoke(
+                            step.model,
+                            &LlmTask::Map { instruction, subject, target_tokens: *target_tokens },
+                        )
+                    },
+                );
+                let mut out = records;
+                for (rec, value) in out.iter_mut().zip(values) {
+                    rec.set(output.clone(), value);
+                }
+                out
+            }
+            LogicalOp::SemAgg { instruction } => {
+                // Aggregate over (bounded) renders of every record.
+                let mut combined = String::new();
+                for rec in records.iter().take(200) {
+                    let render = rec.render();
+                    let take = render.len().min(600);
+                    combined.push_str(&render[..floor_char_boundary(&render, take)]);
+                    combined.push('\n');
+                }
+                let subject = Subject::text_only("aggregate-input", &combined);
+                let resp = self.env.llm.invoke(
+                    step.model,
+                    &LlmTask::Map { instruction, subject, target_tokens: 120 },
+                );
+                self.env.clock.advance(resp.latency_s);
+                vec![Record::new("sem_agg").with("answer", resp.value)]
+            }
+            LogicalOp::SemTopK { query, k } => {
+                let q = self.env.embedder.embed(query);
+                let mut scored: Vec<(f32, Record)> = records
+                    .into_iter()
+                    .map(|rec| {
+                        let text = subject_text(&rec);
+                        let score = aida_llm::embed::cosine(&q, &self.env.embedder.embed(&text));
+                        (score, rec)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                scored.truncate(*k);
+                // Proxy scoring is cheap but not free: small per-record time.
+                let n = scored.len().max(1);
+                self.env.clock.advance_parallel(0.003 * n as f64, n, parallelism);
+                scored.into_iter().map(|(_, r)| r).collect()
+            }
+            LogicalOp::SemGroupBy { instruction, k } => {
+                if records.is_empty() {
+                    return records;
+                }
+                let k = (*k).clamp(1, records.len());
+                // Embed every record and run a few Lloyd iterations.
+                let vectors: Vec<Vec<f32>> = records
+                    .iter()
+                    .map(|rec| self.env.embedder.embed(&subject_text(rec)))
+                    .collect();
+                let assignments = kmeans_assign(&vectors, k);
+                // One labelling call per cluster over a bounded sample of
+                // its members.
+                let mut labels: Vec<String> = Vec::with_capacity(k);
+                let mut total_latency = 0.0;
+                for cluster in 0..k {
+                    let mut sample = String::new();
+                    for (rec, &a) in records.iter().zip(&assignments) {
+                        if a == cluster && sample.len() < 1_500 {
+                            let text = subject_text(rec);
+                            let take = text.len().min(300);
+                            sample.push_str(&text[..floor_char_boundary(&text, take)]);
+                            sample.push('\n');
+                        }
+                    }
+                    if sample.is_empty() {
+                        labels.push(format!("group {cluster}"));
+                        continue;
+                    }
+                    let prompt = format!(
+                        "name the common theme of these items, with respect to: {instruction}"
+                    );
+                    let subject = Subject::text_only("groupby-cluster", &sample);
+                    let resp = self.env.llm.invoke(
+                        step.model,
+                        &LlmTask::Map { instruction: &prompt, subject, target_tokens: 12 },
+                    );
+                    total_latency += resp.latency_s;
+                    labels.push(resp.text);
+                }
+                self.env.clock.advance_parallel(total_latency, k, parallelism);
+                let mut out = records;
+                for (rec, a) in out.iter_mut().zip(assignments) {
+                    rec.set("group", Value::Str(labels[a].clone()));
+                }
+                out
+            }
+            LogicalOp::SemJoin { instruction, right } => {
+                // Materialize the right side with the same model/parallelism.
+                let right_plan = PhysicalPlan::uniform(right, step.model, parallelism);
+                let right_report = self.execute(&right_plan);
+                let mut out = Vec::new();
+                // Quadratic NL-predicate join.
+                let mut pair_subjects: Vec<(usize, usize, String)> = Vec::new();
+                for (i, l) in records.iter().enumerate() {
+                    for (j, r) in right_report.records.iter().enumerate() {
+                        pair_subjects.push((
+                            i,
+                            j,
+                            format!("LEFT: {}\nRIGHT: {}", subject_text(l), subject_text(r)),
+                        ));
+                    }
+                }
+                let verdicts = parallel_map(&pair_subjects, parallelism, |(_, _, text)| {
+                    let subject = Subject::text_only("join-pair", text);
+                    self.env
+                        .llm
+                        .invoke(step.model, &LlmTask::Filter { instruction, subject })
+                });
+                let total_latency: f64 = verdicts.iter().map(|r| r.latency_s).sum();
+                self.env
+                    .clock
+                    .advance_parallel(total_latency, verdicts.len(), parallelism);
+                for ((i, j, _), verdict) in pair_subjects.iter().zip(&verdicts) {
+                    if verdict.value.truthy() {
+                        let mut merged = records[*i].clone();
+                        for (name, value) in right_report.records[*j].iter() {
+                            merged.set(format!("right_{name}"), value.clone());
+                        }
+                        out.push(merged);
+                    }
+                }
+                out
+            }
+            LogicalOp::Project { columns } => {
+                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                records.iter().map(|r| r.project(&cols)).collect()
+            }
+            LogicalOp::Limit { n } => records.into_iter().take(*n).collect(),
+            LogicalOp::Count => {
+                vec![Record::new("count").with("count", Value::Int(records.len() as i64))]
+            }
+        }
+    }
+
+    /// Runs one LLM call per record across workers, advancing the clock by
+    /// the batch critical path; returns per-record values in input order.
+    fn parallel_llm<F>(
+        &self,
+        records: &[Record],
+        lake: Option<&DataLake>,
+        parallelism: usize,
+        call: F,
+    ) -> Vec<Value>
+    where
+        F: Fn(&SimLlm, Subject<'_>) -> aida_llm::LlmResponse + Sync,
+    {
+        let llm = &self.env.llm;
+        let responses = parallel_map(records, parallelism, |rec| {
+            let origin = lake.and_then(|l| l.get(&rec.source)).map(Arc::as_ref);
+            let subject = Subject {
+                name: Cow::Borrowed(rec.source.as_str()),
+                text: Cow::Owned(subject_text(rec)),
+                labels: origin.map(|d| &d.labels),
+            };
+            call(llm, subject)
+        });
+        let total_latency: f64 = responses.iter().map(|r| r.latency_s).sum();
+        self.env
+            .clock
+            .advance_parallel(total_latency, responses.len(), parallelism);
+        responses.into_iter().map(|r| r.value).collect()
+    }
+}
+
+/// The text a model "reads" for a record: the raw document contents when
+/// the record still carries them, otherwise the rendered fields.
+pub fn subject_text(rec: &Record) -> String {
+    match rec.get("contents") {
+        Some(Value::Str(contents)) => contents.clone(),
+        _ => rec.render(),
+    }
+}
+
+fn floor_char_boundary(s: &str, mut idx: usize) -> usize {
+    idx = idx.min(s.len());
+    while idx > 0 && !s.is_char_boundary(idx) {
+        idx -= 1;
+    }
+    idx
+}
+
+/// Deterministic k-means assignment (Lloyd's algorithm, 6 iterations,
+/// farthest-point initialization) used by the semantic group-by.
+fn kmeans_assign(vectors: &[Vec<f32>], k: usize) -> Vec<usize> {
+    // Farthest-point initialization (deterministic k-means++ flavour):
+    // start from the first vector, then repeatedly add the point farthest
+    // from its nearest chosen centroid.
+    let mut centroids: Vec<Vec<f32>> = vec![vectors[0].clone()];
+    while centroids.len() < k {
+        let (mut best_i, mut best_d) = (0usize, -1.0f32);
+        for (i, v) in vectors.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .map(|c| aida_llm::embed::l2_sq(v, c))
+                .fold(f32::INFINITY, f32::min);
+            if nearest > best_d {
+                best_d = nearest;
+                best_i = i;
+            }
+        }
+        centroids.push(vectors[best_i].clone());
+    }
+    let mut assignments = vec![0usize; vectors.len()];
+    for _ in 0..6 {
+        for (i, v) in vectors.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = aida_llm::embed::l2_sq(v, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignments[i] = best;
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<&Vec<f32>> = vectors
+                .iter()
+                .zip(&assignments)
+                .filter(|(_, &a)| a == c)
+                .map(|(v, _)| v)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            for (dim, slot) in centroid.iter_mut().enumerate() {
+                *slot = members.iter().map(|m| m[dim]).sum::<f32>() / members.len() as f32;
+            }
+        }
+    }
+    assignments
+}
+
+/// Deterministic fork-join map: splits `items` into `parallelism` chunks,
+/// processes them on scoped threads, and returns results in input order.
+pub fn parallel_map<T, R, F>(items: &[T], parallelism: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let p = parallelism.clamp(1, 32);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if p == 1 || items.len() == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(p);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let mut slots: &mut [Option<R>] = &mut results;
+    std::thread::scope(|scope| {
+        let mut offset = 0usize;
+        let mut handles = Vec::new();
+        while offset < items.len() {
+            let end = (offset + chunk).min(items.len());
+            let (head, tail) = slots.split_at_mut(end - offset);
+            slots = tail;
+            let batch = &items[offset..end];
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                for (slot, item) in head.iter_mut().zip(batch) {
+                    *slot = Some(f(item));
+                }
+            }));
+            offset = end;
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    });
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use aida_data::{DataLake, Document, Field};
+    use aida_llm::ModelId;
+
+    fn env() -> ExecEnv {
+        ExecEnv::new(SimLlm::new(7))
+    }
+
+    fn theft_lake() -> DataLake {
+        DataLake::from_docs([
+            Document::new("national.csv", "year,identity_theft_reports\n2001,86250\n2005,200000\n2024,1135291\n")
+                .with_label("difficulty", 0.0),
+            Document::new("pipeline.txt", "natural gas pipeline maintenance schedule")
+                .with_label("difficulty", 0.0),
+            Document::new("trends.txt", "identity theft trends rose through 2024")
+                .with_label("difficulty", 0.0),
+        ])
+    }
+
+    #[test]
+    fn scan_produces_filename_and_contents() {
+        let env = env();
+        let ds = Dataset::scan(&theft_lake(), "lake");
+        let plan = PhysicalPlan::default_for(ds.plan());
+        let report = Executor::new(&env).execute(&plan);
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(
+            report.records[0].get("filename"),
+            Some(&Value::Str("national.csv".into()))
+        );
+        assert!(report.records[0].get("contents").is_some());
+    }
+
+    #[test]
+    fn filter_keeps_matching_records_and_bills() {
+        let env = env();
+        let ds = Dataset::scan(&theft_lake(), "lake").sem_filter("mentions identity theft");
+        let plan = PhysicalPlan::default_for(ds.plan());
+        let report = Executor::new(&env).execute(&plan);
+        let names: Vec<&str> = report.records.iter().map(|r| r.source.as_str()).collect();
+        assert!(names.contains(&"national.csv"));
+        assert!(names.contains(&"trends.txt"));
+        assert!(!names.contains(&"pipeline.txt"));
+        assert!(report.cost() > 0.0);
+        assert!(report.time() > 0.0);
+        // Filter stats: 3 in, 2 out, 3 calls.
+        let filter = &report.stats.operators[1];
+        assert_eq!(filter.rows_in, 3);
+        assert_eq!(filter.rows_out, 2);
+        assert_eq!(filter.calls, 3);
+    }
+
+    #[test]
+    fn extract_reads_table_values() {
+        let env = env();
+        let ds = Dataset::scan(&theft_lake(), "lake")
+            .sem_filter("mentions identity theft reports by year in a table")
+            .sem_extract(
+                "find the number of identity theft reports in 2024",
+                vec![Field::described("thefts_2024", "identity theft reports in 2024")],
+            );
+        let plan = PhysicalPlan::default_for(ds.plan());
+        let report = Executor::new(&env).execute(&plan);
+        let national = report
+            .records
+            .iter()
+            .find(|r| r.source == "national.csv")
+            .expect("national file survives filter");
+        assert_eq!(national.get("thefts_2024"), Some(&Value::Int(1_135_291)));
+    }
+
+    #[test]
+    fn map_adds_summary_field() {
+        let env = env();
+        let ds = Dataset::scan(&theft_lake(), "lake").sem_map("summarize", "summary", 20);
+        let plan = PhysicalPlan::default_for(ds.plan());
+        let report = Executor::new(&env).execute(&plan);
+        for rec in &report.records {
+            let summary = rec.get("summary").unwrap().as_str().unwrap();
+            assert!(!summary.is_empty());
+        }
+    }
+
+    #[test]
+    fn agg_reduces_to_single_answer() {
+        let env = env();
+        let ds = Dataset::scan(&theft_lake(), "lake").sem_agg("how many files mention theft");
+        let plan = PhysicalPlan::default_for(ds.plan());
+        let report = Executor::new(&env).execute(&plan);
+        assert_eq!(report.records.len(), 1);
+        assert!(report.records[0].get("answer").is_some());
+    }
+
+    #[test]
+    fn topk_keeps_most_relevant_without_llm_cost() {
+        let env = env();
+        let ds = Dataset::scan(&theft_lake(), "lake").sem_topk("identity theft statistics", 1);
+        let plan = PhysicalPlan::default_for(ds.plan());
+        let before = env.llm.meter().snapshot();
+        let report = Executor::new(&env).execute(&plan);
+        assert_eq!(report.records.len(), 1);
+        assert_ne!(report.records[0].source, "pipeline.txt");
+        let delta = env.llm.meter().snapshot().since(&before);
+        assert_eq!(delta.total_calls(), 0, "top-k is proxy scored");
+    }
+
+    #[test]
+    fn group_by_labels_semantic_clusters() {
+        let env = env();
+        let lake = DataLake::from_docs([
+            Document::new("t1.txt", "identity theft reports fraud statistics consumer sentinel"),
+            Document::new("t2.txt", "identity theft reports fraud statistics yearly trends"),
+            Document::new("g1.txt", "natural gas pipeline maintenance schedule compressor station"),
+            Document::new("g2.txt", "natural gas pipeline maintenance schedule capacity notes"),
+        ]);
+        let ds = Dataset::scan(&lake, "docs").sem_group_by("topic of the document", 2);
+        let report = Executor::new(&env).execute(&PhysicalPlan::default_for(ds.plan()));
+        assert_eq!(report.records.len(), 4);
+        // Every record gets a group label; the theft docs share one and the
+        // gas docs share the other.
+        let group_of = |name: &str| {
+            report
+                .records
+                .iter()
+                .find(|r| r.source == name)
+                .and_then(|r| r.get("group"))
+                .cloned()
+                .unwrap()
+        };
+        assert_eq!(group_of("t1.txt"), group_of("t2.txt"));
+        assert_eq!(group_of("g1.txt"), group_of("g2.txt"));
+        assert_ne!(group_of("t1.txt"), group_of("g1.txt"));
+        // One labelling call per cluster.
+        let gb = report
+            .stats
+            .operators
+            .iter()
+            .find(|o| o.op == "sem_groupby")
+            .unwrap();
+        assert_eq!(gb.calls, 2);
+    }
+
+    #[test]
+    fn group_by_handles_degenerate_inputs() {
+        let env = env();
+        let lake = DataLake::from_docs([Document::new("only.txt", "one document")]);
+        let ds = Dataset::scan(&lake, "docs").sem_group_by("topic", 5);
+        let report = Executor::new(&env).execute(&PhysicalPlan::default_for(ds.plan()));
+        assert_eq!(report.records.len(), 1);
+        assert!(report.records[0].get("group").is_some());
+        // Empty input passes through untouched.
+        let empty = DataLake::new();
+        let ds = Dataset::scan(&empty, "docs").sem_group_by("topic", 3);
+        let report = Executor::new(&env).execute(&PhysicalPlan::default_for(ds.plan()));
+        assert!(report.records.is_empty());
+    }
+
+    #[test]
+    fn join_merges_matching_pairs() {
+        let env = env();
+        let left_lake = DataLake::from_docs([
+            Document::new("q1.txt", "identity theft question"),
+            Document::new("q2.txt", "pipeline maintenance question"),
+        ]);
+        let left = Dataset::scan(&left_lake, "questions");
+        let right = Dataset::scan(&theft_lake(), "docs");
+        let ds = left.sem_join(
+            "the left item and right item discuss identity theft topics",
+            &right,
+        );
+        let plan = PhysicalPlan::uniform(ds.plan(), ModelId::Flagship, 4);
+        let report = Executor::new(&env).execute(&plan);
+        // Matching pairs carry fields from both sides.
+        assert!(report.records.iter().any(|r| r.get("right_filename").is_some()));
+    }
+
+    #[test]
+    fn project_limit_count() {
+        let env = env();
+        let ds = Dataset::scan(&theft_lake(), "lake").project(&["filename"]).limit(2).count();
+        let plan = PhysicalPlan::default_for(ds.plan());
+        let report = Executor::new(&env).execute(&plan);
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.records[0].get("count"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn parallelism_reduces_virtual_time_not_results() {
+        let lake = theft_lake();
+        let run = |parallelism: usize| {
+            let env = ExecEnv::new(SimLlm::new(7));
+            let ds = Dataset::scan(&lake, "lake").sem_filter("mentions identity theft");
+            let plan = PhysicalPlan::uniform(ds.plan(), ModelId::Flagship, parallelism);
+            let report = Executor::new(&env).execute(&plan);
+            (
+                report
+                    .records
+                    .iter()
+                    .map(|r| r.source.clone())
+                    .collect::<Vec<_>>(),
+                report.time(),
+            )
+        };
+        let (seq_records, seq_time) = run(1);
+        let (par_records, par_time) = run(3);
+        assert_eq!(seq_records, par_records, "parallelism must not change results");
+        assert!(par_time < seq_time, "parallel {par_time} vs sequential {seq_time}");
+    }
+
+    #[test]
+    fn cheaper_model_costs_less() {
+        let lake = theft_lake();
+        let cost_with = |model: ModelId| {
+            let env = ExecEnv::new(SimLlm::new(7));
+            let ds = Dataset::scan(&lake, "lake").sem_filter("mentions identity theft");
+            let plan = PhysicalPlan::uniform(ds.plan(), model, 4);
+            Executor::new(&env).execute(&plan).cost()
+        };
+        assert!(cost_with(ModelId::Nano) < cost_with(ModelId::Flagship));
+    }
+
+    mod properties {
+        use super::*;
+        use crate::dataset::Dataset;
+        use proptest::prelude::*;
+
+        fn lake_of(n: usize, relevant_every: usize) -> DataLake {
+            DataLake::from_docs((0..n).map(|i| {
+                let content = if relevant_every > 0 && i % relevant_every == 0 {
+                    format!("memo {i}: identity theft statistics")
+                } else {
+                    format!("memo {i}: cafeteria menu")
+                };
+                Document::new(format!("m{i}.txt"), content).with_label("difficulty", 0.0)
+            }))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            #[test]
+            fn filter_output_is_subset_of_scan(n in 1usize..30, every in 1usize..5, seed in 0u64..50) {
+                let lake = lake_of(n, every);
+                let env = ExecEnv::new(SimLlm::new(seed));
+                let ds = Dataset::scan(&lake, "memos").sem_filter("mentions identity theft");
+                let plan = PhysicalPlan::uniform(ds.plan(), ModelId::Flagship, 4);
+                let report = Executor::new(&env).execute(&plan);
+                let names: std::collections::HashSet<&str> =
+                    lake.names().into_iter().collect();
+                prop_assert!(report.records.len() <= n);
+                for rec in &report.records {
+                    prop_assert!(names.contains(rec.source.as_str()));
+                }
+                // Stats invariants: filters call once per input record.
+                let filter = &report.stats.operators[1];
+                prop_assert_eq!(filter.rows_in, n);
+                prop_assert_eq!(filter.calls, n);
+                prop_assert!(filter.rows_out <= filter.rows_in);
+                prop_assert!(filter.cost_usd > 0.0);
+            }
+
+            #[test]
+            fn limit_truncates_exactly(n in 1usize..30, k in 0usize..35) {
+                let lake = lake_of(n, 1);
+                let env = ExecEnv::new(SimLlm::new(1));
+                let ds = Dataset::scan(&lake, "memos").limit(k);
+                let report = Executor::new(&env)
+                    .execute(&PhysicalPlan::default_for(ds.plan()));
+                prop_assert_eq!(report.records.len(), k.min(n));
+            }
+
+            #[test]
+            fn topk_never_exceeds_k(n in 1usize..25, k in 0usize..30) {
+                let lake = lake_of(n, 2);
+                let env = ExecEnv::new(SimLlm::new(1));
+                let ds = Dataset::scan(&lake, "memos").sem_topk("identity theft", k);
+                let report = Executor::new(&env)
+                    .execute(&PhysicalPlan::default_for(ds.plan()));
+                prop_assert_eq!(report.records.len(), k.min(n));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, 7, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<usize> = vec![];
+        assert!(parallel_map(&empty, 4, |x| *x).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! `aida-semops`: Palimpzest-style semantic operators.
+//!
+//! Semantic operators are AI-powered analogs of relational operators,
+//! specified in natural language instead of SQL expressions:
+//!
+//! * [`Dataset::sem_filter`] — keep records satisfying an NL predicate,
+//! * [`Dataset::sem_extract`] — add fields extracted per an NL instruction,
+//! * [`Dataset::sem_map`] — add a free-text transformation (summaries),
+//! * [`Dataset::sem_agg`] — reduce all records to one NL-computed answer,
+//! * [`Dataset::sem_topk`] — keep the `k` records most relevant to an NL
+//!   query (embedding-proxy scored, LOTUS-style),
+//! * [`Dataset::sem_group_by`] — cluster records into `k` semantic groups
+//!   with one labelling call per group,
+//! * [`Dataset::sem_join`] — NL-predicate join against another dataset,
+//!
+//! plus the classical `project`/`limit`/`count`.
+//!
+//! A [`Dataset`] is a lazy logical plan ([`plan::LogicalPlan`]); nothing
+//! touches the (simulated) LLM until a [`physical::PhysicalPlan`] — which
+//! assigns a model tier to every semantic operator — is executed by
+//! [`exec::Executor`]. Execution has classic iterator semantics with
+//! batched parallelism: every input record flows through every operator,
+//! which is exactly the strength (exhaustive, high recall) and weakness
+//! (cost scales with the lake, no early exit) the paper builds on.
+//!
+//! Per-operator runtime statistics ([`stats`]) feed the cost-based
+//! optimizer in `aida-optimizer`.
+
+pub mod dataset;
+pub mod exec;
+pub mod physical;
+pub mod plan;
+pub mod stats;
+
+pub use dataset::Dataset;
+pub use exec::{ExecEnv, ExecutionReport, Executor};
+pub use physical::{PhysicalPlan, PhysicalStep};
+pub use plan::{LogicalOp, LogicalPlan};
+pub use stats::{OperatorStats, PlanStats};

@@ -1,0 +1,132 @@
+//! Per-operator runtime statistics.
+//!
+//! Every executed operator reports rows in/out, LLM calls, dollars, and
+//! virtual seconds. The optimizer's sampling phase consumes these to
+//! estimate selectivities and per-model quality/cost trade-offs.
+
+/// Statistics for one executed operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorStats {
+    /// Operator name (`sem_filter`, …).
+    pub op: String,
+    /// Model used, if the operator is semantic.
+    pub model: Option<String>,
+    /// Records in.
+    pub rows_in: usize,
+    /// Records out.
+    pub rows_out: usize,
+    /// LLM calls issued.
+    pub calls: usize,
+    /// Dollars spent by this operator.
+    pub cost_usd: f64,
+    /// Virtual seconds consumed by this operator.
+    pub time_s: f64,
+}
+
+impl OperatorStats {
+    /// Output/input selectivity (1.0 for empty input).
+    pub fn selectivity(&self) -> f64 {
+        if self.rows_in == 0 {
+            1.0
+        } else {
+            self.rows_out as f64 / self.rows_in as f64
+        }
+    }
+
+    /// Dollars per input record (0 for empty input).
+    pub fn cost_per_record(&self) -> f64 {
+        if self.rows_in == 0 {
+            0.0
+        } else {
+            self.cost_usd / self.rows_in as f64
+        }
+    }
+}
+
+/// Statistics for a full plan execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanStats {
+    /// Per-operator stats in pipeline order.
+    pub operators: Vec<OperatorStats>,
+}
+
+impl PlanStats {
+    /// Total dollars across operators.
+    pub fn total_cost(&self) -> f64 {
+        self.operators.iter().map(|o| o.cost_usd).sum()
+    }
+
+    /// Total virtual seconds across operators.
+    pub fn total_time(&self) -> f64 {
+        self.operators.iter().map(|o| o.time_s).sum()
+    }
+
+    /// Total LLM calls across operators.
+    pub fn total_calls(&self) -> usize {
+        self.operators.iter().map(|o| o.calls).sum()
+    }
+
+    /// Renders a compact table for traces.
+    pub fn render(&self) -> String {
+        let mut out = String::from("op               model        in -> out   calls   cost($)   time(s)\n");
+        for o in &self.operators {
+            out.push_str(&format!(
+                "{:<16} {:<12} {:>4} -> {:<4} {:>5} {:>9.4} {:>9.1}\n",
+                o.op,
+                o.model.as_deref().unwrap_or("-"),
+                o.rows_in,
+                o.rows_out,
+                o.calls,
+                o.cost_usd,
+                o.time_s
+            ));
+        }
+        out.push_str(&format!(
+            "total: ${:.4}, {:.1}s, {} calls\n",
+            self.total_cost(),
+            self.total_time(),
+            self.total_calls()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(rows_in: usize, rows_out: usize, cost: f64, time: f64) -> OperatorStats {
+        OperatorStats {
+            op: "sem_filter".into(),
+            model: Some("sim-4o".into()),
+            rows_in,
+            rows_out,
+            calls: rows_in,
+            cost_usd: cost,
+            time_s: time,
+        }
+    }
+
+    #[test]
+    fn selectivity_and_unit_cost() {
+        let s = op(100, 25, 2.0, 10.0);
+        assert!((s.selectivity() - 0.25).abs() < 1e-12);
+        assert!((s.cost_per_record() - 0.02).abs() < 1e-12);
+        let empty = op(0, 0, 0.0, 0.0);
+        assert_eq!(empty.selectivity(), 1.0);
+        assert_eq!(empty.cost_per_record(), 0.0);
+    }
+
+    #[test]
+    fn plan_totals_sum_operators() {
+        let stats = PlanStats {
+            operators: vec![op(100, 25, 2.0, 10.0), op(25, 25, 0.5, 3.0)],
+        };
+        assert!((stats.total_cost() - 2.5).abs() < 1e-12);
+        assert!((stats.total_time() - 13.0).abs() < 1e-12);
+        assert_eq!(stats.total_calls(), 125);
+        let rendered = stats.render();
+        assert!(rendered.contains("sem_filter"));
+        assert!(rendered.contains("total:"));
+    }
+}

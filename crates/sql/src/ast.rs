@@ -1,0 +1,226 @@
+//! SQL abstract syntax.
+
+use aida_data::Value;
+
+/// Binary operators in SQL expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    /// `LIKE` pattern match (`%` and `_` wildcards).
+    Like,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// Parses an aggregate function name (case-insensitive).
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// The canonical display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// A SQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference.
+    Column(String),
+    /// Binary operation.
+    Binary(SqlBinOp, Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull(Box<Expr>, bool),
+    /// `expr IN (v1, v2, …)`, possibly negated.
+    InList(Box<Expr>, Vec<Expr>, bool),
+    /// Aggregate call; `None` argument means `COUNT(*)`.
+    Agg(AggFunc, Option<Box<Expr>>),
+    /// Scalar function call (`ABS`, `ROUND`, `LOWER`, `UPPER`, `LENGTH`).
+    Func(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// True when the expression (transitively) contains an aggregate.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg(_, _) => true,
+            Expr::Literal(_) | Expr::Column(_) => false,
+            Expr::Binary(_, l, r) => l.has_aggregate() || r.has_aggregate(),
+            Expr::Not(e) | Expr::Neg(e) | Expr::IsNull(e, _) => e.has_aggregate(),
+            Expr::InList(e, items, _) => {
+                e.has_aggregate() || items.iter().any(Expr::has_aggregate)
+            }
+            Expr::Func(_, args) => args.iter().any(Expr::has_aggregate),
+        }
+    }
+
+    /// Collects every column name referenced.
+    pub fn columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(name) => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::Literal(_) => {}
+            Expr::Binary(_, l, r) => {
+                l.columns(out);
+                r.columns(out);
+            }
+            Expr::Not(e) | Expr::Neg(e) | Expr::IsNull(e, _) => e.columns(out),
+            Expr::InList(e, items, _) => {
+                e.columns(out);
+                for item in items {
+                    item.columns(out);
+                }
+            }
+            Expr::Agg(_, arg) => {
+                if let Some(a) = arg {
+                    a.columns(out);
+                }
+            }
+            Expr::Func(_, args) => {
+                for a in args {
+                    a.columns(out);
+                }
+            }
+        }
+    }
+}
+
+/// One item in the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr(Expr, Option<String>),
+}
+
+/// An ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Sort expression.
+    pub expr: Expr,
+    /// True for descending.
+    pub desc: bool,
+}
+
+/// An equi-join clause: `JOIN <table> [<alias>] ON <left> = <right>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// Right-hand table name.
+    pub table: String,
+    /// Right-hand alias (defaults to the table name).
+    pub alias: Option<String>,
+    /// Left join key (possibly qualified).
+    pub left_key: String,
+    /// Right join key (possibly qualified).
+    pub right_key: String,
+}
+
+/// A parsed SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Whether `DISTINCT` was requested.
+    pub distinct: bool,
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// FROM table name.
+    pub table: String,
+    /// FROM-table alias (defaults to the table name).
+    pub alias: Option<String>,
+    /// Optional inner equi-join.
+    pub join: Option<JoinClause>,
+    /// WHERE predicate.
+    pub filter: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection_recurses() {
+        let e = Expr::Binary(
+            SqlBinOp::Div,
+            Box::new(Expr::Agg(AggFunc::Sum, Some(Box::new(Expr::Column("x".into()))))),
+            Box::new(Expr::Literal(Value::Int(2))),
+        );
+        assert!(e.has_aggregate());
+        assert!(!Expr::Column("x".into()).has_aggregate());
+    }
+
+    #[test]
+    fn column_collection_deduplicates() {
+        let e = Expr::Binary(
+            SqlBinOp::Add,
+            Box::new(Expr::Column("a".into())),
+            Box::new(Expr::Binary(
+                SqlBinOp::Mul,
+                Box::new(Expr::Column("a".into())),
+                Box::new(Expr::Column("b".into())),
+            )),
+        );
+        let mut cols = Vec::new();
+        e.columns(&mut cols);
+        assert_eq!(cols, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn agg_func_parsing() {
+        assert_eq!(AggFunc::parse("count"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::parse("AVG"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::parse("median"), None);
+        assert_eq!(AggFunc::Sum.name(), "sum");
+    }
+}

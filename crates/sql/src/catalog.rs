@@ -1,0 +1,93 @@
+//! Table catalog.
+
+use crate::SqlError;
+use aida_data::Table;
+use std::collections::BTreeMap;
+
+/// A named collection of in-memory tables.
+///
+/// The runtime registers every table it materializes from unstructured data
+/// here, so later queries (and later *users*) can hit the structured copy
+/// instead of re-running LLM extraction.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a table under a name.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Removes a table.
+    pub fn drop_table(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// Table lookup.
+    pub fn get(&self, name: &str) -> Result<&Table, SqlError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
+    }
+
+    /// True when the table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Sorted table names.
+    pub fn names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aida_data::Schema;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = Catalog::new();
+        cat.register("t", Table::new(Schema::of(["a"])));
+        assert!(cat.get("t").is_ok());
+        assert!(cat.contains("t"));
+        assert!(matches!(cat.get("nope"), Err(SqlError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn register_replaces_and_drop_removes() {
+        let mut cat = Catalog::new();
+        cat.register("t", Table::new(Schema::of(["a"])));
+        cat.register("t", Table::new(Schema::of(["b"])));
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.get("t").unwrap().schema().names(), vec!["b"]);
+        assert!(cat.drop_table("t").is_some());
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut cat = Catalog::new();
+        cat.register("zeta", Table::new(Schema::empty()));
+        cat.register("alpha", Table::new(Schema::empty()));
+        assert_eq!(cat.names(), vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,233 @@
+//! SQL tokenizer.
+
+use crate::SqlError;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlTok {
+    /// Bare identifier or keyword (keywords are recognized by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal ('' escapes a quote).
+    Str(String),
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `.`
+    Dot,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenizes a SQL string.
+pub fn lex(sql: &str) -> Result<Vec<SqlTok>, SqlError> {
+    let chars: Vec<char> = sql.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // Line comment.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut saw_dot = false;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit() || (chars[i] == '.' && !saw_dot))
+                {
+                    if chars[i] == '.' {
+                        saw_dot = true;
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if saw_dot {
+                    tokens.push(SqlTok::Float(text.parse().map_err(|_| {
+                        SqlError::Lex(format!("bad numeric literal '{text}'"))
+                    })?));
+                } else {
+                    tokens.push(SqlTok::Int(text.parse().map_err(|_| {
+                        SqlError::Lex(format!("bad numeric literal '{text}'"))
+                    })?));
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut text = String::new();
+                let mut closed = false;
+                while i < chars.len() {
+                    if chars[i] == '\'' {
+                        if chars.get(i + 1) == Some(&'\'') {
+                            text.push('\'');
+                            i += 2;
+                        } else {
+                            closed = true;
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        text.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                if !closed {
+                    return Err(SqlError::Lex("unterminated string literal".into()));
+                }
+                tokens.push(SqlTok::Str(text));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(SqlTok::Ident(chars[start..i].iter().collect()));
+            }
+            '*' => {
+                tokens.push(SqlTok::Star);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(SqlTok::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(SqlTok::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(SqlTok::RParen);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(SqlTok::Eq);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                tokens.push(SqlTok::NotEq);
+                i += 2;
+            }
+            '<' => {
+                match chars.get(i + 1) {
+                    Some('=') => {
+                        tokens.push(SqlTok::LtEq);
+                        i += 2;
+                    }
+                    Some('>') => {
+                        tokens.push(SqlTok::NotEq);
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(SqlTok::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(SqlTok::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(SqlTok::Gt);
+                    i += 1;
+                }
+            }
+            '+' => {
+                tokens.push(SqlTok::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(SqlTok::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(SqlTok::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(SqlTok::Percent);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(SqlTok::Dot);
+                i += 1;
+            }
+            ';' => i += 1, // trailing semicolons are harmless
+            other => return Err(SqlError::Lex(format!("unexpected character '{other}'"))),
+        }
+    }
+    tokens.push(SqlTok::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_select_statement() {
+        let toks = lex("SELECT a, b FROM t WHERE a >= 10").unwrap();
+        assert_eq!(toks[0], SqlTok::Ident("SELECT".into()));
+        assert!(toks.contains(&SqlTok::GtEq));
+        assert!(toks.contains(&SqlTok::Int(10)));
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let toks = lex("SELECT 'it''s'").unwrap();
+        assert_eq!(toks[1], SqlTok::Str("it's".into()));
+        assert!(lex("SELECT 'oops").is_err());
+    }
+
+    #[test]
+    fn both_not_equal_spellings() {
+        assert!(lex("a != b").unwrap().contains(&SqlTok::NotEq));
+        assert!(lex("a <> b").unwrap().contains(&SqlTok::NotEq));
+    }
+
+    #[test]
+    fn comments_and_semicolons_skipped() {
+        let toks = lex("SELECT 1 -- trailing comment\n;").unwrap();
+        assert_eq!(toks, vec![SqlTok::Ident("SELECT".into()), SqlTok::Int(1), SqlTok::Eof]);
+    }
+
+    #[test]
+    fn floats_and_ints() {
+        let toks = lex("1.5 2").unwrap();
+        assert_eq!(toks[0], SqlTok::Float(1.5));
+        assert_eq!(toks[1], SqlTok::Int(2));
+    }
+}

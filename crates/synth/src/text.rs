@@ -1,0 +1,114 @@
+//! Shared vocabulary for the generators: state names, person names, and
+//! prose fragments used to pad documents to realistic sizes.
+
+/// US states and territories used for the state-level distractor files.
+pub const STATES: &[&str] = &[
+    "alabama", "alaska", "arizona", "arkansas", "california", "colorado", "connecticut",
+    "delaware", "florida", "georgia", "hawaii", "idaho", "illinois", "indiana", "iowa",
+    "kansas", "kentucky", "louisiana", "maine", "maryland", "massachusetts", "michigan",
+    "minnesota", "mississippi", "missouri", "montana", "nebraska", "nevada", "new_hampshire",
+    "new_jersey", "new_mexico", "new_york", "north_carolina", "north_dakota", "ohio",
+    "oklahoma", "oregon", "pennsylvania", "rhode_island", "south_carolina", "south_dakota",
+    "tennessee", "texas", "utah", "vermont", "virginia", "washington", "west_virginia",
+    "wisconsin", "wyoming",
+];
+
+/// First names for email senders.
+pub const FIRST_NAMES: &[&str] = &[
+    "jeff", "andrea", "kenneth", "louise", "sara", "vince", "tana", "mark", "susan",
+    "gerald", "kay", "phillip", "steven", "carol", "richard", "elizabeth", "daniel",
+    "michelle", "greg", "lindsay",
+];
+
+/// Last names for email senders.
+pub const LAST_NAMES: &[&str] = &[
+    "dasovich", "ring", "lay", "kitchen", "shackleton", "kaminski", "jones", "taylor",
+    "bailey", "nemec", "mann", "allen", "kean", "clair", "shapiro", "sager", "scholtes",
+    "lokay", "whalley", "donoho",
+];
+
+/// Business-transaction code names the Enron query targets.
+pub const TRANSACTIONS: &[&str] = &["Raptor", "Chewco", "LJM", "Talon", "Condor"];
+
+/// Oblique descriptions of the same transactions (no code name), used for
+/// relevant-but-keyword-free emails.
+pub const OBLIQUE_REFERENCES: &[&str] = &[
+    "the structured hedge vehicle we set up last quarter",
+    "the off-balance-sheet entity the finance group created",
+    "our special purpose partnership",
+    "the equity hedge structure",
+    "that investment vehicle the board approved in the fall",
+];
+
+/// Firsthand-discussion sentence templates (the `{ref}` placeholder is
+/// replaced with a transaction name or oblique reference).
+pub const FIRSTHAND_TEMPLATES: &[&str] = &[
+    "I met with the accountants this morning to walk through {ref} and I am \
+     increasingly worried about the mark-to-market exposure.",
+    "We need to unwind part of {ref} before the quarter closes - can you pull \
+     together the position summary by Friday?",
+    "As discussed in yesterday's meeting, {ref} requires a capital infusion of \
+     at least $35 million to stay above the trigger threshold.",
+    "My team finished the valuation work on {ref}; the collateral shortfall is \
+     larger than we projected in October.",
+    "Per your request, here are the restructuring options for {ref}. Option two \
+     keeps the hedge intact but requires board notification.",
+    "I signed the amended agreements for {ref} this afternoon. Legal still needs \
+     the side letter before we can fund.",
+];
+
+/// Secondhand / forwarded-news sentence templates mentioning a transaction
+/// by name (these are the precision traps for keyword filters).
+pub const SECONDHAND_TEMPLATES: &[&str] = &[
+    "FYI - the Journal is running a piece tomorrow that mentions {ref} in the \
+     context of partnership accounting. Forwarding the draft below.",
+    "Saw this on the newswire: analysts are asking questions about {ref}. No \
+     action needed, just keeping you in the loop.",
+    "Forwarded message follows. The article speculates about {ref} but quotes \
+     no one from our side.",
+];
+
+/// Ordinary business filler sentences for irrelevant emails.
+pub const FILLER_SENTENCES: &[&str] = &[
+    "The quarterly headcount review is scheduled for Thursday at 10am in 30C1.",
+    "Please submit your expense reports before the end of the month.",
+    "The gas desk is moving to the 32nd floor over the weekend.",
+    "Reminder: the all-hands on the west power book is moved to Tuesday.",
+    "Can you send me the latest curve snapshot for the California zone?",
+    "The new trade-capture system goes live Monday; training materials attached.",
+    "HR asked me to remind everyone about the benefits enrollment deadline.",
+    "Let's grab lunch next week to catch up on the storage project.",
+    "The pipeline scheduling call moved to 9:30 to accommodate the west desk.",
+    "Facilities will be testing the fire alarms on Saturday morning.",
+    "I'll be out of the office Friday; call my cell if the desk needs anything.",
+    "The risk book reconciliation for October is complete and tied out.",
+];
+
+/// Prose fragments for padding report pages.
+pub const REPORT_PROSE: &[&str] = &[
+    "The Consumer Sentinel Network collects reports from consumers about fraud, \
+     identity theft, and other consumer protection problems.",
+    "Report counts reflect complaints filed directly by consumers as well as \
+     reports contributed by state and federal law enforcement partners.",
+    "Identity theft reports include credit card fraud, government documents or \
+     benefits fraud, loan or lease fraud, and employment or tax-related fraud.",
+    "Figures are unaudited and may be revised as duplicate reports are removed \
+     from the network database.",
+    "State-level tables rank jurisdictions by reports per 100,000 population.",
+    "Methodology notes and category definitions appear in the appendix of the \
+     annual data book.",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_is_nonempty_and_sized() {
+        assert_eq!(STATES.len(), 50);
+        assert!(FIRST_NAMES.len() >= 10);
+        assert!(TRANSACTIONS.len() >= 3);
+        assert!(FIRSTHAND_TEMPLATES.iter().all(|t| t.contains("{ref}")));
+        assert!(SECONDHAND_TEMPLATES.iter().all(|t| t.contains("{ref}")));
+    }
+}

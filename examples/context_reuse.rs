@@ -1,0 +1,62 @@
+//! Materialized-Context reuse (the paper's §3 physical optimization and
+//! §2.4 ContextManager): a second, similar query reuses the Context the
+//! first query materialized and runs against a dramatically narrower lake.
+//!
+//! Run with: `cargo run --release --example context_reuse`
+
+use aida::core::Context;
+use aida::prelude::*;
+use aida::synth::legal;
+
+fn main() {
+    let env = Runtime::builder().seed(5).build();
+    let workload = legal::generate(5);
+    workload.install_oracle(&env.env().llm);
+    let ctx = Context::builder("legal", workload.lake.clone())
+        .description(workload.description.clone())
+        .with_vector_index()
+        .build(&env);
+
+    println!("== first query: thefts in 2001 ==");
+    let first = env
+        .query(&ctx)
+        .compute("find the number of identity theft reports in 2001")
+        .run();
+    println!(
+        "answer: {:?}  (${:.3}, {:.0}s)",
+        first.answer.map(|v| v.to_string()),
+        first.cost,
+        first.time
+    );
+    println!("materialized contexts: {}", env.manager().len());
+
+    println!("\n== second query: thefts in 2024 (similar instruction) ==");
+    let second = env
+        .query(&ctx)
+        .compute("find the number of identity theft reports in 2024")
+        .run();
+    println!(
+        "answer: {:?}  (${:.3}, {:.0}s)",
+        second.answer.map(|v| v.to_string()),
+        second.cost,
+        second.time
+    );
+    let reused = second.trace.iter().any(|t| t.reused);
+    println!("reused a materialized Context: {reused}");
+    println!(
+        "savings vs first query: {:.1}% cost, {:.1}% time",
+        (1.0 - second.cost / first.cost) * 100.0,
+        (1.0 - second.time / first.time) * 100.0
+    );
+
+    println!("\n== third query: hits structure directly via SQL ==");
+    for table in env.table_names() {
+        if let Ok(out) = env.sql(&format!(
+            "SELECT source, value FROM {table} WHERE value IS NOT NULL LIMIT 3"
+        )) {
+            if !out.is_empty() {
+                println!("table `{table}`:\n{}", out.render());
+            }
+        }
+    }
+}

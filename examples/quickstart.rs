@@ -1,0 +1,61 @@
+//! Quickstart: build a Context over a small data lake, ask a question with
+//! the agentic `compute` operator, and re-query the materialized findings
+//! with SQL.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use aida::prelude::*;
+
+fn main() {
+    // 1. A tiny unstructured data lake: three "files".
+    let lake = DataLake::from_docs([
+        Document::new(
+            "complaints_by_year.csv",
+            "year,category,reports\n\
+             2022,identity theft,1108609\n\
+             2023,identity theft,1036903\n\
+             2024,identity theft,1135291\n\
+             2024,imposter scams,845400\n",
+        ),
+        Document::new(
+            "notes.txt",
+            "Identity theft reports are collected through the Consumer Sentinel Network.",
+        ),
+        Document::new("unrelated.txt", "Cafeteria menu for the week of June 3rd."),
+    ]);
+
+    // 2. A runtime (simulated LLM, virtual clock, context manager).
+    let env = Runtime::builder().seed(7).build();
+
+    // 3. Wrap the lake in a Context: a described, indexable dataset.
+    let ctx = Context::builder("quickstart", lake)
+        .description("A small lake with consumer-complaint statistics by year.")
+        .with_vector_index()
+        .build(&env);
+    println!("Context: {} documents", ctx.len());
+
+    // 4. Ask a question. The compute operator plans with an agent and
+    //    delegates exhaustive work to an optimized semantic-operator
+    //    program.
+    let outcome = env
+        .query(&ctx)
+        .compute("find the number of identity theft reports in 2024")
+        .run();
+    println!(
+        "answer: {}",
+        outcome
+            .answer
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "<none>".into())
+    );
+    println!("spent: ${:.4} in {:.1} virtual seconds", outcome.cost, outcome.time);
+
+    // 5. The execution materialized its findings as a SQL table — future
+    //    queries hit structure, not the LLM.
+    for table in env.table_names() {
+        let out = env
+            .sql(&format!("SELECT * FROM {table}"))
+            .expect("materialized tables are queryable");
+        println!("\nmaterialized table `{table}`:\n{}", out.render());
+    }
+}

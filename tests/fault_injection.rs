@@ -1,0 +1,63 @@
+//! Failure injection: the pipeline must stay correct when LLM calls
+//! transiently fail and retry — only the bill changes.
+
+use aida_llm::SimLlm;
+use aida_semops::{Dataset, ExecEnv, Executor, PhysicalPlan};
+use aida_synth::legal;
+
+fn run_filter(fault_rate: f64) -> (Vec<String>, f64, f64) {
+    let workload = legal::generate(5);
+    let env = ExecEnv::new(SimLlm::new(5).with_fault_rate(fault_rate));
+    workload.install_oracle(&env.llm);
+    let ds = Dataset::scan(&workload.lake, "legal").sem_filter(
+        "the file contains national statistics on the number of identity theft reports, \
+         covering both the years 2001 and 2024",
+    );
+    let plan = PhysicalPlan::uniform(ds.plan(), aida_llm::ModelId::Flagship, 8);
+    let report = Executor::new(&env).execute(&plan);
+    let names = report.records.iter().map(|r| r.source.clone()).collect();
+    (names, report.cost(), report.time())
+}
+
+#[test]
+fn results_are_identical_under_faults_but_cost_rises() {
+    let (clean_names, clean_cost, clean_time) = run_filter(0.0);
+    let (faulty_names, faulty_cost, faulty_time) = run_filter(0.3);
+    // Faults are retried: the answers cannot change.
+    assert_eq!(clean_names, faulty_names);
+    // But the retries are paid for.
+    assert!(
+        faulty_cost > clean_cost * 1.15,
+        "faulty ${faulty_cost} vs clean ${clean_cost}"
+    );
+    assert!(faulty_time > clean_time, "{faulty_time} vs {clean_time}");
+}
+
+#[test]
+fn fault_runs_replay_deterministically() {
+    assert_eq!(run_filter(0.3), run_filter(0.3));
+}
+
+#[test]
+fn end_to_end_compute_survives_faults() {
+    use aida::core::Context;
+    use aida::prelude::*;
+    let run = |fault_rate: f64| {
+        let workload = legal::generate(5);
+        let rt = Runtime::builder().seed(5).fault_rate(fault_rate).build();
+        workload.install_oracle(&rt.env().llm);
+        let ctx = Context::builder("legal", workload.lake.clone())
+            .description(workload.description.clone())
+            .with_vector_index()
+            .build(&rt);
+        let outcome = rt.query(&ctx).compute(&workload.query).run();
+        (outcome.answer.unwrap().as_float().unwrap(), outcome.cost)
+    };
+    let (clean_answer, clean_cost) = run(0.0);
+    let (faulty_answer, faulty_cost) = run(0.3);
+    let truth = legal::true_ratio();
+    assert!(((clean_answer - truth) / truth).abs() < 0.05);
+    // Same answer under a 30% transient-fault rate, at a higher bill.
+    assert_eq!(clean_answer, faulty_answer);
+    assert!(faulty_cost > clean_cost, "${faulty_cost} vs ${clean_cost}");
+}
