@@ -51,7 +51,11 @@ pub struct Persona {
 impl Default for Persona {
     fn default() -> Self {
         // Matches the paper's description of open Deep Research agents.
-        Persona { shortcut_bias: 0.8, premature_stop: 0.25, verify_budget: 6 }
+        Persona {
+            shortcut_bias: 0.8,
+            premature_stop: 0.25,
+            verify_budget: 6,
+        }
     }
 }
 
@@ -91,7 +95,10 @@ pub struct CodeAgent {
 impl CodeAgent {
     /// Creates an agent with the standard Deep Research policy.
     pub fn deep_research(config: AgentConfig) -> Self {
-        CodeAgent { config, policy: Box::new(DeepResearchPolicy) }
+        CodeAgent {
+            config,
+            policy: Box::new(DeepResearchPolicy),
+        }
     }
 
     /// Creates an agent with a custom policy (the `compute`/`search`

@@ -76,7 +76,10 @@ impl<'a> PolicyContext<'a> {
         };
         let resp = self.env.llm.invoke(
             self.model,
-            &LlmTask::Filter { instruction, subject: Subject::doc(doc) },
+            &LlmTask::Filter {
+                instruction,
+                subject: Subject::doc(doc),
+            },
         );
         self.env.clock.advance(resp.latency_s);
         resp.value.truthy()
@@ -221,7 +224,10 @@ fn pick_files(ctx: &PolicyContext<'_>, files: &[String]) -> Vec<String> {
             let tokens = name_tokens(name);
             let mut score = 0.0;
             for t in &terms {
-                if tokens.iter().any(|tok| tok.starts_with(t.as_str()) || t.starts_with(tok)) {
+                if tokens
+                    .iter()
+                    .any(|tok| tok.starts_with(t.as_str()) || t.starts_with(tok))
+                {
                     score += 1.0;
                 }
             }
@@ -258,8 +264,7 @@ fn find_csv_with_both_years(obs: &str, years: (i64, i64)) -> Option<String> {
             continue;
         }
         if line.contains(',') {
-            if line.to_ascii_lowercase().contains("theft") && !line.starts_with(char::is_numeric)
-            {
+            if line.to_ascii_lowercase().contains("theft") && !line.starts_with(char::is_numeric) {
                 header_ok = true;
             }
             if line.starts_with(&years.0.to_string()) {
@@ -354,15 +359,18 @@ fn keyword_filter_flow(ctx: &PolicyContext<'_>) -> PolicyAction {
             .map(|k| format!("'{k}' in c"))
             .collect::<Vec<_>>()
             .join(" or ");
-        let cond = if cond.is_empty() { "False".to_string() } else { cond };
+        let cond = if cond.is_empty() {
+            "False".to_string()
+        } else {
+            cond
+        };
         return PolicyAction::Code(format!(
             "hits = []\nfor f in {scan_range}:\n    c = read_file(f)\n    if {cond}:\n        hits.append(f)\nprint(hits)"
         ));
     }
     if ctx.step == 2 {
         // Manual verification of a few hits; the rest ship unverified.
-        let hits =
-            parse_quoted_list(ctx.observations.last().map(String::as_str).unwrap_or(""));
+        let hits = parse_quoted_list(ctx.observations.last().map(String::as_str).unwrap_or(""));
         if hits.is_empty() {
             return PolicyAction::Code("final_answer([])".to_string());
         }
@@ -584,7 +592,10 @@ mod tests {
     #[test]
     fn generated_csv_code_parses() {
         let code = csv_ratio_code("national.csv", (2024, 2001));
-        assert!(aida_script::parser::parse(&code).is_ok(), "code must be valid Pyrite");
+        assert!(
+            aida_script::parser::parse(&code).is_ok(),
+            "code must be valid Pyrite"
+        );
         let code = rate_ratio_code("a.html", "b.html");
         assert!(aida_script::parser::parse(&code).is_ok());
     }

@@ -14,6 +14,7 @@ use crate::CodeAgent;
 use aida_data::{DataLake, Value};
 use aida_llm::noise;
 use aida_llm::LlmTask;
+use aida_obs::SpanKind;
 use aida_script::Interpreter;
 use aida_semops::ExecEnv;
 
@@ -81,7 +82,11 @@ impl<'a> AgentRuntime<'a> {
     /// helper to resolve ground-truth labels, mirroring an agent actually
     /// reading a document in context.
     pub fn new(env: &'a ExecEnv, registry: ToolRegistry, lake: Option<DataLake>) -> Self {
-        AgentRuntime { env, registry, lake }
+        AgentRuntime {
+            env,
+            registry,
+            lake,
+        }
     }
 
     /// The tool registry.
@@ -105,6 +110,11 @@ impl<'a> AgentRuntime<'a> {
         let mut steps: Vec<StepTrace> = Vec::new();
 
         for step in 0..agent.config.max_steps {
+            let step_span = self.env.recorder.span(
+                SpanKind::AgentStep,
+                format!("step {step}"),
+                self.env.clock.now(),
+            );
             let ctx = PolicyContext {
                 task,
                 step,
@@ -118,17 +128,24 @@ impl<'a> AgentRuntime<'a> {
             };
             let code = match agent.policy.next_step(&ctx) {
                 PolicyAction::Code(code) => code,
-                PolicyAction::Done => break,
+                PolicyAction::Done => {
+                    step_span.finish(self.env.clock.now());
+                    break;
+                }
             };
+            step_span.attr("code", aida_obs::clip(&code, 80));
 
             // Bill the planning step: the agent "reads" the task, tools,
             // and observation tail, and "writes" the code.
             let obs_tail = tail(&observations.join("\n"), PROMPT_OBS_CAP);
             let prompt = format!("{task}\n{manifest}\n{obs_tail}");
-            let resp = self
-                .env
-                .llm
-                .invoke(agent.config.model, &LlmTask::Freeform { prompt: &prompt, response: &code });
+            let resp = self.env.llm.invoke(
+                agent.config.model,
+                &LlmTask::Freeform {
+                    prompt: &prompt,
+                    response: &code,
+                },
+            );
             self.env.clock.advance(resp.latency_s);
 
             // Execute the code.
@@ -142,15 +159,20 @@ impl<'a> AgentRuntime<'a> {
                 }
                 Err(err) => format!("ERROR: {err}"),
             };
-            steps.push(StepTrace { step, code, observation: observation.clone() });
+            steps.push(StepTrace {
+                step,
+                code,
+                observation: observation.clone(),
+            });
             observations.push(observation);
+            step_span.finish(self.env.clock.now());
 
             if answer.is_set() {
                 break;
             }
         }
 
-        let delta = self.env.llm.meter().snapshot().since(&before);
+        let delta = self.env.llm.meter().snapshot().delta_since(&before);
         AgentOutcome {
             answer: answer.get(),
             steps,
@@ -247,7 +269,10 @@ mod tests {
         let rt = AgentRuntime::new(&env, registry(&lake), None);
         let agent = CodeAgent::with_policy(
             AgentConfig::default(),
-            Box::new(FixedPolicy(vec!["undefined_function()", "final_answer('ok')"])),
+            Box::new(FixedPolicy(vec![
+                "undefined_function()",
+                "final_answer('ok')",
+            ])),
         );
         let outcome = rt.run(&agent, "do something");
         assert!(outcome.steps[0].observation.starts_with("ERROR:"));
@@ -259,11 +284,12 @@ mod tests {
         let env = runtime_env();
         let lake = lake();
         let rt = AgentRuntime::new(&env, registry(&lake), None);
-        let config = AgentConfig { max_steps: 3, ..AgentConfig::default() };
-        let agent = CodeAgent::with_policy(
-            config,
-            Box::new(FixedPolicy(vec!["1", "2", "3", "4", "5"])),
-        );
+        let config = AgentConfig {
+            max_steps: 3,
+            ..AgentConfig::default()
+        };
+        let agent =
+            CodeAgent::with_policy(config, Box::new(FixedPolicy(vec!["1", "2", "3", "4", "5"])));
         let outcome = rt.run(&agent, "loop forever");
         assert_eq!(outcome.steps.len(), 3);
     }
@@ -279,6 +305,33 @@ mod tests {
         );
         let outcome = rt.run(&agent, "carry state");
         assert_eq!(outcome.answer, Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn recorder_traces_each_step() {
+        let recorder = aida_obs::Recorder::new();
+        let env = ExecEnv::new(SimLlm::new(3)).with_recorder(recorder.clone());
+        let lake = lake();
+        let rt = AgentRuntime::new(&env, registry(&lake), None);
+        let agent = CodeAgent::with_policy(
+            AgentConfig::default(),
+            Box::new(FixedPolicy(vec!["x = 41", "final_answer(x + 1)"])),
+        );
+        let outcome = rt.run(&agent, "trace me");
+        let trace = recorder.trace();
+        let steps: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::AgentStep)
+            .collect();
+        assert_eq!(steps.len(), outcome.steps.len());
+        for span in &steps {
+            assert_eq!(span.calls, 1, "each step bills one planning call");
+            assert!(span.cost_usd > 0.0);
+            assert!(span.duration_s() > 0.0);
+        }
+        let span_cost: f64 = steps.iter().map(|s| s.cost_usd).sum();
+        assert!((span_cost - outcome.cost_usd).abs() < 1e-9);
     }
 
     #[test]

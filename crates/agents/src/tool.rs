@@ -114,7 +114,11 @@ impl ToolRegistry {
     pub fn manifest(&self) -> String {
         let mut out = String::from("Available tools:\n");
         for tool in &self.tools {
-            out.push_str(&format!("- {}: {}\n", tool.spec().signature, tool.spec().description));
+            out.push_str(&format!(
+                "- {}: {}\n",
+                tool.spec().signature,
+                tool.spec().description
+            ));
         }
         out
     }

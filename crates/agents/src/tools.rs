@@ -62,7 +62,10 @@ pub fn lake_tools(lake: &DataLake) -> Vec<Arc<dyn Tool>> {
         ),
         move |_args| {
             Ok(ScriptValue::list(
-                list_lake.iter().map(|n| ScriptValue::str(n.clone())).collect(),
+                list_lake
+                    .iter()
+                    .map(|n| ScriptValue::str(n.clone()))
+                    .collect(),
             ))
         },
     ));
@@ -101,7 +104,12 @@ pub fn lake_tools(lake: &DataLake) -> Vec<Arc<dyn Tool>> {
                 .first()
                 .ok_or_else(|| ScriptError::host("search_keywords needs a query"))?
                 .as_str()?;
-            let k = args.get(1).map(|v| v.as_int()).transpose()?.unwrap_or(5).max(1) as usize;
+            let k = args
+                .get(1)
+                .map(|v| v.as_int())
+                .transpose()?
+                .unwrap_or(5)
+                .max(1) as usize;
             Ok(ScriptValue::list(
                 index
                     .search(query, k)
@@ -161,7 +169,10 @@ pub fn sem_filter_tool(env: &ExecEnv, lake: &DataLake, model: ModelId) -> Arc<dy
                     .ok_or_else(|| ScriptError::host(format!("no such file: {name}")))?;
                 let resp = env.llm.invoke(
                     model,
-                    &LlmTask::Filter { instruction: &instruction, subject: Subject::doc(doc) },
+                    &LlmTask::Filter {
+                        instruction: &instruction,
+                        subject: Subject::doc(doc),
+                    },
                 );
                 env.clock.advance(resp.latency_s); // sequential: no batching
                 if resp.value.truthy() {

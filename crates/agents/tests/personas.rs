@@ -39,8 +39,16 @@ fn returned_count(answer: &Option<Value>) -> usize {
 fn premature_termination_reduces_scan_coverage() {
     // With certain premature termination the keyword scan covers only part
     // of the corpus, so strictly fewer hits come back than a full scan.
-    let full = Persona { shortcut_bias: 0.8, premature_stop: 0.0, verify_budget: 0 };
-    let lazy = Persona { shortcut_bias: 0.8, premature_stop: 1.0, verify_budget: 0 };
+    let full = Persona {
+        shortcut_bias: 0.8,
+        premature_stop: 0.0,
+        verify_budget: 0,
+    };
+    let lazy = Persona {
+        shortcut_bias: 0.8,
+        premature_stop: 1.0,
+        verify_budget: 0,
+    };
     let (full_answer, full_trace) = run_agent(3, full);
     let (lazy_answer, lazy_trace) = run_agent(3, lazy);
     assert!(full_trace.contains("for f in files:"), "{full_trace}");
@@ -58,8 +66,16 @@ fn manual_verification_rejects_some_keyword_traps() {
     // With a verification budget the agent reads some hits and drops the
     // secondhand forwards it judges irrelevant; with none it returns every
     // keyword hit.
-    let blind = Persona { shortcut_bias: 0.8, premature_stop: 0.0, verify_budget: 0 };
-    let careful = Persona { shortcut_bias: 0.8, premature_stop: 0.0, verify_budget: 25 };
+    let blind = Persona {
+        shortcut_bias: 0.8,
+        premature_stop: 0.0,
+        verify_budget: 0,
+    };
+    let careful = Persona {
+        shortcut_bias: 0.8,
+        premature_stop: 0.0,
+        verify_budget: 25,
+    };
     let (blind_answer, _) = run_agent(5, blind);
     let (careful_answer, _) = run_agent(5, careful);
     // 18 keyword-relevant + 5 secondhand forwards contain the names.

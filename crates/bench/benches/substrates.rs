@@ -11,7 +11,13 @@ use std::hint::black_box;
 fn csv_text(rows: usize) -> String {
     let mut out = String::from("year,category,reports,rank\n");
     for i in 0..rows {
-        out.push_str(&format!("{},category {},{},{}\n", 2001 + i % 24, i % 20, i * 137, i % 50));
+        out.push_str(&format!(
+            "{},category {},{},{}\n",
+            2001 + i % 24,
+            i % 20,
+            i * 137,
+            i % 50
+        ));
     }
     out
 }
@@ -28,7 +34,9 @@ fn bench_embedder(c: &mut Criterion) {
     let text = "identity theft reports rose sharply between 2001 and 2024 according to the \
                 consumer sentinel network data book"
         .repeat(8);
-    c.bench_function("embed/1kb_text", |b| b.iter(|| black_box(embedder.embed(&text))));
+    c.bench_function("embed/1kb_text", |b| {
+        b.iter(|| black_box(embedder.embed(&text)))
+    });
 }
 
 fn bench_topk(c: &mut Criterion) {
@@ -48,7 +56,10 @@ fn bench_keyword_index(c: &mut Criterion) {
     for i in 0..500 {
         index.add(
             &format!("doc{i}"),
-            &format!("report {i} identity theft fraud statistics for year {}", 2001 + i % 24),
+            &format!(
+                "report {i} identity theft fraud statistics for year {}",
+                2001 + i % 24
+            ),
         );
     }
     c.bench_function("keyword/bm25_search_500_docs", |b| {
@@ -60,7 +71,10 @@ fn bench_vector_index(c: &mut Criterion) {
     let embedder = Embedder::default();
     let mut index = aida_index::FlatIndex::new();
     for i in 0..500 {
-        index.add(&format!("d{i}"), embedder.embed(&format!("topic {} body {}", i % 37, i)));
+        index.add(
+            &format!("d{i}"),
+            embedder.embed(&format!("topic {} body {}", i % 37, i)),
+        );
     }
     let query = embedder.embed("topic 5 statistics");
     c.bench_function("vector/flat_search_500", |b| {
@@ -69,7 +83,8 @@ fn bench_vector_index(c: &mut Criterion) {
 }
 
 fn bench_script(c: &mut Criterion) {
-    let src = "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\nfib(15)";
+    let src =
+        "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\nfib(15)";
     c.bench_function("script/fib_15", |b| {
         b.iter(|| black_box(Interpreter::new().run(src).unwrap()))
     });

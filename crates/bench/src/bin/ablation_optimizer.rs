@@ -1,4 +1,10 @@
 //! Ablation B: cost-based model selection.
 fn main() {
-    aida_bench::emit(&aida_eval::ablation_optimizer(&aida_eval::experiments::TRIAL_SEEDS));
+    aida_bench::emit(&aida_eval::ablation_optimizer(
+        &aida_eval::experiments::TRIAL_SEEDS,
+    ));
+    aida_bench::emit_trace(
+        "ablation_optimizer",
+        &aida_bench::traces::ablation_optimizer(),
+    );
 }

@@ -1,4 +1,7 @@
 //! Ablation D: split/merge logical rewrites.
 fn main() {
-    aida_bench::emit(&aida_eval::ablation_rewrite(&aida_eval::experiments::TRIAL_SEEDS));
+    aida_bench::emit(&aida_eval::ablation_rewrite(
+        &aida_eval::experiments::TRIAL_SEEDS,
+    ));
+    aida_bench::emit_trace("ablation_rewrite", &aida_bench::traces::ablation_rewrite());
 }

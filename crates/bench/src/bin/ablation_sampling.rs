@@ -4,4 +4,8 @@ fn main() {
         &aida_eval::experiments::TRIAL_SEEDS,
         &[0, 12, 36, 72],
     ));
+    aida_bench::emit_trace(
+        "ablation_sampling",
+        &aida_bench::traces::ablation_sampling(),
+    );
 }

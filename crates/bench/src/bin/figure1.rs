@@ -1,4 +1,5 @@
 //! Regenerates Figure 1: qualitative traces of both example queries.
 fn main() {
     aida_bench::emit_text("figure1", &aida_eval::figure1(1));
+    aida_bench::emit_trace("figure1", &aida_bench::traces::table2());
 }

@@ -1,4 +1,6 @@
 //! Regenerates Figure 2: the search -> compute pipeline over a Context.
 fn main() {
-    aida_bench::emit_text("figure2", &aida_eval::figure2(1));
+    let (text, recorder) = aida_eval::figure2_traced(1);
+    aida_bench::emit_text("figure2", &text);
+    aida_bench::emit_trace("figure2", &recorder);
 }

@@ -1,4 +1,5 @@
 //! Regenerates Table 1: the Kramabench `legal-easy-3` comparison.
 fn main() {
     aida_bench::emit(&aida_eval::table1(&aida_eval::experiments::TRIAL_SEEDS));
+    aida_bench::emit_trace("table1", &aida_bench::traces::table1());
 }

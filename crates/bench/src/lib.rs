@@ -54,13 +54,167 @@ pub fn emit_text(name: &str, text: &str) {
     }
 }
 
+/// Directory span traces are saved into (`results/traces`, created on
+/// demand).
+pub fn traces_dir() -> PathBuf {
+    let dir = results_dir().join("traces");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Prints a recorder's `EXPLAIN ANALYZE` report and writes the span trace
+/// as `<name>.jsonl` under [`traces_dir`]. Traces carry only virtual time,
+/// so the file is byte-identical across runs at the same seed.
+pub fn emit_trace(name: &str, recorder: &aida_obs::Recorder) {
+    let trace = recorder.trace();
+    println!("{}", trace.explain_analyze());
+    let dir = traces_dir();
+    match std::fs::write(dir.join(format!("{name}.jsonl")), trace.to_jsonl()) {
+        Ok(()) => println!("(trace saved to {}/{name}.jsonl)", dir.display()),
+        Err(err) => eprintln!(
+            "warning: could not save trace under {}: {err}",
+            dir.display()
+        ),
+    }
+}
+
+/// Traced companion runs for the experiment binaries: each returns the
+/// recorder of one representative seed-1 run of the experiment's system,
+/// for `EXPLAIN ANALYZE` + JSONL export next to the report.
+pub mod traces {
+    use aida_core::{Context, Runtime};
+    use aida_llm::SimLlm;
+    use aida_obs::Recorder;
+    use aida_optimizer::{Optimizer, OptimizerConfig, Policy, SamplerConfig};
+    use aida_semops::{Dataset, ExecEnv, Executor, PhysicalPlan};
+    use aida_synth::{enron, legal};
+
+    /// The Table 1 system under trace: PZ compute on the legal workload.
+    pub fn table1() -> Recorder {
+        let workload = legal::generate(1);
+        aida_eval::run_pz_compute_traced(&workload, 1).1
+    }
+
+    /// The Table 2 system under trace: PZ compute on the Enron workload.
+    pub fn table2() -> Recorder {
+        let workload = enron::generate(1);
+        aida_eval::run_pz_compute_traced(&workload, 1).1
+    }
+
+    /// Figure 2's search → compute pipeline under trace.
+    pub fn figure2() -> Recorder {
+        aida_eval::figure2_traced(1).1
+    }
+
+    /// Ablation A under trace: two computes where the second reuses the
+    /// first's materialized Context (reuse hit/miss events appear).
+    pub fn ablation_reuse() -> Recorder {
+        let rt = Runtime::builder().seed(1).tracing(true).build();
+        let workload = legal::generate(1);
+        workload.install_oracle(&rt.env().llm);
+        let ctx = Context::builder("legal", workload.lake.clone())
+            .description(workload.description.clone())
+            .with_vector_index()
+            .build(&rt);
+        let _ = rt
+            .query(&ctx)
+            .compute("find the number of identity theft reports in 2001")
+            .run();
+        let _ = rt
+            .query(&ctx)
+            .compute("find the number of identity theft reports in 2024")
+            .run();
+        rt.recorder().clone()
+    }
+
+    /// Ablation D under trace: the legal ratio compute with the
+    /// split/merge rewrites on (rewrite events appear).
+    pub fn ablation_rewrite() -> Recorder {
+        let rt = Runtime::builder().seed(1).tracing(true).build();
+        let workload = legal::generate(1);
+        workload.install_oracle(&rt.env().llm);
+        let ctx = Context::builder("legal", workload.lake.clone())
+            .description(workload.description.clone())
+            .with_vector_index()
+            .build(&rt);
+        let _ = rt
+            .query(&ctx)
+            .compute(&workload.query)
+            .with_rewrites(true)
+            .run();
+        rt.recorder().clone()
+    }
+
+    /// Ablation B under trace: the optimizer-chosen Enron plan.
+    pub fn ablation_optimizer() -> Recorder {
+        let recorder = Recorder::new();
+        let env = ExecEnv::new(SimLlm::new(1)).with_recorder(recorder.clone());
+        let workload = enron::generate(1);
+        workload.install_oracle(&env.llm);
+        let ds = aida_core::ProgramSynthesizer::synthesize(&workload.query, &workload.lake);
+        let optimizer = Optimizer::new(&env, OptimizerConfig::default());
+        let optimized = optimizer.optimize(
+            ds.plan(),
+            &Policy::MinCost {
+                quality_floor: 0.85,
+            },
+        );
+        let _ = Executor::new(&env).execute(&optimized.physical);
+        recorder
+    }
+
+    /// Ablation E under trace: a small sampling budget, then execution.
+    pub fn ablation_sampling() -> Recorder {
+        let recorder = Recorder::new();
+        let env = ExecEnv::new(SimLlm::new(1)).with_recorder(recorder.clone());
+        let workload = enron::generate(1);
+        workload.install_oracle(&env.llm);
+        let ds = aida_core::ProgramSynthesizer::synthesize(&workload.query, &workload.lake);
+        let config = OptimizerConfig {
+            sampler: SamplerConfig {
+                sample_records: 10,
+                bandit_pulls: 12,
+            },
+            ..OptimizerConfig::default()
+        };
+        let optimizer = Optimizer::new(&env, config);
+        let optimized = optimizer.optimize(
+            ds.plan(),
+            &Policy::MinCost {
+                quality_floor: 0.85,
+            },
+        );
+        let _ = Executor::new(&env).execute(&optimized.physical);
+        recorder
+    }
+
+    /// Ablation C under trace: the full-scan semantic filter at the
+    /// smallest lake size.
+    pub fn ablation_access() -> Recorder {
+        let recorder = Recorder::new();
+        let env = ExecEnv::new(SimLlm::new(1)).with_recorder(recorder.clone());
+        let workload = legal::generate_scaled(1, 10);
+        workload.install_oracle(&env.llm);
+        let ds = Dataset::scan(&workload.lake, "legal").sem_filter(
+            "the file contains national statistics on the number of identity theft reports, \
+             covering both the years 2001 and 2024",
+        );
+        let plan = PhysicalPlan::uniform(ds.plan(), aida_llm::ModelId::Flagship, 8);
+        let _ = Executor::new(&env).execute(&plan);
+        recorder
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn results_dir_is_creatable() {
-        std::env::set_var("AIDA_RESULTS_DIR", std::env::temp_dir().join("aida_results_test"));
+        std::env::set_var(
+            "AIDA_RESULTS_DIR",
+            std::env::temp_dir().join("aida_results_test"),
+        );
         let dir = results_dir();
         assert!(dir.exists());
         std::env::remove_var("AIDA_RESULTS_DIR");

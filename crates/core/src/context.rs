@@ -101,8 +101,16 @@ impl Context {
             description,
             lake: lake.unwrap_or_else(|| self.lake.clone()),
             // Indexes describe the original lake; drop them when narrowed.
-            key_index: if narrowed { Arc::new(KeyIndex::new()) } else { Arc::clone(&self.key_index) },
-            vector_index: if narrowed { None } else { self.vector_index.clone() },
+            key_index: if narrowed {
+                Arc::new(KeyIndex::new())
+            } else {
+                Arc::clone(&self.key_index)
+            },
+            vector_index: if narrowed {
+                None
+            } else {
+                self.vector_index.clone()
+            },
             tools: self.tools.clone(),
             findings: findings.map(Arc::new),
         }
@@ -245,7 +253,9 @@ mod tests {
     #[test]
     fn context_is_a_dataset() {
         let rt = Runtime::builder().build();
-        let ctx = Context::builder("lake", lake()).description("test lake").build(&rt);
+        let ctx = Context::builder("lake", lake())
+            .description("test lake")
+            .build(&rt);
         let ds = ctx.dataset();
         assert_eq!(ds.plan().len(), 1);
         assert_eq!(ctx.len(), 2);
@@ -267,7 +277,9 @@ mod tests {
     #[test]
     fn vector_search_finds_relevant_doc() {
         let rt = Runtime::builder().build();
-        let ctx = Context::builder("lake", lake()).with_vector_index().build(&rt);
+        let ctx = Context::builder("lake", lake())
+            .with_vector_index()
+            .build(&rt);
         let hits = ctx.vector_search(&rt, "identity theft statistics 2024", 1);
         assert_eq!(hits, vec!["theft_2024.csv"]);
         // Without an index, search returns nothing.
@@ -309,9 +321,16 @@ mod tests {
     #[test]
     fn materialize_narrows_and_enriches() {
         let rt = Runtime::builder().build();
-        let ctx = Context::builder("lake", lake()).with_vector_index().build(&rt);
+        let ctx = Context::builder("lake", lake())
+            .with_vector_index()
+            .build(&rt);
         let narrow = DataLake::from_docs([lake().get("theft_2024.csv").unwrap().as_ref().clone()]);
-        let derived = ctx.materialize("lake/1", "FINDINGS: thefts in 2024".into(), Some(narrow), None);
+        let derived = ctx.materialize(
+            "lake/1",
+            "FINDINGS: thefts in 2024".into(),
+            Some(narrow),
+            None,
+        );
         assert_eq!(derived.len(), 1);
         assert!(derived.description.contains("FINDINGS"));
         // Narrowed contexts drop the (now stale) vector index.

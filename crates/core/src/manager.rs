@@ -10,6 +10,7 @@
 use crate::context::Context;
 use aida_llm::embed::{cosine, Embedder};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A cached materialization.
@@ -30,6 +31,8 @@ pub struct MaterializedContext {
 pub struct ContextManager {
     inner: Arc<RwLock<Vec<MaterializedContext>>>,
     embedder: Embedder,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
 }
 
 impl ContextManager {
@@ -77,11 +80,39 @@ impl ContextManager {
         best.map(|(i, s)| (inner[i].clone(), s))
     }
 
+    /// Retrieves a reusable Context at or above `threshold`, also
+    /// returning the best similarity observed (0.0 when nothing is
+    /// materialized). Every lookup bumps the hit/miss counters.
+    pub fn reuse_scored(
+        &self,
+        instruction: &str,
+        threshold: f32,
+    ) -> (Option<MaterializedContext>, f32) {
+        let best = self.find_similar(instruction);
+        let best_sim = best.as_ref().map(|(_, sim)| *sim).unwrap_or(0.0);
+        match best.filter(|(_, sim)| *sim >= threshold) {
+            Some((entry, sim)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                (Some(entry), sim)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                (None, best_sim)
+            }
+        }
+    }
+
     /// Retrieves a reusable Context at or above `threshold`.
     pub fn reuse(&self, instruction: &str, threshold: f32) -> Option<MaterializedContext> {
-        self.find_similar(instruction)
-            .filter(|(_, sim)| *sim >= threshold)
-            .map(|(entry, _)| entry)
+        self.reuse_scored(instruction, threshold).0
+    }
+
+    /// `(hits, misses)` across every reuse lookup so far.
+    pub fn reuse_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Drops every materialization (tests/trials).
@@ -138,10 +169,43 @@ mod tests {
             ctx(&rt, "FINDINGS: thefts 2001"),
             1.0,
         );
-        assert!(manager.reuse("find identity theft reports in 2024", 0.99).is_none());
-        assert!(manager.reuse("find identity theft reports in 2001", 0.95).is_some());
+        assert!(manager
+            .reuse("find identity theft reports in 2024", 0.99)
+            .is_none());
+        assert!(manager
+            .reuse("find identity theft reports in 2001", 0.95)
+            .is_some());
         // A completely unrelated instruction never reuses.
-        assert!(manager.reuse("weather forecast for tokyo marathon", 0.5).is_none());
+        assert!(manager
+            .reuse("weather forecast for tokyo marathon", 0.5)
+            .is_none());
+    }
+
+    #[test]
+    fn reuse_stats_count_hits_and_misses() {
+        let rt = Runtime::builder().build();
+        let manager = ContextManager::new();
+        assert_eq!(manager.reuse_stats(), (0, 0));
+        // A lookup against an empty manager is a miss.
+        assert!(manager.reuse("anything", 0.5).is_none());
+        assert_eq!(manager.reuse_stats(), (0, 1));
+        manager.register(
+            "find identity theft reports in 2001",
+            ctx(&rt, "FINDINGS: thefts 2001"),
+            1.0,
+        );
+        let (hit, sim) = manager.reuse_scored("find identity theft reports in 2001", 0.95);
+        assert!(hit.is_some());
+        assert!(sim >= 0.95);
+        let (missed, best) = manager.reuse_scored("weather forecast for tokyo marathon", 0.5);
+        assert!(missed.is_none());
+        assert!(
+            best < 0.5,
+            "best similarity is still reported on a miss: {best}"
+        );
+        assert_eq!(manager.reuse_stats(), (1, 2));
+        // Clones share the counters.
+        assert_eq!(manager.clone().reuse_stats(), (1, 2));
     }
 
     #[test]

@@ -25,6 +25,7 @@ use aida_agents::{
 };
 use aida_data::{DataLake, Value};
 use aida_llm::noise;
+use aida_obs::{clip, Event, SpanKind};
 use aida_script::ScriptValue;
 use std::sync::Arc;
 
@@ -100,7 +101,13 @@ pub struct Query {
 
 impl Query {
     pub(crate) fn new(runtime: Runtime, ctx: Context) -> Self {
-        Query { runtime, ctx, ops: Vec::new(), apply_rewrites: false, dynamic_retry: true }
+        Query {
+            runtime,
+            ctx,
+            ops: Vec::new(),
+            apply_rewrites: false,
+            dynamic_retry: true,
+        }
     }
 
     /// Appends a `search` operator.
@@ -134,7 +141,16 @@ impl Query {
 
     /// Runs the pipeline.
     pub fn run(self) -> ComputeOutcome {
+        // The query span opens before the rewrites so the rewrite judge's
+        // LLM calls land inside it (as its own direct events).
+        let names: Vec<&str> = self.ops.iter().map(|op| op.name()).collect();
+        let span = self.runtime.env().recorder.span(
+            SpanKind::Query,
+            names.join("+"),
+            self.runtime.env().clock.now(),
+        );
         let ops = if self.apply_rewrites {
+            span.attr("rewrites", "on");
             crate::rewrite::optimize_pipeline(&self.runtime, self.ops.clone())
         } else {
             self.ops.clone()
@@ -179,7 +195,14 @@ impl Query {
             }
         }
 
-        let delta = self.runtime.env().llm.meter().snapshot().since(&before);
+        let delta = self
+            .runtime
+            .env()
+            .llm
+            .meter()
+            .snapshot()
+            .delta_since(&before);
+        span.finish(self.runtime.env().clock.now());
         ComputeOutcome {
             answer,
             context: ctx,
@@ -199,16 +222,37 @@ fn run_op(
     let instruction = op.instruction().to_string();
     let before = runtime.env().llm.meter().snapshot();
     let t0 = runtime.env().clock.now();
+    let recorder = runtime.env().recorder.clone();
+    let span = recorder.span(SpanKind::AgenticOp, op.name(), t0);
+    span.attr("instruction", clip(&instruction, 80));
 
     // Materialized-Context reuse (§3 physical optimization): a search hit
     // is a full skip; a compute hit narrows the input Context.
     let mut reused = false;
     let mut ctx = input_ctx.clone();
     if runtime.config().enable_context_reuse {
-        if let Some(hit) = runtime
+        let (hit, similarity) = runtime
             .manager()
-            .reuse(&instruction, runtime.config().reuse_threshold)
-        {
+            .reuse_scored(&instruction, runtime.config().reuse_threshold);
+        if recorder.is_enabled() {
+            match &hit {
+                Some(_) => {
+                    recorder.event(Event::ReuseHit {
+                        instruction: clip(&instruction, 120),
+                        similarity: similarity as f64,
+                    });
+                    recorder.counter_add("context.reuse_hits", 1);
+                }
+                None => {
+                    recorder.event(Event::ReuseMiss {
+                        instruction: clip(&instruction, 120),
+                        best_similarity: similarity as f64,
+                    });
+                    recorder.counter_add("context.reuse_misses", 1);
+                }
+            }
+        }
+        if let Some(hit) = hit {
             match op {
                 AgenticOp::Search(_) => {
                     let trace = OpTrace {
@@ -220,6 +264,9 @@ fn run_op(
                         cost: 0.0,
                         time: runtime.env().clock.now() - t0,
                     };
+                    span.attr("reused", "true");
+                    span.rows(input_ctx.len(), hit.context.len());
+                    span.finish(runtime.env().clock.now());
                     return (hit.context, None, trace);
                 }
                 AgenticOp::Compute(_) => {
@@ -247,7 +294,11 @@ fn run_op(
             registry.register(Arc::clone(tool));
         }
     }
-    registry.register(program::run_semantic_program_tool(runtime, ctx.lake(), &program_trace));
+    registry.register(program::run_semantic_program_tool(
+        runtime,
+        ctx.lake(),
+        &program_trace,
+    ));
 
     let mode = match op {
         AgenticOp::Search(_) => OpMode::Search,
@@ -266,7 +317,10 @@ fn run_op(
             },
             seed: noise::combine(&[runtime.config().seed, idx, noise::hash_str(&instruction)]),
         },
-        Box::new(AgenticOpPolicy { instruction: instruction.clone(), mode }),
+        Box::new(AgenticOpPolicy {
+            instruction: instruction.clone(),
+            mode,
+        }),
     );
     let agent_runtime = AgentRuntime::new(runtime.env(), registry, Some(ctx.lake().clone()));
     let outcome = agent_runtime.run(&agent, &instruction);
@@ -295,9 +349,17 @@ fn run_op(
     };
     let new_ctx = ctx.materialize(new_id, description, narrowed, findings.clone());
 
-    let delta = runtime.env().llm.meter().snapshot().since(&before);
+    let delta = runtime.env().llm.meter().snapshot().delta_since(&before);
     let cost = delta.cost(runtime.env().llm.catalog());
-    runtime.manager().register(&instruction, new_ctx.clone(), cost);
+    runtime
+        .manager()
+        .register(&instruction, new_ctx.clone(), cost);
+
+    if reused {
+        span.attr("reused", "true");
+    }
+    span.rows(input_ctx.len(), new_ctx.len());
+    span.finish(runtime.env().clock.now());
 
     let trace = OpTrace {
         op: op.name().into(),
@@ -334,7 +396,10 @@ fn findings_summary(instruction: &str, records: &[aida_data::Record]) -> String 
     if records.is_empty() {
         return String::new();
     }
-    let mut out = format!("FINDINGS for \"{instruction}\" ({} records):", records.len());
+    let mut out = format!(
+        "FINDINGS for \"{instruction}\" ({} records):",
+        records.len()
+    );
     for rec in records.iter().take(6) {
         let mut line = format!("\n- {}: ", rec.source);
         let fields: Vec<String> = rec
@@ -370,7 +435,12 @@ fn context_access_tools(runtime: &Runtime, ctx: &Context) -> Vec<Arc<dyn aida_ag
                 .first()
                 .ok_or_else(|| aida_script::ScriptError::host("vector_search needs a query"))?
                 .as_str()?;
-            let k = args.get(1).map(|v| v.as_int()).transpose()?.unwrap_or(5).max(1) as usize;
+            let k = args
+                .get(1)
+                .map(|v| v.as_int())
+                .transpose()?
+                .unwrap_or(5)
+                .max(1) as usize;
             Ok(ScriptValue::list(
                 vctx.vector_search(&rt, query, k)
                     .into_iter()
@@ -392,7 +462,10 @@ fn context_access_tools(runtime: &Runtime, ctx: &Context) -> Vec<Arc<dyn aida_ag
                 .ok_or_else(|| aida_script::ScriptError::host("lookup needs a key"))?
                 .as_str()?;
             Ok(ScriptValue::list(
-                kctx.lookup(key).iter().map(|n| ScriptValue::str(n.clone())).collect(),
+                kctx.lookup(key)
+                    .iter()
+                    .map(|n| ScriptValue::str(n.clone()))
+                    .collect(),
             ))
         },
     )));
@@ -430,9 +503,9 @@ impl AgentPolicy for AgenticOpPolicy {
                     };
                     PolicyAction::Code(explore)
                 }
-                1 => PolicyAction::Code(format!(
-                    "rs = run_semantic_program(\"{instr}\")\nprint(rs)"
-                )),
+                1 => {
+                    PolicyAction::Code(format!("rs = run_semantic_program(\"{instr}\")\nprint(rs)"))
+                }
                 2 => PolicyAction::Code("final_answer(len(rs))".to_string()),
                 _ => PolicyAction::Done,
             },
@@ -487,9 +560,7 @@ if b != 0:
             };
         }
         match ctx.step {
-            0 => PolicyAction::Code(format!(
-                "rs = run_semantic_program(\"{instr}\")\nprint(rs)"
-            )),
+            0 => PolicyAction::Code(format!("rs = run_semantic_program(\"{instr}\")\nprint(rs)")),
             1 => PolicyAction::Code(
                 // Prefer a concrete extracted value; fall back to the
                 // matching sources, then to the raw records.
@@ -576,11 +647,20 @@ mod tests {
             .iter()
             .map(|v| v.as_str().unwrap().to_string())
             .collect();
-        let truth: std::collections::HashSet<&str> =
-            w.truth.as_doc_set().unwrap().iter().map(String::as_str).collect();
+        let truth: std::collections::HashSet<&str> = w
+            .truth
+            .as_doc_set()
+            .unwrap()
+            .iter()
+            .map(String::as_str)
+            .collect();
         let hits = names.iter().filter(|n| truth.contains(n.as_str())).count();
         let recall = hits as f64 / truth.len() as f64;
-        let precision = if names.is_empty() { 0.0 } else { hits as f64 / names.len() as f64 };
+        let precision = if names.is_empty() {
+            0.0
+        } else {
+            hits as f64 / names.len() as f64
+        };
         assert!(recall > 0.9, "recall {recall}");
         assert!(precision > 0.9, "precision {precision}");
     }
@@ -604,7 +684,10 @@ mod tests {
             "reuse should cut cost: first ${:.4}, second ${second_cost:.4}",
             first.cost
         );
-        assert!(second.trace.iter().any(|t| t.reused), "compute should reuse");
+        assert!(
+            second.trace.iter().any(|t| t.reused),
+            "compute should reuse"
+        );
     }
 
     #[test]
@@ -613,7 +696,9 @@ mod tests {
         let _ = rt.query(&ctx).compute(legal::QUERY).run();
         let tables = rt.table_names();
         assert!(!tables.is_empty(), "compute materializes tables");
-        let out = rt.sql(&format!("SELECT COUNT(*) AS n FROM {}", tables[0])).unwrap();
+        let out = rt
+            .sql(&format!("SELECT COUNT(*) AS n FROM {}", tables[0]))
+            .unwrap();
         assert!(out.cell(0, "n").unwrap().as_int().unwrap() >= 1);
     }
 
@@ -642,7 +727,11 @@ mod tests {
             "retry inserts a search before the compute: {ops:?}"
         );
         // Retry can be disabled.
-        let outcome = rt.query(&ctx).compute(query).with_dynamic_retry(false).run();
+        let outcome = rt
+            .query(&ctx)
+            .compute(query)
+            .with_dynamic_retry(false)
+            .run();
         assert_eq!(outcome.trace.len(), 1);
     }
 

@@ -9,6 +9,7 @@
 use crate::runtime::Runtime;
 use aida_agents::{FnTool, Tool, ToolSpec};
 use aida_data::{DataLake, Field, Record, Value};
+use aida_obs::SpanKind;
 use aida_optimizer::Optimizer;
 use aida_script::{ScriptError, ScriptValue};
 use aida_semops::{Dataset, Executor};
@@ -95,8 +96,7 @@ impl ProgramSynthesizer {
                     "the email contains firsthand discussion of one or more of the {names} \
                      business transactions"
                 ));
-        } else if let (Some(phrase), Some(year)) = (number_of_phrase(instruction), years.first())
-        {
+        } else if let (Some(phrase), Some(year)) = (number_of_phrase(instruction), years.first()) {
             ds = ds
                 .sem_filter(format!(
                     "the file contains statistics on the number of {phrase}, including data \
@@ -116,7 +116,10 @@ impl ProgramSynthesizer {
         for field in extract_fields(instruction) {
             ds = ds.sem_extract(
                 format!("extract the {field} from the email"),
-                vec![Field::described(field.clone(), format!("the {field} of the item"))],
+                vec![Field::described(
+                    field.clone(),
+                    format!("the {field} of the item"),
+                )],
             );
         }
         ds
@@ -159,7 +162,8 @@ pub fn extract_fields(instruction: &str) -> Vec<String> {
         .flat_map(|part| part.split(" and "))
         .filter_map(|part| {
             // Keep the last word of each phrase ("a short summary" -> summary).
-            part.split_whitespace().rfind(|w| w.chars().all(|c| c.is_alphanumeric()))
+            part.split_whitespace()
+                .rfind(|w| w.chars().all(|c| c.is_alphanumeric()))
                 .map(str::to_string)
         })
         .filter(|f| f.len() > 2)
@@ -193,12 +197,23 @@ pub fn run_semantic_program_tool(
                 .as_str()?
                 .to_string();
             let ds = ProgramSynthesizer::synthesize(&instruction, &lake);
+            // The program span opens before the optimizer so sampling
+            // calls land inside it: its aggregate cost equals
+            // `ProgramRun.cost` (sampling + execution).
+            let span = runtime.env().recorder.span(
+                SpanKind::Program,
+                aida_obs::clip(&instruction, 60),
+                runtime.env().clock.now(),
+            );
             let optimizer = Optimizer::new(runtime.env(), runtime.config().optimizer.clone());
             let optimized = optimizer.optimize(ds.plan(), &runtime.config().policy);
             let before = runtime.env().llm.meter().snapshot();
             let t0 = runtime.env().clock.now();
             let report = Executor::new(runtime.env()).execute(&optimized.physical);
-            let delta = runtime.env().llm.meter().snapshot().since(&before);
+            let delta = runtime.env().llm.meter().snapshot().delta_since(&before);
+            span.attr("plan", aida_obs::clip(&optimized.physical.render(), 160));
+            span.rows(lake.len(), report.records.len());
+            span.finish(runtime.env().clock.now());
             trace.push(ProgramRun {
                 instruction: instruction.clone(),
                 plan: optimized.physical.render(),
@@ -311,8 +326,12 @@ mod tests {
             &lake,
         );
         let ops = ds.plan().ops();
-        assert!(matches!(&ops[1], LogicalOp::SemFilter { instruction } if instruction.contains("2024")));
-        assert!(matches!(&ops[2], LogicalOp::SemExtract { fields, .. } if fields[0].name == "value"));
+        assert!(
+            matches!(&ops[1], LogicalOp::SemFilter { instruction } if instruction.contains("2024"))
+        );
+        assert!(
+            matches!(&ops[2], LogicalOp::SemExtract { fields, .. } if fields[0].name == "value")
+        );
     }
 
     #[test]
@@ -338,7 +357,9 @@ mod tests {
 
     #[test]
     fn findings_table_has_source_column() {
-        let rec = Record::new("a.eml").with("sender", "x@y.com").with("contents", "big");
+        let rec = Record::new("a.eml")
+            .with("sender", "x@y.com")
+            .with("contents", "big");
         let t = findings_table(&[rec]);
         assert!(t.schema().contains("source"));
         assert!(t.schema().contains("sender"));

@@ -16,17 +16,32 @@ use crate::ops::AgenticOp;
 use crate::runtime::Runtime;
 use aida_agents::policy::task_years;
 use aida_llm::embed::cosine;
+use aida_obs::{clip, Event};
 
 /// Similarity above which two adjacent searches are considered duplicates.
 pub const MERGE_THRESHOLD: f32 = 0.92;
 
 /// Applies all static rewrites: judge-gated splitting, then merging.
 pub fn optimize_pipeline(runtime: &Runtime, ops: Vec<AgenticOp>) -> Vec<AgenticOp> {
+    let recorder = runtime.env().recorder.clone();
     let gated: Vec<AgenticOp> = ops
         .into_iter()
         .flat_map(|op| match &op {
             AgenticOp::Compute(instr) if judge_needs_split(runtime, instr) => {
-                split_computes(vec![op])
+                let instr = instr.clone();
+                let out = split_computes(vec![op]);
+                if out.len() > 1 && recorder.is_enabled() {
+                    recorder.event(Event::Rewrite {
+                        rule: "split_computes".into(),
+                        detail: format!(
+                            "{} scoped searches inserted before \"{}\"",
+                            out.len() - 1,
+                            clip(&instr, 80)
+                        ),
+                    });
+                    recorder.counter_add("rewrites.split_computes", 1);
+                }
+                out
             }
             _ => vec![op],
         })
@@ -63,7 +78,10 @@ pub fn judge_needs_split(runtime: &Runtime, instruction: &str) -> bool {
         },
     );
     runtime.env().clock.advance(resp.latency_s);
-    resp.value.as_int().map(|i| i == 1).unwrap_or(structurally_overloaded)
+    resp.value
+        .as_int()
+        .map(|i| i == 1)
+        .unwrap_or(structurally_overloaded)
 }
 
 /// Splits overloaded compute directives.
@@ -76,8 +94,7 @@ pub fn split_computes(ops: Vec<AgenticOp>) -> Vec<AgenticOp> {
     for op in ops {
         match &op {
             AgenticOp::Compute(instr) => {
-                let preceded_by_search =
-                    matches!(out.last(), Some(AgenticOp::Search(_)));
+                let preceded_by_search = matches!(out.last(), Some(AgenticOp::Search(_)));
                 let years = task_years(instr);
                 let lower = instr.to_ascii_lowercase();
                 if !preceded_by_search && lower.contains("ratio") && years.len() >= 2 {
@@ -110,6 +127,17 @@ pub fn merge_searches(runtime: &Runtime, ops: Vec<AgenticOp>) -> Vec<AgenticOp> 
         {
             let sim = cosine(&embedder.embed(prev_instr), &embedder.embed(new_instr));
             if sim >= MERGE_THRESHOLD {
+                let recorder = &runtime.env().recorder;
+                if recorder.is_enabled() {
+                    recorder.event(Event::Rewrite {
+                        rule: "merge_searches".into(),
+                        detail: format!(
+                            "dropped \"{}\" (similarity {sim:.3} to its predecessor)",
+                            clip(new_instr, 80)
+                        ),
+                    });
+                    recorder.counter_add("rewrites.merge_searches", 1);
+                }
                 continue; // duplicate of the previous search
             }
         }
@@ -147,7 +175,9 @@ mod tests {
 
     #[test]
     fn non_ratio_computes_are_untouched() {
-        let ops = vec![AgenticOp::Compute("filter the emails for Raptor mentions".into())];
+        let ops = vec![AgenticOp::Compute(
+            "filter the emails for Raptor mentions".into(),
+        )];
         assert_eq!(split_computes(ops.clone()), ops);
     }
 

@@ -3,6 +3,7 @@
 use crate::manager::ContextManager;
 use aida_data::Table;
 use aida_llm::{ModelId, SimLlm, UsageSnapshot};
+use aida_obs::{Event, Recorder, SpanKind};
 use aida_optimizer::{OptimizerConfig, Policy};
 use aida_semops::ExecEnv;
 use aida_sql::{Catalog, SqlError};
@@ -30,6 +31,10 @@ pub struct RuntimeConfig {
     /// fault bills a failed attempt and retry backoff; results never
     /// change).
     pub fault_rate: f64,
+    /// Whether to record a hierarchical span trace of every query
+    /// (spans, events, counters — rendered by `EXPLAIN ANALYZE` and the
+    /// JSONL exporter). Off by default: the disabled recorder is a no-op.
+    pub tracing: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -38,11 +43,14 @@ impl Default for RuntimeConfig {
             seed: 0,
             agent_model: ModelId::Flagship,
             optimizer: OptimizerConfig::default(),
-            policy: Policy::MinCost { quality_floor: 0.85 },
+            policy: Policy::MinCost {
+                quality_floor: 0.85,
+            },
             enable_context_reuse: true,
             reuse_threshold: 0.80,
             agent_max_steps: 8,
             fault_rate: 0.0,
+            tracing: false,
         }
     }
 }
@@ -78,6 +86,17 @@ impl Runtime {
         &self.manager
     }
 
+    /// The trace recorder (disabled unless the runtime was built with
+    /// `.tracing(true)`).
+    pub fn recorder(&self) -> &Recorder {
+        &self.env.recorder
+    }
+
+    /// Context-reuse `(hits, misses)` observed so far.
+    pub fn reuse_stats(&self) -> (u64, u64) {
+        self.manager.reuse_stats()
+    }
+
     /// Registers a materialized table for SQL reuse.
     pub fn register_table(&self, name: &str, table: Table) {
         self.catalog.lock().register(name, table);
@@ -100,18 +119,57 @@ impl Runtime {
 
     /// Names of the materialized tables.
     pub fn table_names(&self) -> Vec<String> {
-        self.catalog.lock().names().iter().map(|s| s.to_string()).collect()
+        self.catalog
+            .lock()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     }
 
     /// Runs a SQL query over the materialized tables.
     pub fn sql(&self, query: &str) -> Result<Table, SqlError> {
-        aida_sql::execute(query, &self.catalog.lock())
+        let span = self.env.recorder.span(
+            SpanKind::Sql,
+            aida_obs::clip(query, 60),
+            self.env.clock.now(),
+        );
+        let result = aida_sql::execute(query, &self.catalog.lock());
+        if self.env.recorder.is_enabled() {
+            let rows_out = result.as_ref().map(|t| t.len()).unwrap_or(0);
+            span.rows(0, rows_out);
+            self.env.recorder.event(Event::Sql {
+                statement: aida_obs::clip(query, 200),
+                rows_out,
+            });
+            self.env.recorder.counter_add("sql.statements", 1);
+        }
+        span.finish(self.env.clock.now());
+        result
     }
 
     /// Runs a general SQL statement (`SELECT`, `CREATE TABLE … AS`,
     /// `DROP TABLE`, `EXPLAIN`) over the materialized tables.
     pub fn sql_statement(&self, sql: &str) -> Result<aida_sql::StatementResult, SqlError> {
-        aida_sql::execute_statement(sql, &mut self.catalog.lock())
+        let span =
+            self.env
+                .recorder
+                .span(SpanKind::Sql, aida_obs::clip(sql, 60), self.env.clock.now());
+        let result = aida_sql::execute_statement(sql, &mut self.catalog.lock());
+        if self.env.recorder.is_enabled() {
+            let rows_out = match &result {
+                Ok(aida_sql::StatementResult::Rows(t)) => t.len(),
+                _ => 0,
+            };
+            span.rows(0, rows_out);
+            self.env.recorder.event(Event::Sql {
+                statement: aida_obs::clip(sql, 200),
+                rows_out,
+            });
+            self.env.recorder.counter_add("sql.statements", 1);
+        }
+        span.finish(self.env.clock.now());
+        result
     }
 
     /// Starts an agentic query pipeline over a context.
@@ -196,6 +254,12 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables span-trace recording (`EXPLAIN ANALYZE` + JSONL export).
+    pub fn tracing(mut self, enable: bool) -> Self {
+        self.config.tracing = enable;
+        self
+    }
+
     /// Sets the full configuration at once.
     pub fn config(mut self, config: RuntimeConfig) -> Self {
         self.config = config;
@@ -205,8 +269,12 @@ impl RuntimeBuilder {
     /// Builds the runtime.
     pub fn build(self) -> Runtime {
         let llm = SimLlm::new(self.config.seed).with_fault_rate(self.config.fault_rate);
+        let mut env = ExecEnv::new(llm);
+        if self.config.tracing {
+            env = env.with_recorder(Recorder::new());
+        }
         Runtime {
-            env: ExecEnv::new(llm),
+            env,
             manager: ContextManager::new(),
             catalog: Arc::new(Mutex::new(Catalog::new())),
             config: self.config,
@@ -246,7 +314,9 @@ mod tests {
         t.push_row(vec![Value::Int(2024), Value::Int(10)]).unwrap();
         rt.register_table("thefts", t);
         assert_eq!(rt.table_names(), vec!["thefts".to_string()]);
-        let out = rt.sql("SELECT thefts FROM thefts WHERE year = 2024").unwrap();
+        let out = rt
+            .sql("SELECT thefts FROM thefts WHERE year = 2024")
+            .unwrap();
         assert_eq!(out.cell(0, "thefts"), Some(&Value::Int(10)));
     }
 

@@ -67,7 +67,10 @@ pub fn parse(text: &str) -> Result<Vec<Vec<String>>, DataError> {
     }
 
     if in_quotes {
-        return Err(DataError::Csv { line, message: "unterminated quoted field".into() });
+        return Err(DataError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
     }
     if saw_any && (!cell.is_empty() || !row.is_empty()) {
         row.push(cell);
@@ -95,7 +98,10 @@ pub fn parse_table(text: &str) -> Result<Table, DataError> {
     let mut table = Table::new(schema);
     for (i, row) in iter.enumerate() {
         if row.len() > header.len() {
-            return Err(DataError::ArityMismatch { expected: header.len(), found: row.len() });
+            return Err(DataError::ArityMismatch {
+                expected: header.len(),
+                found: row.len(),
+            });
         }
         let mut values: Vec<Value> = row.iter().map(|c| Value::infer(c)).collect();
         values.resize(header.len(), Value::Null);
@@ -148,8 +154,12 @@ pub fn write(rows: &[Vec<String>]) -> String {
 
 /// Serializes a [`Table`] (header + rows) to CSV text.
 pub fn write_table(table: &Table) -> String {
-    let mut rows: Vec<Vec<String>> =
-        vec![table.schema().names().iter().map(|s| s.to_string()).collect()];
+    let mut rows: Vec<Vec<String>> = vec![table
+        .schema()
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect()];
     for row in table.rows() {
         rows.push(row.iter().map(|v| v.to_string()).collect());
     }

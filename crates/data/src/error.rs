@@ -8,7 +8,10 @@ pub enum DataError {
     /// A CSV document was structurally malformed (e.g. unterminated quote).
     Csv { line: usize, message: String },
     /// A value could not be coerced to the requested type.
-    TypeMismatch { expected: &'static str, found: String },
+    TypeMismatch {
+        expected: &'static str,
+        found: String,
+    },
     /// A referenced field does not exist in the schema.
     UnknownField(String),
     /// A referenced document does not exist in the lake.
@@ -31,7 +34,10 @@ impl fmt::Display for DataError {
             DataError::UnknownField(name) => write!(f, "unknown field: {name}"),
             DataError::UnknownDocument(name) => write!(f, "unknown document: {name}"),
             DataError::ArityMismatch { expected, found } => {
-                write!(f, "arity mismatch: expected {expected} columns, found {found}")
+                write!(
+                    f,
+                    "arity mismatch: expected {expected} columns, found {found}"
+                )
             }
             DataError::Io(msg) => write!(f, "io error: {msg}"),
         }
@@ -52,9 +58,18 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = DataError::Csv { line: 3, message: "unterminated quote".into() };
-        assert_eq!(err.to_string(), "csv parse error at line 3: unterminated quote");
-        let err = DataError::TypeMismatch { expected: "int", found: "str(\"x\")".into() };
+        let err = DataError::Csv {
+            line: 3,
+            message: "unterminated quote".into(),
+        };
+        assert_eq!(
+            err.to_string(),
+            "csv parse error at line 3: unterminated quote"
+        );
+        let err = DataError::TypeMismatch {
+            expected: "int",
+            found: "str(\"x\")".into(),
+        };
         assert!(err.to_string().contains("expected int"));
         let err = DataError::UnknownField("year".into());
         assert!(err.to_string().contains("year"));

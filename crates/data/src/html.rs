@@ -20,9 +20,7 @@ pub fn to_text(html: &str) -> String {
         if c == '<' {
             let rest = &html[i..];
             if let Some(close) = skip_until {
-                if rest.len() >= close.len()
-                    && rest[..close.len()].eq_ignore_ascii_case(close)
-                {
+                if rest.len() >= close.len() && rest[..close.len()].eq_ignore_ascii_case(close) {
                     skip_until = None;
                 }
                 // Consume through the end of this tag either way.
@@ -198,7 +196,9 @@ fn parse_row_cells(row_html: &str) -> Vec<String> {
             .find(close)
             .map(|p| content_start + p)
             .unwrap_or(lower.len());
-        cells.push(decode_entities(strip_tags(&row_html[content_start..content_end]).trim()));
+        cells.push(decode_entities(
+            strip_tags(&row_html[content_start..content_end]).trim(),
+        ));
         cursor = content_end + 1;
         if cursor >= lower.len() {
             break;
@@ -255,7 +255,10 @@ mod tests {
 
     #[test]
     fn entities_decode() {
-        assert_eq!(decode_entities("a &lt;b&gt; &amp; c &#39;d&#39;"), "a <b> & c 'd'");
+        assert_eq!(
+            decode_entities("a &lt;b&gt; &amp; c &#39;d&#39;"),
+            "a <b> & c 'd'"
+        );
         assert_eq!(decode_entities("no entities"), "no entities");
         assert_eq!(decode_entities("&unknown;"), "&unknown;");
     }

@@ -64,7 +64,8 @@ impl DataLake {
 
     /// Lookup by file name, failing with [`DataError::UnknownDocument`].
     pub fn require(&self, name: &str) -> Result<&Arc<Document>, DataError> {
-        self.get(name).ok_or_else(|| DataError::UnknownDocument(name.to_string()))
+        self.get(name)
+            .ok_or_else(|| DataError::UnknownDocument(name.to_string()))
     }
 
     /// File names in insertion order.
@@ -154,7 +155,10 @@ mod tests {
     #[test]
     fn names_preserve_insertion_order() {
         let lake = lake();
-        assert_eq!(lake.names(), vec!["national.csv", "alabama.csv", "report.html"]);
+        assert_eq!(
+            lake.names(),
+            vec!["national.csv", "alabama.csv", "report.html"]
+        );
     }
 
     #[test]

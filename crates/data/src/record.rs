@@ -24,12 +24,18 @@ pub struct Field {
 impl Field {
     /// Creates a field with an empty description.
     pub fn new(name: impl Into<String>) -> Self {
-        Field { name: name.into(), desc: String::new() }
+        Field {
+            name: name.into(),
+            desc: String::new(),
+        }
     }
 
     /// Creates a field with a natural-language description.
     pub fn described(name: impl Into<String>, desc: impl Into<String>) -> Self {
-        Field { name: name.into(), desc: desc.into() }
+        Field {
+            name: name.into(),
+            desc: desc.into(),
+        }
     }
 }
 
@@ -51,7 +57,9 @@ impl Schema {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Schema { fields: names.into_iter().map(|n| Field::new(n)).collect() }
+        Schema {
+            fields: names.into_iter().map(|n| Field::new(n)).collect(),
+        }
     }
 
     /// Builds a schema from explicit fields.
@@ -125,7 +133,10 @@ pub struct Record {
 impl Record {
     /// Creates an empty record with a source tag.
     pub fn new(source: impl Into<String>) -> Self {
-        Record { fields: Vec::new(), source: source.into() }
+        Record {
+            fields: Vec::new(),
+            source: source.into(),
+        }
     }
 
     /// Builder-style field insertion (replaces an existing field).
@@ -156,7 +167,8 @@ impl Record {
 
     /// Required field lookup.
     pub fn require(&self, name: &str) -> Result<&Value, DataError> {
-        self.get(name).ok_or_else(|| DataError::UnknownField(name.to_string()))
+        self.get(name)
+            .ok_or_else(|| DataError::UnknownField(name.to_string()))
     }
 
     /// Iterates `(name, value)` pairs in insertion order.

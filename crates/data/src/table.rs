@@ -18,7 +18,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// The table's schema.
@@ -71,7 +74,10 @@ impl Table {
     /// Finds the first row where `column == value` (loose numeric equality).
     pub fn find_row(&self, column: &str, value: &Value) -> Option<&[Value]> {
         let idx = self.schema.index_of(column)?;
-        self.rows.iter().find(|r| r[idx].loose_eq(value)).map(|r| r.as_slice())
+        self.rows
+            .iter()
+            .find(|r| r[idx].loose_eq(value))
+            .map(|r| r.as_slice())
     }
 
     /// Converts rows into [`Record`]s tagged with `source`.
@@ -138,7 +144,10 @@ impl Table {
             }
             out.push('\n');
         };
-        write_row(&mut out, &names.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        write_row(
+            &mut out,
+            &names.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        );
         let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
         write_row(&mut out, &sep);
         for row in &rendered {
@@ -154,8 +163,10 @@ mod tests {
 
     fn sample() -> Table {
         let mut t = Table::new(Schema::of(["year", "thefts"]));
-        t.push_row(vec![Value::Int(2001), Value::Int(86_250)]).unwrap();
-        t.push_row(vec![Value::Int(2024), Value::Int(1_135_291)]).unwrap();
+        t.push_row(vec![Value::Int(2001), Value::Int(86_250)])
+            .unwrap();
+        t.push_row(vec![Value::Int(2024), Value::Int(1_135_291)])
+            .unwrap();
         t
     }
 

@@ -169,7 +169,10 @@ impl Value {
 }
 
 fn type_err(expected: &'static str, found: &Value) -> DataError {
-    DataError::TypeMismatch { expected, found: format!("{found}") }
+    DataError::TypeMismatch {
+        expected,
+        found: format!("{found}"),
+    }
 }
 
 impl fmt::Display for Value {
@@ -290,13 +293,19 @@ mod tests {
     #[test]
     fn ordering_across_numeric_types() {
         use std::cmp::Ordering::*;
-        assert_eq!(Value::Int(2).partial_cmp_value(&Value::Float(2.5)), Some(Less));
+        assert_eq!(
+            Value::Int(2).partial_cmp_value(&Value::Float(2.5)),
+            Some(Less)
+        );
         assert_eq!(Value::Null.partial_cmp_value(&Value::Int(0)), Some(Less));
         assert_eq!(
             Value::Str("a".into()).partial_cmp_value(&Value::Str("b".into())),
             Some(Less)
         );
-        assert_eq!(Value::Str("a".into()).partial_cmp_value(&Value::Int(1)), None);
+        assert_eq!(
+            Value::Str("a".into()).partial_cmp_value(&Value::Int(1)),
+            None
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Experiment drivers: one per table/figure of the paper (plus ablations).
 
+use crate::json::Json;
 use crate::metrics::{self, f1_score, percent_error};
 use crate::systems::{run_code_agent, run_pz_compute, run_semops_handcrafted, SystemAnswer};
-use crate::json::Json;
 use aida_core::{Context, Runtime};
 use aida_synth::{enron, legal, Workload};
 
@@ -18,7 +18,10 @@ pub struct Row {
 impl Row {
     /// Value of a metric by name.
     pub fn get(&self, metric: &str) -> Option<f64> {
-        self.values.iter().find(|(n, _)| n == metric).map(|(_, v)| *v)
+        self.values
+            .iter()
+            .find(|(n, _)| n == metric)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -58,7 +61,13 @@ impl ExperimentReport {
                 *out += &format!(" | {c:>w$}", w = w);
             }
             out.push('\n');
-            *out += &"-".repeat(13 + self.columns.iter().map(|c| c.len().max(9) + 3).sum::<usize>());
+            *out += &"-".repeat(
+                13 + self
+                    .columns
+                    .iter()
+                    .map(|c| c.len().max(9) + 3)
+                    .sum::<usize>(),
+            );
             out.push('\n');
             for row in rows {
                 *out += &format!("{:<12}", row.system);
@@ -169,9 +178,18 @@ pub fn table1(seeds: &[u64]) -> ExperimentReport {
         columns: vec!["pct_err".into(), "cost".into(), "time_s".into()],
         rows,
         paper: vec![
-            paper_row("Sem. Ops", &[("pct_err", 0.17), ("cost", 1.66), ("time_s", 215.2)]),
-            paper_row("CodeAgent", &[("pct_err", 0.2756), ("cost", 0.03), ("time_s", 77.0)]),
-            paper_row("PZ compute", &[("pct_err", 0.0002), ("cost", 1.17), ("time_s", 583.0)]),
+            paper_row(
+                "Sem. Ops",
+                &[("pct_err", 0.17), ("cost", 1.66), ("time_s", 215.2)],
+            ),
+            paper_row(
+                "CodeAgent",
+                &[("pct_err", 0.2756), ("cost", 0.03), ("time_s", 77.0)],
+            ),
+            paper_row(
+                "PZ compute",
+                &[("pct_err", 0.0002), ("cost", 1.17), ("time_s", 583.0)],
+            ),
         ],
         trials: seeds.len(),
     }
@@ -231,15 +249,33 @@ pub fn table2(seeds: &[u64]) -> ExperimentReport {
         paper: vec![
             paper_row(
                 "CodeAgent",
-                &[("f1", 0.5053), ("recall", 0.4615), ("precision", 0.8889), ("cost", 0.08), ("time_s", 37.0)],
+                &[
+                    ("f1", 0.5053),
+                    ("recall", 0.4615),
+                    ("precision", 0.8889),
+                    ("cost", 0.08),
+                    ("time_s", 37.0),
+                ],
             ),
             paper_row(
                 "CodeAgent+",
-                &[("f1", 0.9867), ("recall", 0.9744), ("precision", 1.0), ("cost", 3.76), ("time_s", 1999.9)],
+                &[
+                    ("f1", 0.9867),
+                    ("recall", 0.9744),
+                    ("precision", 1.0),
+                    ("cost", 3.76),
+                    ("time_s", 1999.9),
+                ],
             ),
             paper_row(
                 "PZ compute",
-                &[("f1", 0.9867), ("recall", 0.9744), ("precision", 1.0), ("cost", 0.87), ("time_s", 546.2)],
+                &[
+                    ("f1", 0.9867),
+                    ("recall", 0.9744),
+                    ("precision", 1.0),
+                    ("cost", 0.87),
+                    ("time_s", 546.2),
+                ],
             ),
         ],
         trials: seeds.len(),
@@ -323,7 +359,12 @@ pub fn ablation_optimizer(seeds: &[u64]) -> ExperimentReport {
                     let optimizer =
                         Optimizer::new(&env, aida_optimizer::OptimizerConfig::default());
                     optimizer
-                        .optimize(ds.plan(), &Policy::MinCost { quality_floor: 0.85 })
+                        .optimize(
+                            ds.plan(),
+                            &Policy::MinCost {
+                                quality_floor: 0.85,
+                            },
+                        )
                         .physical
                 }
                 1 => PhysicalPlan::uniform(ds.plan(), ModelId::Flagship, 8),
@@ -333,8 +374,7 @@ pub fn ablation_optimizer(seeds: &[u64]) -> ExperimentReport {
             let t0 = env.clock.now();
             let report = Executor::new(&env).execute(&plan);
             let delta = env.llm.meter().snapshot().since(&before);
-            let docs: Vec<String> =
-                report.records.iter().map(|r| r.source.clone()).collect();
+            let docs: Vec<String> = report.records.iter().map(|r| r.source.clone()).collect();
             slot.1.push(enron_prf(&SystemAnswer::Docs(docs), &workload));
             slot.2.push(delta.cost(env.llm.catalog()));
             slot.3.push(env.clock.now() - t0);
@@ -345,7 +385,10 @@ pub fn ablation_optimizer(seeds: &[u64]) -> ExperimentReport {
         .map(|(name, prfs, costs, times)| Row {
             system: name.to_string(),
             values: vec![
-                ("f1".into(), metrics::mean(&prfs.iter().map(|p| p.f1).collect::<Vec<_>>())),
+                (
+                    "f1".into(),
+                    metrics::mean(&prfs.iter().map(|p| p.f1).collect::<Vec<_>>()),
+                ),
                 ("cost".into(), metrics::mean(&costs)),
                 ("time_s".into(), metrics::mean(&times)),
             ],
@@ -375,24 +418,33 @@ pub fn ablation_sampling(seeds: &[u64], budgets: &[usize]) -> ExperimentReport {
         let mut sampling_costs = Vec::new();
         for &seed in seeds {
             let workload = enron::generate(seed);
-            let ds =
-                aida_core::ProgramSynthesizer::synthesize(&workload.query, &workload.lake);
+            let ds = aida_core::ProgramSynthesizer::synthesize(&workload.query, &workload.lake);
             let env = ExecEnv::new(aida_llm::SimLlm::new(seed));
             workload.install_oracle(&env.llm);
             let config = OptimizerConfig {
-                sampler: SamplerConfig { sample_records: 10, bandit_pulls: pulls },
+                sampler: SamplerConfig {
+                    sample_records: 10,
+                    bandit_pulls: pulls,
+                },
                 skip_sampling: pulls == 0,
                 ..OptimizerConfig::default()
             };
             let optimizer = Optimizer::new(&env, config);
-            let optimized =
-                optimizer.optimize(ds.plan(), &Policy::MinCost { quality_floor: 0.85 });
+            let optimized = optimizer.optimize(
+                ds.plan(),
+                &Policy::MinCost {
+                    quality_floor: 0.85,
+                },
+            );
             let before = env.llm.meter().snapshot();
             let report = Executor::new(&env).execute(&optimized.physical);
-            let exec_cost =
-                env.llm.meter().snapshot().since(&before).cost(env.llm.catalog());
-            let docs: Vec<String> =
-                report.records.iter().map(|r| r.source.clone()).collect();
+            let exec_cost = env
+                .llm
+                .meter()
+                .snapshot()
+                .since(&before)
+                .cost(env.llm.catalog());
+            let docs: Vec<String> = report.records.iter().map(|r| r.source.clone()).collect();
             prfs.push(enron_prf(&SystemAnswer::Docs(docs), &workload));
             costs.push(exec_cost + optimized.matrix.sampling_cost);
             sampling_costs.push(optimized.matrix.sampling_cost);
@@ -400,7 +452,10 @@ pub fn ablation_sampling(seeds: &[u64], budgets: &[usize]) -> ExperimentReport {
         rows.push(Row {
             system: format!("pulls={pulls}"),
             values: vec![
-                ("f1".into(), metrics::mean(&prfs.iter().map(|p| p.f1).collect::<Vec<_>>())),
+                (
+                    "f1".into(),
+                    metrics::mean(&prfs.iter().map(|p| p.f1).collect::<Vec<_>>()),
+                ),
                 ("cost".into(), metrics::mean(&costs)),
                 ("sampling_cost".into(), metrics::mean(&sampling_costs)),
             ],
@@ -464,8 +519,11 @@ pub fn ablation_access(sizes: &[usize], seed: u64) -> ExperimentReport {
             "the file contains national statistics on the number of identity theft reports, \
              covering both the years 2001 and 2024",
         );
-        let report = Executor::new(rt.env())
-            .execute(&PhysicalPlan::uniform(ds.plan(), ModelId::Flagship, 8));
+        let report = Executor::new(rt.env()).execute(&PhysicalPlan::uniform(
+            ds.plan(),
+            ModelId::Flagship,
+            8,
+        ));
         let delta = rt.usage().since(&before);
         rows.push(Row {
             system: format!("index@{n_files}"),
@@ -580,7 +638,14 @@ pub fn figure1(seed: u64) -> String {
 /// **Figure 2**: the search → compute pipeline over a Context, with the
 /// Context description before/after each operator.
 pub fn figure2(seed: u64) -> String {
-    let rt = Runtime::builder().seed(seed).build();
+    figure2_traced(seed).0
+}
+
+/// Like [`figure2`], but with span tracing enabled; returns the recorder
+/// alongside the rendered figure. Recording never touches the clock or
+/// meter, so the rendered text is identical to the untraced run.
+pub fn figure2_traced(seed: u64) -> (String, aida_obs::Recorder) {
+    let rt = Runtime::builder().seed(seed).tracing(true).build();
     let workload = legal::generate(seed);
     workload.install_oracle(&rt.env().llm);
     let ctx = Context::builder("legal", workload.lake.clone())
@@ -628,7 +693,7 @@ pub fn figure2(seed: u64) -> String {
         outcome.cost,
         outcome.time
     );
-    out
+    (out, rt.recorder().clone())
 }
 
 fn paper_row(system: &str, values: &[(&str, f64)]) -> Row {
@@ -722,7 +787,11 @@ mod figure_tests {
         assert!(text.contains("Prototype compute operator"));
         assert!(text.contains("physical plan"));
         assert!(text.contains("final_answer"));
-        assert!(text.len() > 2_000, "trace should be substantial: {}", text.len());
+        assert!(
+            text.len() > 2_000,
+            "trace should be substantial: {}",
+            text.len()
+        );
     }
 
     #[test]

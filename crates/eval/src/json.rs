@@ -1,170 +1,21 @@
 //! A minimal JSON writer (keeps serde out of the dependency tree).
 //!
-//! Only what result files need: objects, arrays, strings, numbers, bools.
+//! The implementation lives in `aida-obs` (the trace exporter needs it
+//! below this crate in the dependency graph); this module re-exports it so
+//! existing `aida_eval::json::Json` paths keep working.
 
-use std::fmt::Write;
-
-/// A JSON value under construction.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// Boolean.
-    Bool(bool),
-    /// Any finite number (NaN/inf serialize as null).
-    Num(f64),
-    /// String.
-    Str(String),
-    /// Array.
-    Arr(Vec<Json>),
-    /// Object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Creates an object builder.
-    pub fn obj() -> Json {
-        Json::Obj(Vec::new())
-    }
-
-    /// Adds a field to an object (no-op with a debug panic otherwise).
-    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
-        match &mut self {
-            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
-            _ => debug_assert!(false, "field() on non-object"),
-        }
-        self
-    }
-
-    /// Serializes to a compact JSON string.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => {
-                if n.is_finite() {
-                    if n.fract() == 0.0 && n.abs() < 1e15 {
-                        let _ = write!(out, "{}", *n as i64);
-                    } else {
-                        let _ = write!(out, "{n}");
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            let _ = write!(out, "\\u{:04x}", c as u32);
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                out.push('{');
-                for (i, (key, value)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    Json::Str(key.clone()).write(out);
-                    out.push(':');
-                    value.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-impl From<f64> for Json {
-    fn from(n: f64) -> Json {
-        Json::Num(n)
-    }
-}
-impl From<usize> for Json {
-    fn from(n: usize) -> Json {
-        Json::Num(n as f64)
-    }
-}
-impl From<bool> for Json {
-    fn from(b: bool) -> Json {
-        Json::Bool(b)
-    }
-}
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::Str(s.to_string())
-    }
-}
-impl From<String> for Json {
-    fn from(s: String) -> Json {
-        Json::Str(s)
-    }
-}
-impl<T: Into<Json>> From<Vec<T>> for Json {
-    fn from(items: Vec<T>) -> Json {
-        Json::Arr(items.into_iter().map(Into::into).collect())
-    }
-}
+pub use aida_obs::Json;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn renders_nested_structures() {
-        let j = Json::obj()
-            .field("system", "compute")
-            .field("error", 0.0002)
-            .field("trials", vec![1.0, 2.0])
-            .field("ok", true)
-            .field("note", Json::Null);
-        assert_eq!(
-            j.render(),
-            r#"{"system":"compute","error":0.0002,"trials":[1,2],"ok":true,"note":null}"#
-        );
-    }
-
-    #[test]
-    fn escapes_strings() {
-        let j = Json::Str("line\n\"quoted\"\\\t".into());
-        assert_eq!(j.render(), r#""line\n\"quoted\"\\\t""#);
-    }
-
-    #[test]
-    fn non_finite_numbers_are_null() {
-        assert_eq!(Json::Num(f64::NAN).render(), "null");
-        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
-    }
-
-    #[test]
-    fn integral_floats_render_without_decimals() {
-        assert_eq!(Json::Num(3.0).render(), "3");
-        assert_eq!(Json::Num(3.25).render(), "3.25");
+    fn reexported_json_renders() {
+        let v = Json::obj()
+            .field("name", "aida")
+            .field("n", 3i64)
+            .field("ok", true);
+        assert_eq!(v.render(), r#"{"name":"aida","n":3,"ok":true}"#);
     }
 }

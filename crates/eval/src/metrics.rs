@@ -19,7 +19,11 @@ pub fn f1_score<S: AsRef<str>>(returned: &[S], truth: &[S]) -> Prf {
     let truth_set: HashSet<&str> = truth.iter().map(AsRef::as_ref).collect();
     let returned_set: HashSet<&str> = returned.iter().map(AsRef::as_ref).collect();
     if truth_set.is_empty() && returned_set.is_empty() {
-        return Prf { precision: 1.0, recall: 1.0, f1: 1.0 };
+        return Prf {
+            precision: 1.0,
+            recall: 1.0,
+            f1: 1.0,
+        };
     }
     let hits = returned_set.intersection(&truth_set).count() as f64;
     let precision = if returned_set.is_empty() {
@@ -37,7 +41,11 @@ pub fn f1_score<S: AsRef<str>>(returned: &[S], truth: &[S]) -> Prf {
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    Prf { precision, recall, f1 }
+    Prf {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Relative error of `answer` against `truth`, as a fraction (0.02 = 2%).
@@ -75,7 +83,14 @@ mod tests {
     #[test]
     fn perfect_retrieval() {
         let prf = f1_score(&["a", "b"], &["a", "b"]);
-        assert_eq!(prf, Prf { precision: 1.0, recall: 1.0, f1: 1.0 });
+        assert_eq!(
+            prf,
+            Prf {
+                precision: 1.0,
+                recall: 1.0,
+                f1: 1.0
+            }
+        );
     }
 
     #[test]

@@ -36,8 +36,7 @@ impl SystemAnswer {
                     .filter_map(|v| v.as_str().ok().map(str::to_string))
                     .collect();
                 if docs.is_empty() && !items.is_empty() {
-                    let nums: Vec<f64> =
-                        items.iter().filter_map(|v| v.as_float().ok()).collect();
+                    let nums: Vec<f64> = items.iter().filter_map(|v| v.as_float().ok()).collect();
                     if nums.is_empty() {
                         SystemAnswer::None
                     } else {
@@ -84,11 +83,17 @@ pub fn run_semops_handcrafted(workload: &Workload, seed: u64) -> SystemRun {
             )
             .sem_extract(
                 "find the number of identity theft reports in 2024",
-                vec![Field::described("thefts_2024", "identity theft reports in 2024")],
+                vec![Field::described(
+                    "thefts_2024",
+                    "identity theft reports in 2024",
+                )],
             )
             .sem_extract(
                 "find the number of identity theft reports in 2001",
-                vec![Field::described("thefts_2001", "identity theft reports in 2001")],
+                vec![Field::described(
+                    "thefts_2001",
+                    "identity theft reports in 2001",
+                )],
             );
         let plan = PhysicalPlan::uniform(ds.plan(), ModelId::Flagship, 4);
         let report = Executor::new(&env).execute(&plan);
@@ -132,9 +137,7 @@ pub fn run_semops_handcrafted(workload: &Workload, seed: u64) -> SystemRun {
         let plan = PhysicalPlan::uniform(ds.plan(), ModelId::Flagship, 4);
         let report = Executor::new(&env).execute(&plan);
         SystemRun {
-            answer: SystemAnswer::Docs(
-                report.records.iter().map(|r| r.source.clone()).collect(),
-            ),
+            answer: SystemAnswer::Docs(report.records.iter().map(|r| r.source.clone()).collect()),
             cost: report.cost(),
             time: report.time(),
             detail: format!("{}\n{}", plan.render(), report.stats.render()),
@@ -152,13 +155,25 @@ pub fn run_code_agent(workload: &Workload, seed: u64, sem_tools: bool) -> System
         registry.register(tool);
     }
     if sem_tools {
-        registry.register(tools::sem_filter_tool(&env, &workload.lake, ModelId::Flagship));
-        registry.register(tools::sem_extract_tool(&env, &workload.lake, ModelId::Flagship));
+        registry.register(tools::sem_filter_tool(
+            &env,
+            &workload.lake,
+            ModelId::Flagship,
+        ));
+        registry.register(tools::sem_extract_tool(
+            &env,
+            &workload.lake,
+            ModelId::Flagship,
+        ));
     }
     let agent = CodeAgent::deep_research(AgentConfig {
         model: ModelId::Flagship,
         max_steps: 10,
-        persona: Persona { shortcut_bias: 0.8, premature_stop: 0.15, verify_budget: 6 },
+        persona: Persona {
+            shortcut_bias: 0.8,
+            premature_stop: 0.15,
+            verify_budget: 6,
+        },
         seed,
     });
     let runtime = AgentRuntime::new(&env, registry, Some(workload.lake.clone()));
@@ -173,7 +188,23 @@ pub fn run_code_agent(workload: &Workload, seed: u64, sem_tools: bool) -> System
 
 /// Runs the prototype's `compute` operator (our system, "PZ compute").
 pub fn run_pz_compute(workload: &Workload, seed: u64) -> SystemRun {
-    let rt = Runtime::builder().seed(seed).build();
+    run_pz_compute_inner(workload, seed, false).0
+}
+
+/// Like [`run_pz_compute`], but with span tracing enabled; returns the
+/// recorder alongside the run for `EXPLAIN ANALYZE` / JSONL export. The
+/// run itself is unchanged: recording never touches the clock or meter, so
+/// answers, cost, and time are byte-identical to the untraced run.
+pub fn run_pz_compute_traced(workload: &Workload, seed: u64) -> (SystemRun, aida_obs::Recorder) {
+    run_pz_compute_inner(workload, seed, true)
+}
+
+fn run_pz_compute_inner(
+    workload: &Workload,
+    seed: u64,
+    tracing: bool,
+) -> (SystemRun, aida_obs::Recorder) {
+    let rt = Runtime::builder().seed(seed).tracing(tracing).build();
     workload.install_oracle(&rt.env().llm);
     let ctx = Context::builder(workload.name.clone(), workload.lake.clone())
         .description(workload.description.clone())
@@ -195,12 +226,13 @@ pub fn run_pz_compute(workload: &Workload, seed: u64) -> SystemRun {
             ));
         }
     }
-    SystemRun {
+    let run = SystemRun {
         answer: SystemAnswer::from_value(outcome.answer.clone()),
         cost: outcome.cost,
         time: outcome.time,
         detail,
-    }
+    };
+    (run, rt.recorder().clone())
 }
 
 fn indent(text: &str, by: usize) -> String {

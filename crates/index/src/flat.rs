@@ -61,7 +61,10 @@ impl VectorIndex for FlatIndex {
         }
         topk.into_sorted_vec()
             .into_iter()
-            .map(|(score, id)| Hit { id: id.to_string(), score })
+            .map(|(score, id)| Hit {
+                id: id.to_string(),
+                score,
+            })
             .collect()
     }
 

@@ -89,8 +89,7 @@ impl IvfIndex {
             }
             for (c, (sum, count)) in sums.into_iter().zip(counts.iter()).enumerate() {
                 if *count > 0 {
-                    self.centroids[c] =
-                        sum.into_iter().map(|s| s / *count as f32).collect();
+                    self.centroids[c] = sum.into_iter().map(|s| s / *count as f32).collect();
                 }
             }
         }
@@ -158,7 +157,10 @@ impl VectorIndex for IvfIndex {
         }
         topk.into_sorted_vec()
             .into_iter()
-            .map(|(score, i)| Hit { id: self.ids[i].clone(), score })
+            .map(|(score, i)| Hit {
+                id: self.ids[i].clone(),
+                score,
+            })
             .collect()
     }
 

@@ -79,7 +79,9 @@ impl KeywordIndex {
         let avg_len = (self.total_len as f32 / n as f32).max(1.0);
         let mut scores: HashMap<usize, f32> = HashMap::new();
         for term in tokenize(query) {
-            let Some(posting) = self.postings.get(&term) else { continue };
+            let Some(posting) = self.postings.get(&term) else {
+                continue;
+            };
             let df = posting.len() as f32;
             let idf = ((n as f32 - df + 0.5) / (df + 0.5) + 1.0).ln();
             for (doc, tf) in posting {
@@ -98,7 +100,10 @@ impl KeywordIndex {
         }
         topk.into_sorted_vec()
             .into_iter()
-            .map(|(score, doc)| Hit { id: self.ids[doc].clone(), score })
+            .map(|(score, doc)| Hit {
+                id: self.ids[doc].clone(),
+                score,
+            })
             .collect()
     }
 }

@@ -17,7 +17,11 @@ pub struct TopK<T> {
 impl<T> TopK<T> {
     /// Creates a collector retaining at most `k` items.
     pub fn new(k: usize) -> Self {
-        TopK { k, heap: Vec::with_capacity(k.min(1024)), counter: 0 }
+        TopK {
+            k,
+            heap: Vec::with_capacity(k.min(1024)),
+            counter: 0,
+        }
     }
 
     /// Number of retained items so far.

@@ -62,7 +62,10 @@ pub struct SimStopwatch {
 impl SimStopwatch {
     /// Starts timing at the clock's current instant.
     pub fn start(clock: &SimClock) -> Self {
-        SimStopwatch { clock: clock.clone(), start_s: clock.now() }
+        SimStopwatch {
+            clock: clock.clone(),
+            start_s: clock.now(),
+        }
     }
 
     /// Virtual seconds elapsed since `start`.

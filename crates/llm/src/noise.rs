@@ -67,7 +67,9 @@ pub struct KeyedRng {
 impl KeyedRng {
     /// Seeds the generator from a key.
     pub fn new(key: u64) -> Self {
-        KeyedRng { state: splitmix64(key ^ 0xA076_1D64_78BD_642F) }
+        KeyedRng {
+            state: splitmix64(key ^ 0xA076_1D64_78BD_642F),
+        }
     }
 
     /// Next raw 64-bit value.
@@ -147,7 +149,9 @@ mod tests {
 
     #[test]
     fn decide_matches_probability_empirically() {
-        let hits = (0..10_000u64).filter(|i| decide(combine(&[7, *i]), 0.2)).count();
+        let hits = (0..10_000u64)
+            .filter(|i| decide(combine(&[7, *i]), 0.2))
+            .count();
         assert!((1700..=2300).contains(&hits), "{hits}");
         assert!(!decide(1, 0.0));
         assert!(decide(1, 1.0));

@@ -53,7 +53,11 @@ impl<'a> Subject<'a> {
 
     /// A plain-text subject with no labels.
     pub fn text_only(name: &'a str, text: &'a str) -> Subject<'a> {
-        Subject { name: Cow::Borrowed(name), text: Cow::Borrowed(text), labels: None }
+        Subject {
+            name: Cow::Borrowed(name),
+            text: Cow::Borrowed(text),
+            labels: None,
+        }
     }
 
     /// Ground-truth label lookup.
@@ -158,7 +162,10 @@ where
 {
     /// Wraps a closure as a rule.
     pub fn new(name: impl Into<String>, func: F) -> Self {
-        FnRule { name: name.into(), func }
+        FnRule {
+            name: name.into(),
+            func,
+        }
     }
 }
 
@@ -235,7 +242,10 @@ mod tests {
         let doc = email(true, 0.0);
         let subject = Subject::doc(&doc);
         assert_eq!(
-            rule.answer("filter emails with firsthand discussion of a transaction", &subject),
+            rule.answer(
+                "filter emails with firsthand discussion of a transaction",
+                &subject
+            ),
             Some(OracleAnswer::Bool(true))
         );
         assert_eq!(rule.answer("firsthand accounts only", &subject), None);

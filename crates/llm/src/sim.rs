@@ -13,6 +13,7 @@ use crate::oracle::{Oracle, OracleAnswer, Subject};
 use crate::tokens;
 use crate::usage::UsageMeter;
 use aida_data::Value;
+use aida_obs::{Event, Recorder};
 
 /// A semantic task submitted to the simulated LLM.
 #[derive(Debug, Clone)]
@@ -89,6 +90,7 @@ pub struct SimLlm {
     meter: UsageMeter,
     seed: u64,
     fault_rate: f64,
+    recorder: Recorder,
 }
 
 impl SimLlm {
@@ -100,7 +102,21 @@ impl SimLlm {
             meter: UsageMeter::new(),
             seed,
             fault_rate: 0.0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a trace recorder: every billed call (including injected
+    /// faults and retry backoff) is reported as an event on the innermost
+    /// open span.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached trace recorder (disabled unless opted in).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Enables transient-fault injection: with this per-call probability a
@@ -151,18 +167,26 @@ impl SimLlm {
     /// Executes a task with the given model, billing the meter.
     pub fn invoke(&self, model: ModelId, task: &LlmTask<'_>) -> LlmResponse {
         match task {
-            LlmTask::Filter { instruction, subject } => {
-                self.run_filter(model, instruction, subject)
-            }
-            LlmTask::Extract { instruction, field, field_desc, subject } => {
-                self.run_extract(model, instruction, field, field_desc, subject)
-            }
-            LlmTask::Map { instruction, subject, target_tokens } => {
-                self.run_map(model, instruction, subject, *target_tokens)
-            }
-            LlmTask::Choose { question, options, correct } => {
-                self.run_choose(model, question, options, *correct)
-            }
+            LlmTask::Filter {
+                instruction,
+                subject,
+            } => self.run_filter(model, instruction, subject),
+            LlmTask::Extract {
+                instruction,
+                field,
+                field_desc,
+                subject,
+            } => self.run_extract(model, instruction, field, field_desc, subject),
+            LlmTask::Map {
+                instruction,
+                subject,
+                target_tokens,
+            } => self.run_map(model, instruction, subject, *target_tokens),
+            LlmTask::Choose {
+                question,
+                options,
+                correct,
+            } => self.run_choose(model, question, options, *correct),
             LlmTask::Freeform { prompt, response } => self.run_freeform(model, prompt, response),
         }
     }
@@ -188,6 +212,7 @@ impl SimLlm {
     ) -> (usize, usize, f64) {
         let spec = self.catalog.spec(model);
         let mut latency = spec.latency(input_tokens, output_tokens);
+        let mut faulted = false;
         if self.fault_rate > 0.0
             && noise::decide(noise::combine(&[key, 0x00FA_017E]), self.fault_rate)
         {
@@ -195,9 +220,36 @@ impl SimLlm {
             // completion before dying; add a retry backoff.
             let truncated = output_tokens / 4;
             self.meter.record(model, input_tokens, truncated);
-            latency += spec.latency(input_tokens, truncated) + 1.0;
+            let backoff = spec.latency(input_tokens, truncated) + 1.0;
+            latency += backoff;
+            faulted = true;
+            if self.recorder.is_enabled() {
+                self.recorder.event(Event::FaultRetry {
+                    model: model.name().to_string(),
+                    backoff_s: backoff,
+                    billed_input_tokens: input_tokens as u64,
+                    billed_output_tokens: truncated as u64,
+                    cost_usd: spec.cost(input_tokens, truncated),
+                });
+                self.recorder.counter_add("llm.fault_retries", 1);
+            }
         }
         self.meter.record(model, input_tokens, output_tokens);
+        if self.recorder.is_enabled() {
+            self.recorder.event(Event::LlmCall {
+                model: model.name().to_string(),
+                input_tokens: input_tokens as u64,
+                output_tokens: output_tokens as u64,
+                cost_usd: spec.cost(input_tokens, output_tokens),
+                latency_s: latency,
+                faulted,
+            });
+            self.recorder.counter_add("llm.calls", 1);
+            self.recorder
+                .counter_add(&format!("llm.calls.{}", model.name()), 1);
+            self.recorder
+                .histogram_record("llm.tokens_per_call", (input_tokens + output_tokens) as f64);
+        }
         (input_tokens, output_tokens, latency)
     }
 
@@ -221,7 +273,11 @@ impl SimLlm {
         let (input_tokens, output_tokens, latency_s) = self.bill(model, input, 4, key);
         LlmResponse {
             value: Value::Bool(answer),
-            text: if answer { "true".into() } else { "false".into() },
+            text: if answer {
+                "true".into()
+            } else {
+                "false".into()
+            },
             input_tokens,
             output_tokens,
             latency_s,
@@ -257,8 +313,13 @@ impl SimLlm {
         } else {
             truth
         };
-        let prompt =
-            tokens::count_parts(&[EXTRACT_PREAMBLE, instruction, field, field_desc, &subject.text]);
+        let prompt = tokens::count_parts(&[
+            EXTRACT_PREAMBLE,
+            instruction,
+            field,
+            field_desc,
+            &subject.text,
+        ]);
         let out = tokens::count(&value.to_string()).max(4) + 6;
         let (input_tokens, output_tokens, latency_s) = self.bill(model, prompt, out, key);
         LlmResponse {
@@ -374,11 +435,62 @@ const AGENT_PREAMBLE: &str = "You are an expert data-analysis agent that plans, 
 
 /// Words too common to carry signal in keyword matching.
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "in",
-    "is", "it", "its", "of", "on", "or", "that", "the", "this", "to", "was", "were", "which",
-    "with", "all", "any", "each", "every", "file", "files", "find", "return", "contain",
-    "contains", "containing", "list", "does", "do", "into", "about", "between", "their", "they",
-    "if", "then", "than", "only", "also", "please", "compute", "number", "value",
+    "a",
+    "an",
+    "and",
+    "are",
+    "as",
+    "at",
+    "be",
+    "but",
+    "by",
+    "for",
+    "from",
+    "has",
+    "have",
+    "in",
+    "is",
+    "it",
+    "its",
+    "of",
+    "on",
+    "or",
+    "that",
+    "the",
+    "this",
+    "to",
+    "was",
+    "were",
+    "which",
+    "with",
+    "all",
+    "any",
+    "each",
+    "every",
+    "file",
+    "files",
+    "find",
+    "return",
+    "contain",
+    "contains",
+    "containing",
+    "list",
+    "does",
+    "do",
+    "into",
+    "about",
+    "between",
+    "their",
+    "they",
+    "if",
+    "then",
+    "than",
+    "only",
+    "also",
+    "please",
+    "compute",
+    "number",
+    "value",
 ];
 
 fn content_words(text: &str) -> Vec<String> {
@@ -397,7 +509,10 @@ pub fn generic_filter(instruction: &str, text: &str) -> bool {
         return true;
     }
     let haystack = text.to_ascii_lowercase();
-    let hits = needles.iter().filter(|w| haystack.contains(w.as_str())).count();
+    let hits = needles
+        .iter()
+        .filter(|w| haystack.contains(w.as_str()))
+        .count();
     (hits as f64) / (needles.len() as f64) >= 0.5
 }
 
@@ -421,10 +536,7 @@ pub fn table_extract(instruction: &str, field: &str, text: &str) -> Option<Value
     let mut best_col: Option<(usize, usize)> = None; // (score, idx)
     for (i, col) in cols.iter().enumerate() {
         let col_tokens = content_words(&col.replace('_', " "));
-        let score = col_tokens
-            .iter()
-            .filter(|t| needles.contains(t))
-            .count();
+        let score = col_tokens.iter().filter(|t| needles.contains(t)).count();
         if score > 0 && best_col.is_none_or(|(s, _)| score > s) {
             best_col = Some((score, i));
         }
@@ -437,9 +549,9 @@ pub fn table_extract(instruction: &str, field: &str, text: &str) -> Option<Value
         .find(|n| (1900..=2100).contains(n))?;
     for line in &comma_lines[1..] {
         let cells: Vec<&str> = line.split(',').collect();
-        let keyed = cells.iter().any(|c| {
-            c.trim().parse::<i64>().map(|v| v == key).unwrap_or(false)
-        });
+        let keyed = cells
+            .iter()
+            .any(|c| c.trim().parse::<i64>().map(|v| v == key).unwrap_or(false));
         if keyed {
             // A ragged keyed row (shorter than the chosen column) is
             // skipped so a later well-formed row can still answer.
@@ -472,7 +584,10 @@ pub fn generic_extract(instruction: &str, field: &str, field_desc: &str, text: &
     let mut best: Option<(usize, &str)> = None;
     for line in text.lines() {
         let lower = line.to_ascii_lowercase();
-        let score = needles.iter().filter(|w| lower.contains(w.as_str())).count();
+        let score = needles
+            .iter()
+            .filter(|w| lower.contains(w.as_str()))
+            .count();
         if score > 0 && best.is_none_or(|(s, _)| score > s) {
             best = Some((score, line));
         }
@@ -521,9 +636,10 @@ pub fn first_number(line: &str, prefer_year: bool) -> Option<Value> {
     }
     flush(&mut current, &mut numbers);
     if prefer_year {
-        if let Some(year) = numbers.iter().find(
-            |v| matches!(v, Value::Int(i) if (1900..=2100).contains(i)),
-        ) {
+        if let Some(year) = numbers
+            .iter()
+            .find(|v| matches!(v, Value::Int(i) if (1900..=2100).contains(i)))
+        {
             return Some(year.clone());
         }
     }
@@ -553,8 +669,18 @@ pub fn theme_label(text: &str) -> String {
             // carry no thematic signal.
             if matches!(
                 w.as_str(),
-                "subject" | "date" | "com" | "www" | "http" | "me" | "we" | "you" | "our"
-                    | "your" | "please" | "thanks"
+                "subject"
+                    | "date"
+                    | "com"
+                    | "www"
+                    | "http"
+                    | "me"
+                    | "we"
+                    | "you"
+                    | "our"
+                    | "your"
+                    | "please"
+                    | "thanks"
             ) || w.chars().all(|c| c.is_ascii_digit())
             {
                 continue;
@@ -674,8 +800,7 @@ mod tests {
         let mut flips = [0usize; 2];
         for i in 0..500 {
             let name = format!("doc{i}.txt");
-            let doc = Document::new(name, "identity theft data here")
-                .with_label("difficulty", 1.0);
+            let doc = Document::new(name, "identity theft data here").with_label("difficulty", 1.0);
             let task = LlmTask::Filter {
                 instruction: "mentions identity theft",
                 subject: Subject::doc(&doc),
@@ -683,7 +808,12 @@ mod tests {
             flips[0] += usize::from(llm.invoke(ModelId::Flagship, &task).corrupted);
             flips[1] += usize::from(llm.invoke(ModelId::Nano, &task).corrupted);
         }
-        assert!(flips[1] > flips[0] * 2, "nano {} vs flagship {}", flips[1], flips[0]);
+        assert!(
+            flips[1] > flips[0] * 2,
+            "nano {} vs flagship {}",
+            flips[1],
+            flips[0]
+        );
     }
 
     #[test]
@@ -709,7 +839,12 @@ mod tests {
 
     #[test]
     fn generic_extract_prefers_years_for_year_fields() {
-        let v = generic_extract("report year", "year", "the year", "in 2024 there were 1,135,291");
+        let v = generic_extract(
+            "report year",
+            "year",
+            "the year",
+            "in 2024 there were 1,135,291",
+        );
         assert_eq!(v, Value::Int(2024));
     }
 
@@ -736,7 +871,10 @@ mod tests {
 
     #[test]
     fn table_extract_rejects_non_tabular_text() {
-        assert_eq!(table_extract("thefts in 2024", "thefts", "no commas here"), None);
+        assert_eq!(
+            table_extract("thefts in 2024", "thefts", "no commas here"),
+            None
+        );
         assert_eq!(
             table_extract("thefts in 2024", "thefts", "a,b\n1,2\n"),
             None,
@@ -762,8 +900,14 @@ mod tests {
 
     #[test]
     fn first_number_handles_commas_and_floats() {
-        assert_eq!(first_number("total 1,234,567 reports", false), Some(Value::Int(1_234_567)));
-        assert_eq!(first_number("ratio 13.16", false), Some(Value::Float(13.16)));
+        assert_eq!(
+            first_number("total 1,234,567 reports", false),
+            Some(Value::Int(1_234_567))
+        );
+        assert_eq!(
+            first_number("ratio 13.16", false),
+            Some(Value::Float(13.16))
+        );
         assert_eq!(first_number("no numbers", false), None);
     }
 
@@ -820,7 +964,10 @@ mod tests {
                 let d = Document::new(name, doc.content.clone());
                 let resp = llm.invoke(
                     ModelId::Mini,
-                    &LlmTask::Filter { instruction: "mentions word", subject: Subject::doc(&d) },
+                    &LlmTask::Filter {
+                        instruction: "mentions word",
+                        subject: Subject::doc(&d),
+                    },
                 );
                 latency += resp.latency_s;
             }
@@ -837,6 +984,49 @@ mod tests {
         assert!(lat_faulty > lat_clean + 30.0, "{lat_faulty} vs {lat_clean}");
         // Determinism: the same config replays exactly.
         assert_eq!(run(0.25), run(0.25));
+    }
+
+    #[test]
+    fn recorder_sees_every_billed_attempt() {
+        use aida_obs::{Recorder, SpanKind};
+        let recorder = Recorder::new();
+        let llm = SimLlm::new(4)
+            .with_fault_rate(0.25)
+            .with_recorder(recorder.clone());
+        let span = recorder.span(SpanKind::Other, "batch", 0.0);
+        for i in 0..100 {
+            let name = format!("d{i}");
+            let d = Document::new(name, "word ".repeat(200));
+            llm.invoke(
+                ModelId::Mini,
+                &LlmTask::Filter {
+                    instruction: "mentions word",
+                    subject: Subject::doc(&d),
+                },
+            );
+        }
+        span.finish(1.0);
+        let trace = recorder.trace();
+        let snap = llm.meter().snapshot();
+        // The span's self aggregates equal the meter: successes + retries.
+        assert_eq!(trace.spans[0].calls, snap.usage(ModelId::Mini).calls);
+        assert_eq!(
+            trace.spans[0].input_tokens + trace.spans[0].output_tokens,
+            snap.total_tokens()
+        );
+        assert!((trace.spans[0].cost_usd - snap.cost(llm.catalog())).abs() < 1e-9);
+        assert_eq!(trace.counters["llm.calls"], 100);
+        let retries = trace.counters["llm.fault_retries"];
+        assert!(retries > 0, "expected some injected faults");
+        assert_eq!(trace.counters["llm.calls.sim-4o-mini"], 100);
+        assert_eq!(
+            trace.spans[0]
+                .events
+                .iter()
+                .filter(|e| e.name() == "fault_retry")
+                .count() as u64,
+            retries
+        );
     }
 
     #[test]
@@ -861,7 +1051,10 @@ mod tests {
         for _ in 0..3 {
             llm.invoke(
                 ModelId::Mini,
-                &LlmTask::Filter { instruction: "text", subject: Subject::doc(&doc) },
+                &LlmTask::Filter {
+                    instruction: "text",
+                    subject: Subject::doc(&doc),
+                },
             );
         }
         assert_eq!(llm.meter().snapshot().usage(ModelId::Mini).calls, 3);

@@ -84,8 +84,9 @@ impl UsageSnapshot {
         total + 0.0
     }
 
-    /// The delta from an earlier snapshot to this one.
-    pub fn since(&self, earlier: &UsageSnapshot) -> UsageSnapshot {
+    /// The delta from an earlier snapshot to this one. Models with no new
+    /// activity are absent from the delta.
+    pub fn delta_since(&self, earlier: &UsageSnapshot) -> UsageSnapshot {
         let mut per_model = BTreeMap::new();
         for (id, usage) in &self.per_model {
             let before = earlier.usage(*id);
@@ -95,6 +96,11 @@ impl UsageSnapshot {
             }
         }
         UsageSnapshot { per_model }
+    }
+
+    /// Alias of [`UsageSnapshot::delta_since`] (the historical name).
+    pub fn since(&self, earlier: &UsageSnapshot) -> UsageSnapshot {
+        self.delta_since(earlier)
     }
 }
 
@@ -123,7 +129,9 @@ impl UsageMeter {
 
     /// Snapshots current totals.
     pub fn snapshot(&self) -> UsageSnapshot {
-        UsageSnapshot { per_model: self.inner.lock().clone() }
+        UsageSnapshot {
+            per_model: self.inner.lock().clone(),
+        }
     }
 
     /// Resets all counters to zero.
@@ -145,7 +153,11 @@ mod tests {
         let snap = meter.snapshot();
         assert_eq!(
             snap.usage(ModelId::Flagship),
-            Usage { input_tokens: 150, output_tokens: 15, calls: 2 }
+            Usage {
+                input_tokens: 150,
+                output_tokens: 15,
+                calls: 2
+            }
         );
         assert_eq!(snap.usage(ModelId::Nano).calls, 1);
         assert_eq!(snap.usage(ModelId::Mini), Usage::default());
@@ -168,14 +180,20 @@ mod tests {
         let before = meter.snapshot();
         meter.record(ModelId::Mini, 30, 3);
         meter.record(ModelId::Nano, 7, 1);
-        let delta = meter.snapshot().since(&before);
+        let delta = meter.snapshot().delta_since(&before);
         assert_eq!(
             delta.usage(ModelId::Mini),
-            Usage { input_tokens: 30, output_tokens: 3, calls: 1 }
+            Usage {
+                input_tokens: 30,
+                output_tokens: 3,
+                calls: 1
+            }
         );
         assert_eq!(delta.usage(ModelId::Nano).input_tokens, 7);
         // Models with no new activity are absent from the delta.
         assert!(!delta.per_model().contains_key(&ModelId::Flagship));
+        // The historical alias produces the identical delta.
+        assert_eq!(meter.snapshot().since(&before), delta);
     }
 
     #[test]

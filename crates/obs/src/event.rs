@@ -1,0 +1,163 @@
+//! Typed events attached to spans.
+//!
+//! Events are points (or billed sub-intervals) inside a span: individual
+//! LLM calls, injected fault retries, context-reuse decisions, SQL
+//! statements, and plan rewrites. They carry no wall-clock timestamps —
+//! the simulated clock does not advance *inside* a parallel LLM batch,
+//! so ordering within a span is normalized at export time instead.
+
+use crate::json::Json;
+
+/// A typed event recorded on the innermost open span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// One successful LLM call (the billed attempt that produced output).
+    LlmCall {
+        /// Model name, e.g. `sim-4o-mini`.
+        model: String,
+        /// Prompt tokens billed.
+        input_tokens: u64,
+        /// Completion tokens billed.
+        output_tokens: u64,
+        /// Dollars billed for this attempt.
+        cost_usd: f64,
+        /// Virtual seconds this call contributed (incl. retry backoff).
+        latency_s: f64,
+        /// True when a fault was injected before this attempt succeeded.
+        faulted: bool,
+    },
+    /// A fault-injected failed attempt: billed partial tokens + backoff.
+    FaultRetry {
+        /// Model name the failed attempt was billed against.
+        model: String,
+        /// Extra virtual seconds spent on the failed attempt + backoff.
+        backoff_s: f64,
+        /// Input tokens billed for the failed attempt.
+        billed_input_tokens: u64,
+        /// Output tokens billed for the truncated failed attempt.
+        billed_output_tokens: u64,
+        /// Dollars billed for the failed attempt.
+        cost_usd: f64,
+    },
+    /// The ContextManager served a materialized context above threshold.
+    ReuseHit {
+        /// Instruction that was matched.
+        instruction: String,
+        /// Cosine similarity of the winning context description.
+        similarity: f64,
+    },
+    /// No materialized context cleared the similarity threshold.
+    ReuseMiss {
+        /// Instruction that was probed.
+        instruction: String,
+        /// Best similarity seen (0 when the store is empty).
+        best_similarity: f64,
+    },
+    /// A SQL statement executed against the catalog.
+    Sql {
+        /// The statement text.
+        statement: String,
+        /// Rows in the result.
+        rows_out: usize,
+    },
+    /// A logical-plan rewrite fired.
+    Rewrite {
+        /// Rule name, e.g. `split_computes` / `merge_searches`.
+        rule: String,
+        /// Human-readable detail (instruction prefix, op delta, ...).
+        detail: String,
+    },
+}
+
+impl Event {
+    /// Stable lowercase identifier used in reports and JSONL.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::LlmCall { .. } => "llm_call",
+            Event::FaultRetry { .. } => "fault_retry",
+            Event::ReuseHit { .. } => "reuse_hit",
+            Event::ReuseMiss { .. } => "reuse_miss",
+            Event::Sql { .. } => "sql",
+            Event::Rewrite { .. } => "rewrite",
+        }
+    }
+
+    /// Serializes the event as a JSON object.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Event::LlmCall {
+                model,
+                input_tokens,
+                output_tokens,
+                cost_usd,
+                latency_s,
+                faulted,
+            } => Json::obj()
+                .field("event", self.name())
+                .field("model", model.as_str())
+                .field("input_tokens", *input_tokens)
+                .field("output_tokens", *output_tokens)
+                .field("cost_usd", *cost_usd)
+                .field("latency_s", *latency_s)
+                .field("faulted", *faulted),
+            Event::FaultRetry {
+                model,
+                backoff_s,
+                billed_input_tokens,
+                billed_output_tokens,
+                cost_usd,
+            } => Json::obj()
+                .field("event", self.name())
+                .field("model", model.as_str())
+                .field("backoff_s", *backoff_s)
+                .field("billed_input_tokens", *billed_input_tokens)
+                .field("billed_output_tokens", *billed_output_tokens)
+                .field("cost_usd", *cost_usd),
+            Event::ReuseHit {
+                instruction,
+                similarity,
+            } => Json::obj()
+                .field("event", self.name())
+                .field("instruction", instruction.as_str())
+                .field("similarity", *similarity),
+            Event::ReuseMiss {
+                instruction,
+                best_similarity,
+            } => Json::obj()
+                .field("event", self.name())
+                .field("instruction", instruction.as_str())
+                .field("best_similarity", *best_similarity),
+            Event::Sql {
+                statement,
+                rows_out,
+            } => Json::obj()
+                .field("event", self.name())
+                .field("statement", statement.as_str())
+                .field("rows_out", *rows_out),
+            Event::Rewrite { rule, detail } => Json::obj()
+                .field("event", self.name())
+                .field("rule", rule.as_str())
+                .field("detail", detail.as_str()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_is_compact_and_named() {
+        let e = Event::LlmCall {
+            model: "sim-4o".into(),
+            input_tokens: 100,
+            output_tokens: 20,
+            cost_usd: 0.001,
+            latency_s: 2.0,
+            faulted: false,
+        };
+        let line = e.to_json().render();
+        assert!(line.starts_with(r#"{"event":"llm_call","model":"sim-4o""#));
+        assert_eq!(e.name(), "llm_call");
+    }
+}

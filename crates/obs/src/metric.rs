@@ -1,0 +1,103 @@
+//! Monotonic counters and fixed-bucket histograms.
+
+use crate::json::Json;
+
+/// A fixed-bound cumulative histogram (Prometheus-style, but `counts[i]`
+/// is the number of samples in `(bounds[i-1], bounds[i]]`, with a final
+/// overflow bucket).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bucket bounds, ascending. `counts.len() == bounds.len() + 1`.
+    pub bounds: Vec<f64>,
+    /// Per-bucket sample counts; last entry is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given ascending bounds.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Serializes as a JSON object (without its registry name).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("bounds", self.bounds.clone())
+            .field(
+                "counts",
+                Json::Arr(self.counts.iter().map(|c| Json::Num(*c as f64)).collect()),
+            )
+            .field("count", self.count)
+            .field("sum", self.sum)
+    }
+}
+
+/// Default bucket bounds for a histogram name. Centralized so every
+/// recorder produces identically-shaped histograms for the same metric.
+pub fn default_bounds(name: &str) -> &'static [f64] {
+    match name {
+        "llm.tokens_per_call" => &[
+            64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0, 16384.0,
+        ],
+        "operator.selectivity" => &[0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0],
+        _ => &[0.1, 1.0, 10.0, 100.0, 1000.0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_upper_inclusive_with_overflow() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.record(0.5);
+        h.record(1.0);
+        h.record(5.0);
+        h.record(50.0);
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 56.5).abs() < 1e-12);
+        assert!((h.mean() - 14.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut h = Histogram::new(&[1.0]);
+        h.record(2.0);
+        assert_eq!(
+            h.to_json().render(),
+            r#"{"bounds":[1],"counts":[0,1],"count":1,"sum":2}"#
+        );
+    }
+}

@@ -131,8 +131,14 @@ mod tests {
             let reward = if rng.chance(probs[arm]) { 1.0 } else { 0.0 };
             bandit.update(arm, reward);
         }
-        assert!(pulls[1] > pulls[0] * 2, "best arm should dominate: {pulls:?}");
-        assert!(pulls[1] > pulls[2], "best arm should beat middle: {pulls:?}");
+        assert!(
+            pulls[1] > pulls[0] * 2,
+            "best arm should dominate: {pulls:?}"
+        );
+        assert!(
+            pulls[1] > pulls[2],
+            "best arm should beat middle: {pulls:?}"
+        );
         let means = bandit.means();
         assert!((means[1] - 0.8).abs() < 0.15);
     }

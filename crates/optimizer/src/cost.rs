@@ -184,7 +184,13 @@ mod tests {
     use super::*;
 
     fn est(cost: f64, time: f64, quality: f64) -> PlanEstimate {
-        PlanEstimate { order: vec![], models: vec![], cost, time, quality }
+        PlanEstimate {
+            order: vec![],
+            models: vec![],
+            cost,
+            time,
+            quality,
+        }
     }
 
     #[test]

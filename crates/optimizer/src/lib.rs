@@ -119,8 +119,7 @@ impl<'a> Optimizer<'a> {
             for models in &assignments {
                 // Align the model list with the order: models are assigned
                 // per original operator index.
-                let ordered_models: Vec<ModelId> =
-                    order.iter().map(|&idx| models[idx]).collect();
+                let ordered_models: Vec<ModelId> = order.iter().map(|&idx| models[idx]).collect();
                 candidates.push(cost::estimate(
                     plan,
                     order,
@@ -133,26 +132,34 @@ impl<'a> Optimizer<'a> {
         }
         let considered = candidates.len();
         let frontier = pareto_frontier(candidates);
-        let chosen = policy
-            .choose(&frontier)
-            .cloned()
-            .unwrap_or_else(|| cost::estimate(
+        let chosen = policy.choose(&frontier).cloned().unwrap_or_else(|| {
+            cost::estimate(
                 plan,
                 &(0..plan.len()).collect::<Vec<_>>(),
                 &vec![ModelId::Flagship; plan.len()],
                 &matrix,
                 input_cardinality,
                 self.config.parallelism,
-            ));
+            )
+        });
 
         // Materialize the chosen (order, models) into a physical plan.
         let reordered = LogicalPlan::new(
-            chosen.order.iter().map(|&i| plan.ops()[i].clone()).collect(),
+            chosen
+                .order
+                .iter()
+                .map(|&i| plan.ops()[i].clone())
+                .collect(),
         );
         let physical =
             PhysicalPlan::with_models(&reordered, &chosen.models, self.config.parallelism);
 
-        OptimizedPlan { physical, estimate: chosen, matrix, candidates_considered: considered }
+        OptimizedPlan {
+            physical,
+            estimate: chosen,
+            matrix,
+            candidates_considered: considered,
+        }
     }
 }
 
@@ -238,7 +245,13 @@ pub fn model_assignments(plan: &LogicalPlan) -> Vec<Vec<ModelId>> {
             .iter()
             .map(|&m| {
                 (0..plan.len())
-                    .map(|i| if plan.ops()[i].is_semantic() { m } else { ModelId::Flagship })
+                    .map(|i| {
+                        if plan.ops()[i].is_semantic() {
+                            m
+                        } else {
+                            ModelId::Flagship
+                        }
+                    })
                     .collect()
             })
             .collect();
@@ -328,7 +341,9 @@ mod tests {
     #[test]
     fn model_assignment_count_is_exponential_in_sem_ops() {
         let env_lake = lake(4);
-        let ds = Dataset::scan(&env_lake, "m").sem_filter("a").sem_filter("b");
+        let ds = Dataset::scan(&env_lake, "m")
+            .sem_filter("a")
+            .sem_filter("b");
         assert_eq!(model_assignments(ds.plan()).len(), 9);
         let ds6 = Dataset::scan(&env_lake, "m")
             .sem_filter("a")
@@ -337,14 +352,21 @@ mod tests {
             .sem_filter("d")
             .sem_filter("e")
             .sem_filter("f");
-        assert_eq!(model_assignments(ds6.plan()).len(), 3, "falls back to uniform");
+        assert_eq!(
+            model_assignments(ds6.plan()).len(),
+            3,
+            "falls back to uniform"
+        );
     }
 
     #[test]
     fn skip_sampling_avoids_llm_calls() {
         let env = ExecEnv::new(SimLlm::new(5));
         let ds = Dataset::scan(&lake(25), "memos").sem_filter("mentions identity theft");
-        let config = OptimizerConfig { skip_sampling: true, ..OptimizerConfig::default() };
+        let config = OptimizerConfig {
+            skip_sampling: true,
+            ..OptimizerConfig::default()
+        };
         let optimizer = Optimizer::new(&env, config);
         let before = env.llm.meter().snapshot();
         let _ = optimizer.optimize(ds.plan(), &Policy::MaxQuality { cost_budget: None });
@@ -356,31 +378,34 @@ mod tests {
         // Filter A keeps ~everything; filter B keeps ~nothing. The cost
         // model should prefer running B first so A processes fewer records.
         let env = ExecEnv::new(SimLlm::new(9));
-        env.llm.oracle().register(std::sync::Arc::new(aida_llm::oracle::FnRule::new(
-            "broad",
-            |instruction: &str, _subject: &aida_llm::oracle::Subject<'_>| {
-                instruction
-                    .contains("written in english")
-                    .then_some(aida_llm::oracle::OracleAnswer::Bool(true))
-            },
-        )));
-        env.llm.oracle().register(std::sync::Arc::new(aida_llm::oracle::FnRule::new(
-            "selective",
-            |instruction: &str, subject: &aida_llm::oracle::Subject<'_>| {
-                instruction.contains("identity theft").then_some(
-                    aida_llm::oracle::OracleAnswer::Bool(
-                        subject.text.contains("identity theft"),
-                    ),
-                )
-            },
-        )));
+        env.llm
+            .oracle()
+            .register(std::sync::Arc::new(aida_llm::oracle::FnRule::new(
+                "broad",
+                |instruction: &str, _subject: &aida_llm::oracle::Subject<'_>| {
+                    instruction
+                        .contains("written in english")
+                        .then_some(aida_llm::oracle::OracleAnswer::Bool(true))
+                },
+            )));
+        env.llm
+            .oracle()
+            .register(std::sync::Arc::new(aida_llm::oracle::FnRule::new(
+                "selective",
+                |instruction: &str, subject: &aida_llm::oracle::Subject<'_>| {
+                    instruction.contains("identity theft").then_some(
+                        aida_llm::oracle::OracleAnswer::Bool(
+                            subject.text.contains("identity theft"),
+                        ),
+                    )
+                },
+            )));
         let big_lake = lake(60);
         let ds = Dataset::scan(&big_lake, "memos")
             .sem_filter("the memo is written in english")
             .sem_filter("mentions identity theft statistics");
         let optimizer = Optimizer::new(&env, OptimizerConfig::default());
-        let optimized =
-            optimizer.optimize(ds.plan(), &Policy::MinCost { quality_floor: 0.0 });
+        let optimized = optimizer.optimize(ds.plan(), &Policy::MinCost { quality_floor: 0.0 });
         // Order should put the selective (theft) filter before the broad one.
         let first_filter = optimized
             .physical

@@ -58,16 +58,8 @@ impl Policy {
                         )
                 })
             }
-            Policy::MinCost { quality_floor } => pick_min(
-                frontier,
-                *quality_floor,
-                |e| e.cost,
-            ),
-            Policy::MinTime { quality_floor } => pick_min(
-                frontier,
-                *quality_floor,
-                |e| e.time,
-            ),
+            Policy::MinCost { quality_floor } => pick_min(frontier, *quality_floor, |e| e.cost),
+            Policy::MinTime { quality_floor } => pick_min(frontier, *quality_floor, |e| e.time),
         }
     }
 }
@@ -77,8 +69,10 @@ fn pick_min(
     quality_floor: f64,
     key: impl Fn(&PlanEstimate) -> f64,
 ) -> Option<&PlanEstimate> {
-    let eligible: Vec<&PlanEstimate> =
-        frontier.iter().filter(|e| e.quality >= quality_floor).collect();
+    let eligible: Vec<&PlanEstimate> = frontier
+        .iter()
+        .filter(|e| e.quality >= quality_floor)
+        .collect();
     let pool: Vec<&PlanEstimate> = if eligible.is_empty() {
         // Constraint unmeetable: fall back to the highest-quality plans.
         let best_q = frontier
@@ -104,7 +98,13 @@ mod tests {
     use super::*;
 
     fn est(cost: f64, time: f64, quality: f64) -> PlanEstimate {
-        PlanEstimate { order: vec![], models: vec![], cost, time, quality }
+        PlanEstimate {
+            order: vec![],
+            models: vec![],
+            cost,
+            time,
+            quality,
+        }
     }
 
     fn frontier() -> Vec<PlanEstimate> {
@@ -121,21 +121,33 @@ mod tests {
     #[test]
     fn max_quality_respects_budget() {
         let f = frontier();
-        let chosen = Policy::MaxQuality { cost_budget: Some(1.0) }.choose(&f).unwrap();
+        let chosen = Policy::MaxQuality {
+            cost_budget: Some(1.0),
+        }
+        .choose(&f)
+        .unwrap();
         assert_eq!(chosen.quality, 0.9);
     }
 
     #[test]
     fn max_quality_relaxes_impossible_budget() {
         let f = frontier();
-        let chosen = Policy::MaxQuality { cost_budget: Some(0.01) }.choose(&f).unwrap();
+        let chosen = Policy::MaxQuality {
+            cost_budget: Some(0.01),
+        }
+        .choose(&f)
+        .unwrap();
         assert_eq!(chosen.quality, 0.99, "falls back to unconstrained best");
     }
 
     #[test]
     fn min_cost_meets_quality_floor() {
         let f = frontier();
-        let chosen = Policy::MinCost { quality_floor: 0.85 }.choose(&f).unwrap();
+        let chosen = Policy::MinCost {
+            quality_floor: 0.85,
+        }
+        .choose(&f)
+        .unwrap();
         assert_eq!(chosen.cost, 0.5);
         let cheap = Policy::MinCost { quality_floor: 0.0 }.choose(&f).unwrap();
         assert_eq!(cheap.cost, 0.1);
@@ -151,12 +163,18 @@ mod tests {
     #[test]
     fn min_time_picks_fastest_eligible() {
         let f = frontier();
-        let chosen = Policy::MinTime { quality_floor: 0.85 }.choose(&f).unwrap();
+        let chosen = Policy::MinTime {
+            quality_floor: 0.85,
+        }
+        .choose(&f)
+        .unwrap();
         assert_eq!(chosen.time, 8.0);
     }
 
     #[test]
     fn empty_frontier_is_none() {
-        assert!(Policy::MaxQuality { cost_budget: None }.choose(&[]).is_none());
+        assert!(Policy::MaxQuality { cost_budget: None }
+            .choose(&[])
+            .is_none());
     }
 }

@@ -81,7 +81,10 @@ pub struct SamplerConfig {
 
 impl Default for SamplerConfig {
     fn default() -> Self {
-        SamplerConfig { sample_records: 10, bandit_pulls: 36 }
+        SamplerConfig {
+            sample_records: 10,
+            bandit_pulls: 36,
+        }
     }
 }
 
@@ -252,7 +255,11 @@ impl<'a> Sampler<'a> {
                         },
                     );
                 }
-                ops.push(OpEstimate { op_index: op_idx, selectivity, per_model });
+                ops.push(OpEstimate {
+                    op_index: op_idx,
+                    selectivity,
+                    per_model,
+                });
             }
         }
 
@@ -285,11 +292,17 @@ impl<'a> Sampler<'a> {
             labels: origin.map(|d| &d.labels),
         };
         let resp = match op {
-            LogicalOp::SemFilter { instruction } => self
-                .env
-                .llm
-                .invoke(model, &LlmTask::Filter { instruction, subject }),
-            LogicalOp::SemExtract { instruction, fields } => {
+            LogicalOp::SemFilter { instruction } => self.env.llm.invoke(
+                model,
+                &LlmTask::Filter {
+                    instruction,
+                    subject,
+                },
+            ),
+            LogicalOp::SemExtract {
+                instruction,
+                fields,
+            } => {
                 let field = fields.first();
                 self.env.llm.invoke(
                     model,
@@ -301,22 +314,41 @@ impl<'a> Sampler<'a> {
                     },
                 )
             }
-            LogicalOp::SemMap { instruction, target_tokens, .. } => self.env.llm.invoke(
+            LogicalOp::SemMap {
+                instruction,
+                target_tokens,
+                ..
+            } => self.env.llm.invoke(
                 model,
-                &LlmTask::Map { instruction, subject, target_tokens: *target_tokens },
+                &LlmTask::Map {
+                    instruction,
+                    subject,
+                    target_tokens: *target_tokens,
+                },
             ),
             // Agg/join are sampled like maps over the record.
             other => {
                 let instruction = other.instruction().unwrap_or("process the item");
-                self.env
-                    .llm
-                    .invoke(model, &LlmTask::Map { instruction, subject, target_tokens: 60 })
+                self.env.llm.invoke(
+                    model,
+                    &LlmTask::Map {
+                        instruction,
+                        subject,
+                        target_tokens: 60,
+                    },
+                )
             }
         };
         self.env.clock.advance(resp.latency_s * 0.25); // sampling overlaps with setup
         let catalog = self.env.llm.catalog();
-        let cost = catalog.spec(model).cost(resp.input_tokens, resp.output_tokens);
-        ReferenceObs { value: resp.value, cost, latency: resp.latency_s }
+        let cost = catalog
+            .spec(model)
+            .cost(resp.input_tokens, resp.output_tokens);
+        ReferenceObs {
+            value: resp.value,
+            cost,
+            latency: resp.latency_s,
+        }
     }
 }
 
@@ -351,8 +383,7 @@ fn agreement(candidate: &Value, reference: &Value, env: &ExecEnv) -> f64 {
             }
         }
         (Value::Str(a), Value::Str(b)) => {
-            let sim =
-                aida_llm::embed::cosine(&env.embedder.embed(a), &env.embedder.embed(b));
+            let sim = aida_llm::embed::cosine(&env.embedder.embed(a), &env.embedder.embed(b));
             f64::from(sim).clamp(0.0, 1.0)
         }
         (a, b) => {
@@ -380,7 +411,7 @@ mod tests {
             } else {
                 format!("report {i}: pipeline maintenance notes")
             };
-            Document::new(format!("doc{i}.txt", ), content).with_label("difficulty", 0.6)
+            Document::new(format!("doc{i}.txt",), content).with_label("difficulty", 0.6)
         }))
     }
 

@@ -144,12 +144,18 @@ mod tests {
 
     #[test]
     fn expr_construction() {
-        let e = Expr { kind: ExprKind::Int(1), line: 1 };
+        let e = Expr {
+            kind: ExprKind::Int(1),
+            line: 1,
+        };
         let b = Expr {
             kind: ExprKind::Binary(
                 BinOp::Add,
                 Box::new(e.clone()),
-                Box::new(Expr { kind: ExprKind::Int(2), line: 1 }),
+                Box::new(Expr {
+                    kind: ExprKind::Int(2),
+                    line: 1,
+                }),
             ),
             line: 1,
         };

@@ -28,7 +28,9 @@ pub enum ScriptError {
 impl ScriptError {
     /// A host-side error (for tool implementations).
     pub fn host(message: impl Into<String>) -> Self {
-        ScriptError::Host { message: message.into() }
+        ScriptError::Host {
+            message: message.into(),
+        }
     }
 
     /// The source line the error was raised at, when known.
@@ -79,7 +81,10 @@ mod tests {
 
     #[test]
     fn display_mentions_line_numbers() {
-        let e = ScriptError::Parse { line: 3, message: "unexpected token".into() };
+        let e = ScriptError::Parse {
+            line: 3,
+            message: "unexpected token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         assert_eq!(e.line(), Some(3));
         assert_eq!(ScriptError::FuelExhausted.line(), None);

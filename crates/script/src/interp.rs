@@ -259,7 +259,11 @@ impl Interpreter {
         let ScriptValue::List(items) = &item else {
             return Err(ScriptError::Type {
                 line,
-                message: format!("cannot unpack {} into {} names", item.type_name(), vars.len()),
+                message: format!(
+                    "cannot unpack {} into {} names",
+                    item.type_name(),
+                    vars.len()
+                ),
             });
         };
         let items = items.borrow().clone();
@@ -309,7 +313,10 @@ impl Interpreter {
         if let Some(v) = self.globals.get(name) {
             return Ok(v.clone());
         }
-        Err(ScriptError::Name { line, name: name.to_string() })
+        Err(ScriptError::Name {
+            line,
+            name: name.to_string(),
+        })
     }
 
     fn assign(
@@ -370,10 +377,7 @@ impl Interpreter {
         let value = self.eval(iterable, locals)?;
         match value {
             ScriptValue::List(items) => Ok(items.borrow().clone()),
-            ScriptValue::Str(s) => Ok(s
-                .chars()
-                .map(|c| ScriptValue::str(c.to_string()))
-                .collect()),
+            ScriptValue::Str(s) => Ok(s.chars().map(|c| ScriptValue::str(c.to_string())).collect()),
             ScriptValue::Dict(entries) => Ok(entries
                 .borrow()
                 .keys()
@@ -438,16 +442,14 @@ impl Interpreter {
                 let r = self.eval(rhs, locals)?;
                 self.binary(*op, l, r, expr.line)
             }
-            ExprKind::Unary(UnaryOp::Neg, operand) => {
-                match self.eval(operand, locals)? {
-                    ScriptValue::Int(i) => Ok(ScriptValue::Int(-i)),
-                    ScriptValue::Float(f) => Ok(ScriptValue::Float(-f)),
-                    other => Err(ScriptError::Type {
-                        line: expr.line,
-                        message: format!("cannot negate {}", other.type_name()),
-                    }),
-                }
-            }
+            ExprKind::Unary(UnaryOp::Neg, operand) => match self.eval(operand, locals)? {
+                ScriptValue::Int(i) => Ok(ScriptValue::Int(-i)),
+                ScriptValue::Float(f) => Ok(ScriptValue::Float(-f)),
+                other => Err(ScriptError::Type {
+                    line: expr.line,
+                    message: format!("cannot negate {}", other.type_name()),
+                }),
+            },
             ExprKind::Unary(UnaryOp::Not, operand) => {
                 Ok(ScriptValue::Bool(!self.eval(operand, locals)?.truthy()))
             }
@@ -466,9 +468,7 @@ impl Interpreter {
                         if let Some(host) = self.host_fns.get(name.as_str()).cloned() {
                             return host(&arg_values);
                         }
-                        if let Some(result) =
-                            self.call_builtin(name, &arg_values, expr.line)?
-                        {
+                        if let Some(result) = self.call_builtin(name, &arg_values, expr.line)? {
                             return Ok(result);
                         }
                     }
@@ -489,7 +489,12 @@ impl Interpreter {
                 let key_v = self.eval(key, locals)?;
                 self.index(&obj_v, &key_v, expr.line)
             }
-            ExprKind::ListComp { element, vars, iterable, condition } => {
+            ExprKind::ListComp {
+                element,
+                vars,
+                iterable,
+                condition,
+            } => {
                 let items = self.iterate(iterable, locals, expr.line)?;
                 let mut out = Vec::with_capacity(items.len());
                 for item in items {
@@ -507,15 +512,29 @@ impl Interpreter {
             ExprKind::Slice(obj, lo, hi) => {
                 let obj_v = self.eval(obj, locals)?;
                 let lo_v = match lo {
-                    Some(e) => Some(self.eval(e, locals)?.as_int().map_err(|_| {
-                        ScriptError::Type { line: expr.line, message: "slice bounds must be ints".into() }
-                    })?),
+                    Some(e) => {
+                        Some(
+                            self.eval(e, locals)?
+                                .as_int()
+                                .map_err(|_| ScriptError::Type {
+                                    line: expr.line,
+                                    message: "slice bounds must be ints".into(),
+                                })?,
+                        )
+                    }
                     None => None,
                 };
                 let hi_v = match hi {
-                    Some(e) => Some(self.eval(e, locals)?.as_int().map_err(|_| {
-                        ScriptError::Type { line: expr.line, message: "slice bounds must be ints".into() }
-                    })?),
+                    Some(e) => {
+                        Some(
+                            self.eval(e, locals)?
+                                .as_int()
+                                .map_err(|_| ScriptError::Type {
+                                    line: expr.line,
+                                    message: "slice bounds must be ints".into(),
+                                })?,
+                        )
+                    }
                     None => None,
                 };
                 self.slice(&obj_v, lo_v, hi_v, expr.line)
@@ -582,12 +601,7 @@ impl Interpreter {
         Ok(result)
     }
 
-    fn list_index(
-        &self,
-        key: &ScriptValue,
-        len: usize,
-        line: usize,
-    ) -> Result<usize, ScriptError> {
+    fn list_index(&self, key: &ScriptValue, len: usize, line: usize) -> Result<usize, ScriptError> {
         let i = key.as_int().map_err(|_| ScriptError::Type {
             line,
             message: format!("list indices must be ints, not {}", key.type_name()),
@@ -623,10 +637,14 @@ impl Interpreter {
                     line,
                     message: "dict keys must be strings".into(),
                 })?;
-                entries.borrow().get(k).cloned().ok_or_else(|| ScriptError::Index {
-                    line,
-                    message: format!("key '{k}' not found"),
-                })
+                entries
+                    .borrow()
+                    .get(k)
+                    .cloned()
+                    .ok_or_else(|| ScriptError::Index {
+                        line,
+                        message: format!("key '{k}' not found"),
+                    })
             }
             other => Err(ScriptError::Type {
                 line,
@@ -660,7 +678,9 @@ impl Interpreter {
             ScriptValue::Str(s) => {
                 let chars: Vec<char> = s.chars().collect();
                 let (start, end) = bounds(lo, hi, chars.len());
-                Ok(ScriptValue::str(chars[start..end].iter().collect::<String>()))
+                Ok(ScriptValue::str(
+                    chars[start..end].iter().collect::<String>(),
+                ))
             }
             other => Err(ScriptError::Type {
                 line,
@@ -723,16 +743,22 @@ impl Interpreter {
             BinOp::FloorDiv => match (&l, &r) {
                 (V::Int(a), V::Int(b)) => {
                     if *b == 0 {
-                        Err(ScriptError::Arithmetic { line, message: "division by zero".into() })
+                        Err(ScriptError::Arithmetic {
+                            line,
+                            message: "division by zero".into(),
+                        })
                     } else {
                         Ok(V::Int(a.div_euclid(*b)))
                     }
                 }
                 _ => {
-                    let (a, b) = both_floats(&l, &r)
-                        .ok_or_else(|| type_err("'//' needs numbers".into()))?;
+                    let (a, b) =
+                        both_floats(&l, &r).ok_or_else(|| type_err("'//' needs numbers".into()))?;
                     if b == 0.0 {
-                        Err(ScriptError::Arithmetic { line, message: "division by zero".into() })
+                        Err(ScriptError::Arithmetic {
+                            line,
+                            message: "division by zero".into(),
+                        })
                     } else {
                         Ok(V::Float((a / b).floor()))
                     }
@@ -741,7 +767,10 @@ impl Interpreter {
             BinOp::Mod => match (&l, &r) {
                 (V::Int(a), V::Int(b)) => {
                     if *b == 0 {
-                        Err(ScriptError::Arithmetic { line, message: "modulo by zero".into() })
+                        Err(ScriptError::Arithmetic {
+                            line,
+                            message: "modulo by zero".into(),
+                        })
                     } else {
                         Ok(V::Int(a.rem_euclid(*b)))
                     }
@@ -768,12 +797,8 @@ impl Interpreter {
             BinOp::In | BinOp::NotIn => {
                 let contains = match (&l, &r) {
                     (V::Str(needle), V::Str(hay)) => hay.contains(needle.as_str()),
-                    (item, V::List(items)) => {
-                        items.borrow().iter().any(|x| x.eq_value(item))
-                    }
-                    (V::Str(key), V::Dict(entries)) => {
-                        entries.borrow().contains_key(key.as_str())
-                    }
+                    (item, V::List(items)) => items.borrow().iter().any(|x| x.eq_value(item)),
+                    (V::Str(key), V::Dict(entries)) => entries.borrow().contains_key(key.as_str()),
                     _ => {
                         return Err(type_err(format!(
                             "'in' not supported between {} and {}",
@@ -801,7 +826,9 @@ impl Interpreter {
         };
         let result = match name {
             "len" => {
-                let [v] = args else { return Err(arity_err("1")) };
+                let [v] = args else {
+                    return Err(arity_err("1"));
+                };
                 let n = match v {
                     V::Str(s) => s.chars().count(),
                     V::List(items) => items.borrow().len(),
@@ -816,18 +843,21 @@ impl Interpreter {
                 V::Int(n as i64)
             }
             "str" => {
-                let [v] = args else { return Err(arity_err("1")) };
+                let [v] = args else {
+                    return Err(arity_err("1"));
+                };
                 V::str(v.to_string())
             }
             "int" => {
-                let [v] = args else { return Err(arity_err("1")) };
+                let [v] = args else {
+                    return Err(arity_err("1"));
+                };
                 match v {
                     V::Int(i) => V::Int(*i),
                     V::Float(f) => V::Int(*f as i64),
                     V::Bool(b) => V::Int(i64::from(*b)),
                     V::Str(s) => {
-                        let cleaned: String =
-                            s.trim().chars().filter(|c| *c != ',').collect();
+                        let cleaned: String = s.trim().chars().filter(|c| *c != ',').collect();
                         match cleaned.parse::<i64>() {
                             Ok(i) => V::Int(i),
                             Err(_) => match cleaned.parse::<f64>() {
@@ -850,11 +880,12 @@ impl Interpreter {
                 }
             }
             "float" => {
-                let [v] = args else { return Err(arity_err("1")) };
+                let [v] = args else {
+                    return Err(arity_err("1"));
+                };
                 match v {
                     V::Str(s) => {
-                        let cleaned: String =
-                            s.trim().chars().filter(|c| *c != ',').collect();
+                        let cleaned: String = s.trim().chars().filter(|c| *c != ',').collect();
                         match cleaned.parse::<f64>() {
                             Ok(f) => V::Float(f),
                             Err(_) => {
@@ -872,11 +903,15 @@ impl Interpreter {
                 }
             }
             "bool" => {
-                let [v] = args else { return Err(arity_err("1")) };
+                let [v] = args else {
+                    return Err(arity_err("1"));
+                };
                 V::Bool(v.truthy())
             }
             "abs" => {
-                let [v] = args else { return Err(arity_err("1")) };
+                let [v] = args else {
+                    return Err(arity_err("1"));
+                };
                 match v {
                     V::Int(i) => V::Int(i.abs()),
                     V::Float(f) => V::Float(f.abs()),
@@ -940,9 +975,14 @@ impl Interpreter {
                 V::None
             }
             "sum" => {
-                let [v] = args else { return Err(arity_err("1")) };
+                let [v] = args else {
+                    return Err(arity_err("1"));
+                };
                 let V::List(items) = v else {
-                    return Err(ScriptError::Type { line, message: "sum() needs a list".into() });
+                    return Err(ScriptError::Type {
+                        line,
+                        message: "sum() needs a list".into(),
+                    });
                 };
                 let mut int_sum = 0i64;
                 let mut float_sum = 0f64;
@@ -994,7 +1034,11 @@ impl Interpreter {
                         line,
                         message: "incomparable values".into(),
                     })?;
-                    let take = if name == "min" { ord.is_lt() } else { ord.is_gt() };
+                    let take = if name == "min" {
+                        ord.is_lt()
+                    } else {
+                        ord.is_gt()
+                    };
                     if take {
                         best = item.clone();
                     }
@@ -1002,7 +1046,9 @@ impl Interpreter {
                 best
             }
             "sorted" => {
-                let [v] = args else { return Err(arity_err("1")) };
+                let [v] = args else {
+                    return Err(arity_err("1"));
+                };
                 let V::List(items) = v else {
                     return Err(ScriptError::Type {
                         line,
@@ -1026,7 +1072,9 @@ impl Interpreter {
                 V::list(sorted)
             }
             "enumerate" => {
-                let [v] = args else { return Err(arity_err("1")) };
+                let [v] = args else {
+                    return Err(arity_err("1"));
+                };
                 let V::List(items) = v else {
                     return Err(ScriptError::Type {
                         line,
@@ -1068,13 +1116,10 @@ impl Interpreter {
                     items.borrow_mut().extend(extra);
                     Ok(V::None)
                 }
-                ("pop", []) => items
-                    .borrow_mut()
-                    .pop()
-                    .ok_or_else(|| ScriptError::Index {
-                        line,
-                        message: "pop from empty list".into(),
-                    }),
+                ("pop", []) => items.borrow_mut().pop().ok_or_else(|| ScriptError::Index {
+                    line,
+                    message: "pop from empty list".into(),
+                }),
                 ("pop", [idx]) => {
                     let len = items.borrow().len();
                     let i = self.list_index(idx, len, line)?;
@@ -1115,12 +1160,20 @@ impl Interpreter {
             },
             V::Dict(entries) => match (method, args) {
                 ("get", [k]) => {
-                    let key = k.as_str().map_err(|_| err("dict keys are strings".into()))?;
+                    let key = k
+                        .as_str()
+                        .map_err(|_| err("dict keys are strings".into()))?;
                     Ok(entries.borrow().get(key).cloned().unwrap_or(V::None))
                 }
                 ("get", [k, default]) => {
-                    let key = k.as_str().map_err(|_| err("dict keys are strings".into()))?;
-                    Ok(entries.borrow().get(key).cloned().unwrap_or_else(|| default.clone()))
+                    let key = k
+                        .as_str()
+                        .map_err(|_| err("dict keys are strings".into()))?;
+                    Ok(entries
+                        .borrow()
+                        .get(key)
+                        .cloned()
+                        .unwrap_or_else(|| default.clone()))
                 }
                 ("keys", []) => Ok(V::list(
                     entries.borrow().keys().map(|k| V::str(k.clone())).collect(),
@@ -1153,40 +1206,56 @@ impl Interpreter {
             ("upper", []) => Ok(V::str(s.to_uppercase())),
             ("strip", []) => Ok(V::str(s.trim().to_string())),
             ("split", []) => Ok(V::list(
-                s.split_whitespace().map(|p| V::str(p.to_string())).collect(),
+                s.split_whitespace()
+                    .map(|p| V::str(p.to_string()))
+                    .collect(),
             )),
             ("split", [sep]) => {
-                let sep = sep.as_str().map_err(|_| err("split() separator must be str".into()))?;
-                Ok(V::list(s.split(sep).map(|p| V::str(p.to_string())).collect()))
+                let sep = sep
+                    .as_str()
+                    .map_err(|_| err("split() separator must be str".into()))?;
+                Ok(V::list(
+                    s.split(sep).map(|p| V::str(p.to_string())).collect(),
+                ))
             }
-            ("splitlines", []) => {
-                Ok(V::list(s.lines().map(|p| V::str(p.to_string())).collect()))
-            }
-            ("isdigit", []) => {
-                Ok(V::Bool(!s.is_empty() && s.chars().all(|c| c.is_ascii_digit())))
-            }
+            ("splitlines", []) => Ok(V::list(s.lines().map(|p| V::str(p.to_string())).collect())),
+            ("isdigit", []) => Ok(V::Bool(
+                !s.is_empty() && s.chars().all(|c| c.is_ascii_digit()),
+            )),
             ("startswith", [prefix]) => {
-                let p = prefix.as_str().map_err(|_| err("startswith() needs str".into()))?;
+                let p = prefix
+                    .as_str()
+                    .map_err(|_| err("startswith() needs str".into()))?;
                 Ok(V::Bool(s.starts_with(p)))
             }
             ("endswith", [suffix]) => {
-                let p = suffix.as_str().map_err(|_| err("endswith() needs str".into()))?;
+                let p = suffix
+                    .as_str()
+                    .map_err(|_| err("endswith() needs str".into()))?;
                 Ok(V::Bool(s.ends_with(p)))
             }
             ("replace", [from, to]) => {
-                let f = from.as_str().map_err(|_| err("replace() needs strs".into()))?;
-                let t = to.as_str().map_err(|_| err("replace() needs strs".into()))?;
+                let f = from
+                    .as_str()
+                    .map_err(|_| err("replace() needs strs".into()))?;
+                let t = to
+                    .as_str()
+                    .map_err(|_| err("replace() needs strs".into()))?;
                 Ok(V::str(s.replace(f, t)))
             }
             ("find", [needle]) => {
-                let n = needle.as_str().map_err(|_| err("find() needs str".into()))?;
+                let n = needle
+                    .as_str()
+                    .map_err(|_| err("find() needs str".into()))?;
                 match s.find(n) {
                     Some(byte_pos) => Ok(V::Int(s[..byte_pos].chars().count() as i64)),
                     None => Ok(V::Int(-1)),
                 }
             }
             ("count", [needle]) => {
-                let n = needle.as_str().map_err(|_| err("count() needs str".into()))?;
+                let n = needle
+                    .as_str()
+                    .map_err(|_| err("count() needs str".into()))?;
                 if n.is_empty() {
                     return Ok(V::Int(s.chars().count() as i64 + 1));
                 }
@@ -1198,7 +1267,11 @@ impl Interpreter {
                     .iter()
                     .map(|v| v.as_str().map(str::to_string))
                     .collect();
-                Ok(V::str(parts.map_err(|_| err("join() needs a list of strs".into()))?.join(s)))
+                Ok(V::str(
+                    parts
+                        .map_err(|_| err("join() needs a list of strs".into()))?
+                        .join(s),
+                ))
             }
             _ => Err(err(format!("str has no method {method}/{}", args.len()))),
         }
@@ -1228,10 +1301,12 @@ fn num_op(
 ) -> Result<ScriptValue, ScriptError> {
     match (l, r) {
         (ScriptValue::Int(a), ScriptValue::Int(b)) => {
-            int_op(*a, *b).map(ScriptValue::Int).ok_or(ScriptError::Arithmetic {
-                line,
-                message: "integer overflow".into(),
-            })
+            int_op(*a, *b)
+                .map(ScriptValue::Int)
+                .ok_or(ScriptError::Arithmetic {
+                    line,
+                    message: "integer overflow".into(),
+                })
         }
         _ => both_floats(l, r)
             .map(|(a, b)| ScriptValue::Float(float_op(a, b)))
@@ -1332,10 +1407,16 @@ mod tests {
     #[test]
     fn list_operations() {
         assert_eq!(run("xs = [1, 2]\nxs.append(3)\nlen(xs)"), V::Int(3));
-        assert_eq!(run("[1, 2] + [3]"), V::list(vec![V::Int(1), V::Int(2), V::Int(3)]));
+        assert_eq!(
+            run("[1, 2] + [3]"),
+            V::list(vec![V::Int(1), V::Int(2), V::Int(3)])
+        );
         assert_eq!(run("xs = [3, 1, 2]\nxs.sort()\nxs[0]"), V::Int(1));
         assert_eq!(run("xs = [1, 2, 3]\nxs[-1]"), V::Int(3));
-        assert_eq!(run("xs = [1, 2, 3]\nxs[1:]"), V::list(vec![V::Int(2), V::Int(3)]));
+        assert_eq!(
+            run("xs = [1, 2, 3]\nxs[1:]"),
+            V::list(vec![V::Int(2), V::Int(3)])
+        );
         assert_eq!(run("[10, 20].index(20)"), V::Int(1));
         assert_eq!(run("2 in [1, 2]"), V::Bool(true));
         assert_eq!(run("xs = [1]\nxs.extend([2, 3])\nsum(xs)"), V::Int(6));
@@ -1357,7 +1438,10 @@ mod tests {
         assert_eq!(run("d = {'a': 1}\nd.get('zz', 9)"), V::Int(9));
         assert_eq!(run("d = {'b': 1, 'a': 2}\nd.keys()[0]"), V::str("a"));
         assert_eq!(run("'a' in {'a': 1}"), V::Bool(true));
-        assert!(matches!(run_err("d = {}\nd['missing']"), ScriptError::Index { .. }));
+        assert!(matches!(
+            run_err("d = {}\nd['missing']"),
+            ScriptError::Index { .. }
+        ));
     }
 
     #[test]
@@ -1376,8 +1460,14 @@ mod tests {
     fn for_over_range_and_list() {
         assert_eq!(run("t = 0\nfor i in range(5):\n    t += i\nt"), V::Int(10));
         assert_eq!(run("t = 0\nfor x in [2, 4]:\n    t += x\nt"), V::Int(6));
-        assert_eq!(run("out = ''\nfor c in 'ab':\n    out += c + '.'\nout"), V::str("a.b."));
-        assert_eq!(run("t = 0\nfor i in range(10, 0, -2):\n    t += i\nt"), V::Int(30));
+        assert_eq!(
+            run("out = ''\nfor c in 'ab':\n    out += c + '.'\nout"),
+            V::str("a.b.")
+        );
+        assert_eq!(
+            run("t = 0\nfor i in range(10, 0, -2):\n    t += i\nt"),
+            V::Int(30)
+        );
     }
 
     #[test]
@@ -1422,7 +1512,8 @@ mod tests {
     fn for_loop_unpacking() {
         let src = "total = 0\nfor i, v in enumerate([10, 20, 30]):\n    total += i * v\ntotal";
         assert_eq!(run(src), V::Int(20 + 2 * 30));
-        let src = "out = ''\nd = {'a': 1, 'b': 2}\nfor k, v in d.items():\n    out += k + str(v)\nout";
+        let src =
+            "out = ''\nd = {'a': 1, 'b': 2}\nfor k, v in d.items():\n    out += k + str(v)\nout";
         assert_eq!(run(src), V::str("a1b2"));
     }
 
@@ -1505,7 +1596,10 @@ mod tests {
     fn host_function_errors_propagate() {
         let mut interp = Interpreter::new();
         interp.bind_host_fn("fail", |_| Err(ScriptError::host("tool broke")));
-        assert!(matches!(interp.run("fail()"), Err(ScriptError::Host { .. })));
+        assert!(matches!(
+            interp.run("fail()"),
+            Err(ScriptError::Host { .. })
+        ));
     }
 
     #[test]
@@ -1608,8 +1702,7 @@ mod tests {
                         .prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
                     (inner.clone(), inner.clone())
                         .prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
-                    (inner.clone(), inner)
-                        .prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
+                    (inner.clone(), inner).prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
                 ]
             })
         }

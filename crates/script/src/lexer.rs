@@ -49,11 +49,11 @@ pub enum Tok {
     Slash,
     DoubleSlash,
     Percent,
-    Eq,       // =
-    PlusEq,   // +=
-    MinusEq,  // -=
-    EqEq,     // ==
-    NotEq,    // !=
+    Eq,      // =
+    PlusEq,  // +=
+    MinusEq, // -=
+    EqEq,    // ==
+    NotEq,   // !=
     Lt,
     LtEq,
     Gt,
@@ -99,11 +99,17 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
             let current = *indents.last().expect("indent stack never empty");
             if indent > current {
                 indents.push(indent);
-                tokens.push(Token { kind: Tok::Indent, line: line_no });
+                tokens.push(Token {
+                    kind: Tok::Indent,
+                    line: line_no,
+                });
             } else if indent < current {
                 while *indents.last().unwrap() > indent {
                     indents.pop();
-                    tokens.push(Token { kind: Tok::Dedent, line: line_no });
+                    tokens.push(Token {
+                        kind: Tok::Dedent,
+                        line: line_no,
+                    });
                 }
                 if *indents.last().unwrap() != indent {
                     return Err(ScriptError::Lex {
@@ -122,19 +128,31 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
                 .last()
                 .is_some_and(|t| !matches!(t.kind, Tok::Newline | Tok::Indent | Tok::Dedent))
             {
-                tokens.push(Token { kind: Tok::Newline, line: line_no });
+                tokens.push(Token {
+                    kind: Tok::Newline,
+                    line: line_no,
+                });
             }
         }
     }
 
     if depth > 0 {
-        return Err(ScriptError::Lex { line: line_no, message: "unclosed bracket".into() });
+        return Err(ScriptError::Lex {
+            line: line_no,
+            message: "unclosed bracket".into(),
+        });
     }
     while indents.len() > 1 {
         indents.pop();
-        tokens.push(Token { kind: Tok::Dedent, line: line_no });
+        tokens.push(Token {
+            kind: Tok::Dedent,
+            line: line_no,
+        });
     }
-    tokens.push(Token { kind: Tok::Eof, line: line_no });
+    tokens.push(Token {
+        kind: Tok::Eof,
+        line: line_no,
+    });
     Ok(tokens)
 }
 
@@ -144,7 +162,12 @@ fn lex_line(
     tokens: &mut Vec<Token>,
     depth: &mut usize,
 ) -> Result<(), ScriptError> {
-    let push = |tokens: &mut Vec<Token>, kind: Tok| tokens.push(Token { kind, line: line_no });
+    let push = |tokens: &mut Vec<Token>, kind: Tok| {
+        tokens.push(Token {
+            kind,
+            line: line_no,
+        })
+    };
     let bytes: Vec<char> = line.chars().collect();
     let mut i = 0usize;
     while i < bytes.len() {
@@ -325,7 +348,13 @@ mod tests {
     fn lexes_assignment() {
         assert_eq!(
             kinds("x = 42"),
-            vec![Tok::Name("x".into()), Tok::Eq, Tok::Int(42), Tok::Newline, Tok::Eof]
+            vec![
+                Tok::Name("x".into()),
+                Tok::Eq,
+                Tok::Int(42),
+                Tok::Newline,
+                Tok::Eof
+            ]
         );
     }
 
@@ -333,7 +362,13 @@ mod tests {
     fn lexes_floats_and_method_dots() {
         assert_eq!(
             kinds("y = 3.5"),
-            vec![Tok::Name("y".into()), Tok::Eq, Tok::Float(3.5), Tok::Newline, Tok::Eof]
+            vec![
+                Tok::Name("y".into()),
+                Tok::Eq,
+                Tok::Float(3.5),
+                Tok::Newline,
+                Tok::Eof
+            ]
         );
         // `5.lower` style never appears, but `x.lower` must not eat the dot.
         let toks = kinds("s.lower()");
@@ -344,7 +379,13 @@ mod tests {
     fn lexes_strings_with_escapes() {
         assert_eq!(
             kinds(r#"s = "a\nb""#),
-            vec![Tok::Name("s".into()), Tok::Eq, Tok::Str("a\nb".into()), Tok::Newline, Tok::Eof]
+            vec![
+                Tok::Name("s".into()),
+                Tok::Eq,
+                Tok::Str("a\nb".into()),
+                Tok::Newline,
+                Tok::Eof
+            ]
         );
         assert_eq!(kinds("t = 'hi'")[2], Tok::Str("hi".into()));
     }
@@ -417,7 +458,10 @@ mod tests {
     #[test]
     fn line_numbers_are_tracked() {
         let toks = lex("x = 1\ny = 2").unwrap();
-        let y = toks.iter().find(|t| t.kind == Tok::Name("y".into())).unwrap();
+        let y = toks
+            .iter()
+            .find(|t| t.kind == Tok::Name("y".into()))
+            .unwrap();
         assert_eq!(y.line, 2);
     }
 }

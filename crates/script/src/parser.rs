@@ -71,7 +71,10 @@ impl Parser {
     }
 
     fn err(&self, message: String) -> ScriptError {
-        ScriptError::Parse { line: self.line(), message }
+        ScriptError::Parse {
+            line: self.line(),
+            message,
+        }
     }
 
     fn program(&mut self) -> Result<Program, ScriptError> {
@@ -115,7 +118,10 @@ impl Parser {
                 self.advance();
                 let cond = self.expr()?;
                 let body = self.block()?;
-                Ok(Stmt { kind: StmtKind::While(cond, body), line })
+                Ok(Stmt {
+                    kind: StmtKind::While(cond, body),
+                    line,
+                })
             }
             Tok::For => {
                 self.advance();
@@ -126,7 +132,10 @@ impl Parser {
                 self.expect(Tok::In, "'in'")?;
                 let iter = self.expr()?;
                 let body = self.block()?;
-                Ok(Stmt { kind: StmtKind::For(vars, iter, body), line })
+                Ok(Stmt {
+                    kind: StmtKind::For(vars, iter, body),
+                    line,
+                })
             }
             Tok::Def => {
                 self.advance();
@@ -141,7 +150,10 @@ impl Parser {
                 }
                 self.expect(Tok::RParen, "')'")?;
                 let body = self.block()?;
-                Ok(Stmt { kind: StmtKind::Def(name, params, body), line })
+                Ok(Stmt {
+                    kind: StmtKind::Def(name, params, body),
+                    line,
+                })
             }
             _ => {
                 let stmt = self.simple_stmt()?;
@@ -178,7 +190,10 @@ impl Parser {
                 _ => break,
             }
         }
-        Ok(Stmt { kind: StmtKind::If(arms, else_body), line })
+        Ok(Stmt {
+            kind: StmtKind::If(arms, else_body),
+            line,
+        })
     }
 
     fn simple_stmt(&mut self) -> Result<Stmt, ScriptError> {
@@ -191,19 +206,31 @@ impl Parser {
                 } else {
                     Some(self.expr()?)
                 };
-                Ok(Stmt { kind: StmtKind::Return(value), line })
+                Ok(Stmt {
+                    kind: StmtKind::Return(value),
+                    line,
+                })
             }
             Tok::Break => {
                 self.advance();
-                Ok(Stmt { kind: StmtKind::Break, line })
+                Ok(Stmt {
+                    kind: StmtKind::Break,
+                    line,
+                })
             }
             Tok::Continue => {
                 self.advance();
-                Ok(Stmt { kind: StmtKind::Continue, line })
+                Ok(Stmt {
+                    kind: StmtKind::Continue,
+                    line,
+                })
             }
             Tok::Pass => {
                 self.advance();
-                Ok(Stmt { kind: StmtKind::Pass, line })
+                Ok(Stmt {
+                    kind: StmtKind::Pass,
+                    line,
+                })
             }
             _ => {
                 let expr = self.expr()?;
@@ -212,7 +239,10 @@ impl Parser {
                         self.advance();
                         let target = self.to_target(expr)?;
                         let value = self.expr()?;
-                        Ok(Stmt { kind: StmtKind::Assign(target, value), line })
+                        Ok(Stmt {
+                            kind: StmtKind::Assign(target, value),
+                            line,
+                        })
                     }
                     Tok::PlusEq | Tok::MinusEq => {
                         let op = if matches!(self.peek(), Tok::PlusEq) {
@@ -223,9 +253,15 @@ impl Parser {
                         self.advance();
                         let target = self.to_target(expr)?;
                         let value = self.expr()?;
-                        Ok(Stmt { kind: StmtKind::AugAssign(target, op, value), line })
+                        Ok(Stmt {
+                            kind: StmtKind::AugAssign(target, op, value),
+                            line,
+                        })
                     }
-                    _ => Ok(Stmt { kind: StmtKind::Expr(expr), line }),
+                    _ => Ok(Stmt {
+                        kind: StmtKind::Expr(expr),
+                        line,
+                    }),
                 }
             }
         }
@@ -289,7 +325,10 @@ impl Parser {
             let line = self.line();
             self.advance();
             let operand = self.not_expr()?;
-            return Ok(Expr { kind: ExprKind::Unary(UnaryOp::Not, Box::new(operand)), line });
+            return Ok(Expr {
+                kind: ExprKind::Unary(UnaryOp::Not, Box::new(operand)),
+                line,
+            });
         }
         self.comparison()
     }
@@ -341,7 +380,10 @@ impl Parser {
             let line = self.line();
             self.advance();
             let right = self.term()?;
-            left = Expr { kind: ExprKind::Binary(op, Box::new(left), Box::new(right)), line };
+            left = Expr {
+                kind: ExprKind::Binary(op, Box::new(left), Box::new(right)),
+                line,
+            };
         }
         Ok(left)
     }
@@ -359,7 +401,10 @@ impl Parser {
             let line = self.line();
             self.advance();
             let right = self.unary()?;
-            left = Expr { kind: ExprKind::Binary(op, Box::new(left), Box::new(right)), line };
+            left = Expr {
+                kind: ExprKind::Binary(op, Box::new(left), Box::new(right)),
+                line,
+            };
         }
         Ok(left)
     }
@@ -369,7 +414,10 @@ impl Parser {
             let line = self.line();
             self.advance();
             let operand = self.unary()?;
-            return Ok(Expr { kind: ExprKind::Unary(UnaryOp::Neg, Box::new(operand)), line });
+            return Ok(Expr {
+                kind: ExprKind::Unary(UnaryOp::Neg, Box::new(operand)),
+                line,
+            });
         }
         self.postfix()
     }
@@ -382,7 +430,10 @@ impl Parser {
                 Tok::LParen => {
                     self.advance();
                     let args = self.call_args()?;
-                    expr = Expr { kind: ExprKind::Call(Box::new(expr), args), line };
+                    expr = Expr {
+                        kind: ExprKind::Call(Box::new(expr), args),
+                        line,
+                    };
                 }
                 Tok::LBracket => {
                     self.advance();
@@ -399,11 +450,17 @@ impl Parser {
                             Some(Box::new(self.expr()?))
                         };
                         self.expect(Tok::RBracket, "']'")?;
-                        expr = Expr { kind: ExprKind::Slice(Box::new(expr), lo, hi), line };
+                        expr = Expr {
+                            kind: ExprKind::Slice(Box::new(expr), lo, hi),
+                            line,
+                        };
                     } else {
                         let key = lo.ok_or_else(|| self.err("empty subscript".into()))?;
                         self.expect(Tok::RBracket, "']'")?;
-                        expr = Expr { kind: ExprKind::Index(Box::new(expr), key), line };
+                        expr = Expr {
+                            kind: ExprKind::Index(Box::new(expr), key),
+                            line,
+                        };
                     }
                 }
                 Tok::Dot => {
@@ -452,7 +509,10 @@ impl Parser {
             Tok::LBracket => {
                 if matches!(self.peek(), Tok::RBracket) {
                     self.advance();
-                    return Ok(Expr { kind: ExprKind::List(Vec::new()), line });
+                    return Ok(Expr {
+                        kind: ExprKind::List(Vec::new()),
+                        line,
+                    });
                 }
                 let first = self.expr()?;
                 if matches!(self.peek(), Tok::For) {
@@ -600,12 +660,18 @@ mod tests {
         let p = parse("a[0]\nb[1:3]\nc[:2]\nd[2:]").unwrap();
         assert!(matches!(
             p.body[0].kind,
-            StmtKind::Expr(Expr { kind: ExprKind::Index(_, _), .. })
+            StmtKind::Expr(Expr {
+                kind: ExprKind::Index(_, _),
+                ..
+            })
         ));
         for stmt in &p.body[1..] {
             assert!(matches!(
                 stmt.kind,
-                StmtKind::Expr(Expr { kind: ExprKind::Slice(_, _, _), .. })
+                StmtKind::Expr(Expr {
+                    kind: ExprKind::Slice(_, _, _),
+                    ..
+                })
             ));
         }
     }
@@ -628,7 +694,10 @@ mod tests {
     #[test]
     fn parses_index_assignment() {
         let p = parse("d[\"k\"] = 5\nd[\"k\"] += 1").unwrap();
-        assert!(matches!(p.body[0].kind, StmtKind::Assign(Target::Index(_, _), _)));
+        assert!(matches!(
+            p.body[0].kind,
+            StmtKind::Assign(Target::Index(_, _), _)
+        ));
         assert!(matches!(
             p.body[1].kind,
             StmtKind::AugAssign(Target::Index(_, _), BinOp::Add, _)

@@ -143,9 +143,9 @@ impl ScriptValue {
             (ScriptValue::Dict(a), ScriptValue::Dict(b)) => {
                 let (a, b) = (a.borrow(), b.borrow());
                 a.len() == b.len()
-                    && a.iter().zip(b.iter()).all(|((ka, va), (kb, vb))| {
-                        ka == kb && va.eq_value(vb)
-                    })
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.eq_value(vb))
             }
             _ => false,
         }
@@ -172,7 +172,10 @@ impl ScriptValue {
                     .borrow()
                     .iter()
                     .map(|(k, v)| {
-                        Ok(DataValue::List(vec![DataValue::Str(k.clone()), v.to_data()?]))
+                        Ok(DataValue::List(vec![
+                            DataValue::Str(k.clone()),
+                            v.to_data()?,
+                        ]))
                     })
                     .collect::<Result<Vec<_>, ScriptError>>()?,
             ),

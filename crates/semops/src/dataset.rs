@@ -50,16 +50,19 @@ impl Dataset {
     /// Keep records satisfying a natural-language predicate.
     pub fn sem_filter(&self, instruction: impl Into<String>) -> Dataset {
         Dataset {
-            plan: self.plan.then(LogicalOp::SemFilter { instruction: instruction.into() }),
+            plan: self.plan.then(LogicalOp::SemFilter {
+                instruction: instruction.into(),
+            }),
         }
     }
 
     /// Extract typed fields per a natural-language instruction.
     pub fn sem_extract(&self, instruction: impl Into<String>, fields: Vec<Field>) -> Dataset {
         Dataset {
-            plan: self
-                .plan
-                .then(LogicalOp::SemExtract { instruction: instruction.into(), fields }),
+            plan: self.plan.then(LogicalOp::SemExtract {
+                instruction: instruction.into(),
+                fields,
+            }),
         }
     }
 
@@ -83,14 +86,19 @@ impl Dataset {
     /// Reduce all records to a single answer record.
     pub fn sem_agg(&self, instruction: impl Into<String>) -> Dataset {
         Dataset {
-            plan: self.plan.then(LogicalOp::SemAgg { instruction: instruction.into() }),
+            plan: self.plan.then(LogicalOp::SemAgg {
+                instruction: instruction.into(),
+            }),
         }
     }
 
     /// Keep the `k` records most relevant to a query.
     pub fn sem_topk(&self, query: impl Into<String>, k: usize) -> Dataset {
         Dataset {
-            plan: self.plan.then(LogicalOp::SemTopK { query: query.into(), k }),
+            plan: self.plan.then(LogicalOp::SemTopK {
+                query: query.into(),
+                k,
+            }),
         }
     }
 
@@ -98,9 +106,10 @@ impl Dataset {
     /// LLM call; adds a `group` field to every record.
     pub fn sem_group_by(&self, instruction: impl Into<String>, k: usize) -> Dataset {
         Dataset {
-            plan: self
-                .plan
-                .then(LogicalOp::SemGroupBy { instruction: instruction.into(), k }),
+            plan: self.plan.then(LogicalOp::SemGroupBy {
+                instruction: instruction.into(),
+                k,
+            }),
         }
     }
 
@@ -125,12 +134,16 @@ impl Dataset {
 
     /// Classical limit.
     pub fn limit(&self, n: usize) -> Dataset {
-        Dataset { plan: self.plan.then(LogicalOp::Limit { n }) }
+        Dataset {
+            plan: self.plan.then(LogicalOp::Limit { n }),
+        }
     }
 
     /// Count records into a single `count` record.
     pub fn count(&self) -> Dataset {
-        Dataset { plan: self.plan.then(LogicalOp::Count) }
+        Dataset {
+            plan: self.plan.then(LogicalOp::Count),
+        }
     }
 }
 
@@ -140,7 +153,10 @@ mod tests {
     use aida_data::Document;
 
     fn lake() -> DataLake {
-        DataLake::from_docs([Document::new("a.txt", "alpha"), Document::new("b.txt", "beta")])
+        DataLake::from_docs([
+            Document::new("a.txt", "alpha"),
+            Document::new("b.txt", "beta"),
+        ])
     }
 
     #[test]
@@ -151,7 +167,10 @@ mod tests {
             .project(&["filename", "summary"])
             .limit(3);
         let names: Vec<&str> = ds.plan().ops().iter().map(|o| o.name()).collect();
-        assert_eq!(names, vec!["scan", "sem_filter", "sem_map", "project", "limit"]);
+        assert_eq!(
+            names,
+            vec!["scan", "sem_filter", "sem_map", "project", "limit"]
+        );
     }
 
     #[test]

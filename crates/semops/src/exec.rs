@@ -12,6 +12,7 @@ use crate::stats::{OperatorStats, PlanStats};
 use aida_data::{DataLake, Record, Value};
 use aida_llm::oracle::Subject;
 use aida_llm::{Embedder, LlmTask, SimClock, SimLlm};
+use aida_obs::{Recorder, SpanKind};
 use std::borrow::Cow;
 use std::sync::Arc;
 
@@ -24,12 +25,27 @@ pub struct ExecEnv {
     pub clock: SimClock,
     /// Embedder for proxy-scored operators (top-k).
     pub embedder: Embedder,
+    /// Trace recorder (disabled unless opted in via [`ExecEnv::with_recorder`]).
+    pub recorder: Recorder,
 }
 
 impl ExecEnv {
-    /// Creates an environment around an LLM service.
+    /// Creates an environment around an LLM service (tracing disabled).
     pub fn new(llm: SimLlm) -> Self {
-        ExecEnv { llm, clock: SimClock::new(), embedder: Embedder::default() }
+        ExecEnv {
+            llm,
+            clock: SimClock::new(),
+            embedder: Embedder::default(),
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attaches a trace recorder to the environment *and* its LLM, so
+    /// physical-operator spans and per-call events land in one trace.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.llm = self.llm.with_recorder(recorder.clone());
+        self.recorder = recorder;
+        self
     }
 }
 
@@ -74,9 +90,21 @@ impl<'a> Executor<'a> {
             let rows_in = records.len();
             let before = self.env.llm.meter().snapshot();
             let t0 = self.env.clock.now();
+            let span = self
+                .env
+                .recorder
+                .span(SpanKind::PhysicalOp, step.op.name(), t0);
+            if let Some(instruction) = step.op.instruction() {
+                span.attr("instruction", aida_obs::clip(instruction, 80));
+            }
+            if step.op.is_semantic() {
+                span.attr("model", step.model.name());
+            }
             records = self.run_step(step, records, &mut lake, plan.parallelism);
-            let delta = self.env.llm.meter().snapshot().since(&before);
-            stats.operators.push(OperatorStats {
+            let delta = self.env.llm.meter().snapshot().delta_since(&before);
+            span.rows(rows_in, records.len());
+            span.finish(self.env.clock.now());
+            let op_stats = OperatorStats {
                 op: step.op.name().to_string(),
                 model: step.op.is_semantic().then(|| step.model.name().to_string()),
                 rows_in,
@@ -84,7 +112,13 @@ impl<'a> Executor<'a> {
                 calls: delta.total_calls() as usize,
                 cost_usd: delta.cost(self.env.llm.catalog()),
                 time_s: self.env.clock.now() - t0,
-            });
+            };
+            if rows_in > 0 {
+                self.env
+                    .recorder
+                    .histogram_record("operator.selectivity", op_stats.selectivity());
+            }
+            stats.operators.push(op_stats);
         }
         ExecutionReport { records, stats }
     }
@@ -97,13 +131,18 @@ impl<'a> Executor<'a> {
         parallelism: usize,
     ) -> Vec<Record> {
         match &step.op {
-            LogicalOp::Scan { lake: source, label: _ } => {
+            LogicalOp::Scan {
+                lake: source,
+                label: _,
+            } => {
                 *lake = Some(Arc::clone(source));
                 // Reading files is ~free next to LLM calls; charge a small
                 // fixed I/O latency per wave.
-                self.env
-                    .clock
-                    .advance_parallel(0.002 * source.len() as f64, source.len().max(1), parallelism);
+                self.env.clock.advance_parallel(
+                    0.002 * source.len() as f64,
+                    source.len().max(1),
+                    parallelism,
+                );
                 source
                     .docs()
                     .iter()
@@ -115,17 +154,16 @@ impl<'a> Executor<'a> {
                     .collect()
             }
             LogicalOp::SemFilter { instruction } => {
-                let verdicts = self.parallel_llm(
-                    &records,
-                    lake.as_deref(),
-                    parallelism,
-                    |llm, subject| {
+                let verdicts =
+                    self.parallel_llm(&records, lake.as_deref(), parallelism, |llm, subject| {
                         llm.invoke(
                             step.model,
-                            &LlmTask::Filter { instruction, subject },
+                            &LlmTask::Filter {
+                                instruction,
+                                subject,
+                            },
                         )
-                    },
-                );
+                    });
                 records
                     .into_iter()
                     .zip(verdicts)
@@ -133,15 +171,15 @@ impl<'a> Executor<'a> {
                     .map(|(r, _)| r)
                     .collect()
             }
-            LogicalOp::SemExtract { instruction, fields } => {
+            LogicalOp::SemExtract {
+                instruction,
+                fields,
+            } => {
                 let mut out = records;
                 // One LLM pass per extracted field (documented API shape).
                 for field in fields {
-                    let values = self.parallel_llm(
-                        &out,
-                        lake.as_deref(),
-                        parallelism,
-                        |llm, subject| {
+                    let values =
+                        self.parallel_llm(&out, lake.as_deref(), parallelism, |llm, subject| {
                             llm.invoke(
                                 step.model,
                                 &LlmTask::Extract {
@@ -151,26 +189,29 @@ impl<'a> Executor<'a> {
                                     subject,
                                 },
                             )
-                        },
-                    );
+                        });
                     for (rec, value) in out.iter_mut().zip(values) {
                         rec.set(field.name.clone(), value);
                     }
                 }
                 out
             }
-            LogicalOp::SemMap { instruction, output, target_tokens } => {
-                let values = self.parallel_llm(
-                    &records,
-                    lake.as_deref(),
-                    parallelism,
-                    |llm, subject| {
+            LogicalOp::SemMap {
+                instruction,
+                output,
+                target_tokens,
+            } => {
+                let values =
+                    self.parallel_llm(&records, lake.as_deref(), parallelism, |llm, subject| {
                         llm.invoke(
                             step.model,
-                            &LlmTask::Map { instruction, subject, target_tokens: *target_tokens },
+                            &LlmTask::Map {
+                                instruction,
+                                subject,
+                                target_tokens: *target_tokens,
+                            },
                         )
-                    },
-                );
+                    });
                 let mut out = records;
                 for (rec, value) in out.iter_mut().zip(values) {
                     rec.set(output.clone(), value);
@@ -189,7 +230,11 @@ impl<'a> Executor<'a> {
                 let subject = Subject::text_only("aggregate-input", &combined);
                 let resp = self.env.llm.invoke(
                     step.model,
-                    &LlmTask::Map { instruction, subject, target_tokens: 120 },
+                    &LlmTask::Map {
+                        instruction,
+                        subject,
+                        target_tokens: 120,
+                    },
                 );
                 self.env.clock.advance(resp.latency_s);
                 vec![Record::new("sem_agg").with("answer", resp.value)]
@@ -208,7 +253,9 @@ impl<'a> Executor<'a> {
                 scored.truncate(*k);
                 // Proxy scoring is cheap but not free: small per-record time.
                 let n = scored.len().max(1);
-                self.env.clock.advance_parallel(0.003 * n as f64, n, parallelism);
+                self.env
+                    .clock
+                    .advance_parallel(0.003 * n as f64, n, parallelism);
                 scored.into_iter().map(|(_, r)| r).collect()
             }
             LogicalOp::SemGroupBy { instruction, k } => {
@@ -246,12 +293,18 @@ impl<'a> Executor<'a> {
                     let subject = Subject::text_only("groupby-cluster", &sample);
                     let resp = self.env.llm.invoke(
                         step.model,
-                        &LlmTask::Map { instruction: &prompt, subject, target_tokens: 12 },
+                        &LlmTask::Map {
+                            instruction: &prompt,
+                            subject,
+                            target_tokens: 12,
+                        },
                     );
                     total_latency += resp.latency_s;
                     labels.push(resp.text);
                 }
-                self.env.clock.advance_parallel(total_latency, k, parallelism);
+                self.env
+                    .clock
+                    .advance_parallel(total_latency, k, parallelism);
                 let mut out = records;
                 for (rec, a) in out.iter_mut().zip(assignments) {
                     rec.set("group", Value::Str(labels[a].clone()));
@@ -276,9 +329,13 @@ impl<'a> Executor<'a> {
                 }
                 let verdicts = parallel_map(&pair_subjects, parallelism, |(_, _, text)| {
                     let subject = Subject::text_only("join-pair", text);
-                    self.env
-                        .llm
-                        .invoke(step.model, &LlmTask::Filter { instruction, subject })
+                    self.env.llm.invoke(
+                        step.model,
+                        &LlmTask::Filter {
+                            instruction,
+                            subject,
+                        },
+                    )
                 });
                 let total_latency: f64 = verdicts.iter().map(|r| r.latency_s).sum();
                 self.env
@@ -445,7 +502,10 @@ where
             h.join().expect("worker panicked");
         }
     });
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -461,13 +521,42 @@ mod tests {
 
     fn theft_lake() -> DataLake {
         DataLake::from_docs([
-            Document::new("national.csv", "year,identity_theft_reports\n2001,86250\n2005,200000\n2024,1135291\n")
-                .with_label("difficulty", 0.0),
+            Document::new(
+                "national.csv",
+                "year,identity_theft_reports\n2001,86250\n2005,200000\n2024,1135291\n",
+            )
+            .with_label("difficulty", 0.0),
             Document::new("pipeline.txt", "natural gas pipeline maintenance schedule")
                 .with_label("difficulty", 0.0),
             Document::new("trends.txt", "identity theft trends rose through 2024")
                 .with_label("difficulty", 0.0),
         ])
+    }
+
+    #[test]
+    fn recorder_spans_mirror_operator_stats() {
+        let recorder = Recorder::new();
+        let env = ExecEnv::new(SimLlm::new(7)).with_recorder(recorder.clone());
+        let ds = Dataset::scan(&theft_lake(), "lake").sem_filter("mentions identity theft");
+        let plan = PhysicalPlan::default_for(ds.plan());
+        let report = Executor::new(&env).execute(&plan);
+        let trace = recorder.trace();
+        assert_eq!(trace.spans.len(), report.stats.operators.len());
+        for (span, stats) in trace.spans.iter().zip(&report.stats.operators) {
+            assert_eq!(span.name, stats.op);
+            assert_eq!(span.rows_in, Some(stats.rows_in));
+            assert_eq!(span.rows_out, Some(stats.rows_out));
+            assert_eq!(span.calls as usize, stats.calls);
+            assert!((span.cost_usd - stats.cost_usd).abs() < 1e-9);
+            assert!((span.duration_s() - stats.time_s).abs() < 1e-9);
+        }
+        // The filter's model attribute and selectivity histogram landed.
+        let filter = &trace.spans[1];
+        assert!(filter
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "model" && !v.is_empty()));
+        assert!(trace.histograms["operator.selectivity"].count >= 1);
     }
 
     #[test]
@@ -510,7 +599,10 @@ mod tests {
             .sem_filter("mentions identity theft reports by year in a table")
             .sem_extract(
                 "find the number of identity theft reports in 2024",
-                vec![Field::described("thefts_2024", "identity theft reports in 2024")],
+                vec![Field::described(
+                    "thefts_2024",
+                    "identity theft reports in 2024",
+                )],
             );
         let plan = PhysicalPlan::default_for(ds.plan());
         let report = Executor::new(&env).execute(&plan);
@@ -561,10 +653,22 @@ mod tests {
     fn group_by_labels_semantic_clusters() {
         let env = env();
         let lake = DataLake::from_docs([
-            Document::new("t1.txt", "identity theft reports fraud statistics consumer sentinel"),
-            Document::new("t2.txt", "identity theft reports fraud statistics yearly trends"),
-            Document::new("g1.txt", "natural gas pipeline maintenance schedule compressor station"),
-            Document::new("g2.txt", "natural gas pipeline maintenance schedule capacity notes"),
+            Document::new(
+                "t1.txt",
+                "identity theft reports fraud statistics consumer sentinel",
+            ),
+            Document::new(
+                "t2.txt",
+                "identity theft reports fraud statistics yearly trends",
+            ),
+            Document::new(
+                "g1.txt",
+                "natural gas pipeline maintenance schedule compressor station",
+            ),
+            Document::new(
+                "g2.txt",
+                "natural gas pipeline maintenance schedule capacity notes",
+            ),
         ]);
         let ds = Dataset::scan(&lake, "docs").sem_group_by("topic of the document", 2);
         let report = Executor::new(&env).execute(&PhysicalPlan::default_for(ds.plan()));
@@ -624,13 +728,19 @@ mod tests {
         let plan = PhysicalPlan::uniform(ds.plan(), ModelId::Flagship, 4);
         let report = Executor::new(&env).execute(&plan);
         // Matching pairs carry fields from both sides.
-        assert!(report.records.iter().any(|r| r.get("right_filename").is_some()));
+        assert!(report
+            .records
+            .iter()
+            .any(|r| r.get("right_filename").is_some()));
     }
 
     #[test]
     fn project_limit_count() {
         let env = env();
-        let ds = Dataset::scan(&theft_lake(), "lake").project(&["filename"]).limit(2).count();
+        let ds = Dataset::scan(&theft_lake(), "lake")
+            .project(&["filename"])
+            .limit(2)
+            .count();
         let plan = PhysicalPlan::default_for(ds.plan());
         let report = Executor::new(&env).execute(&plan);
         assert_eq!(report.records.len(), 1);
@@ -656,8 +766,14 @@ mod tests {
         };
         let (seq_records, seq_time) = run(1);
         let (par_records, par_time) = run(3);
-        assert_eq!(seq_records, par_records, "parallelism must not change results");
-        assert!(par_time < seq_time, "parallel {par_time} vs sequential {seq_time}");
+        assert_eq!(
+            seq_records, par_records,
+            "parallelism must not change results"
+        );
+        assert!(
+            par_time < seq_time,
+            "parallel {par_time} vs sequential {seq_time}"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl PhysicalPlan {
             steps: plan
                 .ops()
                 .iter()
-                .map(|op| PhysicalStep { op: op.clone(), model })
+                .map(|op| PhysicalStep {
+                    op: op.clone(),
+                    model,
+                })
                 .collect(),
             parallelism: parallelism.max(1),
         }
@@ -47,18 +50,17 @@ impl PhysicalPlan {
     }
 
     /// Binds per-operator models; `models` must match the plan length.
-    pub fn with_models(
-        plan: &LogicalPlan,
-        models: &[ModelId],
-        parallelism: usize,
-    ) -> PhysicalPlan {
+    pub fn with_models(plan: &LogicalPlan, models: &[ModelId], parallelism: usize) -> PhysicalPlan {
         assert_eq!(models.len(), plan.len(), "one model per operator");
         PhysicalPlan {
             steps: plan
                 .ops()
                 .iter()
                 .zip(models)
-                .map(|(op, model)| PhysicalStep { op: op.clone(), model: *model })
+                .map(|(op, model)| PhysicalStep {
+                    op: op.clone(),
+                    model: *model,
+                })
                 .collect(),
             parallelism: parallelism.max(1),
         }
@@ -91,7 +93,11 @@ mod tests {
 
     fn plan() -> LogicalPlan {
         let lake = DataLake::from_docs([Document::new("a.txt", "x")]);
-        Dataset::scan(&lake, "t").sem_filter("p").limit(1).plan().clone()
+        Dataset::scan(&lake, "t")
+            .sem_filter("p")
+            .limit(1)
+            .plan()
+            .clone()
     }
 
     #[test]

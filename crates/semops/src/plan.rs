@@ -132,12 +132,19 @@ impl fmt::Debug for LogicalOp {
             LogicalOp::SemFilter { instruction } => {
                 write!(f, "SemFilter({instruction:?})")
             }
-            LogicalOp::SemExtract { instruction, fields } => write!(
+            LogicalOp::SemExtract {
+                instruction,
+                fields,
+            } => write!(
                 f,
                 "SemExtract({instruction:?}, fields={:?})",
                 fields.iter().map(|x| x.name.as_str()).collect::<Vec<_>>()
             ),
-            LogicalOp::SemMap { instruction, output, .. } => {
+            LogicalOp::SemMap {
+                instruction,
+                output,
+                ..
+            } => {
                 write!(f, "SemMap({instruction:?} -> {output})")
             }
             LogicalOp::SemAgg { instruction } => write!(f, "SemAgg({instruction:?})"),
@@ -228,7 +235,9 @@ mod tests {
     #[test]
     fn plan_construction_and_append() {
         let plan = LogicalPlan::new(vec![scan()])
-            .then(LogicalOp::SemFilter { instruction: "about theft".into() })
+            .then(LogicalOp::SemFilter {
+                instruction: "about theft".into(),
+            })
             .then(LogicalOp::Limit { n: 5 });
         assert_eq!(plan.len(), 3);
         assert_eq!(plan.ops()[1].name(), "sem_filter");
@@ -252,12 +261,18 @@ mod tests {
 
     #[test]
     fn instruction_access() {
-        let op = LogicalOp::SemFilter { instruction: "p".into() };
+        let op = LogicalOp::SemFilter {
+            instruction: "p".into(),
+        };
         assert_eq!(op.instruction(), Some("p"));
         assert!(LogicalOp::Count.instruction().is_none());
         assert!(op.is_semantic());
         assert!(!LogicalOp::Limit { n: 1 }.is_semantic());
         // TopK is proxy-scored, not LLM-per-record.
-        assert!(!LogicalOp::SemTopK { query: "q".into(), k: 3 }.is_semantic());
+        assert!(!LogicalOp::SemTopK {
+            query: "q".into(),
+            k: 3
+        }
+        .is_semantic());
     }
 }

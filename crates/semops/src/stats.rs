@@ -68,7 +68,8 @@ impl PlanStats {
 
     /// Renders a compact table for traces.
     pub fn render(&self) -> String {
-        let mut out = String::from("op               model        in -> out   calls   cost($)   time(s)\n");
+        let mut out =
+            String::from("op               model        in -> out   calls   cost($)   time(s)\n");
         for o in &self.operators {
             out.push_str(&format!(
                 "{:<16} {:<12} {:>4} -> {:<4} {:>5} {:>9.4} {:>9.1}\n",

@@ -88,9 +88,7 @@ impl Expr {
             Expr::Literal(_) | Expr::Column(_) => false,
             Expr::Binary(_, l, r) => l.has_aggregate() || r.has_aggregate(),
             Expr::Not(e) | Expr::Neg(e) | Expr::IsNull(e, _) => e.has_aggregate(),
-            Expr::InList(e, items, _) => {
-                e.has_aggregate() || items.iter().any(Expr::has_aggregate)
-            }
+            Expr::InList(e, items, _) => e.has_aggregate() || items.iter().any(Expr::has_aggregate),
             Expr::Func(_, args) => args.iter().any(Expr::has_aggregate),
         }
     }
@@ -193,7 +191,10 @@ mod tests {
     fn aggregate_detection_recurses() {
         let e = Expr::Binary(
             SqlBinOp::Div,
-            Box::new(Expr::Agg(AggFunc::Sum, Some(Box::new(Expr::Column("x".into()))))),
+            Box::new(Expr::Agg(
+                AggFunc::Sum,
+                Some(Box::new(Expr::Column("x".into()))),
+            )),
             Box::new(Expr::Literal(Value::Int(2))),
         );
         assert!(e.has_aggregate());

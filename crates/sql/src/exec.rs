@@ -72,7 +72,10 @@ pub fn explain(query: &Query) -> Vec<String> {
     }
     if !query.group_by.is_empty() {
         out.push(format!("Aggregate: {} group key(s)", query.group_by.len()));
-    } else if query.items.iter().any(|i| matches!(i, SelectItem::Expr(e, _) if e.has_aggregate()))
+    } else if query
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Expr(e, _) if e.has_aggregate()))
     {
         out.push("Aggregate: global".into());
     }
@@ -110,7 +113,11 @@ fn build_input(query: &Query, catalog: &Catalog) -> Result<(Schema, Vec<Vec<Valu
         )));
     }
     let qualify = |alias: &str, schema: &Schema| -> Vec<String> {
-        schema.names().iter().map(|n| format!("{alias}.{n}")).collect()
+        schema
+            .names()
+            .iter()
+            .map(|n| format!("{alias}.{n}"))
+            .collect()
     };
     let mut names = qualify(&left_alias, left.schema());
     names.extend(qualify(&right_alias, right.schema()));
@@ -144,7 +151,9 @@ fn build_input(query: &Query, catalog: &Catalog) -> Result<(Schema, Vec<Vec<Valu
     }
     let mut rows = Vec::new();
     for lrow in left.rows() {
-        let Some(key) = join_key(&lrow[lk]) else { continue };
+        let Some(key) = join_key(&lrow[lk]) else {
+            continue;
+        };
         if let Some(matches) = index.get(&key) {
             for rrow in matches {
                 let mut combined = lrow.clone();
@@ -215,11 +224,7 @@ fn expand_items(query: &Query, schema: &Schema) -> Vec<(String, Expr)> {
     out
 }
 
-fn execute_plain(
-    query: &Query,
-    schema: &Schema,
-    rows: &[&Vec<Value>],
-) -> Result<Table, SqlError> {
+fn execute_plain(query: &Query, schema: &Schema, rows: &[&Vec<Value>]) -> Result<Table, SqlError> {
     let items = expand_items(query, schema);
     let out_schema = Schema::of(items.iter().map(|(n, _)| n.clone()));
     let mut out = Table::new(out_schema);
@@ -295,9 +300,7 @@ fn apply_order(table: &Table, keys: &[OrderKey]) -> Result<Table, SqlError> {
     indexed.sort_by(|(ia, _), (ib, _)| {
         for (k, key) in keys.iter().enumerate() {
             let (a, b) = (&sort_keys[*ia][k], &sort_keys[*ib][k]);
-            let ord = a
-                .partial_cmp_value(b)
-                .unwrap_or(std::cmp::Ordering::Equal);
+            let ord = a.partial_cmp_value(b).unwrap_or(std::cmp::Ordering::Equal);
             let ord = if key.desc { ord.reverse() } else { ord };
             if ord != std::cmp::Ordering::Equal {
                 return ord;
@@ -355,7 +358,10 @@ fn eval(expr: &Expr, schema: &Schema, row: &[Value]) -> Result<Value, SqlError> 
         Expr::Neg(e) => match eval(e, schema, row)? {
             Value::Int(i) => Ok(Value::Int(-i)),
             Value::Float(f) => Ok(Value::Float(-f)),
-            other => Err(SqlError::Eval(format!("cannot negate {}", other.type_name()))),
+            other => Err(SqlError::Eval(format!(
+                "cannot negate {}",
+                other.type_name()
+            ))),
         },
         Expr::IsNull(e, negated) => {
             let is_null = eval(e, schema, row)?.is_null();
@@ -479,7 +485,10 @@ fn eval_agg(expr: &Expr, schema: &Schema, group: &[&Vec<Value>]) -> Result<Value
         Expr::Neg(e) => match eval_agg(e, schema, group)? {
             Value::Int(i) => Ok(Value::Int(-i)),
             Value::Float(f) => Ok(Value::Float(-f)),
-            other => Err(SqlError::Eval(format!("cannot negate {}", other.type_name()))),
+            other => Err(SqlError::Eval(format!(
+                "cannot negate {}",
+                other.type_name()
+            ))),
         },
         Expr::Func(name, args) => {
             let values: Vec<Value> = args
@@ -522,16 +531,10 @@ fn binary(op: SqlBinOp, l: &Value, r: &Value) -> Result<Value, SqlError> {
                         .map(Value::Int)
                         .ok_or_else(|| SqlError::Eval("integer overflow".into()))
                 }
-                (Value::Str(a), Value::Str(b)) if op == Add => {
-                    Ok(Value::Str(format!("{a}{b}")))
-                }
+                (Value::Str(a), Value::Str(b)) if op == Add => Ok(Value::Str(format!("{a}{b}"))),
                 _ => {
-                    let a = l
-                        .as_float()
-                        .map_err(|_| type_mismatch(op, l, r))?;
-                    let b = r
-                        .as_float()
-                        .map_err(|_| type_mismatch(op, l, r))?;
+                    let a = l.as_float().map_err(|_| type_mismatch(op, l, r))?;
+                    let b = r.as_float().map_err(|_| type_mismatch(op, l, r))?;
                     match op {
                         Add => Ok(Value::Float(a + b)),
                         Sub => Ok(Value::Float(a - b)),
@@ -693,11 +696,7 @@ fn like_match(pattern: &str, text: &str) -> bool {
                 (0..=t.len()).any(|skip| rec(&p[1..], &t[skip..]))
             }
             Some('_') => !t.is_empty() && rec(&p[1..], &t[1..]),
-            Some(c) => {
-                !t.is_empty()
-                    && t[0].eq_ignore_ascii_case(c)
-                    && rec(&p[1..], &t[1..])
-            }
+            Some(c) => !t.is_empty() && t[0].eq_ignore_ascii_case(c) && rec(&p[1..], &t[1..]),
         }
     }
     let p: Vec<char> = pattern.chars().collect();
@@ -730,8 +729,11 @@ mod tests {
 
     #[test]
     fn where_and_projection() {
-        let out = execute("SELECT state, thefts FROM reports WHERE year = 2024", &reports())
-            .unwrap();
+        let out = execute(
+            "SELECT state, thefts FROM reports WHERE year = 2024",
+            &reports(),
+        )
+        .unwrap();
         assert_eq!(out.len(), 3);
         assert_eq!(out.schema().names(), vec!["state", "thefts"]);
     }
@@ -751,9 +753,18 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.len(), 2);
-        assert_eq!(out.find_row("year", &Value::Int(2001)).unwrap()[1], Value::Int(1_200));
-        assert_eq!(out.find_row("year", &Value::Int(2024)).unwrap()[1], Value::Int(22_500));
-        assert_eq!(out.find_row("year", &Value::Int(2024)).unwrap()[2], Value::Int(3));
+        assert_eq!(
+            out.find_row("year", &Value::Int(2001)).unwrap()[1],
+            Value::Int(1_200)
+        );
+        assert_eq!(
+            out.find_row("year", &Value::Int(2024)).unwrap()[1],
+            Value::Int(22_500)
+        );
+        assert_eq!(
+            out.find_row("year", &Value::Int(2024)).unwrap()[2],
+            Value::Int(3)
+        );
     }
 
     #[test]
@@ -823,8 +834,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.len(), 3);
-        let out = execute("SELECT state FROM reports WHERE state NOT LIKE 'A%'", &reports())
-            .unwrap();
+        let out = execute(
+            "SELECT state FROM reports WHERE state NOT LIKE 'A%'",
+            &reports(),
+        )
+        .unwrap();
         assert!(out.is_empty());
     }
 
@@ -898,7 +912,8 @@ mod tests {
         let mut cat = reports();
         let mut pop = Table::new(Schema::of(["state", "population"]));
         for (s, p) in [("AL", 5_100_000i64), ("AK", 730_000), ("AZ", 7_400_000)] {
-            pop.push_row(vec![Value::Str(s.into()), Value::Int(p)]).unwrap();
+            pop.push_row(vec![Value::Str(s.into()), Value::Int(p)])
+                .unwrap();
         }
         cat.register("population", pop);
         cat
@@ -914,7 +929,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.len(), 3);
-        assert_eq!(out.schema().names(), vec!["r.state", "r.thefts", "p.population"]);
+        assert_eq!(
+            out.schema().names(),
+            vec!["r.state", "r.thefts", "p.population"]
+        );
         assert_eq!(out.cell(0, "r.state"), Some(&Value::Str("AZ".into())));
         assert_eq!(out.cell(0, "p.population"), Some(&Value::Int(7_400_000)));
     }
@@ -997,11 +1015,15 @@ mod tests {
     fn join_drops_null_and_unmatched_keys() {
         let mut cat = Catalog::new();
         let mut l = Table::new(Schema::of(["k", "v"]));
-        l.push_row(vec![Value::Int(1), Value::Str("a".into())]).unwrap();
-        l.push_row(vec![Value::Null, Value::Str("b".into())]).unwrap();
-        l.push_row(vec![Value::Int(9), Value::Str("c".into())]).unwrap();
+        l.push_row(vec![Value::Int(1), Value::Str("a".into())])
+            .unwrap();
+        l.push_row(vec![Value::Null, Value::Str("b".into())])
+            .unwrap();
+        l.push_row(vec![Value::Int(9), Value::Str("c".into())])
+            .unwrap();
         let mut r = Table::new(Schema::of(["k", "w"]));
-        r.push_row(vec![Value::Float(1.0), Value::Str("x".into())]).unwrap();
+        r.push_row(vec![Value::Float(1.0), Value::Str("x".into())])
+            .unwrap();
         cat.register("l", l);
         cat.register("r", r);
         let out = execute("SELECT l.v, r.w FROM l JOIN r ON l.k = r.k", &cat).unwrap();
@@ -1021,8 +1043,11 @@ mod tests {
 
     #[test]
     fn distinct_removes_duplicates() {
-        let out = execute("SELECT DISTINCT year FROM reports ORDER BY year", &reports())
-            .unwrap();
+        let out = execute(
+            "SELECT DISTINCT year FROM reports ORDER BY year",
+            &reports(),
+        )
+        .unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out.cell(0, "year"), Some(&Value::Int(2001)));
         let all = execute("SELECT year FROM reports", &reports()).unwrap();

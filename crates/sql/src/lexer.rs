@@ -140,22 +140,20 @@ pub fn lex(sql: &str) -> Result<Vec<SqlTok>, SqlError> {
                 tokens.push(SqlTok::NotEq);
                 i += 2;
             }
-            '<' => {
-                match chars.get(i + 1) {
-                    Some('=') => {
-                        tokens.push(SqlTok::LtEq);
-                        i += 2;
-                    }
-                    Some('>') => {
-                        tokens.push(SqlTok::NotEq);
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(SqlTok::Lt);
-                        i += 1;
-                    }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    tokens.push(SqlTok::LtEq);
+                    i += 2;
                 }
-            }
+                Some('>') => {
+                    tokens.push(SqlTok::NotEq);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(SqlTok::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if chars.get(i + 1) == Some(&'=') {
                     tokens.push(SqlTok::GtEq);
@@ -221,7 +219,10 @@ mod tests {
     #[test]
     fn comments_and_semicolons_skipped() {
         let toks = lex("SELECT 1 -- trailing comment\n;").unwrap();
-        assert_eq!(toks, vec![SqlTok::Ident("SELECT".into()), SqlTok::Int(1), SqlTok::Eof]);
+        assert_eq!(
+            toks,
+            vec![SqlTok::Ident("SELECT".into()), SqlTok::Int(1), SqlTok::Eof]
+        );
     }
 
     #[test]

@@ -151,8 +151,10 @@ mod statement_tests {
 
     fn catalog() -> Catalog {
         let mut t = Table::new(Schema::of(["year", "thefts"]));
-        t.push_row(vec![Value::Int(2001), Value::Int(86_250)]).unwrap();
-        t.push_row(vec![Value::Int(2024), Value::Int(1_135_291)]).unwrap();
+        t.push_row(vec![Value::Int(2001), Value::Int(86_250)])
+            .unwrap();
+        t.push_row(vec![Value::Int(2024), Value::Int(1_135_291)])
+            .unwrap();
         let mut cat = Catalog::new();
         cat.register("reports", t);
         cat
@@ -174,8 +176,9 @@ mod statement_tests {
     #[test]
     fn create_rejects_bad_names_and_missing_as() {
         let mut cat = catalog();
-        assert!(execute_statement("CREATE TABLE bad name AS SELECT 1 FROM reports", &mut cat)
-            .is_err());
+        assert!(
+            execute_statement("CREATE TABLE bad name AS SELECT 1 FROM reports", &mut cat).is_err()
+        );
         assert!(execute_statement("CREATE TABLE x SELECT 1 FROM reports", &mut cat).is_err());
     }
 

@@ -128,14 +128,21 @@ impl Parser {
                 )));
             }
         }
-        let join = if self.eat_keyword("JOIN") || (self.eat_keyword("INNER") && self.expect_keyword("JOIN").map(|_| true)?) {
+        let join = if self.eat_keyword("JOIN")
+            || (self.eat_keyword("INNER") && self.expect_keyword("JOIN").map(|_| true)?)
+        {
             let join_table = self.ident("join table name")?;
             let join_alias = self.bare_alias();
             self.expect_keyword("ON")?;
             let left_key = self.column_ref()?;
             self.expect_tok(SqlTok::Eq, "'=' in join condition")?;
             let right_key = self.column_ref()?;
-            Some(JoinClause { table: join_table, alias: join_alias, left_key, right_key })
+            Some(JoinClause {
+                table: join_table,
+                alias: join_alias,
+                left_key,
+                right_key,
+            })
         } else {
             None
         };
@@ -186,7 +193,18 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { distinct, items, table, alias, join, filter, group_by, having, order_by, limit })
+        Ok(Query {
+            distinct,
+            items,
+            table,
+            alias,
+            join,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     /// A bare (non-keyword) alias after a table name.
@@ -195,8 +213,19 @@ impl Parser {
             let upper = w.to_ascii_uppercase();
             if !matches!(
                 upper.as_str(),
-                "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "JOIN" | "INNER" | "ON"
-                    | "LEFT" | "RIGHT" | "FULL" | "OUTER" | "CROSS"
+                "WHERE"
+                    | "GROUP"
+                    | "HAVING"
+                    | "ORDER"
+                    | "LIMIT"
+                    | "JOIN"
+                    | "INNER"
+                    | "ON"
+                    | "LEFT"
+                    | "RIGHT"
+                    | "FULL"
+                    | "OUTER"
+                    | "CROSS"
             ) {
                 let name = w.clone();
                 self.advance();
@@ -273,7 +302,11 @@ impl Parser {
         if self.eat_keyword("LIKE") {
             let pattern = self.additive()?;
             let like = Expr::Binary(SqlBinOp::Like, Box::new(left), Box::new(pattern));
-            return Ok(if negated { Expr::Not(Box::new(like)) } else { like });
+            return Ok(if negated {
+                Expr::Not(Box::new(like))
+            } else {
+                like
+            });
         }
         if negated {
             return Err(self.err("expected IN or LIKE after NOT"));
@@ -436,10 +469,9 @@ mod tests {
 
     #[test]
     fn parses_like_in_isnull() {
-        let q = parse(
-            "SELECT a FROM t WHERE name LIKE '%theft%' AND a IN (1, 2) AND b IS NOT NULL",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT a FROM t WHERE name LIKE '%theft%' AND a IN (1, 2) AND b IS NOT NULL")
+                .unwrap();
         let mut cols = Vec::new();
         q.filter.unwrap().columns(&mut cols);
         assert!(cols.contains(&"name".to_string()));
@@ -486,14 +518,19 @@ mod tests {
     #[test]
     fn scalar_functions_parse() {
         let q = parse("SELECT ROUND(a / b, 2), LOWER(name) FROM t").unwrap();
-        assert!(matches!(&q.items[0], SelectItem::Expr(Expr::Func(f, args), _)
-            if f == "ROUND" && args.len() == 2));
+        assert!(
+            matches!(&q.items[0], SelectItem::Expr(Expr::Func(f, args), _)
+            if f == "ROUND" && args.len() == 2)
+        );
     }
 
     #[test]
     fn null_true_false_literals() {
         let q = parse("SELECT NULL, TRUE, FALSE FROM t").unwrap();
         assert_eq!(q.items.len(), 3);
-        assert!(matches!(&q.items[0], SelectItem::Expr(Expr::Literal(Value::Null), _)));
+        assert!(matches!(
+            &q.items[0],
+            SelectItem::Expr(Expr::Literal(Value::Null), _)
+        ));
     }
 }

@@ -48,8 +48,14 @@ pub fn generate(seed: u64) -> Workload {
     let mut rng = KeyedRng::new(seed ^ 0xe17a11);
     // Assign roles to positions deterministically.
     let mut roles: Vec<Role> = Vec::with_capacity(N_EMAILS);
-    roles.extend(std::iter::repeat_n(Role::KeywordRelevant, N_KEYWORD_RELEVANT));
-    roles.extend(std::iter::repeat_n(Role::ObliqueRelevant, N_OBLIQUE_RELEVANT));
+    roles.extend(std::iter::repeat_n(
+        Role::KeywordRelevant,
+        N_KEYWORD_RELEVANT,
+    ));
+    roles.extend(std::iter::repeat_n(
+        Role::ObliqueRelevant,
+        N_OBLIQUE_RELEVANT,
+    ));
     roles.extend(std::iter::repeat_n(Role::Secondhand, N_SECONDHAND));
     roles.extend(std::iter::repeat_n(
         Role::Filler,
@@ -99,7 +105,10 @@ fn shuffle<T>(items: &mut [T], rng: &mut KeyedRng) {
 fn person(rng: &mut KeyedRng) -> (String, String) {
     let first = *rng.pick(FIRST_NAMES);
     let last = *rng.pick(LAST_NAMES);
-    (format!("{first} {last}"), format!("{first}.{last}@enrot.com"))
+    (
+        format!("{first} {last}"),
+        format!("{first}.{last}@enrot.com"),
+    )
 }
 
 fn build_email(name: &str, role: Role, seed: u64, index: usize) -> Document {
@@ -110,7 +119,10 @@ fn build_email(name: &str, role: Role, seed: u64, index: usize) -> Document {
     let (subject, lead_sentences, mentions, relevant, difficulty) = match role {
         Role::KeywordRelevant => {
             let txn = *rng.pick(TRANSACTIONS);
-            let subject = format!("{txn} {}", rng.pick(&["position", "restructuring", "update", "funding"][..]));
+            let subject = format!(
+                "{txn} {}",
+                rng.pick(&["position", "restructuring", "update", "funding"][..])
+            );
             let mut leads = Vec::new();
             for _ in 0..rng.range_i64(1, 2) {
                 leads.push(rng.pick(FIRSTHAND_TEMPLATES).replace("{ref}", txn));
@@ -120,7 +132,14 @@ fn build_email(name: &str, role: Role, seed: u64, index: usize) -> Document {
         Role::ObliqueRelevant => {
             let oblique = *rng.pick(OBLIQUE_REFERENCES);
             let subject = rng
-                .pick(&["hedge follow-up", "structure question", "Q4 positions", "valuation work"][..])
+                .pick(
+                    &[
+                        "hedge follow-up",
+                        "structure question",
+                        "Q4 positions",
+                        "valuation work",
+                    ][..],
+                )
                 .to_string();
             let mut leads = Vec::new();
             for _ in 0..rng.range_i64(1, 2) {
@@ -138,16 +157,24 @@ fn build_email(name: &str, role: Role, seed: u64, index: usize) -> Document {
         }
         Role::Filler => {
             let subject = rng
-                .pick(&[
-                    "expense reports",
-                    "desk move",
-                    "Tuesday meeting",
-                    "curve snapshot",
-                    "training materials",
-                    "benefits enrollment",
-                ][..])
+                .pick(
+                    &[
+                        "expense reports",
+                        "desk move",
+                        "Tuesday meeting",
+                        "curve snapshot",
+                        "training materials",
+                        "benefits enrollment",
+                    ][..],
+                )
                 .to_string();
-            (subject, vec![rng.pick(FILLER_SENTENCES).to_string()], false, false, 0.08)
+            (
+                subject,
+                vec![rng.pick(FILLER_SENTENCES).to_string()],
+                false,
+                false,
+                0.08,
+            )
         }
     };
 
@@ -187,32 +214,35 @@ fn build_email(name: &str, role: Role, seed: u64, index: usize) -> Document {
 /// filters resolve against `gt_relevant`; bare transaction-mention filters
 /// against `gt_mentions_txn`.
 pub fn register_oracle(llm: &SimLlm) {
-    llm.oracle().register(Arc::new(FnRule::new("enron-filters", |instruction, subject| {
-        let lower = instruction.to_ascii_lowercase();
-        if lower.contains(" :: ") {
-            // Extraction queries read the content instead.
-            return None;
-        }
-        let mentions_txn_vocab = TRANSACTIONS
-            .iter()
-            .any(|t| lower.contains(&t.to_ascii_lowercase()))
-            || lower.contains("transaction");
-        if lower.contains("firsthand") {
-            // Firsthandness is the genuinely hard judgement: use the
-            // document's planted difficulty.
-            return subject
-                .label("gt_relevant")
-                .map(|v| OracleAnswer::Bool(v.truthy()));
-        }
-        if mentions_txn_vocab {
-            // Spotting whether a transaction is *mentioned* is close to
-            // string matching — easy for every tier.
-            return subject
-                .label("gt_mentions_txn")
-                .map(|v| OracleAnswer::BoolWithDifficulty(v.truthy(), 0.04));
-        }
-        None
-    })));
+    llm.oracle().register(Arc::new(FnRule::new(
+        "enron-filters",
+        |instruction, subject| {
+            let lower = instruction.to_ascii_lowercase();
+            if lower.contains(" :: ") {
+                // Extraction queries read the content instead.
+                return None;
+            }
+            let mentions_txn_vocab = TRANSACTIONS
+                .iter()
+                .any(|t| lower.contains(&t.to_ascii_lowercase()))
+                || lower.contains("transaction");
+            if lower.contains("firsthand") {
+                // Firsthandness is the genuinely hard judgement: use the
+                // document's planted difficulty.
+                return subject
+                    .label("gt_relevant")
+                    .map(|v| OracleAnswer::Bool(v.truthy()));
+            }
+            if mentions_txn_vocab {
+                // Spotting whether a transaction is *mentioned* is close to
+                // string matching — easy for every tier.
+                return subject
+                    .label("gt_mentions_txn")
+                    .map(|v| OracleAnswer::BoolWithDifficulty(v.truthy(), 0.04));
+            }
+            None
+        },
+    )));
 }
 
 #[cfg(test)]
@@ -233,7 +263,10 @@ mod tests {
             .iter()
             .filter(|d| d.label("gt_mentions_txn").is_some_and(|v| v.truthy()))
             .count();
-        assert_eq!(mentions, N_KEYWORD_RELEVANT + N_OBLIQUE_RELEVANT + N_SECONDHAND);
+        assert_eq!(
+            mentions,
+            N_KEYWORD_RELEVANT + N_OBLIQUE_RELEVANT + N_SECONDHAND
+        );
     }
 
     #[test]

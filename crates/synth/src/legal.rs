@@ -135,8 +135,7 @@ pub fn generate_scaled(seed: u64, n_states: usize) -> Workload {
 }
 
 fn national_file(series: &[(i64, i64)]) -> Document {
-    let mut content =
-        String::from("year,fraud_reports,identity_theft_reports,other_reports\n");
+    let mut content = String::from("year,fraud_reports,identity_theft_reports,other_reports\n");
     for &(year, thefts) in series {
         let mut rng = KeyedRng::new(0xf4a0d ^ year as u64);
         let fraud = (thefts as f64 * rng.range_f64(1.8, 2.6)) as i64;
@@ -173,9 +172,8 @@ const STATE_CATEGORIES: &[&str] = &[
 ];
 
 fn state_file(state: &str, year: i64, seed: u64) -> Document {
-    let mut rng = KeyedRng::new(
-        seed ^ aida_llm::noise::hash_str(state) ^ (year as u64).wrapping_mul(0x9e37),
-    );
+    let mut rng =
+        KeyedRng::new(seed ^ aida_llm::noise::hash_str(state) ^ (year as u64).wrapping_mul(0x9e37));
     let mut content = format!("category,reports_{year},rank\n");
     for (rank, category) in STATE_CATEGORIES.iter().enumerate() {
         let count = rng.range_i64(400, 45_000);
@@ -205,7 +203,9 @@ fn annual_report(year: i64, thefts: i64, seed: u64) -> Document {
     body.push_str(&format!(
         "<html><head><title>Consumer Sentinel Network Annual Data Book {year}</title></head>\n<body>\n"
     ));
-    body.push_str(&format!("<h1>Consumer Sentinel Network Data Book {year}</h1>\n"));
+    body.push_str(&format!(
+        "<h1>Consumer Sentinel Network Data Book {year}</h1>\n"
+    ));
     for _ in 0..3 {
         body.push_str(&format!("<p>{}</p>\n", rng.pick(REPORT_PROSE)));
     }
@@ -233,7 +233,11 @@ fn annual_report(year: i64, thefts: i64, seed: u64) -> Document {
     // The 2001 and 2024 pages are the hard traps: they discuss identity
     // theft for one of the query's years, so weak models (and hurried
     // agents) mistake them for the answer file.
-    let difficulty = if year == FIRST_YEAR || year == LAST_YEAR { 0.35 } else { 0.15 };
+    let difficulty = if year == FIRST_YEAR || year == LAST_YEAR {
+        0.35
+    } else {
+        0.15
+    };
     Document::new(format!("sentinel_annual_report_{year}.html"), body)
         .with_label("gt_idtheft_filter", false)
         .with_label("per_100k", per100k)
@@ -241,8 +245,7 @@ fn annual_report(year: i64, thefts: i64, seed: u64) -> Document {
 }
 
 fn category_file(category: &str, year: i64, seed: u64, series: &[(i64, i64)]) -> Document {
-    let mut rng =
-        KeyedRng::new(seed ^ aida_llm::noise::hash_str(category) ^ year as u64);
+    let mut rng = KeyedRng::new(seed ^ aida_llm::noise::hash_str(category) ^ year as u64);
     let mut content = format!("subtype,reports_{year}\n");
     let subtypes: &[&str] = match category {
         "identity_theft" => &[
@@ -284,7 +287,11 @@ fn category_file(category: &str, year: i64, seed: u64, series: &[(i64, i64)]) ->
     }
     // Identity-theft breakdowns for a single year are moderately hard
     // negatives: they are about identity theft but cannot give both years.
-    let difficulty = if category == "identity_theft" { 0.35 } else { 0.1 };
+    let difficulty = if category == "identity_theft" {
+        0.35
+    } else {
+        0.1
+    };
     Document::new(format!("sentinel_category_{category}_{year}.csv"), content)
         .with_label("gt_idtheft_filter", false)
         .with_label("difficulty", difficulty)
@@ -308,20 +315,23 @@ fn readme() -> Document {
 /// national identity-theft statistics resolve against the planted
 /// `gt_idtheft_filter` labels.
 pub fn register_oracle(llm: &SimLlm) {
-    llm.oracle().register(Arc::new(FnRule::new("legal-idtheft-filter", |instruction, subject| {
-        let lower = instruction.to_ascii_lowercase();
-        if !lower.contains("identity theft") {
-            return None;
-        }
-        // Extraction-style oracle queries ("… :: field") are answered by
-        // reading the content, not by the filter label.
-        if lower.contains(" :: ") {
-            return None;
-        }
-        subject
-            .label("gt_idtheft_filter")
-            .map(|v| OracleAnswer::Bool(v.truthy()))
-    })));
+    llm.oracle().register(Arc::new(FnRule::new(
+        "legal-idtheft-filter",
+        |instruction, subject| {
+            let lower = instruction.to_ascii_lowercase();
+            if !lower.contains("identity theft") {
+                return None;
+            }
+            // Extraction-style oracle queries ("… :: field") are answered by
+            // reading the content, not by the filter label.
+            if lower.contains(" :: ") {
+                return None;
+            }
+            subject
+                .label("gt_idtheft_filter")
+                .map(|v| OracleAnswer::Bool(v.truthy()))
+        },
+    )));
 }
 
 #[cfg(test)]
@@ -352,13 +362,11 @@ mod tests {
         let doc = w.lake.get(NATIONAL_FILE).unwrap();
         let tables = doc.tables().unwrap();
         let t = &tables[0];
-        let thefts_2024 = t
-            .find_row("year", &aida_data::Value::Int(2024))
-            .unwrap()[t.schema().index_of("identity_theft_reports").unwrap()]
+        let thefts_2024 = t.find_row("year", &aida_data::Value::Int(2024)).unwrap()
+            [t.schema().index_of("identity_theft_reports").unwrap()]
         .clone();
-        let thefts_2001 = t
-            .find_row("year", &aida_data::Value::Int(2001))
-            .unwrap()[t.schema().index_of("identity_theft_reports").unwrap()]
+        let thefts_2001 = t.find_row("year", &aida_data::Value::Int(2001)).unwrap()
+            [t.schema().index_of("identity_theft_reports").unwrap()]
         .clone();
         let ratio = thefts_2024.as_float().unwrap() / thefts_2001.as_float().unwrap();
         assert!((ratio - true_ratio()).abs() < 1e-9);

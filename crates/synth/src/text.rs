@@ -3,28 +3,104 @@
 
 /// US states and territories used for the state-level distractor files.
 pub const STATES: &[&str] = &[
-    "alabama", "alaska", "arizona", "arkansas", "california", "colorado", "connecticut",
-    "delaware", "florida", "georgia", "hawaii", "idaho", "illinois", "indiana", "iowa",
-    "kansas", "kentucky", "louisiana", "maine", "maryland", "massachusetts", "michigan",
-    "minnesota", "mississippi", "missouri", "montana", "nebraska", "nevada", "new_hampshire",
-    "new_jersey", "new_mexico", "new_york", "north_carolina", "north_dakota", "ohio",
-    "oklahoma", "oregon", "pennsylvania", "rhode_island", "south_carolina", "south_dakota",
-    "tennessee", "texas", "utah", "vermont", "virginia", "washington", "west_virginia",
-    "wisconsin", "wyoming",
+    "alabama",
+    "alaska",
+    "arizona",
+    "arkansas",
+    "california",
+    "colorado",
+    "connecticut",
+    "delaware",
+    "florida",
+    "georgia",
+    "hawaii",
+    "idaho",
+    "illinois",
+    "indiana",
+    "iowa",
+    "kansas",
+    "kentucky",
+    "louisiana",
+    "maine",
+    "maryland",
+    "massachusetts",
+    "michigan",
+    "minnesota",
+    "mississippi",
+    "missouri",
+    "montana",
+    "nebraska",
+    "nevada",
+    "new_hampshire",
+    "new_jersey",
+    "new_mexico",
+    "new_york",
+    "north_carolina",
+    "north_dakota",
+    "ohio",
+    "oklahoma",
+    "oregon",
+    "pennsylvania",
+    "rhode_island",
+    "south_carolina",
+    "south_dakota",
+    "tennessee",
+    "texas",
+    "utah",
+    "vermont",
+    "virginia",
+    "washington",
+    "west_virginia",
+    "wisconsin",
+    "wyoming",
 ];
 
 /// First names for email senders.
 pub const FIRST_NAMES: &[&str] = &[
-    "jeff", "andrea", "kenneth", "louise", "sara", "vince", "tana", "mark", "susan",
-    "gerald", "kay", "phillip", "steven", "carol", "richard", "elizabeth", "daniel",
-    "michelle", "greg", "lindsay",
+    "jeff",
+    "andrea",
+    "kenneth",
+    "louise",
+    "sara",
+    "vince",
+    "tana",
+    "mark",
+    "susan",
+    "gerald",
+    "kay",
+    "phillip",
+    "steven",
+    "carol",
+    "richard",
+    "elizabeth",
+    "daniel",
+    "michelle",
+    "greg",
+    "lindsay",
 ];
 
 /// Last names for email senders.
 pub const LAST_NAMES: &[&str] = &[
-    "dasovich", "ring", "lay", "kitchen", "shackleton", "kaminski", "jones", "taylor",
-    "bailey", "nemec", "mann", "allen", "kean", "clair", "shapiro", "sager", "scholtes",
-    "lokay", "whalley", "donoho",
+    "dasovich",
+    "ring",
+    "lay",
+    "kitchen",
+    "shackleton",
+    "kaminski",
+    "jones",
+    "taylor",
+    "bailey",
+    "nemec",
+    "mann",
+    "allen",
+    "kean",
+    "clair",
+    "shapiro",
+    "sager",
+    "scholtes",
+    "lokay",
+    "whalley",
+    "donoho",
 ];
 
 /// Business-transaction code names the Enron query targets.

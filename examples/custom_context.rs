@@ -40,7 +40,9 @@ fn main() {
             let doc = tool_lake
                 .get(name)
                 .ok_or_else(|| aida::script::ScriptError::host("no such file"))?;
-            let table = &doc.tables().map_err(|e| aida::script::ScriptError::host(e.to_string()))?[0];
+            let table = &doc
+                .tables()
+                .map_err(|e| aida::script::ScriptError::host(e.to_string()))?[0];
             let values: Vec<f64> = table
                 .rows()
                 .iter()
@@ -57,12 +59,7 @@ fn main() {
     // Context with key-based lookups (metric name -> file) + the tool.
     let ctx = Context::builder("timeseries", lake)
         .description("Monthly 2024 operational series: system load (MW) and power price (USD).")
-        .keys_from(|doc| {
-            vec![doc
-                .name
-                .trim_end_matches("_2024.csv")
-                .replace('_', " ")]
-        })
+        .keys_from(|doc| vec![doc.name.trim_end_matches("_2024.csv").replace('_', " ")])
         .tool(resample)
         .build(&env);
 
@@ -71,7 +68,9 @@ fn main() {
     println!("lookup('price usd') -> {:?}", ctx.lookup("price usd"));
 
     // And the Context is still a Dataset: iterator execution works.
-    let ds = ctx.dataset().sem_filter("the file contains electricity price data");
+    let ds = ctx
+        .dataset()
+        .sem_filter("the file contains electricity price data");
     println!("dataset plan:\n{}", ds.plan().render());
 
     // Agents attached to this Context automatically see the custom tool.

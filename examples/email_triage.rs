@@ -28,8 +28,7 @@ fn main() {
     let ds = Dataset::scan(&subset, "emails")
         .sem_group_by("the business topic the email is about", 4)
         .project(&["filename", "group"]);
-    let report =
-        Executor::new(&env).execute(&PhysicalPlan::uniform(ds.plan(), ModelId::Mini, 8));
+    let report = Executor::new(&env).execute(&PhysicalPlan::uniform(ds.plan(), ModelId::Mini, 8));
     println!(
         "triaged {} emails into 4 buckets for ${:.4} ({} LLM calls)\n",
         report.records.len(),

@@ -29,7 +29,11 @@ fn main() {
     let workload = enron::generate(seed);
     let truth = workload.truth.as_doc_set().unwrap().to_vec();
     println!("query: {}", workload.query);
-    println!("lake: {} emails; {} truly relevant\n", workload.lake.len(), truth.len());
+    println!(
+        "lake: {} emails; {} truly relevant\n",
+        workload.lake.len(),
+        truth.len()
+    );
 
     let agent = run_code_agent(&workload, seed, false);
     println!("== CodeAgent (keyword shortcuts) ==");

@@ -26,7 +26,10 @@ fn main() {
     let workload = legal::generate(seed);
     let truth = legal::true_ratio();
     println!("query: {}", workload.query);
-    println!("lake: {} files; ground truth ratio = {truth:.4}\n", workload.lake.len());
+    println!(
+        "lake: {} files; ground truth ratio = {truth:.4}\n",
+        workload.lake.len()
+    );
 
     let semops = run_semops_handcrafted(&workload, seed);
     println!("== Handcrafted semantic operators ==");

@@ -48,7 +48,10 @@ fn main() {
             .map(|v| v.to_string())
             .unwrap_or_else(|| "<none>".into())
     );
-    println!("spent: ${:.4} in {:.1} virtual seconds", outcome.cost, outcome.time);
+    println!(
+        "spent: ${:.4} in {:.1} virtual seconds",
+        outcome.cost, outcome.time
+    );
 
     // 5. The execution materialized its findings as a SQL table — future
     //    queries hit structure, not the LLM.

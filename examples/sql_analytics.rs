@@ -22,11 +22,13 @@ fn main() {
         .sem_filter("the file is a state-level report for the year 2024")
         .sem_extract(
             "find the number of identity theft reports in the state file",
-            vec![Field::described("thefts", "the identity theft report count")],
+            vec![Field::described(
+                "thefts",
+                "the identity theft report count",
+            )],
         )
         .project(&["filename", "thefts"]);
-    let report =
-        Executor::new(&env).execute(&PhysicalPlan::uniform(ds.plan(), ModelId::Mini, 8));
+    let report = Executor::new(&env).execute(&PhysicalPlan::uniform(ds.plan(), ModelId::Mini, 8));
     println!(
         "semantic extraction: {} rows, ${:.3}, {:.0} virtual s",
         report.records.len(),
@@ -58,7 +60,10 @@ fn main() {
     }
     if let Ok(result) = rt.sql_statement("EXPLAIN SELECT AVG(thefts) FROM top_states") {
         if let Some(rows) = result.rows() {
-            println!("\nEXPLAIN SELECT AVG(thefts) FROM top_states:\n{}", rows.render());
+            println!(
+                "\nEXPLAIN SELECT AVG(thefts) FROM top_states:\n{}",
+                rows.render()
+            );
         }
     }
 

@@ -41,6 +41,7 @@ pub use aida_data as data;
 pub use aida_eval as eval;
 pub use aida_index as index;
 pub use aida_llm as llm;
+pub use aida_obs as obs;
 pub use aida_optimizer as optimizer;
 pub use aida_script as script;
 pub use aida_semops as semops;

@@ -15,7 +15,11 @@ fn run_compute(seed: u64) -> (Option<String>, f64, f64) {
         .with_vector_index()
         .build(&rt);
     let outcome = rt.query(&ctx).compute(&workload.query).run();
-    (outcome.answer.map(|v| v.to_string()), outcome.cost, outcome.time)
+    (
+        outcome.answer.map(|v| v.to_string()),
+        outcome.cost,
+        outcome.time,
+    )
 }
 
 #[test]
@@ -67,8 +71,8 @@ fn semops_parallelism_does_not_change_results() {
     let run = |parallelism: usize| {
         let env = ExecEnv::new(SimLlm::new(3));
         workload.install_oracle(&env.llm);
-        let ds = Dataset::scan(&workload.lake, "legal")
-            .sem_filter("mentions identity theft statistics");
+        let ds =
+            Dataset::scan(&workload.lake, "legal").sem_filter("mentions identity theft statistics");
         let plan = PhysicalPlan::uniform(ds.plan(), ModelId::Mini, parallelism);
         Executor::new(&env)
             .execute(&plan)

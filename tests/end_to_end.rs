@@ -32,7 +32,10 @@ fn legal_ratio_pipeline_end_to_end() {
     assert!(outcome.time > 0.0);
     // Programs were synthesized and executed.
     let total_programs: usize = outcome.trace.iter().map(|t| t.programs.len()).sum();
-    assert!(total_programs >= 2, "ratio compute runs one program per year");
+    assert!(
+        total_programs >= 2,
+        "ratio compute runs one program per year"
+    );
     // Findings were registered as SQL tables.
     assert!(!rt.table_names().is_empty());
 }
@@ -138,15 +141,17 @@ fn materialized_tables_join_across_queries() {
         .run();
     assert!(first.answer.is_some() && second.answer.is_some());
     let tables = rt.table_names();
-    assert!(tables.len() >= 2, "two computes materialize two tables: {tables:?}");
+    assert!(
+        tables.len() >= 2,
+        "two computes materialize two tables: {tables:?}"
+    );
     // Join the two materializations on source and compute the ratio in SQL.
     let out = rt
         .sql(&format!(
             "SELECT a.source, ROUND(b.value / a.value, 2) AS ratio \
              FROM {} a JOIN {} b ON a.source = b.source \
              WHERE a.value IS NOT NULL AND b.value IS NOT NULL",
-            tables[0],
-            tables[1]
+            tables[0], tables[1]
         ))
         .expect("join over materialized tables");
     let truth = legal::true_ratio();
@@ -156,7 +161,11 @@ fn materialized_tables_join_across_queries() {
             .map(|r| ((r - truth) / truth).abs() < 0.05)
             .unwrap_or(false)
     });
-    assert!(hit, "joined ratio should match ground truth: {}", out.render());
+    assert!(
+        hit,
+        "joined ratio should match ground truth: {}",
+        out.render()
+    );
 }
 
 #[test]

@@ -39,6 +39,53 @@ fn fault_runs_replay_deterministically() {
 }
 
 #[test]
+fn recorder_accounts_for_fault_retries() {
+    use aida::core::Context;
+    use aida::prelude::*;
+    let run = |fault_rate: f64| {
+        let workload = legal::generate(5);
+        let rt = Runtime::builder()
+            .seed(5)
+            .fault_rate(fault_rate)
+            .tracing(true)
+            .build();
+        workload.install_oracle(&rt.env().llm);
+        let ctx = Context::builder("legal", workload.lake.clone())
+            .description(workload.description.clone())
+            .with_vector_index()
+            .build(&rt);
+        let outcome = rt.query(&ctx).compute(&workload.query).run();
+        (
+            outcome.answer.unwrap().as_float().unwrap(),
+            outcome.cost,
+            rt.recorder().trace(),
+        )
+    };
+    let (clean_answer, clean_cost, clean_trace) = run(0.0);
+    let (faulty_answer, faulty_cost, faulty_trace) = run(0.3);
+    // Same answer at the same seed, but the faulty run billed the retries.
+    assert_eq!(clean_answer, faulty_answer);
+    assert!(faulty_cost > clean_cost, "${faulty_cost} vs ${clean_cost}");
+    // Only the faulty trace carries retry accounting.
+    assert_eq!(clean_trace.counters.get("llm.fault_retries"), None);
+    let retries = *faulty_trace.counters.get("llm.fault_retries").unwrap();
+    assert!(retries > 0, "retries {retries}");
+    assert!(!clean_trace.to_jsonl().contains("fault_retry"));
+    assert!(faulty_trace
+        .to_jsonl()
+        .contains("\"event\":\"fault_retry\""));
+    // The span tree absorbs the extra attempts: the faulty query root is
+    // strictly more expensive, and both roots reconcile with their runs.
+    let clean_root = clean_trace.roots()[0];
+    let faulty_root = faulty_trace.roots()[0];
+    let clean_total = clean_trace.inclusive(clean_root);
+    let faulty_total = faulty_trace.inclusive(faulty_root);
+    assert!((clean_total.cost_usd - clean_cost).abs() < 1e-9);
+    assert!((faulty_total.cost_usd - faulty_cost).abs() < 1e-9);
+    assert!(faulty_total.calls > clean_total.calls);
+}
+
+#[test]
 fn end_to_end_compute_survives_faults() {
     use aida::core::Context;
     use aida::prelude::*;

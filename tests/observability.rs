@@ -1,0 +1,190 @@
+//! The unified tracing layer, end to end: span trees whose aggregates
+//! reconcile with the billed totals, deterministic JSONL export, and
+//! reuse events that appear exactly when Context reuse is enabled.
+
+use aida::core::Context;
+use aida::obs::SpanKind;
+use aida::prelude::*;
+use aida_synth::legal;
+
+/// The Table 1 query, traced: per-operator dollars and virtual seconds
+/// must sum to the query root's totals, and the root must agree with the
+/// run's own accounting.
+#[test]
+fn explain_analyze_totals_reconcile_with_the_run() {
+    let workload = legal::generate(1);
+    let (run, recorder) = aida::eval::run_pz_compute_traced(&workload, 1);
+    let trace = recorder.trace();
+
+    let roots = trace.roots();
+    assert_eq!(roots.len(), 1, "one query span: {roots:?}");
+    let root = roots[0];
+    assert_eq!(trace.spans[root].kind, SpanKind::Query);
+
+    // Root inclusive $ equals the run's cost.
+    let root_totals = trace.inclusive(root);
+    assert!(
+        (root_totals.cost_usd - run.cost).abs() < 1e-9,
+        "root ${} vs run ${}",
+        root_totals.cost_usd,
+        run.cost
+    );
+    // Root duration equals the run's virtual seconds.
+    let root_duration = trace.spans[root].duration_s();
+    assert!(
+        (root_duration - run.time).abs() < 1e-9,
+        "root {root_duration}s vs run {}s",
+        run.time
+    );
+
+    // Per-operator $ and virtual seconds sum to the query totals: the
+    // query span has no own LLM calls here, so its children's inclusive
+    // costs and durations partition it.
+    let children = trace.children(root);
+    assert!(!children.is_empty());
+    let child_cost: f64 = children.iter().map(|&c| trace.inclusive(c).cost_usd).sum();
+    assert!(
+        (child_cost - root_totals.cost_usd).abs() < 1e-9,
+        "children ${child_cost} vs root ${}",
+        root_totals.cost_usd
+    );
+    let child_time: f64 = children.iter().map(|&c| trace.spans[c].duration_s()).sum();
+    assert!(
+        (child_time - root_duration).abs() < 1e-6,
+        "children {child_time}s vs root {root_duration}s"
+    );
+
+    // The tree reaches the physical layer and the report renders it.
+    assert!(trace.spans.iter().any(|s| s.kind == SpanKind::PhysicalOp));
+    assert!(trace.spans.iter().any(|s| s.kind == SpanKind::AgentStep));
+    let report = trace.explain_analyze();
+    assert!(report.starts_with("EXPLAIN ANALYZE\n"));
+    assert!(report.contains("query"));
+    assert!(report.contains("physical_op"));
+    assert!(report.contains("llm.calls"));
+}
+
+/// Two runs of the Table 1 query at the same seed export byte-identical
+/// JSONL traces (the recorder only ever sees the virtual clock).
+#[test]
+fn traces_are_deterministic_across_runs() {
+    let workload = legal::generate(1);
+    let (run_a, rec_a) = aida::eval::run_pz_compute_traced(&workload, 1);
+    let (run_b, rec_b) = aida::eval::run_pz_compute_traced(&workload, 1);
+    assert_eq!(run_a.answer, run_b.answer);
+    let jsonl_a = rec_a.trace().to_jsonl();
+    let jsonl_b = rec_b.trace().to_jsonl();
+    assert!(!jsonl_a.is_empty());
+    assert_eq!(jsonl_a, jsonl_b, "same seed must export identical traces");
+}
+
+/// Tracing must not perturb the simulation: a traced run and an untraced
+/// run at the same seed produce the same answer, cost, and time.
+#[test]
+fn tracing_never_changes_the_run() {
+    let workload = legal::generate(2);
+    let untraced = aida::eval::run_pz_compute(&workload, 2);
+    let (traced, _) = aida::eval::run_pz_compute_traced(&workload, 2);
+    assert_eq!(untraced.answer, traced.answer);
+    assert_eq!(untraced.cost, traced.cost);
+    assert_eq!(untraced.time, traced.time);
+}
+
+fn legal_ctx(rt: &Runtime, seed: u64) -> Context {
+    let workload = legal::generate(seed);
+    workload.install_oracle(&rt.env().llm);
+    Context::builder("legal", workload.lake.clone())
+        .description(workload.description.clone())
+        .with_vector_index()
+        .build(rt)
+}
+
+/// With Context reuse on, the second query's trace carries a reuse hit
+/// (and the first a miss); with reuse off, no reuse events exist at all.
+#[test]
+fn reuse_events_follow_the_reuse_switch() {
+    let rt = Runtime::builder()
+        .seed(3)
+        .tracing(true)
+        .context_reuse(true)
+        .build();
+    let ctx = legal_ctx(&rt, 3);
+    let _ = rt
+        .query(&ctx)
+        .compute("find the number of identity theft reports in 2001")
+        .run();
+    let _ = rt
+        .query(&ctx)
+        .compute("find the number of identity theft reports in 2024")
+        .run();
+    let jsonl = rt.recorder().trace().to_jsonl();
+    assert!(
+        jsonl.contains("\"event\":\"reuse_miss\""),
+        "first lookup misses"
+    );
+    assert!(
+        jsonl.contains("\"event\":\"reuse_hit\""),
+        "second lookup hits"
+    );
+    let (hits, misses) = rt.reuse_stats();
+    assert!(hits >= 1, "hits {hits}");
+    assert!(misses >= 1, "misses {misses}");
+
+    let rt = Runtime::builder()
+        .seed(3)
+        .tracing(true)
+        .context_reuse(false)
+        .build();
+    let ctx = legal_ctx(&rt, 3);
+    let _ = rt
+        .query(&ctx)
+        .compute("find the number of identity theft reports in 2001")
+        .run();
+    let _ = rt
+        .query(&ctx)
+        .compute("find the number of identity theft reports in 2024")
+        .run();
+    let jsonl = rt.recorder().trace().to_jsonl();
+    assert!(
+        !jsonl.contains("reuse_hit"),
+        "no reuse events when disabled"
+    );
+    assert!(!jsonl.contains("reuse_miss"));
+    assert_eq!(rt.reuse_stats(), (0, 0));
+}
+
+/// SQL over materialized findings shows up as `sql` spans and events.
+#[test]
+fn sql_statements_are_traced() {
+    let rt = Runtime::builder().seed(4).tracing(true).build();
+    let ctx = legal_ctx(&rt, 4);
+    let _ = rt
+        .query(&ctx)
+        .compute("find the number of identity theft reports in 2001")
+        .run();
+    let tables = rt.table_names();
+    assert!(!tables.is_empty());
+    let out = rt
+        .sql(&format!("SELECT COUNT(*) AS n FROM {}", tables[0]))
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    let trace = rt.recorder().trace();
+    assert!(trace.spans.iter().any(|s| s.kind == SpanKind::Sql));
+    assert_eq!(trace.counters.get("sql.statements"), Some(&1));
+    assert!(trace.to_jsonl().contains("\"event\":\"sql\""));
+}
+
+/// A disabled recorder records nothing and exports an empty trace.
+#[test]
+fn disabled_recorder_is_inert() {
+    let rt = Runtime::builder().seed(5).build();
+    assert!(!rt.recorder().is_enabled());
+    let ctx = legal_ctx(&rt, 5);
+    let _ = rt
+        .query(&ctx)
+        .compute("find the number of identity theft reports in 2001")
+        .run();
+    let trace = rt.recorder().trace();
+    assert!(trace.spans.is_empty());
+    assert!(trace.counters.is_empty());
+}

@@ -16,8 +16,14 @@ fn claim_compute_beats_baselines_on_kramabench() {
     let semops_err = report.row("Sem. Ops").unwrap().get("pct_err").unwrap();
     let agent_err = report.row("CodeAgent").unwrap().get("pct_err").unwrap();
     assert!(compute_err < 0.05, "compute err {compute_err}");
-    assert!(compute_err <= semops_err, "compute {compute_err} vs semops {semops_err}");
-    assert!(compute_err <= agent_err, "compute {compute_err} vs agent {agent_err}");
+    assert!(
+        compute_err <= semops_err,
+        "compute {compute_err} vs semops {semops_err}"
+    );
+    assert!(
+        compute_err <= agent_err,
+        "compute {compute_err} vs agent {agent_err}"
+    );
 }
 
 #[test]
@@ -43,8 +49,16 @@ fn claim_compute_saves_cost_and_time_vs_codeagent_plus() {
 fn claim_codeagent_is_high_precision_low_recall_on_enron() {
     let report = aida::eval::table2(&[1]);
     let agent = report.row("CodeAgent").unwrap();
-    assert!(agent.get("precision").unwrap() > 0.7, "precision {}", agent.get("precision").unwrap());
-    assert!(agent.get("recall").unwrap() < 0.6, "recall {}", agent.get("recall").unwrap());
+    assert!(
+        agent.get("precision").unwrap() > 0.7,
+        "precision {}",
+        agent.get("precision").unwrap()
+    );
+    assert!(
+        agent.get("recall").unwrap() < 0.6,
+        "recall {}",
+        agent.get("recall").unwrap()
+    );
     // And it is by far the cheapest/fastest system.
     let compute = report.row("PZ compute").unwrap();
     assert!(agent.get("cost").unwrap() < compute.get("cost").unwrap() * 0.3);

@@ -25,7 +25,9 @@ fn compute_on_a_432_file_lake_with_ivf_index() {
     assert_eq!(hits.len(), 8);
     assert!(
         hits.iter()
-            .filter(|h| h.contains("annual_report") || h.contains("identity_theft") || *h == legal::NATIONAL_FILE)
+            .filter(|h| h.contains("annual_report")
+                || h.contains("identity_theft")
+                || *h == legal::NATIONAL_FILE)
             .count()
             >= 6,
         "most IVF hits should be theft-related: {hits:?}"
@@ -39,5 +41,9 @@ fn compute_on_a_432_file_lake_with_ivf_index() {
     let answer = outcome.answer.expect("compute answers at scale");
     assert_eq!(answer.as_int().unwrap(), legal::THEFTS_LAST);
     // Search narrowed the compute's input well below the full lake.
-    assert!(outcome.context.len() < 100, "narrowed to {}", outcome.context.len());
+    assert!(
+        outcome.context.len() < 100,
+        "narrowed to {}",
+        outcome.context.len()
+    );
 }

@@ -1,0 +1,158 @@
+//! Offline stand-in for `criterion`: a minimal timing harness with the
+//! same bench-authoring surface (`Criterion`, `bench_function`,
+//! `benchmark_group`, `criterion_group!`, `criterion_main!`). It runs
+//! each bench a fixed number of samples and prints mean wall time per
+//! iteration — useful for relative comparisons, without criterion's
+//! statistics, warm-up tuning, or HTML reports.
+
+use std::time::Instant;
+
+/// Top-level bench driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group with its own sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each bench takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to bench closures; `iter` times the supplied routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times one sample of `routine` (called repeatedly by the driver).
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        let elapsed = start.elapsed().as_nanos();
+        drop(out);
+        self.samples_ns.push(elapsed);
+    }
+}
+
+fn run_bench<F>(name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::default();
+    // One untimed warm-up sample, then the timed ones.
+    f(&mut bencher);
+    bencher.samples_ns.clear();
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let n = bencher.samples_ns.len().max(1) as u128;
+    let mean_ns = bencher.samples_ns.iter().sum::<u128>() / n;
+    println!(
+        "bench {name:<40} mean {:>12.3} µs ({sample_size} samples)",
+        mean_ns as f64 / 1000.0
+    );
+}
+
+/// Declares a function that runs the listed benches in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut calls = 0usize;
+        Criterion::default().bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        assert!(calls >= 20);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0usize;
+        group.sample_size(3).bench_function("inner", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        group.finish();
+        assert_eq!(calls, 4, "1 warm-up + 3 samples");
+    }
+}

@@ -1,0 +1,44 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy producing `Vec`s with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `Vec` strategy with element strategy `element` and length in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_stays_in_range() {
+        let s = vec(0i64..10, 2..5);
+        let mut rng = TestRng::from_name("collection");
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! String strategies from regex-like patterns.
+//!
+//! A `&str` is itself a strategy (as in real proptest). Supported syntax
+//! is the subset this workspace's tests use: literal characters, `.`
+//! (any non-newline printable character plus a couple of non-ASCII
+//! samples), character classes `[a-z0-9 ]` with ranges, and `{m,n}` /
+//! `{n}` quantifiers on the preceding atom.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Any,
+    Class(Vec<char>),
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let mut members = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        members.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        i += 3;
+                    } else {
+                        members.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
+                i += 1; // consume ']'
+                Atom::Class(members)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (mut min, mut max) = (1, 1);
+        if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            if let Some((lo, hi)) = body.split_once(',') {
+                min = lo.trim().parse().expect("bad quantifier");
+                max = hi.trim().parse().expect("bad quantifier");
+            } else {
+                min = body.trim().parse().expect("bad quantifier");
+                max = min;
+            }
+            i = close + 1;
+        }
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Characters `.` draws from: printable ASCII plus a few non-ASCII
+/// samples, excluding newline (regex `.` semantics).
+fn any_char(rng: &mut TestRng) -> char {
+    const EXTRAS: [char; 4] = ['é', '日', '本', '“'];
+    let roll = rng.index(100);
+    if roll < 95 {
+        char::from_u32(0x20 + rng.index(0x7f - 0x20) as u32).unwrap()
+    } else {
+        EXTRAS[rng.index(EXTRAS.len())]
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(self) {
+            let count = piece.min + rng.index(piece.max - piece.min + 1);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Any => out.push(any_char(rng)),
+                    Atom::Class(members) => {
+                        assert!(!members.is_empty(), "empty character class");
+                        out.push(members[rng.index(members.len())]);
+                    }
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::from_name("string-class");
+        for _ in 0..200 {
+            let s = "[a-c0-1 ]{0,6}".generate(&mut rng);
+            assert!(s.chars().count() <= 6);
+            assert!(s.chars().all(|c| "abc01 ".contains(c)), "bad char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let mut rng = TestRng::from_name("string-dot");
+        for _ in 0..100 {
+            let s = ".{0,50}".generate(&mut rng);
+            assert!(s.chars().count() <= 50);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::from_name("string-lit");
+        assert_eq!("abc".generate(&mut rng), "abc");
+    }
+}
