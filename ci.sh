@@ -6,3 +6,9 @@ cd "$(dirname "$0")"
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
 cargo test -q
+
+# Serving layer: the concurrency stress test wants optimized atomics and
+# real thread pressure, and the soak smoke proves the service binary
+# runs end to end (SERVE_SOAK_SMOKE=1 shrinks the workload).
+cargo test -q --release --test serve
+SERVE_SOAK_SMOKE=1 cargo run -q --release -p aida-bench --bin serve_soak >/dev/null

@@ -1,0 +1,95 @@
+//! Serving-layer soak: four tenants hammer one shared runtime.
+//!
+//! Two tenants analyze the legal lake, two the Enron lake, with
+//! overlapping instruction mixes — so Contexts materialized for one
+//! tenant satisfy the other tenant on the same lake (cross-tenant
+//! reuse). One tenant runs under a deliberately tight dollar quota to
+//! demonstrate typed load-shedding while the other tenants keep their
+//! latency.
+//!
+//! The run is deterministic on the virtual clock: same seed → identical
+//! `ServiceReport`, byte-identical `results/traces/serve_soak.jsonl`.
+//! `SERVE_SOAK_SMOKE=1` shrinks the workload for CI.
+
+use aida_core::{Context, Runtime};
+use aida_serve::{open_loop, QueryService, ServeConfig, TenantConfig, TenantLoad};
+use aida_synth::{enron, legal};
+
+fn main() {
+    let smoke = std::env::var("SERVE_SOAK_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let seed = 1;
+    let queries_per_tenant = if smoke { 3 } else { 25 };
+
+    let rt = Runtime::builder()
+        .seed(seed)
+        .context_capacity(256)
+        .tracing(true)
+        .build();
+    let legal_workload = legal::generate(seed);
+    let enron_workload = enron::generate(seed);
+    let legal_ctx = Context::builder("legal", legal_workload.lake.clone())
+        .description(legal_workload.description.clone())
+        .with_vector_index()
+        .build(&rt);
+    let enron_ctx = Context::builder("enron", enron_workload.lake.clone())
+        .description(enron_workload.description.clone())
+        .with_vector_index()
+        .build(&rt);
+
+    let mut svc = QueryService::new(
+        rt,
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+        },
+    );
+    svc.register_context("legal", legal_ctx);
+    svc.register_context("enron", enron_ctx);
+    svc.register_tenant("acme", TenantConfig::weighted(2));
+    svc.register_tenant("bolt", TenantConfig::default());
+    svc.register_tenant("cora", TenantConfig::default());
+    // The quota guinea pig: enough budget for a handful of queries, then
+    // every further request is shed with `budget_exhausted`.
+    svc.register_tenant("dara", TenantConfig::default().dollars(0.05));
+
+    let legal_mix = [
+        "find the number of identity theft reports in 2001",
+        "find the number of identity theft reports in 2024",
+        "find the number of identity theft reports in 2013",
+    ];
+    let enron_mix = [
+        "find emails with firsthand discussion of the Raptor transaction",
+        "find emails with firsthand discussion of the Chewco transaction",
+        "find emails with firsthand discussion of the LJM transaction",
+    ];
+    let loads = vec![
+        TenantLoad::new("acme", "legal")
+            .instructions(legal_mix)
+            .queries(queries_per_tenant)
+            .mean_interarrival(120.0),
+        TenantLoad::new("bolt", "legal")
+            .instructions(legal_mix)
+            .queries(queries_per_tenant)
+            .mean_interarrival(150.0)
+            .offset(30.0),
+        TenantLoad::new("cora", "enron")
+            .instructions(enron_mix)
+            .queries(queries_per_tenant)
+            .mean_interarrival(150.0)
+            .offset(60.0),
+        TenantLoad::new("dara", "enron")
+            .instructions(enron_mix)
+            .queries(queries_per_tenant)
+            .mean_interarrival(120.0)
+            .offset(15.0),
+    ];
+
+    let requests = open_loop(seed, &loads);
+    let isolated = svc.isolated_cost(&requests);
+    let mut report = svc.run(requests);
+    report.set_isolated_baseline(isolated);
+
+    println!("{}", report.render());
+    aida_bench::write_trace_jsonl("serve_soak", &report.to_jsonl());
+    aida_bench::emit_text("serve_soak", &report.render());
+}

@@ -62,20 +62,28 @@ pub fn traces_dir() -> PathBuf {
     dir
 }
 
+/// Writes pre-rendered JSONL as `<name>.jsonl` under [`traces_dir`] and
+/// returns the path. The single chokepoint for trace-file placement:
+/// every binary that persists a trace goes through here, so the layout
+/// (and the `AIDA_RESULTS_DIR` override) is decided in one place. I/O
+/// failures warn instead of aborting — a read-only filesystem shouldn't
+/// kill an experiment run.
+pub fn write_trace_jsonl(name: &str, jsonl: &str) -> PathBuf {
+    let path = traces_dir().join(format!("{name}.jsonl"));
+    match std::fs::write(&path, jsonl) {
+        Ok(()) => println!("(trace saved to {})", path.display()),
+        Err(err) => eprintln!("warning: could not save trace at {}: {err}", path.display()),
+    }
+    path
+}
+
 /// Prints a recorder's `EXPLAIN ANALYZE` report and writes the span trace
 /// as `<name>.jsonl` under [`traces_dir`]. Traces carry only virtual time,
 /// so the file is byte-identical across runs at the same seed.
 pub fn emit_trace(name: &str, recorder: &aida_obs::Recorder) {
     let trace = recorder.trace();
     println!("{}", trace.explain_analyze());
-    let dir = traces_dir();
-    match std::fs::write(dir.join(format!("{name}.jsonl")), trace.to_jsonl()) {
-        Ok(()) => println!("(trace saved to {}/{name}.jsonl)", dir.display()),
-        Err(err) => eprintln!(
-            "warning: could not save trace under {}: {err}",
-            dir.display()
-        ),
-    }
+    write_trace_jsonl(name, &trace.to_jsonl());
 }
 
 /// Traced companion runs for the experiment binaries: each returns the

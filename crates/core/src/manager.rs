@@ -6,6 +6,13 @@
 //! the most similar materialized Context; above the runtime's similarity
 //! threshold the operator reuses it instead of re-running an agent — the
 //! paper's §3 physical optimization (and its §2.4 cache).
+//!
+//! Long-running service processes (see `aida-serve`) keep one manager
+//! alive across thousands of queries, so the store is optionally bounded:
+//! [`ContextManager::with_capacity`] caps the number of materializations
+//! and evicts **cost-aware LRU** — the victim is the entry cheapest to
+//! recreate (`original_cost`), ties broken by least-recent use — so a $2
+//! materialization is never dropped to make room for a $0.001 one.
 
 use crate::context::Context;
 use aida_llm::embed::{cosine, Embedder};
@@ -22,78 +29,126 @@ pub struct MaterializedContext {
     pub context: Context,
     /// Embedding of `instruction` + description (retrieval key).
     embedding: Vec<f32>,
-    /// What the producing execution cost (for reporting savings).
+    /// What the producing execution cost (for reporting savings; also the
+    /// primary eviction key — cheap materializations are evicted first).
     pub original_cost: f64,
+    /// Logical tick of the last registration or reuse hit (LRU tiebreak).
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Store {
+    entries: Vec<MaterializedContext>,
+    /// Monotonic logical time: bumped on every register and reuse hit.
+    tick: u64,
+    /// Maximum entries kept (0 = unbounded).
+    capacity: usize,
 }
 
 /// A shared registry of materialized Contexts.
 #[derive(Clone, Default)]
 pub struct ContextManager {
-    inner: Arc<RwLock<Vec<MaterializedContext>>>,
+    inner: Arc<RwLock<Store>>,
     embedder: Embedder,
     hits: Arc<AtomicU64>,
     misses: Arc<AtomicU64>,
+    evictions: Arc<AtomicU64>,
 }
 
 impl ContextManager {
-    /// Creates an empty manager.
+    /// Creates an empty, unbounded manager.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty manager holding at most `capacity` Contexts
+    /// (`0` means unbounded). Over capacity, the cheapest-to-recreate
+    /// entry is evicted, ties broken by least-recent use.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let manager = Self::default();
+        manager.inner.write().capacity = capacity;
+        manager
+    }
+
+    /// The capacity bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.inner.read().capacity
+    }
+
     /// Number of materialized Contexts.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().entries.len()
     }
 
     /// True when nothing is materialized.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.read().entries.is_empty()
     }
 
-    /// Registers a materialization produced by `instruction`.
+    /// Registers a materialization produced by `instruction`, evicting if
+    /// the capacity bound is exceeded.
     pub fn register(&self, instruction: &str, context: Context, original_cost: f64) {
         // The retrieval key is the instruction alone: descriptions grow
         // with every enrichment and would dilute the match.
         let embedding = self.embedder.embed(instruction);
-        self.inner.write().push(MaterializedContext {
+        let mut store = self.inner.write();
+        store.tick += 1;
+        let last_used = store.tick;
+        store.entries.push(MaterializedContext {
             instruction: instruction.to_string(),
             context,
             embedding,
             original_cost,
+            last_used,
         });
+        while store.capacity > 0 && store.entries.len() > store.capacity {
+            let victim = store
+                .entries
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.original_cost
+                        .total_cmp(&b.original_cost)
+                        .then(a.last_used.cmp(&b.last_used))
+                })
+                .map(|(i, _)| i)
+                .expect("entries is non-empty while over capacity");
+            store.entries.remove(victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Retrieves the materialized Context most similar to `instruction`,
     /// with its similarity score. Deterministic: earlier registrations win
-    /// ties.
+    /// ties. Read-only — recency is not touched.
     pub fn find_similar(&self, instruction: &str) -> Option<(MaterializedContext, f32)> {
         let q = self.embedder.embed(instruction);
-        let inner = self.inner.read();
-        let mut best: Option<(usize, f32)> = None;
-        for (i, entry) in inner.iter().enumerate() {
-            let sim = cosine(&q, &entry.embedding);
-            if best.is_none_or(|(_, s)| sim > s) {
-                best = Some((i, sim));
-            }
-        }
-        best.map(|(i, s)| (inner[i].clone(), s))
+        let store = self.inner.read();
+        best_match(&store.entries, &q).map(|(i, s)| (store.entries[i].clone(), s))
     }
 
     /// Retrieves a reusable Context at or above `threshold`, also
     /// returning the best similarity observed (0.0 when nothing is
-    /// materialized). Every lookup bumps the hit/miss counters.
+    /// materialized). Every lookup bumps the hit/miss counters; a hit
+    /// refreshes the entry's recency. The scan and the recency bump are
+    /// one atomic step, so concurrent callers never observe a half-done
+    /// lookup and the hit+miss totals always reconcile with call counts.
     pub fn reuse_scored(
         &self,
         instruction: &str,
         threshold: f32,
     ) -> (Option<MaterializedContext>, f32) {
-        let best = self.find_similar(instruction);
-        let best_sim = best.as_ref().map(|(_, sim)| *sim).unwrap_or(0.0);
+        let q = self.embedder.embed(instruction);
+        let mut store = self.inner.write();
+        let best = best_match(&store.entries, &q);
+        let best_sim = best.map(|(_, sim)| sim).unwrap_or(0.0);
         match best.filter(|(_, sim)| *sim >= threshold) {
-            Some((entry, sim)) => {
+            Some((index, sim)) => {
+                store.tick += 1;
+                let tick = store.tick;
+                store.entries[index].last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                (Some(entry), sim)
+                (Some(store.entries[index].clone()), sim)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -115,10 +170,28 @@ impl ContextManager {
         )
     }
 
-    /// Drops every materialization (tests/trials).
-    pub fn clear(&self) {
-        self.inner.write().clear();
+    /// Number of entries evicted by the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
+
+    /// Drops every materialization (tests/trials). Counters survive.
+    pub fn clear(&self) {
+        self.inner.write().entries.clear();
+    }
+}
+
+/// Index and similarity of the best match against `query`, earlier entries
+/// winning ties.
+fn best_match(entries: &[MaterializedContext], query: &[f32]) -> Option<(usize, f32)> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, entry) in entries.iter().enumerate() {
+        let sim = cosine(query, &entry.embedding);
+        if best.is_none_or(|(_, s)| sim > s) {
+            best = Some((i, sim));
+        }
+    }
+    best
 }
 
 impl std::fmt::Debug for ContextManager {
@@ -224,5 +297,66 @@ mod tests {
         assert_eq!(clone.len(), 1);
         clone.clear();
         assert!(manager.is_empty());
+    }
+
+    #[test]
+    fn capacity_bound_evicts_cheapest_first() {
+        let rt = Runtime::builder().build();
+        let manager = ContextManager::with_capacity(2);
+        assert_eq!(manager.capacity(), 2);
+        manager.register("expensive exhaustive legal scan", ctx(&rt, "a"), 2.0);
+        manager.register("cheap keyword probe", ctx(&rt, "b"), 0.01);
+        manager.register("medium targeted extraction", ctx(&rt, "c"), 0.5);
+        // The $0.01 entry is the victim, not the oldest ($2.00) one.
+        assert_eq!(manager.len(), 2);
+        assert_eq!(manager.evictions(), 1);
+        let kept: Vec<String> = [
+            "expensive exhaustive legal scan",
+            "medium targeted extraction",
+        ]
+        .iter()
+        .map(|i| {
+            manager
+                .find_similar(i)
+                .map(|(m, _)| m.instruction)
+                .unwrap_or_default()
+        })
+        .collect();
+        assert!(kept.iter().any(|i| i.contains("expensive")));
+        assert!(kept.iter().any(|i| i.contains("medium")));
+    }
+
+    #[test]
+    fn eviction_ties_break_by_recency() {
+        let rt = Runtime::builder().build();
+        let manager = ContextManager::with_capacity(2);
+        manager.register("alpha instruction about pipelines", ctx(&rt, "a"), 1.0);
+        manager.register("beta instruction about reports", ctx(&rt, "b"), 1.0);
+        // Touch alpha so beta becomes the least-recently-used equal-cost
+        // entry.
+        assert!(manager
+            .reuse("alpha instruction about pipelines", 0.95)
+            .is_some());
+        manager.register("gamma instruction about filings", ctx(&rt, "c"), 1.0);
+        assert_eq!(manager.len(), 2);
+        let (hit, sim) = manager
+            .find_similar("beta instruction about reports")
+            .unwrap();
+        assert!(
+            sim < 0.95 || !hit.instruction.contains("beta"),
+            "beta should have been evicted (best match now {} at {sim})",
+            hit.instruction
+        );
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let rt = Runtime::builder().build();
+        let manager = ContextManager::new();
+        for i in 0..32 {
+            manager.register(&format!("instruction {i}"), ctx(&rt, "d"), 0.1);
+        }
+        assert_eq!(manager.len(), 32);
+        assert_eq!(manager.evictions(), 0);
     }
 }

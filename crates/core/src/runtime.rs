@@ -35,6 +35,11 @@ pub struct RuntimeConfig {
     /// (spans, events, counters — rendered by `EXPLAIN ANALYZE` and the
     /// JSONL exporter). Off by default: the disabled recorder is a no-op.
     pub tracing: bool,
+    /// Capacity bound on the ContextManager's materialized-Context store
+    /// (0 = unbounded). Long-running services set this so the store stays
+    /// bounded; over capacity the cheapest-to-recreate entry is evicted
+    /// (ties broken by least-recent use).
+    pub context_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -51,6 +56,7 @@ impl Default for RuntimeConfig {
             agent_max_steps: 8,
             fault_rate: 0.0,
             tracing: false,
+            context_capacity: 0,
         }
     }
 }
@@ -90,6 +96,18 @@ impl Runtime {
     /// `.tracing(true)`).
     pub fn recorder(&self) -> &Recorder {
         &self.env.recorder
+    }
+
+    /// The shared usage ledger (every simulated LLM call lands here).
+    /// Service layers snapshot it around a query and difference the
+    /// snapshots to attribute spend to a tenant.
+    pub fn meter(&self) -> &aida_llm::UsageMeter {
+        self.env.llm.meter()
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &aida_llm::SimClock {
+        &self.env.clock
     }
 
     /// Context-reuse `(hits, misses)` observed so far.
@@ -260,6 +278,13 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Bounds the ContextManager's materialized-Context store (0 =
+    /// unbounded; see [`crate::ContextManager::with_capacity`]).
+    pub fn context_capacity(mut self, capacity: usize) -> Self {
+        self.config.context_capacity = capacity;
+        self
+    }
+
     /// Sets the full configuration at once.
     pub fn config(mut self, config: RuntimeConfig) -> Self {
         self.config = config;
@@ -275,7 +300,7 @@ impl RuntimeBuilder {
         }
         Runtime {
             env,
-            manager: ContextManager::new(),
+            manager: ContextManager::with_capacity(self.config.context_capacity),
             catalog: Arc::new(Mutex::new(Catalog::new())),
             config: self.config,
         }
@@ -347,5 +372,29 @@ mod tests {
         let rt2 = rt.clone();
         rt.register_table("t", Table::new(Schema::empty()));
         assert_eq!(rt2.table_names().len(), 1);
+    }
+
+    #[test]
+    fn context_capacity_flows_to_manager() {
+        let rt = Runtime::builder().context_capacity(3).build();
+        assert_eq!(rt.manager().capacity(), 3);
+        assert_eq!(Runtime::builder().build().manager().capacity(), 0);
+    }
+
+    #[test]
+    fn runtime_is_shareable_across_scoped_threads() {
+        // The serving layer hands one Runtime to N workers by reference;
+        // this is a compile-time Send+Sync check plus a smoke of shared
+        // state across real threads.
+        let rt = Runtime::builder().build();
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let rt = &rt;
+                scope.spawn(move || {
+                    rt.register_table(&format!("t{i}"), Table::new(Schema::empty()));
+                });
+            }
+        });
+        assert_eq!(rt.table_names().len(), 4);
     }
 }

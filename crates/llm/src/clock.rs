@@ -52,6 +52,99 @@ impl SimClock {
     }
 }
 
+/// A slot assigned by a [`Timeline`]: which worker ran the job and when,
+/// in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledSlot {
+    /// Index of the worker that served the job.
+    pub worker: usize,
+    /// Virtual start instant (seconds).
+    pub start_s: f64,
+    /// Virtual completion instant (seconds).
+    pub end_s: f64,
+}
+
+/// Virtual-clock concurrency semantics for overlapping queries.
+///
+/// The shared [`SimClock`] is advanced serially by whichever execution is
+/// holding the runtime, so it cannot express *overlap*: two queries served
+/// by two workers should occupy the same virtual interval, not
+/// concatenated ones. A `Timeline` models an `N`-worker pool as a
+/// deterministic discrete-event simulation: jobs are submitted in a fixed
+/// order with a ready instant and a measured duration, each is placed on
+/// the earliest-free worker (lowest index breaking ties), and the slot
+/// records the overlapped virtual start/end. Service latency, makespan,
+/// and queue-wait all fall out of the slots — byte-identically across
+/// runs, no matter how host threads interleave.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    free_at: Vec<f64>,
+}
+
+impl Timeline {
+    /// Creates a timeline over `workers` parallel workers (at least 1).
+    pub fn new(workers: usize) -> Self {
+        Timeline {
+            free_at: vec![0.0; workers.max(1)],
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// The earliest virtual instant at which any worker is free.
+    pub fn next_free(&self) -> f64 {
+        self.free_at.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The placement `schedule` would commit for a job ready at
+    /// `ready_s`, without committing it. Worker choice is independent of
+    /// the job's duration, so callers that must *run* a job to learn its
+    /// duration (the serving layer measures durations by executing) can
+    /// peek the worker/start first and commit after.
+    pub fn peek(&self, ready_s: f64) -> ScheduledSlot {
+        let worker = self.earliest_free_worker();
+        let start_s = ready_s.max(self.free_at[worker]);
+        ScheduledSlot {
+            worker,
+            start_s,
+            end_s: start_s,
+        }
+    }
+
+    fn earliest_free_worker(&self) -> usize {
+        let mut worker = 0;
+        for i in 1..self.free_at.len() {
+            if self.free_at[i] < self.free_at[worker] {
+                worker = i;
+            }
+        }
+        worker
+    }
+
+    /// Places a job that becomes ready at `ready_s` and runs for
+    /// `duration_s` onto the earliest-free worker; ties go to the lowest
+    /// worker index so placement is deterministic.
+    pub fn schedule(&mut self, ready_s: f64, duration_s: f64) -> ScheduledSlot {
+        let worker = self.earliest_free_worker();
+        let start_s = ready_s.max(self.free_at[worker]);
+        let end_s = start_s + duration_s.max(0.0);
+        self.free_at[worker] = end_s;
+        ScheduledSlot {
+            worker,
+            start_s,
+            end_s,
+        }
+    }
+
+    /// The virtual instant the last worker finishes (0 when idle).
+    pub fn makespan(&self) -> f64 {
+        self.free_at.iter().copied().fold(0.0, f64::max)
+    }
+}
+
 /// A scoped stopwatch over the virtual clock.
 #[derive(Debug)]
 pub struct SimStopwatch {
@@ -120,6 +213,68 @@ mod tests {
         let clock = SimClock::new();
         clock.advance_parallel(7.0, 7, 1);
         assert!((clock.now() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_overlaps_jobs_across_workers() {
+        let mut tl = Timeline::new(2);
+        // Three 10s jobs all ready at t=0: two overlap, the third waits.
+        let a = tl.schedule(0.0, 10.0);
+        let b = tl.schedule(0.0, 10.0);
+        let c = tl.schedule(0.0, 10.0);
+        assert_eq!((a.worker, a.start_s, a.end_s), (0, 0.0, 10.0));
+        assert_eq!((b.worker, b.start_s, b.end_s), (1, 0.0, 10.0));
+        assert_eq!((c.worker, c.start_s, c.end_s), (0, 10.0, 20.0));
+        assert_eq!(tl.makespan(), 20.0);
+        assert_eq!(tl.next_free(), 10.0);
+    }
+
+    #[test]
+    fn timeline_respects_ready_instants() {
+        let mut tl = Timeline::new(1);
+        let a = tl.schedule(5.0, 2.0);
+        assert_eq!((a.start_s, a.end_s), (5.0, 7.0));
+        // A job ready earlier than the worker frees still waits.
+        let b = tl.schedule(6.0, 1.0);
+        assert_eq!((b.start_s, b.end_s), (7.0, 8.0));
+        // A gap: the worker idles until the job is ready.
+        let c = tl.schedule(20.0, 1.0);
+        assert_eq!((c.start_s, c.end_s), (20.0, 21.0));
+    }
+
+    #[test]
+    fn timeline_ties_pick_lowest_worker() {
+        let mut tl = Timeline::new(3);
+        assert_eq!(tl.schedule(0.0, 0.0).worker, 0);
+        // All still free at t=0 (zero-length job): lowest index again.
+        assert_eq!(tl.schedule(0.0, 1.0).worker, 0);
+        assert_eq!(tl.schedule(0.0, 1.0).worker, 1);
+        assert_eq!(tl.schedule(0.0, 1.0).worker, 2);
+        // Negative durations are clamped to zero-length slots.
+        let s = tl.schedule(0.0, -4.0);
+        assert_eq!(s.start_s, s.end_s);
+    }
+
+    #[test]
+    fn timeline_peek_matches_schedule() {
+        let mut tl = Timeline::new(2);
+        tl.schedule(0.0, 5.0);
+        // Peeking does not commit: repeated peeks agree.
+        let peeked = tl.peek(1.0);
+        assert_eq!(tl.peek(1.0), peeked);
+        let committed = tl.schedule(1.0, 3.0);
+        assert_eq!(peeked.worker, committed.worker);
+        assert_eq!(peeked.start_s, committed.start_s);
+        assert_eq!((committed.worker, committed.end_s), (1, 4.0));
+    }
+
+    #[test]
+    fn timeline_zero_workers_is_one_worker() {
+        let mut tl = Timeline::new(0);
+        assert_eq!(tl.workers(), 1);
+        let a = tl.schedule(0.0, 3.0);
+        let b = tl.schedule(0.0, 3.0);
+        assert_eq!(a.end_s, b.start_s);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod sim;
 pub mod tokens;
 pub mod usage;
 
-pub use clock::SimClock;
+pub use clock::{ScheduledSlot, SimClock, Timeline};
 pub use embed::Embedder;
 pub use models::{ModelCatalog, ModelId, ModelSpec};
 pub use oracle::{Oracle, OracleAnswer, OracleRule, Subject};

@@ -31,7 +31,7 @@ pub mod span;
 
 pub use event::Event;
 pub use json::Json;
-pub use metric::Histogram;
+pub use metric::{Gauge, Histogram, Summary};
 pub use recorder::{Recorder, SpanHandle};
 pub use report::{SpanTotals, Trace};
 pub use span::{clip, SpanData, SpanKind};

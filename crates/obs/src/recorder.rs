@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use crate::event::Event;
-use crate::metric::{default_bounds, Histogram};
+use crate::metric::{default_bounds, Gauge, Histogram};
 use crate::report::Trace;
 use crate::span::{SpanData, SpanKind};
 
@@ -30,6 +30,7 @@ struct State {
     stack: Vec<usize>,
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, Gauge>,
     /// Events recorded while no span was open (defensive; should be rare).
     orphans: Vec<Event>,
 }
@@ -139,6 +140,17 @@ impl Recorder {
             .record(value);
     }
 
+    /// Records a gauge sample (`value` at virtual instant `time_s`),
+    /// creating the gauge on first use.
+    pub fn gauge_set(&self, name: &str, time_s: f64, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.state.lock().unwrap();
+        st.gauges
+            .entry(name.to_string())
+            .or_default()
+            .set(time_s, value);
+    }
+
     /// Takes a deterministic snapshot of the trace. Events inside each
     /// span are sorted by their serialized form so the snapshot is
     /// byte-stable regardless of worker-thread interleaving.
@@ -174,6 +186,7 @@ impl Recorder {
             spans,
             counters: st.counters.clone(),
             histograms: st.histograms.clone(),
+            gauges: st.gauges.clone(),
             orphans,
         }
     }

@@ -6,7 +6,7 @@ use std::fmt::Write;
 
 use crate::event::Event;
 use crate::json::Json;
-use crate::metric::Histogram;
+use crate::metric::{Gauge, Histogram};
 use crate::span::SpanData;
 
 /// Inclusive totals for a span subtree.
@@ -31,6 +31,8 @@ pub struct Trace {
     pub counters: BTreeMap<String, u64>,
     /// Histograms.
     pub histograms: BTreeMap<String, Histogram>,
+    /// Gauges (values sampled over virtual time).
+    pub gauges: BTreeMap<String, Gauge>,
     /// Events recorded with no open span.
     pub orphans: Vec<Event>,
 }
@@ -100,6 +102,15 @@ impl Trace {
                 "histogram {name}: count={} mean={:.2}",
                 h.count,
                 h.mean()
+            );
+        }
+        for (name, g) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "gauge {name}: samples={} last={:.2} max={:.2}",
+                g.samples.len(),
+                g.last(),
+                g.max()
             );
         }
         out
@@ -192,6 +203,14 @@ impl Trace {
             out.push_str(&line.render());
             out.push('\n');
         }
+        for (name, g) in &self.gauges {
+            let line = Json::obj()
+                .field("type", "gauge")
+                .field("name", name.as_str())
+                .field("data", g.to_json());
+            out.push_str(&line.render());
+            out.push('\n');
+        }
         if !self.orphans.is_empty() {
             let line = Json::obj().field("type", "orphan_events").field(
                 "events",
@@ -275,6 +294,27 @@ mod tests {
         assert!(lines[0].starts_with(r#"{"type":"span","id":0"#));
         assert!(lines[3].starts_with(r#"{"type":"counters""#));
         assert!(jsonl.ends_with('\n'));
+    }
+
+    #[test]
+    fn gauges_render_and_export() {
+        let r = sample();
+        r.gauge_set("serve.queue_depth", 0.0, 2.0);
+        r.gauge_set("serve.queue_depth", 3.0, 5.0);
+        r.gauge_set("serve.queue_depth", 6.0, 1.0);
+        let text = r.explain_analyze();
+        assert!(
+            text.contains("gauge serve.queue_depth: samples=3 last=1.00 max=5.00"),
+            "{text}"
+        );
+        let jsonl = r.export_jsonl();
+        assert!(jsonl.contains(
+            r#"{"type":"gauge","name":"serve.queue_depth","data":{"samples":[[0,2],[3,5],[6,1]],"last":1,"max":5}}"#
+        ));
+        // Disabled recorders ignore gauge sets.
+        let off = Recorder::disabled();
+        off.gauge_set("x", 0.0, 1.0);
+        assert!(off.trace().gauges.is_empty());
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! The open-loop workload driver: deterministic Poisson-ish arrivals on
+//! the virtual clock.
+//!
+//! Arrivals are **open-loop**: each tenant submits on its own schedule
+//! regardless of how fast the service drains, so overload actually
+//! builds a backlog instead of self-throttling. Interarrival gaps are
+//! exponential, drawn from a [`KeyedRng`] seeded by `(seed, tenant)` —
+//! the same seed always produces the same workload, byte for byte.
+
+use crate::request::{Priority, QueryRequest};
+use crate::TenantId;
+use aida_llm::noise::{self, KeyedRng};
+
+/// One tenant's load profile.
+#[derive(Debug, Clone)]
+pub struct TenantLoad {
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// Name of the registered Context every request targets.
+    pub context: String,
+    /// Instructions cycled across the tenant's requests.
+    pub instructions: Vec<String>,
+    /// How many requests the tenant submits.
+    pub queries: usize,
+    /// Mean exponential interarrival gap (virtual seconds).
+    pub mean_interarrival_s: f64,
+    /// Priority for every request.
+    pub priority: Priority,
+    /// Queueing deadline for every request, if any.
+    pub deadline_s: Option<f64>,
+    /// Virtual instant the tenant starts submitting.
+    pub start_offset_s: f64,
+}
+
+impl TenantLoad {
+    /// A load profile with defaults: 10 queries, 30 s mean gap, normal
+    /// priority, no deadline, starting at t = 0.
+    pub fn new(tenant: impl Into<TenantId>, context: impl Into<String>) -> TenantLoad {
+        TenantLoad {
+            tenant: tenant.into(),
+            context: context.into(),
+            instructions: Vec::new(),
+            queries: 10,
+            mean_interarrival_s: 30.0,
+            priority: Priority::Normal,
+            deadline_s: None,
+            start_offset_s: 0.0,
+        }
+    }
+
+    /// Sets the instruction cycle.
+    pub fn instructions<I, S>(mut self, instructions: I) -> TenantLoad
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.instructions = instructions.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the request count.
+    pub fn queries(mut self, queries: usize) -> TenantLoad {
+        self.queries = queries;
+        self
+    }
+
+    /// Sets the mean interarrival gap.
+    pub fn mean_interarrival(mut self, seconds: f64) -> TenantLoad {
+        self.mean_interarrival_s = seconds.max(0.0);
+        self
+    }
+
+    /// Sets the priority.
+    pub fn priority(mut self, priority: Priority) -> TenantLoad {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the queueing deadline.
+    pub fn deadline(mut self, seconds: f64) -> TenantLoad {
+        self.deadline_s = Some(seconds);
+        self
+    }
+
+    /// Sets the start offset.
+    pub fn offset(mut self, seconds: f64) -> TenantLoad {
+        self.start_offset_s = seconds;
+        self
+    }
+}
+
+/// Generates the merged open-loop workload for a set of tenant loads.
+///
+/// Requests are sorted by `(arrival, tenant)` and numbered, so the
+/// returned vector is fully deterministic in `seed` and the loads.
+pub fn open_loop(seed: u64, loads: &[TenantLoad]) -> Vec<QueryRequest> {
+    let mut requests = Vec::new();
+    for load in loads {
+        if load.instructions.is_empty() || load.queries == 0 {
+            continue;
+        }
+        let key = noise::combine(&[
+            noise::hash_str("serve.driver"),
+            seed,
+            noise::hash_str(load.tenant.as_str()),
+        ]);
+        let mut rng = KeyedRng::new(key);
+        let mut t = load.start_offset_s;
+        for i in 0..load.queries {
+            // Exponential gap: -mean · ln(1 - U), U ∈ [0, 1).
+            let u = rng.next_f64();
+            t += -load.mean_interarrival_s * (1.0 - u).ln();
+            let instruction = load.instructions[i % load.instructions.len()].clone();
+            let mut request =
+                QueryRequest::new(load.tenant.clone(), load.context.clone(), instruction)
+                    .at(t)
+                    .priority(load.priority);
+            if let Some(deadline_s) = load.deadline_s {
+                request = request.deadline(deadline_s);
+            }
+            requests.push(request);
+        }
+    }
+    requests.sort_by(|a, b| {
+        a.arrival_s
+            .total_cmp(&b.arrival_s)
+            .then_with(|| a.tenant.cmp(&b.tenant))
+    });
+    for (i, request) in requests.iter_mut().enumerate() {
+        request.seq = i as u64;
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads() -> Vec<TenantLoad> {
+        vec![
+            TenantLoad::new("acme", "lake")
+                .instructions(["q1", "q2"])
+                .queries(5)
+                .mean_interarrival(10.0),
+            TenantLoad::new("bolt", "lake")
+                .instructions(["q3"])
+                .queries(3)
+                .mean_interarrival(20.0)
+                .offset(5.0)
+                .deadline(120.0),
+        ]
+    }
+
+    #[test]
+    fn same_seed_same_workload() {
+        let a = open_loop(42, &loads());
+        let b = open_loop(42, &loads());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = open_loop(1, &loads());
+        let b = open_loop(2, &loads());
+        assert_ne!(
+            a.iter().map(|r| r.arrival_s).collect::<Vec<_>>(),
+            b.iter().map(|r| r.arrival_s).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_numbered() {
+        let requests = open_loop(7, &loads());
+        for window in requests.windows(2) {
+            assert!(window[0].arrival_s <= window[1].arrival_s);
+            assert_eq!(window[0].seq + 1, window[1].seq);
+        }
+        assert_eq!(requests[0].seq, 0);
+    }
+
+    #[test]
+    fn instructions_cycle_and_options_apply() {
+        let requests = open_loop(3, &loads());
+        let acme: Vec<&QueryRequest> = requests
+            .iter()
+            .filter(|r| r.tenant.as_str() == "acme")
+            .collect();
+        assert_eq!(acme.len(), 5);
+        let q1 = acme.iter().filter(|r| r.instruction == "q1").count();
+        assert_eq!(q1, 3, "q1,q2 cycle over 5 queries");
+        let bolt: Vec<&QueryRequest> = requests
+            .iter()
+            .filter(|r| r.tenant.as_str() == "bolt")
+            .collect();
+        assert!(bolt.iter().all(|r| r.deadline_s == Some(120.0)));
+        assert!(bolt.iter().all(|r| r.arrival_s > 5.0));
+    }
+
+    #[test]
+    fn empty_or_zero_loads_yield_nothing() {
+        let empty = open_loop(1, &[TenantLoad::new("a", "lake")]);
+        assert!(empty.is_empty(), "no instructions → no requests");
+        let zero = open_loop(
+            1,
+            &[TenantLoad::new("a", "lake").instructions(["q"]).queries(0)],
+        );
+        assert!(zero.is_empty());
+    }
+}

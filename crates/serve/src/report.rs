@@ -1,0 +1,339 @@
+//! The service dashboard: per-tenant latency percentiles, shed/admit
+//! counters, queue-depth trajectory, cross-tenant reuse trend, and the
+//! shared-vs-isolated cost comparison.
+
+use crate::request::{Completion, Shed};
+use crate::TenantId;
+use aida_obs::{Gauge, Json, Summary};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Aggregates for one tenant.
+#[derive(Debug, Clone, Default)]
+pub struct TenantReport {
+    /// Requests the tenant submitted.
+    pub submitted: u64,
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests shed, by typed-reason kind.
+    pub shed: BTreeMap<&'static str, u64>,
+    /// Dollars attributed to the tenant.
+    pub cost_usd: f64,
+    /// Tokens attributed to the tenant.
+    pub tokens: u64,
+    /// Billed LLM calls attributed to the tenant.
+    pub llm_calls: u64,
+    /// End-to-end latency summary (virtual seconds).
+    pub latency: Summary,
+    /// Queue-wait summary (virtual seconds).
+    pub queue_wait: Summary,
+}
+
+impl TenantReport {
+    /// Total requests shed across reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.values().sum()
+    }
+}
+
+/// Everything one [`QueryService::run`] observed.
+///
+/// [`QueryService::run`]: crate::QueryService::run
+#[derive(Debug, Clone, Default)]
+pub struct ServiceReport {
+    /// Worker-pool size the run was served with.
+    pub workers: usize,
+    /// Served queries in dispatch order.
+    pub completions: Vec<Completion>,
+    /// Refused requests in rejection order.
+    pub sheds: Vec<Shed>,
+    /// Per-tenant aggregates, in tenant-id order.
+    pub tenants: BTreeMap<TenantId, TenantReport>,
+    /// Queue depth sampled at every admission and dispatch.
+    pub queue_depth: Gauge,
+    /// Virtual instant the last worker finished.
+    pub makespan_s: f64,
+    /// Dollars across all tenants.
+    pub total_cost_usd: f64,
+    /// Context-reuse hits across the run.
+    pub reuse_hits: u64,
+    /// Context-reuse misses across the run.
+    pub reuse_misses: u64,
+    /// Contexts evicted by the ContextManager capacity bound.
+    pub evictions: u64,
+    /// The same workload's cost through isolated per-tenant runtimes
+    /// (filled by [`ServiceReport::set_isolated_baseline`]; `None` when
+    /// the baseline wasn't run).
+    pub isolated_cost_usd: Option<f64>,
+}
+
+impl ServiceReport {
+    /// Records what the workload costs without the shared runtime, for
+    /// the headline shared-vs-isolated comparison.
+    pub fn set_isolated_baseline(&mut self, cost_usd: f64) {
+        self.isolated_cost_usd = Some(cost_usd);
+    }
+
+    /// Reuse hit rate over the first half of completions (dispatch
+    /// order) — the cold half.
+    pub fn first_half_hit_rate(&self) -> f64 {
+        Self::hit_rate(&self.completions[..self.completions.len() / 2])
+    }
+
+    /// Reuse hit rate over the second half of completions — the warmed
+    /// half. Cross-tenant reuse shows up as this exceeding the first.
+    pub fn second_half_hit_rate(&self) -> f64 {
+        Self::hit_rate(&self.completions[self.completions.len() / 2..])
+    }
+
+    fn hit_rate(completions: &[Completion]) -> f64 {
+        let hits: u64 = completions.iter().map(|c| c.reuse_hits).sum();
+        let misses: u64 = completions.iter().map(|c| c.reuse_misses).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Renders the service dashboard.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "SERVICE REPORT  ({} workers, {} served, {} shed)",
+            self.workers,
+            self.completions.len(),
+            self.sheds.len()
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9} {:>8} {:>5} {:>9} {:>10} {:>8} {:>8} {:>8} {:>8}",
+            "tenant",
+            "submitted",
+            "admitted",
+            "shed",
+            "served",
+            "$spend",
+            "tokens",
+            "p50 s",
+            "p95 s",
+            "p99 s"
+        );
+        for (tenant, report) in &self.tenants {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>9} {:>8} {:>5} {:>9} {:>10.4} {:>8} {:>8.1} {:>8.1} {:>8.1}",
+                tenant.as_str(),
+                report.submitted,
+                report.admitted,
+                report.shed_total(),
+                report.completed,
+                report.cost_usd,
+                report.tokens,
+                report.latency.p50(),
+                report.latency.p95(),
+                report.latency.p99(),
+            );
+        }
+        let mut shed_by_reason: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for report in self.tenants.values() {
+            for (kind, n) in &report.shed {
+                *shed_by_reason.entry(kind).or_insert(0) += n;
+            }
+        }
+        if !shed_by_reason.is_empty() {
+            let rendered: Vec<String> = shed_by_reason
+                .iter()
+                .map(|(kind, n)| format!("{kind}={n}"))
+                .collect();
+            let _ = writeln!(out, "shed by reason: {}", rendered.join(" "));
+        }
+        let _ = writeln!(
+            out,
+            "queue depth: max {:.0}, final {:.0}  ({} samples)",
+            self.queue_depth.max(),
+            self.queue_depth.last(),
+            self.queue_depth.samples.len()
+        );
+        let _ = writeln!(
+            out,
+            "context reuse: {} hits / {} misses  (first half {:.1}%, second half {:.1}%)  evictions={}",
+            self.reuse_hits,
+            self.reuse_misses,
+            100.0 * self.first_half_hit_rate(),
+            100.0 * self.second_half_hit_rate(),
+            self.evictions,
+        );
+        match self.isolated_cost_usd {
+            Some(isolated) if isolated > 0.0 => {
+                let _ = writeln!(
+                    out,
+                    "total cost: ${:.4} shared vs ${:.4} isolated per-tenant runtimes ({:.1}% saved)",
+                    self.total_cost_usd,
+                    isolated,
+                    100.0 * (1.0 - self.total_cost_usd / isolated),
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "total cost: ${:.4} shared", self.total_cost_usd);
+            }
+        }
+        let _ = writeln!(out, "makespan: {:.1} virtual s", self.makespan_s);
+        out
+    }
+
+    /// Exports the run as JSONL: one `query` line per completion in
+    /// dispatch order, one `shed` line per rejection, one `tenant` line
+    /// per tenant, and a final `service` summary line. Only virtual time
+    /// appears, so two same-seed runs export identical bytes.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for c in &self.completions {
+            let line = Json::obj()
+                .field("type", "query")
+                .field("seq", c.seq)
+                .field("tenant", c.tenant.as_str())
+                .field("worker", c.worker as u64)
+                .field("arrival_s", c.arrival_s)
+                .field("start_s", c.start_s)
+                .field("end_s", c.end_s)
+                .field("latency_s", c.latency_s())
+                .field("cost_usd", c.cost_usd)
+                .field("tokens", c.tokens)
+                .field("llm_calls", c.llm_calls)
+                .field("reuse_hits", c.reuse_hits)
+                .field("reuse_misses", c.reuse_misses)
+                .field("answered", c.answered);
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+        for s in &self.sheds {
+            let line = Json::obj()
+                .field("type", "shed")
+                .field("seq", s.seq)
+                .field("tenant", s.tenant.as_str())
+                .field("at_s", s.at_s)
+                .field("reason", s.reason.kind())
+                .field("detail", s.reason.to_string());
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+        for (tenant, report) in &self.tenants {
+            let mut shed = Json::obj();
+            for (kind, n) in &report.shed {
+                shed = shed.field(kind, *n);
+            }
+            let line = Json::obj()
+                .field("type", "tenant")
+                .field("tenant", tenant.as_str())
+                .field("submitted", report.submitted)
+                .field("admitted", report.admitted)
+                .field("completed", report.completed)
+                .field("shed", shed)
+                .field("cost_usd", report.cost_usd)
+                .field("tokens", report.tokens)
+                .field("llm_calls", report.llm_calls)
+                .field("latency", report.latency.to_json())
+                .field("queue_wait", report.queue_wait.to_json());
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+        let mut summary = Json::obj()
+            .field("type", "service")
+            .field("workers", self.workers as u64)
+            .field("served", self.completions.len() as u64)
+            .field("shed", self.sheds.len() as u64)
+            .field("total_cost_usd", self.total_cost_usd)
+            .field("reuse_hits", self.reuse_hits)
+            .field("reuse_misses", self.reuse_misses)
+            .field("first_half_hit_rate", self.first_half_hit_rate())
+            .field("second_half_hit_rate", self.second_half_hit_rate())
+            .field("evictions", self.evictions)
+            .field("makespan_s", self.makespan_s)
+            .field("queue_depth", self.queue_depth.to_json());
+        if let Some(isolated) = self.isolated_cost_usd {
+            summary = summary.field("isolated_cost_usd", isolated);
+        }
+        out.push_str(&summary.render());
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completion(seq: u64, hits: u64, misses: u64) -> Completion {
+        Completion {
+            seq,
+            tenant: "t".into(),
+            worker: 0,
+            arrival_s: 0.0,
+            start_s: 1.0,
+            end_s: 2.0,
+            cost_usd: 0.5,
+            tokens: 100,
+            llm_calls: 1,
+            reuse_hits: hits,
+            reuse_misses: misses,
+            answered: true,
+        }
+    }
+
+    #[test]
+    fn half_split_hit_rates() {
+        let mut report = ServiceReport::default();
+        // First half: all misses. Second half: all hits.
+        report.completions.push(completion(0, 0, 2));
+        report.completions.push(completion(1, 0, 2));
+        report.completions.push(completion(2, 2, 0));
+        report.completions.push(completion(3, 2, 0));
+        assert_eq!(report.first_half_hit_rate(), 0.0);
+        assert_eq!(report.second_half_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn empty_report_renders_and_exports() {
+        let report = ServiceReport::default();
+        assert_eq!(report.first_half_hit_rate(), 0.0);
+        let text = report.render();
+        assert!(text.contains("SERVICE REPORT"));
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.trim_end().ends_with('}'));
+        assert!(jsonl.contains(r#""type":"service""#));
+    }
+
+    #[test]
+    fn jsonl_lines_are_typed() {
+        let mut report = ServiceReport::default();
+        report.completions.push(completion(7, 1, 0));
+        report.sheds.push(Shed {
+            seq: 8,
+            tenant: "t".into(),
+            at_s: 3.0,
+            reason: crate::RejectReason::UnknownTenant,
+        });
+        report.tenants.insert("t".into(), TenantReport::default());
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with(r#"{"type":"query","seq":7"#));
+        assert!(lines[1].starts_with(r#"{"type":"shed","seq":8"#));
+        assert!(lines[2].starts_with(r#"{"type":"tenant""#));
+        assert!(lines[3].starts_with(r#"{"type":"service""#));
+    }
+
+    #[test]
+    fn isolated_baseline_changes_render() {
+        let mut report = ServiceReport::default();
+        report.total_cost_usd = 1.0;
+        assert!(report.render().contains("$1.0000 shared\n"));
+        report.set_isolated_baseline(4.0);
+        let text = report.render();
+        assert!(text.contains("75.0% saved"), "{text}");
+    }
+}

@@ -1,0 +1,576 @@
+//! The query service: one shared [`Runtime`] multiplexed across tenants
+//! by an admission-controlled worker pool.
+//!
+//! # Determinism under real threads
+//!
+//! Queries execute on a pool of real `std::thread::scope` workers, but
+//! the scheduler dispatches **one query at a time** and blocks for its
+//! result before dispatching the next. All mutations of the shared
+//! runtime (clock, usage meter, ContextManager) therefore happen in a
+//! deterministic order regardless of how the host schedules threads.
+//! Concurrency is modeled in *virtual* time instead: a [`Timeline`]
+//! places each query on the earliest-free virtual worker, so queries
+//! overlap in the reported schedule exactly as they would on an
+//! `N`-worker pool. Two runs of the same workload produce byte-identical
+//! reports.
+//!
+//! Virtual-worker index `k` is pinned to real worker thread `k`, so the
+//! physical execution follows the virtual placement.
+
+use crate::queue::AdmissionQueue;
+use crate::report::ServiceReport;
+use crate::request::{Completion, QueryRequest, RejectReason, Shed};
+use crate::tenant::{TenantConfig, TenantLedger};
+use crate::TenantId;
+use aida_core::{Context, Runtime};
+use aida_llm::Timeline;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+
+/// Service tunables.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker-pool size (virtual and real; minimum 1).
+    pub workers: usize,
+    /// Admission-queue bound across all tenants (minimum 1).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config with the given worker-pool size.
+    pub fn with_workers(workers: usize) -> ServeConfig {
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Sets the admission-queue bound.
+    pub fn queue_capacity(mut self, capacity: usize) -> ServeConfig {
+        self.queue_capacity = capacity;
+        self
+    }
+}
+
+/// One query's work order, shipped to a worker thread.
+struct Job {
+    ctx: Context,
+    instruction: String,
+}
+
+/// A multi-tenant query service over one shared [`Runtime`].
+///
+/// All tenants share the runtime's [`ContextManager`], so Contexts
+/// materialized answering one tenant's query can satisfy or narrow
+/// another tenant's — the headline win of serving from a shared runtime
+/// instead of per-tenant isolation.
+///
+/// [`ContextManager`]: aida_core::ContextManager
+pub struct QueryService {
+    runtime: Runtime,
+    config: ServeConfig,
+    contexts: BTreeMap<String, Context>,
+    tenants: TenantLedger,
+}
+
+impl QueryService {
+    /// Creates a service over a runtime.
+    pub fn new(runtime: Runtime, config: ServeConfig) -> QueryService {
+        QueryService {
+            runtime,
+            config,
+            contexts: BTreeMap::new(),
+            tenants: TenantLedger::new(),
+        }
+    }
+
+    /// Registers a named Context that requests may target.
+    pub fn register_context(&mut self, name: impl Into<String>, ctx: Context) {
+        self.contexts.insert(name.into(), ctx);
+    }
+
+    /// Registers a tenant with its weight and quotas. Requests from
+    /// unregistered tenants are shed with [`RejectReason::UnknownTenant`].
+    pub fn register_tenant(&mut self, tenant: impl Into<TenantId>, config: TenantConfig) {
+        self.tenants.register(tenant.into(), config);
+    }
+
+    /// The shared runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// The tenant ledger (configs + attributed spend). Spend accumulates
+    /// across [`QueryService::run`] calls, so quotas span a service's
+    /// whole lifetime.
+    pub fn tenants(&self) -> &TenantLedger {
+        &self.tenants
+    }
+
+    /// Serves a workload to completion and reports what happened.
+    ///
+    /// Requests are replayed open-loop by virtual arrival instant. Each
+    /// is admission-checked (known tenant, known Context, quota, queue
+    /// bound), queued, dispatched under weighted round-robin with
+    /// per-tenant priorities, re-checked (deadline, quota) at dispatch,
+    /// and executed on the worker pool.
+    pub fn run(&mut self, mut requests: Vec<QueryRequest>) -> ServiceReport {
+        requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.seq.cmp(&b.seq)));
+
+        let workers = self.config.workers.max(1);
+        let mut timeline = Timeline::new(workers);
+        let mut queue = AdmissionQueue::new(self.config.queue_capacity);
+        for (tenant, config) in self.tenants.tenants() {
+            queue.set_weight(tenant.clone(), config);
+        }
+
+        let mut report = ServiceReport {
+            workers,
+            ..ServiceReport::default()
+        };
+        for (tenant, _) in self.tenants.tenants() {
+            report.tenants.entry(tenant.clone()).or_default();
+        }
+        for request in &requests {
+            report
+                .tenants
+                .entry(request.tenant.clone())
+                .or_default()
+                .submitted += 1;
+        }
+
+        let (hits_before, misses_before) = self.runtime.reuse_stats();
+        let evictions_before = self.runtime.manager().evictions();
+
+        // Split the borrows: workers share a clone of the runtime (clones
+        // share all state) while the scheduler mutates the ledger.
+        let runtime = self.runtime.clone();
+        let contexts = &self.contexts;
+        let tenants = &mut self.tenants;
+        let trace_gauge = runtime.recorder().is_enabled();
+
+        std::thread::scope(|scope| {
+            let (done_tx, done_rx) = mpsc::channel();
+            let mut job_tx: Vec<mpsc::Sender<Job>> = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (tx, rx) = mpsc::channel::<Job>();
+                job_tx.push(tx);
+                let done = done_tx.clone();
+                let rt = &runtime;
+                scope.spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let outcome = rt.query(&job.ctx).compute(&job.instruction).run();
+                        if done.send(outcome).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(done_tx);
+
+            let sample_depth = |report: &mut ServiceReport, t: f64, depth: usize| {
+                report.queue_depth.set(t, depth as f64);
+                if trace_gauge {
+                    runtime
+                        .recorder()
+                        .gauge_set("serve.queue_depth", t, depth as f64);
+                }
+            };
+            let shed =
+                |report: &mut ServiceReport, seq, tenant: TenantId, at_s, reason: RejectReason| {
+                    *report
+                        .tenants
+                        .entry(tenant.clone())
+                        .or_default()
+                        .shed
+                        .entry(reason.kind())
+                        .or_insert(0) += 1;
+                    report.sheds.push(Shed {
+                        seq,
+                        tenant,
+                        at_s,
+                        reason,
+                    });
+                };
+
+            let mut pending = requests.into_iter().peekable();
+            // The scheduler's virtual cursor: monotone, so admission and
+            // dispatch instants never run backwards.
+            let mut now = 0.0_f64;
+            loop {
+                if queue.is_empty() {
+                    match pending.peek() {
+                        Some(next) => now = now.max(next.arrival_s),
+                        None => break,
+                    }
+                }
+                // With a backlog, the next dispatch happens when a worker
+                // frees up; arrivals up to that instant compete in the
+                // same WRR round (arrivals at exactly the dispatch
+                // instant are admitted before the pop).
+                let dispatch_t = now.max(timeline.next_free());
+                while pending
+                    .peek()
+                    .is_some_and(|next| next.arrival_s <= dispatch_t)
+                {
+                    let request = pending.next().expect("peeked");
+                    let at_s = request.arrival_s;
+                    let tenant = request.tenant.clone();
+                    let seq = request.seq;
+                    let verdict = if !tenants.knows(&tenant) {
+                        Err(RejectReason::UnknownTenant)
+                    } else if !contexts.contains_key(&request.context) {
+                        Err(RejectReason::UnknownContext {
+                            name: request.context.clone(),
+                        })
+                    } else if let Some(reason) = tenants.over_quota(&tenant) {
+                        Err(reason)
+                    } else {
+                        queue.push(request)
+                    };
+                    match verdict {
+                        Ok(()) => {
+                            report.tenants.entry(tenant).or_default().admitted += 1;
+                        }
+                        Err(reason) => shed(&mut report, seq, tenant, at_s, reason),
+                    }
+                    sample_depth(&mut report, at_s, queue.depth());
+                }
+                now = dispatch_t;
+                let Some(request) = queue.pop() else {
+                    continue;
+                };
+                sample_depth(&mut report, dispatch_t, queue.depth());
+
+                // Dispatch-time re-checks: the queue wait may have blown
+                // the deadline, and earlier dispatches may have exhausted
+                // the tenant's quota since admission.
+                if let Some(deadline_s) = request.deadline_s {
+                    let waited_s = dispatch_t - request.arrival_s;
+                    if waited_s > deadline_s {
+                        shed(
+                            &mut report,
+                            request.seq,
+                            request.tenant,
+                            dispatch_t,
+                            RejectReason::DeadlineExpired {
+                                waited_s,
+                                deadline_s,
+                            },
+                        );
+                        continue;
+                    }
+                }
+                if let Some(reason) = tenants.over_quota(&request.tenant) {
+                    shed(&mut report, request.seq, request.tenant, dispatch_t, reason);
+                    continue;
+                }
+
+                let ctx = contexts
+                    .get(&request.context)
+                    .expect("admission checked the context")
+                    .clone();
+                // Worker choice is duration-independent, so peek the
+                // placement, execute to learn the duration, then commit.
+                let placement = timeline.peek(dispatch_t);
+                let clock_before = runtime.clock().now();
+                let meter_before = runtime.meter().snapshot();
+                let (hits0, misses0) = runtime.reuse_stats();
+                job_tx[placement.worker]
+                    .send(Job {
+                        ctx,
+                        instruction: request.instruction.clone(),
+                    })
+                    .expect("worker thread alive");
+                let outcome = done_rx.recv().expect("worker thread returned a result");
+                let duration_s = (runtime.clock().now() - clock_before).max(0.0);
+                let slot = timeline.schedule(dispatch_t, duration_s);
+                debug_assert_eq!(slot.worker, placement.worker);
+
+                let delta = runtime.meter().snapshot().delta_since(&meter_before);
+                let cost_usd = delta.cost(runtime.env().llm.catalog());
+                let tokens = delta.total_tokens();
+                let llm_calls = delta.total_calls();
+                let (hits1, misses1) = runtime.reuse_stats();
+                tenants.charge(&request.tenant, cost_usd, tokens, llm_calls);
+
+                let completion = Completion {
+                    seq: request.seq,
+                    tenant: request.tenant.clone(),
+                    worker: slot.worker,
+                    arrival_s: request.arrival_s,
+                    start_s: slot.start_s,
+                    end_s: slot.end_s,
+                    cost_usd,
+                    tokens,
+                    llm_calls,
+                    reuse_hits: hits1 - hits0,
+                    reuse_misses: misses1 - misses0,
+                    answered: outcome.answer.is_some(),
+                };
+                let tenant_report = report.tenants.entry(request.tenant.clone()).or_default();
+                tenant_report.completed += 1;
+                tenant_report.cost_usd += cost_usd;
+                tenant_report.tokens += tokens;
+                tenant_report.llm_calls += llm_calls;
+                tenant_report.latency.record(completion.latency_s());
+                tenant_report.queue_wait.record(completion.queue_wait_s());
+                report.completions.push(completion);
+            }
+            drop(job_tx);
+        });
+
+        let (hits_after, misses_after) = self.runtime.reuse_stats();
+        report.reuse_hits = hits_after - hits_before;
+        report.reuse_misses = misses_after - misses_before;
+        report.evictions = self.runtime.manager().evictions() - evictions_before;
+        report.makespan_s = timeline.makespan();
+        report.total_cost_usd = report.tenants.values().map(|t| t.cost_usd).sum();
+        report
+    }
+
+    /// What the same submitted workload costs through **isolated**
+    /// per-tenant runtimes (same seed and config, no shared
+    /// ContextManager): the baseline for the shared-runtime comparison.
+    /// Every request executes serially in its tenant's own runtime —
+    /// within-tenant reuse still applies, cross-tenant reuse cannot.
+    pub fn isolated_cost(&self, requests: &[QueryRequest]) -> f64 {
+        let mut by_tenant: BTreeMap<&TenantId, Vec<&QueryRequest>> = BTreeMap::new();
+        for request in requests {
+            by_tenant.entry(&request.tenant).or_default().push(request);
+        }
+        let mut total = 0.0;
+        for (_, mut tenant_requests) in by_tenant {
+            tenant_requests
+                .sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.seq.cmp(&b.seq)));
+            let rt = Runtime::builder()
+                .config(self.runtime.config().clone())
+                .build();
+            for request in tenant_requests {
+                let Some(ctx) = self.contexts.get(&request.context) else {
+                    continue;
+                };
+                let _ = rt.query(ctx).compute(&request.instruction).run();
+            }
+            total += rt.cost();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aida_data::{DataLake, Document};
+
+    fn lake() -> DataLake {
+        DataLake::from_docs([
+            Document::new("report_2001.txt", "identity theft reports in 2001: 86250"),
+            Document::new("report_2002.txt", "identity theft reports in 2002: 161977"),
+        ])
+    }
+
+    fn service(workers: usize, queue_capacity: usize) -> QueryService {
+        let rt = Runtime::builder().seed(7).build();
+        let ctx = Context::builder("lake", lake())
+            .description("FTC identity theft reports by year")
+            .build(&rt);
+        let mut svc = QueryService::new(
+            rt,
+            ServeConfig {
+                workers,
+                queue_capacity,
+            },
+        );
+        svc.register_context("reports", ctx);
+        svc
+    }
+
+    #[test]
+    fn serves_a_tiny_workload_end_to_end() {
+        let mut svc = service(2, 8);
+        svc.register_tenant("acme", TenantConfig::default());
+        svc.register_tenant("bolt", TenantConfig::default());
+        let requests = vec![
+            {
+                let mut r = QueryRequest::new("acme", "reports", "count identity theft in 2001");
+                r.seq = 0;
+                r
+            },
+            {
+                let mut r =
+                    QueryRequest::new("bolt", "reports", "count identity theft in 2002").at(1.0);
+                r.seq = 1;
+                r
+            },
+        ];
+        let report = svc.run(requests);
+        assert_eq!(report.completions.len(), 2);
+        assert!(report.sheds.is_empty());
+        assert!(report.total_cost_usd > 0.0);
+        assert!(report.makespan_s > 0.0);
+        // Both tenants were charged.
+        assert!(svc.tenants().spend(&"acme".into()).usd > 0.0);
+        assert!(svc.tenants().spend(&"bolt".into()).usd > 0.0);
+        // The dashboard renders.
+        assert!(report.render().contains("acme"));
+    }
+
+    #[test]
+    fn unknown_tenant_and_context_are_shed() {
+        let mut svc = service(1, 8);
+        svc.register_tenant("acme", TenantConfig::default());
+        let requests = vec![
+            {
+                let mut r = QueryRequest::new("ghost", "reports", "q");
+                r.seq = 0;
+                r
+            },
+            {
+                let mut r = QueryRequest::new("acme", "nonexistent", "q");
+                r.seq = 1;
+                r
+            },
+        ];
+        let report = svc.run(requests);
+        assert_eq!(report.completions.len(), 0);
+        let kinds: Vec<&str> = report.sheds.iter().map(|s| s.reason.kind()).collect();
+        assert_eq!(kinds, ["unknown_tenant", "unknown_context"]);
+    }
+
+    #[test]
+    fn queue_bound_sheds_burst_overflow() {
+        // One worker, capacity 2, four simultaneous arrivals: all four
+        // are admission-checked before the first dispatch, so two fill
+        // the queue and two are shed with QueueFull.
+        let mut svc = service(1, 2);
+        svc.register_tenant("acme", TenantConfig::default());
+        let requests: Vec<QueryRequest> = (0..4)
+            .map(|i| {
+                let mut r = QueryRequest::new("acme", "reports", format!("count theft in 200{i}"));
+                r.seq = i;
+                r
+            })
+            .collect();
+        let report = svc.run(requests);
+        let full: Vec<&Shed> = report
+            .sheds
+            .iter()
+            .filter(|s| s.reason.kind() == "queue_full")
+            .collect();
+        assert_eq!(full.len(), 2, "{:?}", report.sheds);
+        assert_eq!(report.completions.len() + report.sheds.len(), 4);
+    }
+
+    #[test]
+    fn deadline_expired_at_dispatch() {
+        // One worker; the second request's queue wait exceeds its
+        // deadline because the first occupies the only worker.
+        let mut svc = service(1, 8);
+        svc.register_tenant("acme", TenantConfig::default());
+        let requests = vec![
+            {
+                let mut r = QueryRequest::new("acme", "reports", "count theft in 2001");
+                r.seq = 0;
+                r
+            },
+            {
+                let mut r =
+                    QueryRequest::new("acme", "reports", "count theft in 2002").deadline(0.001);
+                r.seq = 1;
+                r
+            },
+        ];
+        let report = svc.run(requests);
+        assert_eq!(report.completions.len(), 1);
+        assert_eq!(report.sheds.len(), 1);
+        assert_eq!(report.sheds[0].reason.kind(), "deadline_expired");
+    }
+
+    #[test]
+    fn quota_sheds_after_spend_accumulates() {
+        let mut svc = service(1, 8);
+        // A micro-dollar budget: the first query exhausts it, later
+        // requests are shed pre-admission.
+        svc.register_tenant("acme", TenantConfig::default().dollars(1e-6));
+        let requests: Vec<QueryRequest> = (0..3)
+            .map(|i| {
+                let mut r = QueryRequest::new("acme", "reports", format!("count theft in 200{i}"))
+                    .at(1000.0 * i as f64);
+                r.seq = i as u64;
+                r
+            })
+            .collect();
+        let report = svc.run(requests);
+        assert!(!report.completions.is_empty());
+        assert!(
+            report
+                .sheds
+                .iter()
+                .any(|s| s.reason.kind() == "budget_exhausted"),
+            "{:?}",
+            report.sheds
+        );
+    }
+
+    #[test]
+    fn same_seed_runs_are_byte_identical() {
+        let build = || {
+            let mut svc = service(2, 8);
+            svc.register_tenant("acme", TenantConfig::default());
+            svc.register_tenant("bolt", TenantConfig::weighted(2));
+            let requests: Vec<QueryRequest> = (0..4)
+                .map(|i| {
+                    let tenant = if i % 2 == 0 { "acme" } else { "bolt" };
+                    let mut r =
+                        QueryRequest::new(tenant, "reports", format!("count theft in 200{i}"))
+                            .at(i as f64 * 0.5);
+                    r.seq = i as u64;
+                    r
+                })
+                .collect();
+            svc.run(requests)
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn isolated_baseline_costs_at_least_shared() {
+        let mut svc = service(2, 16);
+        svc.register_tenant("acme", TenantConfig::default());
+        svc.register_tenant("bolt", TenantConfig::default());
+        // Both tenants ask the same question: the shared runtime reuses
+        // the materialized Context across tenants, isolation cannot.
+        let requests: Vec<QueryRequest> = (0..4)
+            .map(|i| {
+                let tenant = if i % 2 == 0 { "acme" } else { "bolt" };
+                let mut r =
+                    QueryRequest::new(tenant, "reports", "count identity theft reports in 2001")
+                        .at(i as f64);
+                r.seq = i as u64;
+                r
+            })
+            .collect();
+        let isolated = svc.isolated_cost(&requests);
+        let report = svc.run(requests);
+        assert!(report.total_cost_usd > 0.0);
+        assert!(
+            report.total_cost_usd <= isolated + 1e-9,
+            "shared {} vs isolated {}",
+            report.total_cost_usd,
+            isolated
+        );
+    }
+}

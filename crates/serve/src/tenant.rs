@@ -1,0 +1,199 @@
+//! Per-tenant configuration and accounting.
+
+use crate::request::TenantId;
+use std::collections::BTreeMap;
+
+/// Per-tenant service configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantConfig {
+    /// Weighted-round-robin share (≥ 1): a weight-3 tenant is dispatched
+    /// three times as often as a weight-1 tenant under contention.
+    pub weight: u32,
+    /// Dollar quota: once the tenant's attributed spend reaches this, new
+    /// requests are shed with [`RejectReason::BudgetExhausted`]
+    /// (`None` = unlimited).
+    ///
+    /// [`RejectReason::BudgetExhausted`]: crate::RejectReason::BudgetExhausted
+    pub dollar_quota: Option<f64>,
+    /// Token quota (`None` = unlimited).
+    pub token_quota: Option<u64>,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            weight: 1,
+            dollar_quota: None,
+            token_quota: None,
+        }
+    }
+}
+
+impl TenantConfig {
+    /// A config with the given WRR weight.
+    pub fn weighted(weight: u32) -> TenantConfig {
+        TenantConfig {
+            weight: weight.max(1),
+            ..TenantConfig::default()
+        }
+    }
+
+    /// Sets the dollar quota.
+    pub fn dollars(mut self, quota: f64) -> TenantConfig {
+        self.dollar_quota = Some(quota);
+        self
+    }
+
+    /// Sets the token quota.
+    pub fn tokens(mut self, quota: u64) -> TenantConfig {
+        self.token_quota = Some(quota);
+        self
+    }
+}
+
+/// Spend attributed to one tenant (accumulated from per-query
+/// `UsageSnapshot::delta_since` deltas).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Spend {
+    /// Dollars.
+    pub usd: f64,
+    /// Tokens (input + output).
+    pub tokens: u64,
+    /// Billed LLM calls.
+    pub calls: u64,
+}
+
+impl Spend {
+    /// Accumulates one query's delta.
+    pub fn add(&mut self, usd: f64, tokens: u64, calls: u64) {
+        self.usd += usd;
+        self.tokens += tokens;
+        self.calls += calls;
+    }
+}
+
+/// The service's tenant ledger: configs + attributed spend.
+#[derive(Debug, Clone, Default)]
+pub struct TenantLedger {
+    configs: BTreeMap<TenantId, TenantConfig>,
+    spend: BTreeMap<TenantId, Spend>,
+}
+
+impl TenantLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> TenantLedger {
+        TenantLedger::default()
+    }
+
+    /// Registers (or reconfigures) a tenant.
+    pub fn register(&mut self, tenant: TenantId, config: TenantConfig) {
+        self.configs.insert(tenant, config);
+    }
+
+    /// Whether the tenant is registered.
+    pub fn knows(&self, tenant: &TenantId) -> bool {
+        self.configs.contains_key(tenant)
+    }
+
+    /// The tenant's config (default for unregistered tenants).
+    pub fn config(&self, tenant: &TenantId) -> TenantConfig {
+        self.configs.get(tenant).cloned().unwrap_or_default()
+    }
+
+    /// Registered tenants in id order.
+    pub fn tenants(&self) -> impl Iterator<Item = (&TenantId, &TenantConfig)> {
+        self.configs.iter()
+    }
+
+    /// The tenant's attributed spend so far.
+    pub fn spend(&self, tenant: &TenantId) -> Spend {
+        self.spend.get(tenant).copied().unwrap_or_default()
+    }
+
+    /// Attributes one query's meter delta to a tenant.
+    pub fn charge(&mut self, tenant: &TenantId, usd: f64, tokens: u64, calls: u64) {
+        self.spend
+            .entry(tenant.clone())
+            .or_default()
+            .add(usd, tokens, calls);
+    }
+
+    /// Checks the tenant's quotas against its attributed spend, returning
+    /// the violated quota if any. This is the pre-admission gate: a tenant
+    /// at or over quota has every new request shed before it can consume
+    /// a queue slot or a worker.
+    pub fn over_quota(&self, tenant: &TenantId) -> Option<crate::RejectReason> {
+        let config = self.config(tenant);
+        let spend = self.spend(tenant);
+        if let Some(quota) = config.dollar_quota {
+            if spend.usd >= quota {
+                return Some(crate::RejectReason::BudgetExhausted {
+                    spent_usd: spend.usd,
+                    quota_usd: quota,
+                });
+            }
+        }
+        if let Some(quota) = config.token_quota {
+            if spend.tokens >= quota {
+                return Some(crate::RejectReason::TokensExhausted {
+                    spent_tokens: spend.tokens,
+                    quota_tokens: quota,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotas_gate_on_attributed_spend() {
+        let mut ledger = TenantLedger::new();
+        let acme: TenantId = "acme".into();
+        ledger.register(acme.clone(), TenantConfig::weighted(2).dollars(1.0));
+        assert!(ledger.over_quota(&acme).is_none());
+        ledger.charge(&acme, 0.6, 1000, 2);
+        assert!(ledger.over_quota(&acme).is_none());
+        ledger.charge(&acme, 0.4, 800, 1);
+        match ledger.over_quota(&acme) {
+            Some(crate::RejectReason::BudgetExhausted {
+                spent_usd,
+                quota_usd,
+            }) => {
+                assert!((spent_usd - 1.0).abs() < 1e-12);
+                assert_eq!(quota_usd, 1.0);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert_eq!(ledger.spend(&acme).calls, 3);
+    }
+
+    #[test]
+    fn token_quota_is_independent() {
+        let mut ledger = TenantLedger::new();
+        let t: TenantId = "t".into();
+        ledger.register(t.clone(), TenantConfig::default().tokens(100));
+        ledger.charge(&t, 0.0, 100, 1);
+        assert!(matches!(
+            ledger.over_quota(&t),
+            Some(crate::RejectReason::TokensExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn unregistered_tenants_get_defaults() {
+        let ledger = TenantLedger::new();
+        let ghost: TenantId = "ghost".into();
+        assert!(!ledger.knows(&ghost));
+        assert_eq!(ledger.config(&ghost).weight, 1);
+        assert!(ledger.over_quota(&ghost).is_none());
+    }
+
+    #[test]
+    fn weight_floor_is_one() {
+        assert_eq!(TenantConfig::weighted(0).weight, 1);
+    }
+}

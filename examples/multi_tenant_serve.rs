@@ -1,0 +1,54 @@
+//! Serve three tenants from one shared runtime.
+//!
+//! Two analyst teams and a capped trial account query the same FTC
+//! report lake. The trial account exhausts its dollar quota and gets
+//! typed `budget_exhausted` rejections; the analysts share each other's
+//! materialized Contexts, so repeated questions get cheaper.
+//!
+//! Run with: `cargo run --example multi_tenant_serve`
+
+use aida::prelude::*;
+
+fn main() {
+    let rt = Runtime::builder().seed(7).context_capacity(64).build();
+    let lake = DataLake::from_docs([
+        Document::new("report_2001.txt", "identity theft reports in 2001: 86250"),
+        Document::new("report_2013.txt", "identity theft reports in 2013: 290102"),
+        Document::new("report_2024.txt", "identity theft reports in 2024: 1135291"),
+    ]);
+    let ctx = Context::builder("ftc", lake)
+        .description("FTC identity theft report counts by year")
+        .build(&rt);
+
+    let mut svc = QueryService::new(rt, ServeConfig::with_workers(2));
+    svc.register_context("reports", ctx);
+    svc.register_tenant("analysts-east", TenantConfig::weighted(2));
+    svc.register_tenant("analysts-west", TenantConfig::default());
+    svc.register_tenant("trial", TenantConfig::default().dollars(0.001));
+
+    let questions = [
+        "count identity theft reports in 2001",
+        "count identity theft reports in 2024",
+    ];
+    let loads = [
+        TenantLoad::new("analysts-east", "reports")
+            .instructions(questions)
+            .queries(4)
+            .mean_interarrival(30.0),
+        TenantLoad::new("analysts-west", "reports")
+            .instructions(questions)
+            .queries(4)
+            .mean_interarrival(45.0)
+            .offset(10.0),
+        TenantLoad::new("trial", "reports")
+            .instructions(["count identity theft reports in 2013"])
+            .queries(6)
+            .mean_interarrival(20.0),
+    ];
+
+    let requests = open_loop(7, &loads);
+    let isolated = svc.isolated_cost(&requests);
+    let mut report = svc.run(requests);
+    report.set_isolated_baseline(isolated);
+    println!("{}", report.render());
+}

@@ -17,7 +17,10 @@
 //! The paper's contribution lives in [`core`]: the [`core::Context`]
 //! abstraction, the agentic `search`/`compute` operators, and the
 //! [`core::ContextManager`] that reuses materialized Contexts across
-//! queries like materialized views.
+//! queries like materialized views. The serving layer ([`serve`])
+//! multiplexes many tenants onto one shared runtime with admission
+//! control, per-tenant budgets, and weighted-fair scheduling — so one
+//! tenant's materialized Contexts cheapen every other tenant's queries.
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@ pub use aida_obs as obs;
 pub use aida_optimizer as optimizer;
 pub use aida_script as script;
 pub use aida_semops as semops;
+pub use aida_serve as serve;
 pub use aida_sql as sql;
 pub use aida_synth as synth;
 
@@ -54,4 +58,7 @@ pub mod prelude {
     pub use aida_data::{DataLake, DocKind, Document, Record, Schema, Table, Value};
     pub use aida_llm::{ModelId, UsageMeter};
     pub use aida_semops::Dataset;
+    pub use aida_serve::{
+        open_loop, QueryRequest, QueryService, ServeConfig, TenantConfig, TenantId, TenantLoad,
+    };
 }
