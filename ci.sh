@@ -9,6 +9,26 @@ cargo test -q
 
 # Serving layer: the concurrency stress test wants optimized atomics and
 # real thread pressure, and the soak smoke proves the service binary
-# runs end to end (SERVE_SOAK_SMOKE=1 shrinks the workload).
+# runs end to end (SERVE_SOAK_SMOKE=1 shrinks the workload). The soak
+# itself asserts the shared semantic cache is strictly cheaper than the
+# cache-off baseline and exits nonzero otherwise.
 cargo test -q --release --test serve
-SERVE_SOAK_SMOKE=1 cargo run -q --release -p aida-bench --bin serve_soak >/dev/null
+SERVE_SOAK_SMOKE=1 AIDA_RESULTS_DIR=target/ci-cache-a \
+  cargo run -q --release -p aida-bench --bin serve_soak >/dev/null
+
+# Semantic cache: warm restarts, eviction interplay, and corrupted
+# snapshots (also covered in the debug `cargo test -q` above, but the
+# release run matches how the service actually ships).
+cargo test -q --release --test cache
+
+# Cache determinism: a second seeded soak must produce a byte-identical
+# service trace — memoization may not perturb replay.
+SERVE_SOAK_SMOKE=1 AIDA_RESULTS_DIR=target/ci-cache-b \
+  cargo run -q --release -p aida-bench --bin serve_soak >/dev/null
+cmp target/ci-cache-a/traces/serve_soak.jsonl target/ci-cache-b/traces/serve_soak.jsonl
+
+# Cold-vs-warm through a disk spill: cache_bench writes the snapshot,
+# reloads it in a fresh runtime, and asserts identical answers at lower
+# cost (exits nonzero otherwise).
+AIDA_RESULTS_DIR=target/ci-cache-a \
+  cargo run -q --release -p aida-bench --bin cache_bench >/dev/null

@@ -7,24 +7,34 @@
 //! demonstrate typed load-shedding while the other tenants keep their
 //! latency.
 //!
+//! The soak now runs twice on the same seed and workload: once with the
+//! semantic call cache disabled (the baseline) and once with a shared
+//! cache across all tenants. Repeated instructions across tenants replay
+//! out of the cache at zero marginal spend, so the cache-on run must be
+//! strictly cheaper; the full (non-smoke) soak asserts at least a 20%
+//! dollar reduction. Numbers land in `results/BENCH_semcache.json`.
+//!
 //! The run is deterministic on the virtual clock: same seed → identical
 //! `ServiceReport`, byte-identical `results/traces/serve_soak.jsonl`.
 //! `SERVE_SOAK_SMOKE=1` shrinks the workload for CI.
 
+use aida_bench::SemcacheBench;
 use aida_core::{Context, Runtime};
-use aida_serve::{open_loop, QueryService, ServeConfig, TenantConfig, TenantLoad};
+use aida_obs::Summary;
+use aida_serve::{
+    open_loop, QueryRequest, QueryService, ServeConfig, ServiceReport, TenantConfig, TenantLoad,
+};
 use aida_synth::{enron, legal};
 
-fn main() {
-    let smoke = std::env::var("SERVE_SOAK_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
-    let seed = 1;
-    let queries_per_tenant = if smoke { 3 } else { 25 };
-
-    let rt = Runtime::builder()
+fn build_service(seed: u64, cache: bool) -> QueryService {
+    let mut builder = Runtime::builder()
         .seed(seed)
         .context_capacity(256)
-        .tracing(true)
-        .build();
+        .tracing(true);
+    if cache {
+        builder = builder.semantic_cache(4096);
+    }
+    let rt = builder.build();
     let legal_workload = legal::generate(seed);
     let enron_workload = enron::generate(seed);
     let legal_ctx = Context::builder("legal", legal_workload.lake.clone())
@@ -51,6 +61,21 @@ fn main() {
     // The quota guinea pig: enough budget for a handful of queries, then
     // every further request is shed with `budget_exhausted`.
     svc.register_tenant("dara", TenantConfig::default().dollars(0.05));
+    svc
+}
+
+fn latency_summary(report: &ServiceReport) -> Summary {
+    let mut summary = Summary::default();
+    for c in &report.completions {
+        summary.record(c.latency_s());
+    }
+    summary
+}
+
+fn main() {
+    let smoke = std::env::var("SERVE_SOAK_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let seed = 1;
+    let queries_per_tenant = if smoke { 3 } else { 25 };
 
     let legal_mix = [
         "find the number of identity theft reports in 2001",
@@ -83,8 +108,14 @@ fn main() {
             .mean_interarrival(120.0)
             .offset(15.0),
     ];
+    let requests: Vec<QueryRequest> = open_loop(seed, &loads);
 
-    let requests = open_loop(seed, &loads);
+    // Baseline: the same workload through the same service, cache off.
+    let mut baseline_svc = build_service(seed, false);
+    let baseline = baseline_svc.run(requests.clone());
+
+    // The headline run: shared semantic cache across all four tenants.
+    let mut svc = build_service(seed, true);
     let isolated = svc.isolated_cost(&requests);
     let mut report = svc.run(requests);
     report.set_isolated_baseline(isolated);
@@ -92,4 +123,35 @@ fn main() {
     println!("{}", report.render());
     aida_bench::write_trace_jsonl("serve_soak", &report.to_jsonl());
     aida_bench::emit_text("serve_soak", &report.render());
+
+    let cold_latency = latency_summary(&baseline);
+    let warm_latency = latency_summary(&report);
+    let bench = SemcacheBench {
+        source: "serve_soak",
+        cold_usd: baseline.total_cost_usd,
+        warm_usd: report.total_cost_usd,
+        hit_rate: report.cache_hit_rate(),
+        p50_cold_s: cold_latency.p50(),
+        p95_cold_s: cold_latency.p95(),
+        p50_warm_s: warm_latency.p50(),
+        p95_warm_s: warm_latency.p95(),
+    };
+    aida_bench::emit_semcache_bench(&bench);
+
+    // The cache must pay for itself: strictly cheaper on every soak, and
+    // at least 20% cheaper on the full workload.
+    if report.total_cost_usd >= baseline.total_cost_usd {
+        eprintln!(
+            "FAIL: cache-on soak cost ${:.4} >= cache-off ${:.4}",
+            report.total_cost_usd, baseline.total_cost_usd
+        );
+        std::process::exit(1);
+    }
+    if !smoke && bench.reduction_pct() < 20.0 {
+        eprintln!(
+            "FAIL: cache-on soak saved only {:.1}% (< 20%)",
+            bench.reduction_pct()
+        );
+        std::process::exit(1);
+    }
 }

@@ -54,6 +54,72 @@ pub fn emit_text(name: &str, text: &str) {
     }
 }
 
+/// Cold-vs-warm numbers from one semantic-cache benchmark run.
+#[derive(Debug, Clone)]
+pub struct SemcacheBench {
+    /// Which binary produced the numbers (`cache_bench`, `serve_soak`).
+    pub source: &'static str,
+    /// Dollars with a cold (or absent) cache.
+    pub cold_usd: f64,
+    /// Dollars with a warm (or enabled) cache, same seed and workload.
+    pub warm_usd: f64,
+    /// Cache hit rate observed during the warm run (hits + coalesced
+    /// over lookups).
+    pub hit_rate: f64,
+    /// Median query latency, cold run (virtual seconds).
+    pub p50_cold_s: f64,
+    /// 95th-percentile query latency, cold run.
+    pub p95_cold_s: f64,
+    /// Median query latency, warm run.
+    pub p50_warm_s: f64,
+    /// 95th-percentile query latency, warm run.
+    pub p95_warm_s: f64,
+}
+
+impl SemcacheBench {
+    /// Percentage of cold-run dollars the warm run saved.
+    pub fn reduction_pct(&self) -> f64 {
+        if self.cold_usd > 0.0 {
+            100.0 * (1.0 - self.warm_usd / self.cold_usd)
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the machine-readable JSON payload.
+    pub fn to_json(&self) -> aida_obs::Json {
+        aida_obs::Json::obj()
+            .field("source", self.source)
+            .field("cold_usd", self.cold_usd)
+            .field("warm_usd", self.warm_usd)
+            .field("reduction_pct", self.reduction_pct())
+            .field("hit_rate", self.hit_rate)
+            .field("p50_cold_s", self.p50_cold_s)
+            .field("p95_cold_s", self.p95_cold_s)
+            .field("p50_warm_s", self.p50_warm_s)
+            .field("p95_warm_s", self.p95_warm_s)
+    }
+}
+
+/// Writes `BENCH_semcache.json` under [`results_dir`] and prints the
+/// headline numbers. Both `cache_bench` and `serve_soak` emit the same
+/// schema; the last writer wins.
+pub fn emit_semcache_bench(bench: &SemcacheBench) {
+    println!(
+        "semantic cache [{}]: cold ${:.4} -> warm ${:.4} ({:.1}% saved, hit rate {:.1}%)",
+        bench.source,
+        bench.cold_usd,
+        bench.warm_usd,
+        bench.reduction_pct(),
+        100.0 * bench.hit_rate,
+    );
+    let path = results_dir().join("BENCH_semcache.json");
+    match std::fs::write(&path, format!("{}\n", bench.to_json().render())) {
+        Ok(()) => println!("(saved to {})", path.display()),
+        Err(err) => eprintln!("warning: could not save {}: {err}", path.display()),
+    }
+}
+
 /// Directory span traces are saved into (`results/traces`, created on
 /// demand).
 pub fn traces_dir() -> PathBuf {

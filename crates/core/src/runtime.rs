@@ -40,6 +40,19 @@ pub struct RuntimeConfig {
     /// bounded; over capacity the cheapest-to-recreate entry is evicted
     /// (ties broken by least-recent use).
     pub context_capacity: usize,
+    /// Entry capacity of the semantic call cache (0 = disabled). When
+    /// enabled, every simulated LLM call is memoized by content key:
+    /// repeats cost zero dollars/tokens and a small hit latency.
+    pub semantic_cache: usize,
+    /// Byte budget for the semantic cache's stored responses (0 =
+    /// unbounded; meaningful only when the cache is enabled).
+    pub cache_max_bytes: usize,
+    /// Virtual latency of a semantic-cache hit, in seconds.
+    pub cache_hit_latency_s: f64,
+    /// Snapshot path for the semantic cache: loaded (best-effort) at
+    /// build so a restart keeps a warm cache, written on
+    /// [`Runtime::save_cache`]. A corrupt snapshot starts cold.
+    pub cache_path: Option<std::path::PathBuf>,
 }
 
 impl Default for RuntimeConfig {
@@ -57,6 +70,10 @@ impl Default for RuntimeConfig {
             fault_rate: 0.0,
             tracing: false,
             context_capacity: 0,
+            semantic_cache: 0,
+            cache_max_bytes: 0,
+            cache_hit_latency_s: 0.02,
+            cache_path: None,
         }
     }
 }
@@ -113,6 +130,30 @@ impl Runtime {
     /// Context-reuse `(hits, misses)` observed so far.
     pub fn reuse_stats(&self) -> (u64, u64) {
         self.manager.reuse_stats()
+    }
+
+    /// The semantic call cache, when enabled via
+    /// [`RuntimeBuilder::semantic_cache`].
+    pub fn semantic_cache(&self) -> Option<&aida_llm::SemanticCache> {
+        self.env.llm.cache()
+    }
+
+    /// Counter snapshot of the semantic cache (`None` when disabled).
+    pub fn cache_stats(&self) -> Option<aida_llm::CacheStats> {
+        self.env.llm.cache().map(|c| c.stats())
+    }
+
+    /// Spills the semantic cache to the configured `cache_path`.
+    /// Returns whether a snapshot was written (false when the cache or
+    /// the path is not configured).
+    pub fn save_cache(&self) -> std::io::Result<bool> {
+        match (self.env.llm.cache(), &self.config.cache_path) {
+            (Some(cache), Some(path)) => {
+                cache.save(path)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
     }
 
     /// Registers a materialized table for SQL reuse.
@@ -285,6 +326,33 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables the semantic call cache with an entry capacity (0
+    /// disables). Repeated LLM calls with identical content keys are
+    /// served from the store at zero dollars/tokens.
+    pub fn semantic_cache(mut self, capacity: usize) -> Self {
+        self.config.semantic_cache = capacity;
+        self
+    }
+
+    /// Byte budget for the semantic cache (0 = unbounded).
+    pub fn cache_max_bytes(mut self, max_bytes: usize) -> Self {
+        self.config.cache_max_bytes = max_bytes;
+        self
+    }
+
+    /// Virtual latency charged per semantic-cache hit.
+    pub fn cache_hit_latency(mut self, latency_s: f64) -> Self {
+        self.config.cache_hit_latency_s = latency_s.max(0.0);
+        self
+    }
+
+    /// Snapshot path for the semantic cache (loaded best-effort at
+    /// build; written by [`Runtime::save_cache`]).
+    pub fn cache_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.config.cache_path = Some(path.into());
+        self
+    }
+
     /// Sets the full configuration at once.
     pub fn config(mut self, config: RuntimeConfig) -> Self {
         self.config = config;
@@ -293,7 +361,21 @@ impl RuntimeBuilder {
 
     /// Builds the runtime.
     pub fn build(self) -> Runtime {
-        let llm = SimLlm::new(self.config.seed).with_fault_rate(self.config.fault_rate);
+        let mut llm = SimLlm::new(self.config.seed).with_fault_rate(self.config.fault_rate);
+        if self.config.semantic_cache > 0 {
+            let cache = aida_llm::SemanticCache::new(aida_llm::cache::CacheConfig {
+                capacity: self.config.semantic_cache,
+                max_bytes: self.config.cache_max_bytes,
+                hit_latency_s: self.config.cache_hit_latency_s,
+            });
+            if let Some(path) = &self.config.cache_path {
+                // Best-effort warm start: a missing or corrupt snapshot
+                // (or one from a different seed — keys include the seed)
+                // simply starts cold.
+                let _ = cache.load(path);
+            }
+            llm = llm.with_cache(cache);
+        }
         let mut env = ExecEnv::new(llm);
         if self.config.tracing {
             env = env.with_recorder(Recorder::new());
@@ -379,6 +461,33 @@ mod tests {
         let rt = Runtime::builder().context_capacity(3).build();
         assert_eq!(rt.manager().capacity(), 3);
         assert_eq!(Runtime::builder().build().manager().capacity(), 0);
+    }
+
+    #[test]
+    fn semantic_cache_flows_to_llm_and_spills() {
+        let dir = std::env::temp_dir().join("aida-runtime-cache-test");
+        let path = dir.join("sem.cache");
+        let rt = Runtime::builder()
+            .seed(5)
+            .semantic_cache(64)
+            .cache_path(path.clone())
+            .build();
+        assert!(rt.semantic_cache().is_some());
+        assert_eq!(rt.cache_stats().unwrap().entries, 0);
+        assert!(rt.save_cache().unwrap(), "cache + path configured");
+        assert!(path.exists());
+        // A rebuilt runtime loads the snapshot without error; default
+        // builds keep the cache off entirely.
+        let rt2 = Runtime::builder()
+            .seed(5)
+            .semantic_cache(64)
+            .cache_path(path.clone())
+            .build();
+        assert!(rt2.semantic_cache().is_some());
+        let rt3 = Runtime::builder().build();
+        assert!(rt3.cache_stats().is_none());
+        assert!(!rt3.save_cache().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! ([`clock::SimClock`]) that execution engines advance to report
 //! simulated wall-time.
 
+pub mod cache;
 pub mod clock;
 pub mod embed;
 pub mod models;
@@ -30,6 +31,7 @@ pub mod sim;
 pub mod tokens;
 pub mod usage;
 
+pub use cache::{CacheConfig, CacheKey, CacheStats, SemanticCache, SnapshotError};
 pub use clock::{ScheduledSlot, SimClock, Timeline};
 pub use embed::Embedder;
 pub use models::{ModelCatalog, ModelId, ModelSpec};

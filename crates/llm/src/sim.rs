@@ -7,6 +7,7 @@
 //! tier/difficulty noise channel, and (3) bills tokens to the shared
 //! [`UsageMeter`] and reports the call's simulated latency.
 
+use crate::cache::{self, CacheKey, Lookup, SemanticCache};
 use crate::models::{ModelCatalog, ModelId};
 use crate::noise;
 use crate::oracle::{Oracle, OracleAnswer, Subject};
@@ -91,6 +92,7 @@ pub struct SimLlm {
     seed: u64,
     fault_rate: f64,
     recorder: Recorder,
+    cache: Option<SemanticCache>,
 }
 
 impl SimLlm {
@@ -103,6 +105,7 @@ impl SimLlm {
             seed,
             fault_rate: 0.0,
             recorder: Recorder::disabled(),
+            cache: None,
         }
     }
 
@@ -164,8 +167,127 @@ impl SimLlm {
         self.seed = seed;
     }
 
-    /// Executes a task with the given model, billing the meter.
+    /// Attaches a semantic call cache: repeated calls with an identical
+    /// content key are served from the store at zero dollars/tokens and
+    /// the cache's configured hit latency. Off by default.
+    pub fn with_cache(mut self, cache: SemanticCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached semantic cache, if any.
+    pub fn cache(&self) -> Option<&SemanticCache> {
+        self.cache.as_ref()
+    }
+
+    /// The content-addressed cache key for a call: every determinant of
+    /// the simulated response (seed, model, task kind and fields, and
+    /// the subject's name, text, and oracle labels) is hashed, so equal
+    /// keys imply the simulator would answer identically.
+    pub fn content_key(&self, model: ModelId, task: &LlmTask<'_>) -> CacheKey {
+        let mut parts: Vec<u64> = vec![self.seed, noise::hash_str(model.name())];
+        let push_subject = |parts: &mut Vec<u64>, subject: &Subject<'_>| {
+            parts.push(noise::hash_str(&subject.name));
+            parts.push(noise::hash_str(&subject.text));
+            if let Some(labels) = subject.labels {
+                for (name, value) in labels {
+                    parts.push(noise::hash_str(name));
+                    parts.push(cache::hash_value(value));
+                }
+            }
+        };
+        match task {
+            LlmTask::Filter {
+                instruction,
+                subject,
+            } => {
+                parts.push(1);
+                parts.push(noise::hash_str(instruction));
+                push_subject(&mut parts, subject);
+            }
+            LlmTask::Extract {
+                instruction,
+                field,
+                field_desc,
+                subject,
+            } => {
+                parts.push(2);
+                parts.push(noise::hash_str(instruction));
+                parts.push(noise::hash_str(field));
+                parts.push(noise::hash_str(field_desc));
+                push_subject(&mut parts, subject);
+            }
+            LlmTask::Map {
+                instruction,
+                subject,
+                target_tokens,
+            } => {
+                parts.push(3);
+                parts.push(noise::hash_str(instruction));
+                parts.push(*target_tokens as u64);
+                push_subject(&mut parts, subject);
+            }
+            LlmTask::Choose {
+                question,
+                options,
+                correct,
+            } => {
+                parts.push(4);
+                parts.push(noise::hash_str(question));
+                parts.push(options.len() as u64);
+                parts.extend(options.iter().map(|o| noise::hash_str(o)));
+                parts.push(correct.map(|i| i as u64 + 1).unwrap_or(0));
+            }
+            LlmTask::Freeform { prompt, response } => {
+                parts.push(5);
+                parts.push(noise::hash_str(prompt));
+                parts.push(noise::hash_str(response));
+            }
+        }
+        CacheKey::from_parts(&parts)
+    }
+
+    /// Executes a task with the given model, billing the meter. With a
+    /// cache attached, an exact content-key hit skips billing entirely
+    /// and returns the stored response at the cache's hit latency.
     pub fn invoke(&self, model: ModelId, task: &LlmTask<'_>) -> LlmResponse {
+        let Some(cache) = &self.cache else {
+            return self.dispatch(model, task);
+        };
+        match cache.begin(self.content_key(model, task)) {
+            Lookup::Hit(mut resp) => {
+                resp.latency_s = cache.hit_latency_s();
+                if self.recorder.is_enabled() {
+                    self.recorder.counter_add("cache.hit", 1);
+                }
+                resp
+            }
+            // A coalesced waiter shares the in-flight call: nothing is
+            // billed, but it waits out the call's full latency.
+            Lookup::Coalesced(resp) => {
+                if self.recorder.is_enabled() {
+                    self.recorder.counter_add("cache.coalesced", 1);
+                }
+                resp
+            }
+            Lookup::Compute(pending) => {
+                let resp = self.dispatch(model, task);
+                cache.admit(pending, resp.clone());
+                if self.recorder.is_enabled() {
+                    self.recorder.counter_add("cache.miss", 1);
+                    let stats = cache.stats();
+                    self.recorder.gauge_set(
+                        "cache.bytes",
+                        stats.lookups() as f64,
+                        stats.bytes as f64,
+                    );
+                }
+                resp
+            }
+        }
+    }
+
+    fn dispatch(&self, model: ModelId, task: &LlmTask<'_>) -> LlmResponse {
         match task {
             LlmTask::Filter {
                 instruction,
@@ -1058,6 +1180,90 @@ mod tests {
             );
         }
         assert_eq!(llm.meter().snapshot().usage(ModelId::Mini).calls, 3);
+    }
+
+    #[test]
+    fn cached_repeat_is_free_and_identical() {
+        use crate::cache::{CacheConfig, SemanticCache};
+        let llm = SimLlm::new(42).with_cache(SemanticCache::new(CacheConfig::default()));
+        let doc = Document::new("a.txt", "identity theft reports 2024");
+        let task = LlmTask::Filter {
+            instruction: "mentions identity theft",
+            subject: Subject::doc(&doc),
+        };
+        let cold = llm.invoke(ModelId::Nano, &task);
+        let before = llm.meter().snapshot();
+        let warm = llm.invoke(ModelId::Nano, &task);
+        let delta = llm.meter().snapshot().since(&before);
+        assert_eq!(delta.total_calls(), 0, "a hit bills nothing");
+        assert_eq!(warm.value, cold.value);
+        assert_eq!(warm.text, cold.text);
+        assert!(warm.latency_s < cold.latency_s);
+        let stats = llm.cache().unwrap().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // An uncached simulator answers identically (cache transparency).
+        let plain = SimLlm::new(42).invoke(ModelId::Nano, &task);
+        assert_eq!(plain.value, warm.value);
+    }
+
+    #[test]
+    fn content_key_separates_models_seeds_and_tasks() {
+        use crate::cache::{CacheConfig, SemanticCache};
+        let llm = SimLlm::new(1).with_cache(SemanticCache::new(CacheConfig::default()));
+        let doc = Document::new("a.txt", "body text");
+        let filter = LlmTask::Filter {
+            instruction: "text",
+            subject: Subject::doc(&doc),
+        };
+        let map = LlmTask::Map {
+            instruction: "text",
+            subject: Subject::doc(&doc),
+            target_tokens: 20,
+        };
+        let k1 = llm.content_key(ModelId::Nano, &filter);
+        assert_ne!(k1, llm.content_key(ModelId::Mini, &filter), "model");
+        assert_ne!(k1, llm.content_key(ModelId::Nano, &map), "task kind");
+        assert_ne!(
+            k1,
+            SimLlm::new(2).content_key(ModelId::Nano, &filter),
+            "seed"
+        );
+        let relabeled = Document::new("a.txt", "body text").with_label("gt_relevant", true);
+        let relabeled_task = LlmTask::Filter {
+            instruction: "text",
+            subject: Subject::doc(&relabeled),
+        };
+        assert_ne!(
+            k1,
+            llm.content_key(ModelId::Nano, &relabeled_task),
+            "labels"
+        );
+        assert_eq!(k1, llm.content_key(ModelId::Nano, &filter), "stable");
+    }
+
+    #[test]
+    fn cache_counters_flow_to_recorder() {
+        use crate::cache::{CacheConfig, SemanticCache};
+        use aida_obs::{Recorder, SpanKind};
+        let recorder = Recorder::new();
+        let llm = SimLlm::new(3)
+            .with_cache(SemanticCache::new(CacheConfig::default()))
+            .with_recorder(recorder.clone());
+        let span = recorder.span(SpanKind::Other, "batch", 0.0);
+        let doc = Document::new("a.txt", "text body");
+        let task = LlmTask::Filter {
+            instruction: "text",
+            subject: Subject::doc(&doc),
+        };
+        llm.invoke(ModelId::Mini, &task);
+        llm.invoke(ModelId::Mini, &task);
+        llm.invoke(ModelId::Mini, &task);
+        span.finish(1.0);
+        let trace = recorder.trace();
+        assert_eq!(trace.counters["cache.miss"], 1);
+        assert_eq!(trace.counters["cache.hit"], 2);
+        assert_eq!(trace.counters["llm.calls"], 1, "hits are not billed");
+        assert!(trace.gauges["cache.bytes"].last() > 0.0);
     }
 
     #[test]

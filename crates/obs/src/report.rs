@@ -90,6 +90,10 @@ impl Trace {
             let root_duration = self.spans[root].duration_s();
             self.render_node(&mut out, root, "", true, &root_totals, root_duration);
         }
+        if let Some(line) = self.cache_summary() {
+            out.push_str(&line);
+            out.push('\n');
+        }
         if !self.counters.is_empty() {
             out.push_str("counters:\n");
             for (name, value) in &self.counters {
@@ -114,6 +118,28 @@ impl Trace {
             );
         }
         out
+    }
+
+    /// One-line semantic-cache summary from the `cache.*` counters and
+    /// the `cache.bytes` gauge, or `None` when no cache activity was
+    /// recorded.
+    pub fn cache_summary(&self) -> Option<String> {
+        let hits = self.counters.get("cache.hit").copied().unwrap_or(0);
+        let coalesced = self.counters.get("cache.coalesced").copied().unwrap_or(0);
+        let misses = self.counters.get("cache.miss").copied().unwrap_or(0);
+        let lookups = hits + coalesced + misses;
+        if lookups == 0 {
+            return None;
+        }
+        let rate = 100.0 * (hits + coalesced) as f64 / lookups as f64;
+        let bytes = self
+            .gauges
+            .get("cache.bytes")
+            .map(|g| format!(", {:.0} bytes resident", g.last()))
+            .unwrap_or_default();
+        Some(format!(
+            "semantic cache: {hits} hits / {coalesced} coalesced / {misses} misses (hit rate {rate:.1}%{bytes})"
+        ))
     }
 
     fn render_node(
@@ -315,6 +341,25 @@ mod tests {
         let off = Recorder::disabled();
         off.gauge_set("x", 0.0, 1.0);
         assert!(off.trace().gauges.is_empty());
+    }
+
+    #[test]
+    fn cache_counters_render_a_summary_line() {
+        let r = sample();
+        // No cache activity: no summary.
+        assert!(r.trace().cache_summary().is_none());
+        assert!(!r.explain_analyze().contains("semantic cache:"));
+        r.counter_add("cache.hit", 6);
+        r.counter_add("cache.coalesced", 2);
+        r.counter_add("cache.miss", 8);
+        r.gauge_set("cache.bytes", 16.0, 2048.0);
+        let text = r.explain_analyze();
+        assert!(
+            text.contains(
+                "semantic cache: 6 hits / 2 coalesced / 8 misses (hit rate 50.0%, 2048 bytes resident)"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

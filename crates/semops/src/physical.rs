@@ -9,6 +9,10 @@
 use crate::plan::{LogicalOp, LogicalPlan};
 use aida_llm::ModelId;
 
+/// Default bound on how many input records a semantic aggregate renders
+/// into its prompt (see [`PhysicalStep::agg_input_cap`]).
+pub const DEFAULT_AGG_INPUT_CAP: usize = 200;
+
 /// One step of a physical plan.
 #[derive(Debug, Clone)]
 pub struct PhysicalStep {
@@ -16,6 +20,11 @@ pub struct PhysicalStep {
     pub op: LogicalOp,
     /// Model bound to the operator (meaningful only for semantic ops).
     pub model: ModelId,
+    /// For `SemAgg`: how many input records are rendered into the
+    /// aggregation prompt. Inputs past the cap are dropped — counted in
+    /// the `agg.truncated_records` counter and surfaced as an execution
+    /// warning, never silently.
+    pub agg_input_cap: usize,
 }
 
 /// An executable physical plan.
@@ -37,6 +46,7 @@ impl PhysicalPlan {
                 .map(|op| PhysicalStep {
                     op: op.clone(),
                     model,
+                    agg_input_cap: DEFAULT_AGG_INPUT_CAP,
                 })
                 .collect(),
             parallelism: parallelism.max(1),
@@ -60,10 +70,20 @@ impl PhysicalPlan {
                 .map(|(op, model)| PhysicalStep {
                     op: op.clone(),
                     model: *model,
+                    agg_input_cap: DEFAULT_AGG_INPUT_CAP,
                 })
                 .collect(),
             parallelism: parallelism.max(1),
         }
+    }
+
+    /// Sets the aggregate input cap on every step (meaningful for
+    /// `SemAgg` steps; see [`PhysicalStep::agg_input_cap`]).
+    pub fn with_agg_input_cap(mut self, cap: usize) -> PhysicalPlan {
+        for step in &mut self.steps {
+            step.agg_input_cap = cap;
+        }
+        self
     }
 
     /// Models in step order.

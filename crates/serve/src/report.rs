@@ -25,6 +25,12 @@ pub struct TenantReport {
     pub tokens: u64,
     /// Billed LLM calls attributed to the tenant.
     pub llm_calls: u64,
+    /// Semantic-cache hits attributed to the tenant.
+    pub cache_hits: u64,
+    /// Semantic-cache coalesced waiters attributed to the tenant.
+    pub cache_coalesced: u64,
+    /// Semantic-cache misses attributed to the tenant.
+    pub cache_misses: u64,
     /// End-to-end latency summary (virtual seconds).
     pub latency: Summary,
     /// Queue-wait summary (virtual seconds).
@@ -63,6 +69,15 @@ pub struct ServiceReport {
     pub reuse_misses: u64,
     /// Contexts evicted by the ContextManager capacity bound.
     pub evictions: u64,
+    /// Semantic-cache hits across the run (zero-spend LLM calls).
+    pub cache_hits: u64,
+    /// Semantic-cache coalesced waiters across the run.
+    pub cache_coalesced: u64,
+    /// Semantic-cache misses across the run.
+    pub cache_misses: u64,
+    /// Resident semantic-cache bytes when the run finished (`None` when
+    /// the runtime has no cache configured).
+    pub cache_bytes: Option<u64>,
     /// The same workload's cost through isolated per-tenant runtimes
     /// (filled by [`ServiceReport::set_isolated_baseline`]; `None` when
     /// the baseline wasn't run).
@@ -86,6 +101,18 @@ impl ServiceReport {
     /// half. Cross-tenant reuse shows up as this exceeding the first.
     pub fn second_half_hit_rate(&self) -> f64 {
         Self::hit_rate(&self.completions[self.completions.len() / 2..])
+    }
+
+    /// Semantic-cache hit rate across the run: hits + coalesced waiters
+    /// over all cache lookups (both avoid a billed LLM call).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let saved = self.cache_hits + self.cache_coalesced;
+        let lookups = saved + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            saved as f64 / lookups as f64
+        }
     }
 
     fn hit_rate(completions: &[Completion]) -> f64 {
@@ -167,6 +194,19 @@ impl ServiceReport {
             100.0 * self.second_half_hit_rate(),
             self.evictions,
         );
+        if self.cache_bytes.is_some()
+            || self.cache_hits + self.cache_coalesced + self.cache_misses > 0
+        {
+            let _ = writeln!(
+                out,
+                "semantic cache: {} hits / {} coalesced / {} misses  (hit rate {:.1}%, {} bytes resident)",
+                self.cache_hits,
+                self.cache_coalesced,
+                self.cache_misses,
+                100.0 * self.cache_hit_rate(),
+                self.cache_bytes.unwrap_or(0),
+            );
+        }
         match self.isolated_cost_usd {
             Some(isolated) if isolated > 0.0 => {
                 let _ = writeln!(
@@ -206,6 +246,9 @@ impl ServiceReport {
                 .field("llm_calls", c.llm_calls)
                 .field("reuse_hits", c.reuse_hits)
                 .field("reuse_misses", c.reuse_misses)
+                .field("cache_hits", c.cache_hits)
+                .field("cache_coalesced", c.cache_coalesced)
+                .field("cache_misses", c.cache_misses)
                 .field("answered", c.answered);
             out.push_str(&line.render());
             out.push('\n');
@@ -236,6 +279,9 @@ impl ServiceReport {
                 .field("cost_usd", report.cost_usd)
                 .field("tokens", report.tokens)
                 .field("llm_calls", report.llm_calls)
+                .field("cache_hits", report.cache_hits)
+                .field("cache_coalesced", report.cache_coalesced)
+                .field("cache_misses", report.cache_misses)
                 .field("latency", report.latency.to_json())
                 .field("queue_wait", report.queue_wait.to_json());
             out.push_str(&line.render());
@@ -252,8 +298,15 @@ impl ServiceReport {
             .field("first_half_hit_rate", self.first_half_hit_rate())
             .field("second_half_hit_rate", self.second_half_hit_rate())
             .field("evictions", self.evictions)
+            .field("cache_hits", self.cache_hits)
+            .field("cache_coalesced", self.cache_coalesced)
+            .field("cache_misses", self.cache_misses)
+            .field("cache_hit_rate", self.cache_hit_rate())
             .field("makespan_s", self.makespan_s)
             .field("queue_depth", self.queue_depth.to_json());
+        if let Some(bytes) = self.cache_bytes {
+            summary = summary.field("cache_bytes", bytes);
+        }
         if let Some(isolated) = self.isolated_cost_usd {
             summary = summary.field("isolated_cost_usd", isolated);
         }
@@ -280,6 +333,9 @@ mod tests {
             llm_calls: 1,
             reuse_hits: hits,
             reuse_misses: misses,
+            cache_hits: 0,
+            cache_coalesced: 0,
+            cache_misses: 0,
             answered: true,
         }
     }
@@ -325,6 +381,25 @@ mod tests {
         assert!(lines[1].starts_with(r#"{"type":"shed","seq":8"#));
         assert!(lines[2].starts_with(r#"{"type":"tenant""#));
         assert!(lines[3].starts_with(r#"{"type":"service""#));
+    }
+
+    #[test]
+    fn cache_line_renders_only_when_cache_was_active() {
+        let mut report = ServiceReport::default();
+        assert!(!report.render().contains("semantic cache"));
+        report.cache_hits = 6;
+        report.cache_coalesced = 2;
+        report.cache_misses = 8;
+        report.cache_bytes = Some(1024);
+        let text = report.render();
+        assert!(
+            text.contains("semantic cache: 6 hits / 2 coalesced / 8 misses"),
+            "{text}"
+        );
+        assert!(text.contains("hit rate 50.0%"), "{text}");
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains(r#""cache_hits":6"#));
+        assert!(jsonl.contains(r#""cache_bytes":1024"#));
     }
 
     #[test]

@@ -251,6 +251,15 @@ pub struct Completion {
     pub reuse_hits: u64,
     /// Context-reuse misses observed during this query.
     pub reuse_misses: u64,
+    /// Semantic-cache hits observed during this query (LLM calls served
+    /// from the shared cache at zero marginal spend).
+    pub cache_hits: u64,
+    /// Semantic-cache coalesced waiters observed during this query
+    /// (duplicate in-flight calls folded into one computation).
+    pub cache_coalesced: u64,
+    /// Semantic-cache misses observed during this query (calls that went
+    /// through to the simulated LLM).
+    pub cache_misses: u64,
     /// Whether the query produced a non-null answer.
     pub answered: bool,
 }
@@ -325,6 +334,9 @@ mod tests {
             llm_calls: 0,
             reuse_hits: 0,
             reuse_misses: 0,
+            cache_hits: 0,
+            cache_coalesced: 0,
+            cache_misses: 0,
             answered: true,
         };
         assert_eq!(c.latency_s(), 7.0);

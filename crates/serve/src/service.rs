@@ -150,6 +150,7 @@ impl QueryService {
 
         let (hits_before, misses_before) = self.runtime.reuse_stats();
         let evictions_before = self.runtime.manager().evictions();
+        let cache_before = self.runtime.cache_stats();
 
         // Split the borrows: workers share a clone of the runtime (clones
         // share all state) while the scheduler mutates the ledger.
@@ -285,6 +286,7 @@ impl QueryService {
                 let clock_before = runtime.clock().now();
                 let meter_before = runtime.meter().snapshot();
                 let (hits0, misses0) = runtime.reuse_stats();
+                let cache0 = runtime.cache_stats();
                 job_tx[placement.worker]
                     .send(Job {
                         ctx,
@@ -301,7 +303,12 @@ impl QueryService {
                 let tokens = delta.total_tokens();
                 let llm_calls = delta.total_calls();
                 let (hits1, misses1) = runtime.reuse_stats();
+                let cache_delta = match (&cache0, runtime.cache_stats()) {
+                    (Some(before), Some(after)) => after.delta_since(before),
+                    _ => aida_llm::CacheStats::default(),
+                };
                 tenants.charge(&request.tenant, cost_usd, tokens, llm_calls);
+                tenants.credit_cache(&request.tenant, cache_delta.hits, cache_delta.coalesced);
 
                 let completion = Completion {
                     seq: request.seq,
@@ -315,6 +322,9 @@ impl QueryService {
                     llm_calls,
                     reuse_hits: hits1 - hits0,
                     reuse_misses: misses1 - misses0,
+                    cache_hits: cache_delta.hits,
+                    cache_coalesced: cache_delta.coalesced,
+                    cache_misses: cache_delta.misses,
                     answered: outcome.answer.is_some(),
                 };
                 let tenant_report = report.tenants.entry(request.tenant.clone()).or_default();
@@ -322,6 +332,9 @@ impl QueryService {
                 tenant_report.cost_usd += cost_usd;
                 tenant_report.tokens += tokens;
                 tenant_report.llm_calls += llm_calls;
+                tenant_report.cache_hits += cache_delta.hits;
+                tenant_report.cache_coalesced += cache_delta.coalesced;
+                tenant_report.cache_misses += cache_delta.misses;
                 tenant_report.latency.record(completion.latency_s());
                 tenant_report.queue_wait.record(completion.queue_wait_s());
                 report.completions.push(completion);
@@ -333,6 +346,16 @@ impl QueryService {
         report.reuse_hits = hits_after - hits_before;
         report.reuse_misses = misses_after - misses_before;
         report.evictions = self.runtime.manager().evictions() - evictions_before;
+        if let Some(after) = self.runtime.cache_stats() {
+            let delta = match &cache_before {
+                Some(before) => after.delta_since(before),
+                None => after,
+            };
+            report.cache_hits = delta.hits;
+            report.cache_coalesced = delta.coalesced;
+            report.cache_misses = delta.misses;
+            report.cache_bytes = Some(after.bytes);
+        }
         report.makespan_s = timeline.makespan();
         report.total_cost_usd = report.tenants.values().map(|t| t.cost_usd).sum();
         report
@@ -544,6 +567,63 @@ mod tests {
         let b = build();
         assert_eq!(a.to_jsonl(), b.to_jsonl());
         assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn shared_cache_attributes_hits_per_tenant() {
+        let rt = Runtime::builder().seed(7).semantic_cache(4096).build();
+        let ctx = Context::builder("lake", lake())
+            .description("FTC identity theft reports by year")
+            .build(&rt);
+        let mut svc = QueryService::new(
+            rt,
+            ServeConfig {
+                workers: 2,
+                queue_capacity: 8,
+            },
+        );
+        svc.register_context("reports", ctx);
+        svc.register_tenant("acme", TenantConfig::default());
+        svc.register_tenant("bolt", TenantConfig::default());
+        // Both tenants ask the identical question; bolt arrives second,
+        // so its semantic calls replay acme's out of the shared cache.
+        let requests = vec![
+            {
+                let mut r = QueryRequest::new("acme", "reports", "count identity theft in 2001");
+                r.seq = 0;
+                r
+            },
+            {
+                let mut r =
+                    QueryRequest::new("bolt", "reports", "count identity theft in 2001").at(50.0);
+                r.seq = 1;
+                r
+            },
+        ];
+        let report = svc.run(requests);
+        assert_eq!(report.completions.len(), 2);
+        assert!(report.cache_hits > 0, "{}", report.render());
+        assert!(report.cache_bytes.unwrap_or(0) > 0);
+        // The ledger attributes the savings to the tenant that benefited.
+        let bolt_spend = svc.tenants().spend(&"bolt".into());
+        assert!(bolt_spend.cache_hits > 0);
+        let acme = &report.tenants[&"acme".into()];
+        let bolt = &report.tenants[&"bolt".into()];
+        assert!(
+            bolt.cache_hits > acme.cache_hits,
+            "warm tenant should out-hit the cold one: bolt {} vs acme {}",
+            bolt.cache_hits,
+            acme.cache_hits
+        );
+        assert!(
+            bolt.cost_usd < acme.cost_usd,
+            "warm tenant {} vs cold tenant {}",
+            bolt.cost_usd,
+            acme.cost_usd
+        );
+        // Hit/coalesced/miss counts are visible on every surface.
+        assert!(report.render().contains("semantic cache:"));
+        assert!(report.to_jsonl().contains(r#""cache_hits""#));
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub struct Spend {
     pub tokens: u64,
     /// Billed LLM calls.
     pub calls: u64,
+    /// Semantic-cache hits attributed to this tenant (calls the tenant
+    /// issued that were served from the shared cache for free).
+    pub cache_hits: u64,
+    /// Semantic-cache coalesced waiters attributed to this tenant.
+    pub cache_coalesced: u64,
 }
 
 impl Spend {
@@ -69,6 +74,12 @@ impl Spend {
         self.usd += usd;
         self.tokens += tokens;
         self.calls += calls;
+    }
+
+    /// Accumulates one query's semantic-cache savings.
+    pub fn add_cache(&mut self, hits: u64, coalesced: u64) {
+        self.cache_hits += hits;
+        self.cache_coalesced += coalesced;
     }
 }
 
@@ -116,6 +127,16 @@ impl TenantLedger {
             .entry(tenant.clone())
             .or_default()
             .add(usd, tokens, calls);
+    }
+
+    /// Attributes one query's semantic-cache savings to a tenant. Cache
+    /// hits are free, so they adjust no quota — but the ledger records
+    /// who benefited from the shared cache.
+    pub fn credit_cache(&mut self, tenant: &TenantId, hits: u64, coalesced: u64) {
+        self.spend
+            .entry(tenant.clone())
+            .or_default()
+            .add_cache(hits, coalesced);
     }
 
     /// Checks the tenant's quotas against its attributed spend, returning
@@ -195,5 +216,19 @@ mod tests {
     #[test]
     fn weight_floor_is_one() {
         assert_eq!(TenantConfig::weighted(0).weight, 1);
+    }
+
+    #[test]
+    fn cache_credits_accumulate_without_touching_quota() {
+        let mut ledger = TenantLedger::new();
+        let acme: TenantId = "acme".into();
+        ledger.register(acme.clone(), TenantConfig::default().dollars(1.0));
+        ledger.credit_cache(&acme, 5, 2);
+        ledger.credit_cache(&acme, 3, 0);
+        let spend = ledger.spend(&acme);
+        assert_eq!(spend.cache_hits, 8);
+        assert_eq!(spend.cache_coalesced, 2);
+        // Hits are free: the quota gate never fires on cache traffic.
+        assert!(ledger.over_quota(&acme).is_none());
     }
 }
