@@ -32,3 +32,21 @@ cmp target/ci-cache-a/traces/serve_soak.jsonl target/ci-cache-b/traces/serve_soa
 # cost (exits nonzero otherwise).
 AIDA_RESULTS_DIR=target/ci-cache-a \
   cargo run -q --release -p aida-bench --bin cache_bench >/dev/null
+
+# Durability: the crash-injection suite must recover the SAME state on
+# every run. Two same-seed passes dump the recovered scenario as JSONL
+# and the dumps must be byte-identical.
+AIDA_DURABILITY_DUMP=target/ci-durability-a cargo test -q --test durability
+AIDA_DURABILITY_DUMP=target/ci-durability-b cargo test -q --test durability
+cmp target/ci-durability-a/recovered_state.jsonl \
+  target/ci-durability-b/recovered_state.jsonl
+
+# Kill-9 smoke: murder a soak mid-run (leaving whatever torn WAL tail /
+# half-written checkpoint it managed), then rerun against the same
+# durable dir. The restart probe must swallow the wreckage and the full
+# rerun must pass all its restart assertions (exit 0).
+rm -rf target/ci-kill9
+(timeout -s KILL 1 env SERVE_SOAK_SMOKE=1 AIDA_RESULTS_DIR=target/ci-kill9 \
+  ./target/release/serve_soak >/dev/null 2>&1 || true)
+SERVE_SOAK_SMOKE=1 AIDA_RESULTS_DIR=target/ci-kill9 \
+  cargo run -q --release -p aida-bench --bin serve_soak >/dev/null

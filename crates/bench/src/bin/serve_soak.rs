@@ -22,17 +22,25 @@ use aida_bench::SemcacheBench;
 use aida_core::{Context, Runtime};
 use aida_obs::Summary;
 use aida_serve::{
-    open_loop, QueryRequest, QueryService, ServeConfig, ServiceReport, TenantConfig, TenantLoad,
+    open_loop, LedgerWal, QueryRequest, QueryService, ServeConfig, ServiceReport, TenantConfig,
+    TenantLoad,
 };
 use aida_synth::{enron, legal};
+use std::path::Path;
 
-fn build_service(seed: u64, cache: bool) -> QueryService {
+fn build_service(seed: u64, cache: bool, durable: Option<&Path>) -> QueryService {
     let mut builder = Runtime::builder()
         .seed(seed)
         .context_capacity(256)
         .tracing(true);
     if cache {
         builder = builder.semantic_cache(4096);
+    }
+    if let Some(dir) = durable {
+        builder = builder
+            .cache_path(dir.join("semcache.bin"))
+            .state_path(dir.join("state.bin"))
+            .checkpoint_interval(16);
     }
     let rt = builder.build();
     let legal_workload = legal::generate(seed);
@@ -61,7 +69,18 @@ fn build_service(seed: u64, cache: bool) -> QueryService {
     // The quota guinea pig: enough budget for a handful of queries, then
     // every further request is shed with `budget_exhausted`.
     svc.register_tenant("dara", TenantConfig::default().dollars(0.05));
+    if let Some(dir) = durable {
+        svc.attach_wal(LedgerWal::open(dir.join("ledger.wal")))
+            .expect("tenant-ledger WAL recovery");
+    }
     svc
+}
+
+fn spend_bits(svc: &QueryService) -> Vec<(String, u64)> {
+    svc.tenants()
+        .spends()
+        .map(|(t, s)| (t.to_string(), s.usd.to_bits()))
+        .collect()
 }
 
 fn latency_summary(report: &ServiceReport) -> Summary {
@@ -111,13 +130,13 @@ fn main() {
     let requests: Vec<QueryRequest> = open_loop(seed, &loads);
 
     // Baseline: the same workload through the same service, cache off.
-    let mut baseline_svc = build_service(seed, false);
+    let mut baseline_svc = build_service(seed, false, None);
     let baseline = baseline_svc.run(requests.clone());
 
     // The headline run: shared semantic cache across all four tenants.
-    let mut svc = build_service(seed, true);
+    let mut svc = build_service(seed, true, None);
     let isolated = svc.isolated_cost(&requests);
-    let mut report = svc.run(requests);
+    let mut report = svc.run(requests.clone());
     report.set_isolated_baseline(isolated);
 
     println!("{}", report.render());
@@ -152,6 +171,69 @@ fn main() {
             "FAIL: cache-on soak saved only {:.1}% (< 20%)",
             bench.reduction_pct()
         );
+        std::process::exit(1);
+    }
+
+    // ---- restart phase: the durable-state layer under a process death.
+    //
+    // A previous soak may have been killed mid-write (CI's kill-9
+    // smoke): recovery must swallow whatever partial files it left —
+    // a torn WAL tail is truncated, a torn snapshot temp is ignored —
+    // then the phase resets to a clean cold run.
+    let durable_dir = aida_bench::results_dir().join("serve_soak_durable");
+    if durable_dir.exists() {
+        let probe = build_service(seed, true, Some(&durable_dir));
+        let recovery = probe.wal_recovery().expect("wal attached");
+        println!(
+            "restart probe: recovered {} contexts, replayed {} ledger records (dropped tail: {})",
+            probe.runtime().manager().len(),
+            recovery.replayed,
+            recovery.dropped_tail
+        );
+        drop(probe);
+        std::fs::remove_dir_all(&durable_dir).expect("reset durable dir");
+    }
+    std::fs::create_dir_all(&durable_dir).expect("create durable dir");
+
+    // Cold durable run: checkpoint every 16 agentic ops + final save.
+    let mut durable_svc = build_service(seed, true, Some(&durable_dir));
+    let durable_report = durable_svc.run(requests);
+    let cold_spends = spend_bits(&durable_svc);
+    durable_svc
+        .runtime()
+        .save_state()
+        .expect("state checkpoint");
+    durable_svc.runtime().save_cache().expect("cache spill");
+    drop(durable_svc); // the "crash": nothing survives but the files
+
+    // Warm restart: per-tenant dollars must replay bit-identically and
+    // the restore itself must spend nothing.
+    let warm_svc = build_service(seed, true, Some(&durable_dir));
+    let recovery = warm_svc.wal_recovery().expect("wal attached");
+    let restore_cost = warm_svc.runtime().cost();
+    println!(
+        "restart: replayed {} ledger records, restored {} contexts, re-materialization spend ${restore_cost:.4}",
+        recovery.replayed,
+        warm_svc.runtime().manager().len(),
+    );
+    if durable_report.wal_appends == 0 {
+        eprintln!("FAIL: durable run appended no ledger records");
+        std::process::exit(1);
+    }
+    if spend_bits(&warm_svc) != cold_spends {
+        eprintln!("FAIL: per-tenant dollars diverged across the restart");
+        std::process::exit(1);
+    }
+    if recovery.replayed + recovery.skipped == 0 && !recovery.snapshot_loaded {
+        eprintln!("FAIL: restart recovered nothing from the ledger WAL");
+        std::process::exit(1);
+    }
+    if warm_svc.runtime().manager().is_empty() {
+        eprintln!("FAIL: restart restored no Contexts from the snapshot");
+        std::process::exit(1);
+    }
+    if restore_cost != 0.0 {
+        eprintln!("FAIL: restart spent ${restore_cost:.6} re-materializing state");
         std::process::exit(1);
     }
 }

@@ -15,7 +15,9 @@
 //! materialization is never dropped to make room for a $0.001 one.
 
 use crate::context::Context;
+use aida_data::{DataLake, Document, Field, Schema, Table};
 use aida_llm::embed::{cosine, Embedder};
+use aida_llm::snapshot::{self, decode_value, encode_value, esc, unesc, SnapshotError};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -101,6 +103,13 @@ impl ContextManager {
             original_cost,
             last_used,
         });
+        self.evict_over_capacity(&mut store);
+    }
+
+    /// Applies the capacity bound: evicts the cheapest-to-recreate entry
+    /// (ties broken by least-recent use) until the store fits. Shared by
+    /// registration and snapshot restore so both honor the same policy.
+    fn evict_over_capacity(&self, store: &mut Store) {
         while store.capacity > 0 && store.entries.len() > store.capacity {
             let victim = store
                 .entries
@@ -179,6 +188,266 @@ impl ContextManager {
     pub fn clear(&self) {
         self.inner.write().entries.clear();
     }
+
+    /// Encodes the whole store — every materialization with its lineage
+    /// (producing instruction), cost metadata, LRU state, documents
+    /// (including oracle labels), and findings table — as a versioned,
+    /// checksummed snapshot. Entries are written in registration order so
+    /// a reload preserves the deterministic earlier-entry-wins tie-break.
+    pub fn encode_snapshot(&self) -> String {
+        let store = self.inner.read();
+        let mut body = String::new();
+        body.push_str(&format!("T\t{}\n", store.tick));
+        for entry in &store.entries {
+            encode_entry(entry, &mut body);
+        }
+        snapshot::encode_file(STORE_MAGIC, &body)
+    }
+
+    /// Restores the store from a snapshot produced by
+    /// [`ContextManager::encode_snapshot`], replacing any current
+    /// entries. `rebuild` constructs a Context from `(id, lake,
+    /// description)` — the caller supplies it because Context
+    /// construction needs a Runtime. Embeddings are recomputed
+    /// deterministically from each instruction; LRU ticks and costs are
+    /// restored exactly, and the store is trimmed to the capacity bound
+    /// with the standard eviction policy. Any format, count, or checksum
+    /// violation returns [`SnapshotError`] and leaves the store
+    /// untouched — callers start cold instead of trusting a corrupt
+    /// file. Returns how many Contexts were restored (after trimming).
+    pub fn load_snapshot(
+        &self,
+        text: &str,
+        rebuild: &dyn Fn(&str, DataLake, &str) -> Context,
+    ) -> Result<usize, SnapshotError> {
+        let body = snapshot::decode_file(STORE_MAGIC, text)?;
+        let decoded = decode_store(body)?;
+        let mut entries = Vec::with_capacity(decoded.entries.len());
+        for e in decoded.entries {
+            let lake = DataLake::from_docs(e.docs);
+            let mut context = rebuild(&e.id, lake, &e.description);
+            context.findings = e.findings.map(Arc::new);
+            entries.push(MaterializedContext {
+                embedding: self.embedder.embed(&e.instruction),
+                instruction: e.instruction,
+                context,
+                original_cost: e.original_cost,
+                last_used: e.last_used,
+            });
+        }
+        let mut store = self.inner.write();
+        store.entries = entries;
+        store.tick = store.tick.max(decoded.tick);
+        self.evict_over_capacity(&mut store);
+        Ok(store.entries.len())
+    }
+}
+
+const STORE_MAGIC: &str = "aida-ctxstore v1";
+
+// ---- snapshot encoding -------------------------------------------------
+//
+// Tab-separated, tagged lines (escaping via the shared `snapshot` codec):
+//   T  <tick>
+//   C  <instruction> <cost_bits:hex16> <last_used> <id> <description>
+//      <ndocs> <has_findings 0|1>
+//   D  <name> <content> <nlabels> (<key> <value-enc>)*      — ×ndocs
+//   F  <ncols> (<col-name> <col-desc>)* <nrows> (<cell-enc>)*
+//
+// Documents round-trip through `Document::new(name, content)` (which
+// derives `id` and `kind` from the name, the universal construction in
+// this codebase) plus explicit labels, so the oracle sees identical
+// ground truth after a restore.
+
+fn encode_entry(entry: &MaterializedContext, out: &mut String) {
+    out.push_str("C\t");
+    esc(&entry.instruction, out);
+    out.push_str(&format!(
+        "\t{:016x}\t{}\t",
+        entry.original_cost.to_bits(),
+        entry.last_used
+    ));
+    esc(&entry.context.id, out);
+    out.push('\t');
+    esc(&entry.context.description, out);
+    let docs = entry.context.lake().docs();
+    out.push_str(&format!(
+        "\t{}\t{}\n",
+        docs.len(),
+        u8::from(entry.context.findings.is_some())
+    ));
+    for doc in docs {
+        out.push_str("D\t");
+        esc(&doc.name, out);
+        out.push('\t');
+        esc(&doc.content, out);
+        out.push('\t');
+        out.push_str(&doc.labels.len().to_string());
+        for (key, value) in &doc.labels {
+            out.push('\t');
+            esc(key, out);
+            out.push('\t');
+            encode_value(value, out);
+        }
+        out.push('\n');
+    }
+    if let Some(findings) = &entry.context.findings {
+        out.push_str("F\t");
+        let fields = findings.schema().fields();
+        out.push_str(&fields.len().to_string());
+        for field in fields {
+            out.push('\t');
+            esc(&field.name, out);
+            out.push('\t');
+            esc(&field.desc, out);
+        }
+        out.push('\t');
+        out.push_str(&findings.len().to_string());
+        for row in findings.rows() {
+            for cell in row {
+                out.push('\t');
+                encode_value(cell, out);
+            }
+        }
+        out.push('\n');
+    }
+}
+
+struct DecodedEntry {
+    instruction: String,
+    original_cost: f64,
+    last_used: u64,
+    id: String,
+    description: String,
+    docs: Vec<Document>,
+    findings: Option<Table>,
+}
+
+struct DecodedStore {
+    tick: u64,
+    entries: Vec<DecodedEntry>,
+}
+
+fn fail(msg: &str) -> SnapshotError {
+    SnapshotError::Format(msg.to_string())
+}
+
+fn decode_store(body: &str) -> Result<DecodedStore, SnapshotError> {
+    let mut lines = body.lines();
+    let tick = lines
+        .next()
+        .and_then(|line| line.strip_prefix("T\t"))
+        .and_then(|raw| raw.parse::<u64>().ok())
+        .ok_or_else(|| fail("bad tick line"))?;
+    let mut entries = Vec::new();
+    while let Some(line) = lines.next() {
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.first() != Some(&"C") || fields.len() != 8 {
+            return Err(fail("bad context line"));
+        }
+        let instruction = unesc(fields[1])?;
+        let original_cost = u64::from_str_radix(fields[2], 16)
+            .map(f64::from_bits)
+            .map_err(|_| fail("bad cost bits"))?;
+        let last_used = fields[3]
+            .parse::<u64>()
+            .map_err(|_| fail("bad last_used"))?;
+        let id = unesc(fields[4])?;
+        let description = unesc(fields[5])?;
+        let ndocs = fields[6]
+            .parse::<usize>()
+            .map_err(|_| fail("bad doc count"))?;
+        let has_findings = match fields[7] {
+            "0" => false,
+            "1" => true,
+            _ => return Err(fail("bad findings flag")),
+        };
+        let mut docs = Vec::with_capacity(ndocs);
+        for _ in 0..ndocs {
+            docs.push(decode_doc(
+                lines.next().ok_or_else(|| fail("missing document line"))?,
+            )?);
+        }
+        let findings = if has_findings {
+            Some(decode_findings(
+                lines.next().ok_or_else(|| fail("missing findings line"))?,
+            )?)
+        } else {
+            None
+        };
+        entries.push(DecodedEntry {
+            instruction,
+            original_cost,
+            last_used,
+            id,
+            description,
+            docs,
+            findings,
+        });
+    }
+    Ok(DecodedStore { tick, entries })
+}
+
+fn decode_doc(line: &str) -> Result<Document, SnapshotError> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.first() != Some(&"D") || fields.len() < 4 {
+        return Err(fail("bad document line"));
+    }
+    let name = unesc(fields[1])?;
+    let content = unesc(fields[2])?;
+    let nlabels = fields[3]
+        .parse::<usize>()
+        .map_err(|_| fail("bad label count"))?;
+    if fields.len() != 4 + nlabels * 2 {
+        return Err(fail("label count mismatch"));
+    }
+    let mut doc = Document::new(name, content);
+    for i in 0..nlabels {
+        let key = unesc(fields[4 + i * 2])?;
+        let value = decode_value(fields[5 + i * 2])?;
+        doc = doc.with_label(key, value);
+    }
+    Ok(doc)
+}
+
+fn decode_findings(line: &str) -> Result<Table, SnapshotError> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.first() != Some(&"F") || fields.len() < 2 {
+        return Err(fail("bad findings line"));
+    }
+    let ncols = fields[1]
+        .parse::<usize>()
+        .map_err(|_| fail("bad column count"))?;
+    let rows_at = 2 + ncols * 2;
+    if fields.len() < rows_at + 1 {
+        return Err(fail("truncated findings columns"));
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for i in 0..ncols {
+        columns.push(Field::described(
+            unesc(fields[2 + i * 2])?,
+            unesc(fields[3 + i * 2])?,
+        ));
+    }
+    let nrows = fields[rows_at]
+        .parse::<usize>()
+        .map_err(|_| fail("bad row count"))?;
+    if fields.len() != rows_at + 1 + nrows * ncols {
+        return Err(fail("findings cell count mismatch"));
+    }
+    let mut table = Table::new(Schema::from_fields(columns));
+    let mut idx = rows_at + 1;
+    for _ in 0..nrows {
+        let mut row = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            row.push(decode_value(fields[idx])?);
+            idx += 1;
+        }
+        table
+            .push_row(row)
+            .map_err(|_| fail("bad findings row arity"))?;
+    }
+    Ok(table)
 }
 
 /// Index and similarity of the best match against `query`, earlier entries
@@ -346,6 +615,85 @@ mod tests {
             sim < 0.95 || !hit.instruction.contains("beta"),
             "beta should have been evicted (best match now {} at {sim})",
             hit.instruction
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_store_and_rejects_corruption() {
+        use aida_data::Value;
+        let rt = Runtime::builder().build();
+        let manager = ContextManager::new();
+        let lake = DataLake::from_docs([
+            Document::new("a.txt", "alpha text\twith tabs\nand lines")
+                .with_label("amount", Value::Int(42)),
+            Document::new("b.csv", "k,v\nx,7"),
+        ]);
+        let mut context = Context::builder("legal/1", lake)
+            .description("FINDINGS: alpha amount is 42")
+            .build(&rt);
+        let mut table = Table::new(Schema::of(["k", "v"]));
+        table
+            .push_row(vec![Value::Str("x, [tricky]".into()), Value::Int(7)])
+            .unwrap();
+        context.findings = Some(Arc::new(table));
+        manager.register("find the alpha amount", context, 1.25);
+        manager.register("summarize beta filings", ctx(&rt, "FINDINGS: beta"), 0.5);
+
+        let snap = manager.encode_snapshot();
+        let restored = ContextManager::new();
+        let rebuild = |id: &str, lake: DataLake, desc: &str| {
+            Context::builder(id, lake).description(desc).build(&rt)
+        };
+        assert_eq!(restored.load_snapshot(&snap, &rebuild).unwrap(), 2);
+        // Re-encoding the restored store reproduces the snapshot byte for
+        // byte: lineage, costs, LRU ticks, docs, and findings all survive.
+        assert_eq!(restored.encode_snapshot(), snap);
+        let (hit, sim) = restored.find_similar("find the alpha amount").unwrap();
+        assert!(sim > 0.95, "restored instruction should match: {sim}");
+        assert_eq!(hit.context.id, "legal/1");
+        assert_eq!(
+            hit.context.lake().docs()[0].label("amount"),
+            Some(&Value::Int(42))
+        );
+        let findings = hit.context.findings.expect("findings survive");
+        assert_eq!(
+            findings.cell(0, "k"),
+            Some(&Value::Str("x, [tricky]".into()))
+        );
+
+        // One flipped byte breaks the checksum; the store is untouched.
+        let mut bytes = snap.clone().into_bytes();
+        let at = bytes.len() - 2;
+        bytes[at] = bytes[at].wrapping_add(1);
+        let garbled = String::from_utf8(bytes).unwrap();
+        let cold = ContextManager::new();
+        assert!(matches!(
+            cold.load_snapshot(&garbled, &rebuild),
+            Err(SnapshotError::Format(_))
+        ));
+        assert!(cold.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_respects_capacity_bound() {
+        let rt = Runtime::builder().build();
+        let big = ContextManager::new();
+        big.register("expensive exhaustive legal scan", ctx(&rt, "a"), 2.0);
+        big.register("cheap keyword probe", ctx(&rt, "b"), 0.01);
+        big.register("medium targeted extraction", ctx(&rt, "c"), 0.5);
+        let snap = big.encode_snapshot();
+        // A smaller manager trims the restored store with the standard
+        // cost-aware policy instead of silently exceeding its bound.
+        let small = ContextManager::with_capacity(2);
+        let rebuild = |id: &str, lake: DataLake, desc: &str| {
+            Context::builder(id, lake).description(desc).build(&rt)
+        };
+        assert_eq!(small.load_snapshot(&snap, &rebuild).unwrap(), 2);
+        assert_eq!(small.evictions(), 1);
+        let (hit, _) = small.find_similar("cheap keyword probe").unwrap();
+        assert!(
+            !hit.instruction.contains("cheap"),
+            "the cheapest entry is the trim victim"
         );
     }
 

@@ -354,6 +354,7 @@ fn run_op(
     runtime
         .manager()
         .register(&instruction, new_ctx.clone(), cost);
+    runtime.note_agentic_op();
 
     if reused {
         span.attr("reused", "true");

@@ -2,12 +2,14 @@
 
 use crate::manager::ContextManager;
 use aida_data::Table;
+use aida_llm::snapshot::{self, FailPlan, SnapshotError};
 use aida_llm::{ModelId, SimLlm, UsageSnapshot};
 use aida_obs::{Event, Recorder, SpanKind};
 use aida_optimizer::{OptimizerConfig, Policy};
 use aida_semops::ExecEnv;
 use aida_sql::{Catalog, SqlError};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Tunables for the runtime.
@@ -53,6 +55,15 @@ pub struct RuntimeConfig {
     /// build so a restart keeps a warm cache, written on
     /// [`Runtime::save_cache`]. A corrupt snapshot starts cold.
     pub cache_path: Option<std::path::PathBuf>,
+    /// Snapshot path for the ContextManager store: loaded (best-effort)
+    /// at build so a restart keeps every materialized Context, written on
+    /// [`Runtime::save_state`] and at the ops-interval checkpoint. A
+    /// corrupt snapshot starts cold.
+    pub state_path: Option<std::path::PathBuf>,
+    /// Checkpoint the durable state (ContextManager snapshot + semantic
+    /// cache) every N agentic operator completions (0 = only on explicit
+    /// [`Runtime::save_state`] / [`Runtime::save_cache`]).
+    pub checkpoint_interval: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -74,6 +85,8 @@ impl Default for RuntimeConfig {
             cache_max_bytes: 0,
             cache_hit_latency_s: 0.02,
             cache_path: None,
+            state_path: None,
+            checkpoint_interval: 0,
         }
     }
 }
@@ -86,6 +99,8 @@ pub struct Runtime {
     config: RuntimeConfig,
     manager: ContextManager,
     catalog: Arc<Mutex<Catalog>>,
+    /// Agentic operator completions, driving the ops-interval checkpoint.
+    ops_done: Arc<AtomicU64>,
 }
 
 impl Runtime {
@@ -153,6 +168,65 @@ impl Runtime {
                 Ok(true)
             }
             _ => Ok(false),
+        }
+    }
+
+    /// Persists the ContextManager store (materialized Contexts with
+    /// lineage, cost, and LRU state) to the configured `state_path` via
+    /// an atomic temp-file-and-rename commit. Returns whether a snapshot
+    /// was written (false when no path is configured).
+    pub fn save_state(&self) -> std::io::Result<bool> {
+        self.save_state_with(None)
+    }
+
+    /// [`Runtime::save_state`] with an optional crash-injection plan
+    /// (threaded through by the durability suite).
+    pub fn save_state_with(&self, plan: Option<&FailPlan>) -> std::io::Result<bool> {
+        let Some(path) = &self.config.state_path else {
+            return Ok(false);
+        };
+        snapshot::commit_atomic(path, &self.manager.encode_snapshot(), plan)?;
+        self.recorder().counter_add("checkpoint.saves", 1);
+        Ok(true)
+    }
+
+    /// Restores the ContextManager store from the configured
+    /// `state_path`, replacing the current store. Returns how many
+    /// Contexts were restored (0 when no path is configured). A corrupt
+    /// or truncated snapshot is rejected as [`SnapshotError`] and the
+    /// store is left untouched.
+    pub fn load_state(&self) -> Result<usize, SnapshotError> {
+        let Some(path) = &self.config.state_path else {
+            return Ok(0);
+        };
+        let text = std::fs::read_to_string(path)?;
+        let n = self.manager.load_snapshot(&text, &|id, lake, desc| {
+            crate::Context::builder(id, lake)
+                .description(desc)
+                .build(self)
+        })?;
+        self.recorder()
+            .counter_add("state.restored_contexts", n as u64);
+        Ok(n)
+    }
+
+    /// Notes one completed agentic operator; every `checkpoint_interval`
+    /// completions the durable state (Context snapshot + semantic cache)
+    /// is checkpointed best-effort — a failed checkpoint is counted
+    /// (`checkpoint.errors`), never fatal to the query that triggered it.
+    pub(crate) fn note_agentic_op(&self) {
+        let interval = self.config.checkpoint_interval;
+        if interval == 0 {
+            return;
+        }
+        let done = self.ops_done.fetch_add(1, Ordering::Relaxed) + 1;
+        if done.is_multiple_of(interval) {
+            if self.save_state().is_err() {
+                self.recorder().counter_add("checkpoint.errors", 1);
+            }
+            if self.save_cache().is_err() {
+                self.recorder().counter_add("checkpoint.errors", 1);
+            }
         }
     }
 
@@ -353,6 +427,21 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Snapshot path for the ContextManager store (loaded best-effort at
+    /// build; written by [`Runtime::save_state`] and the ops-interval
+    /// checkpoint).
+    pub fn state_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.config.state_path = Some(path.into());
+        self
+    }
+
+    /// Checkpoints durable state every N agentic operator completions
+    /// (0 = explicit saves only).
+    pub fn checkpoint_interval(mut self, every_n_ops: u64) -> Self {
+        self.config.checkpoint_interval = every_n_ops;
+        self
+    }
+
     /// Sets the full configuration at once.
     pub fn config(mut self, config: RuntimeConfig) -> Self {
         self.config = config;
@@ -380,12 +469,19 @@ impl RuntimeBuilder {
         if self.config.tracing {
             env = env.with_recorder(Recorder::new());
         }
-        Runtime {
+        let runtime = Runtime {
             env,
             manager: ContextManager::with_capacity(self.config.context_capacity),
             catalog: Arc::new(Mutex::new(Catalog::new())),
             config: self.config,
+            ops_done: Arc::new(AtomicU64::new(0)),
+        };
+        if runtime.config.state_path.is_some() {
+            // Best-effort warm start: a missing or corrupt snapshot
+            // simply starts with an empty store.
+            let _ = runtime.load_state();
         }
+        runtime
     }
 }
 

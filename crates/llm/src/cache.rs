@@ -27,12 +27,14 @@
 
 use crate::noise;
 use crate::sim::LlmResponse;
+use crate::snapshot::{self, decode_value, encode_value, esc, unesc, FailPlan};
 use aida_data::Value;
 use std::collections::HashMap;
-use std::fmt;
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex};
+
+pub use crate::snapshot::SnapshotError;
 
 /// A 128-bit content-addressed call key. Two independent 64-bit digests
 /// over the same part stream make accidental collisions (which would
@@ -345,9 +347,17 @@ impl SemanticCache {
         st.bytes = 0;
     }
 
-    /// Writes a versioned, checksummed snapshot of the store. Entries
-    /// are written LRU→MRU so a reload preserves eviction order.
+    /// Writes a versioned, checksummed snapshot of the store via an
+    /// atomic temp-file-and-rename commit, so a crash mid-save never
+    /// clobbers the previous snapshot. Entries are written LRU→MRU so a
+    /// reload preserves eviction order.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        self.save_with(path, None)
+    }
+
+    /// [`SemanticCache::save`] with an optional crash-injection plan
+    /// (threaded through by the durability suite).
+    pub fn save_with(&self, path: &Path, plan: Option<&FailPlan>) -> std::io::Result<()> {
         let body = {
             let st = self.inner.state.lock().unwrap();
             let mut ordered: Vec<(&CacheKey, &Entry)> = st.entries.iter().collect();
@@ -359,17 +369,7 @@ impl SemanticCache {
             }
             body
         };
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)?;
-        }
-        let mut file = std::fs::File::create(path)?;
-        let n = body.lines().count();
-        write!(
-            file,
-            "{MAGIC}\nentries {n}\nchecksum {:016x}\n{body}",
-            fnv64(body.as_bytes())
-        )?;
-        Ok(())
+        snapshot::commit_atomic(path, &snapshot::encode_file(MAGIC, &body), plan)
     }
 
     /// Loads a snapshot, merging its entries into the store (freshly
@@ -397,33 +397,6 @@ impl SemanticCache {
     }
 }
 
-/// Why a snapshot failed to load.
-#[derive(Debug)]
-pub enum SnapshotError {
-    /// The file could not be read.
-    Io(std::io::Error),
-    /// The file is not a well-formed snapshot (bad magic, count,
-    /// checksum, or entry encoding).
-    Format(String),
-}
-
-impl fmt::Display for SnapshotError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
-            SnapshotError::Format(msg) => write!(f, "snapshot format error: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for SnapshotError {}
-
-impl From<std::io::Error> for SnapshotError {
-    fn from(e: std::io::Error) -> Self {
-        SnapshotError::Io(e)
-    }
-}
-
 const MAGIC: &str = "aida-semcache v1";
 
 /// Approximate resident size of a stored response, for the byte budget.
@@ -439,80 +412,12 @@ fn value_bytes(value: &Value) -> usize {
     }
 }
 
-/// FNV-1a 64 over raw bytes (the snapshot checksum).
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for b in bytes {
-        hash ^= *b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
 // ---- snapshot encoding -------------------------------------------------
 //
 // One tab-separated line per entry:
 //   <hi:hex16> <lo:hex16> <in_tokens> <out_tokens> <latency_bits:hex16>
 //   <corrupted 0|1> <value-enc> <text-escaped>
-// Strings escape `\`, tab, newline, and CR; value payloads additionally
-// escape the structural `,` `[` `]` so the recursive decoder can split
-// on them. Floats round-trip via `f64::to_bits`.
-
-fn esc(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '\t' => out.push_str("\\t"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            _ => out.push(c),
-        }
-    }
-}
-
-fn esc_value_str(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '\t' => out.push_str("\\t"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            ',' => out.push_str("\\c"),
-            '[' => out.push_str("\\o"),
-            ']' => out.push_str("\\e"),
-            _ => out.push(c),
-        }
-    }
-}
-
-fn encode_value(value: &Value, out: &mut String) {
-    match value {
-        Value::Null => out.push('n'),
-        Value::Bool(b) => out.push_str(if *b { "b1" } else { "b0" }),
-        Value::Int(i) => {
-            out.push('i');
-            out.push_str(&i.to_string());
-        }
-        Value::Float(f) => {
-            out.push('f');
-            out.push_str(&format!("{:016x}", f.to_bits()));
-        }
-        Value::Str(s) => {
-            out.push('s');
-            esc_value_str(s, out);
-        }
-        Value::List(items) => {
-            out.push_str("l[");
-            for (i, item) in items.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                encode_value(item, out);
-            }
-            out.push(']');
-        }
-    }
-}
+// The escaping and value codec are the shared ones in [`snapshot`].
 
 fn encode_entry(key: &CacheKey, resp: &LlmResponse) -> String {
     let mut line = format!(
@@ -528,125 +433,6 @@ fn encode_entry(key: &CacheKey, resp: &LlmResponse) -> String {
     line.push('\t');
     esc(&resp.text, &mut line);
     line
-}
-
-struct ValueParser<'a> {
-    chars: std::iter::Peekable<std::str::Chars<'a>>,
-}
-
-impl ValueParser<'_> {
-    fn fail<T>(msg: &str) -> Result<T, SnapshotError> {
-        Err(SnapshotError::Format(msg.to_string()))
-    }
-
-    /// Reads characters until an unescaped structural delimiter (`,` or
-    /// `]`) or end of input, unescaping as it goes.
-    fn read_str(&mut self) -> Result<String, SnapshotError> {
-        let mut out = String::new();
-        while let Some(&c) = self.chars.peek() {
-            match c {
-                ',' | ']' => break,
-                '\\' => {
-                    self.chars.next();
-                    let Some(esc) = self.chars.next() else {
-                        return Self::fail("dangling escape");
-                    };
-                    out.push(match esc {
-                        '\\' => '\\',
-                        't' => '\t',
-                        'n' => '\n',
-                        'r' => '\r',
-                        'c' => ',',
-                        'o' => '[',
-                        'e' => ']',
-                        _ => return Self::fail("unknown escape"),
-                    });
-                }
-                _ => {
-                    self.chars.next();
-                    out.push(c);
-                }
-            }
-        }
-        Ok(out)
-    }
-
-    fn parse(&mut self) -> Result<Value, SnapshotError> {
-        let Some(tag) = self.chars.next() else {
-            return Self::fail("empty value");
-        };
-        match tag {
-            'n' => Ok(Value::Null),
-            'b' => match self.chars.next() {
-                Some('1') => Ok(Value::Bool(true)),
-                Some('0') => Ok(Value::Bool(false)),
-                _ => Self::fail("bad bool"),
-            },
-            'i' => {
-                let raw = self.read_str()?;
-                raw.parse::<i64>()
-                    .map(Value::Int)
-                    .map_err(|_| SnapshotError::Format("bad int".into()))
-            }
-            'f' => {
-                let raw = self.read_str()?;
-                u64::from_str_radix(&raw, 16)
-                    .map(|bits| Value::Float(f64::from_bits(bits)))
-                    .map_err(|_| SnapshotError::Format("bad float bits".into()))
-            }
-            's' => Ok(Value::Str(self.read_str()?)),
-            'l' => {
-                if self.chars.next() != Some('[') {
-                    return Self::fail("list missing [");
-                }
-                let mut items = Vec::new();
-                if self.chars.peek() == Some(&']') {
-                    self.chars.next();
-                    return Ok(Value::List(items));
-                }
-                loop {
-                    items.push(self.parse()?);
-                    match self.chars.next() {
-                        Some(',') => continue,
-                        Some(']') => break,
-                        _ => return Self::fail("unterminated list"),
-                    }
-                }
-                Ok(Value::List(items))
-            }
-            _ => Self::fail("unknown value tag"),
-        }
-    }
-}
-
-fn decode_value(raw: &str) -> Result<Value, SnapshotError> {
-    let mut parser = ValueParser {
-        chars: raw.chars().peekable(),
-    };
-    let value = parser.parse()?;
-    if parser.chars.next().is_some() {
-        return Err(SnapshotError::Format("trailing value bytes".into()));
-    }
-    Ok(value)
-}
-
-fn unesc(raw: &str) -> Result<String, SnapshotError> {
-    let mut out = String::with_capacity(raw.len());
-    let mut chars = raw.chars();
-    while let Some(c) = chars.next() {
-        if c != '\\' {
-            out.push(c);
-            continue;
-        }
-        out.push(match chars.next() {
-            Some('\\') => '\\',
-            Some('t') => '\t',
-            Some('n') => '\n',
-            Some('r') => '\r',
-            _ => return Err(SnapshotError::Format("bad text escape".into())),
-        });
-    }
-    Ok(out)
 }
 
 fn decode_entry(line: &str) -> Result<(CacheKey, LlmResponse), SnapshotError> {
@@ -690,34 +476,10 @@ fn decode_entry(line: &str) -> Result<(CacheKey, LlmResponse), SnapshotError> {
 }
 
 fn decode_snapshot(text: &str) -> Result<Vec<(CacheKey, LlmResponse)>, SnapshotError> {
-    let mut lines = text.splitn(4, '\n');
-    let magic = lines.next().unwrap_or("");
-    if magic != MAGIC {
-        return Err(SnapshotError::Format(format!("bad magic {magic:?}")));
-    }
-    let count_line = lines.next().unwrap_or("");
-    let declared: usize = count_line
-        .strip_prefix("entries ")
-        .and_then(|n| n.parse().ok())
-        .ok_or_else(|| SnapshotError::Format("bad entry count".into()))?;
-    let checksum_line = lines.next().unwrap_or("");
-    let declared_sum = checksum_line
-        .strip_prefix("checksum ")
-        .and_then(|raw| u64::from_str_radix(raw, 16).ok())
-        .ok_or_else(|| SnapshotError::Format("bad checksum line".into()))?;
-    let body = lines.next().unwrap_or("");
-    if fnv64(body.as_bytes()) != declared_sum {
-        return Err(SnapshotError::Format("checksum mismatch".into()));
-    }
-    let mut entries = Vec::with_capacity(declared);
+    let body = snapshot::decode_file(MAGIC, text)?;
+    let mut entries = Vec::new();
     for line in body.lines() {
         entries.push(decode_entry(line)?);
-    }
-    if entries.len() != declared {
-        return Err(SnapshotError::Format(format!(
-            "declared {declared} entries, found {}",
-            entries.len()
-        )));
     }
     Ok(entries)
 }
@@ -842,6 +604,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::excessive_precision)] // the extra digits probe f64 rounding
     fn snapshot_round_trips_every_value_shape() {
         let dir = std::env::temp_dir().join("aida-semcache-test-roundtrip");
         let path = dir.join("snap.cache");

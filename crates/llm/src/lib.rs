@@ -28,6 +28,7 @@ pub mod models;
 pub mod noise;
 pub mod oracle;
 pub mod sim;
+pub mod snapshot;
 pub mod tokens;
 pub mod usage;
 
@@ -37,4 +38,5 @@ pub use embed::Embedder;
 pub use models::{ModelCatalog, ModelId, ModelSpec};
 pub use oracle::{Oracle, OracleAnswer, OracleRule, Subject};
 pub use sim::{LlmResponse, LlmTask, SimLlm};
+pub use snapshot::{CrashPoint, FailPlan};
 pub use usage::{Usage, UsageMeter, UsageSnapshot};

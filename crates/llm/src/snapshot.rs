@@ -1,0 +1,732 @@
+//! Shared durable-state plumbing: checksummed snapshot framing, atomic
+//! file commits, an append-only WAL record codec, and deterministic
+//! crash injection.
+//!
+//! Both whole-file durable stores in the workspace — the semantic call
+//! cache ([`crate::cache`]) and the ContextManager snapshot in
+//! `aida-core` — write the same shape:
+//!
+//! ```text
+//! <magic line>
+//! entries <n>
+//! checksum <fnv64(body) as hex16>
+//! <body: n lines>
+//! ```
+//!
+//! A reader verifies the magic, the declared line count, and the
+//! checksum before trusting a single byte; any violation is a typed
+//! [`SnapshotError`] and the caller starts cold. The tenant-ledger WAL
+//! in `aida-serve` uses the per-record variant instead
+//! ([`wal_append`] / [`wal_replay`]): every record carries its own
+//! monotone sequence number and checksum, so a torn tail truncates to
+//! the last intact record instead of rejecting the whole file.
+//!
+//! Crash injection: every durable write site threads an optional
+//! [`FailPlan`] through [`commit_atomic`] and [`wal_append`]. A plan
+//! names one [`CrashPoint`] and fires once — erroring before the write,
+//! tearing it mid-record, or erroring after the commit. The durability
+//! suite (`tests/durability.rs`) uses this to prove the invariant
+//! `recover(crash(S)) ∈ {S_pre, S_committed}` at every point.
+
+use aida_data::Value;
+use std::fmt;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Why a snapshot (or WAL ledger snapshot) failed to load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file is not a well-formed snapshot (bad magic, count,
+    /// checksum, or entry encoding).
+    Format(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Format(msg) => write!(f, "snapshot format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64 over raw bytes (the snapshot and WAL-record checksum).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---- string / value codec ----------------------------------------------
+//
+// Strings escape `\`, tab, newline, and CR so one encoded field never
+// spans a tab-separated column or a line; value payloads additionally
+// escape the structural `,` `[` `]` so the recursive decoder can split
+// on them. Floats round-trip via `f64::to_bits`.
+
+/// Escapes a string for a tab-separated snapshot field.
+pub fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn esc_value_str(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            ',' => out.push_str("\\c"),
+            '[' => out.push_str("\\o"),
+            ']' => out.push_str("\\e"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Reverses [`esc`]. Any malformed escape is a format error.
+pub fn unesc(raw: &str) -> Result<String, SnapshotError> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        out.push(match chars.next() {
+            Some('\\') => '\\',
+            Some('t') => '\t',
+            Some('n') => '\n',
+            Some('r') => '\r',
+            _ => return Err(SnapshotError::Format("bad text escape".into())),
+        });
+    }
+    Ok(out)
+}
+
+/// Appends the tagged encoding of a [`Value`] (`n`, `b0`/`b1`, `i…`,
+/// `f<bits>`, `s…`, `l[…]`).
+pub fn encode_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push('n'),
+        Value::Bool(b) => out.push_str(if *b { "b1" } else { "b0" }),
+        Value::Int(i) => {
+            out.push('i');
+            out.push_str(&i.to_string());
+        }
+        Value::Float(f) => {
+            out.push('f');
+            out.push_str(&format!("{:016x}", f.to_bits()));
+        }
+        Value::Str(s) => {
+            out.push('s');
+            esc_value_str(s, out);
+        }
+        Value::List(items) => {
+            out.push_str("l[");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode_value(item, out);
+            }
+            out.push(']');
+        }
+    }
+}
+
+struct ValueParser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl ValueParser<'_> {
+    fn fail<T>(msg: &str) -> Result<T, SnapshotError> {
+        Err(SnapshotError::Format(msg.to_string()))
+    }
+
+    /// Reads characters until an unescaped structural delimiter (`,` or
+    /// `]`) or end of input, unescaping as it goes.
+    fn read_str(&mut self) -> Result<String, SnapshotError> {
+        let mut out = String::new();
+        while let Some(&c) = self.chars.peek() {
+            match c {
+                ',' | ']' => break,
+                '\\' => {
+                    self.chars.next();
+                    let Some(esc) = self.chars.next() else {
+                        return Self::fail("dangling escape");
+                    };
+                    out.push(match esc {
+                        '\\' => '\\',
+                        't' => '\t',
+                        'n' => '\n',
+                        'r' => '\r',
+                        'c' => ',',
+                        'o' => '[',
+                        'e' => ']',
+                        _ => return Self::fail("unknown escape"),
+                    });
+                }
+                _ => {
+                    self.chars.next();
+                    out.push(c);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse(&mut self) -> Result<Value, SnapshotError> {
+        let Some(tag) = self.chars.next() else {
+            return Self::fail("empty value");
+        };
+        match tag {
+            'n' => Ok(Value::Null),
+            'b' => match self.chars.next() {
+                Some('1') => Ok(Value::Bool(true)),
+                Some('0') => Ok(Value::Bool(false)),
+                _ => Self::fail("bad bool"),
+            },
+            'i' => {
+                let raw = self.read_str()?;
+                raw.parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| SnapshotError::Format("bad int".into()))
+            }
+            'f' => {
+                let raw = self.read_str()?;
+                u64::from_str_radix(&raw, 16)
+                    .map(|bits| Value::Float(f64::from_bits(bits)))
+                    .map_err(|_| SnapshotError::Format("bad float bits".into()))
+            }
+            's' => Ok(Value::Str(self.read_str()?)),
+            'l' => {
+                if self.chars.next() != Some('[') {
+                    return Self::fail("list missing [");
+                }
+                let mut items = Vec::new();
+                if self.chars.peek() == Some(&']') {
+                    self.chars.next();
+                    return Ok(Value::List(items));
+                }
+                loop {
+                    items.push(self.parse()?);
+                    match self.chars.next() {
+                        Some(',') => continue,
+                        Some(']') => break,
+                        _ => return Self::fail("unterminated list"),
+                    }
+                }
+                Ok(Value::List(items))
+            }
+            _ => Self::fail("unknown value tag"),
+        }
+    }
+}
+
+/// Reverses [`encode_value`]; trailing bytes are a format error.
+pub fn decode_value(raw: &str) -> Result<Value, SnapshotError> {
+    let mut parser = ValueParser {
+        chars: raw.chars().peekable(),
+    };
+    let value = parser.parse()?;
+    if parser.chars.next().is_some() {
+        return Err(SnapshotError::Format("trailing value bytes".into()));
+    }
+    Ok(value)
+}
+
+// ---- whole-file snapshot framing ---------------------------------------
+
+/// Frames a body under the `magic / entries n / checksum` header.
+pub fn encode_file(magic: &str, body: &str) -> String {
+    let n = body.lines().count();
+    format!(
+        "{magic}\nentries {n}\nchecksum {:016x}\n{body}",
+        fnv64(body.as_bytes())
+    )
+}
+
+/// Verifies the frame and returns the body. Rejects the whole file on a
+/// bad magic, entry count, or checksum — a durable store never applies a
+/// partially-trusted snapshot.
+pub fn decode_file<'a>(magic: &str, text: &'a str) -> Result<&'a str, SnapshotError> {
+    let mut lines = text.splitn(4, '\n');
+    let found = lines.next().unwrap_or("");
+    if found != magic {
+        return Err(SnapshotError::Format(format!("bad magic {found:?}")));
+    }
+    let count_line = lines.next().unwrap_or("");
+    let declared: usize = count_line
+        .strip_prefix("entries ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| SnapshotError::Format("bad entry count".into()))?;
+    let checksum_line = lines.next().unwrap_or("");
+    let declared_sum = checksum_line
+        .strip_prefix("checksum ")
+        .and_then(|raw| u64::from_str_radix(raw, 16).ok())
+        .ok_or_else(|| SnapshotError::Format("bad checksum line".into()))?;
+    let body = lines.next().unwrap_or("");
+    if fnv64(body.as_bytes()) != declared_sum {
+        return Err(SnapshotError::Format("checksum mismatch".into()));
+    }
+    let found_lines = body.lines().count();
+    if found_lines != declared {
+        return Err(SnapshotError::Format(format!(
+            "declared {declared} entries, found {found_lines}"
+        )));
+    }
+    Ok(body)
+}
+
+// ---- crash injection ---------------------------------------------------
+
+/// A named instant in a durable write where an injected crash can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Before any snapshot byte is written (temp file not created).
+    SnapshotBeforeWrite,
+    /// Mid-write of the snapshot temp file: a prefix lands, then the
+    /// process dies. The real path is never touched.
+    SnapshotTornWrite,
+    /// After the temp file is complete but before the atomic rename.
+    SnapshotBeforeRename,
+    /// After the rename: the snapshot IS committed, the process dies
+    /// before it can report success.
+    SnapshotAfterCommit,
+    /// Before a WAL record's first byte reaches the file.
+    WalBeforeAppend,
+    /// Mid-append: a prefix of the record lands, then the process dies.
+    WalTornAppend,
+    /// After the record is fully appended: the write IS durable, the
+    /// process dies before acknowledging.
+    WalAfterAppend,
+}
+
+impl CrashPoint {
+    /// Every crash point, for exhaustive matrices in tests.
+    pub const ALL: [CrashPoint; 7] = [
+        CrashPoint::SnapshotBeforeWrite,
+        CrashPoint::SnapshotTornWrite,
+        CrashPoint::SnapshotBeforeRename,
+        CrashPoint::SnapshotAfterCommit,
+        CrashPoint::WalBeforeAppend,
+        CrashPoint::WalTornAppend,
+        CrashPoint::WalAfterAppend,
+    ];
+
+    /// Whether the write at this point is already durable when the crash
+    /// fires (i.e. recovery must land on `S_committed`, not `S_pre`).
+    pub fn is_post_commit(self) -> bool {
+        matches!(
+            self,
+            CrashPoint::SnapshotAfterCommit | CrashPoint::WalAfterAppend
+        )
+    }
+}
+
+/// A seeded, one-shot crash plan threaded through the durable write
+/// paths. The plan fires at the `skip`-th matching [`CrashPoint`]
+/// encounter (default: the first) and then never again, so recovery code
+/// running after the "crash" sees a healthy filesystem.
+#[derive(Debug)]
+pub struct FailPlan {
+    point: CrashPoint,
+    skip: AtomicU32,
+    torn_keep: usize,
+    tripped: AtomicBool,
+}
+
+impl FailPlan {
+    /// A plan that fires at the first encounter of `point`.
+    pub fn new(point: CrashPoint) -> FailPlan {
+        FailPlan::nth(point, 0)
+    }
+
+    /// A plan that skips `skip` matching encounters before firing.
+    pub fn nth(point: CrashPoint, skip: u32) -> FailPlan {
+        FailPlan {
+            point,
+            skip: AtomicU32::new(skip),
+            torn_keep: 7,
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    /// A deterministic plan derived from a test seed: which encounter
+    /// dies and how many bytes a torn write keeps both vary with `seed`.
+    pub fn seeded(point: CrashPoint, seed: u64) -> FailPlan {
+        let mut plan = FailPlan::nth(point, (seed % 3) as u32);
+        plan.torn_keep = 1 + ((seed / 3) % 23) as usize;
+        plan
+    }
+
+    /// Sets how many bytes a torn write leaves behind.
+    pub fn torn_keep(mut self, bytes: usize) -> FailPlan {
+        self.torn_keep = bytes;
+        self
+    }
+
+    /// The crash point this plan targets.
+    pub fn point(&self) -> CrashPoint {
+        self.point
+    }
+
+    /// Whether the plan has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    fn fires(&self, point: CrashPoint) -> bool {
+        if point != self.point || self.tripped() {
+            return false;
+        }
+        let mut fired = false;
+        let _ = self
+            .skip
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                if s == 0 {
+                    fired = true;
+                    None
+                } else {
+                    fired = false;
+                    Some(s - 1)
+                }
+            });
+        if fired {
+            self.tripped.store(true, Ordering::Relaxed);
+        }
+        fired
+    }
+
+    /// Returns the injected crash error if the plan fires at `point`.
+    pub fn check(&self, point: CrashPoint) -> io::Result<()> {
+        if self.fires(point) {
+            Err(FailPlan::crash_error(point))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// For torn points: how many bytes to keep if the plan fires here.
+    fn torn(&self, point: CrashPoint) -> Option<usize> {
+        if self.fires(point) {
+            Some(self.torn_keep)
+        } else {
+            None
+        }
+    }
+
+    /// The error an injected crash surfaces as.
+    pub fn crash_error(point: CrashPoint) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Interrupted,
+            format!("injected crash at {point:?}"),
+        )
+    }
+
+    /// Whether an error came from an injected crash (vs. a real I/O
+    /// failure).
+    pub fn is_crash(err: &io::Error) -> bool {
+        err.kind() == io::ErrorKind::Interrupted && err.to_string().contains("injected crash")
+    }
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Writes `contents` to a temp sibling and renames it over `path`, so
+/// readers only ever observe the old snapshot or the complete new one.
+/// The optional [`FailPlan`] injects a crash at the snapshot points.
+pub fn commit_atomic(path: &Path, contents: &str, plan: Option<&FailPlan>) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    if let Some(plan) = plan {
+        plan.check(CrashPoint::SnapshotBeforeWrite)?;
+    }
+    let tmp = tmp_sibling(path);
+    let bytes = contents.as_bytes();
+    if let Some(keep) = plan.and_then(|p| p.torn(CrashPoint::SnapshotTornWrite)) {
+        std::fs::write(&tmp, &bytes[..keep.min(bytes.len())])?;
+        return Err(FailPlan::crash_error(CrashPoint::SnapshotTornWrite));
+    }
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.flush()?;
+    }
+    if let Some(plan) = plan {
+        plan.check(CrashPoint::SnapshotBeforeRename)?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(plan) = plan {
+        plan.check(CrashPoint::SnapshotAfterCommit)?;
+    }
+    Ok(())
+}
+
+// ---- append-only WAL ---------------------------------------------------
+//
+// One record per line:
+//   <seq:hex16> \t <payload> \t <fnv64(seq-hex \t payload):hex16> \n
+// The payload may itself contain tabs (its fields are escaped with
+// `esc`, which removes raw newlines), so a reader peels the checksum off
+// the right and the sequence number off the left.
+
+/// Encodes one WAL record line (including the trailing newline).
+pub fn wal_record_line(seq: u64, payload: &str) -> String {
+    debug_assert!(
+        !payload.contains('\n'),
+        "WAL payloads must be newline-free (escape fields with esc)"
+    );
+    let head = format!("{seq:016x}\t{payload}");
+    format!("{head}\t{:016x}\n", fnv64(head.as_bytes()))
+}
+
+/// Appends one checksummed record to the WAL at `path`, creating the
+/// file (and parent directory) if needed. The optional [`FailPlan`]
+/// injects a crash at the WAL points; a torn append leaves a prefix of
+/// the record behind, exactly as a mid-write power cut would.
+pub fn wal_append(path: &Path, seq: u64, payload: &str, plan: Option<&FailPlan>) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let line = wal_record_line(seq, payload);
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if let Some(plan) = plan {
+        plan.check(CrashPoint::WalBeforeAppend)?;
+        if let Some(keep) = plan.torn(CrashPoint::WalTornAppend) {
+            let bytes = line.as_bytes();
+            file.write_all(&bytes[..keep.min(bytes.len())])?;
+            file.flush()?;
+            return Err(FailPlan::crash_error(CrashPoint::WalTornAppend));
+        }
+    }
+    file.write_all(line.as_bytes())?;
+    file.flush()?;
+    if let Some(plan) = plan {
+        plan.check(CrashPoint::WalAfterAppend)?;
+    }
+    Ok(())
+}
+
+/// What [`wal_replay`] recovered.
+#[derive(Debug, Clone, Default)]
+pub struct WalReplay {
+    /// Intact records in file order: `(seq, payload)`.
+    pub records: Vec<(u64, String)>,
+    /// Whether a torn/corrupt tail was logically truncated (everything
+    /// before it is still trusted).
+    pub dropped_tail: bool,
+}
+
+/// Replays the WAL at `path`. A missing file is an empty WAL. Records
+/// are trusted up to the first violation — bad checksum, unparsable
+/// line, or non-increasing sequence number — which truncates the
+/// logical log there (`dropped_tail`), exactly the torn-tail semantics
+/// of a crash mid-append.
+pub fn wal_replay(path: &Path) -> io::Result<WalReplay> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(WalReplay::default()),
+        Err(e) => return Err(e),
+    };
+    let mut replay = WalReplay::default();
+    // A torn write can split a multi-byte character: trust the valid
+    // UTF-8 prefix and truncate there.
+    let text = match String::from_utf8(bytes) {
+        Ok(text) => text,
+        Err(e) => {
+            replay.dropped_tail = true;
+            let valid = e.utf8_error().valid_up_to();
+            let mut bytes = e.into_bytes();
+            bytes.truncate(valid);
+            String::from_utf8(bytes).expect("prefix is valid UTF-8")
+        }
+    };
+    let lines: Vec<&str> = text.split('\n').collect();
+    let mut last_seq: Option<u64> = None;
+    for (i, line) in lines.iter().enumerate() {
+        if line.is_empty() {
+            // The empty tail after the final newline is well-formed;
+            // a blank line anywhere else is corruption.
+            if i + 1 != lines.len() {
+                replay.dropped_tail = true;
+            }
+            break;
+        }
+        let Some((head, sum_hex)) = line.rsplit_once('\t') else {
+            replay.dropped_tail = true;
+            break;
+        };
+        let checks_out = u64::from_str_radix(sum_hex, 16)
+            .map(|sum| sum == fnv64(head.as_bytes()))
+            .unwrap_or(false);
+        if !checks_out {
+            replay.dropped_tail = true;
+            break;
+        }
+        let Some((seq_hex, payload)) = head.split_once('\t') else {
+            replay.dropped_tail = true;
+            break;
+        };
+        let Ok(seq) = u64::from_str_radix(seq_hex, 16) else {
+            replay.dropped_tail = true;
+            break;
+        };
+        if last_seq.is_some_and(|prev| seq <= prev) {
+            replay.dropped_tail = true;
+            break;
+        }
+        replay.records.push((seq, payload.to_string()));
+        last_seq = Some(seq);
+    }
+    Ok(replay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(name: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("aida-snapshot-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn file_frame_round_trips_and_rejects_corruption() {
+        let body = "alpha\tone\nbeta\ttwo\n";
+        let framed = encode_file("test v1", body);
+        assert_eq!(decode_file("test v1", &framed).unwrap(), body);
+        assert!(matches!(
+            decode_file("other v1", &framed),
+            Err(SnapshotError::Format(_))
+        ));
+        let mut garbled = framed.clone().into_bytes();
+        let last = garbled.len() - 2;
+        garbled[last] = garbled[last].wrapping_add(1);
+        let garbled = String::from_utf8(garbled).unwrap();
+        assert!(matches!(
+            decode_file("test v1", &garbled),
+            Err(SnapshotError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn commit_atomic_never_exposes_a_partial_file() {
+        let d = dir("atomic");
+        let path = d.join("state.snap");
+        commit_atomic(&path, "first\n", None).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first\n");
+
+        // A torn write dies mid-temp-file; the real path still holds the
+        // previous committed contents.
+        let plan = FailPlan::new(CrashPoint::SnapshotTornWrite).torn_keep(3);
+        let err = commit_atomic(&path, "second\n", Some(&plan)).unwrap_err();
+        assert!(FailPlan::is_crash(&err));
+        assert!(plan.tripped());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first\n");
+
+        // After the commit point the new contents ARE durable even
+        // though the caller sees a crash.
+        let plan = FailPlan::new(CrashPoint::SnapshotAfterCommit);
+        let err = commit_atomic(&path, "third\n", Some(&plan)).unwrap_err();
+        assert!(FailPlan::is_crash(&err));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "third\n");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn wal_replay_truncates_at_torn_tail() {
+        let d = dir("wal");
+        let path = d.join("ledger.wal");
+        wal_append(&path, 0, "admit\tacme", None).unwrap();
+        wal_append(&path, 1, "spend\tacme\t42", None).unwrap();
+        let plan = FailPlan::new(CrashPoint::WalTornAppend).torn_keep(9);
+        let err = wal_append(&path, 2, "spend\tbolt\t7", Some(&plan)).unwrap_err();
+        assert!(FailPlan::is_crash(&err));
+
+        let replay = wal_replay(&path).unwrap();
+        assert!(replay.dropped_tail);
+        assert_eq!(
+            replay.records,
+            vec![
+                (0, "admit\tacme".to_string()),
+                (1, "spend\tacme\t42".to_string())
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn wal_replay_rejects_non_monotone_sequences() {
+        let d = dir("walseq");
+        let path = d.join("ledger.wal");
+        wal_append(&path, 3, "a", None).unwrap();
+        wal_append(&path, 4, "b", None).unwrap();
+        // A duplicated sequence number (e.g. a buggy writer re-appending
+        // after a partial recovery) truncates the log at the violation.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(&wal_record_line(4, "dup"));
+        std::fs::write(&path, text).unwrap();
+        let replay = wal_replay(&path).unwrap();
+        assert!(replay.dropped_tail);
+        assert_eq!(replay.records.len(), 2);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn missing_wal_is_empty() {
+        let replay = wal_replay(Path::new("/nonexistent/aida/ledger.wal")).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(!replay.dropped_tail);
+    }
+
+    #[test]
+    fn fail_plan_skips_then_fires_once() {
+        let plan = FailPlan::nth(CrashPoint::WalBeforeAppend, 2);
+        assert!(plan.check(CrashPoint::WalBeforeAppend).is_ok());
+        assert!(plan.check(CrashPoint::SnapshotBeforeWrite).is_ok());
+        assert!(plan.check(CrashPoint::WalBeforeAppend).is_ok());
+        assert!(plan.check(CrashPoint::WalBeforeAppend).is_err());
+        assert!(plan.tripped());
+        // One-shot: recovery code after the crash runs unimpeded.
+        assert!(plan.check(CrashPoint::WalBeforeAppend).is_ok());
+    }
+}

@@ -94,6 +94,10 @@ impl Trace {
             out.push_str(&line);
             out.push('\n');
         }
+        if let Some(line) = self.durability_summary() {
+            out.push_str(&line);
+            out.push('\n');
+        }
         if !self.counters.is_empty() {
             out.push_str("counters:\n");
             for (name, value) in &self.counters {
@@ -139,6 +143,24 @@ impl Trace {
             .unwrap_or_default();
         Some(format!(
             "semantic cache: {hits} hits / {coalesced} coalesced / {misses} misses (hit rate {rate:.1}%{bytes})"
+        ))
+    }
+
+    /// One-line durability summary from the `checkpoint.*`, `wal.*`, and
+    /// `state.*` counters, or `None` when no durable-state activity was
+    /// recorded.
+    pub fn durability_summary(&self) -> Option<String> {
+        let count = |name: &str| self.counters.get(name).copied().unwrap_or(0);
+        let saves = count("checkpoint.saves");
+        let restored = count("state.restored_contexts");
+        let appends = count("wal.appends");
+        let replayed = count("wal.replayed_records");
+        let errors = count("checkpoint.errors") + count("wal.append_errors");
+        if saves + restored + appends + replayed + errors == 0 {
+            return None;
+        }
+        Some(format!(
+            "durability: {saves} checkpoints / {appends} wal appends (restored {restored} contexts, replayed {replayed} records, {errors} errors)"
         ))
     }
 
@@ -357,6 +379,25 @@ mod tests {
         assert!(
             text.contains(
                 "semantic cache: 6 hits / 2 coalesced / 8 misses (hit rate 50.0%, 2048 bytes resident)"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn durability_counters_render_a_summary_line() {
+        let r = sample();
+        // No durable-state activity: no summary.
+        assert!(r.trace().durability_summary().is_none());
+        assert!(!r.explain_analyze().contains("durability:"));
+        r.counter_add("checkpoint.saves", 3);
+        r.counter_add("wal.appends", 12);
+        r.counter_add("state.restored_contexts", 2);
+        r.counter_add("wal.replayed_records", 7);
+        let text = r.explain_analyze();
+        assert!(
+            text.contains(
+                "durability: 3 checkpoints / 12 wal appends (restored 2 contexts, replayed 7 records, 0 errors)"
             ),
             "{text}"
         );

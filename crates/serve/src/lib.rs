@@ -51,4 +51,4 @@ pub use queue::AdmissionQueue;
 pub use report::{ServiceReport, TenantReport};
 pub use request::{Completion, Priority, QueryRequest, RejectReason, Shed, TenantId};
 pub use service::{QueryService, ServeConfig};
-pub use tenant::{Spend, TenantConfig, TenantLedger};
+pub use tenant::{LedgerRecord, LedgerWal, Spend, TenantConfig, TenantLedger, WalRecovery};

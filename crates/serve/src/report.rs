@@ -82,6 +82,16 @@ pub struct ServiceReport {
     /// (filled by [`ServiceReport::set_isolated_baseline`]; `None` when
     /// the baseline wasn't run).
     pub isolated_cost_usd: Option<f64>,
+    /// Ledger-WAL records appended during the run (admits + spends).
+    pub wal_appends: u64,
+    /// Ledger-WAL compactions triggered during the run.
+    pub wal_compactions: u64,
+    /// Ledger-WAL records replayed at startup before this run.
+    pub wal_replayed: u64,
+    /// True when a WAL append or compaction failed and dispatch stopped
+    /// early (crash semantics: the durable log is at most one record
+    /// behind the in-memory ledger).
+    pub wal_failed: bool,
 }
 
 impl ServiceReport {
@@ -207,6 +217,16 @@ impl ServiceReport {
                 self.cache_bytes.unwrap_or(0),
             );
         }
+        if self.wal_appends + self.wal_replayed > 0 || self.wal_failed {
+            let _ = writeln!(
+                out,
+                "durability: {} wal appends / {} compactions  ({} replayed at startup{})",
+                self.wal_appends,
+                self.wal_compactions,
+                self.wal_replayed,
+                if self.wal_failed { ", WAL FAILED" } else { "" },
+            );
+        }
         match self.isolated_cost_usd {
             Some(isolated) if isolated > 0.0 => {
                 let _ = writeln!(
@@ -302,6 +322,10 @@ impl ServiceReport {
             .field("cache_coalesced", self.cache_coalesced)
             .field("cache_misses", self.cache_misses)
             .field("cache_hit_rate", self.cache_hit_rate())
+            .field("wal_appends", self.wal_appends)
+            .field("wal_compactions", self.wal_compactions)
+            .field("wal_replayed", self.wal_replayed)
+            .field("wal_failed", self.wal_failed)
             .field("makespan_s", self.makespan_s)
             .field("queue_depth", self.queue_depth.to_json());
         if let Some(bytes) = self.cache_bytes {
@@ -403,9 +427,30 @@ mod tests {
     }
 
     #[test]
-    fn isolated_baseline_changes_render() {
+    fn durability_line_renders_only_when_wal_was_active() {
         let mut report = ServiceReport::default();
-        report.total_cost_usd = 1.0;
+        assert!(!report.render().contains("durability:"));
+        report.wal_appends = 12;
+        report.wal_compactions = 1;
+        report.wal_replayed = 4;
+        let text = report.render();
+        assert!(
+            text.contains("durability: 12 wal appends / 1 compactions  (4 replayed at startup)"),
+            "{text}"
+        );
+        report.wal_failed = true;
+        assert!(report.render().contains("WAL FAILED"));
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains(r#""wal_appends":12"#));
+        assert!(jsonl.contains(r#""wal_failed":true"#));
+    }
+
+    #[test]
+    fn isolated_baseline_changes_render() {
+        let mut report = ServiceReport {
+            total_cost_usd: 1.0,
+            ..Default::default()
+        };
         assert!(report.render().contains("$1.0000 shared\n"));
         report.set_isolated_baseline(4.0);
         let text = report.render();

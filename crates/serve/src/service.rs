@@ -20,9 +20,10 @@
 use crate::queue::AdmissionQueue;
 use crate::report::ServiceReport;
 use crate::request::{Completion, QueryRequest, RejectReason, Shed};
-use crate::tenant::{TenantConfig, TenantLedger};
+use crate::tenant::{LedgerRecord, LedgerWal, TenantConfig, TenantLedger, WalRecovery};
 use crate::TenantId;
 use aida_core::{Context, Runtime};
+use aida_llm::snapshot::SnapshotError;
 use aida_llm::Timeline;
 use std::collections::BTreeMap;
 use std::sync::mpsc;
@@ -80,6 +81,8 @@ pub struct QueryService {
     config: ServeConfig,
     contexts: BTreeMap<String, Context>,
     tenants: TenantLedger,
+    wal: Option<LedgerWal>,
+    wal_recovery: Option<WalRecovery>,
 }
 
 impl QueryService {
@@ -90,7 +93,31 @@ impl QueryService {
             config,
             contexts: BTreeMap::new(),
             tenants: TenantLedger::new(),
+            wal: None,
+            wal_recovery: None,
         }
+    }
+
+    /// Attaches a tenant-ledger WAL: recovers the ledger's spend state
+    /// from disk (compacted snapshot + intact WAL suffix), then logs
+    /// every admit and every completed query's spend durably. Call after
+    /// registering tenants so recovered spend meets its quota configs.
+    pub fn attach_wal(&mut self, mut wal: LedgerWal) -> Result<WalRecovery, SnapshotError> {
+        let recovery = wal.recover(&mut self.tenants)?;
+        let recorder = self.runtime.recorder();
+        recorder.counter_add("wal.replayed_records", recovery.replayed);
+        recorder.counter_add("wal.skipped_records", recovery.skipped);
+        if recovery.dropped_tail {
+            recorder.counter_add("wal.dropped_tails", 1);
+        }
+        self.wal = Some(wal);
+        self.wal_recovery = Some(recovery);
+        Ok(recovery)
+    }
+
+    /// What [`QueryService::attach_wal`] recovered, if a WAL is attached.
+    pub fn wal_recovery(&self) -> Option<WalRecovery> {
+        self.wal_recovery
     }
 
     /// Registers a named Context that requests may target.
@@ -148,6 +175,10 @@ impl QueryService {
                 .submitted += 1;
         }
 
+        if let Some(recovery) = self.wal_recovery {
+            report.wal_replayed = recovery.replayed;
+        }
+
         let (hits_before, misses_before) = self.runtime.reuse_stats();
         let evictions_before = self.runtime.manager().evictions();
         let cache_before = self.runtime.cache_stats();
@@ -157,6 +188,7 @@ impl QueryService {
         let runtime = self.runtime.clone();
         let contexts = &self.contexts;
         let tenants = &mut self.tenants;
+        let wal = &mut self.wal;
         let trace_gauge = runtime.recorder().is_enabled();
 
         std::thread::scope(|scope| {
@@ -207,7 +239,7 @@ impl QueryService {
             // The scheduler's virtual cursor: monotone, so admission and
             // dispatch instants never run backwards.
             let mut now = 0.0_f64;
-            loop {
+            'dispatch: loop {
                 if queue.is_empty() {
                     match pending.peek() {
                         Some(next) => now = now.max(next.arrival_s),
@@ -240,7 +272,20 @@ impl QueryService {
                     };
                     match verdict {
                         Ok(()) => {
-                            report.tenants.entry(tenant).or_default().admitted += 1;
+                            report.tenants.entry(tenant.clone()).or_default().admitted += 1;
+                            if let Some(w) = wal.as_mut() {
+                                match w.append(&LedgerRecord::Admit { tenant }) {
+                                    Ok(_) => {
+                                        report.wal_appends += 1;
+                                        runtime.recorder().counter_add("wal.appends", 1);
+                                    }
+                                    Err(_) => {
+                                        runtime.recorder().counter_add("wal.append_errors", 1);
+                                        report.wal_failed = true;
+                                        break 'dispatch;
+                                    }
+                                }
+                            }
                         }
                         Err(reason) => shed(&mut report, seq, tenant, at_s, reason),
                     }
@@ -309,6 +354,44 @@ impl QueryService {
                 };
                 tenants.charge(&request.tenant, cost_usd, tokens, llm_calls);
                 tenants.credit_cache(&request.tenant, cache_delta.hits, cache_delta.coalesced);
+                // One combined record per completion: the charge and its
+                // cache credit land atomically or not at all, so recovery
+                // never sees a half-applied spend.
+                if let Some(w) = wal.as_mut() {
+                    let record = LedgerRecord::Spend {
+                        tenant: request.tenant.clone(),
+                        usd: cost_usd,
+                        tokens,
+                        calls: llm_calls,
+                        cache_hits: cache_delta.hits,
+                        cache_coalesced: cache_delta.coalesced,
+                    };
+                    let durable = match w.append(&record) {
+                        Ok(_) => {
+                            report.wal_appends += 1;
+                            runtime.recorder().counter_add("wal.appends", 1);
+                            match w.maybe_compact(tenants) {
+                                Ok(compacted) => {
+                                    if compacted {
+                                        report.wal_compactions += 1;
+                                        runtime.recorder().counter_add("wal.compactions", 1);
+                                    }
+                                    true
+                                }
+                                Err(_) => false,
+                            }
+                        }
+                        Err(_) => false,
+                    };
+                    if !durable {
+                        // Crash semantics: stop dispatching, so the durable
+                        // log trails the in-memory ledger by at most this
+                        // one record.
+                        runtime.recorder().counter_add("wal.append_errors", 1);
+                        report.wal_failed = true;
+                        break 'dispatch;
+                    }
+                }
 
                 let completion = Completion {
                     seq: request.seq,

@@ -1,7 +1,12 @@
-//! Per-tenant configuration and accounting.
+//! Per-tenant configuration and accounting, plus the append-only
+//! tenant-ledger WAL that makes quotas, spend attribution, and
+//! cache-credit balances exact across service restarts.
 
 use crate::request::TenantId;
+use aida_llm::snapshot::{self, esc, unesc, FailPlan, SnapshotError};
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Per-tenant service configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,6 +126,32 @@ impl TenantLedger {
         self.spend.get(tenant).copied().unwrap_or_default()
     }
 
+    /// Every tenant with attributed spend, in id order.
+    pub fn spends(&self) -> impl Iterator<Item = (&TenantId, &Spend)> {
+        self.spend.iter()
+    }
+
+    /// Applies one durable ledger record. Replaying a WAL through this
+    /// reproduces the exact spend state the records were written under.
+    pub fn apply(&mut self, record: &LedgerRecord) {
+        match record {
+            // Admissions carry no spend; they make the WAL a complete
+            // audit trail of what entered the service.
+            LedgerRecord::Admit { .. } => {}
+            LedgerRecord::Spend {
+                tenant,
+                usd,
+                tokens,
+                calls,
+                cache_hits,
+                cache_coalesced,
+            } => {
+                self.charge(tenant, *usd, *tokens, *calls);
+                self.credit_cache(tenant, *cache_hits, *cache_coalesced);
+            }
+        }
+    }
+
     /// Attributes one query's meter delta to a tenant.
     pub fn charge(&mut self, tenant: &TenantId, usd: f64, tokens: u64, calls: u64) {
         self.spend
@@ -164,6 +195,292 @@ impl TenantLedger {
         }
         None
     }
+}
+
+// ---- tenant-ledger WAL -------------------------------------------------
+
+/// One durable ledger event. A completed query writes a single
+/// [`LedgerRecord::Spend`] carrying both the meter delta and the cache
+/// credits, so charge and credit land atomically — a crash can lose an
+/// entire record, never half of one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerRecord {
+    /// A request passed admission (audit trail; no spend).
+    Admit {
+        /// The admitted tenant.
+        tenant: TenantId,
+    },
+    /// One completed query's attributed spend and cache credits.
+    Spend {
+        /// The charged tenant.
+        tenant: TenantId,
+        /// Dollars attributed.
+        usd: f64,
+        /// Tokens attributed.
+        tokens: u64,
+        /// Billed LLM calls attributed.
+        calls: u64,
+        /// Semantic-cache hits credited.
+        cache_hits: u64,
+        /// Semantic-cache coalesced waiters credited.
+        cache_coalesced: u64,
+    },
+}
+
+impl LedgerRecord {
+    /// Encodes the record as a tab-separated WAL payload (newline-free;
+    /// the WAL layer adds the sequence number and checksum).
+    pub fn encode(&self) -> String {
+        match self {
+            LedgerRecord::Admit { tenant } => {
+                let mut out = String::from("admit\t");
+                esc(tenant.as_str(), &mut out);
+                out
+            }
+            LedgerRecord::Spend {
+                tenant,
+                usd,
+                tokens,
+                calls,
+                cache_hits,
+                cache_coalesced,
+            } => {
+                let mut out = String::from("spend\t");
+                esc(tenant.as_str(), &mut out);
+                out.push_str(&format!(
+                    "\t{:016x}\t{tokens}\t{calls}\t{cache_hits}\t{cache_coalesced}",
+                    usd.to_bits()
+                ));
+                out
+            }
+        }
+    }
+
+    /// Decodes a WAL payload. Dollars round-trip via `f64::to_bits`, so
+    /// a replayed ledger is bit-identical to the one that wrote it.
+    pub fn decode(payload: &str) -> Result<LedgerRecord, SnapshotError> {
+        let fail = |msg: &str| SnapshotError::Format(msg.to_string());
+        let fields: Vec<&str> = payload.split('\t').collect();
+        match fields.first() {
+            Some(&"admit") if fields.len() == 2 => Ok(LedgerRecord::Admit {
+                tenant: TenantId::new(unesc(fields[1])?),
+            }),
+            Some(&"spend") if fields.len() == 7 => Ok(LedgerRecord::Spend {
+                tenant: TenantId::new(unesc(fields[1])?),
+                usd: u64::from_str_radix(fields[2], 16)
+                    .map(f64::from_bits)
+                    .map_err(|_| fail("bad usd bits"))?,
+                tokens: fields[3].parse().map_err(|_| fail("bad tokens"))?,
+                calls: fields[4].parse().map_err(|_| fail("bad calls"))?,
+                cache_hits: fields[5].parse().map_err(|_| fail("bad cache_hits"))?,
+                cache_coalesced: fields[6].parse().map_err(|_| fail("bad cache_coalesced"))?,
+            }),
+            _ => Err(fail("unknown ledger record")),
+        }
+    }
+}
+
+/// What [`LedgerWal::recover`] reconstructed at startup.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalRecovery {
+    /// Whether a compacted ledger snapshot was loaded first.
+    pub snapshot_loaded: bool,
+    /// WAL records replayed into the ledger.
+    pub replayed: u64,
+    /// WAL records skipped because the compacted snapshot already covers
+    /// them (a crash between snapshot-commit and WAL-truncate leaves
+    /// such records behind; skipping keeps replay idempotent).
+    pub skipped: u64,
+    /// Whether a torn/corrupt WAL tail was logically truncated.
+    pub dropped_tail: bool,
+    /// The next sequence number new appends will use.
+    pub next_seq: u64,
+}
+
+const LEDGER_MAGIC: &str = "aida-ledger v1";
+
+/// The append-only tenant-ledger WAL. Every admit and every completed
+/// query appends one checksummed, sequence-numbered record; on startup
+/// [`LedgerWal::recover`] loads the compacted snapshot (the WAL path's
+/// `.ledger` sibling) and replays the intact WAL suffix, so quotas and
+/// spend are exact across restarts. Once the replayable WAL grows past
+/// `compact_threshold` records, the ledger is compacted into the
+/// snapshot and the WAL truncated.
+#[derive(Debug)]
+pub struct LedgerWal {
+    path: PathBuf,
+    snapshot_path: PathBuf,
+    next_seq: u64,
+    records_in_wal: usize,
+    compact_threshold: usize,
+    plan: Option<Arc<FailPlan>>,
+}
+
+impl LedgerWal {
+    /// Opens a WAL at `path` (nothing is read until
+    /// [`LedgerWal::recover`]). The compacted snapshot lives beside it
+    /// with a `.ledger` suffix.
+    pub fn open(path: impl Into<PathBuf>) -> LedgerWal {
+        let path = path.into();
+        let mut os = path.as_os_str().to_owned();
+        os.push(".ledger");
+        LedgerWal {
+            snapshot_path: PathBuf::from(os),
+            path,
+            next_seq: 0,
+            records_in_wal: 0,
+            compact_threshold: 256,
+            plan: None,
+        }
+    }
+
+    /// Sets how many replayable WAL records trigger compaction
+    /// (0 = never compact automatically).
+    pub fn compact_threshold(mut self, records: usize) -> LedgerWal {
+        self.compact_threshold = records;
+        self
+    }
+
+    /// Installs a crash-injection plan on every durable write this WAL
+    /// performs (durability suite only).
+    pub fn with_fail_plan(mut self, plan: Arc<FailPlan>) -> LedgerWal {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// The WAL file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The compacted-snapshot sibling path.
+    pub fn snapshot_path(&self) -> &Path {
+        &self.snapshot_path
+    }
+
+    /// The sequence number the next append will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Rebuilds `ledger` from disk: applies the compacted snapshot (if
+    /// any), then replays every intact WAL record the snapshot does not
+    /// already cover. A torn tail is truncated; a corrupt snapshot is a
+    /// typed error (the caller decides whether to start cold).
+    pub fn recover(&mut self, ledger: &mut TenantLedger) -> Result<WalRecovery, SnapshotError> {
+        let mut recovery = WalRecovery::default();
+        let mut base_seq = 0u64;
+        match std::fs::read_to_string(&self.snapshot_path) {
+            Ok(text) => {
+                let (seq, spends) = decode_ledger_snapshot(&text)?;
+                base_seq = seq;
+                for (tenant, spend) in spends {
+                    ledger.charge(&tenant, spend.usd, spend.tokens, spend.calls);
+                    ledger.credit_cache(&tenant, spend.cache_hits, spend.cache_coalesced);
+                }
+                recovery.snapshot_loaded = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        let replay = snapshot::wal_replay(&self.path)?;
+        recovery.dropped_tail = replay.dropped_tail;
+        self.next_seq = base_seq;
+        self.records_in_wal = 0;
+        for (seq, payload) in replay.records {
+            if seq < base_seq {
+                recovery.skipped += 1;
+                continue;
+            }
+            let record = LedgerRecord::decode(&payload)?;
+            ledger.apply(&record);
+            recovery.replayed += 1;
+            self.records_in_wal += 1;
+            self.next_seq = seq + 1;
+        }
+        recovery.next_seq = self.next_seq;
+        Ok(recovery)
+    }
+
+    /// Appends one record durably, returning its sequence number. On an
+    /// error the record may or may not have landed (exactly the crash
+    /// model); the caller must stop appending and recover via
+    /// [`LedgerWal::recover`] before trusting the ledger again.
+    pub fn append(&mut self, record: &LedgerRecord) -> std::io::Result<u64> {
+        let seq = self.next_seq;
+        snapshot::wal_append(&self.path, seq, &record.encode(), self.plan.as_deref())?;
+        self.next_seq = seq + 1;
+        self.records_in_wal += 1;
+        Ok(seq)
+    }
+
+    /// Compacts if the replayable WAL has reached the threshold.
+    /// Returns whether a compaction ran.
+    pub fn maybe_compact(&mut self, ledger: &TenantLedger) -> std::io::Result<bool> {
+        if self.compact_threshold == 0 || self.records_in_wal < self.compact_threshold {
+            return Ok(false);
+        }
+        self.compact(ledger)
+    }
+
+    /// Writes the ledger's current state into the compacted snapshot
+    /// (atomic commit), then truncates the WAL. A crash between the two
+    /// steps is safe: recovery skips WAL records the snapshot already
+    /// covers.
+    pub fn compact(&mut self, ledger: &TenantLedger) -> std::io::Result<bool> {
+        let framed = encode_ledger_snapshot(self.next_seq, ledger);
+        snapshot::commit_atomic(&self.snapshot_path, &framed, self.plan.as_deref())?;
+        std::fs::write(&self.path, "")?;
+        self.records_in_wal = 0;
+        Ok(true)
+    }
+}
+
+fn encode_ledger_snapshot(next_seq: u64, ledger: &TenantLedger) -> String {
+    let mut body = format!("Q\t{next_seq}\n");
+    for (tenant, spend) in ledger.spends() {
+        body.push_str("S\t");
+        esc(tenant.as_str(), &mut body);
+        body.push_str(&format!(
+            "\t{:016x}\t{}\t{}\t{}\t{}\n",
+            spend.usd.to_bits(),
+            spend.tokens,
+            spend.calls,
+            spend.cache_hits,
+            spend.cache_coalesced
+        ));
+    }
+    snapshot::encode_file(LEDGER_MAGIC, &body)
+}
+
+fn decode_ledger_snapshot(text: &str) -> Result<(u64, Vec<(TenantId, Spend)>), SnapshotError> {
+    let fail = |msg: &str| SnapshotError::Format(msg.to_string());
+    let body = snapshot::decode_file(LEDGER_MAGIC, text)?;
+    let mut lines = body.lines();
+    let next_seq = lines
+        .next()
+        .and_then(|line| line.strip_prefix("Q\t"))
+        .and_then(|raw| raw.parse::<u64>().ok())
+        .ok_or_else(|| fail("bad sequence line"))?;
+    let mut spends = Vec::new();
+    for line in lines {
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.first() != Some(&"S") || fields.len() != 7 {
+            return Err(fail("bad spend line"));
+        }
+        let tenant = TenantId::new(unesc(fields[1])?);
+        let spend = Spend {
+            usd: u64::from_str_radix(fields[2], 16)
+                .map(f64::from_bits)
+                .map_err(|_| fail("bad usd bits"))?,
+            tokens: fields[3].parse().map_err(|_| fail("bad tokens"))?,
+            calls: fields[4].parse().map_err(|_| fail("bad calls"))?,
+            cache_hits: fields[5].parse().map_err(|_| fail("bad cache_hits"))?,
+            cache_coalesced: fields[6].parse().map_err(|_| fail("bad cache_coalesced"))?,
+        };
+        spends.push((tenant, spend));
+    }
+    Ok((next_seq, spends))
 }
 
 #[cfg(test)]
@@ -216,6 +533,100 @@ mod tests {
     #[test]
     fn weight_floor_is_one() {
         assert_eq!(TenantConfig::weighted(0).weight, 1);
+    }
+
+    fn wal_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("aida-wal-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn spend_record(tenant: &TenantId, usd: f64) -> LedgerRecord {
+        LedgerRecord::Spend {
+            tenant: tenant.clone(),
+            usd,
+            tokens: 120,
+            calls: 3,
+            cache_hits: 2,
+            cache_coalesced: 1,
+        }
+    }
+
+    #[test]
+    fn wal_replay_reproduces_bit_identical_spend() {
+        let d = wal_dir("replay");
+        let acme: TenantId = "acme".into();
+        let mut ledger = TenantLedger::new();
+        ledger.register(acme.clone(), TenantConfig::weighted(2).dollars(1.0));
+        let mut wal = LedgerWal::open(d.join("tenants.wal"));
+        for record in [
+            LedgerRecord::Admit {
+                tenant: acme.clone(),
+            },
+            spend_record(&acme, 0.123456789),
+            spend_record(&acme, 0.000000071),
+        ] {
+            ledger.apply(&record);
+            wal.append(&record).unwrap();
+        }
+
+        let mut restarted = TenantLedger::new();
+        let mut wal2 = LedgerWal::open(d.join("tenants.wal"));
+        let recovery = wal2.recover(&mut restarted).unwrap();
+        assert_eq!(recovery.replayed, 3);
+        assert!(!recovery.dropped_tail);
+        assert_eq!(wal2.next_seq(), wal.next_seq());
+        // Bit-identical dollars, not just approximately equal.
+        assert_eq!(
+            restarted.spend(&acme).usd.to_bits(),
+            ledger.spend(&acme).usd.to_bits()
+        );
+        assert_eq!(restarted.spend(&acme), ledger.spend(&acme));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn record_codec_round_trips() {
+        let r = spend_record(&"team a\twith\ttabs".into(), -0.5);
+        assert_eq!(LedgerRecord::decode(&r.encode()).unwrap(), r);
+        let a = LedgerRecord::Admit {
+            tenant: "bolt".into(),
+        };
+        assert_eq!(LedgerRecord::decode(&a.encode()).unwrap(), a);
+        assert!(LedgerRecord::decode("refund\tacme\t1").is_err());
+    }
+
+    #[test]
+    fn compaction_is_crash_idempotent() {
+        let d = wal_dir("compact");
+        let acme: TenantId = "acme".into();
+        let mut ledger = TenantLedger::new();
+        let mut wal = LedgerWal::open(d.join("tenants.wal")).compact_threshold(3);
+        for i in 0..3 {
+            let record = spend_record(&acme, 0.01 * (i + 1) as f64);
+            ledger.apply(&record);
+            wal.append(&record).unwrap();
+        }
+        // Simulate a crash between snapshot-commit and WAL-truncate: run
+        // the compaction, then restore the pre-truncate WAL bytes.
+        let wal_bytes = std::fs::read(wal.path()).unwrap();
+        assert!(wal.maybe_compact(&ledger).unwrap());
+        std::fs::write(wal.path(), &wal_bytes).unwrap();
+
+        let mut restarted = TenantLedger::new();
+        let mut wal2 = LedgerWal::open(d.join("tenants.wal"));
+        let recovery = wal2.recover(&mut restarted).unwrap();
+        assert!(recovery.snapshot_loaded);
+        // Every leftover record predates the snapshot: skipped, so the
+        // spend is applied exactly once.
+        assert_eq!(recovery.skipped, 3);
+        assert_eq!(recovery.replayed, 0);
+        assert_eq!(
+            restarted.spend(&acme).usd.to_bits(),
+            ledger.spend(&acme).usd.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&d);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! # aida-testkit — deterministic crash-injection test harness
+//!
+//! Shared scaffolding for the durability test suite: per-test temp
+//! directories (so `cargo test` is parallel-safe), byte-level file
+//! corruption helpers, and re-exports of the crash-injection machinery
+//! from [`aida_llm::snapshot`].
+//!
+//! The crash model these tools exercise: a process can die at any of the
+//! [`CrashPoint`]s threaded through the snapshot-save and WAL-append
+//! paths, possibly leaving a torn (prefix-only) write behind. Recovery
+//! must land in either the pre-crash persisted state or the committed
+//! state — never anything in between.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use aida_llm::snapshot::{CrashPoint, FailPlan};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// A per-test scratch directory, removed on drop.
+///
+/// The path embeds the label, the process id, and a process-wide
+/// counter, so concurrently running tests (and concurrently running
+/// `cargo test` invocations) never collide on artifact paths.
+#[derive(Debug)]
+pub struct TestDir {
+    path: PathBuf,
+}
+
+impl TestDir {
+    /// Creates a fresh scratch directory under the system temp dir.
+    pub fn new(label: &str) -> TestDir {
+        let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("aida-test-{label}-{}-{n}", std::process::id()));
+        fs::create_dir_all(&path).expect("create test dir");
+        TestDir { path }
+    }
+
+    /// The directory itself.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path for a named file inside the directory (not created).
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Every crash point, for exhaustive matrix tests.
+pub fn crash_points() -> &'static [CrashPoint] {
+    &CrashPoint::ALL
+}
+
+/// Flips one byte of a file in place (torn-media simulation). The index
+/// wraps modulo the file length. Panics on an empty or missing file.
+pub fn corrupt_byte(path: &Path, index: usize) {
+    let mut bytes = fs::read(path).expect("read file to corrupt");
+    assert!(!bytes.is_empty(), "cannot corrupt an empty file");
+    let i = index % bytes.len();
+    bytes[i] ^= 0x5a;
+    fs::write(path, bytes).expect("write corrupted file");
+}
+
+/// Drops the last `n` bytes of a file (truncated-write simulation).
+/// Truncating more than the file holds leaves it empty.
+pub fn truncate_tail(path: &Path, n: usize) {
+    let bytes = fs::read(path).expect("read file to truncate");
+    let keep = bytes.len().saturating_sub(n);
+    fs::write(path, &bytes[..keep]).expect("write truncated file");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_dirs_are_distinct_and_cleaned_up() {
+        let a = TestDir::new("x");
+        let b = TestDir::new("x");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        fs::write(a.file("f.txt"), "data").unwrap();
+        drop(a);
+        assert!(!kept.exists());
+        assert!(b.path().is_dir());
+    }
+
+    #[test]
+    fn corruption_helpers_change_exactly_what_they_claim() {
+        let dir = TestDir::new("corrupt");
+        let path = dir.file("f.bin");
+        fs::write(&path, b"hello world").unwrap();
+
+        corrupt_byte(&path, 1);
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), 11);
+        assert_ne!(bytes[1], b'e');
+        assert_eq!(bytes[0], b'h');
+
+        truncate_tail(&path, 6);
+        assert_eq!(fs::read(&path).unwrap().len(), 5);
+        truncate_tail(&path, 100);
+        assert_eq!(fs::read(&path).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn crash_point_matrix_is_exhaustive() {
+        assert_eq!(crash_points().len(), 7);
+        let post: Vec<_> = crash_points()
+            .iter()
+            .filter(|p| p.is_post_commit())
+            .collect();
+        assert_eq!(post.len(), 2);
+    }
+}

@@ -5,7 +5,8 @@
 
 use aida::llm::{CacheConfig, SemanticCache, SnapshotError};
 use aida::prelude::*;
-use std::path::PathBuf;
+use aida_testkit::TestDir;
+use std::path::Path;
 
 fn lake() -> DataLake {
     DataLake::from_docs([
@@ -15,13 +16,7 @@ fn lake() -> DataLake {
     ])
 }
 
-fn snapshot_path(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("aida_cache_test_{}", std::process::id()));
-    let _ = std::fs::create_dir_all(&dir);
-    dir.join(name)
-}
-
-fn build_runtime(seed: u64, path: &PathBuf) -> Runtime {
+fn build_runtime(seed: u64, path: &Path) -> Runtime {
     Runtime::builder()
         .seed(seed)
         .semantic_cache(4096)
@@ -33,8 +28,8 @@ fn build_runtime(seed: u64, path: &PathBuf) -> Runtime {
 /// reproduce the warm answers with zero additional LLM spend.
 #[test]
 fn warm_restart_from_snapshot_costs_zero() {
-    let path = snapshot_path("warm_restart.snap");
-    let _ = std::fs::remove_file(&path);
+    let dir = TestDir::new("cache-warm-restart");
+    let path = dir.file("warm_restart.snap");
 
     let cold_rt = build_runtime(11, &path);
     let ctx = Context::builder("lake", lake())
@@ -75,8 +70,6 @@ fn warm_restart_from_snapshot_costs_zero() {
     let stats = warm_rt.cache_stats().unwrap();
     assert!(stats.hits > 0);
     assert_eq!(stats.misses, 0, "no call fell through to the simulator");
-
-    let _ = std::fs::remove_file(&path);
 }
 
 /// Satellite (d): ContextManager eviction must not invalidate cache
@@ -140,8 +133,8 @@ fn context_eviction_preserves_cache_entries() {
 /// cold instead of serving garbled answers.
 #[test]
 fn corrupted_snapshot_is_rejected_and_runtime_starts_cold() {
-    let path = snapshot_path("corrupted.snap");
-    let _ = std::fs::remove_file(&path);
+    let dir = TestDir::new("cache-corrupted");
+    let path = dir.file("corrupted.snap");
 
     let rt = build_runtime(17, &path);
     let ctx = Context::builder("lake", lake())
@@ -154,10 +147,8 @@ fn corrupted_snapshot_is_rejected_and_runtime_starts_cold() {
     assert!(rt.save_cache().unwrap());
 
     // Garble a byte in the middle of the body.
-    let mut bytes = std::fs::read(&path).unwrap();
-    let mid = bytes.len() / 2;
-    bytes[mid] ^= 0x41;
-    std::fs::write(&path, &bytes).unwrap();
+    let mid = std::fs::read(&path).unwrap().len() / 2;
+    aida_testkit::corrupt_byte(&path, mid);
 
     // Loading directly reports a typed format error...
     let probe = SemanticCache::new(CacheConfig {
@@ -183,8 +174,6 @@ fn corrupted_snapshot_is_rejected_and_runtime_starts_cold() {
         .run();
     assert!(outcome.answer.is_some());
     assert!(cold_rt.cost() > 0.0, "cold service recomputes and bills");
-
-    let _ = std::fs::remove_file(&path);
 }
 
 /// Fixed-seed runs with the cache enabled are byte-identical, including

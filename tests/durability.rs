@@ -1,0 +1,664 @@
+//! Durability suite: deterministic crash injection over the
+//! ContextManager snapshot and the tenant-ledger WAL.
+//!
+//! The contract under test, for every [`CrashPoint`] the save and append
+//! paths expose: *recover(crash(S)) ∈ {S_pre, S_committed}*. A crash may
+//! lose the in-flight snapshot or ledger record entirely, but recovery
+//! never observes a half-applied ledger entry, a torn snapshot, or a
+//! Context whose lineage (documents, findings, cost metadata) dangles.
+//!
+//! Set `AIDA_DURABILITY_DUMP=<dir>` to export the recovered state of the
+//! fixed scenario as JSONL; CI runs the suite twice at the same seed and
+//! diffs the dumps byte-for-byte.
+
+use aida::core::{Context, Runtime};
+use aida::data::{DataLake, Document};
+use aida::llm::snapshot::{CrashPoint, FailPlan};
+use aida::serve::{
+    open_loop, LedgerRecord, LedgerWal, QueryService, ServeConfig, TenantConfig, TenantId,
+    TenantLedger, TenantLoad,
+};
+use aida_testkit::{corrupt_byte, crash_points, truncate_tail, TestDir};
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+
+fn lake() -> DataLake {
+    DataLake::from_docs([
+        Document::new("report_2001.txt", "identity theft reports in 2001: 86250"),
+        Document::new("report_2002.txt", "identity theft reports in 2002: 161977"),
+        Document::new("report_2024.txt", "identity theft reports in 2024: 1135291"),
+    ])
+}
+
+fn spend(tenant: &str, usd: f64) -> LedgerRecord {
+    LedgerRecord::Spend {
+        tenant: tenant.into(),
+        usd,
+        tokens: 100,
+        calls: 2,
+        cache_hits: 1,
+        cache_coalesced: 0,
+    }
+}
+
+/// Recovers whatever is on disk into a fresh ledger and returns the
+/// per-tenant dollar bits plus the recovery stats.
+fn recover_usd_bits(path: &Path, tenant: &str) -> (u64, aida::serve::WalRecovery) {
+    let mut ledger = TenantLedger::new();
+    let mut wal = LedgerWal::open(path);
+    let recovery = wal.recover(&mut ledger).expect("recovery never fails");
+    (ledger.spend(&tenant.into()).usd.to_bits(), recovery)
+}
+
+// ---- tentpole: snapshot crash matrix -----------------------------------
+
+/// Crash the ContextManager checkpoint at every injection point. The
+/// state file must afterwards decode to exactly the pre-crash snapshot
+/// (crash before the rename commit) or the new one (crash after) — the
+/// atomic-rename discipline leaves no third possibility.
+#[test]
+fn snapshot_crash_recovery_is_pre_or_committed() {
+    let dir = TestDir::new("snap-crash");
+    let state = dir.file("state.bin");
+    let rt = Runtime::builder().seed(7).state_path(&state).build();
+    let ctx = Context::builder("lake", lake())
+        .description("FTC identity theft reports by year")
+        .build(&rt);
+
+    let _ = rt
+        .query(&ctx)
+        .compute("count identity theft reports in 2001")
+        .run();
+    assert!(rt.save_state().unwrap());
+    let s_pre = fs::read_to_string(&state).unwrap();
+
+    let _ = rt
+        .query(&ctx)
+        .compute("count identity theft reports in 2002")
+        .run();
+    let s_committed = rt.manager().encode_snapshot();
+    assert_ne!(s_pre, s_committed, "second query changed the store");
+
+    let snapshot_points = [
+        CrashPoint::SnapshotBeforeWrite,
+        CrashPoint::SnapshotTornWrite,
+        CrashPoint::SnapshotBeforeRename,
+        CrashPoint::SnapshotAfterCommit,
+    ];
+    for point in snapshot_points {
+        fs::write(&state, &s_pre).unwrap();
+        let plan = FailPlan::new(point).torn_keep(9);
+        let err = rt.save_state_with(Some(&plan)).unwrap_err();
+        assert!(FailPlan::is_crash(&err), "{point:?}");
+        assert!(plan.tripped(), "{point:?}");
+
+        // "Restart": a fresh runtime loads whatever survived on disk.
+        let recovered = Runtime::builder().seed(7).state_path(&state).build();
+        let got = recovered.manager().encode_snapshot();
+        if point.is_post_commit() {
+            assert_eq!(got, s_committed, "{point:?}: rename landed, new state");
+        } else {
+            assert_eq!(got, s_pre, "{point:?}: crash pre-commit keeps old state");
+        }
+    }
+
+    // And the clean save commits the new state.
+    fs::write(&state, &s_pre).unwrap();
+    assert!(rt.save_state().unwrap());
+    let recovered = Runtime::builder().seed(7).state_path(&state).build();
+    assert_eq!(recovered.manager().encode_snapshot(), s_committed);
+}
+
+/// A corrupted or truncated state file is rejected wholesale (the
+/// runtime starts empty rather than loading garbage), never partially
+/// applied.
+#[test]
+fn corrupt_snapshot_is_rejected_not_partially_loaded() {
+    let dir = TestDir::new("snap-corrupt");
+    let state = dir.file("state.bin");
+    let rt = Runtime::builder().seed(7).state_path(&state).build();
+    let ctx = Context::builder("lake", lake())
+        .description("FTC identity theft reports by year")
+        .build(&rt);
+    let _ = rt
+        .query(&ctx)
+        .compute("count identity theft reports in 2001")
+        .run();
+    rt.save_state().unwrap();
+    let clean = fs::read(&state).unwrap();
+
+    for index in [0usize, clean.len() / 2, clean.len() - 1] {
+        fs::write(&state, &clean).unwrap();
+        corrupt_byte(&state, index);
+        let recovered = Runtime::builder().seed(7).state_path(&state).build();
+        assert_eq!(
+            recovered.manager().len(),
+            0,
+            "byte {index}: corruption must reject the whole snapshot"
+        );
+    }
+
+    fs::write(&state, &clean).unwrap();
+    truncate_tail(&state, 5);
+    let recovered = Runtime::builder().seed(7).state_path(&state).build();
+    assert_eq!(recovered.manager().len(), 0, "truncated snapshot rejected");
+}
+
+// ---- tentpole: WAL crash matrix ----------------------------------------
+
+/// Crash the ledger append at every injection point. Recovery must see
+/// either the ledger without the in-flight record or with it applied in
+/// full — a torn tail is logically truncated, never half-decoded.
+#[test]
+fn wal_crash_never_half_applies_a_ledger_entry() {
+    let dir = TestDir::new("wal-crash");
+    let path = dir.file("ledger.wal");
+
+    let mut wal = LedgerWal::open(&path);
+    for i in 0..3 {
+        wal.append(&spend("acme", 0.25 + i as f64 * 0.125)).unwrap();
+    }
+    let base_bytes = fs::read(&path).unwrap();
+    let (pre_bits, pre) = recover_usd_bits(&path, "acme");
+    assert_eq!(pre.replayed, 3);
+
+    // What the ledger looks like if the fourth record lands in full.
+    let mut committed = TenantLedger::new();
+    for i in 0..3 {
+        committed.apply(&spend("acme", 0.25 + i as f64 * 0.125));
+    }
+    committed.apply(&spend("acme", 1.0));
+    let committed_bits = committed.spend(&"acme".into()).usd.to_bits();
+
+    let wal_points = [
+        CrashPoint::WalBeforeAppend,
+        CrashPoint::WalTornAppend,
+        CrashPoint::WalAfterAppend,
+    ];
+    // The two matrices together must cover every injection point.
+    assert_eq!(wal_points.len() + 4, crash_points().len());
+    for point in wal_points {
+        fs::write(&path, &base_bytes).unwrap();
+        let plan = Arc::new(FailPlan::new(point).torn_keep(11));
+        let mut w = LedgerWal::open(&path).with_fail_plan(plan.clone());
+        let mut scratch = TenantLedger::new();
+        w.recover(&mut scratch).unwrap();
+        let err = w.append(&spend("acme", 1.0)).unwrap_err();
+        assert!(FailPlan::is_crash(&err), "{point:?}");
+        assert!(plan.tripped(), "{point:?}");
+
+        let (bits, recovery) = recover_usd_bits(&path, "acme");
+        if point.is_post_commit() {
+            assert_eq!(recovery.replayed, 4, "{point:?}");
+            assert_eq!(bits, committed_bits, "{point:?}: record applied in full");
+        } else {
+            assert_eq!(recovery.replayed, 3, "{point:?}");
+            assert_eq!(bits, pre_bits, "{point:?}: record lost in full");
+        }
+        assert_eq!(
+            recovery.dropped_tail,
+            point == CrashPoint::WalTornAppend,
+            "{point:?}"
+        );
+    }
+}
+
+/// Truncating or corrupting the WAL anywhere loses only a suffix: the
+/// intact prefix replays exactly, byte-level damage never panics.
+#[test]
+fn wal_damage_loses_only_a_suffix() {
+    let dir = TestDir::new("wal-damage");
+    let path = dir.file("ledger.wal");
+    let mut wal = LedgerWal::open(&path);
+    let mut prefix_bits = Vec::new();
+    let mut ledger = TenantLedger::new();
+    for i in 0..4 {
+        prefix_bits.push(ledger.spend(&"acme".into()).usd.to_bits());
+        let record = spend("acme", 0.5 + i as f64);
+        wal.append(&record).unwrap();
+        ledger.apply(&record);
+    }
+    prefix_bits.push(ledger.spend(&"acme".into()).usd.to_bits());
+    let clean = fs::read(&path).unwrap();
+
+    for cut in 1..clean.len() {
+        fs::write(&path, &clean).unwrap();
+        truncate_tail(&path, cut);
+        let (bits, recovery) = recover_usd_bits(&path, "acme");
+        let replayed = recovery.replayed as usize;
+        assert!(replayed <= 4);
+        assert_eq!(
+            bits, prefix_bits[replayed],
+            "cut {cut}: recovered ledger is an exact record prefix"
+        );
+    }
+
+    for index in (0..clean.len()).step_by(7) {
+        fs::write(&path, &clean).unwrap();
+        corrupt_byte(&path, index);
+        let (bits, recovery) = recover_usd_bits(&path, "acme");
+        let replayed = recovery.replayed as usize;
+        assert!(replayed <= 4, "byte {index}");
+        assert_eq!(
+            bits, prefix_bits[replayed],
+            "byte {index}: damage truncates, never corrupts the ledger"
+        );
+    }
+}
+
+// ---- tentpole: warm restart of the full service ------------------------
+
+fn workload() -> Vec<aida::serve::QueryRequest> {
+    let loads = [
+        TenantLoad::new("acme", "reports")
+            .instructions([
+                "count identity theft reports in 2001",
+                "count identity theft reports in 2024",
+            ])
+            .queries(4)
+            .mean_interarrival(25.0),
+        TenantLoad::new("bolt", "reports")
+            .instructions(["count identity theft reports in 2002"])
+            .queries(3)
+            .mean_interarrival(40.0)
+            .offset(10.0),
+    ];
+    open_loop(11, &loads)
+}
+
+fn restart_service(dir: &TestDir) -> QueryService {
+    let rt = Runtime::builder()
+        .seed(11)
+        .semantic_cache(1 << 16)
+        .cache_path(dir.file("semcache.bin"))
+        .state_path(dir.file("state.bin"))
+        .build();
+    let ctx = Context::builder("lake", lake())
+        .description("FTC identity theft reports by year")
+        .build(&rt);
+    let mut svc = QueryService::new(
+        rt,
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+        },
+    );
+    svc.register_context("reports", ctx);
+    svc.register_tenant("acme", TenantConfig::weighted(2));
+    svc.register_tenant("bolt", TenantConfig::default());
+    svc.attach_wal(LedgerWal::open(dir.file("ledger.wal")))
+        .expect("wal recovery");
+    svc
+}
+
+/// The headline proof: run the service cold, checkpoint, "crash" the
+/// process, restart warm. Per-tenant dollars recover bit-identically
+/// from the WAL, the restore itself spends nothing, and re-running the
+/// same workload serves entirely from the restored Contexts and the
+/// persisted semantic cache — at zero new dollars, with the same
+/// answers.
+#[test]
+fn warm_restart_reproduces_per_tenant_dollars_at_zero_spend() {
+    let dir = TestDir::new("warm-restart");
+
+    // Phase 1: cold service, real dollars.
+    let mut cold_svc = restart_service(&dir);
+    let cold = cold_svc.run(workload());
+    assert!(cold.total_cost_usd > 0.0);
+    assert!(cold.wal_appends > 0);
+    assert_eq!(cold.wal_replayed, 0, "nothing to replay on first boot");
+    let cold_spends: Vec<(String, u64)> = cold_svc
+        .tenants()
+        .spends()
+        .map(|(t, s)| (t.to_string(), s.usd.to_bits()))
+        .collect();
+    assert!(cold_svc.runtime().save_state().unwrap());
+    assert!(cold_svc.runtime().save_cache().unwrap());
+    drop(cold_svc); // the "crash": nothing outlives the process but disk
+
+    // Phase 2: warm restart from disk.
+    let mut warm_svc = restart_service(&dir);
+    let recovery = warm_svc.wal_recovery().expect("wal attached");
+    assert!(recovery.replayed > 0, "ledger replayed from the WAL");
+    assert!(
+        !warm_svc.runtime().manager().is_empty(),
+        "contexts restored from the snapshot"
+    );
+    assert_eq!(
+        warm_svc.runtime().cost(),
+        0.0,
+        "restoring state costs zero re-materialization dollars"
+    );
+    let warm_spends: Vec<(String, u64)> = warm_svc
+        .tenants()
+        .spends()
+        .map(|(t, s)| (t.to_string(), s.usd.to_bits()))
+        .collect();
+    assert_eq!(
+        cold_spends, warm_spends,
+        "per-tenant dollars are bit-identical across the restart"
+    );
+
+    // Phase 3: the same workload warm — answered identically, $0 new.
+    let warm = warm_svc.run(workload());
+    assert_eq!(warm.completions.len(), cold.completions.len());
+    assert!(warm.wal_replayed > 0);
+    for (c, w) in cold.completions.iter().zip(&warm.completions) {
+        assert_eq!(c.seq, w.seq);
+        assert_eq!(c.tenant, w.tenant);
+        assert_eq!(c.answered, w.answered, "seq {}", c.seq);
+    }
+    assert_eq!(
+        warm.total_cost_usd,
+        0.0,
+        "warm re-run serves from restored Contexts + persisted cache:\n{}",
+        warm.render()
+    );
+}
+
+/// Every restored store entry is a live Context: its instruction still
+/// matches, its documents are present, and it can serve a query end to
+/// end — no dangling lineage.
+#[test]
+fn restored_contexts_serve_queries_without_dangling_lineage() {
+    let dir = TestDir::new("lineage");
+    let state = dir.file("state.bin");
+    let instruction = "count identity theft reports in 2001";
+
+    let rt = Runtime::builder().seed(7).state_path(&state).build();
+    let ctx = Context::builder("lake", lake())
+        .description("FTC identity theft reports by year")
+        .build(&rt);
+    let out1 = rt.query(&ctx).compute(instruction).run();
+    rt.save_state().unwrap();
+
+    let rt2 = Runtime::builder().seed(7).state_path(&state).build();
+    assert!(!rt2.manager().is_empty());
+    let (hit, score) = rt2
+        .manager()
+        .find_similar(instruction)
+        .expect("restored entry matches its instruction");
+    assert!(score > 0.99, "identical instruction embeds identically");
+    assert!(
+        !hit.context.is_empty(),
+        "restored Context kept its documents"
+    );
+    assert!(hit.original_cost >= 0.0);
+    let out2 = rt2.query(&hit.context).compute(instruction).run();
+    assert_eq!(out1.answer.is_some(), out2.answer.is_some());
+}
+
+// ---- satellite: eviction × persistence ---------------------------------
+
+/// A Context evicted by the capacity bound must not resurrect from disk:
+/// checkpoints written after the eviction drop the entry, and even a
+/// stale over-capacity snapshot is trimmed on load.
+#[test]
+fn evicted_contexts_do_not_resurrect_after_reload() {
+    let dir = TestDir::new("evict-reload");
+    let state = dir.file("state.bin");
+    let rt = Runtime::builder()
+        .seed(3)
+        .context_capacity(2)
+        .state_path(&state)
+        .build();
+    let mk = |name: &str| {
+        Context::builder(
+            name,
+            DataLake::from_docs([Document::new(format!("{name}.txt"), format!("{name} doc"))]),
+        )
+        .description(name)
+        .build(&rt)
+    };
+    rt.manager().register("alpha instruction", mk("alpha"), 1.0);
+    rt.manager().register("beta instruction", mk("beta"), 5.0);
+    rt.save_state().unwrap();
+    let stale = fs::read_to_string(&state).unwrap();
+    assert!(stale.contains("alpha instruction"));
+
+    // gamma arrives; alpha is the cheapest to recreate and is evicted.
+    rt.manager().register("gamma instruction", mk("gamma"), 9.0);
+    assert_eq!(rt.manager().len(), 2);
+    rt.save_state().unwrap();
+    let fresh = fs::read_to_string(&state).unwrap();
+    assert!(
+        !fresh.contains("alpha instruction"),
+        "checkpoint after eviction drops the evicted entry"
+    );
+
+    let rt2 = Runtime::builder()
+        .seed(3)
+        .context_capacity(2)
+        .state_path(&state)
+        .build();
+    assert_eq!(rt2.manager().len(), 2);
+    assert_eq!(rt2.manager().encode_snapshot(), fresh);
+
+    // Loading the stale pre-eviction snapshot into a smaller manager
+    // still cannot exceed the capacity bound.
+    let rt3 = Runtime::builder().seed(3).context_capacity(1).build();
+    rt3.manager()
+        .load_snapshot(&stale, &|id, lake, desc| {
+            Context::builder(id, lake).description(desc).build(&rt3)
+        })
+        .unwrap();
+    assert_eq!(rt3.manager().len(), 1, "stale snapshot trimmed on load");
+}
+
+// ---- satellite: checkpoint-interval behavior ---------------------------
+
+/// With `checkpoint_interval(n)`, the runtime checkpoints itself every
+/// `n` agentic operations — no explicit `save_state` call needed for the
+/// state to survive a crash.
+#[test]
+fn interval_checkpoints_survive_an_uncheckpointed_crash() {
+    let dir = TestDir::new("interval");
+    let state = dir.file("state.bin");
+    let rt = Runtime::builder()
+        .seed(7)
+        .state_path(&state)
+        .checkpoint_interval(1)
+        .build();
+    let ctx = Context::builder("lake", lake())
+        .description("FTC identity theft reports by year")
+        .build(&rt);
+    let _ = rt
+        .query(&ctx)
+        .compute("count identity theft reports in 2001")
+        .run();
+    drop(rt); // crash without an explicit save
+
+    assert!(state.exists(), "interval checkpoint wrote the state file");
+    let rt2 = Runtime::builder().seed(7).state_path(&state).build();
+    assert!(
+        !rt2.manager().is_empty(),
+        "state survived via the ops-interval checkpoint"
+    );
+}
+
+// ---- satellite: CI dump for same-seed diffing --------------------------
+
+/// A fixed crash/recovery scenario whose recovered state is exported as
+/// JSONL when `AIDA_DURABILITY_DUMP` is set. CI runs this twice at the
+/// same seed and diffs the two dumps byte-for-byte.
+#[test]
+fn recovered_state_dump_is_deterministic() {
+    let dir = TestDir::new("dump");
+    let mut svc = restart_service(&dir);
+    let report = svc.run(workload());
+    assert!(report.total_cost_usd > 0.0);
+    svc.runtime().save_state().unwrap();
+    svc.runtime().save_cache().unwrap();
+    drop(svc);
+
+    let svc2 = restart_service(&dir);
+    let recovery = svc2.wal_recovery().expect("wal attached");
+    let state_text = fs::read_to_string(dir.file("state.bin")).unwrap();
+
+    let mut dump = String::new();
+    dump.push_str(&format!(
+        "{{\"type\":\"recovery\",\"replayed\":{},\"skipped\":{},\"snapshot_loaded\":{},\"next_seq\":{}}}\n",
+        recovery.replayed, recovery.skipped, recovery.snapshot_loaded, recovery.next_seq
+    ));
+    dump.push_str(&format!(
+        "{{\"type\":\"contexts\",\"restored\":{},\"snapshot_fnv64\":\"{:016x}\"}}\n",
+        svc2.runtime().manager().len(),
+        aida::llm::snapshot::fnv64(state_text.as_bytes())
+    ));
+    for (tenant, spend) in svc2.tenants().spends() {
+        dump.push_str(&format!(
+            "{{\"type\":\"tenant\",\"tenant\":\"{}\",\"usd_bits\":\"{:016x}\",\"tokens\":{},\"calls\":{},\"cache_hits\":{}}}\n",
+            tenant.as_str(),
+            spend.usd.to_bits(),
+            spend.tokens,
+            spend.calls,
+            spend.cache_hits
+        ));
+    }
+    assert!(dump.contains("\"type\":\"tenant\""));
+
+    if let Ok(out_dir) = std::env::var("AIDA_DURABILITY_DUMP") {
+        fs::create_dir_all(&out_dir).unwrap();
+        fs::write(
+            Path::new(&out_dir).join("recovered_state.jsonl"),
+            dump.as_bytes(),
+        )
+        .unwrap();
+    }
+}
+
+// ---- satellite: property tests -----------------------------------------
+
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn record_strategy() -> impl Strategy<Value = LedgerRecord> {
+        let tenant = "[a-z\t\\\\ ]{1,10}";
+        prop_oneof![
+            tenant.prop_map(|t| LedgerRecord::Admit {
+                tenant: TenantId::new(t)
+            }),
+            (
+                (tenant, any::<u64>()),
+                (0u64..100_000, 0u64..64),
+                (0u64..16, 0u64..16)
+            )
+                .prop_map(|((t, bits), (tokens, calls), (hits, coalesced))| {
+                    LedgerRecord::Spend {
+                        tenant: TenantId::new(t),
+                        usd: f64::from_bits(bits),
+                        tokens,
+                        calls,
+                        cache_hits: hits,
+                        cache_coalesced: coalesced,
+                    }
+                }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every record round-trips its codec exactly (dollars compared
+        /// by bits, so NaN payloads round-trip too).
+        #[test]
+        fn ledger_record_codec_round_trips(record in record_strategy()) {
+            let encoded = record.encode();
+            prop_assert!(!encoded.contains('\n'));
+            let decoded = LedgerRecord::decode(&encoded).unwrap();
+            prop_assert_eq!(decoded.encode(), encoded);
+        }
+
+        /// An arbitrary record sequence written through the WAL replays
+        /// in order and bit-identically, and replay is deterministic:
+        /// two recoveries from the same bytes agree exactly.
+        #[test]
+        fn wal_replay_is_order_deterministic(
+            records in prop::collection::vec(record_strategy(), 1..12)
+        ) {
+            let dir = TestDir::new("prop-wal");
+            let path = dir.file("ledger.wal");
+            let mut wal = LedgerWal::open(&path);
+            let mut direct = TenantLedger::new();
+            for record in &records {
+                wal.append(record).unwrap();
+                direct.apply(record);
+            }
+            let recover = || {
+                let mut ledger = TenantLedger::new();
+                let mut w = LedgerWal::open(&path);
+                let recovery = w.recover(&mut ledger).unwrap();
+                let spends: Vec<(String, u64, u64, u64)> = ledger
+                    .spends()
+                    .map(|(t, s)| (t.to_string(), s.usd.to_bits(), s.tokens, s.calls))
+                    .collect();
+                (spends, recovery.replayed, recovery.next_seq)
+            };
+            let a = recover();
+            let b = recover();
+            prop_assert_eq!(&a, &b, "replay is deterministic");
+            prop_assert_eq!(a.1, records.len() as u64);
+            let expected: Vec<(String, u64, u64, u64)> = direct
+                .spends()
+                .map(|(t, s)| (t.to_string(), s.usd.to_bits(), s.tokens, s.calls))
+                .collect();
+            prop_assert_eq!(a.0, expected, "replayed ledger == directly applied ledger");
+        }
+
+        /// Flipping any single byte of a framed snapshot is detected:
+        /// decode fails rather than returning altered content.
+        #[test]
+        fn snapshot_single_byte_corruption_is_detected(
+            body in "[a-z0-9\t .]{0,80}",
+            index in 0usize..4096,
+        ) {
+            let text = aida::llm::snapshot::encode_file("prop-magic v1", &body);
+            let mut bytes = text.clone().into_bytes();
+            let i = index % bytes.len();
+            bytes[i] ^= 0x5a;
+            prop_assume!(bytes != text.as_bytes());
+            let verdict = match String::from_utf8(bytes) {
+                Ok(corrupt) => aida::llm::snapshot::decode_file("prop-magic v1", &corrupt)
+                    .err()
+                    .map(|_| true)
+                    .unwrap_or(false),
+                Err(_) => true, // invalid UTF-8 is detection too
+            };
+            prop_assert!(verdict, "flip at byte {} must be detected", i);
+        }
+
+        /// The ContextManager snapshot round-trips arbitrary
+        /// instructions, descriptions, and document content —
+        /// re-encoding the restored store reproduces the file
+        /// byte-for-byte.
+        #[test]
+        fn manager_snapshot_round_trips_arbitrary_content(
+            entries in prop::collection::vec(
+                ("[a-z\t\n\\\\\\[\\], ]{1,24}", "[a-zA-Z0-9 .,\t]{0,40}", 1.0f64..100.0),
+                1..5,
+            )
+        ) {
+            let rt = Runtime::builder().seed(5).build();
+            for (i, (instruction, content, cost)) in entries.iter().enumerate() {
+                let lake = DataLake::from_docs([Document::new(format!("d{i}.txt"), content)]);
+                let ctx = Context::builder(format!("ctx{i}"), lake)
+                    .description(format!("desc {i}"))
+                    .build(&rt);
+                rt.manager().register(instruction, ctx, *cost);
+            }
+            let snap = rt.manager().encode_snapshot();
+
+            let rt2 = Runtime::builder().seed(5).build();
+            let restored = rt2
+                .manager()
+                .load_snapshot(&snap, &|id, lake, desc| {
+                    Context::builder(id, lake).description(desc).build(&rt2)
+                })
+                .unwrap();
+            prop_assert_eq!(restored, rt.manager().len());
+            prop_assert_eq!(rt2.manager().encode_snapshot(), snap);
+        }
+    }
+}

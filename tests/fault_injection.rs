@@ -1,5 +1,8 @@
 //! Failure injection: the pipeline must stay correct when LLM calls
-//! transiently fail and retry — only the bill changes.
+//! transiently fail and retry — only the bill changes. The restart
+//! section extends the model to durability faults: crashes during WAL
+//! appends and interval checkpoints with queries in flight must never
+//! double-charge a tenant.
 
 use aida_llm::SimLlm;
 use aida_semops::{Dataset, ExecEnv, Executor, PhysicalPlan};
@@ -107,4 +110,151 @@ fn end_to_end_compute_survives_faults() {
     // Same answer under a 30% transient-fault rate, at a higher bill.
     assert_eq!(clean_answer, faulty_answer);
     assert!(faulty_cost > clean_cost, "${faulty_cost} vs ${clean_cost}");
+}
+
+// ---- restart under fault ------------------------------------------------
+
+mod restart_under_fault {
+    use aida::core::{Context, Runtime};
+    use aida::data::{DataLake, Document};
+    use aida::llm::snapshot::{CrashPoint, FailPlan};
+    use aida::serve::{
+        open_loop, LedgerWal, QueryService, ServeConfig, TenantConfig, TenantLedger, TenantLoad,
+    };
+    use aida_testkit::TestDir;
+    use std::sync::Arc;
+
+    fn lake() -> DataLake {
+        DataLake::from_docs([
+            Document::new("report_2001.txt", "identity theft reports in 2001: 86250"),
+            Document::new("report_2002.txt", "identity theft reports in 2002: 161977"),
+        ])
+    }
+
+    fn service(rt: Runtime) -> QueryService {
+        let ctx = Context::builder("lake", lake())
+            .description("FTC identity theft reports by year")
+            .build(&rt);
+        let mut svc = QueryService::new(
+            rt,
+            ServeConfig {
+                workers: 2,
+                queue_capacity: 16,
+            },
+        );
+        svc.register_context("reports", ctx);
+        svc.register_tenant("acme", TenantConfig::weighted(2));
+        svc.register_tenant("bolt", TenantConfig::default());
+        svc
+    }
+
+    fn workload() -> Vec<aida::serve::QueryRequest> {
+        let loads = [
+            TenantLoad::new("acme", "reports")
+                .instructions([
+                    "count identity theft reports in 2001",
+                    "count identity theft reports in 2002",
+                ])
+                .queries(4)
+                .mean_interarrival(30.0),
+            TenantLoad::new("bolt", "reports")
+                .instructions(["count identity theft reports in 2001"])
+                .queries(3)
+                .mean_interarrival(45.0)
+                .offset(10.0),
+        ];
+        open_loop(13, &loads)
+    }
+
+    /// A crash during a WAL append with queries in flight stops dispatch
+    /// immediately, so the durable ledger trails the in-memory one by at
+    /// most the single in-flight record — re-admitting the workload after
+    /// recovery can never double-charge a tenant.
+    #[test]
+    fn wal_append_crash_loses_at_most_the_in_flight_record() {
+        let dir = TestDir::new("fault-wal-crash");
+        let wal_path = dir.file("ledger.wal");
+        let mut svc = service(Runtime::builder().seed(13).build());
+        let plan = Arc::new(FailPlan::nth(CrashPoint::WalTornAppend, 5).torn_keep(13));
+        svc.attach_wal(LedgerWal::open(&wal_path).with_fail_plan(plan.clone()))
+            .unwrap();
+
+        let report = svc.run(workload());
+        assert!(plan.tripped(), "the injected crash fired");
+        assert!(report.wal_failed, "the report records the crash");
+
+        // Recover the durable ledger from disk ("restart").
+        let mut recovered = TenantLedger::new();
+        let mut wal = LedgerWal::open(&wal_path);
+        let recovery = wal.recover(&mut recovered).unwrap();
+        assert!(recovery.dropped_tail, "the torn append was truncated");
+
+        // Invariant: per tenant, the durable ledger is never ahead of the
+        // in-memory one, and across all tenants at most one record — the
+        // in-flight one — is missing.
+        let mut lost = 0;
+        for (tenant, mem) in svc.tenants().spends() {
+            let disk = recovered.spend(tenant);
+            assert!(
+                disk.usd <= mem.usd + 1e-12,
+                "{tenant}: durable ledger must never exceed in-memory spend"
+            );
+            assert!(disk.calls <= mem.calls);
+            if disk.usd.to_bits() != mem.usd.to_bits() {
+                lost += 1;
+            }
+        }
+        assert!(
+            lost <= 1,
+            "ledger delta exceeds one in-flight query ({lost} tenants diverged)"
+        );
+    }
+
+    /// Interval checkpoints that fail (here: the state path is a
+    /// directory, so the rename commit can never land) must not disturb
+    /// serving: same answers, bit-identical tenant charges, and the
+    /// failures surface as `checkpoint.errors` instead of double-charges.
+    #[test]
+    fn failed_interval_checkpoints_never_double_charge() {
+        let clean_spends = {
+            let mut svc = service(Runtime::builder().seed(13).build());
+            let report = svc.run(workload());
+            assert!(!report.wal_failed);
+            (
+                report.completions.len(),
+                svc.tenants()
+                    .spends()
+                    .map(|(t, s)| (t.to_string(), s.usd.to_bits()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+
+        let dir = TestDir::new("fault-ckpt");
+        let rt = Runtime::builder()
+            .seed(13)
+            .state_path(dir.path()) // a directory: every checkpoint fails
+            .checkpoint_interval(1)
+            .tracing(true)
+            .build();
+        let mut svc = service(rt);
+        let report = svc.run(workload());
+        let faulty_spends: Vec<(String, u64)> = svc
+            .tenants()
+            .spends()
+            .map(|(t, s)| (t.to_string(), s.usd.to_bits()))
+            .collect();
+
+        assert_eq!(report.completions.len(), clean_spends.0);
+        assert_eq!(
+            faulty_spends, clean_spends.1,
+            "failed checkpoints must not change a single charged bit"
+        );
+        let trace = svc.runtime().recorder().trace();
+        let errors = trace
+            .counters
+            .get("checkpoint.errors")
+            .copied()
+            .unwrap_or(0);
+        assert!(errors > 0, "the failing checkpoints were counted");
+    }
 }
