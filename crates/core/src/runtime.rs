@@ -192,14 +192,19 @@ impl Runtime {
 
     /// Restores the ContextManager store from the configured
     /// `state_path`, replacing the current store. Returns how many
-    /// Contexts were restored (0 when no path is configured). A corrupt
-    /// or truncated snapshot is rejected as [`SnapshotError`] and the
-    /// store is left untouched.
+    /// Contexts were restored (0 when no path is configured or the
+    /// snapshot file does not exist yet — a normal cold start). A
+    /// corrupt or truncated snapshot is rejected as [`SnapshotError`]
+    /// and the store is left untouched.
     pub fn load_state(&self) -> Result<usize, SnapshotError> {
         let Some(path) = &self.config.state_path else {
             return Ok(0);
         };
-        let text = std::fs::read_to_string(path)?;
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e.into()),
+        };
         let n = self.manager.load_snapshot(&text, &|id, lake, desc| {
             crate::Context::builder(id, lake)
                 .description(desc)

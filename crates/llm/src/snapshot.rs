@@ -460,6 +460,20 @@ fn tmp_sibling(path: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
+/// Fsyncs `path`'s parent directory so a just-created or just-renamed
+/// entry survives an OS crash/power cut, not merely a process crash.
+/// Platforms whose directory handles reject fsync (e.g. Windows) report
+/// success once the rename itself has been issued.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    if !cfg!(unix) {
+        return Ok(());
+    }
+    let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) else {
+        return Ok(());
+    };
+    std::fs::File::open(dir)?.sync_all()
+}
+
 /// Writes `contents` to a temp sibling and renames it over `path`, so
 /// readers only ever observe the old snapshot or the complete new one.
 /// The optional [`FailPlan`] injects a crash at the snapshot points.
@@ -481,12 +495,16 @@ pub fn commit_atomic(path: &Path, contents: &str, plan: Option<&FailPlan>) -> io
     {
         let mut file = std::fs::File::create(&tmp)?;
         file.write_all(bytes)?;
-        file.flush()?;
+        // sync_all (not just flush) so the rename below never commits a
+        // name whose contents are still in the page cache: a power cut
+        // must yield the old snapshot or the complete new one.
+        file.sync_all()?;
     }
     if let Some(plan) = plan {
         plan.check(CrashPoint::SnapshotBeforeRename)?;
     }
     std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)?;
     if let Some(plan) = plan {
         plan.check(CrashPoint::SnapshotAfterCommit)?;
     }
@@ -522,6 +540,7 @@ pub fn wal_append(path: &Path, seq: u64, payload: &str, plan: Option<&FailPlan>)
         }
     }
     let line = wal_record_line(seq, payload);
+    let created = !path.exists();
     let mut file = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -536,7 +555,12 @@ pub fn wal_append(path: &Path, seq: u64, payload: &str, plan: Option<&FailPlan>)
         }
     }
     file.write_all(line.as_bytes())?;
-    file.flush()?;
+    // sync_all (not just flush) so an acknowledged record survives an OS
+    // crash/power cut, not merely a process crash.
+    file.sync_all()?;
+    if created {
+        sync_parent_dir(path)?;
+    }
     if let Some(plan) = plan {
         plan.check(CrashPoint::WalAfterAppend)?;
     }
@@ -551,6 +575,13 @@ pub struct WalReplay {
     /// Whether a torn/corrupt tail was logically truncated (everything
     /// before it is still trusted).
     pub dropped_tail: bool,
+    /// Byte length of the intact prefix (every accepted record including
+    /// its trailing newline). When `dropped_tail` is set, the file must
+    /// be physically truncated to this offset before any new append —
+    /// otherwise the next record lands on the torn line, fails its
+    /// checksum on the following replay, and takes every acknowledged
+    /// record after it down too.
+    pub valid_len: u64,
 }
 
 /// Replays the WAL at `path`. A missing file is an empty WAL. Records
@@ -588,6 +619,13 @@ pub fn wal_replay(path: &Path) -> io::Result<WalReplay> {
             }
             break;
         }
+        // An unterminated final line tore on its last byte(s): the
+        // newline is part of the record, so without it the record was
+        // never fully durable and the next append would merge into it.
+        if i + 1 == lines.len() {
+            replay.dropped_tail = true;
+            break;
+        }
         let Some((head, sum_hex)) = line.rsplit_once('\t') else {
             replay.dropped_tail = true;
             break;
@@ -611,6 +649,7 @@ pub fn wal_replay(path: &Path) -> io::Result<WalReplay> {
             replay.dropped_tail = true;
             break;
         }
+        replay.valid_len += line.len() as u64 + 1;
         replay.records.push((seq, payload.to_string()));
         last_seq = Some(seq);
     }
@@ -691,6 +730,29 @@ mod tests {
                 (1, "spend\tacme\t42".to_string())
             ]
         );
+        // valid_len marks the end of the intact prefix: truncating there
+        // removes exactly the torn bytes.
+        let intact = wal_record_line(0, "admit\tacme") + &wal_record_line(1, "spend\tacme\t42");
+        assert_eq!(replay.valid_len, intact.len() as u64);
+        assert!((replay.valid_len as usize) < std::fs::read(&path).unwrap().len());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn wal_replay_drops_an_unterminated_final_record() {
+        let d = dir("walnoterm");
+        let path = d.join("ledger.wal");
+        wal_append(&path, 0, "a", None).unwrap();
+        wal_append(&path, 1, "b", None).unwrap();
+        // Tear off only the final newline: the record's bytes are all
+        // present, but an append would merge into its line, so replay
+        // must treat it as torn.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.trim_end_matches('\n')).unwrap();
+        let replay = wal_replay(&path).unwrap();
+        assert!(replay.dropped_tail);
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.valid_len, wal_record_line(0, "a").len() as u64);
         let _ = std::fs::remove_dir_all(&d);
     }
 

@@ -291,7 +291,9 @@ pub struct WalRecovery {
     /// them (a crash between snapshot-commit and WAL-truncate leaves
     /// such records behind; skipping keeps replay idempotent).
     pub skipped: u64,
-    /// Whether a torn/corrupt WAL tail was logically truncated.
+    /// Whether a torn/corrupt WAL tail was truncated — physically, so
+    /// post-recovery appends start on a fresh line rather than merging
+    /// into the torn record.
     pub dropped_tail: bool,
     /// The next sequence number new appends will use.
     pub next_seq: u64,
@@ -365,8 +367,10 @@ impl LedgerWal {
 
     /// Rebuilds `ledger` from disk: applies the compacted snapshot (if
     /// any), then replays every intact WAL record the snapshot does not
-    /// already cover. A torn tail is truncated; a corrupt snapshot is a
-    /// typed error (the caller decides whether to start cold).
+    /// already cover. A torn tail is physically truncated off the file
+    /// so subsequent appends never merge into the torn record; a corrupt
+    /// snapshot is a typed error (the caller decides whether to start
+    /// cold).
     pub fn recover(&mut self, ledger: &mut TenantLedger) -> Result<WalRecovery, SnapshotError> {
         let mut recovery = WalRecovery::default();
         let mut base_seq = 0u64;
@@ -385,6 +389,15 @@ impl LedgerWal {
         }
         let replay = snapshot::wal_replay(&self.path)?;
         recovery.dropped_tail = replay.dropped_tail;
+        if replay.dropped_tail {
+            // Physically truncate the torn tail, not just logically skip
+            // it: a later append would otherwise land on the torn line,
+            // fail its checksum on the next replay, and drop every
+            // acknowledged record written after this recovery.
+            let file = std::fs::OpenOptions::new().write(true).open(&self.path)?;
+            file.set_len(replay.valid_len)?;
+            file.sync_all()?;
+        }
         self.next_seq = base_seq;
         self.records_in_wal = 0;
         for (seq, payload) in replay.records {
@@ -624,6 +637,46 @@ mod tests {
         assert_eq!(recovery.replayed, 0);
         assert_eq!(
             restarted.spend(&acme).usd.to_bits(),
+            ledger.spend(&acme).usd.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn recovery_truncates_torn_tail_so_later_appends_survive_a_second_restart() {
+        use aida_llm::snapshot::CrashPoint;
+        let d = wal_dir("torn-repair");
+        let acme: TenantId = "acme".into();
+        let mut wal = LedgerWal::open(d.join("tenants.wal"));
+        wal.append(&spend_record(&acme, 0.25)).unwrap();
+        wal.append(&spend_record(&acme, 0.5)).unwrap();
+        let plan = Arc::new(FailPlan::new(CrashPoint::WalTornAppend).torn_keep(9));
+        let mut torn = LedgerWal::open(d.join("tenants.wal")).with_fail_plan(plan);
+        let mut scratch = TenantLedger::new();
+        torn.recover(&mut scratch).unwrap();
+        assert!(torn.append(&spend_record(&acme, 1.0)).is_err());
+
+        // Restart 1: recovery drops the torn tail (and removes it from
+        // disk), so the acknowledged post-recovery append below lands on
+        // its own line.
+        let mut ledger = TenantLedger::new();
+        let mut wal2 = LedgerWal::open(d.join("tenants.wal"));
+        let recovery = wal2.recover(&mut ledger).unwrap();
+        assert!(recovery.dropped_tail);
+        assert_eq!(recovery.replayed, 2);
+        let post = spend_record(&acme, 2.0);
+        wal2.append(&post).unwrap();
+        ledger.apply(&post);
+
+        // Restart 2: the post-recovery record replays intact instead of
+        // being swallowed with the remnants of the torn one.
+        let mut ledger2 = TenantLedger::new();
+        let mut wal3 = LedgerWal::open(d.join("tenants.wal"));
+        let recovery2 = wal3.recover(&mut ledger2).unwrap();
+        assert!(!recovery2.dropped_tail);
+        assert_eq!(recovery2.replayed, 3);
+        assert_eq!(
+            ledger2.spend(&acme).usd.to_bits(),
             ledger.spend(&acme).usd.to_bits()
         );
         let _ = std::fs::remove_dir_all(&d);

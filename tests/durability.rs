@@ -204,6 +204,41 @@ fn wal_crash_never_half_applies_a_ledger_entry() {
     }
 }
 
+/// The two-restart invariant: a torn tail must be physically removed by
+/// recovery, so records acknowledged *after* the first recovery are not
+/// swallowed by the second one (an append onto a lingering torn line
+/// would fail its checksum and take every later record with it).
+#[test]
+fn torn_tail_recovery_keeps_post_recovery_appends_across_a_second_restart() {
+    let dir = TestDir::new("wal-torn-twice");
+    let path = dir.file("ledger.wal");
+    let mut wal = LedgerWal::open(&path);
+    wal.append(&spend("acme", 0.25)).unwrap();
+    wal.append(&spend("acme", 0.5)).unwrap();
+    let plan = Arc::new(FailPlan::new(CrashPoint::WalTornAppend).torn_keep(13));
+    let mut torn = LedgerWal::open(&path).with_fail_plan(plan);
+    let mut scratch = TenantLedger::new();
+    torn.recover(&mut scratch).unwrap();
+    torn.append(&spend("acme", 1.0)).unwrap_err();
+
+    // Restart 1: the torn record is dropped — and scrubbed from disk.
+    let mut ledger = TenantLedger::new();
+    let mut wal2 = LedgerWal::open(&path);
+    let recovery = wal2.recover(&mut ledger).unwrap();
+    assert!(recovery.dropped_tail);
+    assert_eq!(recovery.replayed, 2);
+    let post = spend("acme", 2.0);
+    wal2.append(&post).unwrap();
+    ledger.apply(&post);
+    let expected_bits = ledger.spend(&"acme".into()).usd.to_bits();
+
+    // Restart 2: the acknowledged post-recovery spend survives in full.
+    let (bits, recovery2) = recover_usd_bits(&path, "acme");
+    assert!(!recovery2.dropped_tail, "restart 1 repaired the file");
+    assert_eq!(recovery2.replayed, 3);
+    assert_eq!(bits, expected_bits, "no acknowledged record was lost");
+}
+
 /// Truncating or corrupting the WAL anywhere loses only a suffix: the
 /// intact prefix replays exactly, byte-level damage never panics.
 #[test]
