@@ -7,6 +7,13 @@ cargo fmt --check
 cargo clippy --workspace -- -D warnings
 cargo test -q
 
+# Static analysis: the workspace must stay clean above the checked-in
+# baseline (lint.toml), and the lint report itself must be
+# deterministic — two runs produce byte-identical JSONL.
+AIDA_RESULTS_DIR=target/ci-lint-a cargo run -q -p aida-lint -- --deny-new
+AIDA_RESULTS_DIR=target/ci-lint-b cargo run -q -p aida-lint -- --deny-new
+cmp target/ci-lint-a/lint_report.jsonl target/ci-lint-b/lint_report.jsonl
+
 # Serving layer: the concurrency stress test wants optimized atomics and
 # real thread pressure, and the soak smoke proves the service binary
 # runs end to end (SERVE_SOAK_SMOKE=1 shrinks the workload). The soak

@@ -135,6 +135,26 @@ impl<'a> AgentRuntime<'a> {
             };
             step_span.attr("code", aida_obs::clip(&code, 80));
 
+            // Static check first: a program the checker can prove
+            // malformed (unknown tool, name defined nowhere, `while
+            // True` with no exit) is rejected *before* the planning
+            // call is billed, so a bad generation costs $0 and zero
+            // virtual latency — the error still feeds back as the
+            // step's observation so the policy can correct course.
+            let issues = interp.check_source(&code);
+            if let Some(err) = aida_script::check::first_error(&issues) {
+                step_span.attr("rejected", "static-check");
+                let observation = format!("ERROR: {err}");
+                steps.push(StepTrace {
+                    step,
+                    code,
+                    observation: observation.clone(),
+                });
+                observations.push(observation);
+                step_span.finish(self.env.clock.now());
+                continue;
+            }
+
             // Bill the planning step: the agent "reads" the task, tools,
             // and observation tail, and "writes" the code.
             let obs_tail = tail(&observations.join("\n"), PROMPT_OBS_CAP);
@@ -277,6 +297,57 @@ mod tests {
         let outcome = rt.run(&agent, "do something");
         assert!(outcome.steps[0].observation.starts_with("ERROR:"));
         assert_eq!(outcome.answer, Some(Value::Str("ok".into())));
+    }
+
+    #[test]
+    fn statically_rejected_programs_cost_nothing() {
+        let env = runtime_env();
+        let lake = lake();
+        let rt = AgentRuntime::new(&env, registry(&lake), None);
+        // Every program is malformed in a way the static checker can
+        // prove: an unknown tool, a name defined nowhere, an unbounded
+        // loop, and a syntax error. None of them may bill a planning
+        // call or advance the virtual clock.
+        let agent = CodeAgent::with_policy(
+            AgentConfig::default(),
+            Box::new(FixedPolicy(vec![
+                "serch_files()",
+                "print(never_assigned)",
+                "while True:\n    x = 1",
+                "def broken(:",
+            ])),
+        );
+        let outcome = rt.run(&agent, "do something");
+        assert_eq!(outcome.steps.len(), 4);
+        for step in &outcome.steps {
+            assert!(
+                step.observation.starts_with("ERROR:"),
+                "step {}: {}",
+                step.step,
+                step.observation
+            );
+        }
+        assert_eq!(outcome.cost_usd, 0.0, "rejected steps must not bill");
+        assert_eq!(outcome.time_s, 0.0, "rejected steps must not take time");
+    }
+
+    #[test]
+    fn valid_programs_still_execute_and_bill() {
+        let env = runtime_env();
+        let lake = lake();
+        let rt = AgentRuntime::new(&env, registry(&lake), None);
+        // A legal late-binding program (helper defined after first use
+        // site, loop with a data-dependent bound) must pass the checker
+        // and run normally.
+        let agent = CodeAgent::with_policy(
+            AgentConfig::default(),
+            Box::new(FixedPolicy(vec![
+                "def main():\n    return helper(3)\ndef helper(n):\n    t = 0\n    while n > 0:\n        t += n\n        n -= 1\n    return t\nfinal_answer(main())",
+            ])),
+        );
+        let outcome = rt.run(&agent, "sum 1..3");
+        assert_eq!(outcome.answer, Some(Value::Int(6)));
+        assert!(outcome.cost_usd > 0.0, "valid steps still bill");
     }
 
     #[test]

@@ -120,8 +120,11 @@ impl ContextManager {
                         .total_cmp(&b.original_cost)
                         .then(a.last_used.cmp(&b.last_used))
                 })
-                .map(|(i, _)| i)
-                .expect("entries is non-empty while over capacity");
+                .map(|(i, _)| i);
+            // The loop condition guarantees entries is non-empty, but the
+            // restore path runs this during recovery, which must never
+            // panic (lint rule P1): bail instead.
+            let Some(victim) = victim else { break };
             store.entries.remove(victim);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -237,7 +240,13 @@ impl ContextManager {
         }
         let mut store = self.inner.write();
         store.entries = entries;
-        store.tick = store.tick.max(decoded.tick);
+        // The restored counter must stay strictly ahead of every
+        // restored `last_used`, even for a snapshot whose `T` line
+        // under-reports the tick (hand-edited or from a writer crash):
+        // otherwise a post-restore recency bump could collide with a
+        // restored tick and corrupt the LRU order.
+        let max_used = store.entries.iter().map(|e| e.last_used).max().unwrap_or(0);
+        store.tick = store.tick.max(decoded.tick).max(max_used);
         self.evict_over_capacity(&mut store);
         Ok(store.entries.len())
     }

@@ -1,0 +1,20 @@
+// Bad example for rule D1: reads the wall clock outside the virtual
+// clock module. Any timing read from the host makes seeded replay
+// diverge between runs and machines.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+pub fn elapsed_nanos() -> u128 {
+    let t0 = Instant::now();
+    busy_work();
+    t0.elapsed().as_nanos()
+}
+
+pub fn epoch_seconds() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn busy_work() {}

@@ -1,0 +1,21 @@
+// Bad example for rule D2: RNGs seeded from environment entropy. A
+// `thread_rng`/`OsRng` draw is different on every run, so any value it
+// feeds into a simulation breaks byte-identical replay.
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+pub fn roll_os() -> u64 {
+    let mut rng = OsRng;
+    rng.next_u64()
+}
+
+pub fn reseed() -> StdRng {
+    StdRng::from_entropy()
+}
+
+pub fn convenience() -> f64 {
+    rand::random()
+}

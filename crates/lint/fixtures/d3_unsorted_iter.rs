@@ -1,0 +1,29 @@
+// Bad example for rule D3: iterating a HashMap while serializing. The
+// iteration order is randomized per process, so the emitted JSONL
+// differs between two identical runs.
+
+use std::collections::HashMap;
+
+pub struct Report {
+    counts: HashMap<String, u64>,
+}
+
+pub fn to_jsonl(report: &Report) -> String {
+    let mut out = String::new();
+    for (key, n) in report.counts.iter() {
+        out.push_str(&format!("{{\"key\":\"{key}\",\"n\":{n}}}\n"));
+    }
+    out
+}
+
+// The compliant version: collect and sort before emitting. The same
+// iteration does not fire because the statement sorts.
+pub fn to_jsonl_sorted(report: &Report) -> String {
+    let mut rows: Vec<(&String, &u64)> = report.counts.iter().collect();
+    rows.sort();
+    let mut out = String::new();
+    for (key, n) in rows {
+        out.push_str(&format!("{{\"key\":\"{key}\",\"n\":{n}}}\n"));
+    }
+    out
+}

@@ -1,0 +1,17 @@
+// Bad example for rule F1: a durable-looking write that never fsyncs.
+// The data reaches the page cache, the rename reorders freely against
+// it, and a power cut can leave an empty (or stale) file behind the
+// "committed" name.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+pub fn save_snapshot(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.flush()?; // flush() is a library-buffer flush, not an fsync
+    fs::rename(&tmp, path)?;
+    Ok(())
+}

@@ -1,0 +1,23 @@
+// Bad example for rule L1: two functions taking the same pair of locks
+// in opposite order. Thread 1 in `transfer` holding `ledger` while
+// thread 2 in `audit` holds `journal` deadlocks both.
+
+use parking_lot::Mutex;
+
+pub struct Bank {
+    pub ledger: Mutex<u64>,
+    pub journal: Mutex<Vec<String>>,
+}
+
+pub fn transfer(ledger: &Mutex<u64>, journal: &Mutex<Vec<String>>, amount: u64) {
+    let mut balance = ledger.lock();
+    let mut log = journal.lock();
+    *balance += amount;
+    log.push(format!("+{amount}"));
+}
+
+pub fn audit(ledger: &Mutex<u64>, journal: &Mutex<Vec<String>>) -> usize {
+    let log = journal.lock();
+    let _balance = ledger.lock();
+    log.len()
+}

@@ -1,0 +1,20 @@
+// Bad example for rule P1: panicking on malformed input inside a
+// recovery path. A torn WAL tail is an *expected* input after a crash;
+// unwrap/expect/panic! here turns one crash into a permanently
+// unbootable runtime.
+
+pub fn wal_replay(text: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let (seq, _rest) = line.split_once('\t').expect("well-formed record");
+        out.push(seq.parse().unwrap());
+    }
+    out
+}
+
+pub fn load_snapshot(bytes: &[u8]) -> String {
+    match std::str::from_utf8(bytes) {
+        Ok(s) => s.to_string(),
+        Err(_) => panic!("snapshot is not UTF-8"),
+    }
+}

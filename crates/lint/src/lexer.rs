@@ -1,0 +1,465 @@
+//! A small Rust tokenizer for static analysis.
+//!
+//! Precedent: the hand-rolled lexers in `crates/sql` and `crates/script`.
+//! This one is span-preserving and total: it never fails and never
+//! panics, no matter how malformed the input (a proptest in
+//! `tests/lexer_props.rs` holds it to that). Unterminated strings and
+//! block comments extend to end of input; any byte the lexer does not
+//! recognize becomes a one-character [`TokKind::Punct`] token, so every
+//! non-whitespace byte of the source is covered by exactly one token and
+//! the gaps between consecutive tokens are pure whitespace.
+//!
+//! The rules only need identifiers, punctuation, and enough literal/
+//! comment awareness to never mistake `"Instant"` inside a string (or a
+//! `//` comment) for code.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal (int or float, any base, with suffix).
+    Number,
+    /// String literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// `// …` line comment (including doc comments).
+    LineComment,
+    /// `/* … */` block comment (nested; including doc comments).
+    BlockComment,
+    /// Any other non-whitespace character(s): `::`, `{`, `->`, ….
+    Punct,
+}
+
+/// One token with its byte span and 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, src: &str, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text(src) == name
+    }
+
+    /// Whether this token is the punctuation `p`.
+    pub fn is_punct(&self, src: &str, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text(src) == p
+    }
+}
+
+/// Tokenizes Rust-ish source. Total: consumes every byte, never fails.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            let kind = match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'r' if self.raw_string_ahead(0) => self.raw_string(),
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.bump();
+                    self.string()
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.bump();
+                    self.char_lit()
+                }
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(1) => {
+                    self.bump();
+                    self.raw_string()
+                }
+                b'\'' => self.lifetime_or_char(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident(),
+                _ => self.punct(),
+            };
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            self.out.push(Tok {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        // Advance a full UTF-8 scalar so spans stay on char boundaries.
+        self.pos += 1;
+        while self.pos < self.bytes.len() && !self.src.is_char_boundary(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.bump();
+        }
+        TokKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        // Consume `/*`, then nest until balanced or end of input.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    fn string(&mut self) -> TokKind {
+        // Consume the opening quote, then escaped content to the close
+        // (or end of input for an unterminated literal).
+        self.bump();
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokKind::Str
+    }
+
+    /// Whether `r#*"` starts at `pos + ahead` (a raw string opener).
+    fn raw_string_ahead(&self, ahead: usize) -> bool {
+        let mut i = self.pos + ahead;
+        if self.bytes.get(i) != Some(&b'r') {
+            return false;
+        }
+        i += 1;
+        while self.bytes.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.bytes.get(i) == Some(&b'"')
+    }
+
+    fn raw_string(&mut self) -> TokKind {
+        // `r`, hashes, quote — then content until `"` followed by the
+        // same number of hashes.
+        self.bump();
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) == Some(b'"') {
+            self.bump();
+        }
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut i = self.pos + 1;
+                let mut n = 0usize;
+                while n < hashes && self.bytes.get(i) == Some(&b'#') {
+                    i += 1;
+                    n += 1;
+                }
+                if n == hashes {
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.bump();
+        }
+        TokKind::Str
+    }
+
+    fn lifetime_or_char(&mut self) -> TokKind {
+        // `'a` (no closing quote) is a lifetime; `'a'`, `'\n'`, `'·'`
+        // are char literals. `'_` and keywords like `'static` are
+        // lifetimes too.
+        let after = self.pos + 1;
+        if self
+            .bytes
+            .get(after)
+            .is_some_and(|&b| is_ident_start(b) || b == b'_')
+        {
+            let mut i = after + 1;
+            while self.bytes.get(i).is_some_and(|&b| is_ident_continue(b)) {
+                i += 1;
+            }
+            if self.bytes.get(i) != Some(&b'\'') {
+                // Lifetime: consume quote + identifier.
+                self.bump();
+                while self.pos < i {
+                    self.bump();
+                }
+                return TokKind::Lifetime;
+            }
+        }
+        self.char_lit()
+    }
+
+    fn char_lit(&mut self) -> TokKind {
+        // Consume the opening quote, then escaped content to the close.
+        // A stray `'` with no closing quote eats at most a few bytes
+        // before giving up at a newline, keeping the lexer total.
+        self.bump();
+        let mut consumed = 0usize;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                    consumed += 2;
+                }
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                b'\n' => break,
+                _ => {
+                    self.bump();
+                    consumed += 1;
+                }
+            }
+            if consumed > 12 {
+                break;
+            }
+        }
+        TokKind::Char
+    }
+
+    fn number(&mut self) -> TokKind {
+        // Greedy and forgiving: digits, `_`, base prefixes, a fractional
+        // part, exponents, and type suffixes. `1..2` keeps the range dots.
+        self.bump();
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // `1e-9` / `1E+9`: the sign belongs to the exponent.
+                let is_exp = (b == b'e' || b == b'E')
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-') | Some(b'0'..=b'9'));
+                self.bump();
+                if is_exp && matches!(self.peek(0), Some(b'+') | Some(b'-')) {
+                    self.bump();
+                }
+            } else if b == b'.'
+                && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+                && !matches!(self.out.last(), Some(t) if t.kind == TokKind::Punct)
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokKind::Number
+    }
+
+    fn ident(&mut self) -> TokKind {
+        self.bump();
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| is_ident_continue(b))
+        {
+            self.bump();
+        }
+        TokKind::Ident
+    }
+
+    fn punct(&mut self) -> TokKind {
+        // Two-character operators the rules care about stay joined so a
+        // path like `std::time` lexes as [std][::][time]; everything else
+        // is one character per token.
+        let two: Option<&[u8]> = self.bytes.get(self.pos..self.pos + 2);
+        match two {
+            Some(b"::") | Some(b"->") | Some(b"=>") | Some(b"..") => {
+                self.bump();
+                self.bump();
+            }
+            _ => self.bump(),
+        }
+        TokKind::Punct
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn paths_and_idents() {
+        let toks = kinds("use std::time::Instant;");
+        assert_eq!(toks[0], (TokKind::Ident, "use".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "std".into()));
+        assert_eq!(toks[2], (TokKind::Punct, "::".into()));
+        assert_eq!(toks[3], (TokKind::Ident, "time".into()));
+        assert_eq!(toks[5], (TokKind::Ident, "Instant".into()));
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = "let x = \"Instant\"; // Instant\n/* Instant */ y";
+        let idents: Vec<String> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = r####"r#"a "quoted" b"# + r"plain""####;
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert!(toks[0].1.starts_with("r#\""));
+        assert_eq!(toks.last().unwrap().0, TokKind::Str);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
+        let toks = lex(src);
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ c */ x";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_floats() {
+        let toks = kinds("0xcbf2_9ce4 1.5e-9 42u64 1..3");
+        assert_eq!(toks[0].0, TokKind::Number);
+        assert_eq!(toks[1], (TokKind::Number, "1.5e-9".into()));
+        assert_eq!(toks[2], (TokKind::Number, "42u64".into()));
+        assert_eq!(toks[3], (TokKind::Number, "1".into()));
+        assert_eq!(toks[4], (TokKind::Punct, "..".into()));
+        assert_eq!(toks[5], (TokKind::Number, "3".into()));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "a\nb\n  c";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_hang() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b\"x"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+            assert_eq!(toks.last().unwrap().end, src.len());
+        }
+    }
+
+    #[test]
+    fn every_nonspace_byte_is_covered() {
+        let src = "fn main() { let 🦀 = \"s\"; }";
+        let toks = lex(src);
+        let mut prev_end = 0usize;
+        for t in &toks {
+            assert!(t.start >= prev_end);
+            assert!(src[prev_end..t.start].chars().all(char::is_whitespace));
+            prev_end = t.end;
+        }
+        assert!(src[prev_end..].chars().all(char::is_whitespace));
+    }
+}

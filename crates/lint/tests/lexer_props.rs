@@ -1,0 +1,116 @@
+//! Property tests for the lint lexer: it must be *total* (never panic,
+//! never loop) and span-faithful (tokens tile the source with only
+//! whitespace between them) on arbitrary byte soup, because it runs
+//! over every file in the workspace including ones mid-edit.
+
+use aida_lint::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+fn assert_spans_tile(src: &str) -> Result<(), proptest::test_runner::TestCaseError> {
+    let toks = lex(src);
+    let mut prev_end = 0usize;
+    for t in &toks {
+        prop_assert!(t.start >= prev_end, "overlap at {}..{}", t.start, t.end);
+        prop_assert!(t.end > t.start, "empty token at {}", t.start);
+        prop_assert!(t.end <= src.len());
+        prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        prop_assert!(
+            src[prev_end..t.start].chars().all(char::is_whitespace),
+            "non-whitespace gap {:?}",
+            &src[prev_end..t.start]
+        );
+        prev_end = t.end;
+    }
+    prop_assert!(
+        src[prev_end..].chars().all(char::is_whitespace),
+        "non-whitespace tail {:?}",
+        &src[prev_end..]
+    );
+    // Lines are monotone non-decreasing and 1-based.
+    let mut last_line = 1usize;
+    for t in &toks {
+        prop_assert!(t.line >= last_line);
+        last_line = t.line;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    // Printable-ASCII soup: covers quotes, hashes, braces, slashes —
+    // every literal/comment opener — in arbitrary, mostly-invalid
+    // arrangements.
+    #[test]
+    fn lexer_never_panics_and_spans_tile(src in "[ -~\n\t]{0,120}") {
+        assert_spans_tile(&src)?;
+    }
+
+    // Rust-flavored soup biased toward the characters with tricky
+    // lexical state: quotes, hashes, slashes, stars (raw strings, char
+    // vs lifetime, nested comments), plus digits and dots for numeric
+    // edge cases like `1.5e-` and `0x_`.
+    #[test]
+    fn lexer_handles_rusty_fragments(
+        head in "[rb#\"'/\\*]{0,24}",
+        tail in "[a-z0-9_\"'#/\\*{}().;:e\\-x ]{0,60}",
+    ) {
+        let src = format!("{head}{tail}");
+        assert_spans_tile(&src)?;
+    }
+
+    // Token texts round-trip: re-lexing the concatenation of token
+    // texts (joined by single spaces) yields the same kind sequence for
+    // sources without raw-string/comment ambiguity... which we enforce
+    // by only generating idents, numbers, and simple punctuation.
+    #[test]
+    fn simple_token_streams_round_trip(src in "[a-z_0-9+=;,<>() ]{0,80}") {
+        let toks = lex(&src);
+        let joined: String = toks
+            .iter()
+            .map(|t| t.text(&src))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let relexed = lex(&joined);
+        prop_assert_eq!(toks.len(), relexed.len());
+        for (a, b) in toks.iter().zip(relexed.iter()) {
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.text(&src), b.text(&joined));
+        }
+    }
+}
+
+#[test]
+fn pathological_inputs_terminate() {
+    // Worst cases for each lexical mode, incl. unterminated everything.
+    let cases = [
+        "\"".repeat(2000),
+        "r#".repeat(1500),
+        "/*".repeat(1500),
+        "'".repeat(3000),
+        "1.".repeat(2000),
+        "🦀'🦀\"🦀/*🦀".repeat(200),
+        format!("r{}\"never closed", "#".repeat(500)),
+    ];
+    for src in &cases {
+        let toks = lex(src);
+        assert!(!toks.is_empty());
+        assert_eq!(toks.last().unwrap().end, src.len());
+    }
+}
+
+#[test]
+fn kinds_are_stable_on_real_code() {
+    // Smoke: lex this very test file and check basic invariants.
+    let src = std::fs::read_to_string(file!()).or_else(|_| {
+        std::fs::read_to_string(
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/lexer_props.rs"),
+        )
+    });
+    let src = src.expect("can read own source");
+    let toks = lex(&src);
+    assert!(toks.iter().any(|t| t.kind == TokKind::Ident));
+    assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+    assert!(toks.iter().any(|t| t.kind == TokKind::LineComment));
+    assert_eq!(toks.last().unwrap().end, src.trim_end().len());
+}

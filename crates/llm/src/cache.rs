@@ -382,7 +382,15 @@ impl SemanticCache {
         std::fs::File::open(path)?.read_to_string(&mut text)?;
         let entries = decode_snapshot(&text)?;
         let n = entries.len();
-        let mut st = self.inner.state.lock().unwrap();
+        // Recovery must not panic: if another thread poisoned the lock,
+        // take the state anyway — worst case the warm-start merge lands
+        // on a cache that a dying thread left half-updated, which the
+        // budget trim below re-normalizes.
+        let mut st = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         for (key, resp) in entries {
             let bytes = approx_bytes(&resp);
             st.tick += 1;

@@ -605,7 +605,13 @@ pub fn wal_replay(path: &Path) -> io::Result<WalReplay> {
             let valid = e.utf8_error().valid_up_to();
             let mut bytes = e.into_bytes();
             bytes.truncate(valid);
-            String::from_utf8(bytes).expect("prefix is valid UTF-8")
+            match String::from_utf8(bytes) {
+                Ok(prefix) => prefix,
+                // Unreachable by construction (the prefix up to
+                // valid_up_to is valid), but recovery never panics:
+                // treat it as a fully torn log.
+                Err(_) => return Ok(replay),
+            }
         }
     };
     let lines: Vec<&str> = text.split('\n').collect();

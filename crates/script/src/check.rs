@@ -1,0 +1,543 @@
+//! Static checks over parsed Pyrite programs.
+//!
+//! [`check`] runs before interpretation and rejects malformed generated
+//! programs *before* any simulated tokens are spent on them — the
+//! CodeAgent runtime bills a planning call per step, so a program that
+//! would only fail at runtime otherwise costs real (simulated) budget.
+//!
+//! Pyrite resolves names late, Python-style: a function body may call a
+//! function defined later, and a branch may read a variable another
+//! branch assigned. The checker therefore stays deliberately
+//! flow-insensitive for *existence*: a name is only "undefined" when no
+//! assignment, loop binding, parameter, `def`, global, tool, or builtin
+//! anywhere in the program (or host environment) introduces it. That
+//! keeps the pass sound — it never rejects a program the interpreter
+//! would have run — while still catching the common failure modes of
+//! generated code: misspelled tool names, references to variables that
+//! were never produced, `while True` with no exit, and dead branches.
+
+use crate::ast::{Expr, ExprKind, Program, Stmt, StmtKind, Target};
+use crate::error::ScriptError;
+use std::collections::BTreeSet;
+
+/// Builtin functions the interpreter resolves without any registration.
+/// Kept in sync with `Interpreter::call_builtin` (a unit test over every
+/// builtin name enforces the sync).
+pub const BUILTINS: &[&str] = &[
+    "len",
+    "str",
+    "int",
+    "float",
+    "bool",
+    "abs",
+    "round",
+    "range",
+    "print",
+    "sum",
+    "min",
+    "max",
+    "sorted",
+    "enumerate",
+];
+
+/// How bad an issue is. Errors reject the program; warnings ride along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CheckSeverity {
+    /// Suspicious but runnable (unused variable, dead branch).
+    Warning,
+    /// The program is malformed and will not be executed.
+    Error,
+}
+
+/// One issue the checker found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckIssue {
+    /// Stable issue code (`"undefined-name"`, `"unknown-call"`,
+    /// `"unbounded-loop"`, `"dead-branch"`, `"unused-variable"`).
+    pub code: &'static str,
+    /// Severity.
+    pub severity: CheckSeverity,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The host environment the program will run inside: names that exist
+/// without being defined by the program itself.
+#[derive(Debug, Clone, Default)]
+pub struct CheckEnv {
+    /// Pre-set global variables.
+    pub globals: BTreeSet<String>,
+    /// Registered host functions (tools).
+    pub tools: BTreeSet<String>,
+}
+
+impl CheckEnv {
+    /// Whether `name` exists in the host environment (including
+    /// builtins).
+    fn has(&self, name: &str) -> bool {
+        self.globals.contains(name) || self.tools.contains(name) || BUILTINS.contains(&name)
+    }
+}
+
+/// Runs all static checks. Issues are ordered by line, then code.
+pub fn check(program: &Program, env: &CheckEnv) -> Vec<CheckIssue> {
+    let mut ck = Checker {
+        env,
+        defined: BTreeSet::new(),
+        used: BTreeSet::new(),
+        issues: Vec::new(),
+    };
+    // Pass 1: every name the program introduces, anywhere.
+    collect_defined(&program.body, &mut ck.defined);
+    // Pass 2: walk references and structure.
+    ck.stmts(&program.body);
+    // Pass 3: definitions that were never read.
+    ck.unused(&program.body);
+    ck.issues
+        .sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
+    ck.issues
+}
+
+/// The first error, if any — what [`crate::Interpreter::run_checked`]
+/// reports.
+pub fn first_error(issues: &[CheckIssue]) -> Option<ScriptError> {
+    issues
+        .iter()
+        .find(|i| i.severity == CheckSeverity::Error)
+        .map(|i| ScriptError::Static {
+            line: i.line,
+            message: i.message.clone(),
+        })
+}
+
+struct Checker<'a> {
+    env: &'a CheckEnv,
+    defined: BTreeSet<String>,
+    used: BTreeSet<String>,
+    issues: Vec<CheckIssue>,
+}
+
+/// Collects every name any statement in `body` (recursively) defines.
+fn collect_defined(body: &[Stmt], out: &mut BTreeSet<String>) {
+    for stmt in body {
+        match &stmt.kind {
+            StmtKind::Assign(Target::Name(n), _) | StmtKind::AugAssign(Target::Name(n), _, _) => {
+                out.insert(n.clone());
+            }
+            StmtKind::Assign(_, _) | StmtKind::AugAssign(_, _, _) => {}
+            StmtKind::If(arms, els) => {
+                for (_, arm) in arms {
+                    collect_defined(arm, out);
+                }
+                if let Some(els) = els {
+                    collect_defined(els, out);
+                }
+            }
+            StmtKind::While(_, b) => collect_defined(b, out),
+            StmtKind::For(vars, _, b) => {
+                out.extend(vars.iter().cloned());
+                collect_defined(b, out);
+            }
+            StmtKind::Def(name, params, b) => {
+                out.insert(name.clone());
+                out.extend(params.iter().cloned());
+                collect_defined(b, out);
+            }
+            _ => {}
+        }
+        // Comprehension variables bind too (they leak into scope in
+        // Pyrite, like Python 2 — and even if they did not, treating
+        // them as defined only ever suppresses a false positive).
+        visit_exprs(stmt, &mut |e| {
+            if let ExprKind::ListComp { vars, .. } = &e.kind {
+                out.extend(vars.iter().cloned());
+            }
+        });
+    }
+}
+
+/// Calls `f` on every expression reachable from `stmt`.
+fn visit_exprs(stmt: &Stmt, f: &mut dyn FnMut(&Expr)) {
+    fn walk_expr(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+        f(e);
+        match &e.kind {
+            ExprKind::List(items) => items.iter().for_each(|e| walk_expr(e, f)),
+            ExprKind::Dict(pairs) => {
+                for (k, v) in pairs {
+                    walk_expr(k, f);
+                    walk_expr(v, f);
+                }
+            }
+            ExprKind::Binary(_, a, b) => {
+                walk_expr(a, f);
+                walk_expr(b, f);
+            }
+            ExprKind::Unary(_, a) => walk_expr(a, f),
+            ExprKind::Call(callee, args) => {
+                walk_expr(callee, f);
+                args.iter().for_each(|e| walk_expr(e, f));
+            }
+            ExprKind::MethodCall(obj, _, args) => {
+                walk_expr(obj, f);
+                args.iter().for_each(|e| walk_expr(e, f));
+            }
+            ExprKind::Index(obj, key) => {
+                walk_expr(obj, f);
+                walk_expr(key, f);
+            }
+            ExprKind::ListComp {
+                element,
+                iterable,
+                condition,
+                ..
+            } => {
+                walk_expr(element, f);
+                walk_expr(iterable, f);
+                if let Some(c) = condition {
+                    walk_expr(c, f);
+                }
+            }
+            ExprKind::Slice(obj, lo, hi) => {
+                walk_expr(obj, f);
+                if let Some(lo) = lo {
+                    walk_expr(lo, f);
+                }
+                if let Some(hi) = hi {
+                    walk_expr(hi, f);
+                }
+            }
+            _ => {}
+        }
+    }
+    match &stmt.kind {
+        StmtKind::Expr(e) | StmtKind::Return(Some(e)) => walk_expr(e, f),
+        StmtKind::Assign(t, e) | StmtKind::AugAssign(t, _, e) => {
+            if let Target::Index(obj, key) = t {
+                walk_expr(obj, f);
+                walk_expr(key, f);
+            }
+            walk_expr(e, f);
+        }
+        StmtKind::If(arms, _) => {
+            for (cond, _) in arms {
+                walk_expr(cond, f);
+            }
+        }
+        StmtKind::While(cond, _) => walk_expr(cond, f),
+        StmtKind::For(_, iter, _) => walk_expr(iter, f),
+        _ => {}
+    }
+}
+
+/// A literal's truthiness, when statically known.
+fn const_truth(e: &Expr) -> Option<bool> {
+    match &e.kind {
+        ExprKind::Bool(b) => Some(*b),
+        ExprKind::Int(i) => Some(*i != 0),
+        ExprKind::Float(x) => Some(*x != 0.0),
+        ExprKind::Str(s) => Some(!s.is_empty()),
+        ExprKind::None => Some(false),
+        _ => None,
+    }
+}
+
+/// Whether any statement in `body` (recursively, but not inside nested
+/// `def`s) is `break` or `return`.
+fn has_exit(body: &[Stmt]) -> bool {
+    body.iter().any(|s| match &s.kind {
+        StmtKind::Break | StmtKind::Return(_) => true,
+        StmtKind::If(arms, els) => {
+            arms.iter().any(|(_, b)| has_exit(b)) || els.as_ref().is_some_and(|b| has_exit(b))
+        }
+        // A nested loop's own break exits *that* loop, not this one —
+        // but a return inside it still exits. Keeping the recursion
+        // here over-approximates exits, which only ever suppresses a
+        // finding (sound for a rejection gate).
+        StmtKind::While(_, b) | StmtKind::For(_, _, b) => has_exit(b),
+        _ => false,
+    })
+}
+
+impl Checker<'_> {
+    fn issue(&mut self, code: &'static str, severity: CheckSeverity, line: usize, message: String) {
+        self.issues.push(CheckIssue {
+            code,
+            severity,
+            line,
+            message,
+        });
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) {
+        for stmt in body {
+            self.structure(stmt);
+            visit_exprs(stmt, &mut |_| {});
+            self.names_in(stmt);
+        }
+    }
+
+    /// Structural checks: unbounded loops and dead branches.
+    fn structure(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::While(cond, body) => {
+                match const_truth(cond) {
+                    Some(true) if !has_exit(body) => self.issue(
+                        "unbounded-loop",
+                        CheckSeverity::Error,
+                        stmt.line,
+                        "`while` loop condition is always true and the body never \
+                         breaks or returns; the program cannot terminate"
+                            .to_string(),
+                    ),
+                    Some(false) => self.issue(
+                        "dead-branch",
+                        CheckSeverity::Warning,
+                        stmt.line,
+                        "`while` loop condition is always false; the body never runs".to_string(),
+                    ),
+                    _ => {}
+                }
+                self.stmts(body);
+            }
+            StmtKind::If(arms, els) => {
+                let mut taken = false;
+                for (cond, body) in arms {
+                    match const_truth(cond) {
+                        _ if taken => self.issue(
+                            "dead-branch",
+                            CheckSeverity::Warning,
+                            cond.line,
+                            "branch is unreachable: an earlier condition is always true"
+                                .to_string(),
+                        ),
+                        Some(false) => self.issue(
+                            "dead-branch",
+                            CheckSeverity::Warning,
+                            cond.line,
+                            "branch condition is always false; its body never runs".to_string(),
+                        ),
+                        Some(true) => taken = true,
+                        Option::None => {}
+                    }
+                    self.stmts(body);
+                }
+                if let Some(els) = els {
+                    if taken {
+                        self.issue(
+                            "dead-branch",
+                            CheckSeverity::Warning,
+                            stmt.line,
+                            "`else` is unreachable: an earlier condition is always true"
+                                .to_string(),
+                        );
+                    }
+                    self.stmts(els);
+                }
+            }
+            StmtKind::For(_, _, body) | StmtKind::Def(_, _, body) => self.stmts(body),
+            _ => {}
+        }
+    }
+
+    /// Name-existence checks over every expression in `stmt`.
+    fn names_in(&mut self, stmt: &Stmt) {
+        let mut refs: Vec<(String, usize, bool)> = Vec::new();
+        visit_exprs(stmt, &mut |e| {
+            match &e.kind {
+                ExprKind::Name(n) => refs.push((n.clone(), e.line, false)),
+                ExprKind::Call(callee, _) => {
+                    if let ExprKind::Name(n) = &callee.kind {
+                        // Mark as a call site; the plain Name visit also
+                        // records it, so de-dup below keeps the call.
+                        refs.push((n.clone(), callee.line, true));
+                    }
+                }
+                _ => {}
+            }
+        });
+        for (name, line, is_call) in &refs {
+            self.used.insert(name.clone());
+            let exists = self.defined.contains(name) || self.env.has(name);
+            if exists {
+                continue;
+            }
+            if *is_call {
+                let mut known: Vec<&str> = self
+                    .env
+                    .tools
+                    .iter()
+                    .map(|s| s.as_str())
+                    .chain(BUILTINS.iter().copied())
+                    .collect();
+                known.sort_unstable();
+                self.issue(
+                    "unknown-call",
+                    CheckSeverity::Error,
+                    *line,
+                    format!(
+                        "call to unknown function or tool '{name}' (available: {})",
+                        known.join(", ")
+                    ),
+                );
+            } else if !refs.iter().any(|(n, _, c)| n == name && *c) {
+                // Avoid double-reporting the callee of an unknown call.
+                self.issue(
+                    "undefined-name",
+                    CheckSeverity::Error,
+                    *line,
+                    format!("'{name}' is never defined anywhere in the program"),
+                );
+            }
+        }
+    }
+
+    /// Unused-variable warnings: top-level definitions never read.
+    fn unused(&mut self, body: &[Stmt]) {
+        let mut seen = BTreeSet::new();
+        for stmt in body {
+            let (name, what) = match &stmt.kind {
+                StmtKind::Assign(Target::Name(n), _) => (n, "variable"),
+                StmtKind::Def(n, _, _) => (n, "function"),
+                _ => continue,
+            };
+            if name.starts_with('_') || self.used.contains(name) || !seen.insert(name.clone()) {
+                continue;
+            }
+            self.issue(
+                "unused-variable",
+                CheckSeverity::Warning,
+                stmt.line,
+                format!("{what} '{name}' is assigned but never used"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn env_with(tools: &[&str]) -> CheckEnv {
+        CheckEnv {
+            globals: BTreeSet::new(),
+            tools: tools.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn run_check(src: &str, env: &CheckEnv) -> Vec<CheckIssue> {
+        let program = parse(src).expect("fixture parses");
+        check(&program, env)
+    }
+
+    fn errors(issues: &[CheckIssue]) -> Vec<&CheckIssue> {
+        issues
+            .iter()
+            .filter(|i| i.severity == CheckSeverity::Error)
+            .collect()
+    }
+
+    #[test]
+    fn clean_program_passes() {
+        let src = "x = 1\ny = x + 2\ny\n";
+        let issues = run_check(src, &env_with(&[]));
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn undefined_name_is_rejected() {
+        let issues = run_check("x = missing + 1\nx\n", &env_with(&[]));
+        let errs = errors(&issues);
+        assert_eq!(errs.len(), 1, "{issues:?}");
+        assert_eq!(errs[0].code, "undefined-name");
+        assert_eq!(errs[0].line, 1);
+    }
+
+    #[test]
+    fn late_binding_is_not_rejected() {
+        // `helper` is defined after `main`, and `acc` is assigned in one
+        // branch and read in another — both legal at runtime.
+        let src = "def main():\n    return helper(2)\ndef helper(n):\n    return n * 2\nmain()\n";
+        assert!(errors(&run_check(src, &env_with(&[]))).is_empty());
+    }
+
+    #[test]
+    fn unknown_tool_call_is_rejected_and_lists_tools() {
+        let issues = run_check("serch_docs(\"q\")\n", &env_with(&["search_docs"]));
+        let errs = errors(&issues);
+        assert_eq!(errs.len(), 1, "{issues:?}");
+        assert_eq!(errs[0].code, "unknown-call");
+        assert!(errs[0].message.contains("search_docs"));
+    }
+
+    #[test]
+    fn while_true_without_exit_is_rejected() {
+        let issues = run_check("while True:\n    x = 1\n", &env_with(&[]));
+        assert!(errors(&issues).iter().any(|i| i.code == "unbounded-loop"));
+        // With a break it is fine.
+        let ok = run_check("while True:\n    break\n", &env_with(&[]));
+        assert!(errors(&ok).is_empty(), "{ok:?}");
+        // A non-literal condition is fine (the fuel budget guards it).
+        let ok = run_check("n = 3\nwhile n > 0:\n    n = n - 1\nn\n", &env_with(&[]));
+        assert!(errors(&ok).is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn dead_branches_warn_but_do_not_reject() {
+        let src = "if False:\n    x = 1\nelse:\n    x = 2\nx\n";
+        let issues = run_check(src, &env_with(&[]));
+        assert!(errors(&issues).is_empty(), "{issues:?}");
+        assert!(issues.iter().any(|i| i.code == "dead-branch"));
+    }
+
+    #[test]
+    fn unused_variable_warns() {
+        let issues = run_check("x = 1\ny = 2\ny\n", &env_with(&[]));
+        assert!(errors(&issues).is_empty());
+        let unused: Vec<_> = issues
+            .iter()
+            .filter(|i| i.code == "unused-variable")
+            .collect();
+        assert_eq!(unused.len(), 1, "{issues:?}");
+        assert!(unused[0].message.contains("'x'"));
+    }
+
+    #[test]
+    fn underscore_names_are_exempt_from_unused() {
+        let issues = run_check("_scratch = 1\n2\n", &env_with(&[]));
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn first_error_converts_to_static_script_error() {
+        let issues = run_check("boom()\n", &env_with(&[]));
+        let err = first_error(&issues).expect("has error");
+        assert!(matches!(err, ScriptError::Static { line: 1, .. }));
+        assert!(err.to_string().starts_with("static error (line 1):"));
+    }
+
+    #[test]
+    fn comprehension_vars_count_as_defined() {
+        let src = "xs = [1, 2, 3]\nys = [v * 2 for v in xs]\nys\n";
+        assert!(run_check(src, &env_with(&[])).is_empty());
+    }
+
+    #[test]
+    fn builtin_list_matches_interpreter() {
+        // Every name in BUILTINS must actually resolve when called.
+        let mut interp = crate::Interpreter::new();
+        for b in BUILTINS {
+            let src = match *b {
+                "print" => "print(1)".to_string(),
+                "range" => "range(1)".to_string(),
+                "enumerate" => "enumerate([1])".to_string(),
+                "sum" | "min" | "max" | "sorted" | "len" => format!("{b}([1])"),
+                _ => format!("{b}(1)"),
+            };
+            let res = interp.run(&src);
+            assert!(res.is_ok(), "builtin {b} failed: {res:?}");
+        }
+    }
+}

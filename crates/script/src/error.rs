@@ -23,6 +23,8 @@ pub enum ScriptError {
     RecursionLimit,
     /// A host function (tool) failed.
     Host { message: String },
+    /// The static checker rejected the program before execution.
+    Static { line: usize, message: String },
 }
 
 impl ScriptError {
@@ -41,7 +43,8 @@ impl ScriptError {
             | ScriptError::Type { line, .. }
             | ScriptError::Name { line, .. }
             | ScriptError::Index { line, .. }
-            | ScriptError::Arithmetic { line, .. } => Some(*line),
+            | ScriptError::Arithmetic { line, .. }
+            | ScriptError::Static { line, .. } => Some(*line),
             _ => None,
         }
     }
@@ -69,6 +72,9 @@ impl fmt::Display for ScriptError {
             ScriptError::FuelExhausted => write!(f, "execution budget exhausted"),
             ScriptError::RecursionLimit => write!(f, "maximum recursion depth exceeded"),
             ScriptError::Host { message } => write!(f, "tool error: {message}"),
+            ScriptError::Static { line, message } => {
+                write!(f, "static error (line {line}): {message}")
+            }
         }
     }
 }

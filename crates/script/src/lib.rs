@@ -15,7 +15,11 @@
 //! * **host-function binding** so agent tools (`list_files`, `read_file`,
 //!   `run_semantic_program`, …) appear as ordinary callables, and
 //! * **fuel limits** so a runaway agent program terminates deterministically
-//!   instead of hanging an experiment.
+//!   instead of hanging an experiment, and
+//! * a **static checker** ([`check`]) run before interpretation
+//!   ([`Interpreter::run_checked`]) that rejects provably malformed
+//!   programs — undefined names, unknown tools, `while True` with no
+//!   exit — before the caller spends any simulated budget on them.
 //!
 //! The supported subset is what the simulated planners emit: assignments,
 //! `if`/`elif`/`else`, `while`, `for … in`, `def`, `return`, arithmetic,
@@ -39,12 +43,14 @@
 //! ```
 
 pub mod ast;
+pub mod check;
 pub mod error;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod value;
 
+pub use check::{CheckEnv, CheckIssue, CheckSeverity};
 pub use error::ScriptError;
 pub use interp::Interpreter;
 pub use value::ScriptValue;

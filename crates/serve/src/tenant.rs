@@ -443,7 +443,18 @@ impl LedgerWal {
     pub fn compact(&mut self, ledger: &TenantLedger) -> std::io::Result<bool> {
         let framed = encode_ledger_snapshot(self.next_seq, ledger);
         snapshot::commit_atomic(&self.snapshot_path, &framed, self.plan.as_deref())?;
-        std::fs::write(&self.path, "")?;
+        // Durable truncate: `fs::write(path, "")` alone leaves the
+        // zero-length state unsynced, so after a power cut the WAL's
+        // on-disk length is undefined — stale pre-compaction bytes could
+        // coexist with post-compaction appends in whatever order the
+        // filesystem flushed them. fsyncing the truncation pins the
+        // empty state before any new append lands.
+        let wal = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&self.path)?;
+        wal.sync_all()?;
         self.records_in_wal = 0;
         Ok(true)
     }

@@ -481,6 +481,80 @@ fn evicted_contexts_do_not_resurrect_after_reload() {
     assert_eq!(rt3.manager().len(), 1, "stale snapshot trimmed on load");
 }
 
+// ---- satellite: exact LRU tick restore ---------------------------------
+
+/// Snapshot restore preserves the LRU clock *exactly*: per-entry
+/// `last_used` ticks and the global tick counter survive the round-trip
+/// byte-for-byte, the restored clock continues where the original left
+/// off, and recency-sensitive eviction agrees with the restored order.
+/// A restore that renumbered entries 1..n would pass a length check but
+/// silently reorder future evictions.
+#[test]
+fn lru_tick_ordering_restores_tick_identically() {
+    let rt = Runtime::builder().seed(11).build();
+    let mk = |name: &str| {
+        Context::builder(
+            name,
+            DataLake::from_docs([Document::new(format!("{name}.txt"), format!("{name} doc"))]),
+        )
+        .description(name)
+        .build(&rt)
+    };
+    // Equal costs so eviction order is decided purely by recency.
+    rt.manager().register("alpha instruction", mk("alpha"), 1.0);
+    rt.manager().register("beta instruction", mk("beta"), 1.0);
+    rt.manager().register("gamma instruction", mk("gamma"), 1.0);
+    // Uneven recency: alpha and gamma get re-used, so the tick order is
+    // beta(2) < alpha(4) < gamma(5) with the clock standing at 5.
+    assert!(rt.manager().reuse("alpha instruction", 0.99).is_some());
+    assert!(rt.manager().reuse("gamma instruction", 0.99).is_some());
+    let snap = rt.manager().encode_snapshot();
+
+    let rt2 = Runtime::builder().seed(11).build();
+    rt2.manager()
+        .load_snapshot(&snap, &|id, lake, desc| {
+            Context::builder(id, lake).description(desc).build(&rt2)
+        })
+        .unwrap();
+    // Tick-identical: re-encoding the restored store reproduces the
+    // snapshot byte-for-byte, so every last_used and the global clock
+    // survived exactly — not merely the relative order.
+    assert_eq!(rt2.manager().encode_snapshot(), snap);
+
+    // The restored clock continues where the original left off: the same
+    // post-restore operation lands the same new tick on both managers,
+    // so a restored replica cannot diverge from the uninterrupted one.
+    assert!(rt.manager().reuse("beta instruction", 0.99).is_some());
+    assert!(rt2.manager().reuse("beta instruction", 0.99).is_some());
+    assert_eq!(
+        rt2.manager().encode_snapshot(),
+        rt.manager().encode_snapshot()
+    );
+
+    // Recency-sensitive eviction honors the restored ticks: beta is the
+    // least recently used entry in `snap`, so it is the one displaced.
+    let rt3 = Runtime::builder().seed(11).context_capacity(3).build();
+    rt3.manager()
+        .load_snapshot(&snap, &|id, lake, desc| {
+            Context::builder(id, lake).description(desc).build(&rt3)
+        })
+        .unwrap();
+    let delta = Context::builder(
+        "delta",
+        DataLake::from_docs([Document::new("delta.txt", "delta doc")]),
+    )
+    .description("delta")
+    .build(&rt3);
+    rt3.manager().register("delta instruction", delta, 1.0);
+    let after = rt3.manager().encode_snapshot();
+    assert!(
+        !after.contains("beta instruction"),
+        "least-recent restored entry is the eviction victim"
+    );
+    assert!(after.contains("alpha instruction"));
+    assert!(after.contains("gamma instruction"));
+}
+
 // ---- satellite: checkpoint-interval behavior ---------------------------
 
 /// With `checkpoint_interval(n)`, the runtime checkpoints itself every
