@@ -29,10 +29,23 @@ SERVE_SOAK_SMOKE=1 AIDA_RESULTS_DIR=target/ci-cache-a \
 cargo test -q --release --test cache
 
 # Cache determinism: a second seeded soak must produce a byte-identical
-# service trace — memoization may not perturb replay.
+# service trace — memoization may not perturb replay. The health export
+# is part of the same contract: per-tenant windowed percentiles and SLO
+# burn verdicts must replay byte-for-byte.
 SERVE_SOAK_SMOKE=1 AIDA_RESULTS_DIR=target/ci-cache-b \
   cargo run -q --release -p aida-bench --bin serve_soak >/dev/null
 cmp target/ci-cache-a/traces/serve_soak.jsonl target/ci-cache-b/traces/serve_soak.jsonl
+cmp target/ci-cache-a/health.jsonl target/ci-cache-b/health.jsonl
+
+# Flight-recorder smoke: a soak with an armed WAL crash point must leave
+# a parseable flight dump behind (header line naming the trigger, then
+# the retained event records). The probe inside serve_soak additionally
+# asserts the dump carries >= 64 events ending in the crash record.
+rm -f target/ci-cache-a/traces/flight_1.jsonl
+SERVE_SOAK_SMOKE=1 SERVE_SOAK_CRASH=1 AIDA_RESULTS_DIR=target/ci-cache-a \
+  cargo run -q --release -p aida-bench --bin serve_soak >/dev/null
+test -s target/ci-cache-a/traces/flight_1.jsonl
+head -c 11 target/ci-cache-a/traces/flight_1.jsonl | grep -q '{"flight":"'
 
 # Cold-vs-warm through a disk spill: cache_bench writes the snapshot,
 # reloads it in a fresh runtime, and asserts identical answers at lower

@@ -144,6 +144,13 @@ impl<'a> AgentRuntime<'a> {
             let issues = interp.check_source(&code);
             if let Some(err) = aida_script::check::first_error(&issues) {
                 step_span.attr("rejected", "static-check");
+                if self.env.recorder.is_enabled() {
+                    self.env.recorder.flight(
+                        "agents.step",
+                        "step_rejected",
+                        format!("step {step}: {err}"),
+                    );
+                }
                 let observation = format!("ERROR: {err}");
                 steps.push(StepTrace {
                     step,
@@ -179,6 +186,13 @@ impl<'a> AgentRuntime<'a> {
                 }
                 Err(err) => format!("ERROR: {err}"),
             };
+            if self.env.recorder.is_enabled() {
+                self.env.recorder.flight(
+                    "agents.step",
+                    "step",
+                    format!("step {step}: {}", aida_obs::clip(&observation, 80)),
+                );
+            }
             steps.push(StepTrace {
                 step,
                 code,
@@ -403,6 +417,18 @@ mod tests {
         }
         let span_cost: f64 = steps.iter().map(|s| s.cost_usd).sum();
         assert!((span_cost - outcome.cost_usd).abs() < 1e-9);
+        // Each step also leaves a flight-recorder note so a crash dump
+        // shows where the agent was.
+        let flight = recorder.flight_records();
+        let step_notes = flight
+            .iter()
+            .filter(|r| r.source == "agents.step" && r.kind == "step")
+            .count();
+        assert_eq!(step_notes, outcome.steps.len());
+        assert!(
+            flight.iter().any(|r| r.kind == "llm_call"),
+            "planning calls feed the ring via events"
+        );
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! Ablation B: cost-based model selection.
 fn main() {
-    aida_bench::emit(&aida_eval::ablation_optimizer(
-        &aida_eval::experiments::TRIAL_SEEDS,
-    ));
+    let seeds = aida_eval::experiments::TRIAL_SEEDS;
+    aida_bench::emit(&aida_eval::ablation_optimizer(&seeds), seeds[0]);
     aida_bench::emit_trace(
         "ablation_optimizer",
         &aida_bench::traces::ablation_optimizer(),

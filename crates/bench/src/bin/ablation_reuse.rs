@@ -1,7 +1,6 @@
 //! Ablation A: ContextManager materialized-Context reuse.
 fn main() {
-    aida_bench::emit(&aida_eval::ablation_reuse(
-        &aida_eval::experiments::TRIAL_SEEDS,
-    ));
+    let seeds = aida_eval::experiments::TRIAL_SEEDS;
+    aida_bench::emit(&aida_eval::ablation_reuse(&seeds), seeds[0]);
     aida_bench::emit_trace("ablation_reuse", &aida_bench::traces::ablation_reuse());
 }

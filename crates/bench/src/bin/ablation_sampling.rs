@@ -1,9 +1,10 @@
 //! Ablation E: the optimizer's sampling budget.
 fn main() {
-    aida_bench::emit(&aida_eval::ablation_sampling(
-        &aida_eval::experiments::TRIAL_SEEDS,
-        &[0, 12, 36, 72],
-    ));
+    let seeds = aida_eval::experiments::TRIAL_SEEDS;
+    aida_bench::emit(
+        &aida_eval::ablation_sampling(&seeds, &[0, 12, 36, 72]),
+        seeds[0],
+    );
     aida_bench::emit_trace(
         "ablation_sampling",
         &aida_bench::traces::ablation_sampling(),

@@ -134,4 +134,15 @@ fn main() {
         p95_warm_s: warm.latency.p95(),
     };
     aida_bench::emit_semcache_bench(&bench);
+    aida_bench::emit_bench(
+        &aida_bench::BenchResult::new("cache_bench", seed)
+            .metric("cold_usd", bench.cold_usd)
+            .metric("warm_usd", bench.warm_usd)
+            .metric("reduction_pct", bench.reduction_pct())
+            .metric("hit_rate", bench.hit_rate)
+            .metric("p50_cold_s", bench.p50_cold_s)
+            .metric("p95_cold_s", bench.p95_cold_s)
+            .metric("p50_warm_s", bench.p50_warm_s)
+            .metric("p95_warm_s", bench.p95_warm_s),
+    );
 }

@@ -2,5 +2,8 @@
 fn main() {
     let (text, recorder) = aida_eval::figure2_traced(1);
     aida_bench::emit_text("figure2", &text);
+    aida_bench::emit_bench(&aida_bench::BenchResult::from_trace(
+        "figure2", 1, &recorder,
+    ));
     aida_bench::emit_trace("figure2", &recorder);
 }

@@ -14,25 +14,44 @@
 //! strictly cheaper; the full (non-smoke) soak asserts at least a 20%
 //! dollar reduction. Numbers land in `results/BENCH_semcache.json`.
 //!
+//! Every tenant declares an SLO (p99 latency target, dollar-per-query
+//! ceiling). The service's health layer windows latency/cost/queue-wait
+//! per tenant and evaluates multi-window burn rates; the verdicts land
+//! in the rendered report, in `results/health.jsonl`, and in the
+//! canonical `results/BENCH_serve_soak.json`.
+//!
 //! The run is deterministic on the virtual clock: same seed → identical
-//! `ServiceReport`, byte-identical `results/traces/serve_soak.jsonl`.
-//! `SERVE_SOAK_SMOKE=1` shrinks the workload for CI.
+//! `ServiceReport`, byte-identical `results/traces/serve_soak.jsonl` and
+//! `results/health.jsonl`. `SERVE_SOAK_SMOKE=1` shrinks the workload for
+//! CI. `SERVE_SOAK_CRASH=1` additionally runs a crash-forensics probe: a
+//! `FailPlan` tears a ledger-WAL append mid-record, which must leave a
+//! parseable flight-recorder dump at `results/traces/flight_<seed>.jsonl`.
+//! Recorder overhead (tracing on vs off, wall clock) is printed so
+//! EXPERIMENTS.md can cite a measured number.
 
-use aida_bench::SemcacheBench;
+use aida_bench::{BenchResult, SemcacheBench};
 use aida_core::{Context, Runtime};
-use aida_obs::Summary;
+use aida_llm::{CrashPoint, FailPlan, WallStopwatch};
+use aida_obs::{SloPolicy, Summary};
 use aida_serve::{
     open_loop, LedgerWal, QueryRequest, QueryService, ServeConfig, ServiceReport, TenantConfig,
     TenantLoad,
 };
 use aida_synth::{enron, legal};
 use std::path::Path;
+use std::sync::Arc;
 
-fn build_service(seed: u64, cache: bool, durable: Option<&Path>) -> QueryService {
+fn build_service(
+    seed: u64,
+    cache: bool,
+    durable: Option<&Path>,
+    tracing: bool,
+    crash: Option<CrashPoint>,
+) -> QueryService {
     let mut builder = Runtime::builder()
         .seed(seed)
         .context_capacity(256)
-        .tracing(true);
+        .tracing(tracing);
     if cache {
         builder = builder.semantic_cache(4096);
     }
@@ -41,6 +60,10 @@ fn build_service(seed: u64, cache: bool, durable: Option<&Path>) -> QueryService
             .cache_path(dir.join("semcache.bin"))
             .state_path(dir.join("state.bin"))
             .checkpoint_interval(16);
+    }
+    if crash.is_some() {
+        builder =
+            builder.flight_dump(aida_bench::traces_dir().join(format!("flight_{seed}.jsonl")));
     }
     let rt = builder.build();
     let legal_workload = legal::generate(seed);
@@ -54,24 +77,57 @@ fn build_service(seed: u64, cache: bool, durable: Option<&Path>) -> QueryService
         .with_vector_index()
         .build(&rt);
 
-    let mut svc = QueryService::new(
-        rt,
-        ServeConfig {
-            workers: 4,
-            queue_capacity: 64,
-        },
-    );
+    let recorder = rt.recorder().clone();
+    // Queries arrive minutes apart, so burn rates are judged over a
+    // 15-minute fast window and a 1-hour slow window; the 64×60s health
+    // ring spans both.
+    let config = ServeConfig::default()
+        .health_window(60.0, 64)
+        .slo_policy(SloPolicy {
+            fast_window_s: 900.0,
+            slow_window_s: 3600.0,
+            ..SloPolicy::default()
+        });
+    let mut svc = QueryService::new(rt, config);
     svc.register_context("legal", legal_ctx);
     svc.register_context("enron", enron_ctx);
-    svc.register_tenant("acme", TenantConfig::weighted(2));
-    svc.register_tenant("bolt", TenantConfig::default());
-    svc.register_tenant("cora", TenantConfig::default());
+    // Every tenant declares an SLO; the service reports burn rates but
+    // never sheds on them.
+    svc.register_tenant(
+        "acme",
+        TenantConfig::weighted(2)
+            .p99_latency(1200.0)
+            .usd_per_query(1.0),
+    );
+    svc.register_tenant(
+        "bolt",
+        TenantConfig::default()
+            .p99_latency(1200.0)
+            .usd_per_query(1.0),
+    );
+    svc.register_tenant(
+        "cora",
+        TenantConfig::default()
+            .p99_latency(1200.0)
+            .usd_per_query(1.0),
+    );
     // The quota guinea pig: enough budget for a handful of queries, then
     // every further request is shed with `budget_exhausted`.
-    svc.register_tenant("dara", TenantConfig::default().dollars(0.05));
+    svc.register_tenant(
+        "dara",
+        TenantConfig::default()
+            .dollars(0.05)
+            .p99_latency(600.0)
+            .usd_per_query(0.01),
+    );
     if let Some(dir) = durable {
-        svc.attach_wal(LedgerWal::open(dir.join("ledger.wal")))
-            .expect("tenant-ledger WAL recovery");
+        let mut wal = LedgerWal::open(dir.join("ledger.wal"));
+        if let Some(point) = crash {
+            // Let ~10 queries land first so the flight ring has a real
+            // event tail to dump when the append tears.
+            wal = wal.with_fail_plan(Arc::new(FailPlan::nth(point, 20).with_recorder(recorder)));
+        }
+        svc.attach_wal(wal).expect("tenant-ledger WAL recovery");
     }
     svc
 }
@@ -91,8 +147,97 @@ fn latency_summary(report: &ServiceReport) -> Summary {
     summary
 }
 
+/// The canonical machine-readable headline: service-wide throughput and
+/// hit rate plus each tenant's windowed latency percentiles and SLO
+/// verdict (0 = ok, 1 = burning).
+fn serve_soak_bench(seed: u64, report: &ServiceReport) -> BenchResult {
+    let throughput = if report.makespan_s > 0.0 {
+        report.completions.len() as f64 / report.makespan_s
+    } else {
+        0.0
+    };
+    let mut out = BenchResult::new("serve_soak", seed)
+        .metric("queries", report.completions.len() as f64)
+        .metric("throughput_qps", throughput)
+        .metric("hit_rate", report.cache_hit_rate())
+        .metric("total_cost_usd", report.total_cost_usd)
+        .metric("slo_alerts", report.slo_alerts as f64);
+    for h in &report.health {
+        out = out
+            .metric(format!("{}/p50_s", h.tenant), h.latency.p50)
+            .metric(format!("{}/p95_s", h.tenant), h.latency.p95)
+            .metric(format!("{}/p99_s", h.tenant), h.latency.p99)
+            .metric(format!("{}/usd_per_query", h.tenant), h.cost.mean)
+            .metric(
+                format!("{}/slo_breach", h.tenant),
+                if h.slo.alerting { 1.0 } else { 0.0 },
+            );
+    }
+    out
+}
+
+/// `SERVE_SOAK_CRASH=1`: tear a WAL append mid-record and prove the
+/// flight recorder leaves a parseable forensic dump behind.
+fn crash_probe(seed: u64, requests: &[QueryRequest]) {
+    let dump = aida_bench::traces_dir().join(format!("flight_{seed}.jsonl"));
+    let _ = std::fs::remove_file(&dump);
+    let crash_dir = aida_bench::results_dir().join("serve_soak_crash");
+    let _ = std::fs::remove_dir_all(&crash_dir);
+    std::fs::create_dir_all(&crash_dir).expect("create crash dir");
+
+    let mut svc = build_service(
+        seed,
+        true,
+        Some(&crash_dir),
+        true,
+        Some(CrashPoint::WalTornAppend),
+    );
+    let report = svc.run(requests.to_vec());
+    if !report.wal_failed {
+        eprintln!("FAIL: injected torn append never fired");
+        std::process::exit(1);
+    }
+    println!(
+        "crash probe: {} completions before the torn WAL append halted admission",
+        report.completions.len(),
+    );
+    let text = match std::fs::read_to_string(&dump) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: no flight dump at {} ({e})", dump.display());
+            std::process::exit(1);
+        }
+    };
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or_default();
+    // A later SLO-alert autodump may overwrite the crash-point dump (same
+    // path, same ring), so accept any reason but demand the crash record
+    // itself survived in the event tail.
+    if !header.starts_with("{\"flight\":\"") {
+        eprintln!("FAIL: flight dump header malformed: {header}");
+        std::process::exit(1);
+    }
+    if !text.contains("\"kind\":\"crash_point\"") {
+        eprintln!("FAIL: flight dump lost the crash_point record");
+        std::process::exit(1);
+    }
+    let events = lines
+        .filter(|l| l.starts_with('{') && l.ends_with('}'))
+        .count();
+    if events < 64 {
+        eprintln!("FAIL: flight dump carries only {events} events (< 64)");
+        std::process::exit(1);
+    }
+    println!(
+        "crash probe: flight dump at {} ({events} events)",
+        dump.display()
+    );
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
 fn main() {
-    let smoke = std::env::var("SERVE_SOAK_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let env_on = |k: &str| std::env::var(k).is_ok_and(|v| v != "0" && !v.is_empty());
+    let smoke = env_on("SERVE_SOAK_SMOKE");
     let seed = 1;
     let queries_per_tenant = if smoke { 3 } else { 25 };
 
@@ -130,18 +275,61 @@ fn main() {
     let requests: Vec<QueryRequest> = open_loop(seed, &loads);
 
     // Baseline: the same workload through the same service, cache off.
-    let mut baseline_svc = build_service(seed, false, None);
+    let mut baseline_svc = build_service(seed, false, None, true, None);
     let baseline = baseline_svc.run(requests.clone());
 
-    // The headline run: shared semantic cache across all four tenants.
-    let mut svc = build_service(seed, true, None);
-    let isolated = svc.isolated_cost(&requests);
-    let mut report = svc.run(requests.clone());
+    // Recorder-overhead reference: the headline workload with tracing
+    // off. Modes alternate and each keeps its best of two samples, so
+    // one background hiccup can't swing the comparison.
+    let sample = |tracing: bool| {
+        let mut svc = build_service(seed, true, None, tracing, None);
+        let watch = WallStopwatch::start();
+        let report = svc.run(requests.clone());
+        (report, watch.elapsed_s())
+    };
+    let (untraced, untraced_wall_a) = sample(false);
+    let (mut report, traced_wall_a) = sample(true);
+    let (_, untraced_wall_b) = sample(false);
+    let (_, traced_wall_b) = sample(true);
+    let untraced_wall_s = untraced_wall_a.min(untraced_wall_b);
+    let traced_wall_s = traced_wall_a.min(traced_wall_b);
+
+    // The headline run: shared semantic cache across all four tenants,
+    // tracing on.
+    let isolated = build_service(seed, true, None, true, None).isolated_cost(&requests);
     report.set_isolated_baseline(isolated);
 
     println!("{}", report.render());
     aida_bench::write_trace_jsonl("serve_soak", &report.to_jsonl());
     aida_bench::emit_text("serve_soak", &report.render());
+
+    // Tracing must observe the run, not perturb it.
+    if untraced.completions.len() != report.completions.len()
+        || untraced.total_cost_usd != report.total_cost_usd
+    {
+        eprintln!("FAIL: tracing changed the run");
+        std::process::exit(1);
+    }
+    let overhead_pct = if untraced_wall_s > 0.0 {
+        100.0 * (traced_wall_s - untraced_wall_s) / untraced_wall_s
+    } else {
+        0.0
+    };
+    println!(
+        "recorder overhead: untraced {untraced_wall_s:.3}s wall, traced {traced_wall_s:.3}s wall ({overhead_pct:+.1}%)"
+    );
+
+    // Per-tenant health: windowed percentiles + SLO burn-rate verdicts.
+    let health_path = aida_bench::results_dir().join("health.jsonl");
+    match std::fs::write(&health_path, report.health_jsonl()) {
+        Ok(()) => println!("(health saved to {})", health_path.display()),
+        Err(err) => eprintln!("warning: could not save {}: {err}", health_path.display()),
+    }
+    aida_bench::emit_bench(&serve_soak_bench(seed, &report));
+    if report.health.is_empty() {
+        eprintln!("FAIL: soak produced no per-tenant health rows");
+        std::process::exit(1);
+    }
 
     let cold_latency = latency_summary(&baseline);
     let warm_latency = latency_summary(&report);
@@ -174,6 +362,10 @@ fn main() {
         std::process::exit(1);
     }
 
+    if env_on("SERVE_SOAK_CRASH") {
+        crash_probe(seed, &requests);
+    }
+
     // ---- restart phase: the durable-state layer under a process death.
     //
     // A previous soak may have been killed mid-write (CI's kill-9
@@ -182,7 +374,7 @@ fn main() {
     // then the phase resets to a clean cold run.
     let durable_dir = aida_bench::results_dir().join("serve_soak_durable");
     if durable_dir.exists() {
-        let probe = build_service(seed, true, Some(&durable_dir));
+        let probe = build_service(seed, true, Some(&durable_dir), true, None);
         let recovery = probe.wal_recovery().expect("wal attached");
         println!(
             "restart probe: recovered {} contexts, replayed {} ledger records (dropped tail: {})",
@@ -196,7 +388,7 @@ fn main() {
     std::fs::create_dir_all(&durable_dir).expect("create durable dir");
 
     // Cold durable run: checkpoint every 16 agentic ops + final save.
-    let mut durable_svc = build_service(seed, true, Some(&durable_dir));
+    let mut durable_svc = build_service(seed, true, Some(&durable_dir), true, None);
     let durable_report = durable_svc.run(requests);
     let cold_spends = spend_bits(&durable_svc);
     durable_svc
@@ -208,7 +400,7 @@ fn main() {
 
     // Warm restart: per-tenant dollars must replay bit-identically and
     // the restore itself must spend nothing.
-    let warm_svc = build_service(seed, true, Some(&durable_dir));
+    let warm_svc = build_service(seed, true, Some(&durable_dir), true, None);
     let recovery = warm_svc.wal_recovery().expect("wal attached");
     let restore_cost = warm_svc.runtime().cost();
     println!(

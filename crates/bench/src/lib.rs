@@ -21,9 +21,11 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
-/// Prints a report and writes `<name>.txt` + `<name>.json` under
-/// [`results_dir`].
-pub fn emit(report: &ExperimentReport) {
+/// Prints a report, writes `<name>.txt` + `<name>.json` under
+/// [`results_dir`], and emits the canonical `BENCH_<name>.json` derived
+/// from the report's rows. `seed` labels the canonical file (the first
+/// trial seed for multi-seed experiments).
+pub fn emit(report: &ExperimentReport, seed: u64) {
     let rendered = report.render();
     println!("{rendered}");
     let dir = results_dir();
@@ -38,6 +40,102 @@ pub fn emit(report: &ExperimentReport) {
             "warning: could not save results under {}: {err}",
             dir.display()
         ),
+    }
+    emit_bench(&BenchResult::from_report(report, seed));
+}
+
+/// One canonical machine-readable benchmark result. Every bench binary
+/// writes exactly one `results/BENCH_<name>.json` in this schema —
+/// `{"bench": .., "seed": .., "metrics": {..}}` — so downstream tooling
+/// parses a single shape no matter which experiment produced it.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id (`table1`, `serve_soak`, ...); names the output file.
+    pub bench: String,
+    /// Seed the metrics describe.
+    pub seed: u64,
+    /// `(name, value)` pairs, rendered in insertion order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchResult {
+    /// An empty result for `bench` at `seed`.
+    pub fn new(bench: impl Into<String>, seed: u64) -> BenchResult {
+        BenchResult {
+            bench: bench.into(),
+            seed,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends one metric (builder-style).
+    pub fn metric(mut self, name: impl Into<String>, value: f64) -> BenchResult {
+        self.metrics.push((name.into(), value));
+        self
+    }
+
+    /// Flattens an experiment table into metrics keyed `system/column`.
+    pub fn from_report(report: &ExperimentReport, seed: u64) -> BenchResult {
+        let mut out = BenchResult::new(report.name.clone(), seed);
+        for row in &report.rows {
+            for (name, value) in &row.values {
+                out.metrics.push((format!("{}/{name}", row.system), *value));
+            }
+        }
+        out
+    }
+
+    /// Derives metrics from a traced run's root spans: billed calls,
+    /// tokens, dollars, and the virtual makespan. Used by the figure
+    /// binaries, whose primary output is prose rather than a table.
+    pub fn from_trace(
+        bench: impl Into<String>,
+        seed: u64,
+        recorder: &aida_obs::Recorder,
+    ) -> BenchResult {
+        let trace = recorder.trace();
+        let mut calls = 0u64;
+        let mut input_tokens = 0u64;
+        let mut output_tokens = 0u64;
+        let mut cost_usd = 0.0f64;
+        let mut makespan_s = 0.0f64;
+        for id in trace.roots() {
+            let totals = trace.inclusive(id);
+            calls += totals.calls;
+            input_tokens += totals.input_tokens;
+            output_tokens += totals.output_tokens;
+            cost_usd += totals.cost_usd;
+            makespan_s = makespan_s.max(trace.spans[id].end_s);
+        }
+        BenchResult::new(bench, seed)
+            .metric("llm_calls", calls as f64)
+            .metric("input_tokens", input_tokens as f64)
+            .metric("output_tokens", output_tokens as f64)
+            .metric("cost_usd", cost_usd)
+            .metric("makespan_s", makespan_s)
+    }
+
+    /// Renders the canonical JSON payload.
+    pub fn to_json(&self) -> aida_obs::Json {
+        let mut metrics = aida_obs::Json::obj();
+        for (name, value) in &self.metrics {
+            metrics = metrics.field(name, *value);
+        }
+        aida_obs::Json::obj()
+            .field("bench", self.bench.clone())
+            .field("seed", self.seed)
+            .field("metrics", metrics)
+    }
+}
+
+/// Writes `results/BENCH_<bench>.json`. The single chokepoint for the
+/// canonical schema: every binary's machine-readable headline goes
+/// through here. I/O failures warn instead of aborting.
+pub fn emit_bench(result: &BenchResult) {
+    let path = results_dir().join(format!("BENCH_{}.json", result.bench));
+    match std::fs::write(&path, format!("{}\n", result.to_json().render())) {
+        Ok(()) => println!("(saved to {})", path.display()),
+        Err(err) => eprintln!("warning: could not save {}: {err}", path.display()),
     }
 }
 
@@ -292,5 +390,35 @@ mod tests {
         let dir = results_dir();
         assert!(dir.exists());
         std::env::remove_var("AIDA_RESULTS_DIR");
+    }
+
+    #[test]
+    fn bench_result_renders_the_canonical_schema() {
+        let result = BenchResult::new("soak", 42)
+            .metric("p99_s", 1.5)
+            .metric("queries", 20.0);
+        assert_eq!(
+            result.to_json().render(),
+            r#"{"bench":"soak","seed":42,"metrics":{"p99_s":1.5,"queries":20}}"#
+        );
+    }
+
+    #[test]
+    fn bench_result_from_report_keys_metrics_by_system_and_column() {
+        let report = ExperimentReport {
+            name: "t".to_string(),
+            title: "T".to_string(),
+            columns: vec!["cost".to_string()],
+            rows: vec![aida_eval::experiments::Row {
+                system: "aida".to_string(),
+                values: vec![("cost".to_string(), 0.25)],
+            }],
+            paper: Vec::new(),
+            trials: 1,
+        };
+        let result = BenchResult::from_report(&report, 7);
+        assert_eq!(result.bench, "t");
+        assert_eq!(result.seed, 7);
+        assert_eq!(result.metrics, vec![("aida/cost".to_string(), 0.25)]);
     }
 }

@@ -241,14 +241,14 @@ fn run_op(
                         instruction: clip(&instruction, 120),
                         similarity: similarity as f64,
                     });
-                    recorder.counter_add("context.reuse_hits", 1);
+                    recorder.counter_add(aida_obs::registry::CONTEXT_REUSE_HITS, 1);
                 }
                 None => {
                     recorder.event(Event::ReuseMiss {
                         instruction: clip(&instruction, 120),
                         best_similarity: similarity as f64,
                     });
-                    recorder.counter_add("context.reuse_misses", 1);
+                    recorder.counter_add(aida_obs::registry::CONTEXT_REUSE_MISSES, 1);
                 }
             }
         }

@@ -39,7 +39,7 @@ pub fn optimize_pipeline(runtime: &Runtime, ops: Vec<AgenticOp>) -> Vec<AgenticO
                             clip(&instr, 80)
                         ),
                     });
-                    recorder.counter_add("rewrites.split_computes", 1);
+                    recorder.counter_add(aida_obs::registry::REWRITES_SPLIT_COMPUTES, 1);
                 }
                 out
             }
@@ -136,7 +136,7 @@ pub fn merge_searches(runtime: &Runtime, ops: Vec<AgenticOp>) -> Vec<AgenticOp> 
                             clip(new_instr, 80)
                         ),
                     });
-                    recorder.counter_add("rewrites.merge_searches", 1);
+                    recorder.counter_add(aida_obs::registry::REWRITES_MERGE_SEARCHES, 1);
                 }
                 continue; // duplicate of the previous search
             }

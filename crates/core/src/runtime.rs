@@ -4,7 +4,7 @@ use crate::manager::ContextManager;
 use aida_data::Table;
 use aida_llm::snapshot::{self, FailPlan, SnapshotError};
 use aida_llm::{ModelId, SimLlm, UsageSnapshot};
-use aida_obs::{Event, Recorder, SpanKind};
+use aida_obs::{registry, Event, Recorder, SpanKind};
 use aida_optimizer::{OptimizerConfig, Policy};
 use aida_semops::ExecEnv;
 use aida_sql::{Catalog, SqlError};
@@ -64,6 +64,10 @@ pub struct RuntimeConfig {
     /// cache) every N agentic operator completions (0 = only on explicit
     /// [`Runtime::save_state`] / [`Runtime::save_cache`]).
     pub checkpoint_interval: u64,
+    /// Where the flight recorder dumps its ring of recent events when a
+    /// crash seam fires, a recovery path runs, or an SLO alert trips
+    /// (`None` = no automatic dumps). Only meaningful with `tracing`.
+    pub flight_path: Option<std::path::PathBuf>,
 }
 
 impl Default for RuntimeConfig {
@@ -87,6 +91,7 @@ impl Default for RuntimeConfig {
             cache_path: None,
             state_path: None,
             checkpoint_interval: 0,
+            flight_path: None,
         }
     }
 }
@@ -186,7 +191,7 @@ impl Runtime {
             return Ok(false);
         };
         snapshot::commit_atomic(path, &self.manager.encode_snapshot(), plan)?;
-        self.recorder().counter_add("checkpoint.saves", 1);
+        self.recorder().counter_add(registry::CHECKPOINT_SAVES, 1);
         Ok(true)
     }
 
@@ -211,7 +216,16 @@ impl Runtime {
                 .build(self)
         })?;
         self.recorder()
-            .counter_add("state.restored_contexts", n as u64);
+            .counter_add(registry::STATE_RESTORED_CONTEXTS, n as u64);
+        if n > 0 {
+            // A recovery path ran: note it in the flight ring so the
+            // forensic tail shows the restart.
+            self.recorder().flight(
+                "core.state",
+                "restored",
+                format!("{n} contexts from snapshot"),
+            );
+        }
         Ok(n)
     }
 
@@ -226,11 +240,22 @@ impl Runtime {
         }
         let done = self.ops_done.fetch_add(1, Ordering::Relaxed) + 1;
         if done.is_multiple_of(interval) {
-            if self.save_state().is_err() {
-                self.recorder().counter_add("checkpoint.errors", 1);
+            // Error counters always travel with a typed event: the
+            // counter feeds dashboards, the event feeds the trace and
+            // the flight recorder's forensic tail.
+            if let Err(e) = self.save_state() {
+                self.recorder().counter_add(registry::CHECKPOINT_ERRORS, 1);
+                self.recorder().event(Event::Error {
+                    counter: registry::CHECKPOINT_ERRORS.to_string(),
+                    detail: format!("state checkpoint failed: {e}"),
+                });
             }
-            if self.save_cache().is_err() {
-                self.recorder().counter_add("checkpoint.errors", 1);
+            if let Err(e) = self.save_cache() {
+                self.recorder().counter_add(registry::CHECKPOINT_ERRORS, 1);
+                self.recorder().event(Event::Error {
+                    counter: registry::CHECKPOINT_ERRORS.to_string(),
+                    detail: format!("cache checkpoint failed: {e}"),
+                });
             }
         }
     }
@@ -280,7 +305,7 @@ impl Runtime {
                 statement: aida_obs::clip(query, 200),
                 rows_out,
             });
-            self.env.recorder.counter_add("sql.statements", 1);
+            self.env.recorder.counter_add(registry::SQL_STATEMENTS, 1);
         }
         span.finish(self.env.clock.now());
         result
@@ -304,7 +329,7 @@ impl Runtime {
                 statement: aida_obs::clip(sql, 200),
                 rows_out,
             });
-            self.env.recorder.counter_add("sql.statements", 1);
+            self.env.recorder.counter_add(registry::SQL_STATEMENTS, 1);
         }
         span.finish(self.env.clock.now());
         result
@@ -447,6 +472,14 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Sets the flight-recorder dump path: when a crash seam fires, a
+    /// recovery path runs, or an SLO alert trips, the recorder's ring of
+    /// recent events is written there. Requires `.tracing(true)`.
+    pub fn flight_dump(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.config.flight_path = Some(path.into());
+        self
+    }
+
     /// Sets the full configuration at once.
     pub fn config(mut self, config: RuntimeConfig) -> Self {
         self.config = config;
@@ -472,7 +505,14 @@ impl RuntimeBuilder {
         }
         let mut env = ExecEnv::new(llm);
         if self.config.tracing {
-            env = env.with_recorder(Recorder::new());
+            let recorder = Recorder::new();
+            // Configure the autodump before load_state below: a restore
+            // that runs at build time is already a recovery path worth
+            // capturing.
+            if let Some(path) = &self.config.flight_path {
+                recorder.set_flight_autodump(path);
+            }
+            env = env.with_recorder(recorder);
         }
         let runtime = Runtime {
             env,

@@ -5,7 +5,8 @@
 //! and crash recovery — rests on conventions nothing else enforces:
 //! virtual clock only (D1), seeded randomness (D2), ordered iteration in
 //! serializers (D3), fsync-paired durable writes (F1), panic-free
-//! recovery (P1), and an acyclic lock-order graph (L1). This crate
+//! recovery (P1), an acyclic lock-order graph (L1), and metric names
+//! drawn from the single registry module (O1). This crate
 //! tokenizes every workspace `.rs` file with its own total lexer and
 //! checks those invariants, diffing findings against the checked-in
 //! baseline in `lint.toml` and exporting a deterministic JSONL report.
@@ -44,6 +45,9 @@ pub struct Config {
     /// A function in a recovery file is a recovery path if its name
     /// contains any of these substrings.
     pub recovery_fn_patterns: Vec<String>,
+    /// The one file allowed to spell metric names as string literals
+    /// (O1); everywhere else they must come from this registry's consts.
+    pub metric_registry_file: String,
     /// Baseline entries.
     pub allows: Vec<Allow>,
 }
@@ -75,6 +79,7 @@ impl Config {
                 "crates/core/src/manager.rs",
             ]),
             recovery_fn_patterns: s(&["recover", "replay", "decode", "load", "restore"]),
+            metric_registry_file: "crates/obs/src/registry.rs".to_string(),
             allows: Vec::new(),
         }
     }
@@ -138,6 +143,11 @@ impl Config {
             "recovery_fn_patterns" => {
                 if let Some(v) = as_list(&e.value) {
                     self.recovery_fn_patterns = v;
+                }
+            }
+            "metric_registry_file" => {
+                if let Value::Str(s) = &e.value {
+                    self.metric_registry_file = s.clone();
                 }
             }
             _ => {}

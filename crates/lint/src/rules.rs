@@ -14,6 +14,7 @@
 //! | F1   | durability paths pair create/rename with fsync + dir fsync |
 //! | P1   | recovery paths return typed errors, never panic            |
 //! | L1   | the static lock-acquisition graph is acyclic               |
+//! | O1   | metric names come from the registry, never string literals |
 
 use crate::lexer::{lex, Tok, TokKind};
 use crate::Config;
@@ -290,6 +291,7 @@ pub fn scan_file(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     if path_in(rel, &cfg.recovery_files) {
         rule_p1_panic_free_recovery(&view, cfg, &mut out);
     }
+    rule_o1_metric_registry(&view, cfg, &mut out);
     out
 }
 
@@ -597,6 +599,44 @@ fn rule_p1_panic_free_recovery(view: &FileView, cfg: &Config, out: &mut Vec<Find
     }
 }
 
+// ---------------------------------------------------------------- O1
+
+/// O1: metric names at `counter_add` / `histogram_record` / `gauge_set`
+/// call sites must be registry constants, never string literals — a
+/// typo'd literal silently forks a series, and two spellings of the same
+/// metric make every dashboard lie. Only the registry module itself
+/// (where the constants are declared and unit-tested) may spell names
+/// out. Dynamic names built with `format!` are exempt: the registry
+/// cannot enumerate per-model or per-tenant suffixes.
+fn rule_o1_metric_registry(view: &FileView, cfg: &Config, out: &mut Vec<Finding>) {
+    const SINKS: &[&str] = &["counter_add", "histogram_record", "gauge_set"];
+    if path_in(view.rel, std::slice::from_ref(&cfg.metric_registry_file)) {
+        return;
+    }
+    for i in 0..view.toks.len() {
+        if view.in_test[i] || view.toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let sink = view.text(i);
+        if !SINKS.contains(&sink) || !view.is_punct(i + 1, "(") {
+            continue;
+        }
+        if view.toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Str) {
+            let name = view.text(i + 2).to_string();
+            out.push(view.finding(
+                "O1",
+                Severity::Error,
+                i,
+                format!(
+                    "string-literal metric name {name} at `{sink}`; use a constant \
+                     from {}",
+                    cfg.metric_registry_file
+                ),
+            ));
+        }
+    }
+}
+
 // ---------------------------------------------------------------- L1
 
 /// One static lock acquisition: which node, where.
@@ -836,6 +876,33 @@ mod tests {
         // unwrap_or is not unwrap.
         let ok = "fn replay(b: &[u8]) { let s = parse(b).unwrap_or(0); }";
         assert!(scan_file("wal.rs", ok, &cfg).is_empty());
+    }
+
+    #[test]
+    fn o1_flags_literal_metric_names_outside_the_registry() {
+        let cfg = Config::default_config();
+        let bad = "fn f(r: &Recorder) { r.counter_add(\"wal.appends\", 1); }";
+        let f = scan_file("crates/serve/src/service.rs", bad, &cfg);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "O1");
+        assert_eq!(f[0].severity, Severity::Error);
+
+        // The registry file itself declares the names.
+        assert!(scan_file(&cfg.metric_registry_file.clone(), bad, &cfg).is_empty());
+
+        // Constants and dynamic format! names are fine.
+        let const_name = "fn f(r: &Recorder) { r.counter_add(registry::WAL_APPENDS, 1); }";
+        assert!(scan_file("crates/serve/src/service.rs", const_name, &cfg).is_empty());
+        let dynamic =
+            "fn f(r: &Recorder) { r.counter_add(&format!(\"llm.calls.{}\", m.name()), 1); }";
+        assert!(scan_file("crates/serve/src/service.rs", dynamic, &cfg).is_empty());
+
+        // histogram_record and gauge_set are sinks too; tests are exempt.
+        let hist = "fn f(r: &Recorder) { r.histogram_record(\"x.y\", 1.0); }";
+        assert_eq!(scan_file("a.rs", hist, &cfg).len(), 1);
+        let test_code =
+            "#[cfg(test)]\nmod tests { fn f(r: &Recorder) { r.counter_add(\"x\", 1); } }";
+        assert!(scan_file("a.rs", test_code, &cfg).is_empty());
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod tokens;
 pub mod usage;
 
 pub use cache::{CacheConfig, CacheKey, CacheStats, SemanticCache, SnapshotError};
-pub use clock::{ScheduledSlot, SimClock, Timeline};
+pub use clock::{ScheduledSlot, SimClock, Timeline, WallStopwatch};
 pub use embed::Embedder;
 pub use models::{ModelCatalog, ModelId, ModelSpec};
 pub use oracle::{Oracle, OracleAnswer, OracleRule, Subject};

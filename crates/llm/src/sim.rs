@@ -258,7 +258,7 @@ impl SimLlm {
             Lookup::Hit(mut resp) => {
                 resp.latency_s = cache.hit_latency_s();
                 if self.recorder.is_enabled() {
-                    self.recorder.counter_add("cache.hit", 1);
+                    self.recorder.counter_add(aida_obs::registry::CACHE_HIT, 1);
                 }
                 resp
             }
@@ -266,7 +266,8 @@ impl SimLlm {
             // billed, but it waits out the call's full latency.
             Lookup::Coalesced(resp) => {
                 if self.recorder.is_enabled() {
-                    self.recorder.counter_add("cache.coalesced", 1);
+                    self.recorder
+                        .counter_add(aida_obs::registry::CACHE_COALESCED, 1);
                 }
                 resp
             }
@@ -274,10 +275,10 @@ impl SimLlm {
                 let resp = self.dispatch(model, task);
                 cache.admit(pending, resp.clone());
                 if self.recorder.is_enabled() {
-                    self.recorder.counter_add("cache.miss", 1);
+                    self.recorder.counter_add(aida_obs::registry::CACHE_MISS, 1);
                     let stats = cache.stats();
                     self.recorder.gauge_set(
-                        "cache.bytes",
+                        aida_obs::registry::CACHE_BYTES,
                         stats.lookups() as f64,
                         stats.bytes as f64,
                     );
@@ -353,7 +354,8 @@ impl SimLlm {
                     billed_output_tokens: truncated as u64,
                     cost_usd: spec.cost(input_tokens, truncated),
                 });
-                self.recorder.counter_add("llm.fault_retries", 1);
+                self.recorder
+                    .counter_add(aida_obs::registry::LLM_FAULT_RETRIES, 1);
             }
         }
         self.meter.record(model, input_tokens, output_tokens);
@@ -366,11 +368,13 @@ impl SimLlm {
                 latency_s: latency,
                 faulted,
             });
-            self.recorder.counter_add("llm.calls", 1);
+            self.recorder.counter_add(aida_obs::registry::LLM_CALLS, 1);
             self.recorder
                 .counter_add(&format!("llm.calls.{}", model.name()), 1);
-            self.recorder
-                .histogram_record("llm.tokens_per_call", (input_tokens + output_tokens) as f64);
+            self.recorder.histogram_record(
+                aida_obs::registry::LLM_TOKENS_PER_CALL,
+                (input_tokens + output_tokens) as f64,
+            );
         }
         (input_tokens, output_tokens, latency)
     }

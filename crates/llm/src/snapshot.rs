@@ -357,6 +357,10 @@ pub struct FailPlan {
     skip: AtomicU32,
     torn_keep: usize,
     tripped: AtomicBool,
+    /// Flight-recorder handle: when enabled, a firing plan notes the
+    /// crash and triggers the recorder's autodump, so the forensic tail
+    /// is on disk before the injected error even surfaces.
+    recorder: aida_obs::Recorder,
 }
 
 impl FailPlan {
@@ -372,7 +376,15 @@ impl FailPlan {
             skip: AtomicU32::new(skip),
             torn_keep: 7,
             tripped: AtomicBool::new(false),
+            recorder: aida_obs::Recorder::disabled(),
         }
+    }
+
+    /// Attaches a flight-recorder handle: when the plan fires, the crash
+    /// is recorded and the recorder's configured autodump is written.
+    pub fn with_recorder(mut self, recorder: aida_obs::Recorder) -> FailPlan {
+        self.recorder = recorder;
+        self
     }
 
     /// A deterministic plan derived from a test seed: which encounter
@@ -417,6 +429,9 @@ impl FailPlan {
             });
         if fired {
             self.tripped.store(true, Ordering::Relaxed);
+            self.recorder
+                .flight("llm.crash", "crash_point", format!("{point:?}"));
+            self.recorder.flight_autodump("crash_point");
         }
         fired
     }
@@ -784,6 +799,28 @@ mod tests {
         let replay = wal_replay(Path::new("/nonexistent/aida/ledger.wal")).unwrap();
         assert!(replay.records.is_empty());
         assert!(!replay.dropped_tail);
+    }
+
+    #[test]
+    fn firing_plan_dumps_the_flight_recorder() {
+        let d = dir("flight");
+        let dump = d.join("flight.jsonl");
+        let recorder = aida_obs::Recorder::new();
+        recorder.set_flight_autodump(&dump);
+        recorder.flight("test", "setup", "before crash");
+        let plan = FailPlan::new(CrashPoint::WalBeforeAppend).with_recorder(recorder.clone());
+        assert!(plan.check(CrashPoint::WalBeforeAppend).is_err());
+        let text = std::fs::read_to_string(&dump).unwrap();
+        assert!(text
+            .lines()
+            .next()
+            .unwrap()
+            .contains(r#""flight":"crash_point""#));
+        assert!(text.contains(r#""kind":"crash_point","detail":"WalBeforeAppend""#));
+        // The crash itself is the last record in the ring.
+        let records = recorder.flight_records();
+        assert_eq!(records.last().unwrap().kind, "crash_point");
+        let _ = std::fs::remove_dir_all(&d);
     }
 
     #[test]

@@ -67,6 +67,15 @@ pub enum Event {
         /// Human-readable detail (instruction prefix, op delta, ...).
         detail: String,
     },
+    /// An error path was taken. Emitted alongside every error counter
+    /// (e.g. `checkpoint.errors`, `wal.append_errors`) so failures leave
+    /// a typed record — and a flight-recorder entry — not just a number.
+    Error {
+        /// The error counter this event accompanies.
+        counter: String,
+        /// Human-readable cause.
+        detail: String,
+    },
 }
 
 impl Event {
@@ -79,6 +88,7 @@ impl Event {
             Event::ReuseMiss { .. } => "reuse_miss",
             Event::Sql { .. } => "sql",
             Event::Rewrite { .. } => "rewrite",
+            Event::Error { .. } => "error",
         }
     }
 
@@ -138,6 +148,10 @@ impl Event {
                 .field("event", self.name())
                 .field("rule", rule.as_str())
                 .field("detail", detail.as_str()),
+            Event::Error { counter, detail } => Json::obj()
+                .field("event", self.name())
+                .field("counter", counter.as_str())
+                .field("detail", detail.as_str()),
         }
     }
 }
@@ -159,5 +173,18 @@ mod tests {
         let line = e.to_json().render();
         assert!(line.starts_with(r#"{"event":"llm_call","model":"sim-4o""#));
         assert_eq!(e.name(), "llm_call");
+    }
+
+    #[test]
+    fn error_event_names_its_counter() {
+        let e = Event::Error {
+            counter: "checkpoint.errors".into(),
+            detail: "commit failed: disk full".into(),
+        };
+        assert_eq!(e.name(), "error");
+        assert_eq!(
+            e.to_json().render(),
+            r#"{"event":"error","counter":"checkpoint.errors","detail":"commit failed: disk full"}"#
+        );
     }
 }

@@ -21,17 +21,33 @@
 //!
 //! Everything is keyed to the simulated clock — no wall-clock value ever
 //! enters a trace — so two runs at the same seed export identical bytes.
+//!
+//! On top of the whole-run trace sits the **runtime health layer**:
+//! [`timeseries`] (a deterministic sliding-window store answering
+//! windowed p50/p95/p99, queue depth, hit-rate, and burn-rate queries),
+//! [`slo`] (per-tenant targets with multi-window burn-rate alerting),
+//! and [`flight`] (a bounded ring of recent typed events dumped for
+//! forensics when a crash seam fires, a recovery path runs, or an SLO
+//! alert trips). Metric names live in one place — [`registry`] — and
+//! lint rule O1 keeps them there.
 
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metric;
 pub mod recorder;
+pub mod registry;
 pub mod report;
+pub mod slo;
 pub mod span;
+pub mod timeseries;
 
 pub use event::Event;
+pub use flight::{FlightRecord, FlightRing, FLIGHT_CAPACITY};
 pub use json::Json;
 pub use metric::{Gauge, Histogram, Summary};
 pub use recorder::{Recorder, SpanHandle};
 pub use report::{SpanTotals, Trace};
+pub use slo::{BurnRate, SloKind, SloPolicy, SloTarget, SloVerdict};
 pub use span::{clip, SpanData, SpanKind};
+pub use timeseries::{SeriesStore, SlidingWindow, WindowSnapshot};

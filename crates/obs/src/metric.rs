@@ -190,10 +190,10 @@ impl Summary {
 /// recorder produces identically-shaped histograms for the same metric.
 pub fn default_bounds(name: &str) -> &'static [f64] {
     match name {
-        "llm.tokens_per_call" => &[
+        crate::registry::LLM_TOKENS_PER_CALL => &[
             64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0, 16384.0,
         ],
-        "operator.selectivity" => &[0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0],
+        crate::registry::OPERATOR_SELECTIVITY => &[0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0],
         _ => &[0.1, 1.0, 10.0, 100.0, 1000.0],
     }
 }

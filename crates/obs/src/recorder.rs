@@ -16,9 +16,11 @@
 //!    and the span table.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use crate::event::Event;
+use crate::flight::{FlightRecord, FlightRing};
 use crate::metric::{default_bounds, Gauge, Histogram};
 use crate::report::Trace;
 use crate::span::{SpanData, SpanKind};
@@ -33,6 +35,10 @@ struct State {
     gauges: BTreeMap<String, Gauge>,
     /// Events recorded while no span was open (defensive; should be rare).
     orphans: Vec<Event>,
+    /// Flight recorder: bounded ring of the most recent typed events.
+    flight: FlightRing,
+    /// Where `flight_autodump` writes; set once by the runtime builder.
+    flight_path: Option<PathBuf>,
 }
 
 #[derive(Debug, Default)]
@@ -116,10 +122,73 @@ impl Recorder {
                     }
                     _ => {}
                 }
+                st.flight.push_event(event.clone());
+                let span = &mut st.spans[id];
                 span.events.push(event);
             }
-            None => st.orphans.push(event),
+            None => {
+                st.flight.push_event(event.clone());
+                st.orphans.push(event);
+            }
         }
+    }
+
+    /// Appends a note directly to the flight recorder without attaching
+    /// an event to any span. Use for operational moments (recovery ran,
+    /// a crash seam armed, an SLO alert tripped) that are not part of
+    /// the deterministic trace.
+    pub fn flight(&self, source: &str, kind: &str, detail: impl Into<String>) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.state.lock().unwrap();
+        st.flight.push(source, kind, detail.into());
+    }
+
+    /// Snapshot of the flight ring, oldest record first.
+    pub fn flight_records(&self) -> Vec<FlightRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        inner.state.lock().unwrap().flight.records()
+    }
+
+    /// Sets the file `flight_autodump` writes to. Typically
+    /// `results/traces/flight_<seed>.jsonl`, chosen by the runtime
+    /// builder.
+    pub fn set_flight_autodump(&self, path: impl Into<PathBuf>) {
+        let Some(inner) = &self.inner else { return };
+        inner.state.lock().unwrap().flight_path = Some(path.into());
+    }
+
+    /// The configured autodump path, if any.
+    pub fn flight_autodump_path(&self) -> Option<PathBuf> {
+        let inner = self.inner.as_ref()?;
+        inner.state.lock().unwrap().flight_path.clone()
+    }
+
+    /// Dumps the flight ring to `path` (header line naming `reason`,
+    /// then one JSON object per retained record).
+    pub fn flight_dump_to(&self, path: &Path, reason: &str) -> std::io::Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let dump = {
+            let st = inner.state.lock().unwrap();
+            st.flight.render_dump(reason)
+        };
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, dump)
+    }
+
+    /// Best-effort dump to the configured autodump path. Returns the
+    /// path written, or `None` when disabled, unconfigured, or the
+    /// write failed — callers are usually mid-crash and must not turn a
+    /// forensic nicety into a second failure.
+    pub fn flight_autodump(&self, reason: &str) -> Option<PathBuf> {
+        let path = self.flight_autodump_path()?;
+        self.flight_dump_to(&path, reason).ok()?;
+        Some(path)
     }
 
     /// Adds to a monotonic counter, creating it at zero.
@@ -363,6 +432,54 @@ mod tests {
             r.trace().to_jsonl()
         };
         assert_eq!(make(&[1, 2, 3]), make(&[3, 1, 2]));
+    }
+
+    #[test]
+    fn events_feed_the_flight_ring() {
+        let r = Recorder::new();
+        let q = r.span(SpanKind::Query, "q", 0.0);
+        r.event(Event::Sql {
+            statement: "SELECT 1".into(),
+            rows_out: 1,
+        });
+        r.flight("serve.wal", "recovery", "replayed=3");
+        q.finish(1.0);
+        let records = r.flight_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].source, "event");
+        assert_eq!(records[0].kind, "sql");
+        assert_eq!(records[1].source, "serve.wal");
+        assert_eq!(records[1].seq, 1);
+    }
+
+    #[test]
+    fn flight_autodump_writes_configured_path() {
+        let dir = std::env::temp_dir().join("aida_obs_flight_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let r = Recorder::new();
+        assert_eq!(r.flight_autodump("noop"), None, "unconfigured → None");
+        r.set_flight_autodump(&path);
+        r.flight("test", "note", "hello");
+        let written = r.flight_autodump("unit_test").expect("dump path");
+        assert_eq!(written, path);
+        let dump = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"flight":"unit_test","events":1"#));
+        assert!(lines[1].contains(r#""kind":"note""#));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disabled_recorder_flight_is_inert() {
+        let r = Recorder::disabled();
+        r.flight("x", "y", "z");
+        assert!(r.flight_records().is_empty());
+        r.set_flight_autodump("/nonexistent/flight.jsonl");
+        assert_eq!(r.flight_autodump("crash"), None);
     }
 
     #[test]

@@ -98,6 +98,10 @@ impl Trace {
             out.push_str(&line);
             out.push('\n');
         }
+        if let Some(line) = self.health_summary() {
+            out.push_str(&line);
+            out.push('\n');
+        }
         if !self.counters.is_empty() {
             out.push_str("counters:\n");
             for (name, value) in &self.counters {
@@ -128,9 +132,18 @@ impl Trace {
     /// the `cache.bytes` gauge, or `None` when no cache activity was
     /// recorded.
     pub fn cache_summary(&self) -> Option<String> {
-        let hits = self.counters.get("cache.hit").copied().unwrap_or(0);
-        let coalesced = self.counters.get("cache.coalesced").copied().unwrap_or(0);
-        let misses = self.counters.get("cache.miss").copied().unwrap_or(0);
+        use crate::registry;
+        let hits = self.counters.get(registry::CACHE_HIT).copied().unwrap_or(0);
+        let coalesced = self
+            .counters
+            .get(registry::CACHE_COALESCED)
+            .copied()
+            .unwrap_or(0);
+        let misses = self
+            .counters
+            .get(registry::CACHE_MISS)
+            .copied()
+            .unwrap_or(0);
         let lookups = hits + coalesced + misses;
         if lookups == 0 {
             return None;
@@ -138,7 +151,7 @@ impl Trace {
         let rate = 100.0 * (hits + coalesced) as f64 / lookups as f64;
         let bytes = self
             .gauges
-            .get("cache.bytes")
+            .get(crate::registry::CACHE_BYTES)
             .map(|g| format!(", {:.0} bytes resident", g.last()))
             .unwrap_or_default();
         Some(format!(
@@ -150,18 +163,28 @@ impl Trace {
     /// `state.*` counters, or `None` when no durable-state activity was
     /// recorded.
     pub fn durability_summary(&self) -> Option<String> {
+        use crate::registry;
         let count = |name: &str| self.counters.get(name).copied().unwrap_or(0);
-        let saves = count("checkpoint.saves");
-        let restored = count("state.restored_contexts");
-        let appends = count("wal.appends");
-        let replayed = count("wal.replayed_records");
-        let errors = count("checkpoint.errors") + count("wal.append_errors");
+        let saves = count(registry::CHECKPOINT_SAVES);
+        let restored = count(registry::STATE_RESTORED_CONTEXTS);
+        let appends = count(registry::WAL_APPENDS);
+        let replayed = count(registry::WAL_REPLAYED_RECORDS);
+        let errors = count(registry::CHECKPOINT_ERRORS) + count(registry::WAL_APPEND_ERRORS);
         if saves + restored + appends + replayed + errors == 0 {
             return None;
         }
         Some(format!(
             "durability: {saves} checkpoints / {appends} wal appends (restored {restored} contexts, replayed {replayed} records, {errors} errors)"
         ))
+    }
+
+    /// One-line runtime-health summary from the `slo.alerts` counter, or
+    /// `None` when no SLO evaluation ran. The counter exists (possibly
+    /// at zero) whenever the service evaluated tenant SLOs.
+    pub fn health_summary(&self) -> Option<String> {
+        let alerts = self.counters.get(crate::registry::SLO_ALERTS).copied()?;
+        let verdict = if alerts == 0 { "ok" } else { "breach" };
+        Some(format!("health: {alerts} slo burn-rate alerts ({verdict})"))
     }
 
     fn render_node(
@@ -399,6 +422,24 @@ mod tests {
             text.contains(
                 "durability: 3 checkpoints / 12 wal appends (restored 2 contexts, replayed 7 records, 0 errors)"
             ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn slo_counter_renders_a_health_line() {
+        let r = sample();
+        assert!(r.trace().health_summary().is_none());
+        assert!(!r.explain_analyze().contains("health:"));
+        r.counter_add("slo.alerts", 0);
+        assert_eq!(
+            r.trace().health_summary().as_deref(),
+            Some("health: 0 slo burn-rate alerts (ok)")
+        );
+        r.counter_add("slo.alerts", 2);
+        let text = r.explain_analyze();
+        assert!(
+            text.contains("health: 2 slo burn-rate alerts (breach)"),
             "{text}"
         );
     }

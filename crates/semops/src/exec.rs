@@ -138,9 +138,10 @@ impl<'a> Executor<'a> {
                 time_s: self.env.clock.now() - t0,
             };
             if rows_in > 0 {
-                self.env
-                    .recorder
-                    .histogram_record("operator.selectivity", op_stats.selectivity());
+                self.env.recorder.histogram_record(
+                    aida_obs::registry::OPERATOR_SELECTIVITY,
+                    op_stats.selectivity(),
+                );
             }
             stats.operators.push(op_stats);
         }
@@ -261,9 +262,10 @@ impl<'a> Executor<'a> {
                     );
                     eprintln!("warning: {msg}");
                     if self.env.recorder.is_enabled() {
-                        self.env
-                            .recorder
-                            .counter_add("agg.truncated_records", truncated as u64);
+                        self.env.recorder.counter_add(
+                            aida_obs::registry::AGG_TRUNCATED_RECORDS,
+                            truncated as u64,
+                        );
                     }
                     warnings.push(msg);
                 }
@@ -487,7 +489,9 @@ impl<'a> Executor<'a> {
                 cache.record_coalesced(coalesced);
             }
             if self.env.recorder.is_enabled() {
-                self.env.recorder.counter_add("cache.coalesced", coalesced);
+                self.env
+                    .recorder
+                    .counter_add(aida_obs::registry::CACHE_COALESCED, coalesced);
             }
         }
         rep.into_iter()

@@ -48,7 +48,7 @@ mod tenant;
 
 pub use driver::{open_loop, TenantLoad};
 pub use queue::AdmissionQueue;
-pub use report::{ServiceReport, TenantReport};
+pub use report::{ServiceReport, TenantHealth, TenantReport};
 pub use request::{Completion, Priority, QueryRequest, RejectReason, Shed, TenantId};
 pub use service::{QueryService, ServeConfig};
 pub use tenant::{LedgerRecord, LedgerWal, Spend, TenantConfig, TenantLedger, WalRecovery};

@@ -4,9 +4,45 @@
 
 use crate::request::{Completion, Shed};
 use crate::TenantId;
-use aida_obs::{Gauge, Json, Summary};
+use aida_obs::{Gauge, Json, SloVerdict, Summary, WindowSnapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write;
+
+/// One tenant's windowed health: trailing-window latency/cost/queue-wait
+/// statistics plus the SLO burn-rate verdict, evaluated at the end of a
+/// [`QueryService::run`].
+///
+/// [`QueryService::run`]: crate::QueryService::run
+#[derive(Debug, Clone)]
+pub struct TenantHealth {
+    /// The tenant this row describes.
+    pub tenant: TenantId,
+    /// End-to-end latency over the trailing window (virtual seconds).
+    pub latency: WindowSnapshot,
+    /// Dollars per completed query over the trailing window.
+    pub cost: WindowSnapshot,
+    /// Queue wait over the trailing window (virtual seconds).
+    pub queue_wait: WindowSnapshot,
+    /// Fraction of windowed completions served at least partly from the
+    /// semantic cache.
+    pub cache_hit_rate: f64,
+    /// Burn-rate evaluation of the tenant's declared SLO targets.
+    pub slo: SloVerdict,
+}
+
+impl TenantHealth {
+    /// Serializes as one `health` JSONL object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("type", "health")
+            .field("tenant", self.tenant.as_str())
+            .field("latency", self.latency.to_json())
+            .field("cost_usd", self.cost.to_json())
+            .field("queue_wait", self.queue_wait.to_json())
+            .field("cache_hit_rate", self.cache_hit_rate)
+            .field("slo", self.slo.to_json())
+    }
+}
 
 /// Aggregates for one tenant.
 #[derive(Debug, Clone, Default)]
@@ -92,6 +128,13 @@ pub struct ServiceReport {
     /// early (crash semantics: the durable log is at most one record
     /// behind the in-memory ledger).
     pub wal_failed: bool,
+    /// Per-tenant windowed health rows, in tenant-id order (empty until
+    /// a run evaluates them).
+    pub health: Vec<TenantHealth>,
+    /// Windowed admission-queue depth statistics (service-wide).
+    pub queue_depth_health: Option<WindowSnapshot>,
+    /// Tenants whose SLO burn rates were alerting at end of run.
+    pub slo_alerts: u64,
 }
 
 impl ServiceReport {
@@ -217,6 +260,39 @@ impl ServiceReport {
                 self.cache_bytes.unwrap_or(0),
             );
         }
+        if !self.health.is_empty() {
+            let window_s = self.health[0].latency.window_s;
+            let _ = writeln!(
+                out,
+                "health ({window_s:.0}s window, {} slo alerts):",
+                self.slo_alerts
+            );
+            for h in &self.health {
+                let burns: Vec<String> = h
+                    .slo
+                    .burns
+                    .iter()
+                    .map(|b| format!("{} {:.2}/{:.2}", b.kind.name(), b.fast, b.slow))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  {:<10} n={:<4} p50 {:>6.1}s p95 {:>6.1}s p99 {:>6.1}s  ${:.4}/q  cache {:>5.1}%  slo {}{}",
+                    h.tenant.as_str(),
+                    h.latency.count,
+                    h.latency.p50,
+                    h.latency.p95,
+                    h.latency.p99,
+                    h.cost.mean,
+                    100.0 * h.cache_hit_rate,
+                    h.slo.verdict(),
+                    if burns.is_empty() {
+                        String::new()
+                    } else {
+                        format!("  (burn {})", burns.join(", "))
+                    },
+                );
+            }
+        }
         if self.wal_appends + self.wal_replayed > 0 || self.wal_failed {
             let _ = writeln!(
                 out,
@@ -307,6 +383,10 @@ impl ServiceReport {
             out.push_str(&line.render());
             out.push('\n');
         }
+        for h in &self.health {
+            out.push_str(&h.to_json().render());
+            out.push('\n');
+        }
         let mut summary = Json::obj()
             .field("type", "service")
             .field("workers", self.workers as u64)
@@ -326,6 +406,7 @@ impl ServiceReport {
             .field("wal_compactions", self.wal_compactions)
             .field("wal_replayed", self.wal_replayed)
             .field("wal_failed", self.wal_failed)
+            .field("slo_alerts", self.slo_alerts)
             .field("makespan_s", self.makespan_s)
             .field("queue_depth", self.queue_depth.to_json());
         if let Some(bytes) = self.cache_bytes {
@@ -333,6 +414,30 @@ impl ServiceReport {
         }
         if let Some(isolated) = self.isolated_cost_usd {
             summary = summary.field("isolated_cost_usd", isolated);
+        }
+        out.push_str(&summary.render());
+        out.push('\n');
+        out
+    }
+
+    /// Exports the windowed health rows as standalone JSONL — one
+    /// `health` line per tenant plus a final `health_summary` line. This
+    /// is the payload of `results/health.jsonl`; only virtual time and
+    /// deterministic statistics appear, so two same-seed runs export
+    /// identical bytes.
+    pub fn health_jsonl(&self) -> String {
+        let mut out = String::new();
+        for h in &self.health {
+            out.push_str(&h.to_json().render());
+            out.push('\n');
+        }
+        let mut summary = Json::obj()
+            .field("type", "health_summary")
+            .field("tenants", self.health.len() as u64)
+            .field("slo_alerts", self.slo_alerts)
+            .field("makespan_s", self.makespan_s);
+        if let Some(depth) = &self.queue_depth_health {
+            summary = summary.field("queue_depth", depth.to_json());
         }
         out.push_str(&summary.render());
         out.push('\n');
@@ -443,6 +548,60 @@ mod tests {
         let jsonl = report.to_jsonl();
         assert!(jsonl.contains(r#""wal_appends":12"#));
         assert!(jsonl.contains(r#""wal_failed":true"#));
+    }
+
+    fn health_row(tenant: &str, alerting: bool) -> TenantHealth {
+        let snap = |v: f64| WindowSnapshot {
+            window_s: 300.0,
+            count: 4,
+            mean: v,
+            p50: v,
+            p95: v,
+            p99: v,
+        };
+        TenantHealth {
+            tenant: tenant.into(),
+            latency: snap(2.0),
+            cost: snap(0.001),
+            queue_wait: snap(0.5),
+            cache_hit_rate: 0.25,
+            slo: SloVerdict {
+                tenant: tenant.to_string(),
+                burns: vec![aida_obs::BurnRate {
+                    kind: aida_obs::SloKind::Latency,
+                    fast: if alerting { 3.0 } else { 0.0 },
+                    slow: if alerting { 2.0 } else { 0.0 },
+                    alerting,
+                }],
+                alerting,
+            },
+        }
+    }
+
+    #[test]
+    fn health_section_renders_and_exports() {
+        let mut report = ServiceReport::default();
+        assert!(!report.render().contains("health ("));
+        report.health.push(health_row("acme", true));
+        report.health.push(health_row("bolt", false));
+        report.slo_alerts = 1;
+        let text = report.render();
+        assert!(
+            text.contains("health (300s window, 1 slo alerts):"),
+            "{text}"
+        );
+        assert!(text.contains("slo breach"), "{text}");
+        assert!(text.contains("slo ok"), "{text}");
+        let health = report.health_jsonl();
+        let lines: Vec<&str> = health.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with(r#"{"type":"health","tenant":"acme""#));
+        assert!(lines[0].contains(r#""verdict":"breach""#));
+        assert!(lines[2].starts_with(r#"{"type":"health_summary","tenants":2,"slo_alerts":1"#));
+        // The combined export carries the same rows plus a summary field.
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains(r#""type":"health""#));
+        assert!(jsonl.contains(r#""slo_alerts":1"#));
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::TenantId;
 use aida_core::{Context, Runtime};
 use aida_llm::snapshot::SnapshotError;
 use aida_llm::Timeline;
+use aida_obs::{registry, Event, SeriesStore, SloPolicy, WindowSnapshot};
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 
@@ -35,6 +36,14 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Admission-queue bound across all tenants (minimum 1).
     pub queue_capacity: usize,
+    /// Health-series slot width in virtual seconds.
+    pub health_slot_s: f64,
+    /// Health-series ring length; `health_slot_s * health_slots` is the
+    /// longest trailing window the health layer can answer, so it must
+    /// cover `slo_policy.slow_window_s`.
+    pub health_slots: usize,
+    /// Burn-rate evaluation windows and alert threshold.
+    pub slo_policy: SloPolicy,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +51,9 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 4,
             queue_capacity: 64,
+            health_slot_s: 10.0,
+            health_slots: 64,
+            slo_policy: SloPolicy::default(),
         }
     }
 }
@@ -58,6 +70,19 @@ impl ServeConfig {
     /// Sets the admission-queue bound.
     pub fn queue_capacity(mut self, capacity: usize) -> ServeConfig {
         self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the health-series slot geometry.
+    pub fn health_window(mut self, slot_s: f64, slots: usize) -> ServeConfig {
+        self.health_slot_s = slot_s;
+        self.health_slots = slots;
+        self
+    }
+
+    /// Sets the SLO burn-rate policy.
+    pub fn slo_policy(mut self, policy: SloPolicy) -> ServeConfig {
+        self.slo_policy = policy;
         self
     }
 }
@@ -105,10 +130,28 @@ impl QueryService {
     pub fn attach_wal(&mut self, mut wal: LedgerWal) -> Result<WalRecovery, SnapshotError> {
         let recovery = wal.recover(&mut self.tenants)?;
         let recorder = self.runtime.recorder();
-        recorder.counter_add("wal.replayed_records", recovery.replayed);
-        recorder.counter_add("wal.skipped_records", recovery.skipped);
+        recorder.counter_add(registry::WAL_REPLAYED_RECORDS, recovery.replayed);
+        recorder.counter_add(registry::WAL_SKIPPED_RECORDS, recovery.skipped);
         if recovery.dropped_tail {
-            recorder.counter_add("wal.dropped_tails", 1);
+            recorder.counter_add(registry::WAL_DROPPED_TAILS, 1);
+        }
+        if recovery.snapshot_loaded
+            || recovery.replayed > 0
+            || recovery.skipped > 0
+            || recovery.dropped_tail
+        {
+            recorder.flight(
+                "serve.wal",
+                "recovery",
+                format!(
+                    "snapshot_loaded {} replayed {} skipped {} dropped_tail {}",
+                    recovery.snapshot_loaded,
+                    recovery.replayed,
+                    recovery.skipped,
+                    recovery.dropped_tail
+                ),
+            );
+            recorder.flight_autodump("wal_recovery");
         }
         self.wal = Some(wal);
         self.wal_recovery = Some(recovery);
@@ -215,7 +258,7 @@ impl QueryService {
                 if trace_gauge {
                     runtime
                         .recorder()
-                        .gauge_set("serve.queue_depth", t, depth as f64);
+                        .gauge_set(registry::SERVE_QUEUE_DEPTH, t, depth as f64);
                 }
             };
             let shed =
@@ -274,13 +317,22 @@ impl QueryService {
                         Ok(()) => {
                             report.tenants.entry(tenant.clone()).or_default().admitted += 1;
                             if let Some(w) = wal.as_mut() {
-                                match w.append(&LedgerRecord::Admit { tenant }) {
+                                match w.append(&LedgerRecord::Admit {
+                                    tenant: tenant.clone(),
+                                }) {
                                     Ok(_) => {
                                         report.wal_appends += 1;
-                                        runtime.recorder().counter_add("wal.appends", 1);
+                                        runtime.recorder().counter_add(registry::WAL_APPENDS, 1);
                                     }
-                                    Err(_) => {
-                                        runtime.recorder().counter_add("wal.append_errors", 1);
+                                    Err(e) => {
+                                        let recorder = runtime.recorder();
+                                        recorder.counter_add(registry::WAL_APPEND_ERRORS, 1);
+                                        recorder.event(Event::Error {
+                                            counter: registry::WAL_APPEND_ERRORS.to_string(),
+                                            detail: format!(
+                                                "admit record for tenant {tenant} failed: {e}"
+                                            ),
+                                        });
                                         report.wal_failed = true;
                                         break 'dispatch;
                                     }
@@ -366,28 +418,38 @@ impl QueryService {
                         cache_hits: cache_delta.hits,
                         cache_coalesced: cache_delta.coalesced,
                     };
-                    let durable = match w.append(&record) {
+                    let failure = match w.append(&record) {
                         Ok(_) => {
                             report.wal_appends += 1;
-                            runtime.recorder().counter_add("wal.appends", 1);
+                            runtime.recorder().counter_add(registry::WAL_APPENDS, 1);
                             match w.maybe_compact(tenants) {
                                 Ok(compacted) => {
                                     if compacted {
                                         report.wal_compactions += 1;
-                                        runtime.recorder().counter_add("wal.compactions", 1);
+                                        runtime
+                                            .recorder()
+                                            .counter_add(registry::WAL_COMPACTIONS, 1);
                                     }
-                                    true
+                                    None
                                 }
-                                Err(_) => false,
+                                Err(e) => Some(e),
                             }
                         }
-                        Err(_) => false,
+                        Err(e) => Some(e),
                     };
-                    if !durable {
+                    if let Some(e) = failure {
                         // Crash semantics: stop dispatching, so the durable
                         // log trails the in-memory ledger by at most this
                         // one record.
-                        runtime.recorder().counter_add("wal.append_errors", 1);
+                        let recorder = runtime.recorder();
+                        recorder.counter_add(registry::WAL_APPEND_ERRORS, 1);
+                        recorder.event(Event::Error {
+                            counter: registry::WAL_APPEND_ERRORS.to_string(),
+                            detail: format!(
+                                "spend record for tenant {} failed: {e}",
+                                request.tenant
+                            ),
+                        });
                         report.wal_failed = true;
                         break 'dispatch;
                     }
@@ -441,7 +503,120 @@ impl QueryService {
         }
         report.makespan_s = timeline.makespan();
         report.total_cost_usd = report.tenants.values().map(|t| t.cost_usd).sum();
+        self.evaluate_health(&mut report);
         report
+    }
+
+    /// Replays the run's completions and queue-depth samples into the
+    /// windowed health series, evaluates every tenant's SLO targets at
+    /// end of run, and records the verdicts (report rows, `slo.alerts`
+    /// counter, flight-recorder notes) — the runtime-health layer.
+    fn evaluate_health(&self, report: &mut ServiceReport) {
+        let policy = self.config.slo_policy;
+        let mut series = SeriesStore::new(
+            self.config.health_slot_s.max(f64::MIN_POSITIVE),
+            self.config.health_slots.max(1),
+        );
+        // Completions arrive in dispatch order; their end instants are
+        // not monotone across workers, so feed the ring in time order.
+        let mut by_end: Vec<&Completion> = report.completions.iter().collect();
+        by_end.sort_by(|a, b| a.end_s.total_cmp(&b.end_s).then(a.seq.cmp(&b.seq)));
+        for c in by_end {
+            let tenant = c.tenant.as_str();
+            let key = |name: &str| registry::tenant_series(name, tenant);
+            series.record(&key(registry::HEALTH_LATENCY_S), c.end_s, c.latency_s());
+            series.record(&key(registry::HEALTH_COST_USD), c.end_s, c.cost_usd);
+            series.record(
+                &key(registry::HEALTH_QUEUE_WAIT_S),
+                c.end_s,
+                c.queue_wait_s(),
+            );
+            let hit = if c.cache_hits + c.cache_coalesced > 0 {
+                1.0
+            } else {
+                0.0
+            };
+            series.record(&key(registry::HEALTH_CACHE_HIT), c.end_s, hit);
+        }
+        for (t, depth) in &report.queue_depth.samples {
+            series.record(registry::HEALTH_QUEUE_DEPTH, *t, *depth);
+        }
+
+        // Sheds can land after the last completion, so "now" is the
+        // latest instant any series saw.
+        let now_s = report
+            .queue_depth
+            .samples
+            .last()
+            .map(|(t, _)| *t)
+            .unwrap_or(0.0)
+            .max(report.makespan_s);
+        let window_s = policy.slow_window_s;
+        let span_s = series.slot_s() * series.slots() as f64;
+        let empty = WindowSnapshot {
+            window_s: window_s.min(span_s),
+            count: 0,
+            mean: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+        };
+
+        let tenant_ids: Vec<TenantId> = report.tenants.keys().cloned().collect();
+        for tenant in tenant_ids {
+            let name = tenant.as_str();
+            let key = |metric: &str| registry::tenant_series(metric, name);
+            let latency = series.series(&key(registry::HEALTH_LATENCY_S));
+            let cost = series.series(&key(registry::HEALTH_COST_USD));
+            let queue_wait = series.series(&key(registry::HEALTH_QUEUE_WAIT_S));
+            let target = self.tenants.config(&tenant).slo;
+            let verdict = aida_obs::slo::evaluate(name, &target, latency, cost, now_s, &policy);
+            let snap = |w: Option<&aida_obs::SlidingWindow>| {
+                w.map(|w| w.snapshot(now_s, window_s))
+                    .unwrap_or_else(|| empty.clone())
+            };
+            let cache_hit_rate = series
+                .series(&key(registry::HEALTH_CACHE_HIT))
+                .map(|w| w.mean_in(now_s, window_s))
+                .unwrap_or(0.0);
+            report.health.push(crate::report::TenantHealth {
+                tenant: tenant.clone(),
+                latency: snap(latency),
+                cost: snap(cost),
+                queue_wait: snap(queue_wait),
+                cache_hit_rate,
+                slo: verdict,
+            });
+        }
+        report.queue_depth_health = series
+            .series(registry::HEALTH_QUEUE_DEPTH)
+            .map(|w| w.snapshot(now_s, window_s));
+        report.slo_alerts = report.health.iter().filter(|h| h.slo.alerting).count() as u64;
+
+        let recorder = self.runtime.recorder();
+        recorder.counter_add(registry::SLO_ALERTS, report.slo_alerts);
+        if report.slo_alerts > 0 {
+            for h in report.health.iter().filter(|h| h.slo.alerting) {
+                let kinds: Vec<&str> = h
+                    .slo
+                    .burns
+                    .iter()
+                    .filter(|b| b.alerting)
+                    .map(|b| b.kind.name())
+                    .collect();
+                recorder.flight(
+                    "serve.slo",
+                    "slo_alert",
+                    format!(
+                        "tenant {}: {} burning over threshold {}",
+                        h.tenant,
+                        kinds.join("+"),
+                        policy.burn_threshold
+                    ),
+                );
+            }
+            recorder.flight_autodump("slo_alert");
+        }
     }
 
     /// What the same submitted workload costs through **isolated**
@@ -495,6 +670,7 @@ mod tests {
             ServeConfig {
                 workers,
                 queue_capacity,
+                ..ServeConfig::default()
             },
         );
         svc.register_context("reports", ctx);
@@ -650,6 +826,76 @@ mod tests {
         let b = build();
         assert_eq!(a.to_jsonl(), b.to_jsonl());
         assert_eq!(a.render(), b.render());
+        assert_eq!(a.health_jsonl(), b.health_jsonl());
+    }
+
+    #[test]
+    fn health_rows_window_latency_and_evaluate_slos() {
+        let mut svc = service(2, 8);
+        // acme's p99 bound is impossible (every query exceeds 1ms), so
+        // both burn windows saturate; bolt declares nothing.
+        svc.register_tenant("acme", TenantConfig::default().p99_latency(0.001));
+        svc.register_tenant("bolt", TenantConfig::default());
+        let requests: Vec<QueryRequest> = (0..4)
+            .map(|i| {
+                let tenant = if i % 2 == 0 { "acme" } else { "bolt" };
+                let mut r = QueryRequest::new(tenant, "reports", format!("count theft in 200{i}"))
+                    .at(i as f64 * 0.5);
+                r.seq = i as u64;
+                r
+            })
+            .collect();
+        let report = svc.run(requests);
+        assert_eq!(report.health.len(), 2);
+        let acme = &report.health[0];
+        assert_eq!(acme.tenant.as_str(), "acme");
+        assert_eq!(acme.latency.count, 2, "both acme completions in window");
+        assert!(acme.latency.p99 >= acme.latency.p50);
+        assert!(acme.slo.alerting, "impossible p99 bound must breach");
+        let bolt = &report.health[1];
+        assert!(bolt.slo.burns.is_empty(), "no declared objective");
+        assert!(!bolt.slo.alerting);
+        assert_eq!(report.slo_alerts, 1);
+        assert!(report.queue_depth_health.is_some());
+        // The verdicts surface on every report surface.
+        assert!(
+            report.render().contains("slo breach"),
+            "{}",
+            report.render()
+        );
+        assert!(report.to_jsonl().contains(r#""type":"health""#));
+        let health = report.health_jsonl();
+        assert!(health.lines().count() == 3, "{health}");
+        assert!(health.contains(r#""slo_alerts":1"#), "{health}");
+    }
+
+    #[test]
+    fn slo_alerts_reach_the_flight_recorder_and_counter() {
+        let rt = Runtime::builder().seed(7).tracing(true).build();
+        let ctx = Context::builder("lake", lake())
+            .description("FTC identity theft reports by year")
+            .build(&rt);
+        let mut svc = QueryService::new(rt, ServeConfig::with_workers(1));
+        svc.register_context("reports", ctx);
+        svc.register_tenant("acme", TenantConfig::default().p99_latency(0.001));
+        let mut r = QueryRequest::new("acme", "reports", "count identity theft in 2001");
+        r.seq = 0;
+        let report = svc.run(vec![r]);
+        assert_eq!(report.slo_alerts, 1);
+        let recorder = svc.runtime().recorder();
+        let records = recorder.flight_records();
+        assert!(
+            records
+                .iter()
+                .any(|f| f.source == "serve.slo" && f.kind == "slo_alert"),
+            "flight ring should note the alert: {records:?}"
+        );
+        // EXPLAIN ANALYZE surfaces the alert through the slo.alerts counter.
+        let trace = recorder.trace();
+        assert_eq!(
+            trace.health_summary().as_deref(),
+            Some("health: 1 slo burn-rate alerts (breach)")
+        );
     }
 
     #[test]
@@ -663,6 +909,7 @@ mod tests {
             ServeConfig {
                 workers: 2,
                 queue_capacity: 8,
+                ..ServeConfig::default()
             },
         );
         svc.register_context("reports", ctx);

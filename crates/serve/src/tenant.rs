@@ -4,6 +4,7 @@
 
 use crate::request::TenantId;
 use aida_llm::snapshot::{self, esc, unesc, FailPlan, SnapshotError};
+use aida_obs::SloTarget;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -22,6 +23,13 @@ pub struct TenantConfig {
     pub dollar_quota: Option<f64>,
     /// Token quota (`None` = unlimited).
     pub token_quota: Option<u64>,
+    /// Declared service-level objectives. Unlike quotas, SLOs never shed
+    /// traffic — they are evaluated against the windowed health series at
+    /// the end of each [`QueryService::run`] and surface as burn-rate
+    /// verdicts in the report.
+    ///
+    /// [`QueryService::run`]: crate::QueryService::run
+    pub slo: SloTarget,
 }
 
 impl Default for TenantConfig {
@@ -30,6 +38,7 @@ impl Default for TenantConfig {
             weight: 1,
             dollar_quota: None,
             token_quota: None,
+            slo: SloTarget::none(),
         }
     }
 }
@@ -52,6 +61,18 @@ impl TenantConfig {
     /// Sets the token quota.
     pub fn tokens(mut self, quota: u64) -> TenantConfig {
         self.token_quota = Some(quota);
+        self
+    }
+
+    /// Declares a p99 latency objective in virtual seconds.
+    pub fn p99_latency(mut self, seconds: f64) -> TenantConfig {
+        self.slo = self.slo.p99_latency(seconds);
+        self
+    }
+
+    /// Declares a $/query objective.
+    pub fn usd_per_query(mut self, dollars: f64) -> TenantConfig {
+        self.slo = self.slo.usd_per_query(dollars);
         self
     }
 }
@@ -557,6 +578,22 @@ mod tests {
     #[test]
     fn weight_floor_is_one() {
         assert_eq!(TenantConfig::weighted(0).weight, 1);
+    }
+
+    #[test]
+    fn slo_targets_ride_on_the_config_without_gating_admission() {
+        let config = TenantConfig::default()
+            .p99_latency(30.0)
+            .usd_per_query(0.01);
+        assert!(config.slo.is_declared());
+        assert_eq!(config.slo.p99_latency_s, Some(30.0));
+        assert_eq!(config.slo.usd_per_query, Some(0.01));
+        // SLOs never shed: the quota gate ignores them entirely.
+        let mut ledger = TenantLedger::new();
+        let acme: TenantId = "acme".into();
+        ledger.register(acme.clone(), config);
+        ledger.charge(&acme, 100.0, 1_000_000, 50);
+        assert!(ledger.over_quota(&acme).is_none());
     }
 
     fn wal_dir(name: &str) -> PathBuf {

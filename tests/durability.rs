@@ -317,6 +317,7 @@ fn restart_service(dir: &TestDir) -> QueryService {
         ServeConfig {
             workers: 2,
             queue_capacity: 16,
+            ..ServeConfig::default()
         },
     );
     svc.register_context("reports", ctx);

@@ -140,6 +140,7 @@ mod restart_under_fault {
             ServeConfig {
                 workers: 2,
                 queue_capacity: 16,
+                ..ServeConfig::default()
             },
         );
         svc.register_context("reports", ctx);

@@ -79,6 +79,7 @@ fn build_service(seed: u64) -> QueryService {
         ServeConfig {
             workers: 3,
             queue_capacity: 16,
+            ..ServeConfig::default()
         },
     );
     svc.register_context("reports", ctx);
