@@ -14,6 +14,22 @@ AIDA_RESULTS_DIR=target/ci-lint-a cargo run -q -p aida-lint -- --deny-new
 AIDA_RESULTS_DIR=target/ci-lint-b cargo run -q -p aida-lint -- --deny-new
 cmp target/ci-lint-a/lint_report.jsonl target/ci-lint-b/lint_report.jsonl
 
+# Pyrite VM parity: the differential suite (fixture corpus, error
+# fixtures, fuel sweeps, generated program matrix) must hold — the
+# tree-walker is the VM's oracle. Release build so the property matrix
+# runs at full size quickly.
+cargo test -q --release -p aida-script --test differential
+
+# Pyrite VM performance + determinism: the bench binary asserts the
+# warm VM is >=2x the tree-walker (exit nonzero otherwise), and its
+# canonical JSON carries only deterministic metrics — two runs must be
+# byte-identical.
+AIDA_RESULTS_DIR=target/ci-pyrite-a \
+  cargo run -q --release -p aida-bench --bin pyrite_bench >/dev/null
+AIDA_RESULTS_DIR=target/ci-pyrite-b \
+  cargo run -q --release -p aida-bench --bin pyrite_bench >/dev/null
+cmp target/ci-pyrite-a/BENCH_pyrite_vm.json target/ci-pyrite-b/BENCH_pyrite_vm.json
+
 # Serving layer: the concurrency stress test wants optimized atomics and
 # real thread pressure, and the soak smoke proves the service binary
 # runs end to end (SERVE_SOAK_SMOKE=1 shrinks the workload). The soak

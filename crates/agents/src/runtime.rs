@@ -1,11 +1,16 @@
 //! The CodeAgent execution loop.
 //!
 //! Each step: the policy (standing in for the planning LLM) produces code;
-//! the step is billed to the simulated LLM as a call whose prompt is the
-//! task + tool manifest + observation tail and whose completion is the
-//! code; the code runs in a persistent interpreter with the tools bound;
-//! printed output becomes the next observation. The loop ends when
-//! `final_answer` fires or the step budget runs out.
+//! the code is statically checked, flow-sensitively typechecked against
+//! the tool registry, and compiled to bytecode — all *before* the planning
+//! call is billed, so a provably bad generation costs $0.00 and zero
+//! virtual seconds; then the step is billed to the simulated LLM as a call
+//! whose prompt is the task + tool manifest + observation tail and whose
+//! completion is the code; the compiled program runs on the register VM
+//! (or the tree-walking interpreter, via [`AgentRuntime::with_tree_walker`]
+//! or `AIDA_PYRITE_TREEWALK=1`) with the tools bound; printed output
+//! becomes the next observation. The loop ends when `final_answer` fires
+//! or the step budget runs out.
 
 use crate::policy::{PolicyAction, PolicyContext};
 use crate::tool::ToolRegistry;
@@ -70,6 +75,9 @@ pub struct AgentRuntime<'a> {
     env: &'a ExecEnv,
     registry: ToolRegistry,
     lake: Option<DataLake>,
+    /// Execute steps on the tree-walking interpreter instead of the
+    /// bytecode VM (fallback escape hatch; also the differential oracle).
+    tree_walk: bool,
 }
 
 /// Maximum observation characters fed back into the next planning prompt.
@@ -86,12 +94,49 @@ impl<'a> AgentRuntime<'a> {
             env,
             registry,
             lake,
+            tree_walk: std::env::var("AIDA_PYRITE_TREEWALK").is_ok_and(|v| v == "1"),
         }
+    }
+
+    /// Forces step execution onto the tree-walking interpreter instead of
+    /// the bytecode VM. The two are differential twins (identical values,
+    /// tool-call sequences, and fuel charges), so this is an escape hatch
+    /// and a test oracle, not a behavior switch. Also settable with the
+    /// environment variable `AIDA_PYRITE_TREEWALK=1`.
+    pub fn with_tree_walker(mut self, tree_walk: bool) -> Self {
+        self.tree_walk = tree_walk;
+        self
     }
 
     /// The tool registry.
     pub fn registry(&self) -> &ToolRegistry {
         &self.registry
+    }
+
+    /// Typechecks `code` against the tool registry and the interpreter's
+    /// live globals, then lowers it to bytecode. Runs *before* the
+    /// planning call is billed: a program the flow-sensitive typechecker
+    /// can prove wrong on every path (tool arity or argument types,
+    /// use-before-assign) is rejected at zero cost, and a well-typed
+    /// program is compiled once for the VM.
+    fn typecheck_and_compile(
+        &self,
+        registry: &ToolRegistry,
+        interp: &Interpreter,
+        code: &str,
+    ) -> Result<aida_script::CompiledProgram, aida_script::ScriptError> {
+        let program = aida_script::parser::parse(code)?;
+        let mut tenv = aida_script::TypeEnv::new();
+        for spec in registry.specs() {
+            tenv.add_tool_signature(&spec.name, &spec.signature);
+        }
+        // Globals carried from earlier steps are live bindings of
+        // unknown type.
+        for name in interp.check_env().globals {
+            tenv.bind_global(&name, aida_script::Ty::Any);
+        }
+        aida_script::typecheck(&program, &tenv)?;
+        aida_script::compile(&program)
     }
 
     /// Runs an agent on a task to completion.
@@ -141,26 +186,34 @@ impl<'a> AgentRuntime<'a> {
             // call is billed, so a bad generation costs $0 and zero
             // virtual latency — the error still feeds back as the
             // step's observation so the policy can correct course.
-            let issues = interp.check_source(&code);
-            if let Some(err) = aida_script::check::first_error(&issues) {
-                step_span.attr("rejected", "static-check");
-                if self.env.recorder.is_enabled() {
-                    self.env.recorder.flight(
-                        "agents.step",
-                        "step_rejected",
-                        format!("step {step}: {err}"),
-                    );
+            let checked = match aida_script::check::first_error(&interp.check_source(&code)) {
+                Some(err) => Err(("static-check", err)),
+                None => self
+                    .typecheck_and_compile(&registry, &interp, &code)
+                    .map_err(|err| ("typecheck", err)),
+            };
+            let compiled = match checked {
+                Ok(compiled) => compiled,
+                Err((pass, err)) => {
+                    step_span.attr("rejected", pass);
+                    if self.env.recorder.is_enabled() {
+                        self.env.recorder.flight(
+                            "agents.step",
+                            "step_rejected",
+                            format!("step {step}: {err}"),
+                        );
+                    }
+                    let observation = format!("ERROR: {err}");
+                    steps.push(StepTrace {
+                        step,
+                        code,
+                        observation: observation.clone(),
+                    });
+                    observations.push(observation);
+                    step_span.finish(self.env.clock.now());
+                    continue;
                 }
-                let observation = format!("ERROR: {err}");
-                steps.push(StepTrace {
-                    step,
-                    code,
-                    observation: observation.clone(),
-                });
-                observations.push(observation);
-                step_span.finish(self.env.clock.now());
-                continue;
-            }
+            };
 
             // Bill the planning step: the agent "reads" the task, tools,
             // and observation tail, and "writes" the code.
@@ -175,8 +228,14 @@ impl<'a> AgentRuntime<'a> {
             );
             self.env.clock.advance(resp.latency_s);
 
-            // Execute the code.
-            let observation = match interp.run(&code) {
+            // Execute the code — on the bytecode VM by default; the
+            // tree-walker is the differential oracle and the fallback.
+            let run_result = if self.tree_walk {
+                interp.run(&code)
+            } else {
+                interp.run_compiled(&compiled)
+            };
+            let observation = match run_result {
                 Ok(value) => {
                     let mut printed = interp.take_output().join("\n");
                     if printed.is_empty() {
@@ -346,6 +405,88 @@ mod tests {
     }
 
     #[test]
+    fn ill_typed_programs_cost_nothing() {
+        let env = runtime_env();
+        let lake = lake();
+        let rt = AgentRuntime::new(&env, registry(&lake), None);
+        // Every program passes the name/structure checker (tools exist,
+        // every name is assigned somewhere) but the flow-sensitive
+        // typechecker proves it wrong on all paths: bad tool arity, a
+        // tool argument of the wrong type, and a use before the (only)
+        // assignment. None may bill a planning call or advance the clock.
+        let agent = CodeAgent::with_policy(
+            AgentConfig::default(),
+            Box::new(FixedPolicy(vec![
+                "c = read_file('data.csv', 'extra')\nprint(c)",
+                "c = read_file(7)\nprint(c)",
+                "hits = search_keywords('ratio', 'three')\nprint(hits)",
+                "print(n)\nn = 3",
+            ])),
+        );
+        let outcome = rt.run(&agent, "do something");
+        assert_eq!(outcome.steps.len(), 4);
+        for step in &outcome.steps {
+            assert!(
+                step.observation.starts_with("ERROR:"),
+                "step {}: {}",
+                step.step,
+                step.observation
+            );
+        }
+        assert!(
+            outcome.steps[0].observation.contains("takes 1 argument"),
+            "arity: {}",
+            outcome.steps[0].observation
+        );
+        assert!(
+            outcome.steps[1].observation.contains("expects str"),
+            "arg type: {}",
+            outcome.steps[1].observation
+        );
+        assert!(
+            outcome.steps[3]
+                .observation
+                .contains("used before assignment"),
+            "use-before-assign: {}",
+            outcome.steps[3].observation
+        );
+        assert_eq!(outcome.cost_usd, 0.0, "ill-typed steps must not bill");
+        assert_eq!(outcome.time_s, 0.0, "ill-typed steps must not take time");
+    }
+
+    #[test]
+    fn vm_and_tree_walker_agree_on_agent_runs() {
+        // The same multi-step agent, once on the bytecode VM (default)
+        // and once on the tree-walking interpreter, must produce the
+        // same answer, observations, spend, and virtual time.
+        let steps = vec![
+            "files = list_files()\nprint(files)",
+            "c = read_file('data.csv')\nrows = c.splitlines()\ntotal = 0\nfor r in rows[1:]:\n    total += int(r.split(',')[1])\nprint(total)",
+            "final_answer(total)",
+        ];
+        let run = |tree_walk: bool| {
+            let env = runtime_env();
+            let lake = lake();
+            let rt = AgentRuntime::new(&env, registry(&lake), None).with_tree_walker(tree_walk);
+            let agent = CodeAgent::with_policy(
+                AgentConfig::default(),
+                Box::new(FixedPolicy(steps.clone())),
+            );
+            rt.run(&agent, "sum the n column")
+        };
+        let vm = run(false);
+        let walker = run(true);
+        assert_eq!(vm.answer, Some(Value::Int(140)));
+        assert_eq!(vm.answer, walker.answer);
+        assert_eq!(vm.steps.len(), walker.steps.len());
+        for (a, b) in vm.steps.iter().zip(&walker.steps) {
+            assert_eq!(a.observation, b.observation, "step {}", a.step);
+        }
+        assert_eq!(vm.cost_usd, walker.cost_usd);
+        assert_eq!(vm.time_s, walker.time_s);
+    }
+
+    #[test]
     fn valid_programs_still_execute_and_bill() {
         let env = runtime_env();
         let lake = lake();
@@ -362,6 +503,36 @@ mod tests {
         let outcome = rt.run(&agent, "sum 1..3");
         assert_eq!(outcome.answer, Some(Value::Int(6)));
         assert!(outcome.cost_usd > 0.0, "valid steps still bill");
+    }
+
+    #[test]
+    fn bytecode_identical_plans_share_the_semantic_cache() {
+        use aida_llm::{CacheConfig, SemanticCache};
+        // Two textually different plans that lower to identical bytecode
+        // (whitespace and line-number differences vanish in the canonical
+        // encoding) must share one semantic-cache entry: the second
+        // planning call is a plan-keyed hit and bills nothing.
+        let llm = SimLlm::new(3)
+            .with_cache(SemanticCache::new(CacheConfig::default()))
+            .with_plan_hasher(aida_script::plan_content_hash);
+        let env = ExecEnv::new(llm);
+        let lake = lake();
+        let rt = AgentRuntime::new(&env, registry(&lake), None);
+        let run = |code: &'static str| {
+            let agent =
+                CodeAgent::with_policy(AgentConfig::default(), Box::new(FixedPolicy(vec![code])));
+            rt.run(&agent, "same task").cost_usd
+        };
+        let first = run("x = 1\nprint(x + 41)");
+        let second = run("\nx =  1\nprint(x  +  41)");
+        let third = run("x = 2\nprint(x + 41)");
+        assert!(first > 0.0, "first plan is billed");
+        assert_eq!(second, 0.0, "bytecode-identical plan is served from cache");
+        assert!(third > 0.0, "bytecode-different plan misses");
+        let stats = env.llm.cache().expect("cache attached").stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.plan_hits, 1, "the hit is plan-keyed");
+        assert_eq!(stats.misses, 2);
     }
 
     #[test]

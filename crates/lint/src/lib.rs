@@ -48,6 +48,11 @@ pub struct Config {
     /// The one file allowed to spell metric names as string literals
     /// (O1); everywhere else they must come from this registry's consts.
     pub metric_registry_file: String,
+    /// S1: maximum source lines a single non-test `fn` item may span.
+    pub s1_max_fn_lines: usize,
+    /// S1: maximum branch points (`if`/`else`/`while`/`for`/`loop`/
+    /// `match` keywords and `=>` arms) a single non-test fn may contain.
+    pub s1_max_fn_branches: usize,
     /// Baseline entries.
     pub allows: Vec<Allow>,
 }
@@ -80,6 +85,8 @@ impl Config {
             ]),
             recovery_fn_patterns: s(&["recover", "replay", "decode", "load", "restore"]),
             metric_registry_file: "crates/obs/src/registry.rs".to_string(),
+            s1_max_fn_lines: 150,
+            s1_max_fn_branches: 60,
             allows: Vec::new(),
         }
     }
@@ -148,6 +155,16 @@ impl Config {
             "metric_registry_file" => {
                 if let Value::Str(s) = &e.value {
                     self.metric_registry_file = s.clone();
+                }
+            }
+            "s1_max_fn_lines" => {
+                if let Value::Int(n) = &e.value {
+                    self.s1_max_fn_lines = (*n).max(1) as usize;
+                }
+            }
+            "s1_max_fn_branches" => {
+                if let Value::Int(n) = &e.value {
+                    self.s1_max_fn_branches = (*n).max(1) as usize;
                 }
             }
             _ => {}

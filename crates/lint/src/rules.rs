@@ -15,6 +15,7 @@
 //! | P1   | recovery paths return typed errors, never panic            |
 //! | L1   | the static lock-acquisition graph is acyclic               |
 //! | O1   | metric names come from the registry, never string literals |
+//! | S1   | functions stay within the size/complexity budget           |
 
 use crate::lexer::{lex, Tok, TokKind};
 use crate::Config;
@@ -292,6 +293,7 @@ pub fn scan_file(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
         rule_p1_panic_free_recovery(&view, cfg, &mut out);
     }
     rule_o1_metric_registry(&view, cfg, &mut out);
+    rule_s1_fn_budget(&view, cfg, &mut out);
     out
 }
 
@@ -637,6 +639,66 @@ fn rule_o1_metric_registry(view: &FileView, cfg: &Config, out: &mut Vec<Finding>
     }
 }
 
+// ---------------------------------------------------------------- S1
+
+/// S1: per-function size/complexity budget. A function that outgrows the
+/// budget is where replay bugs hide: too many interleaved branches to
+/// reason about, too long to review as a unit. The metric is
+/// deterministic and macro-free: source lines spanned by the item, and
+/// branch points counted as the keywords `if`/`else`/`while`/`for`/
+/// `loop`/`match` plus match arms (`=>`). Test code is exempt (the
+/// harness already strips `#[cfg(test)]` regions and `tests/` trees).
+fn rule_s1_fn_budget(view: &FileView, cfg: &Config, out: &mut Vec<Finding>) {
+    const BRANCH_KEYWORDS: &[&str] = &["if", "else", "while", "for", "loop", "match"];
+    for f in &view.fns {
+        let (lo, hi) = f.range;
+        if hi <= lo || hi > view.toks.len() {
+            continue;
+        }
+        let lines = view.toks[hi - 1].line - view.toks[lo].line + 1;
+        let mut branches = 0usize;
+        for j in lo..hi {
+            let t = &view.toks[j];
+            let hit = match t.kind {
+                TokKind::Ident => BRANCH_KEYWORDS.contains(&t.text(view.src)),
+                TokKind::Punct => t.text(view.src) == "=>",
+                _ => false,
+            };
+            if hit {
+                branches += 1;
+            }
+        }
+        if lines > cfg.s1_max_fn_lines {
+            out.push(Finding {
+                rule: "S1",
+                severity: Severity::Warning,
+                file: view.rel.to_string(),
+                line: f.line,
+                message: format!(
+                    "fn `{}` spans {lines} lines (budget {}); split it into \
+                     reviewable units",
+                    f.name, cfg.s1_max_fn_lines
+                ),
+                snippet: line_snippet(view.src, f.line),
+            });
+        }
+        if branches > cfg.s1_max_fn_branches {
+            out.push(Finding {
+                rule: "S1",
+                severity: Severity::Warning,
+                file: view.rel.to_string(),
+                line: f.line,
+                message: format!(
+                    "fn `{}` has {branches} branch points (budget {}); extract \
+                     the dispatch arms or helper predicates",
+                    f.name, cfg.s1_max_fn_branches
+                ),
+                snippet: line_snippet(view.src, f.line),
+            });
+        }
+    }
+}
+
 // ---------------------------------------------------------------- L1
 
 /// One static lock acquisition: which node, where.
@@ -903,6 +965,49 @@ mod tests {
         let test_code =
             "#[cfg(test)]\nmod tests { fn f(r: &Recorder) { r.counter_add(\"x\", 1); } }";
         assert!(scan_file("a.rs", test_code, &cfg).is_empty());
+    }
+
+    #[test]
+    fn s1_flags_fns_over_the_line_budget() {
+        let mut cfg = Config::default_config();
+        cfg.s1_max_fn_lines = 3;
+        let long = "fn big() {\n let a = 1;\n let b = 2;\n let c = 3;\n}";
+        let f = scan_file("x.rs", long, &cfg);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "S1");
+        assert_eq!(f[0].severity, Severity::Warning);
+        assert!(
+            f[0].message.contains("`big` spans 5 lines"),
+            "{}",
+            f[0].message
+        );
+
+        let short = "fn small() {\n let a = 1;\n}";
+        assert!(scan_file("x.rs", short, &cfg).is_empty());
+    }
+
+    #[test]
+    fn s1_counts_branch_keywords_and_match_arms() {
+        let mut cfg = Config::default_config();
+        cfg.s1_max_fn_branches = 3;
+        // 2 keywords (if, match) + 2 arms (=>) = 4 branch points.
+        let branchy =
+            "fn pick(x: u32) -> u32 { if x > 1 { return 0; } match x { 0 => 1, _ => 2 } }";
+        let f = scan_file("x.rs", branchy, &cfg);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("4 branch points"), "{}", f[0].message);
+
+        // Exactly at budget: clean.
+        let at_budget = "fn pick(x: u32) -> u32 { match x { 0 => 1, _ => 2 } }";
+        assert!(scan_file("x.rs", at_budget, &cfg).is_empty());
+    }
+
+    #[test]
+    fn s1_exempts_test_code() {
+        let mut cfg = Config::default_config();
+        cfg.s1_max_fn_lines = 2;
+        let src = "#[cfg(test)]\nmod tests {\n fn t() {\n let a = 1;\n let b = 2;\n }\n}";
+        assert!(scan_file("x.rs", src, &cfg).is_empty());
     }
 
     #[test]

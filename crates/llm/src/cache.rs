@@ -110,6 +110,11 @@ pub struct CacheStats {
     /// Calls that shared another caller's in-flight computation (or a
     /// batch-deduplicated duplicate).
     pub coalesced: u64,
+    /// The subset of `hits` whose content key was derived from a compiled
+    /// plan's bytecode hash rather than the raw program text — two
+    /// textually different programs that lower to the same bytecode share
+    /// one entry, and these hits count how often that sharing paid off.
+    pub plan_hits: u64,
     /// Entries evicted by the capacity or byte budget.
     pub evictions: u64,
     /// Resident entries right now.
@@ -141,6 +146,7 @@ impl CacheStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
             coalesced: self.coalesced - earlier.coalesced,
+            plan_hits: self.plan_hits - earlier.plan_hits,
             evictions: self.evictions - earlier.evictions,
             entries: self.entries,
             bytes: self.bytes,
@@ -164,6 +170,7 @@ struct State {
     hits: u64,
     misses: u64,
     coalesced: u64,
+    plan_hits: u64,
     evictions: u64,
 }
 
@@ -291,6 +298,13 @@ impl SemanticCache {
         self.inner.cond.notify_all();
     }
 
+    /// Records a hit whose key was derived from a compiled plan's content
+    /// hash (see [`CacheStats::plan_hits`]). Called by the simulator after
+    /// [`SemanticCache::begin`] returns [`Lookup::Hit`] for such a key.
+    pub fn note_plan_hit(&self) {
+        self.inner.state.lock().unwrap().plan_hits += 1;
+    }
+
     /// Records `n` batch-deduplicated duplicates that shared one call
     /// without going through the pending machinery (execution engines
     /// dedup virtually-simultaneous batches deterministically).
@@ -324,6 +338,7 @@ impl SemanticCache {
             hits: st.hits,
             misses: st.misses,
             coalesced: st.coalesced,
+            plan_hits: st.plan_hits,
             evictions: st.evictions,
             entries: st.entries.len() as u64,
             bytes: st.bytes as u64,

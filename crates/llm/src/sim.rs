@@ -83,6 +83,13 @@ pub struct LlmResponse {
     pub corrupted: bool,
 }
 
+/// Hashes a freeform completion into a stable plan identity, when the
+/// completion is a compilable program. Installed by layers that know the
+/// program language (the script crate's bytecode compiler) without this
+/// crate depending on them. Returning `None` means "not a program" and
+/// the raw text is hashed instead.
+pub type PlanHasher = fn(&str) -> Option<(u64, u64)>;
+
 /// The simulated LLM service.
 #[derive(Debug, Clone)]
 pub struct SimLlm {
@@ -93,6 +100,7 @@ pub struct SimLlm {
     fault_rate: f64,
     recorder: Recorder,
     cache: Option<SemanticCache>,
+    plan_hasher: Option<PlanHasher>,
 }
 
 impl SimLlm {
@@ -106,6 +114,7 @@ impl SimLlm {
             fault_rate: 0.0,
             recorder: Recorder::disabled(),
             cache: None,
+            plan_hasher: None,
         }
     }
 
@@ -180,11 +189,29 @@ impl SimLlm {
         self.cache.as_ref()
     }
 
+    /// Installs a plan hasher: freeform completions it can hash (i.e.
+    /// compilable agent programs) are cache-keyed by their compiled
+    /// bytecode's content hash instead of their raw text, so two
+    /// textually different plans that lower to identical bytecode share
+    /// one cache entry. Hits on such keys are counted separately as
+    /// [`crate::cache::CacheStats::plan_hits`].
+    pub fn with_plan_hasher(mut self, hasher: PlanHasher) -> Self {
+        self.plan_hasher = Some(hasher);
+        self
+    }
+
     /// The content-addressed cache key for a call: every determinant of
     /// the simulated response (seed, model, task kind and fields, and
     /// the subject's name, text, and oracle labels) is hashed, so equal
     /// keys imply the simulator would answer identically.
     pub fn content_key(&self, model: ModelId, task: &LlmTask<'_>) -> CacheKey {
+        self.keyed(model, task).0
+    }
+
+    /// The content key plus whether it was derived from a compiled plan's
+    /// bytecode hash (drives the `plan_hits` stat class on hits).
+    fn keyed(&self, model: ModelId, task: &LlmTask<'_>) -> (CacheKey, bool) {
+        let mut plan_keyed = false;
         let mut parts: Vec<u64> = vec![self.seed, noise::hash_str(model.name())];
         let push_subject = |parts: &mut Vec<u64>, subject: &Subject<'_>| {
             parts.push(noise::hash_str(&subject.name));
@@ -241,10 +268,21 @@ impl SimLlm {
             LlmTask::Freeform { prompt, response } => {
                 parts.push(5);
                 parts.push(noise::hash_str(prompt));
-                parts.push(noise::hash_str(response));
+                match self.plan_hasher.and_then(|hash| hash(response)) {
+                    Some((hi, lo)) => {
+                        // Inner discriminator: a plan-keyed entry can
+                        // never collide with a text-keyed one even if
+                        // the bytecode hash equals some text hash.
+                        parts.push(6);
+                        parts.push(hi);
+                        parts.push(lo);
+                        plan_keyed = true;
+                    }
+                    None => parts.push(noise::hash_str(response)),
+                }
             }
         }
-        CacheKey::from_parts(&parts)
+        (CacheKey::from_parts(&parts), plan_keyed)
     }
 
     /// Executes a task with the given model, billing the meter. With a
@@ -254,9 +292,13 @@ impl SimLlm {
         let Some(cache) = &self.cache else {
             return self.dispatch(model, task);
         };
-        match cache.begin(self.content_key(model, task)) {
+        let (key, plan_keyed) = self.keyed(model, task);
+        match cache.begin(key) {
             Lookup::Hit(mut resp) => {
                 resp.latency_s = cache.hit_latency_s();
+                if plan_keyed {
+                    cache.note_plan_hit();
+                }
                 if self.recorder.is_enabled() {
                     self.recorder.counter_add(aida_obs::registry::CACHE_HIT, 1);
                 }
@@ -1243,6 +1285,62 @@ mod tests {
             "labels"
         );
         assert_eq!(k1, llm.content_key(ModelId::Nano, &filter), "stable");
+    }
+
+    #[test]
+    fn plan_hasher_keys_freeform_calls_by_plan_identity() {
+        use crate::cache::{CacheConfig, SemanticCache};
+        // Stand-in for a real program hasher: identifies a "plan" by its
+        // whitespace-stripped text, and declines non-plans (empty text).
+        fn by_shape(s: &str) -> Option<(u64, u64)> {
+            let canon: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+            if canon.is_empty() {
+                return None;
+            }
+            Some((noise::hash_str(&canon), canon.len() as u64))
+        }
+        let llm = SimLlm::new(7)
+            .with_cache(SemanticCache::new(CacheConfig::default()))
+            .with_plan_hasher(by_shape);
+        let call = |resp: &str| {
+            llm.invoke(
+                ModelId::Nano,
+                &LlmTask::Freeform {
+                    prompt: "task",
+                    response: resp,
+                },
+            )
+        };
+        call("x = 1");
+        call("x  =  1"); // same plan identity → plan-keyed hit
+        call("x = 2"); // different plan → miss
+        let stats = llm.cache().unwrap().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(stats.plan_hits, 1);
+        // A hasher that declines falls back to raw-text keying, and such
+        // hits are not counted as plan hits.
+        call("   ");
+        call("   ");
+        let stats = llm.cache().unwrap().stats();
+        assert_eq!((stats.hits, stats.misses), (2, 3));
+        assert_eq!(stats.plan_hits, 1, "text-keyed hit is not a plan hit");
+        // Without a hasher the same two responses key differently.
+        let plain = SimLlm::new(7).with_cache(SemanticCache::new(CacheConfig::default()));
+        let ka = plain.content_key(
+            ModelId::Nano,
+            &LlmTask::Freeform {
+                prompt: "task",
+                response: "x = 1",
+            },
+        );
+        let kb = plain.content_key(
+            ModelId::Nano,
+            &LlmTask::Freeform {
+                prompt: "task",
+                response: "x  =  1",
+            },
+        );
+        assert_ne!(ka, kb);
     }
 
     #[test]

@@ -6,9 +6,17 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScriptError {
     /// Tokenization failure.
-    Lex { line: usize, message: String },
+    Lex {
+        line: usize,
+        col: usize,
+        message: String,
+    },
     /// Parse failure.
-    Parse { line: usize, message: String },
+    Parse {
+        line: usize,
+        col: usize,
+        message: String,
+    },
     /// Runtime type error.
     Type { line: usize, message: String },
     /// Reference to an undefined name.
@@ -35,6 +43,16 @@ impl ScriptError {
         }
     }
 
+    /// The source column the error was raised at (1-based), when known.
+    /// Only lexer- and parser-raised errors carry a column; a value of
+    /// zero means "unknown" and is omitted from display.
+    pub fn col(&self) -> Option<usize> {
+        match self {
+            ScriptError::Lex { col, .. } | ScriptError::Parse { col, .. } if *col > 0 => Some(*col),
+            _ => None,
+        }
+    }
+
     /// The source line the error was raised at, when known.
     pub fn line(&self) -> Option<usize> {
         match self {
@@ -50,12 +68,23 @@ impl ScriptError {
     }
 }
 
+/// Renders a `line N` / `line N, col M` span fragment.
+fn span(line: usize, col: usize) -> String {
+    if col > 0 {
+        format!("line {line}, col {col}")
+    } else {
+        format!("line {line}")
+    }
+}
+
 impl fmt::Display for ScriptError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScriptError::Lex { line, message } => write!(f, "lex error (line {line}): {message}"),
-            ScriptError::Parse { line, message } => {
-                write!(f, "syntax error (line {line}): {message}")
+            ScriptError::Lex { line, col, message } => {
+                write!(f, "lex error ({}): {message}", span(*line, *col))
+            }
+            ScriptError::Parse { line, col, message } => {
+                write!(f, "syntax error ({}): {message}", span(*line, *col))
             }
             ScriptError::Type { line, message } => {
                 write!(f, "type error (line {line}): {message}")
@@ -89,11 +118,30 @@ mod tests {
     fn display_mentions_line_numbers() {
         let e = ScriptError::Parse {
             line: 3,
+            col: 0,
             message: "unexpected token".into(),
         };
         assert!(e.to_string().contains("line 3"));
         assert_eq!(e.line(), Some(3));
+        assert_eq!(e.col(), None);
         assert_eq!(ScriptError::FuelExhausted.line(), None);
+    }
+
+    #[test]
+    fn display_mentions_columns_when_known() {
+        let e = ScriptError::Lex {
+            line: 2,
+            col: 7,
+            message: "stray '@'".into(),
+        };
+        assert_eq!(e.to_string(), "lex error (line 2, col 7): stray '@'");
+        assert_eq!(e.col(), Some(7));
+        let p = ScriptError::Parse {
+            line: 4,
+            col: 11,
+            message: "expected ':'".into(),
+        };
+        assert!(p.to_string().contains("line 4, col 11"));
     }
 
     #[test]

@@ -24,12 +24,12 @@ enum Flow {
 /// `print` output. An interpreter can run multiple programs in sequence
 /// (agent steps share one interpreter so variables persist between steps).
 pub struct Interpreter {
-    globals: HashMap<String, ScriptValue>,
-    host_fns: HashMap<String, HostFn>,
-    fuel: u64,
-    fuel_limit: u64,
-    depth: usize,
-    output: Vec<String>,
+    pub(crate) globals: HashMap<String, ScriptValue>,
+    pub(crate) host_fns: HashMap<String, HostFn>,
+    pub(crate) fuel: u64,
+    pub(crate) fuel_limit: u64,
+    pub(crate) depth: usize,
+    pub(crate) output: Vec<String>,
 }
 
 impl Default for Interpreter {
@@ -39,7 +39,7 @@ impl Default for Interpreter {
 }
 
 const DEFAULT_FUEL: u64 = 2_000_000;
-const MAX_DEPTH: usize = 64;
+pub(crate) const MAX_DEPTH: usize = 64;
 
 impl Interpreter {
     /// Creates an interpreter with the default fuel budget.
@@ -83,6 +83,13 @@ impl Interpreter {
     /// Drains captured `print` output.
     pub fn take_output(&mut self) -> Vec<String> {
         std::mem::take(&mut self.output)
+    }
+
+    /// Fuel remaining after the most recent `run`/`run_compiled` (the
+    /// budget minus every step charged). Differential tests compare this
+    /// between the tree-walker and the VM.
+    pub fn fuel_remaining(&self) -> u64 {
+        self.fuel
     }
 
     /// The static-check environment this interpreter provides: its
@@ -140,6 +147,7 @@ impl Interpreter {
                 (Flow::Break, _) | (Flow::Continue, _) => {
                     return Err(ScriptError::Parse {
                         line: stmt.line,
+                        col: 0,
                         message: "'break'/'continue' outside loop".into(),
                     })
                 }
@@ -282,7 +290,7 @@ impl Interpreter {
 
     /// Binds loop targets: one name takes the element; several names
     /// unpack a list element of matching length.
-    fn bind_loop_vars(
+    pub(crate) fn bind_loop_vars(
         &mut self,
         vars: &[String],
         item: ScriptValue,
@@ -336,7 +344,7 @@ impl Interpreter {
         }
     }
 
-    fn lookup(
+    pub(crate) fn lookup(
         &self,
         name: &str,
         locals: &Option<&mut HashMap<String, ScriptValue>>,
@@ -377,7 +385,7 @@ impl Interpreter {
     }
 
     /// Stores into an already-evaluated container/key pair.
-    fn store_index(
+    pub(crate) fn store_index(
         &mut self,
         obj_v: &ScriptValue,
         key_v: &ScriptValue,
@@ -412,6 +420,17 @@ impl Interpreter {
         line: usize,
     ) -> Result<Vec<ScriptValue>, ScriptError> {
         let value = self.eval(iterable, locals)?;
+        self.iter_value(value, line)
+    }
+
+    /// Materializes an already-evaluated value as an iteration vector
+    /// (shared by the tree-walker and the bytecode VM so `for` semantics
+    /// cannot drift).
+    pub(crate) fn iter_value(
+        &self,
+        value: ScriptValue,
+        line: usize,
+    ) -> Result<Vec<ScriptValue>, ScriptError> {
         match value {
             ScriptValue::List(items) => Ok(items.borrow().clone()),
             ScriptValue::Str(s) => Ok(s.chars().map(|c| ScriptValue::str(c.to_string())).collect()),
@@ -579,7 +598,7 @@ impl Interpreter {
         }
     }
 
-    fn call_value(
+    pub(crate) fn call_value(
         &mut self,
         func: ScriptValue,
         args: &[ScriptValue],
@@ -624,6 +643,7 @@ impl Interpreter {
                     self.depth -= 1;
                     return Err(ScriptError::Parse {
                         line: stmt.line,
+                        col: 0,
                         message: "'break'/'continue' outside loop".into(),
                     });
                 }
@@ -638,7 +658,12 @@ impl Interpreter {
         Ok(result)
     }
 
-    fn list_index(&self, key: &ScriptValue, len: usize, line: usize) -> Result<usize, ScriptError> {
+    pub(crate) fn list_index(
+        &self,
+        key: &ScriptValue,
+        len: usize,
+        line: usize,
+    ) -> Result<usize, ScriptError> {
         let i = key.as_int().map_err(|_| ScriptError::Type {
             line,
             message: format!("list indices must be ints, not {}", key.type_name()),
@@ -653,7 +678,7 @@ impl Interpreter {
         Ok(idx as usize)
     }
 
-    fn index(
+    pub(crate) fn index(
         &self,
         obj: &ScriptValue,
         key: &ScriptValue,
@@ -690,7 +715,7 @@ impl Interpreter {
         }
     }
 
-    fn slice(
+    pub(crate) fn slice(
         &self,
         obj: &ScriptValue,
         lo: Option<i64>,
@@ -726,7 +751,7 @@ impl Interpreter {
         }
     }
 
-    fn binary(
+    pub(crate) fn binary(
         &self,
         op: BinOp,
         l: ScriptValue,
@@ -850,7 +875,7 @@ impl Interpreter {
         }
     }
 
-    fn call_builtin(
+    pub(crate) fn call_builtin(
         &mut self,
         name: &str,
         args: &[ScriptValue],
@@ -1132,7 +1157,7 @@ impl Interpreter {
         Ok(Some(result))
     }
 
-    fn call_method(
+    pub(crate) fn call_method(
         &mut self,
         obj: &ScriptValue,
         method: &str,

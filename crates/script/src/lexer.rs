@@ -7,13 +7,16 @@
 
 use crate::error::ScriptError;
 
-/// A lexical token with its source line.
+/// A lexical token with its source position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// Token kind/payload.
     pub kind: Tok,
     /// 1-based source line.
     pub line: usize,
+    /// 1-based source column (character offset) of the token start.
+    /// Layout tokens report the column the layout change takes effect at.
+    pub col: usize,
 }
 
 /// Token kinds.
@@ -93,6 +96,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
             if raw_line[..indent].contains('\t') {
                 return Err(ScriptError::Lex {
                     line: line_no,
+                    col: 1,
                     message: "tabs are not allowed in indentation".into(),
                 });
             }
@@ -102,6 +106,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
                 tokens.push(Token {
                     kind: Tok::Indent,
                     line: line_no,
+                    col: indent + 1,
                 });
             } else if indent < current {
                 while *indents.last().unwrap() > indent {
@@ -109,11 +114,13 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
                     tokens.push(Token {
                         kind: Tok::Dedent,
                         line: line_no,
+                        col: indent + 1,
                     });
                 }
                 if *indents.last().unwrap() != indent {
                     return Err(ScriptError::Lex {
                         line: line_no,
+                        col: indent + 1,
                         message: "inconsistent indentation".into(),
                     });
                 }
@@ -131,6 +138,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
                 tokens.push(Token {
                     kind: Tok::Newline,
                     line: line_no,
+                    col: raw_line.chars().count() + 1,
                 });
             }
         }
@@ -139,6 +147,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
     if depth > 0 {
         return Err(ScriptError::Lex {
             line: line_no,
+            col: 0,
             message: "unclosed bracket".into(),
         });
     }
@@ -147,11 +156,13 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
         tokens.push(Token {
             kind: Tok::Dedent,
             line: line_no,
+            col: 1,
         });
     }
     tokens.push(Token {
         kind: Tok::Eof,
         line: line_no,
+        col: 1,
     });
     Ok(tokens)
 }
@@ -162,10 +173,11 @@ fn lex_line(
     tokens: &mut Vec<Token>,
     depth: &mut usize,
 ) -> Result<(), ScriptError> {
-    let push = |tokens: &mut Vec<Token>, kind: Tok| {
+    let push = |tokens: &mut Vec<Token>, kind: Tok, col: usize| {
         tokens.push(Token {
             kind,
             line: line_no,
+            col,
         })
     };
     let bytes: Vec<char> = line.chars().collect();
@@ -177,6 +189,7 @@ fn lex_line(
             '#' => break,
             '0'..='9' => {
                 let start = i;
+                let col = start + 1;
                 let mut saw_dot = false;
                 while i < bytes.len()
                     && (bytes[i].is_ascii_digit() || (bytes[i] == '.' && !saw_dot))
@@ -194,19 +207,22 @@ fn lex_line(
                 if saw_dot {
                     let f = text.parse::<f64>().map_err(|_| ScriptError::Lex {
                         line: line_no,
+                        col,
                         message: format!("bad float literal '{text}'"),
                     })?;
-                    push(tokens, Tok::Float(f));
+                    push(tokens, Tok::Float(f), col);
                 } else {
                     let v = text.parse::<i64>().map_err(|_| ScriptError::Lex {
                         line: line_no,
+                        col,
                         message: format!("bad int literal '{text}'"),
                     })?;
-                    push(tokens, Tok::Int(v));
+                    push(tokens, Tok::Int(v), col);
                 }
             }
             '"' | '\'' => {
                 let quote = c;
+                let col = i + 1;
                 i += 1;
                 let mut text = String::new();
                 let mut closed = false;
@@ -236,13 +252,15 @@ fn lex_line(
                 if !closed {
                     return Err(ScriptError::Lex {
                         line: line_no,
+                        col,
                         message: "unterminated string literal".into(),
                     });
                 }
-                push(tokens, Tok::Str(text));
+                push(tokens, Tok::Str(text), col);
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
+                let col = start + 1;
                 while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
                     i += 1;
                 }
@@ -269,9 +287,11 @@ fn lex_line(
                         "None" => Tok::None,
                         _ => Tok::Name(word),
                     },
+                    col,
                 );
             }
             _ => {
+                let col = i + 1;
                 let two: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
                 let (kind, advance) = match two.as_str() {
                     "==" => (Tok::EqEq, 2),
@@ -321,6 +341,7 @@ fn lex_line(
                             other => {
                                 return Err(ScriptError::Lex {
                                     line: line_no,
+                                    col,
                                     message: format!("unexpected character '{other}'"),
                                 })
                             }
@@ -328,7 +349,7 @@ fn lex_line(
                         (kind, 1)
                     }
                 };
-                push(tokens, kind);
+                push(tokens, kind, col);
                 i += advance;
             }
         }
@@ -453,6 +474,18 @@ mod tests {
         assert!(toks.contains(&Tok::In));
         assert!(toks.contains(&Tok::Pass));
         assert!(toks.contains(&Tok::Name("items".into())));
+    }
+
+    #[test]
+    fn columns_are_tracked() {
+        let toks = lex("x = 41 + y").unwrap();
+        let y = toks
+            .iter()
+            .find(|t| t.kind == Tok::Name("y".into()))
+            .unwrap();
+        assert_eq!((y.line, y.col), (1, 10));
+        let err = lex("x = 1 @").unwrap_err();
+        assert_eq!(err.col(), Some(7));
     }
 
     #[test]

@@ -43,16 +43,21 @@
 //! ```
 
 pub mod ast;
+pub mod bytecode;
 pub mod check;
 pub mod error;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
+pub mod types;
 pub mod value;
+pub mod vm;
 
+pub use bytecode::{compile, compile_source, plan_content_hash, CompiledProgram};
 pub use check::{CheckEnv, CheckIssue, CheckSeverity};
 pub use error::ScriptError;
 pub use interp::Interpreter;
+pub use types::{typecheck, ToolSig, Ty, TypeEnv};
 pub use value::ScriptValue;
 
 /// Crate-wide result alias.

@@ -44,6 +44,10 @@ impl Parser {
         self.tokens[self.pos].line
     }
 
+    fn col(&self) -> usize {
+        self.tokens[self.pos].col
+    }
+
     fn advance(&mut self) -> Tok {
         let tok = self.tokens[self.pos].kind.clone();
         if self.pos < self.tokens.len() - 1 {
@@ -73,6 +77,7 @@ impl Parser {
     fn err(&self, message: String) -> ScriptError {
         ScriptError::Parse {
             line: self.line(),
+            col: self.col(),
             message,
         }
     }
@@ -273,6 +278,7 @@ impl Parser {
             ExprKind::Index(obj, key) => Ok(Target::Index(*obj, *key)),
             _ => Err(ScriptError::Parse {
                 line: expr.line,
+                col: 0,
                 message: "invalid assignment target".into(),
             }),
         }
@@ -493,6 +499,7 @@ impl Parser {
 
     fn atom(&mut self) -> Result<Expr, ScriptError> {
         let line = self.line();
+        let col = self.col();
         let kind = match self.advance() {
             Tok::Int(v) => ExprKind::Int(v),
             Tok::Float(v) => ExprKind::Float(v),
@@ -568,6 +575,7 @@ impl Parser {
             other => {
                 return Err(ScriptError::Parse {
                     line,
+                    col,
                     message: format!("unexpected token {other:?}"),
                 })
             }

@@ -1,0 +1,1161 @@
+//! Flow-sensitive typechecker for Pyrite.
+//!
+//! Runs between parsing and execution (and before any simulated spend in
+//! `aida-agents`): a program this pass rejects costs $0.00 and zero
+//! virtual seconds. It complements the structural checker in
+//! [`crate::check`] with the dataflow facts that checker cannot see:
+//!
+//! * **Use before assignment** — a variable read on a path where no
+//!   earlier statement can have assigned it (the structural checker only
+//!   knows whether a name is assigned *somewhere*).
+//! * **Tool arity and argument types** — calls to registered host tools
+//!   are checked against their parsed signatures ([`ToolSig`]).
+//! * **Branch-join typing** — a variable assigned `int` in one arm and
+//!   `str` in another joins to [`Ty::Any`]; only *definite* misuse is
+//!   reported downstream.
+//! * **Loop-carried variables** — names assigned inside a loop body are
+//!   in scope (as possibly-unassigned) for the whole body, so
+//!   accumulator patterns type correctly without false positives.
+//!
+//! The pass is deliberately conservative: it reports an error only when
+//! every runtime path through the expression would raise it — mirroring
+//! the interpreter's own `binary`/`index`/`call` rejections — and types
+//! it cannot prove stay [`Ty::Any`]. Conservatism is what lets the agent
+//! runtime treat a type error as a hard pre-billing reject.
+
+use crate::ast::*;
+use crate::check::BUILTINS;
+use crate::error::ScriptError;
+use std::collections::{HashMap, HashSet};
+
+/// A static type. `Any` is the unknown/top type; joins of unequal types
+/// collapse to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// Unknown (checks involving it always pass).
+    Any,
+    /// `int`
+    Int,
+    /// `float`
+    Float,
+    /// `str`
+    Str,
+    /// `bool`
+    Bool,
+    /// `None`
+    None,
+    /// `list` (element types are not tracked).
+    List,
+    /// `dict` (string keys; value types are not tracked).
+    Dict,
+    /// A user function value.
+    Func,
+}
+
+impl Ty {
+    /// The least upper bound of two types.
+    pub fn join(self, other: Ty) -> Ty {
+        if self == other {
+            self
+        } else {
+            Ty::Any
+        }
+    }
+
+    /// Display name matching the interpreter's `type_name()` strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ty::Any => "any",
+            Ty::Int => "int",
+            Ty::Float => "float",
+            Ty::Str => "str",
+            Ty::Bool => "bool",
+            Ty::None => "None",
+            Ty::List => "list",
+            Ty::Dict => "dict",
+            Ty::Func => "function",
+        }
+    }
+
+    fn is_num(self) -> bool {
+        matches!(self, Ty::Any | Ty::Int | Ty::Float)
+    }
+
+    /// Whether a value of this type can satisfy an `expected` annotation.
+    fn satisfies(self, expected: Ty) -> bool {
+        match (self, expected) {
+            (Ty::Any, _) | (_, Ty::Any) => true,
+            // Ints are acceptable where floats are expected (the
+            // interpreter bridges them in arithmetic and comparisons).
+            (Ty::Int, Ty::Float) => true,
+            (a, b) => a == b,
+        }
+    }
+}
+
+/// A parsed tool signature, e.g. `search_keywords(query: str, k: int) ->
+/// list[str]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolSig {
+    /// Tool name.
+    pub name: String,
+    /// Parameters: name and annotated type (`Ty::Any` when unannotated).
+    pub params: Vec<(String, Ty)>,
+    /// Return type (`Ty::Any` when unannotated).
+    pub ret: Ty,
+}
+
+impl ToolSig {
+    /// Parses a Python-style signature line. Returns `None` when the text
+    /// does not look like `name(params...)` — callers should then fall
+    /// back to skipping checks for that tool.
+    pub fn parse(signature: &str) -> Option<ToolSig> {
+        let open = signature.find('(')?;
+        let close = signature.rfind(')')?;
+        if close < open {
+            return None;
+        }
+        let name = signature[..open].trim();
+        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return None;
+        }
+        let params_text = &signature[open + 1..close];
+        let mut params = Vec::new();
+        if !params_text.trim().is_empty() {
+            for part in split_params(params_text) {
+                let part = part.trim();
+                let (pname, ty) = match part.split_once(':') {
+                    Some((n, t)) => (n.trim(), parse_ty(t.trim())),
+                    None => (part, Ty::Any),
+                };
+                if pname.is_empty() {
+                    return None;
+                }
+                params.push((pname.to_string(), ty));
+            }
+        }
+        let ret = signature[close + 1..]
+            .trim()
+            .strip_prefix("->")
+            .map_or(Ty::Any, |r| parse_ty(r.trim()));
+        Some(ToolSig {
+            name: name.to_string(),
+            params,
+            ret,
+        })
+    }
+}
+
+/// Splits a parameter list on top-level commas (commas inside `[...]`
+/// annotations like `list[str]` do not split).
+fn split_params(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, ch) in text.char_indices() {
+        match ch {
+            '[' | '(' => depth += 1,
+            ']' | ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+fn parse_ty(text: &str) -> Ty {
+    let base = text.split('[').next().unwrap_or("").trim();
+    match base {
+        "int" => Ty::Int,
+        "float" => Ty::Float,
+        "str" => Ty::Str,
+        "bool" => Ty::Bool,
+        "None" | "none" => Ty::None,
+        "list" => Ty::List,
+        "dict" => Ty::Dict,
+        _ => Ty::Any,
+    }
+}
+
+/// The environment a program is checked against: registered tool
+/// signatures plus pre-bound globals (agent state carried between
+/// steps).
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    /// Tool signatures by name.
+    pub tools: HashMap<String, ToolSig>,
+    /// Pre-bound global variables and their types (use [`Ty::Any`] when
+    /// unknown).
+    pub globals: HashMap<String, Ty>,
+    /// Tools whose signature text failed to parse: calls resolve but are
+    /// not arity- or type-checked.
+    pub unchecked: HashSet<String>,
+}
+
+impl TypeEnv {
+    /// An empty environment.
+    pub fn new() -> TypeEnv {
+        TypeEnv::default()
+    }
+
+    /// Registers a tool from its signature text; lines that fail to
+    /// parse register an unchecked (arity-unknown) tool.
+    pub fn add_tool_signature(&mut self, name: &str, signature: &str) {
+        match ToolSig::parse(signature) {
+            Some(sig) => {
+                self.tools.insert(name.to_string(), sig);
+            }
+            None => {
+                // Unparseable signature: register with unknown params so
+                // calls resolve but are not arity-checked.
+                self.tools.insert(
+                    name.to_string(),
+                    ToolSig {
+                        name: name.to_string(),
+                        params: Vec::new(),
+                        ret: Ty::Any,
+                    },
+                );
+                self.unchecked.insert(name.to_string());
+            }
+        }
+    }
+
+    /// Marks a pre-bound global.
+    pub fn bind_global(&mut self, name: &str, ty: Ty) {
+        self.globals.insert(name.to_string(), ty);
+    }
+}
+
+/// One variable's flow fact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Binding {
+    ty: Ty,
+    /// Assigned on every path reaching here.
+    definite: bool,
+}
+
+/// Per-path variable state.
+#[derive(Debug, Clone, Default)]
+struct Flow {
+    vars: HashMap<String, Binding>,
+    /// False after `return`/`break`/`continue`: subsequent sibling
+    /// statements in the block are unreachable from this path.
+    live: bool,
+}
+
+impl Flow {
+    fn start() -> Flow {
+        Flow {
+            vars: HashMap::new(),
+            live: true,
+        }
+    }
+
+    fn assign(&mut self, name: &str, ty: Ty) {
+        self.vars
+            .insert(name.to_string(), Binding { ty, definite: true });
+    }
+
+    fn weaken(&mut self, name: &str, ty: Ty) {
+        self.vars
+            .entry(name.to_string())
+            .and_modify(|b| b.ty = b.ty.join(ty))
+            .or_insert(Binding {
+                ty,
+                definite: false,
+            });
+    }
+
+    /// Joins another branch's outcome into this one. A variable stays
+    /// definite only when definite on both paths; types join. Dead
+    /// branches contribute nothing.
+    fn join(&mut self, other: &Flow) {
+        if !other.live {
+            return;
+        }
+        if !self.live {
+            *self = other.clone();
+            return;
+        }
+        let mut merged = HashMap::new();
+        for (name, b) in &self.vars {
+            match other.vars.get(name) {
+                Some(ob) => {
+                    merged.insert(
+                        name.clone(),
+                        Binding {
+                            ty: b.ty.join(ob.ty),
+                            definite: b.definite && ob.definite,
+                        },
+                    );
+                }
+                None => {
+                    merged.insert(
+                        name.clone(),
+                        Binding {
+                            ty: b.ty,
+                            definite: false,
+                        },
+                    );
+                }
+            }
+        }
+        for (name, ob) in &other.vars {
+            merged.entry(name.clone()).or_insert(Binding {
+                ty: ob.ty,
+                definite: false,
+            });
+        }
+        self.vars = merged;
+    }
+}
+
+/// Typechecks a program against an environment, returning the first
+/// definite error (reported as [`ScriptError::Type`]).
+pub fn typecheck(program: &Program, env: &TypeEnv) -> Result<(), ScriptError> {
+    let mut assigned_anywhere = HashSet::new();
+    collect_assigned_names(&program.body, &mut assigned_anywhere);
+    let tc = Tc {
+        env,
+        assigned_anywhere,
+    };
+    let mut flow = Flow::start();
+    for (name, ty) in &env.globals {
+        flow.vars.insert(
+            name.clone(),
+            Binding {
+                ty: *ty,
+                definite: true,
+            },
+        );
+    }
+    tc.block(&program.body, &mut flow, None)?;
+    Ok(())
+}
+
+/// Every name any statement in the program can assign (including inside
+/// function bodies — their `def` runs against the same late-binding
+/// globals rules).
+fn collect_assigned_names(stmts: &[Stmt], out: &mut HashSet<String>) {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Assign(Target::Name(n), _) | StmtKind::AugAssign(Target::Name(n), _, _) => {
+                out.insert(n.clone());
+            }
+            StmtKind::Assign(_, _) | StmtKind::AugAssign(_, _, _) => {}
+            StmtKind::If(arms, else_body) => {
+                for (_, body) in arms {
+                    collect_assigned_names(body, out);
+                }
+                if let Some(body) = else_body {
+                    collect_assigned_names(body, out);
+                }
+            }
+            StmtKind::While(_, body) => collect_assigned_names(body, out),
+            StmtKind::For(vars, _, body) => {
+                for v in vars {
+                    out.insert(v.clone());
+                }
+                collect_assigned_names(body, out);
+            }
+            StmtKind::Def(name, params, body) => {
+                out.insert(name.clone());
+                for p in params {
+                    out.insert(p.clone());
+                }
+                collect_assigned_names(body, out);
+            }
+            _ => {}
+        }
+    }
+    for s in stmts {
+        comp_var_names(s, out);
+    }
+}
+
+fn comp_var_names(stmt: &Stmt, out: &mut HashSet<String>) {
+    fn walk(e: &Expr, out: &mut HashSet<String>) {
+        match &e.kind {
+            ExprKind::ListComp {
+                element,
+                vars,
+                iterable,
+                condition,
+            } => {
+                for v in vars {
+                    out.insert(v.clone());
+                }
+                walk(element, out);
+                walk(iterable, out);
+                if let Some(c) = condition {
+                    walk(c, out);
+                }
+            }
+            ExprKind::Binary(_, a, b) | ExprKind::Index(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            ExprKind::Unary(_, a) => walk(a, out),
+            ExprKind::Call(f, args) => {
+                walk(f, out);
+                for a in args {
+                    walk(a, out);
+                }
+            }
+            ExprKind::MethodCall(o, _, args) => {
+                walk(o, out);
+                for a in args {
+                    walk(a, out);
+                }
+            }
+            ExprKind::Slice(o, lo, hi) => {
+                walk(o, out);
+                if let Some(b) = lo {
+                    walk(b, out);
+                }
+                if let Some(b) = hi {
+                    walk(b, out);
+                }
+            }
+            ExprKind::List(items) => {
+                for i in items {
+                    walk(i, out);
+                }
+            }
+            ExprKind::Dict(pairs) => {
+                for (k, v) in pairs {
+                    walk(k, out);
+                    walk(v, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    match &stmt.kind {
+        StmtKind::Expr(e) | StmtKind::Return(Some(e)) | StmtKind::While(e, _) => walk(e, out),
+        StmtKind::Assign(t, e) | StmtKind::AugAssign(t, _, e) => {
+            if let Target::Index(o, k) = t {
+                walk(o, out);
+                walk(k, out);
+            }
+            walk(e, out);
+        }
+        StmtKind::If(arms, _) => {
+            for (c, _) in arms {
+                walk(c, out);
+            }
+        }
+        StmtKind::For(_, e, _) => walk(e, out),
+        _ => {}
+    }
+}
+
+struct Tc<'a> {
+    env: &'a TypeEnv,
+    /// Names assigned anywhere in the program (late-binding fallback for
+    /// function bodies and forward references the flow pass must not
+    /// flag as unknown — only as unassigned when used at top level
+    /// before any possible assignment).
+    assigned_anywhere: HashSet<String>,
+}
+
+/// Context for checking inside a function body: its local names.
+struct FnCtx {
+    locals: HashSet<String>,
+}
+
+impl<'a> Tc<'a> {
+    fn err(&self, line: usize, message: String) -> ScriptError {
+        ScriptError::Type { line, message }
+    }
+
+    fn block(
+        &self,
+        body: &[Stmt],
+        flow: &mut Flow,
+        fctx: Option<&FnCtx>,
+    ) -> Result<(), ScriptError> {
+        for stmt in body {
+            if !flow.live {
+                // Unreachable code: still check it against a fresh copy
+                // of the facts so obvious errors surface, but do not let
+                // its assignments revive the path.
+                let mut dead = flow.clone();
+                dead.live = true;
+                self.stmt(stmt, &mut dead, fctx)?;
+                continue;
+            }
+            self.stmt(stmt, flow, fctx)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&self, stmt: &Stmt, flow: &mut Flow, fctx: Option<&FnCtx>) -> Result<(), ScriptError> {
+        let line = stmt.line;
+        match &stmt.kind {
+            StmtKind::Expr(e) => {
+                self.expr(e, flow, fctx)?;
+            }
+            StmtKind::Assign(Target::Name(name), value) => {
+                let ty = self.expr(value, flow, fctx)?;
+                flow.assign(name, ty);
+            }
+            StmtKind::Assign(Target::Index(obj, key), value) => {
+                let vt = self.expr(value, flow, fctx)?;
+                let ot = self.expr(obj, flow, fctx)?;
+                let kt = self.expr(key, flow, fctx)?;
+                let _ = vt;
+                self.check_index_store(ot, kt, line)?;
+            }
+            StmtKind::AugAssign(Target::Name(name), op, value) => {
+                let rhs = self.expr(value, flow, fctx)?;
+                let cur = self.use_name(name, line, flow, fctx)?;
+                let ty = self.check_binary(*op, cur, rhs, line)?;
+                flow.assign(name, ty);
+            }
+            StmtKind::AugAssign(Target::Index(obj, key), op, value) => {
+                let rhs = self.expr(value, flow, fctx)?;
+                let ot = self.expr(obj, flow, fctx)?;
+                let kt = self.expr(key, flow, fctx)?;
+                self.check_index_store(ot, kt, line)?;
+                self.check_binary(*op, Ty::Any, rhs, line)?;
+            }
+            StmtKind::If(arms, else_body) => {
+                let mut joined: Option<Flow> = None;
+                for (cond, body) in arms {
+                    self.expr(cond, flow, fctx)?;
+                    let mut arm = flow.clone();
+                    self.block(body, &mut arm, fctx)?;
+                    match &mut joined {
+                        Some(j) => j.join(&arm),
+                        None => joined = Some(arm),
+                    }
+                }
+                let mut else_flow = flow.clone();
+                if let Some(body) = else_body {
+                    self.block(body, &mut else_flow, fctx)?;
+                }
+                let mut joined = joined.expect("if has at least one arm");
+                joined.join(&else_flow);
+                *flow = joined;
+            }
+            StmtKind::While(cond, body) => {
+                // Loop-carried names: visible inside and after the body
+                // as possibly-unassigned.
+                let mut carried = HashSet::new();
+                collect_assigned_names(std::slice::from_ref(stmt), &mut carried);
+                for name in &carried {
+                    flow.weaken(name, Ty::Any);
+                }
+                self.expr(cond, flow, fctx)?;
+                let mut body_flow = flow.clone();
+                self.block(body, &mut body_flow, fctx)?;
+                flow.join(&body_flow);
+                flow.live = true;
+            }
+            StmtKind::For(vars, iterable, body) => {
+                let it = self.expr(iterable, flow, fctx)?;
+                if !matches!(it, Ty::Any | Ty::List | Ty::Str | Ty::Dict) {
+                    return Err(self.err(line, format!("{} is not iterable", it.name())));
+                }
+                let mut carried = HashSet::new();
+                collect_assigned_names(std::slice::from_ref(stmt), &mut carried);
+                for name in &carried {
+                    flow.weaken(name, Ty::Any);
+                }
+                let mut body_flow = flow.clone();
+                let elem = if it == Ty::Str || it == Ty::Dict {
+                    Ty::Str
+                } else {
+                    Ty::Any
+                };
+                if vars.len() == 1 {
+                    body_flow.assign(&vars[0], elem);
+                } else {
+                    for v in vars {
+                        body_flow.assign(v, Ty::Any);
+                    }
+                }
+                self.block(body, &mut body_flow, fctx)?;
+                flow.join(&body_flow);
+                flow.live = true;
+            }
+            StmtKind::Def(name, params, body) => {
+                let mut locals: HashSet<String> = params.iter().cloned().collect();
+                let mut body_assigned = HashSet::new();
+                collect_local_assigned(body, &mut body_assigned);
+                locals.extend(body_assigned);
+                let ctx = FnCtx { locals };
+                let mut fn_flow = Flow::start();
+                for p in params {
+                    fn_flow.assign(p, Ty::Any);
+                }
+                self.block(body, &mut fn_flow, Some(&ctx))?;
+                flow.assign(name, Ty::Func);
+            }
+            StmtKind::Return(value) => {
+                if let Some(e) = value {
+                    self.expr(e, flow, fctx)?;
+                }
+                flow.live = false;
+            }
+            StmtKind::Break | StmtKind::Continue => {
+                flow.live = false;
+            }
+            StmtKind::Pass => {}
+        }
+        Ok(())
+    }
+
+    /// Resolves a name use, enforcing use-before-assign at the top level
+    /// and the late-binding rules inside functions.
+    fn use_name(
+        &self,
+        name: &str,
+        line: usize,
+        flow: &Flow,
+        fctx: Option<&FnCtx>,
+    ) -> Result<Ty, ScriptError> {
+        if let Some(b) = flow.vars.get(name) {
+            return Ok(b.ty);
+        }
+        if let Some(ctx) = fctx {
+            // Inside a function an unseen name may still resolve at call
+            // time: a global assigned before the call, a tool, or a
+            // builtin. Only names that are locals of this function (and
+            // thus shadow everything) are definitely unassigned here.
+            if ctx.locals.contains(name) {
+                return Err(self.err(
+                    line,
+                    format!("local variable '{name}' used before assignment"),
+                ));
+            }
+            if self.known_global(name) {
+                return Ok(Ty::Any);
+            }
+            return Err(self.err(line, format!("name '{name}' is not defined")));
+        }
+        if self.env.tools.contains_key(name) || BUILTINS.contains(&name) {
+            // Reading a tool/builtin as a value is not something the
+            // interpreter supports (they are not first-class), but the
+            // structural checker owns that diagnostic.
+            return Ok(Ty::Any);
+        }
+        if self.assigned_anywhere.contains(name) {
+            return Err(self.err(line, format!("variable '{name}' used before assignment")));
+        }
+        Err(self.err(line, format!("name '{name}' is not defined")))
+    }
+
+    fn known_global(&self, name: &str) -> bool {
+        self.assigned_anywhere.contains(name)
+            || self.env.globals.contains_key(name)
+            || self.env.tools.contains_key(name)
+            || BUILTINS.contains(&name)
+    }
+
+    fn expr(&self, e: &Expr, flow: &mut Flow, fctx: Option<&FnCtx>) -> Result<Ty, ScriptError> {
+        let line = e.line;
+        let ty = match &e.kind {
+            ExprKind::Int(_) => Ty::Int,
+            ExprKind::Float(_) => Ty::Float,
+            ExprKind::Str(_) => Ty::Str,
+            ExprKind::Bool(_) => Ty::Bool,
+            ExprKind::None => Ty::None,
+            ExprKind::Name(name) => self.use_name(name, line, flow, fctx)?,
+            ExprKind::List(items) => {
+                for item in items {
+                    self.expr(item, flow, fctx)?;
+                }
+                Ty::List
+            }
+            ExprKind::Dict(pairs) => {
+                for (k, v) in pairs {
+                    let kt = self.expr(k, flow, fctx)?;
+                    if !kt.satisfies(Ty::Str) {
+                        return Err(self.err(line, "dict keys must be strings".into()));
+                    }
+                    self.expr(v, flow, fctx)?;
+                }
+                Ty::Dict
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let lt = self.expr(lhs, flow, fctx)?;
+                let rt = self.expr(rhs, flow, fctx)?;
+                self.check_binary(*op, lt, rt, line)?
+            }
+            ExprKind::Unary(UnaryOp::Neg, operand) => {
+                let t = self.expr(operand, flow, fctx)?;
+                if !t.is_num() {
+                    return Err(self.err(line, format!("cannot negate {}", t.name())));
+                }
+                t
+            }
+            ExprKind::Unary(UnaryOp::Not, operand) => {
+                self.expr(operand, flow, fctx)?;
+                Ty::Bool
+            }
+            ExprKind::Call(callee, args) => {
+                let mut arg_tys = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_tys.push(self.expr(a, flow, fctx)?);
+                }
+                self.check_call(callee, &arg_tys, line, flow, fctx)?
+            }
+            ExprKind::MethodCall(obj, _method, args) => {
+                let ot = self.expr(obj, flow, fctx)?;
+                for a in args {
+                    self.expr(a, flow, fctx)?;
+                }
+                if matches!(ot, Ty::Int | Ty::Float | Ty::Bool | Ty::None | Ty::Func) {
+                    return Err(self.err(line, format!("{} has no methods", ot.name())));
+                }
+                Ty::Any
+            }
+            ExprKind::Index(obj, key) => {
+                let ot = self.expr(obj, flow, fctx)?;
+                let kt = self.expr(key, flow, fctx)?;
+                match ot {
+                    Ty::List | Ty::Str => {
+                        if !kt.satisfies(Ty::Int) || kt == Ty::Float {
+                            return Err(self.err(
+                                line,
+                                format!("list indices must be ints, not {}", kt.name()),
+                            ));
+                        }
+                        if ot == Ty::Str {
+                            Ty::Str
+                        } else {
+                            Ty::Any
+                        }
+                    }
+                    Ty::Dict => {
+                        if !kt.satisfies(Ty::Str) {
+                            return Err(self.err(line, "dict keys must be strings".into()));
+                        }
+                        Ty::Any
+                    }
+                    Ty::Any => Ty::Any,
+                    other => {
+                        return Err(self.err(line, format!("{} is not subscriptable", other.name())))
+                    }
+                }
+            }
+            ExprKind::ListComp {
+                element,
+                vars,
+                iterable,
+                condition,
+            } => {
+                let it = self.expr(iterable, flow, fctx)?;
+                if !matches!(it, Ty::Any | Ty::List | Ty::Str | Ty::Dict) {
+                    return Err(self.err(line, format!("{} is not iterable", it.name())));
+                }
+                let elem = if it == Ty::Str || it == Ty::Dict {
+                    Ty::Str
+                } else {
+                    Ty::Any
+                };
+                if vars.len() == 1 {
+                    flow.assign(&vars[0], elem);
+                } else {
+                    for v in vars {
+                        flow.assign(v, Ty::Any);
+                    }
+                }
+                if let Some(cond) = condition {
+                    self.expr(cond, flow, fctx)?;
+                }
+                self.expr(element, flow, fctx)?;
+                // Comprehension vars leak into the enclosing scope but
+                // only run when the iterable is non-empty.
+                for v in vars {
+                    flow.weaken(v, Ty::Any);
+                }
+                Ty::List
+            }
+            ExprKind::Slice(obj, lo, hi) => {
+                let ot = self.expr(obj, flow, fctx)?;
+                for bound in [lo, hi].into_iter().flatten() {
+                    let bt = self.expr(bound, flow, fctx)?;
+                    if !bt.satisfies(Ty::Int) || bt == Ty::Float {
+                        return Err(self.err(line, "slice bounds must be ints".into()));
+                    }
+                }
+                match ot {
+                    Ty::List => Ty::List,
+                    Ty::Str => Ty::Str,
+                    Ty::Any => Ty::Any,
+                    other => {
+                        return Err(self.err(line, format!("{} cannot be sliced", other.name())))
+                    }
+                }
+            }
+        };
+        Ok(ty)
+    }
+
+    /// Checks a call expression. Tool and builtin calls resolve only when
+    /// the name cannot be shadowed by any assignment in the program (the
+    /// interpreter resolves shadowing dynamically; a name assigned
+    /// *anywhere* might shadow by call time, so such calls are left to
+    /// runtime).
+    fn check_call(
+        &self,
+        callee: &Expr,
+        args: &[Ty],
+        line: usize,
+        flow: &mut Flow,
+        fctx: Option<&FnCtx>,
+    ) -> Result<Ty, ScriptError> {
+        if let ExprKind::Name(name) = &callee.kind {
+            let shadowable =
+                self.assigned_anywhere.contains(name) || self.env.globals.contains_key(name);
+            if !shadowable {
+                if let Some(sig) = self.env.tools.get(name) {
+                    if !self.env.unchecked.contains(name) {
+                        if sig.params.len() != args.len() {
+                            return Err(self.err(
+                                line,
+                                format!(
+                                    "{}() takes {} argument{} but {} {} given",
+                                    name,
+                                    sig.params.len(),
+                                    if sig.params.len() == 1 { "" } else { "s" },
+                                    args.len(),
+                                    if args.len() == 1 { "was" } else { "were" },
+                                ),
+                            ));
+                        }
+                        for ((pname, pty), aty) in sig.params.iter().zip(args) {
+                            if !aty.satisfies(*pty) {
+                                return Err(self.err(
+                                    line,
+                                    format!(
+                                        "{}() argument '{}' expects {}, got {}",
+                                        name,
+                                        pname,
+                                        pty.name(),
+                                        aty.name()
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    return Ok(sig.ret);
+                }
+                if BUILTINS.contains(&name.as_str()) {
+                    return Ok(builtin_ret(name));
+                }
+            }
+            // A (possibly shadowed) variable callee: ensure it resolves.
+            let ty = self.use_name(name, callee.line, flow, fctx)?;
+            if matches!(
+                ty,
+                Ty::Int | Ty::Float | Ty::Str | Ty::Bool | Ty::None | Ty::List | Ty::Dict
+            ) {
+                return Err(self.err(line, format!("{} is not callable", ty.name())));
+            }
+            return Ok(Ty::Any);
+        }
+        let ty = self.expr(callee, flow, fctx)?;
+        if matches!(
+            ty,
+            Ty::Int | Ty::Float | Ty::Str | Ty::Bool | Ty::None | Ty::List | Ty::Dict
+        ) {
+            return Err(self.err(line, format!("{} is not callable", ty.name())));
+        }
+        Ok(Ty::Any)
+    }
+
+    /// Checks a binary operation, mirroring the interpreter's `binary`
+    /// kernel: an error is reported only for operand-type combinations
+    /// the interpreter always rejects.
+    fn check_binary(&self, op: BinOp, l: Ty, r: Ty, line: usize) -> Result<Ty, ScriptError> {
+        use Ty::*;
+        let err = |m: String| Err::<Ty, _>(self.err(line, m));
+        match op {
+            BinOp::Add => match (l, r) {
+                (Any, _) | (_, Any) => Ok(Any),
+                (Int, Int) => Ok(Int),
+                (Str, Str) => Ok(Str),
+                (List, List) => Ok(List),
+                (Int | Float, Int | Float) => Ok(Float),
+                _ => err(format!("cannot add {} and {}", l.name(), r.name())),
+            },
+            BinOp::Sub => match (l, r) {
+                (Any, _) | (_, Any) => Ok(Any),
+                (Int, Int) => Ok(Int),
+                (Int | Float, Int | Float) => Ok(Float),
+                _ => err(format!(
+                    "unsupported operand types: {} and {}",
+                    l.name(),
+                    r.name()
+                )),
+            },
+            BinOp::Mul => match (l, r) {
+                (Any, _) | (_, Any) => Ok(Any),
+                (Int, Int) => Ok(Int),
+                (Str, Int) | (Int, Str) => Ok(Str),
+                (Int | Float, Int | Float) => Ok(Float),
+                _ => err(format!(
+                    "unsupported operand types: {} and {}",
+                    l.name(),
+                    r.name()
+                )),
+            },
+            BinOp::Div => match (l, r) {
+                (Any, _) | (_, Any) => Ok(Any),
+                (Int | Float, Int | Float) => Ok(Float),
+                _ => err(format!("cannot divide {} by {}", l.name(), r.name())),
+            },
+            BinOp::FloorDiv => match (l, r) {
+                (Any, _) | (_, Any) => Ok(Any),
+                (Int, Int) => Ok(Int),
+                (Int | Float, Int | Float) => Ok(Float),
+                _ => err("'//' needs numbers".into()),
+            },
+            BinOp::Mod => match (l, r) {
+                (Any, _) | (_, Any) => Ok(Any),
+                (Int, Int) => Ok(Int),
+                _ => err("'%' needs ints".into()),
+            },
+            BinOp::Eq | BinOp::NotEq => Ok(Bool),
+            BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                let comparable = matches!(
+                    (l, r),
+                    (Any, _) | (_, Any) | (Int | Float, Int | Float) | (Str, Str)
+                );
+                if comparable {
+                    Ok(Bool)
+                } else {
+                    err(format!("cannot compare {} and {}", l.name(), r.name()))
+                }
+            }
+            BinOp::In | BinOp::NotIn => {
+                let supported = matches!(r, Any | Str | List | Dict);
+                if !supported {
+                    return err(format!(
+                        "'in' not supported between {} and {}",
+                        l.name(),
+                        r.name()
+                    ));
+                }
+                Ok(Bool)
+            }
+            // Short-circuit operators accept anything and yield one of
+            // their operands.
+            BinOp::And | BinOp::Or => Ok(l.join(r)),
+        }
+    }
+
+    fn check_index_store(&self, obj: Ty, key: Ty, line: usize) -> Result<(), ScriptError> {
+        match obj {
+            Ty::Any | Ty::List | Ty::Dict => {
+                if obj == Ty::Dict && !key.satisfies(Ty::Str) {
+                    return Err(self.err(
+                        line,
+                        format!("cannot assign into dict with {} key", key.name()),
+                    ));
+                }
+                if obj == Ty::List && (!key.satisfies(Ty::Int) || key == Ty::Float) {
+                    return Err(self.err(
+                        line,
+                        format!("cannot assign into list with {} key", key.name()),
+                    ));
+                }
+                Ok(())
+            }
+            other => Err(self.err(
+                line,
+                format!(
+                    "cannot assign into {} with {} key",
+                    other.name(),
+                    key.name()
+                ),
+            )),
+        }
+    }
+}
+
+/// Return types for builtins (conservative; only the always-certain
+/// ones).
+fn builtin_ret(name: &str) -> Ty {
+    match name {
+        "len" | "int" | "abs" | "sum" => Ty::Any,
+        "str" => Ty::Str,
+        "float" => Ty::Float,
+        "bool" => Ty::Bool,
+        "range" | "sorted" | "enumerate" => Ty::List,
+        "print" => Ty::None,
+        _ => Ty::Any,
+    }
+}
+
+/// Collects names assigned by statements in a function body (its frame
+/// locals), without descending into nested `def` bodies.
+fn collect_local_assigned(stmts: &[Stmt], out: &mut HashSet<String>) {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Assign(Target::Name(n), _) | StmtKind::AugAssign(Target::Name(n), _, _) => {
+                out.insert(n.clone());
+            }
+            StmtKind::If(arms, else_body) => {
+                for (_, body) in arms {
+                    collect_local_assigned(body, out);
+                }
+                if let Some(body) = else_body {
+                    collect_local_assigned(body, out);
+                }
+            }
+            StmtKind::While(_, body) => collect_local_assigned(body, out),
+            StmtKind::For(vars, _, body) => {
+                for v in vars {
+                    out.insert(v.clone());
+                }
+                collect_local_assigned(body, out);
+            }
+            StmtKind::Def(name, _, _) => {
+                out.insert(name.clone());
+            }
+            _ => {}
+        }
+    }
+    for s in stmts {
+        comp_var_names(s, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn env() -> TypeEnv {
+        let mut env = TypeEnv::new();
+        env.add_tool_signature("read_file", "read_file(name: str) -> str");
+        env.add_tool_signature("list_files", "list_files() -> list[str]");
+        env.add_tool_signature(
+            "search_keywords",
+            "search_keywords(query: str, k: int) -> list[str]",
+        );
+        env.add_tool_signature("final_answer", "final_answer(answer) -> None");
+        env
+    }
+
+    fn check(src: &str) -> Result<(), ScriptError> {
+        typecheck(&parse(src).expect("parses"), &env())
+    }
+
+    fn check_err(src: &str) -> String {
+        check(src).expect_err("should be ill-typed").to_string()
+    }
+
+    #[test]
+    fn accepts_well_typed_programs() {
+        check("files = list_files()\nfor f in files:\n    text = read_file(f)\n    print(text)")
+            .unwrap();
+        check("x = 1\nif x > 0:\n    y = 'pos'\nelse:\n    y = 'neg'\nprint(y)").unwrap();
+        check("total = 0\nfor n in range(10):\n    total += n\ntotal").unwrap();
+        check("def rate(name):\n    text = read_file(name)\n    return len(text)\nrate('a.txt')")
+            .unwrap();
+    }
+
+    #[test]
+    fn rejects_use_before_assign() {
+        let msg = check_err("print(x)\nx = 1");
+        assert!(msg.contains("used before assignment"), "{msg}");
+        assert!(check("x = 1\nprint(x)").is_ok());
+    }
+
+    #[test]
+    fn rejects_undefined_names() {
+        let msg = check_err("print(nope)");
+        assert!(msg.contains("not defined"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_tool_arity_errors() {
+        let msg = check_err("read_file('a.txt', 'extra')");
+        assert!(msg.contains("takes 1 argument"), "{msg}");
+        let msg = check_err("list_files('oops')");
+        assert!(msg.contains("takes 0 arguments"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_tool_argument_type_errors() {
+        let msg = check_err("read_file(42)");
+        assert!(msg.contains("expects str, got int"), "{msg}");
+        let msg = check_err("search_keywords('q', 'not-an-int')");
+        assert!(msg.contains("expects int, got str"), "{msg}");
+    }
+
+    #[test]
+    fn tool_calls_shadowed_by_assignment_are_skipped() {
+        // `read_file` is reassigned somewhere, so the call cannot be
+        // statically bound to the tool.
+        check("read_file = 1\nx = 2").unwrap();
+    }
+
+    #[test]
+    fn rejects_definite_operator_misuse() {
+        let msg = check_err("x = 'a' + 1");
+        assert!(msg.contains("cannot add str and int"), "{msg}");
+        let msg = check_err("x = {} - 1");
+        assert!(msg.contains("unsupported operand types"), "{msg}");
+        let msg = check_err("x = 'a' % 2");
+        assert!(msg.contains("'%' needs ints"), "{msg}");
+    }
+
+    #[test]
+    fn branch_join_collapses_types() {
+        // int in one arm, str in the other: join is Any, so later use
+        // with either type passes.
+        check("if 1 > 0:\n    v = 1\nelse:\n    v = 'x'\nw = v").unwrap();
+        // Both arms int: later arithmetic stays checked.
+        let msg = check_err("if 1 > 0:\n    v = 1\nelse:\n    v = 2\nx = 'a' + v");
+        assert!(msg.contains("cannot add"), "{msg}");
+    }
+
+    #[test]
+    fn loop_carried_variables_allowed() {
+        check("total = 0\nwhile total < 5:\n    total += 1\nprint(total)").unwrap();
+        check("for f in list_files():\n    last = f\n").unwrap();
+    }
+
+    #[test]
+    fn function_locals_checked_for_use_before_assign() {
+        let msg = check_err("def f(n):\n    m = q\n    q = n\n    return m\nf(1)");
+        assert!(msg.contains("'q' used before assignment"), "{msg}");
+    }
+
+    #[test]
+    fn late_bound_globals_allowed_in_functions() {
+        // `helper` is defined after `f` but before the call: legal.
+        check("def f(n):\n    return helper(n)\ndef helper(n):\n    return n + 1\nf(1)").unwrap();
+    }
+
+    #[test]
+    fn rejects_calling_non_callables() {
+        let msg = check_err("x = 3\nx()");
+        assert!(msg.contains("not callable"), "{msg}");
+    }
+
+    #[test]
+    fn signature_parsing() {
+        let sig = ToolSig::parse("search_keywords(query: str, k: int) -> list[str]").unwrap();
+        assert_eq!(sig.params.len(), 2);
+        assert_eq!(sig.params[0], ("query".to_string(), Ty::Str));
+        assert_eq!(sig.params[1], ("k".to_string(), Ty::Int));
+        assert_eq!(sig.ret, Ty::List);
+        let sig = ToolSig::parse("final_answer(answer) -> None").unwrap();
+        assert_eq!(sig.params, vec![("answer".to_string(), Ty::Any)]);
+        assert_eq!(sig.ret, Ty::None);
+        assert!(ToolSig::parse("not a signature").is_none());
+    }
+}

@@ -1,0 +1,873 @@
+//! Register VM executing [`crate::bytecode`] chunks.
+//!
+//! The VM deliberately *shares* the interpreter's state and semantic
+//! kernels — globals, host functions, fuel counter, recursion depth,
+//! print capture, plus `binary`/`index`/`slice`/`call_builtin`/
+//! `call_method`/`iter_value` — so a compiled program and a tree-walked
+//! program cannot disagree on operator semantics, tool dispatch, or
+//! budget accounting. What the VM replaces is only the *traversal*:
+//! instead of recursing over `Expr`/`Stmt` nodes with a `HashMap` frame
+//! per call, it runs a flat instruction loop over a contiguous register
+//! file with slot-addressed locals and an explicit call stack.
+//!
+//! Parity contract (enforced by `tests/differential.rs`): for every
+//! program, [`Interpreter::run`] and [`Interpreter::run_compiled`]
+//! produce the same value (or the same error `Display`), the same
+//! host-function call sequence, the same captured `print` output, and
+//! the same [`Interpreter::fuel_remaining`].
+
+use crate::ast::BinOp;
+use crate::bytecode::{CompiledProgram, Const, Insn, NO_REG};
+use crate::error::ScriptError;
+use crate::interp::{Interpreter, MAX_DEPTH};
+use crate::value::{ScriptValue, UserFn};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// One activation record. Registers live in a shared file at
+/// `reg_base..reg_base + chunk.nregs`; locals live in a shared
+/// slot-addressed pool at `locals_base..` (`None` = not yet assigned in
+/// this frame, falling through to globals, exactly like the
+/// interpreter's absent `HashMap` key). Both pools are plain `Vec`s
+/// truncated on return, so a call allocates nothing once the pools have
+/// grown to the program's peak depth.
+struct Frame {
+    func: usize,
+    pc: usize,
+    reg_base: usize,
+    ret_dst: usize,
+    iter_base: usize,
+    locals_base: usize,
+}
+
+/// `usize::MAX` marks the main frame (no `funcs` entry, no caller).
+const MAIN: usize = usize::MAX;
+
+impl Interpreter {
+    /// Executes a compiled program against this interpreter's globals,
+    /// host functions, and fuel budget — the compiled counterpart of
+    /// [`Interpreter::run`]: the fuel budget is refreshed, globals
+    /// persist, and the result is the final top-level expression
+    /// statement's value (or an early top-level `return`).
+    pub fn run_compiled(&mut self, program: &CompiledProgram) -> Result<ScriptValue, ScriptError> {
+        self.fuel = self.fuel_limit;
+        let entry_depth = self.depth;
+        let result = execute(self, program);
+        // Errors unwind the whole VM stack at once; restore the depth the
+        // interpreter would have restored frame-by-frame.
+        if result.is_err() {
+            self.depth = entry_depth;
+        }
+        result
+    }
+}
+
+fn const_value(c: &Const) -> ScriptValue {
+    match c {
+        Const::Int(v) => ScriptValue::Int(*v),
+        Const::Float(v) => ScriptValue::Float(*v),
+        Const::Str(s) => ScriptValue::str(s.clone()),
+        Const::Bool(b) => ScriptValue::Bool(*b),
+        Const::None => ScriptValue::None,
+    }
+}
+
+/// VM execution state: the register file, iterator stack, call stack,
+/// and the identity map of functions materialized by this run.
+struct Vm<'p> {
+    program: &'p CompiledProgram,
+    regs: Vec<ScriptValue>,
+    locals: Vec<Option<ScriptValue>>,
+    iters: Vec<(Vec<ScriptValue>, usize)>,
+    frames: Vec<Frame>,
+    /// Cached copies of the top frame's `reg_base`/`locals_base`, so the
+    /// per-access hot path is a single add instead of `frames.last()`.
+    base: usize,
+    lbase: usize,
+    /// Functions materialized by this execution, keyed by allocation
+    /// identity: calls to them run their compiled chunk; any other
+    /// `Func` value (defined by a previous `run`/`run_compiled` on this
+    /// interpreter) falls back to the tree-walker, which is
+    /// semantics-identical. A linear scan: programs hold a handful of
+    /// functions, and a probe beats hashing a pointer at call density.
+    known_fns: Vec<(*const UserFn, usize)>,
+    /// Slot-addressed sidecar for the globals this program references,
+    /// indexed by name id. Loaded from `interp.globals` on entry,
+    /// written back on every exit path, and flushed before any escape
+    /// into the tree-walker (`call_value`), which late-binds globals by
+    /// name. Nothing else can write globals mid-execution — function
+    /// bodies bind into their local frame — so between flushes the
+    /// sidecar is the single source of truth, and the hot loop does an
+    /// index instead of a string hash per access.
+    globals: Vec<Option<ScriptValue>>,
+    last: ScriptValue,
+}
+
+fn execute(
+    interp: &mut Interpreter,
+    program: &CompiledProgram,
+) -> Result<ScriptValue, ScriptError> {
+    let mut vm = Vm {
+        program,
+        regs: vec![ScriptValue::None; program.main.nregs as usize],
+        locals: Vec::new(),
+        iters: Vec::new(),
+        frames: vec![Frame {
+            func: MAIN,
+            pc: 0,
+            reg_base: 0,
+            ret_dst: 0,
+            iter_base: 0,
+            locals_base: 0,
+        }],
+        base: 0,
+        lbase: 0,
+        known_fns: Vec::new(),
+        globals: program
+            .names
+            .iter()
+            .map(|n| interp.globals.get(n).cloned())
+            .collect(),
+        last: ScriptValue::None,
+    };
+    // Assignments made before an error must persist (the tree-walker
+    // writes through on every statement), so flush on both exit paths.
+    let result = vm.run(interp);
+    vm.flush_globals(interp);
+    result
+}
+
+impl<'p> Vm<'p> {
+    /// The dispatch loop. `pc` lives in a local and the current chunk is
+    /// re-resolved only when the frame changes (call, return), so the
+    /// per-instruction path is fetch → one match — no `frames.last()`
+    /// chase, no second routing match for flow control. Jumps and
+    /// `IterNext` are inlined here because they are the only
+    /// instructions that write the pc.
+    fn run(&mut self, interp: &mut Interpreter) -> Result<ScriptValue, ScriptError> {
+        let program = self.program;
+        let mut func = MAIN;
+        let mut pc = 0usize;
+        'frame: loop {
+            let code: &[Insn] = if func == MAIN {
+                &program.main.code
+            } else {
+                &program.funcs[func].chunk.code
+            };
+            loop {
+                let Some(&insn) = code.get(pc) else {
+                    // Defensive: well-formed chunks always end in Ret/Halt.
+                    return Ok(self.last.clone());
+                };
+                pc += 1;
+                match insn {
+                    Insn::Jump { to } => pc = to as usize,
+                    Insn::JumpFalse { src, to } => {
+                        if !self.regs[self.r(src)].truthy() {
+                            pc = to as usize;
+                        }
+                    }
+                    Insn::JumpTrue { src, to } => {
+                        if self.regs[self.r(src)].truthy() {
+                            pc = to as usize;
+                        }
+                    }
+                    Insn::IterNext { dst, done } => {
+                        let (items, pos) = self.iters.last_mut().expect("IterNew pushed");
+                        if *pos < items.len() {
+                            let item = items[*pos].clone();
+                            *pos += 1;
+                            self.set(dst, item);
+                        } else {
+                            self.iters.pop();
+                            pc = done as usize;
+                        }
+                    }
+                    Insn::Ret { src } => {
+                        let value = if src == NO_REG {
+                            ScriptValue::None
+                        } else {
+                            self.regs[self.r(src)].clone()
+                        };
+                        match self.pop_frame(interp, value) {
+                            Some(result) => return Ok(result),
+                            None => {
+                                let top = self.frames.last().expect("caller frame");
+                                func = top.func;
+                                pc = top.pc;
+                                continue 'frame;
+                            }
+                        }
+                    }
+                    Insn::Halt => return Ok(self.last.clone()),
+                    Insn::IterNew { .. }
+                    | Insn::IterPop
+                    | Insn::Bind { .. }
+                    | Insn::LoopMisuse { .. } => self.step_flow(interp, insn)?,
+                    Insn::CallName { .. } | Insn::CallValue { .. } => {
+                        // Persist the resume point: the callee's `Ret`
+                        // (and any nested push) reads it from the frame.
+                        self.frames.last_mut().expect("frame").pc = pc;
+                        let depth = self.frames.len();
+                        self.step_call(interp, insn)?;
+                        if self.frames.len() > depth {
+                            func = self.frames.last().expect("frame").func;
+                            pc = 0;
+                            continue 'frame;
+                        }
+                    }
+                    other => self.step_data(interp, other)?,
+                }
+            }
+        }
+    }
+
+    /// Unwinds one frame with `value` as its result. Returns the final
+    /// program value when the popped frame is main, `None` otherwise.
+    fn pop_frame(&mut self, interp: &mut Interpreter, value: ScriptValue) -> Option<ScriptValue> {
+        let done = self.frames.pop().expect("frame");
+        self.iters.truncate(done.iter_base);
+        if done.func == MAIN {
+            return Some(value);
+        }
+        interp.depth -= 1;
+        self.regs.truncate(done.reg_base);
+        self.locals.truncate(done.locals_base);
+        let top = self.frames.last().expect("caller frame");
+        self.base = top.reg_base;
+        self.lbase = top.locals_base;
+        self.regs[done.ret_dst] = value;
+        None
+    }
+
+    /// Writes every live sidecar entry back into the interpreter's
+    /// globals map, reusing existing keys.
+    fn flush_globals(&self, interp: &mut Interpreter) {
+        for (idx, slot) in self.globals.iter().enumerate() {
+            if let Some(v) = slot {
+                let name = &self.program.names[idx];
+                match interp.globals.get_mut(name) {
+                    Some(g) => g.clone_from(v),
+                    None => {
+                        interp.globals.insert(name.clone(), v.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Absolute register index of `i` in the current frame's window.
+    fn r(&self, i: u16) -> usize {
+        self.base + i as usize
+    }
+
+    /// The current frame's local slot, if addressed and assigned.
+    fn local(&self, slot: u16) -> Option<ScriptValue> {
+        if slot == NO_REG {
+            return None;
+        }
+        self.locals[self.lbase + slot as usize].clone()
+    }
+
+    /// Stores through a (name, slot) pair: slot-addressed locals in the
+    /// current frame, else the globals sidecar — the same dynamic
+    /// shadowing the tree-walker gets from its flat `HashMap` frame.
+    fn store(&mut self, name: u16, slot: u16, value: ScriptValue) {
+        if slot != NO_REG {
+            self.locals[self.lbase + slot as usize] = Some(value);
+        } else {
+            self.globals[name as usize] = Some(value);
+        }
+    }
+
+    /// Copies the `argc` argument registers starting at `base` out.
+    fn args(&self, base: u16, argc: u16) -> Vec<ScriptValue> {
+        let b = self.r(base);
+        self.regs[b..b + argc as usize].to_vec()
+    }
+
+    /// Writes `value` into register `dst` of the current frame.
+    fn set(&mut self, dst: u16, value: ScriptValue) {
+        let d = self.r(dst);
+        self.regs[d] = value;
+    }
+
+    /// Register/data instructions: never touch the pc or the call stack.
+    fn step_data(&mut self, interp: &mut Interpreter, insn: Insn) -> Result<(), ScriptError> {
+        let program = self.program;
+        match insn {
+            Insn::Burn { n, line: _ } => {
+                let n = n as u64;
+                if interp.fuel < n {
+                    interp.fuel = 0;
+                    return Err(ScriptError::FuelExhausted);
+                }
+                interp.fuel -= n;
+            }
+            Insn::Const { dst, idx } => {
+                self.set(dst, const_value(&program.consts[idx as usize]));
+            }
+            Insn::Load {
+                dst,
+                name,
+                slot,
+                line,
+            } => {
+                let value = match self.local(slot) {
+                    Some(v) => v,
+                    None => match &self.globals[name as usize] {
+                        Some(v) => v.clone(),
+                        None => {
+                            return Err(ScriptError::Name {
+                                line: line as usize,
+                                name: program.names[name as usize].clone(),
+                            })
+                        }
+                    },
+                };
+                self.set(dst, value);
+            }
+            Insn::Store { name, slot, src } => {
+                let value = self.regs[self.r(src)].clone();
+                self.store(name, slot, value);
+            }
+            Insn::MakeList { dst, base, n } => {
+                let items = self.args(base, n);
+                self.set(dst, ScriptValue::list(items));
+            }
+            Insn::NewDict { dst } => {
+                self.set(dst, ScriptValue::dict(BTreeMap::new()));
+            }
+            Insn::DictKey { reg, line } => {
+                if self.regs[self.r(reg)].as_str().is_err() {
+                    return Err(ScriptError::Type {
+                        line: line as usize,
+                        message: "dict keys must be strings".into(),
+                    });
+                }
+            }
+            Insn::DictSet { dict, key, val } => {
+                let k = self.regs[self.r(key)]
+                    .as_str()
+                    .expect("DictKey checked")
+                    .to_string();
+                let v = self.regs[self.r(val)].clone();
+                let ScriptValue::Dict(entries) = &self.regs[self.r(dict)] else {
+                    unreachable!("DictSet target is a fresh dict literal");
+                };
+                entries.borrow_mut().insert(k, v);
+            }
+            Insn::Bin {
+                op,
+                dst,
+                a,
+                b,
+                line,
+            } => self.bin(interp, op, dst, a, b, line)?,
+            Insn::Neg { dst, src, line } => {
+                let value = match &self.regs[self.r(src)] {
+                    ScriptValue::Int(i) => ScriptValue::Int(-i),
+                    ScriptValue::Float(f) => ScriptValue::Float(-f),
+                    other => {
+                        return Err(ScriptError::Type {
+                            line: line as usize,
+                            message: format!("cannot negate {}", other.type_name()),
+                        })
+                    }
+                };
+                self.set(dst, value);
+            }
+            Insn::Not { dst, src } => {
+                let value = ScriptValue::Bool(!self.regs[self.r(src)].truthy());
+                self.set(dst, value);
+            }
+            Insn::GetIndex { .. }
+            | Insn::SetIndex { .. }
+            | Insn::SliceIdx { .. }
+            | Insn::Slice { .. } => self.step_index(interp, insn)?,
+            Insn::MakeFunc { dst, idx } => {
+                let f = &program.funcs[idx as usize];
+                let user = Rc::new(UserFn {
+                    name: f.name.clone(),
+                    params: f.params.clone(),
+                    body: f.body_ast.clone(),
+                });
+                self.known_fns.push((Rc::as_ptr(&user), idx as usize));
+                self.set(dst, ScriptValue::Func(user));
+            }
+            Insn::Push { list, src } => {
+                let v = self.regs[self.r(src)].clone();
+                let ScriptValue::List(items) = &self.regs[self.r(list)] else {
+                    unreachable!("Push target is a fresh list literal");
+                };
+                items.borrow_mut().push(v);
+            }
+            Insn::SetLast { src } => {
+                self.last = self.regs[self.r(src)].clone();
+            }
+            Insn::CallMethod {
+                dst,
+                obj,
+                name,
+                base,
+                argc,
+                line,
+            } => {
+                let obj_v = self.regs[self.r(obj)].clone();
+                let args = self.args(base, argc);
+                let method = &program.names[name as usize];
+                let v = interp.call_method(&obj_v, method, &args, line as usize)?;
+                self.set(dst, v);
+            }
+            other => unreachable!("non-data insn {other:?} routed to step_data"),
+        }
+        Ok(())
+    }
+
+    /// Subscript and slice instructions, routed through the
+    /// interpreter's `index`/`store_index`/`slice` kernels.
+    fn step_index(&mut self, interp: &mut Interpreter, insn: Insn) -> Result<(), ScriptError> {
+        match insn {
+            Insn::GetIndex {
+                dst,
+                obj,
+                key,
+                line,
+            } => {
+                let v = interp.index(
+                    &self.regs[self.r(obj)],
+                    &self.regs[self.r(key)],
+                    line as usize,
+                )?;
+                self.set(dst, v);
+            }
+            Insn::SetIndex {
+                obj,
+                key,
+                src,
+                line,
+            } => {
+                let value = self.regs[self.r(src)].clone();
+                interp.store_index(
+                    &self.regs[self.r(obj)],
+                    &self.regs[self.r(key)],
+                    value,
+                    line as usize,
+                )?;
+            }
+            Insn::SliceIdx { reg, line } => {
+                let i = self.regs[self.r(reg)]
+                    .as_int()
+                    .map_err(|_| ScriptError::Type {
+                        line: line as usize,
+                        message: "slice bounds must be ints".into(),
+                    })?;
+                self.set(reg, ScriptValue::Int(i));
+            }
+            Insn::Slice {
+                dst,
+                obj,
+                lo,
+                hi,
+                line,
+            } => {
+                let v = {
+                    let lo = self.slice_bound(lo);
+                    let hi = self.slice_bound(hi);
+                    interp.slice(&self.regs[self.r(obj)], lo, hi, line as usize)?
+                };
+                self.set(dst, v);
+            }
+            other => unreachable!("non-index insn {other:?} routed to step_index"),
+        }
+        Ok(())
+    }
+
+    /// A `Slice` bound register: `NO_REG` means the bound was omitted.
+    fn slice_bound(&self, reg: u16) -> Option<i64> {
+        if reg == NO_REG {
+            return None;
+        }
+        match &self.regs[self.r(reg)] {
+            ScriptValue::Int(i) => Some(*i),
+            _ => unreachable!("SliceIdx coerced"),
+        }
+    }
+
+    /// Iterator setup/teardown and loop-variable binding (the pc-free
+    /// slice of flow control; jumps and `IterNext` live in `run`).
+    fn step_flow(&mut self, interp: &mut Interpreter, insn: Insn) -> Result<(), ScriptError> {
+        match insn {
+            Insn::IterNew { src, line } => {
+                let items = interp.iter_value(self.regs[self.r(src)].clone(), line as usize)?;
+                self.iters.push((items, 0));
+            }
+            Insn::IterPop => {
+                self.iters.pop();
+            }
+            Insn::Bind { src, vars, line } => {
+                let item = self.regs[self.r(src)].clone();
+                self.bind_vars(vars, item, line as usize)?;
+            }
+            Insn::LoopMisuse { line } => {
+                return Err(ScriptError::Parse {
+                    line: line as usize,
+                    col: 0,
+                    message: "'break'/'continue' outside loop".into(),
+                });
+            }
+            other => unreachable!("non-flow insn {other:?} routed to step_flow"),
+        }
+        Ok(())
+    }
+
+    /// Call instructions: name resolution mirrors the interpreter's order
+    /// exactly — host functions and builtins dispatch only when the name
+    /// is not shadowed by a local or global, then the callee is resolved
+    /// as a value (burning the one fuel `eval` would charge).
+    fn step_call(&mut self, interp: &mut Interpreter, insn: Insn) -> Result<(), ScriptError> {
+        let program = self.program;
+        match insn {
+            Insn::CallName {
+                dst,
+                name,
+                slot,
+                base,
+                argc,
+                line,
+                cline,
+            } => {
+                let name_str = &program.names[name as usize];
+                let local_val = self.local(slot);
+                // One sidecar probe serves both the shadowing check and
+                // the callee lookup below (a `Func` clone is an Rc bump).
+                let global_val = self.globals[name as usize].clone();
+                let shadowed = local_val.is_some() || global_val.is_some();
+                if !shadowed {
+                    if let Some(host) = interp.host_fns.get(name_str.as_str()).cloned() {
+                        let args = self.args(base, argc);
+                        self.set(dst, host(&args)?);
+                        return Ok(());
+                    }
+                    let args = self.args(base, argc);
+                    if let Some(result) = interp.call_builtin(name_str, &args, line as usize)? {
+                        self.set(dst, result);
+                        return Ok(());
+                    }
+                }
+                // The interpreter reaches the callee through `eval`,
+                // which burns one fuel before the name lookup.
+                if interp.fuel == 0 {
+                    return Err(ScriptError::FuelExhausted);
+                }
+                interp.fuel -= 1;
+                let Some(callee) = local_val.or(global_val) else {
+                    return Err(ScriptError::Name {
+                        line: cline as usize,
+                        name: name_str.clone(),
+                    });
+                };
+                self.call(interp, callee, base, argc, dst, line as usize)
+            }
+            Insn::CallValue {
+                dst,
+                callee,
+                base,
+                argc,
+                line,
+            } => {
+                let func = self.regs[self.r(callee)].clone();
+                self.call(interp, func, base, argc, dst, line as usize)
+            }
+            other => unreachable!("non-call insn {other:?} routed to step_call"),
+        }
+    }
+
+    /// Invokes a callee value: compiled functions push a VM frame;
+    /// anything else (foreign `Func` values, non-callables) goes through
+    /// the interpreter's `call_value` for identical errors and semantics.
+    fn call(
+        &mut self,
+        interp: &mut Interpreter,
+        callee: ScriptValue,
+        arg_base: u16,
+        argc: u16,
+        ret_dst: u16,
+        line: usize,
+    ) -> Result<(), ScriptError> {
+        let idx = match &callee {
+            ScriptValue::Func(user) => {
+                let p = Rc::as_ptr(user);
+                self.known_fns
+                    .iter()
+                    .find(|(k, _)| *k == p)
+                    .map(|(_, idx)| *idx)
+            }
+            _ => None,
+        };
+        let Some(idx) = idx else {
+            let args = self.args(arg_base, argc);
+            // The tree-walker late-binds globals by name, so it must see
+            // the sidecar's state before the foreign body runs.
+            self.flush_globals(interp);
+            self.set(ret_dst, interp.call_value(callee, &args, line)?);
+            return Ok(());
+        };
+        let f = &self.program.funcs[idx];
+        let argc = argc as usize;
+        if f.params.len() != argc {
+            return Err(ScriptError::Type {
+                line,
+                message: format!(
+                    "{}() takes {} arguments but {} were given",
+                    f.name,
+                    f.params.len(),
+                    argc
+                ),
+            });
+        }
+        if interp.depth >= MAX_DEPTH {
+            return Err(ScriptError::RecursionLimit);
+        }
+        interp.depth += 1;
+        let arg_base = self.r(arg_base);
+        let ret_dst = self.r(ret_dst);
+        let locals_base = self.locals.len();
+        for i in 0..argc {
+            let v = self.regs[arg_base + i].clone();
+            self.locals.push(Some(v));
+        }
+        self.locals
+            .resize(locals_base + f.locals.len(), Option::None);
+        let reg_base = self.regs.len();
+        self.regs
+            .resize(reg_base + f.chunk.nregs as usize, ScriptValue::None);
+        self.frames.push(Frame {
+            func: idx,
+            pc: 0,
+            reg_base,
+            ret_dst,
+            iter_base: self.iters.len(),
+            locals_base,
+        });
+        self.base = reg_base;
+        self.lbase = locals_base;
+        Ok(())
+    }
+
+    /// Slot-addressed twin of the interpreter's `bind_loop_vars`, with
+    /// identical unpack errors.
+    fn bind_vars(&mut self, vars: u16, item: ScriptValue, line: usize) -> Result<(), ScriptError> {
+        let program = self.program;
+        let list = &program.var_lists[vars as usize];
+        if let [(name, slot)] = list[..] {
+            self.store(name, slot, item);
+            return Ok(());
+        }
+        let ScriptValue::List(items) = &item else {
+            return Err(ScriptError::Type {
+                line,
+                message: format!(
+                    "cannot unpack {} into {} names",
+                    item.type_name(),
+                    list.len()
+                ),
+            });
+        };
+        let items = items.borrow().clone();
+        if items.len() != list.len() {
+            return Err(ScriptError::Type {
+                line,
+                message: format!(
+                    "cannot unpack {} values into {} names",
+                    items.len(),
+                    list.len()
+                ),
+            });
+        }
+        for (&(name, slot), value) in list.iter().zip(items) {
+            self.store(name, slot, value);
+        }
+        Ok(())
+    }
+
+    /// `Insn::Bin`: binary operator over two registers. The Int⊗Int
+    /// fast path skips two operand clones and the kernel's type
+    /// dispatch on the hottest arithmetic shape; `int_bin` mirrors
+    /// `Interpreter::binary` byte-for-byte and returns `None` for
+    /// anything it won't replicate, which falls through to the kernel.
+    fn bin(
+        &mut self,
+        interp: &mut Interpreter,
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+        line: u32,
+    ) -> Result<(), ScriptError> {
+        if let (ScriptValue::Int(x), ScriptValue::Int(y)) =
+            (&self.regs[self.r(a)], &self.regs[self.r(b)])
+        {
+            if let Some(value) = int_bin(op, *x, *y, line as usize) {
+                self.set(dst, value?);
+                return Ok(());
+            }
+        }
+        let l = self.regs[self.r(a)].clone();
+        let rv = self.regs[self.r(b)].clone();
+        self.set(dst, interp.binary(op, l, rv, line as usize)?);
+        Ok(())
+    }
+}
+
+/// `Int ⊗ Int` arithmetic mirroring [`Interpreter::binary`]
+/// byte-for-byte: same values, same error variants, same messages.
+/// Returns `None` for operator/operand pairs the kernel must keep
+/// owning (containment, boolean short-circuits), so divergence is
+/// impossible by construction — the differential suite holds either
+/// way. Notes tying each arm to the kernel: `Add` is the kernel's
+/// unchecked `a + b`; `Sub`/`Mul` use `checked_*` with the kernel's
+/// "integer overflow"; `Div` promotes to float exactly like
+/// `both_floats` (an `i64` is zero iff its `f64` cast is).
+fn int_bin(op: BinOp, a: i64, b: i64, line: usize) -> Option<Result<ScriptValue, ScriptError>> {
+    use ScriptValue as V;
+    let arith = |message: &str| ScriptError::Arithmetic {
+        line,
+        message: message.into(),
+    };
+    Some(match op {
+        BinOp::Add => Ok(V::Int(a + b)),
+        BinOp::Sub => a
+            .checked_sub(b)
+            .map(V::Int)
+            .ok_or_else(|| arith("integer overflow")),
+        BinOp::Mul => a
+            .checked_mul(b)
+            .map(V::Int)
+            .ok_or_else(|| arith("integer overflow")),
+        BinOp::Div => {
+            if b == 0 {
+                Err(arith("division by zero"))
+            } else {
+                Ok(V::Float(a as f64 / b as f64))
+            }
+        }
+        BinOp::FloorDiv => {
+            if b == 0 {
+                Err(arith("division by zero"))
+            } else {
+                Ok(V::Int(a.div_euclid(b)))
+            }
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                Err(arith("modulo by zero"))
+            } else {
+                Ok(V::Int(a.rem_euclid(b)))
+            }
+        }
+        BinOp::Eq => Ok(V::Bool(a == b)),
+        BinOp::NotEq => Ok(V::Bool(a != b)),
+        // Ordering goes through `both_floats` in the kernel, so ints
+        // beyond 2^53 compare with f64 precision — replicate that
+        // rather than "fixing" it, or the oracle diverges.
+        BinOp::Lt => Ok(V::Bool((a as f64) < (b as f64))),
+        BinOp::LtEq => Ok(V::Bool((a as f64) <= (b as f64))),
+        BinOp::Gt => Ok(V::Bool((a as f64) > (b as f64))),
+        BinOp::GtEq => Ok(V::Bool((a as f64) >= (b as f64))),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::bytecode::compile_source;
+    use crate::interp::Interpreter;
+    use crate::value::ScriptValue;
+
+    fn run_vm(src: &str) -> Result<ScriptValue, crate::error::ScriptError> {
+        let program = compile_source(src)?;
+        Interpreter::new().run_compiled(&program)
+    }
+
+    #[test]
+    fn arithmetic_and_result() {
+        assert_eq!(
+            run_vm("x = 2\ny = 3\nx * y + 1").unwrap(),
+            ScriptValue::Int(7)
+        );
+    }
+
+    #[test]
+    fn control_flow_and_functions() {
+        let src = "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\nfib(10)";
+        assert_eq!(run_vm(src).unwrap(), ScriptValue::Int(55));
+    }
+
+    #[test]
+    fn loops_break_continue() {
+        let src = "total = 0\nfor n in range(10):\n    if n == 7:\n        break\n    if n % 2 == 0:\n        continue\n    total += n\ntotal";
+        assert_eq!(run_vm(src).unwrap(), ScriptValue::Int(9));
+    }
+
+    #[test]
+    fn listcomp_with_condition() {
+        let src = "xs = [n * n for n in range(6) if n % 2 == 0]\nlen(xs)";
+        assert_eq!(run_vm(src).unwrap(), ScriptValue::Int(3));
+    }
+
+    #[test]
+    fn host_functions_dispatch() {
+        let program = compile_source("double(21)").unwrap();
+        let mut interp = Interpreter::new();
+        interp.bind_host_fn("double", |args| {
+            let n = args[0].as_int()?;
+            Ok(ScriptValue::Int(n * 2))
+        });
+        assert_eq!(interp.run_compiled(&program).unwrap(), ScriptValue::Int(42));
+    }
+
+    #[test]
+    fn fuel_matches_interpreter() {
+        let src = "total = 0\nfor n in range(50):\n    total += n * 2\ntotal";
+        let mut a = Interpreter::new();
+        let va = a.run(src).unwrap();
+        let mut b = Interpreter::new();
+        let vb = b.run_compiled(&compile_source(src).unwrap()).unwrap();
+        assert_eq!(va, vb);
+        assert_eq!(a.fuel_remaining(), b.fuel_remaining());
+    }
+
+    #[test]
+    fn globals_persist_across_compiled_runs() {
+        let mut interp = Interpreter::new();
+        interp
+            .run_compiled(&compile_source("x = 40").unwrap())
+            .unwrap();
+        assert_eq!(
+            interp
+                .run_compiled(&compile_source("x + 2").unwrap())
+                .unwrap(),
+            ScriptValue::Int(42)
+        );
+    }
+
+    #[test]
+    fn functions_defined_by_interpreter_callable_from_vm() {
+        let mut interp = Interpreter::new();
+        interp.run("def inc(n):\n    return n + 1").unwrap();
+        assert_eq!(
+            interp
+                .run_compiled(&compile_source("inc(41)").unwrap())
+                .unwrap(),
+            ScriptValue::Int(42)
+        );
+    }
+
+    #[test]
+    fn recursion_limit_enforced() {
+        let src = "def f(n):\n    return f(n + 1)\nf(0)";
+        let err = run_vm(src).unwrap_err();
+        assert!(matches!(err, crate::error::ScriptError::RecursionLimit));
+    }
+}

@@ -1,0 +1,488 @@
+//! Differential oracle: the tree-walking interpreter and the bytecode VM
+//! must be observationally identical on every program.
+//!
+//! For each program (fixture or proptest-generated) both engines run with
+//! the same fuel budget and the same recording host tools, and must
+//! agree on:
+//!
+//! * the result — value (via `Display`) or error (via `Display`),
+//! * the host-function call sequence (tool-dispatch trace),
+//! * captured `print` output,
+//! * remaining fuel (virtual budget charged).
+//!
+//! A fuel-cutoff sweep additionally checks parity at *every* possible
+//! exhaustion point, and a round-trip property pins the serialized
+//! artifact format.
+
+use aida_script::bytecode::{compile_source, CompiledProgram};
+use aida_script::{Interpreter, ScriptValue, ToolSig, TypeEnv};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Everything observable about one engine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Observed {
+    /// `Ok: <value>` or `Err: <error display>`.
+    result: String,
+    /// Host (tool) calls in order, with rendered arguments.
+    trace: Vec<String>,
+    /// Captured `print` lines.
+    output: Vec<String>,
+    /// Fuel left after the run.
+    fuel_remaining: u64,
+}
+
+fn instrument(interp: &mut Interpreter, trace: Rc<RefCell<Vec<String>>>) {
+    let t = trace.clone();
+    interp.bind_host_fn("list_files", move |args| {
+        t.borrow_mut().push(format!("list_files/{}", args.len()));
+        Ok(ScriptValue::list(vec![
+            ScriptValue::str("a.csv"),
+            ScriptValue::str("b.csv"),
+            ScriptValue::str("notes.txt"),
+        ]))
+    });
+    let t = trace.clone();
+    interp.bind_host_fn("read_file", move |args| {
+        let name = args[0].as_str()?.to_string();
+        t.borrow_mut().push(format!("read_file({name})"));
+        Ok(ScriptValue::str(match name.as_str() {
+            "a.csv" => "year,count\n2001,10\n2002,30",
+            "b.csv" => "year,count\n2001,5",
+            _ => "plain text notes",
+        }))
+    });
+    let t = trace;
+    interp.bind_host_fn("emit", move |args| {
+        let rendered: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+        t.borrow_mut()
+            .push(format!("emit({})", rendered.join(", ")));
+        Ok(ScriptValue::None)
+    });
+}
+
+fn observe_interp(src: &str, fuel: u64) -> Observed {
+    let trace = Rc::new(RefCell::new(Vec::new()));
+    let mut interp = Interpreter::new().with_fuel(fuel);
+    instrument(&mut interp, trace.clone());
+    let result = match interp.run(src) {
+        Ok(v) => format!("Ok: {v}"),
+        Err(e) => format!("Err: {e}"),
+    };
+    let calls = trace.borrow().clone();
+    Observed {
+        result,
+        trace: calls,
+        output: interp.take_output(),
+        fuel_remaining: interp.fuel_remaining(),
+    }
+}
+
+fn observe_vm(src: &str, fuel: u64) -> Observed {
+    let trace = Rc::new(RefCell::new(Vec::new()));
+    let mut interp = Interpreter::new().with_fuel(fuel);
+    instrument(&mut interp, trace.clone());
+    let result = match compile_source(src).and_then(|p| interp.run_compiled(&p)) {
+        Ok(v) => format!("Ok: {v}"),
+        Err(e) => format!("Err: {e}"),
+    };
+    let calls = trace.borrow().clone();
+    Observed {
+        result,
+        trace: calls,
+        output: interp.take_output(),
+        fuel_remaining: interp.fuel_remaining(),
+    }
+}
+
+#[track_caller]
+fn assert_parity(src: &str, fuel: u64) -> Observed {
+    let a = observe_interp(src, fuel);
+    let b = observe_vm(src, fuel);
+    assert_eq!(a, b, "interpreter and VM diverged on:\n{src}");
+    a
+}
+
+/// Agent-step-shaped fixtures: the program shapes the simulated planner
+/// policies emit, plus targeted edge cases (errors included — both
+/// engines must fail identically).
+const FIXTURES: &[&str] = &[
+    // CSV ratio scan (policy shape).
+    "files = list_files()\ntotal = 0\nfor f in files:\n    if 'csv' in f:\n        text = read_file(f)\n        lines = text.splitlines()\n        for line in lines[1:]:\n            parts = line.split(',')\n            total += int(parts[1])\nemit(total)\ntotal",
+    // Keyword filter with listcomp (policy shape).
+    "files = list_files()\nhits = [f for f in files if 'csv' in f]\nfor f in hits:\n    print('FILE: ' + f)\nlen(hits)",
+    // Helper function with slicing and split (policy shape).
+    "def count(name):\n    text = read_file(name)\n    return len(text.split(','))\ntotals = [count(f) for f in list_files() if f != 'notes.txt']\nsum(totals)",
+    // Dict accumulation.
+    "counts = {}\nfor f in list_files():\n    ext = f.split('.')[1]\n    if ext in counts:\n        counts[ext] += 1\n    else:\n        counts[ext] = 1\nsorted(counts)",
+    // While + break + continue.
+    "n = 0\nacc = 0\nwhile True:\n    n += 1\n    if n > 20:\n        break\n    if n % 3 != 0:\n        continue\n    acc += n\nacc",
+    // Nested functions, recursion, late binding.
+    "def outer(n):\n    return inner(n) + 1\ndef inner(n):\n    if n == 0:\n        return 0\n    return outer(n - 1)\nouter(7)",
+    // Multi-target for unpack.
+    "pairs = [[1, 'a'], [2, 'b']]\nout = ''\nfor n, s in pairs:\n    out += s * n\nout",
+    // String/negative indexing and slices.
+    "s = 'hello world'\nemit(s[0], s[-1], s[2:5], s[:3], s[6:])\ns[4]",
+    // Aug-assign through an index, evaluated once.
+    "d = {'k': 1}\nd['k'] += 41\nxs = [10, 20]\nxs[1] += 5\nemit(d['k'], xs[1])\nd['k']",
+    // Boolean short-circuit values (not just truthiness).
+    "a = 0 or 'dflt'\nb = 'x' and 3\nemit(a, b)\n[a, b]",
+    // Comprehension over string and dict.
+    "d = {'b': 1, 'a': 2}\nks = [k for k in d]\ncs = [c for c in 'abc' if c != 'b']\nemit(ks, cs)\nlen(ks) + len(cs)",
+    // Mutation through a function boundary (shared list identity).
+    "def add(xs, v):\n    xs.append(v)\nitems = []\nadd(items, 1)\nadd(items, 2)\nitems",
+    // Top-level return ends the program early.
+    "x = 1\nif x == 1:\n    return 'early'\nx = 2\nx",
+    // print capture.
+    "for i in range(3):\n    print('line', i)\n'done'",
+    // --- error fixtures: engines must produce identical errors ---
+    // Name error inside a branch.
+    "x = 1\nif x > 0:\n    y = missing_name\nx",
+    // Type error: adding str and int.
+    "a = 'x'\nb = a + 1\nb",
+    // Break outside loop (caught at runtime, attributed to the statement).
+    "x = 1\nbreak",
+    // Break outside loop inside a function body.
+    "def f():\n    break\nf()",
+    // Arity mismatch on a user function.
+    "def f(a, b):\n    return a\nf(1)",
+    // Calling a non-callable.
+    "x = 3\nx()",
+    // Unpack length mismatch.
+    "for a, b in [[1, 2, 3]]:\n    a",
+    // Dict key type error.
+    "d = {1: 'x'}\nd",
+    // Division by zero.
+    "x = 1 / 0\nx",
+    // Recursion limit.
+    "def f(n):\n    return f(n + 1)\nf(0)",
+    // Slice bound type error.
+    "xs = [1, 2, 3]\nxs['a':2]",
+    // Shadowing: assigning over a builtin name then calling it.
+    "len = 5\nemit(len)\nlen",
+];
+
+#[test]
+fn fixtures_agree() {
+    for src in FIXTURES {
+        assert_parity(src, 100_000);
+    }
+}
+
+#[test]
+fn fuel_cutoff_sweep_agrees_at_every_budget() {
+    // Every prefix budget must exhaust at the same instant with the same
+    // partial side effects on both engines.
+    let sweep: &[&str] = &[
+        FIXTURES[0],
+        FIXTURES[2],
+        FIXTURES[4],
+        FIXTURES[5],
+        "xs = [n * n for n in range(8) if n % 2 == 0]\nemit(xs)\nlen(xs)",
+    ];
+    for src in sweep {
+        let full = assert_parity(src, 100_000);
+        let spent = 100_000 - full.fuel_remaining;
+        for fuel in 0..=spent + 1 {
+            assert_parity(src, fuel);
+        }
+    }
+}
+
+#[test]
+fn compiled_artifacts_round_trip_and_rerun() {
+    for src in FIXTURES {
+        let Ok(program) = compile_source(src) else {
+            continue;
+        };
+        let encoded = program.encode();
+        let decoded = CompiledProgram::decode(&encoded).expect("artifact decodes");
+        assert_eq!(decoded.main, program.main, "main chunk drifted for:\n{src}");
+        assert_eq!(decoded.consts, program.consts);
+        assert_eq!(decoded.names, program.names);
+        assert_eq!(decoded.var_lists, program.var_lists);
+        assert_eq!(
+            decoded.content_hash(),
+            program.content_hash(),
+            "content hash not stable across encode/decode for:\n{src}"
+        );
+        // The decoded artifact must execute identically too (functions
+        // run from their chunks even with stub AST bodies).
+        let trace_a = Rc::new(RefCell::new(Vec::new()));
+        let mut ia = Interpreter::new().with_fuel(100_000);
+        instrument(&mut ia, trace_a.clone());
+        let ra = ia.run_compiled(&program).map(|v| v.to_string());
+        let trace_b = Rc::new(RefCell::new(Vec::new()));
+        let mut ib = Interpreter::new().with_fuel(100_000);
+        instrument(&mut ib, trace_b.clone());
+        let rb = ib.run_compiled(&decoded).map(|v| v.to_string());
+        assert_eq!(
+            ra.map_err(|e| e.to_string()),
+            rb.map_err(|e| e.to_string()),
+            "decoded artifact diverged for:\n{src}"
+        );
+        assert_eq!(trace_a.borrow().clone(), trace_b.borrow().clone());
+        assert_eq!(ia.fuel_remaining(), ib.fuel_remaining());
+    }
+}
+
+#[test]
+fn typecheck_rejects_ill_typed_fixtures_before_any_execution() {
+    // Script-layer zero-spend guarantee: programs the typechecker
+    // rejects never reach either engine, so no tools run and no fuel is
+    // charged.
+    let mut env = TypeEnv::new();
+    for (name, sig) in [
+        ("list_files", "list_files() -> list[str]"),
+        ("read_file", "read_file(name: str) -> str"),
+        ("emit", "emit(value) -> None"),
+    ] {
+        env.add_tool_signature(name, sig);
+    }
+    let ill_typed = [
+        "print(x)\nx = 1",
+        "read_file(42)",
+        "read_file('a.csv', 'extra')",
+        "x = 'a' + 1",
+        "x = 3\nx()",
+    ];
+    for src in ill_typed {
+        let program = aida_script::parser::parse(src).expect("parses");
+        let err = aida_script::typecheck(&program, &env).expect_err(src);
+        assert!(matches!(err, aida_script::ScriptError::Type { .. }));
+    }
+    // The well-typed fixtures must not be rejected (no false positives
+    // on the agent corpus shapes) — except those designed to be
+    // ill-typed, which the runtime fixtures above already cover.
+    let well_typed = [
+        FIXTURES[0],
+        FIXTURES[1],
+        FIXTURES[2],
+        FIXTURES[3],
+        FIXTURES[4],
+    ];
+    for src in well_typed {
+        let program = aida_script::parser::parse(src).expect("parses");
+        assert!(
+            aida_script::typecheck(&program, &env).is_ok(),
+            "false positive on corpus program:\n{src}"
+        );
+    }
+}
+
+#[test]
+fn tool_signature_parsing_matches_registry_style() {
+    let sig = ToolSig::parse(
+        "sem_extract_tool(instruction: str, field: str, filenames: list[str]) -> list",
+    )
+    .expect("parses");
+    assert_eq!(sig.params.len(), 3);
+}
+
+mod generated {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A generated statement template. Rendering always yields a
+    /// parseable program; runtime errors are fine (both engines must
+    /// produce the same one).
+    #[derive(Debug, Clone)]
+    enum Tpl {
+        AssignInt(u8, i64),
+        AssignStr(u8, String),
+        AssignList(u8, Vec<i64>),
+        Arith(u8, u8, u8, u8),
+        Concat(u8, u8, u8),
+        AugAdd(u8, i64),
+        IfElse(u8, i64, Box<Tpl>, Box<Tpl>),
+        ForRange(u8, u8, Box<Tpl>),
+        ForList(u8, u8, Box<Tpl>),
+        WhileCount(u8, u8, Box<Tpl>),
+        ListComp(u8, u8, u8),
+        IndexGet(u8, u8, i64),
+        SliceGet(u8, u8, i64, i64),
+        Method(u8, u8, u8),
+        DefCall(u8, u8, i64),
+        Tool(u8, u8),
+        Print(u8),
+        Emit(u8),
+        Result(u8),
+    }
+
+    fn var(i: u8) -> String {
+        format!("v{}", i % 5)
+    }
+
+    fn op(i: u8) -> &'static str {
+        ["+", "-", "*", "//", "%"][i as usize % 5]
+    }
+
+    impl Tpl {
+        fn render(&self, out: &mut String, indent: usize) {
+            let pad = "    ".repeat(indent);
+            match self {
+                Tpl::AssignInt(v, n) => out.push_str(&format!("{pad}{} = {n}\n", var(*v))),
+                Tpl::AssignStr(v, s) => out.push_str(&format!("{pad}{} = '{s}'\n", var(*v))),
+                Tpl::AssignList(v, items) => {
+                    let body: Vec<String> = items.iter().map(|n| n.to_string()).collect();
+                    out.push_str(&format!("{pad}{} = [{}]\n", var(*v), body.join(", ")));
+                }
+                Tpl::Arith(d, a, b, o) => out.push_str(&format!(
+                    "{pad}{} = {} {} {}\n",
+                    var(*d),
+                    var(*a),
+                    op(*o),
+                    var(*b)
+                )),
+                Tpl::Concat(d, a, b) => out.push_str(&format!(
+                    "{pad}{} = str({}) + str({})\n",
+                    var(*d),
+                    var(*a),
+                    var(*b)
+                )),
+                Tpl::AugAdd(v, n) => out.push_str(&format!("{pad}{} += {n}\n", var(*v))),
+                Tpl::IfElse(v, n, t, e) => {
+                    out.push_str(&format!("{pad}if {} > {n}:\n", var(*v)));
+                    t.render(out, indent + 1);
+                    out.push_str(&format!("{pad}else:\n"));
+                    e.render(out, indent + 1);
+                }
+                Tpl::ForRange(v, n, body) => {
+                    out.push_str(&format!("{pad}for {} in range({}):\n", var(*v), n % 6));
+                    body.render(out, indent + 1);
+                }
+                Tpl::ForList(v, src, body) => {
+                    out.push_str(&format!("{pad}for {} in {}:\n", var(*v), var(*src)));
+                    body.render(out, indent + 1);
+                }
+                Tpl::WhileCount(v, n, body) => {
+                    out.push_str(&format!("{pad}{} = 0\n", var(*v)));
+                    out.push_str(&format!("{pad}while {} < {}:\n", var(*v), n % 5));
+                    body.render(out, indent + 1);
+                    out.push_str(&format!("{pad}    {} += 1\n", var(*v)));
+                }
+                Tpl::ListComp(d, v, n) => out.push_str(&format!(
+                    "{pad}{} = [{x} * 2 for {x} in range({}) if {x} != {}]\n",
+                    var(*d),
+                    n % 7,
+                    n % 3,
+                    x = var(*v)
+                )),
+                Tpl::IndexGet(d, s, i) => {
+                    out.push_str(&format!("{pad}{} = {}[{i}]\n", var(*d), var(*s)))
+                }
+                Tpl::SliceGet(d, s, lo, hi) => {
+                    out.push_str(&format!("{pad}{} = {}[{lo}:{hi}]\n", var(*d), var(*s)))
+                }
+                Tpl::Method(d, s, m) => {
+                    let call = ["str({v}).upper()", "str({v}).split('2')", "len(str({v}))"]
+                        [*m as usize % 3]
+                        .replace("{v}", &var(*s));
+                    out.push_str(&format!("{pad}{} = {call}\n", var(*d)));
+                }
+                Tpl::DefCall(d, a, n) => {
+                    let f = format!("fn{}", d % 3);
+                    out.push_str(&format!("{pad}def {f}(p):\n{pad}    return p + {n}\n"));
+                    out.push_str(&format!("{pad}{} = {f}({})\n", var(*d), var(*a)));
+                }
+                Tpl::Tool(d, f) => {
+                    let call = ["list_files()", "read_file('a.csv')", "read_file('nope')"]
+                        [*f as usize % 3];
+                    out.push_str(&format!("{pad}{} = {call}\n", var(*d)));
+                }
+                Tpl::Print(v) => out.push_str(&format!("{pad}print({})\n", var(*v))),
+                Tpl::Emit(v) => out.push_str(&format!("{pad}emit({})\n", var(*v))),
+                Tpl::Result(v) => out.push_str(&format!("{pad}{}\n", var(*v))),
+            }
+        }
+    }
+
+    fn leaf() -> impl Strategy<Value = Tpl> {
+        prop_oneof![
+            (0u8..5, -50i64..50).prop_map(|(v, n)| Tpl::AssignInt(v, n)),
+            (0u8..5, "[a-z]{1,6}").prop_map(|(v, s)| Tpl::AssignStr(v, s)),
+            (0u8..5, prop::collection::vec(-9i64..9, 0..4))
+                .prop_map(|(v, xs)| Tpl::AssignList(v, xs)),
+            (0u8..5, 0u8..5, 0u8..5, 0u8..5).prop_map(|(d, a, b, o)| Tpl::Arith(d, a, b, o)),
+            (0u8..5, 0u8..5, 0u8..5).prop_map(|(d, a, b)| Tpl::Concat(d, a, b)),
+            (0u8..5, -5i64..5).prop_map(|(v, n)| Tpl::AugAdd(v, n)),
+            (0u8..5, 0u8..8, 0u8..8).prop_map(|(d, v, n)| Tpl::ListComp(d, v, n)),
+            (0u8..5, 0u8..5, -4i64..4).prop_map(|(d, s, i)| Tpl::IndexGet(d, s, i)),
+            (0u8..5, 0u8..5, -4i64..4, -4i64..6)
+                .prop_map(|(d, s, lo, hi)| Tpl::SliceGet(d, s, lo, hi)),
+            (0u8..5, 0u8..5, 0u8..3).prop_map(|(d, s, m)| Tpl::Method(d, s, m)),
+            (0u8..5, 0u8..5, -9i64..9).prop_map(|(d, a, n)| Tpl::DefCall(d, a, n)),
+            (0u8..5, 0u8..3).prop_map(|(d, f)| Tpl::Tool(d, f)),
+            (0u8..5).prop_map(Tpl::Print),
+            (0u8..5).prop_map(Tpl::Emit),
+            (0u8..5).prop_map(Tpl::Result),
+        ]
+    }
+
+    fn tpl() -> impl Strategy<Value = Tpl> {
+        leaf().prop_recursive(3, 24, 2, |inner| {
+            prop_oneof![
+                (0u8..5, -5i64..5, inner.clone(), inner.clone())
+                    .prop_map(|(v, n, t, e)| Tpl::IfElse(v, n, Box::new(t), Box::new(e))),
+                (0u8..5, 0u8..8, inner.clone()).prop_map(|(v, n, b)| Tpl::ForRange(
+                    v,
+                    n,
+                    Box::new(b)
+                )),
+                (0u8..5, 0u8..5, inner.clone()).prop_map(|(v, s, b)| Tpl::ForList(
+                    v,
+                    s,
+                    Box::new(b)
+                )),
+                (0u8..5, 0u8..6, inner).prop_map(|(v, n, b)| Tpl::WhileCount(v, n, Box::new(b))),
+            ]
+        })
+    }
+
+    fn render_program(stmts: &[Tpl]) -> String {
+        // Seed every variable so generated reads have *some* value on
+        // most paths; use-before-assign programs are still generated via
+        // shadowing in bodies, which is exactly the point.
+        let mut src = String::from("v0 = 1\nv1 = 2\nv2 = 'ab'\nv3 = [1, 2, 3]\nv4 = 7\n");
+        for t in stmts {
+            t.render(&mut src, 0);
+        }
+        src
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn generated_programs_agree(stmts in prop::collection::vec(tpl(), 1..7)) {
+            let src = render_program(&stmts);
+            let a = super::observe_interp(&src, 20_000);
+            let b = super::observe_vm(&src, 20_000);
+            prop_assert_eq!(a, b, "diverged on generated program:\n{}", src);
+        }
+
+        #[test]
+        fn generated_programs_agree_under_tight_fuel(
+            stmts in prop::collection::vec(tpl(), 1..6),
+            fuel in 0u64..400,
+        ) {
+            let src = render_program(&stmts);
+            let a = super::observe_interp(&src, fuel);
+            let b = super::observe_vm(&src, fuel);
+            prop_assert_eq!(a, b, "diverged at fuel {} on:\n{}", fuel, src);
+        }
+
+        #[test]
+        fn generated_bytecode_round_trips(stmts in prop::collection::vec(tpl(), 1..6)) {
+            let src = render_program(&stmts);
+            let program = compile_source(&src).expect("templates always parse");
+            let decoded = CompiledProgram::decode(&program.encode()).expect("decodes");
+            prop_assert_eq!(&decoded.main, &program.main);
+            prop_assert_eq!(&decoded.consts, &program.consts);
+            prop_assert_eq!(&decoded.names, &program.names);
+            prop_assert_eq!(&decoded.var_lists, &program.var_lists);
+            prop_assert_eq!(decoded.content_hash(), program.content_hash());
+            prop_assert_eq!(decoded.funcs.len(), program.funcs.len());
+        }
+    }
+}
