@@ -86,3 +86,14 @@ rm -rf target/ci-kill9
   ./target/release/serve_soak >/dev/null 2>&1 || true)
 SERVE_SOAK_SMOKE=1 AIDA_RESULTS_DIR=target/ci-kill9 \
   cargo run -q --release -p aida-bench --bin serve_soak >/dev/null
+
+# Checkpoint scaling: the bench itself asserts delta-mode bytes per
+# checkpoint stay within 2x between the 1x and 10x store (smoke rungs)
+# while full rewrites grow with the store, and that group commit cuts
+# ledger fsyncs >= 5x (exit nonzero otherwise). Its canonical JSON
+# carries only deterministic metrics — two runs must be byte-identical.
+CHECKPOINT_BENCH_SMOKE=1 AIDA_RESULTS_DIR=target/ci-ckpt-a \
+  cargo run -q --release -p aida-bench --bin checkpoint_bench >/dev/null
+CHECKPOINT_BENCH_SMOKE=1 AIDA_RESULTS_DIR=target/ci-ckpt-b \
+  cargo run -q --release -p aida-bench --bin checkpoint_bench >/dev/null
+cmp target/ci-ckpt-a/BENCH_checkpoint.json target/ci-ckpt-b/BENCH_checkpoint.json

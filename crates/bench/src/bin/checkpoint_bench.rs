@@ -1,0 +1,223 @@
+//! Checkpoint-scaling bench: full-rewrite vs delta-frame state saves.
+//!
+//! Grows the ContextManager population 1× → 10× → 100× and, at each
+//! scale, runs the same mutation/checkpoint cycle in two modes:
+//!
+//! * **full** — every `save_state` rewrites the entire snapshot through
+//!   the atomic-rename path; bytes written per checkpoint grow linearly
+//!   with the store.
+//! * **delta** — the first save writes one full snapshot, every later
+//!   save appends a checksummed delta frame carrying only the records
+//!   since the previous checkpoint; bytes written per checkpoint stay
+//!   flat regardless of store size.
+//!
+//! Bytes are measured from the files themselves (state-file size per
+//! full rewrite, delta-chain growth per frame), so the canonical
+//! metrics in `results/BENCH_checkpoint.json` are byte-identical across
+//! same-seed runs; wall-clock timings are printed for context but never
+//! emitted. A serve-style coda appends the same ledger records
+//! per-record vs group-committed and reports the fsync collapse.
+//!
+//! Self-asserts (the paper's scaling claim): delta bytes/checkpoint at
+//! the largest scale stay within 2× of the smallest, full-rewrite
+//! bytes/checkpoint grow with the store, and group commit cuts fsyncs
+//! per append by at least 5×. `CHECKPOINT_BENCH_SMOKE=1` drops the 100×
+//! rung for CI.
+
+use aida_bench::BenchResult;
+use aida_core::{Context, Runtime};
+use aida_data::{DataLake, Document};
+use aida_llm::WallStopwatch;
+use aida_serve::{LedgerRecord, LedgerWal};
+use std::path::Path;
+
+/// Checkpoint cycles measured per mode (after the seeding full save).
+const CYCLES: usize = 8;
+
+fn context(rt: &Runtime, name: &str) -> Context {
+    let lake = DataLake::from_docs([Document::new(
+        format!("{name}.txt"),
+        format!("{name}: synthetic checkpoint-bench document body"),
+    )]);
+    Context::builder(name, lake)
+        .description(format!("checkpoint bench context {name}"))
+        .build(rt)
+}
+
+fn file_len(path: &Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+struct ModeRun {
+    bytes_per_ckpt: f64,
+    frames: u64,
+    wall_s: f64,
+}
+
+/// Seeds `scale` contexts, full-saves once, then runs `CYCLES` cycles of
+/// one LRU touch + one checkpoint, measuring bytes written per
+/// checkpoint from the on-disk files. Touches mutate recency ticks
+/// without growing the store, so full-rewrite bytes track the store
+/// size while each delta frame carries a single touch record.
+fn run_mode(dir: &Path, scale: usize, delta: bool) -> ModeRun {
+    let state = dir.join(format!("state_{scale}_{delta}.bin"));
+    let mut builder = Runtime::builder()
+        .seed(42)
+        .context_capacity(4096)
+        .state_path(&state);
+    if delta {
+        // One full snapshot up front, delta frames for every later save.
+        builder = builder.delta_checkpoints(true).full_snapshot_every(1 << 20);
+    }
+    let rt = builder.build();
+    for i in 0..scale {
+        let ctx = context(&rt, &format!("seed{i}"));
+        rt.manager()
+            .register(&format!("seed instruction {i}"), ctx, 1.0);
+    }
+    assert!(rt.save_state().expect("seeding checkpoint"), "seed save");
+
+    let delta_path = if delta { rt.delta_path() } else { None };
+    let mut bytes_written = 0u64;
+    let mut frames = 0u64;
+    let watch = WallStopwatch::start();
+    let mut last_delta_len = delta_path.as_deref().map(file_len).unwrap_or(0);
+    for i in 0..CYCLES {
+        let target = (i * 7) % scale;
+        rt.manager()
+            .reuse(&format!("seed instruction {target}"), 0.9)
+            .expect("touch hits the registered instruction");
+        assert!(rt.save_state().expect("cycle checkpoint"), "cycle save");
+        if let Some(path) = delta_path.as_deref() {
+            let len = file_len(path);
+            bytes_written += len - last_delta_len;
+            last_delta_len = len;
+            frames += 1;
+        } else {
+            // A full rewrite replaces the state file wholesale.
+            bytes_written += file_len(&state);
+        }
+    }
+    let wall_s = watch.elapsed_s();
+
+    // The chain must replay to exactly the live store before we credit
+    // the bytes saved.
+    let rebuilt = Runtime::builder()
+        .seed(42)
+        .context_capacity(4096)
+        .state_path(&state)
+        .delta_checkpoints(delta)
+        .build();
+    assert_eq!(
+        rebuilt.manager().encode_snapshot(),
+        rt.manager().encode_snapshot(),
+        "recovered store diverged at scale {scale} (delta={delta})"
+    );
+
+    ModeRun {
+        bytes_per_ckpt: bytes_written as f64 / CYCLES as f64,
+        frames,
+        wall_s,
+    }
+}
+
+/// Serve-style coda: the same ledger records appended one fsync per
+/// record vs group-committed in batches of 8 into the same WAL format.
+fn fsync_rates(dir: &Path, records: usize) -> (f64, f64) {
+    let spend = |i: usize| LedgerRecord::Spend {
+        tenant: format!("t{}", i % 4).into(),
+        usd: 0.01,
+        tokens: 100,
+        calls: 1,
+        cache_hits: 0,
+        cache_coalesced: 0,
+    };
+    let mut plain = LedgerWal::open(dir.join("plain.wal"));
+    for i in 0..records {
+        plain.append(&spend(i)).expect("plain append");
+    }
+    let mut grouped = LedgerWal::open(dir.join("grouped.wal"));
+    let batch: Vec<LedgerRecord> = (0..records).map(spend).collect();
+    for chunk in batch.chunks(8) {
+        grouped.append_batch(chunk).expect("grouped append");
+    }
+    (
+        plain.stats().fsyncs as f64 / records as f64,
+        grouped.stats().fsyncs as f64 / records as f64,
+    )
+}
+
+fn main() {
+    let smoke = std::env::var("CHECKPOINT_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let scales: &[usize] = if smoke { &[1, 10] } else { &[1, 10, 100] };
+    let seed = 42;
+
+    let scratch = aida_bench::results_dir().join("checkpoint_scratch");
+    if scratch.exists() {
+        std::fs::remove_dir_all(&scratch).expect("reset scratch dir");
+    }
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+
+    let mut bench = BenchResult::new("checkpoint", seed);
+    let mut full_rates = Vec::new();
+    let mut delta_rates = Vec::new();
+    for &scale in scales {
+        let full = run_mode(&scratch, scale, false);
+        let delta = run_mode(&scratch, scale, true);
+        println!(
+            "scale {scale:>4}x: full {:>8.0} B/ckpt ({:.3}s wall)  delta {:>7.0} B/ckpt, {} frames ({:.3}s wall)",
+            full.bytes_per_ckpt, full.wall_s, delta.bytes_per_ckpt, delta.frames, delta.wall_s,
+        );
+        bench = bench
+            .metric(format!("full_{scale}x/bytes_per_ckpt"), full.bytes_per_ckpt)
+            .metric(
+                format!("delta_{scale}x/bytes_per_ckpt"),
+                delta.bytes_per_ckpt,
+            )
+            .metric(format!("delta_{scale}x/frames"), delta.frames as f64);
+        full_rates.push(full.bytes_per_ckpt);
+        delta_rates.push(delta.bytes_per_ckpt);
+    }
+
+    let delta_flatness = delta_rates.last().unwrap() / delta_rates[0];
+    let full_growth = full_rates.last().unwrap() / full_rates[0];
+    let top = scales.last().unwrap();
+    println!(
+        "scaling {top}x/1x: full-rewrite {full_growth:.1}x more bytes per checkpoint, delta {delta_flatness:.2}x"
+    );
+    bench = bench
+        .metric("full_growth_x", full_growth)
+        .metric("delta_flatness_x", delta_flatness);
+
+    let records = if smoke { 32 } else { 256 };
+    let (plain_rate, grouped_rate) = fsync_rates(&scratch, records);
+    let reduction = plain_rate / grouped_rate;
+    println!(
+        "ledger fsyncs/append: {plain_rate:.3} per-record vs {grouped_rate:.3} group-committed ({reduction:.1}x fewer)"
+    );
+    bench = bench
+        .metric("wal/fsyncs_per_append_plain", plain_rate)
+        .metric("wal/fsyncs_per_append_grouped", grouped_rate)
+        .metric("wal/fsync_reduction_x", reduction);
+
+    aida_bench::emit_bench(&bench);
+    std::fs::remove_dir_all(&scratch).expect("clean scratch dir");
+
+    // The paper claim, enforced: deltas are flat, full rewrites are not,
+    // and group commit collapses the fsync rate.
+    if delta_flatness > 2.0 {
+        eprintln!("FAIL: delta bytes/checkpoint grew {delta_flatness:.2}x at {top}x scale (> 2x)");
+        std::process::exit(1);
+    }
+    let floor = *top as f64 / 2.0;
+    if full_growth < floor {
+        eprintln!(
+            "FAIL: full-rewrite bytes grew only {full_growth:.1}x at {top}x scale (< {floor:.0}x)"
+        );
+        std::process::exit(1);
+    }
+    if reduction < 5.0 {
+        eprintln!("FAIL: group commit cut fsyncs only {reduction:.1}x (< 5x)");
+        std::process::exit(1);
+    }
+}

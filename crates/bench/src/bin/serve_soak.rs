@@ -28,6 +28,12 @@
 //! parseable flight-recorder dump at `results/traces/flight_<seed>.jsonl`.
 //! Recorder overhead (tracing on vs off, wall clock) is printed so
 //! EXPERIMENTS.md can cite a measured number.
+//!
+//! The durable phase runs twice: once with one fsync per ledger record
+//! (the baseline) and once with group commit + a segmented WAL. The
+//! full soak demands at least a 5x fsyncs/query reduction at
+//! bit-identical per-tenant dollars, and the grouped restart must
+//! replay `snapshot → sealed segments → tail`.
 
 use aida_bench::{BenchResult, SemcacheBench};
 use aida_core::{Context, Runtime};
@@ -47,6 +53,7 @@ fn build_service(
     durable: Option<&Path>,
     tracing: bool,
     crash: Option<CrashPoint>,
+    group_commit: usize,
 ) -> QueryService {
     let mut builder = Runtime::builder()
         .seed(seed)
@@ -81,13 +88,16 @@ fn build_service(
     // Queries arrive minutes apart, so burn rates are judged over a
     // 15-minute fast window and a 1-hour slow window; the 64×60s health
     // ring spans both.
-    let config = ServeConfig::default()
+    let mut config = ServeConfig::default()
         .health_window(60.0, 64)
         .slo_policy(SloPolicy {
             fast_window_s: 900.0,
             slow_window_s: 3600.0,
             ..SloPolicy::default()
         });
+    if group_commit > 1 {
+        config = config.group_commit(group_commit);
+    }
     let mut svc = QueryService::new(rt, config);
     svc.register_context("legal", legal_ctx);
     svc.register_context("enron", enron_ctx);
@@ -122,6 +132,13 @@ fn build_service(
     );
     if let Some(dir) = durable {
         let mut wal = LedgerWal::open(dir.join("ledger.wal"));
+        if group_commit > 1 {
+            // The group-commit phase exercises the full log-structured
+            // stack: batched flushes land in a tail that seals into
+            // immutable segments, and the restart replays
+            // snapshot → sealed segments → tail.
+            wal = wal.segment_records(32);
+        }
         if let Some(point) = crash {
             // Let ~10 queries land first so the flight ring has a real
             // event tail to dump when the append tears.
@@ -191,6 +208,7 @@ fn crash_probe(seed: u64, requests: &[QueryRequest]) {
         Some(&crash_dir),
         true,
         Some(CrashPoint::WalTornAppend),
+        0,
     );
     let report = svc.run(requests.to_vec());
     if !report.wal_failed {
@@ -275,14 +293,14 @@ fn main() {
     let requests: Vec<QueryRequest> = open_loop(seed, &loads);
 
     // Baseline: the same workload through the same service, cache off.
-    let mut baseline_svc = build_service(seed, false, None, true, None);
+    let mut baseline_svc = build_service(seed, false, None, true, None, 0);
     let baseline = baseline_svc.run(requests.clone());
 
     // Recorder-overhead reference: the headline workload with tracing
     // off. Modes alternate and each keeps its best of two samples, so
     // one background hiccup can't swing the comparison.
     let sample = |tracing: bool| {
-        let mut svc = build_service(seed, true, None, tracing, None);
+        let mut svc = build_service(seed, true, None, tracing, None, 0);
         let watch = WallStopwatch::start();
         let report = svc.run(requests.clone());
         (report, watch.elapsed_s())
@@ -296,7 +314,7 @@ fn main() {
 
     // The headline run: shared semantic cache across all four tenants,
     // tracing on.
-    let isolated = build_service(seed, true, None, true, None).isolated_cost(&requests);
+    let isolated = build_service(seed, true, None, true, None, 0).isolated_cost(&requests);
     report.set_isolated_baseline(isolated);
 
     println!("{}", report.render());
@@ -374,7 +392,7 @@ fn main() {
     // then the phase resets to a clean cold run.
     let durable_dir = aida_bench::results_dir().join("serve_soak_durable");
     if durable_dir.exists() {
-        let probe = build_service(seed, true, Some(&durable_dir), true, None);
+        let probe = build_service(seed, true, Some(&durable_dir), true, None, 0);
         let recovery = probe.wal_recovery().expect("wal attached");
         println!(
             "restart probe: recovered {} contexts, replayed {} ledger records (dropped tail: {})",
@@ -388,8 +406,8 @@ fn main() {
     std::fs::create_dir_all(&durable_dir).expect("create durable dir");
 
     // Cold durable run: checkpoint every 16 agentic ops + final save.
-    let mut durable_svc = build_service(seed, true, Some(&durable_dir), true, None);
-    let durable_report = durable_svc.run(requests);
+    let mut durable_svc = build_service(seed, true, Some(&durable_dir), true, None, 0);
+    let durable_report = durable_svc.run(requests.clone());
     let cold_spends = spend_bits(&durable_svc);
     durable_svc
         .runtime()
@@ -400,7 +418,7 @@ fn main() {
 
     // Warm restart: per-tenant dollars must replay bit-identically and
     // the restore itself must spend nothing.
-    let warm_svc = build_service(seed, true, Some(&durable_dir), true, None);
+    let warm_svc = build_service(seed, true, Some(&durable_dir), true, None, 0);
     let recovery = warm_svc.wal_recovery().expect("wal attached");
     let restore_cost = warm_svc.runtime().cost();
     println!(
@@ -428,4 +446,65 @@ fn main() {
         eprintln!("FAIL: restart spent ${restore_cost:.6} re-materializing state");
         std::process::exit(1);
     }
+    drop(warm_svc);
+
+    // ---- group-commit phase: the same workload with ledger appends
+    // coalesced into one fsync per batch and the tail sealing into
+    // segments. Dollars must not move; the fsync count must collapse.
+    let grouped_dir = aida_bench::results_dir().join("serve_soak_grouped");
+    if grouped_dir.exists() {
+        std::fs::remove_dir_all(&grouped_dir).expect("reset grouped dir");
+    }
+    std::fs::create_dir_all(&grouped_dir).expect("create grouped dir");
+    let group = 8;
+    let mut grouped_svc = build_service(seed, true, Some(&grouped_dir), true, None, group);
+    let grouped_report = grouped_svc.run(requests);
+    let grouped_spends = spend_bits(&grouped_svc);
+    drop(grouped_svc); // crash-stop again: only the log survives
+
+    let queries = grouped_report.completions.len().max(1) as f64;
+    let plain_rate = durable_report.wal_fsyncs as f64 / queries;
+    let grouped_rate = grouped_report.wal_fsyncs as f64 / queries;
+    let speedup = plain_rate / grouped_rate.max(f64::MIN_POSITIVE);
+    println!(
+        "group commit: {plain_rate:.2} fsyncs/query per-record vs {grouped_rate:.2} grouped \
+         ({speedup:.1}x fewer; {} group flushes, {} segments sealed, staleness bound {} records)",
+        grouped_report.wal_group_flushes,
+        grouped_report.wal_segments_sealed,
+        grouped_report.wal_batch_bound,
+    );
+    if grouped_spends != cold_spends {
+        eprintln!("FAIL: group commit changed per-tenant dollars");
+        std::process::exit(1);
+    }
+    if grouped_report.wal_fsyncs == 0 || grouped_report.wal_fsyncs >= durable_report.wal_fsyncs {
+        eprintln!(
+            "FAIL: group commit did not reduce fsyncs ({} grouped vs {} per-record)",
+            grouped_report.wal_fsyncs, durable_report.wal_fsyncs
+        );
+        std::process::exit(1);
+    }
+    if !smoke && durable_report.wal_fsyncs < 5 * grouped_report.wal_fsyncs {
+        eprintln!("FAIL: group commit reduced fsyncs only {speedup:.1}x (< 5x)");
+        std::process::exit(1);
+    }
+
+    // Warm restart of the grouped log: the replay walks sealed segments
+    // before the tail and lands on the same per-tenant dollars.
+    let grouped_warm = build_service(seed, true, Some(&grouped_dir), true, None, group);
+    let grouped_recovery = grouped_warm.wal_recovery().expect("wal attached");
+    println!(
+        "group commit restart: replayed {} records from {} sealed segments + tail",
+        grouped_recovery.replayed, grouped_recovery.sealed_segments,
+    );
+    if spend_bits(&grouped_warm) != cold_spends {
+        eprintln!("FAIL: grouped restart diverged per-tenant dollars");
+        std::process::exit(1);
+    }
+    if !smoke && grouped_recovery.sealed_segments == 0 {
+        eprintln!("FAIL: full grouped soak sealed no segments");
+        std::process::exit(1);
+    }
+    drop(grouped_warm);
+    std::fs::remove_dir_all(&grouped_dir).expect("clean grouped dir");
 }

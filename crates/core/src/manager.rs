@@ -45,6 +45,19 @@ struct Store {
     tick: u64,
     /// Maximum entries kept (0 = unbounded).
     capacity: usize,
+    /// When present, every mutation appends a delta record here. The
+    /// runtime's incremental checkpointer drains the journal into
+    /// checksummed delta frames between full snapshots, so checkpoint
+    /// cost tracks what changed instead of everything materialized.
+    journal: Option<Vec<String>>,
+}
+
+impl Store {
+    fn journal_push(&mut self, record: String) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.push(record);
+        }
+    }
 }
 
 /// A shared registry of materialized Contexts.
@@ -103,6 +116,13 @@ impl ContextManager {
             original_cost,
             last_used,
         });
+        if store.journal.is_some() {
+            let mut entry_text = String::new();
+            encode_entry(store.entries.last().expect("just pushed"), &mut entry_text);
+            let mut record = String::from("I\t");
+            esc(&entry_text, &mut record);
+            store.journal_push(record);
+        }
         self.evict_over_capacity(&mut store);
     }
 
@@ -125,6 +145,7 @@ impl ContextManager {
             // restore path runs this during recovery, which must never
             // panic (lint rule P1): bail instead.
             let Some(victim) = victim else { break };
+            store.journal_push(format!("E\t{victim}"));
             store.entries.remove(victim);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -159,6 +180,7 @@ impl ContextManager {
                 store.tick += 1;
                 let tick = store.tick;
                 store.entries[index].last_used = tick;
+                store.journal_push(format!("B\t{index}\t{tick}"));
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 (Some(store.entries[index].clone()), sim)
             }
@@ -188,8 +210,127 @@ impl ContextManager {
     }
 
     /// Drops every materialization (tests/trials). Counters survive.
+    /// Any pending journal is dropped too — the next full snapshot is
+    /// the new baseline.
     pub fn clear(&self) {
-        self.inner.write().entries.clear();
+        let mut store = self.inner.write();
+        store.entries.clear();
+        if let Some(journal) = store.journal.as_mut() {
+            journal.clear();
+        }
+    }
+
+    /// Turns the mutation journal on (or off). Enabling starts from an
+    /// empty journal; the runtime drains it into delta frames between
+    /// full snapshots.
+    pub fn set_journal(&self, enabled: bool) {
+        self.inner.write().journal = enabled.then(Vec::new);
+    }
+
+    /// Pending delta records since the last drain or full snapshot.
+    pub fn journal_len(&self) -> usize {
+        self.inner.read().journal.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Takes the pending delta records, leaving the journal empty. Each
+    /// record is a newline-free payload [`ContextManager::apply_delta`]
+    /// can replay in order.
+    pub fn drain_journal(&self) -> Vec<String> {
+        let mut store = self.inner.write();
+        store
+            .journal
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Returns drained records to the FRONT of the journal, preserving
+    /// emission order. A failed frame append must not silently drop
+    /// mutations: the caller puts them back and the next frame carries
+    /// them.
+    pub fn restore_journal(&self, mut records: Vec<String>) {
+        let mut store = self.inner.write();
+        if let Some(journal) = store.journal.as_mut() {
+            records.append(journal);
+            *journal = records;
+        }
+    }
+
+    /// Re-applies the capacity bound. Used after delta-chain replay,
+    /// where a chain truncated between an insert and its eviction can
+    /// leave the store transiently over capacity. The trim's own
+    /// journal records are dropped: replay is a restore, and the next
+    /// save after any restore rewrites a full snapshot.
+    pub fn trim_to_capacity(&self) {
+        let mut store = self.inner.write();
+        self.evict_over_capacity(&mut store);
+        if let Some(journal) = store.journal.as_mut() {
+            journal.clear();
+        }
+    }
+
+    /// Replays one journal record against the store. Records are
+    /// index-addressed against the entry order at the time they were
+    /// journaled, so they MUST be applied in emission order on top of
+    /// the exact base they extend; any structural violation (bad tag,
+    /// out-of-range index, malformed entry) is a [`SnapshotError`] and
+    /// the caller must discard the rest of the chain.
+    pub fn apply_delta(
+        &self,
+        payload: &str,
+        rebuild: &dyn Fn(&str, DataLake, &str) -> Context,
+    ) -> Result<(), SnapshotError> {
+        let (tag, rest) = payload
+            .split_once('\t')
+            .ok_or_else(|| fail("bad delta record"))?;
+        let mut store = self.inner.write();
+        match tag {
+            "I" => {
+                let entry_text = unesc(rest)?;
+                let mut lines = entry_text.lines();
+                let first = lines.next().ok_or_else(|| fail("empty delta entry"))?;
+                let e = decode_entry_block(first, &mut lines)?;
+                if lines.next().is_some() {
+                    return Err(fail("trailing delta entry lines"));
+                }
+                let lake = DataLake::from_docs(e.docs);
+                let mut context = rebuild(&e.id, lake, &e.description);
+                context.findings = e.findings.map(Arc::new);
+                let last_used = e.last_used;
+                store.entries.push(MaterializedContext {
+                    embedding: self.embedder.embed(&e.instruction),
+                    instruction: e.instruction,
+                    context,
+                    original_cost: e.original_cost,
+                    last_used,
+                });
+                store.tick = store.tick.max(last_used);
+            }
+            "B" => {
+                let (index, tick) = rest
+                    .split_once('\t')
+                    .and_then(|(i, t)| Some((i.parse::<usize>().ok()?, t.parse::<u64>().ok()?)))
+                    .ok_or_else(|| fail("bad bump record"))?;
+                let entry = store
+                    .entries
+                    .get_mut(index)
+                    .ok_or_else(|| fail("bump index out of range"))?;
+                entry.last_used = tick;
+                store.tick = store.tick.max(tick);
+            }
+            "E" => {
+                let index = rest
+                    .parse::<usize>()
+                    .map_err(|_| fail("bad evict record"))?;
+                if index >= store.entries.len() {
+                    return Err(fail("evict index out of range"));
+                }
+                store.entries.remove(index);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => return Err(fail("unknown delta tag")),
+        }
+        Ok(())
     }
 
     /// Encodes the whole store — every materialization with its lineage
@@ -248,6 +389,12 @@ impl ContextManager {
         let max_used = store.entries.iter().map(|e| e.last_used).max().unwrap_or(0);
         store.tick = store.tick.max(decoded.tick).max(max_used);
         self.evict_over_capacity(&mut store);
+        // The restore is a fresh baseline: any journal records from the
+        // trim above describe mutations already visible in the loaded
+        // state, not changes a delta frame still needs to carry.
+        if let Some(journal) = store.journal.as_mut() {
+            journal.clear();
+        }
         Ok(store.entries.len())
     }
 }
@@ -350,51 +497,61 @@ fn decode_store(body: &str) -> Result<DecodedStore, SnapshotError> {
         .ok_or_else(|| fail("bad tick line"))?;
     let mut entries = Vec::new();
     while let Some(line) = lines.next() {
-        let fields: Vec<&str> = line.split('\t').collect();
-        if fields.first() != Some(&"C") || fields.len() != 8 {
-            return Err(fail("bad context line"));
-        }
-        let instruction = unesc(fields[1])?;
-        let original_cost = u64::from_str_radix(fields[2], 16)
-            .map(f64::from_bits)
-            .map_err(|_| fail("bad cost bits"))?;
-        let last_used = fields[3]
-            .parse::<u64>()
-            .map_err(|_| fail("bad last_used"))?;
-        let id = unesc(fields[4])?;
-        let description = unesc(fields[5])?;
-        let ndocs = fields[6]
-            .parse::<usize>()
-            .map_err(|_| fail("bad doc count"))?;
-        let has_findings = match fields[7] {
-            "0" => false,
-            "1" => true,
-            _ => return Err(fail("bad findings flag")),
-        };
-        let mut docs = Vec::with_capacity(ndocs);
-        for _ in 0..ndocs {
-            docs.push(decode_doc(
-                lines.next().ok_or_else(|| fail("missing document line"))?,
-            )?);
-        }
-        let findings = if has_findings {
-            Some(decode_findings(
-                lines.next().ok_or_else(|| fail("missing findings line"))?,
-            )?)
-        } else {
-            None
-        };
-        entries.push(DecodedEntry {
-            instruction,
-            original_cost,
-            last_used,
-            id,
-            description,
-            docs,
-            findings,
-        });
+        entries.push(decode_entry_block(line, &mut lines)?);
     }
     Ok(DecodedStore { tick, entries })
+}
+
+/// Decodes one entry's `C` line (`first`) plus its `D`/`F` lines pulled
+/// from `lines`. Shared by the whole-store decoder and the delta-frame
+/// replay, so an `I` record can never drift from the snapshot format.
+fn decode_entry_block(
+    first: &str,
+    lines: &mut std::str::Lines,
+) -> Result<DecodedEntry, SnapshotError> {
+    let fields: Vec<&str> = first.split('\t').collect();
+    if fields.first() != Some(&"C") || fields.len() != 8 {
+        return Err(fail("bad context line"));
+    }
+    let instruction = unesc(fields[1])?;
+    let original_cost = u64::from_str_radix(fields[2], 16)
+        .map(f64::from_bits)
+        .map_err(|_| fail("bad cost bits"))?;
+    let last_used = fields[3]
+        .parse::<u64>()
+        .map_err(|_| fail("bad last_used"))?;
+    let id = unesc(fields[4])?;
+    let description = unesc(fields[5])?;
+    let ndocs = fields[6]
+        .parse::<usize>()
+        .map_err(|_| fail("bad doc count"))?;
+    let has_findings = match fields[7] {
+        "0" => false,
+        "1" => true,
+        _ => return Err(fail("bad findings flag")),
+    };
+    let mut docs = Vec::with_capacity(ndocs);
+    for _ in 0..ndocs {
+        docs.push(decode_doc(
+            lines.next().ok_or_else(|| fail("missing document line"))?,
+        )?);
+    }
+    let findings = if has_findings {
+        Some(decode_findings(
+            lines.next().ok_or_else(|| fail("missing findings line"))?,
+        )?)
+    } else {
+        None
+    };
+    Ok(DecodedEntry {
+        instruction,
+        original_cost,
+        last_used,
+        id,
+        description,
+        docs,
+        findings,
+    })
 }
 
 fn decode_doc(line: &str) -> Result<Document, SnapshotError> {
@@ -704,6 +861,49 @@ mod tests {
             !hit.instruction.contains("cheap"),
             "the cheapest entry is the trim victim"
         );
+    }
+
+    #[test]
+    fn journal_replay_reproduces_the_store_byte_for_byte() {
+        let rt = Runtime::builder().build();
+        let manager = ContextManager::with_capacity(2);
+        manager.set_journal(true);
+
+        // Baseline: one entry, then a full snapshot drains nothing (the
+        // runtime clears via drain) — replay starts from this base.
+        manager.register("expensive exhaustive legal scan", ctx(&rt, "a"), 2.0);
+        let base = manager.encode_snapshot();
+        let drained = manager.drain_journal();
+        assert_eq!(drained.len(), 1, "register journals one insert");
+
+        // Mutations after the base: insert, recency bump, insert that
+        // evicts (capacity 2 — the cheap probe is the victim).
+        manager.register("cheap keyword probe", ctx(&rt, "b"), 0.01);
+        assert!(manager
+            .reuse("expensive exhaustive legal scan", 0.95)
+            .is_some());
+        manager.register("medium targeted extraction", ctx(&rt, "c"), 0.5);
+        let deltas = manager.drain_journal();
+        assert_eq!(manager.journal_len(), 0);
+        assert!(
+            deltas.iter().any(|d| d.starts_with("E\t")),
+            "the over-capacity insert journals its eviction: {deltas:?}"
+        );
+
+        let rebuild = |id: &str, lake: DataLake, desc: &str| {
+            Context::builder(id, lake).description(desc).build(&rt)
+        };
+        let replica = ContextManager::with_capacity(2);
+        assert_eq!(replica.load_snapshot(&base, &rebuild).unwrap(), 1);
+        for delta in &deltas {
+            replica.apply_delta(delta, &rebuild).unwrap();
+        }
+        assert_eq!(replica.encode_snapshot(), manager.encode_snapshot());
+
+        // Structural violations reject instead of applying garbage.
+        assert!(replica.apply_delta("B\t99\t7", &rebuild).is_err());
+        assert!(replica.apply_delta("E\t99", &rebuild).is_err());
+        assert!(replica.apply_delta("X\tnope", &rebuild).is_err());
     }
 
     #[test]

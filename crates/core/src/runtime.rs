@@ -1,7 +1,7 @@
 //! The runtime: shared services every query uses.
 
 use crate::manager::ContextManager;
-use aida_data::Table;
+use aida_data::{DataLake, Table};
 use aida_llm::snapshot::{self, FailPlan, SnapshotError};
 use aida_llm::{ModelId, SimLlm, UsageSnapshot};
 use aida_obs::{registry, Event, Recorder, SpanKind};
@@ -64,6 +64,15 @@ pub struct RuntimeConfig {
     /// cache) every N agentic operator completions (0 = only on explicit
     /// [`Runtime::save_state`] / [`Runtime::save_cache`]).
     pub checkpoint_interval: u64,
+    /// Incremental checkpoints: when set, [`Runtime::save_state`] emits
+    /// checksummed delta frames (the ContextManager's mutation journal)
+    /// to `<state_path>.delta` between full snapshots, so checkpoint
+    /// cost tracks what changed instead of total store size.
+    pub delta_checkpoints: bool,
+    /// In delta mode, rewrite a full snapshot (and reset the delta
+    /// chain) after this many delta frames. Bounds recovery replay
+    /// length; 0 falls back to the default (16).
+    pub full_snapshot_every: u64,
     /// Where the flight recorder dumps its ring of recent events when a
     /// crash seam fires, a recovery path runs, or an SLO alert trips
     /// (`None` = no automatic dumps). Only meaningful with `tracing`.
@@ -91,9 +100,24 @@ impl Default for RuntimeConfig {
             cache_path: None,
             state_path: None,
             checkpoint_interval: 0,
+            delta_checkpoints: false,
+            full_snapshot_every: 16,
             flight_path: None,
         }
     }
+}
+
+/// Where the incremental checkpointer stands in the current delta
+/// chain. `base_sum` is the FNV-64 of the full snapshot the chain
+/// extends; frames are stamped with it so a stale chain (from a crash
+/// between a full-snapshot commit and the chain reset) can never be
+/// applied to the wrong base. `None` forces the next save to write a
+/// full snapshot.
+#[derive(Debug, Default)]
+struct DeltaState {
+    next_seq: u64,
+    frames: u64,
+    base_sum: Option<u64>,
 }
 
 /// The shared runtime: simulated LLM + clock, context manager, and the SQL
@@ -106,6 +130,8 @@ pub struct Runtime {
     catalog: Arc<Mutex<Catalog>>,
     /// Agentic operator completions, driving the ops-interval checkpoint.
     ops_done: Arc<AtomicU64>,
+    /// Incremental-checkpoint chain position (delta mode only).
+    delta: Arc<Mutex<DeltaState>>,
 }
 
 impl Runtime {
@@ -184,14 +210,80 @@ impl Runtime {
         self.save_state_with(None)
     }
 
+    /// The delta-chain path for the configured `state_path` (delta
+    /// checkpoints land in `<state_path>.delta`).
+    pub fn delta_path(&self) -> Option<std::path::PathBuf> {
+        self.config.state_path.as_ref().map(|p| delta_path_for(p))
+    }
+
     /// [`Runtime::save_state`] with an optional crash-injection plan
-    /// (threaded through by the durability suite).
+    /// (threaded through by the durability suite). In delta mode
+    /// ([`RuntimeConfig::delta_checkpoints`]) this appends one
+    /// checksummed delta frame carrying the journal of mutations since
+    /// the previous checkpoint; every
+    /// [`RuntimeConfig::full_snapshot_every`] frames (and on the first
+    /// save, or after any restore) it rewrites the full snapshot and
+    /// resets the chain.
     pub fn save_state_with(&self, plan: Option<&FailPlan>) -> std::io::Result<bool> {
         let Some(path) = &self.config.state_path else {
             return Ok(false);
         };
-        snapshot::commit_atomic(path, &self.manager.encode_snapshot(), plan)?;
+        if !self.config.delta_checkpoints {
+            let text = self.manager.encode_snapshot();
+            snapshot::commit_atomic(path, &text, plan)?;
+            self.recorder().counter_add(registry::CHECKPOINT_SAVES, 1);
+            self.recorder()
+                .counter_add(registry::CHECKPOINT_BYTES, text.len() as u64);
+            return Ok(true);
+        }
+        let full_every = self.config.full_snapshot_every.max(1);
+        let mut delta = self.delta.lock();
+        if delta.base_sum.is_none() || delta.frames >= full_every {
+            // Full rewrite: the journal's mutations are folded into the
+            // snapshot, so the chain (and the journal) reset. The chain
+            // file is removed only after the snapshot commits — a crash
+            // in between leaves a stale chain whose base stamp no longer
+            // matches, which recovery discards.
+            let text = self.manager.encode_snapshot();
+            snapshot::commit_atomic(path, &text, plan)?;
+            let _ = self.manager.drain_journal();
+            match std::fs::remove_file(delta_path_for(path)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+            delta.base_sum = Some(snapshot::fnv64(text.as_bytes()));
+            delta.frames = 0;
+            delta.next_seq = 0;
+            self.recorder().counter_add(registry::CHECKPOINT_SAVES, 1);
+            self.recorder()
+                .counter_add(registry::CHECKPOINT_BYTES, text.len() as u64);
+            return Ok(true);
+        }
+        let records = self.manager.drain_journal();
+        if records.is_empty() {
+            // Nothing changed since the last frame: the checkpoint is a
+            // durable no-op, not an error.
+            return Ok(true);
+        }
+        let base = delta.base_sum.expect("checked above");
+        let payload = encode_delta_frame(base, &records);
+        let seq = delta.next_seq;
+        if let Err(e) = snapshot::delta_append(&delta_path_for(path), seq, &payload, plan) {
+            // The mutations are not durable yet: put them back so the
+            // next (retried) frame still carries them.
+            self.manager.restore_journal(records);
+            return Err(e);
+        }
+        delta.next_seq += 1;
+        delta.frames += 1;
         self.recorder().counter_add(registry::CHECKPOINT_SAVES, 1);
+        self.recorder()
+            .counter_add(registry::CHECKPOINT_DELTA_FRAMES, 1);
+        self.recorder().counter_add(
+            registry::CHECKPOINT_BYTES,
+            snapshot::wal_record_line(seq, &payload).len() as u64,
+        );
         Ok(true)
     }
 
@@ -210,11 +302,47 @@ impl Runtime {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
             Err(e) => return Err(e.into()),
         };
-        let n = self.manager.load_snapshot(&text, &|id, lake, desc| {
+        let rebuild = |id: &str, lake: DataLake, desc: &str| {
             crate::Context::builder(id, lake)
                 .description(desc)
                 .build(self)
-        })?;
+        };
+        let mut n = self.manager.load_snapshot(&text, &rebuild)?;
+        if self.config.delta_checkpoints {
+            // Replay the delta chain on top of the snapshot. Frames are
+            // trusted up to the first violation — torn tail, bad
+            // checksum, out-of-order seq (all caught by the WAL replay),
+            // a base stamp that doesn't match this snapshot, or a record
+            // the store rejects — exactly the suffix-truncation
+            // semantics of the ledger WAL. After a restore, the next
+            // save rewrites a full snapshot, so the chain on disk is
+            // never extended against a base it didn't come from.
+            let base_sum = snapshot::fnv64(text.as_bytes());
+            let replay = snapshot::wal_replay(&delta_path_for(path)).map_err(SnapshotError::Io)?;
+            let mut frames = 0u64;
+            'frames: for (_, payload) in &replay.records {
+                let Some(records) = decode_delta_frame(base_sum, payload) else {
+                    break 'frames;
+                };
+                for record in &records {
+                    if self.manager.apply_delta(record, &rebuild).is_err() {
+                        break 'frames;
+                    }
+                }
+                frames += 1;
+            }
+            if frames > 0 {
+                self.recorder().flight(
+                    "core.state",
+                    "delta_replayed",
+                    format!("{frames} delta frames on top of the snapshot"),
+                );
+            }
+            self.manager.trim_to_capacity();
+            n = self.manager.len();
+            let mut delta = self.delta.lock();
+            *delta = DeltaState::default();
+        }
         self.recorder()
             .counter_add(registry::STATE_RESTORED_CONTEXTS, n as u64);
         if n > 0 {
@@ -368,6 +496,41 @@ impl std::fmt::Debug for Runtime {
     }
 }
 
+/// The delta-chain sibling of a state snapshot path.
+fn delta_path_for(path: &std::path::Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".delta");
+    std::path::PathBuf::from(os)
+}
+
+/// Encodes one delta frame: the base-snapshot stamp, then each journal
+/// record re-escaped so the frame stays a single newline-free,
+/// tab-separated WAL payload (records themselves contain real tabs).
+fn encode_delta_frame(base_sum: u64, records: &[String]) -> String {
+    let mut payload = format!("{base_sum:016x}");
+    for record in records {
+        payload.push('\t');
+        snapshot::esc(record, &mut payload);
+    }
+    payload
+}
+
+/// Decodes a delta frame, returning its journal records — or `None`
+/// when the frame is malformed or stamped against a different base
+/// snapshot (a stale or cross-generation chain).
+fn decode_delta_frame(base_sum: u64, payload: &str) -> Option<Vec<String>> {
+    let mut fields = payload.split('\t');
+    let stamped = u64::from_str_radix(fields.next()?, 16).ok()?;
+    if stamped != base_sum {
+        return None;
+    }
+    let mut records = Vec::new();
+    for field in fields {
+        records.push(snapshot::unesc(field).ok()?);
+    }
+    Some(records)
+}
+
 /// Builder for [`Runtime`].
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeBuilder {
@@ -472,6 +635,20 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables incremental (delta-frame) checkpoints: saves between
+    /// full snapshots append only what changed to `<state_path>.delta`.
+    pub fn delta_checkpoints(mut self, enable: bool) -> Self {
+        self.config.delta_checkpoints = enable;
+        self
+    }
+
+    /// In delta mode, rewrite a full snapshot after this many delta
+    /// frames (bounds recovery replay length).
+    pub fn full_snapshot_every(mut self, frames: u64) -> Self {
+        self.config.full_snapshot_every = frames;
+        self
+    }
+
     /// Sets the flight-recorder dump path: when a crash seam fires, a
     /// recovery path runs, or an SLO alert trips, the recorder's ring of
     /// recent events is written there. Requires `.tracing(true)`.
@@ -525,7 +702,13 @@ impl RuntimeBuilder {
             catalog: Arc::new(Mutex::new(Catalog::new())),
             config: self.config,
             ops_done: Arc::new(AtomicU64::new(0)),
+            delta: Arc::new(Mutex::new(DeltaState::default())),
         };
+        if runtime.config.delta_checkpoints {
+            // The journal must observe every mutation from the start,
+            // or the first delta frame would silently miss changes.
+            runtime.manager.set_journal(true);
+        }
         if runtime.config.state_path.is_some() {
             // Best-effort warm start: a missing or corrupt snapshot
             // simply starts with an empty store.

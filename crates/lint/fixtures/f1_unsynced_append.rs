@@ -1,0 +1,26 @@
+// Bad example for rule F1 (in-place write sites): a WAL-tail append and
+// a delta-frame append that reach the page cache but never fsync. The
+// caller acknowledges the record, the machine loses power, and the
+// "durable" suffix evaporates — exactly the torn-tail class the
+// recovery suite injects.
+
+use std::io::Write;
+use std::path::Path;
+
+pub fn append_wal_record(path: &Path, line: &str) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(line.as_bytes())?;
+    file.flush()?; // library-buffer flush, not an fsync
+    Ok(())
+}
+
+pub fn append_delta_frame(path: &Path, frame: &[u8]) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(frame)
+}

@@ -1,0 +1,12 @@
+// Bad example for rule F1 (segment seal): the tail is fsynced before
+// the rename, but the parent directory never is — so the sealed segment
+// name itself can vanish in a power cut, resurrecting the tail under
+// its old name on one boot and the segment on the next.
+
+use std::path::Path;
+
+pub fn seal_segment(tail: &Path, sealed: &Path) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new().write(true).open(tail)?;
+    file.sync_all()?; // the data is durable…
+    std::fs::rename(tail, sealed) // …but the rename is not
+}

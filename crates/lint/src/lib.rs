@@ -76,7 +76,11 @@ impl Config {
                 "crates/core/src/manager.rs",
                 "crates/serve/src/tenant.rs",
             ]),
-            durability_files: s(&["crates/llm/src/snapshot.rs", "crates/serve/src/tenant.rs"]),
+            durability_files: s(&[
+                "crates/llm/src/snapshot.rs",
+                "crates/serve/src/tenant.rs",
+                "crates/core/src/runtime.rs",
+            ]),
             recovery_files: s(&[
                 "crates/llm/src/snapshot.rs",
                 "crates/llm/src/cache.rs",

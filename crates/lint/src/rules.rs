@@ -503,12 +503,16 @@ fn statement_range(view: &FileView, i: usize) -> (usize, usize) {
 
 /// F1: in durability files, any function that creates or renames a file
 /// must also fsync the file (`sync_all`) and its parent directory in the
-/// same function, or the write can vanish in a power cut.
+/// same function, or the write can vanish in a power cut. In-place
+/// write sites (`OpenOptions` appends to a WAL tail or delta chain,
+/// durable truncations) need `sync_all` too, though not the directory
+/// fsync — the name itself is not changing.
 fn rule_f1_fsync_pairing(view: &FileView, out: &mut Vec<Finding>) {
     const DIR_SYNC: &[&str] = &["sync_parent_dir", "sync_dir", "fsync_parent", "fsync_dir"];
     for f in &view.fns {
         let (lo, hi) = f.range;
         let mut writes: Vec<usize> = Vec::new();
+        let mut in_place: Vec<usize> = Vec::new();
         let mut has_sync_all = false;
         let mut has_dir_sync = false;
         for j in lo..hi.min(view.toks.len()) {
@@ -526,32 +530,36 @@ fn rule_f1_fsync_pairing(view: &FileView, out: &mut Vec<Finding>) {
                 "fs" if view.is_punct(j + 1, "::") && view.is_ident(j + 2, "rename") => {
                     writes.push(j);
                 }
+                "OpenOptions" => in_place.push(j),
                 "sync_all" => has_sync_all = true,
                 t if DIR_SYNC.contains(&t) => has_dir_sync = true,
                 _ => {}
             }
         }
-        if writes.is_empty() {
+        if writes.is_empty() && in_place.is_empty() {
             continue;
         }
-        let first = writes[0];
         if !has_sync_all {
+            let (first, how) = match writes.first() {
+                Some(&j) => (j, "creates/renames a file"),
+                None => (in_place[0], "opens a file for in-place writes"),
+            };
             out.push(view.finding(
                 "F1",
                 Severity::Error,
                 first,
                 format!(
-                    "fn `{}` creates/renames a file but never calls sync_all; \
+                    "fn `{}` {how} but never calls sync_all; \
                      the write is not durable across a crash",
                     f.name
                 ),
             ));
         }
-        if !has_dir_sync {
+        if !writes.is_empty() && !has_dir_sync {
             out.push(view.finding(
                 "F1",
                 Severity::Error,
-                first,
+                writes[0],
                 format!(
                     "fn `{}` creates/renames a file but never fsyncs the parent \
                      directory; the rename itself can be lost",

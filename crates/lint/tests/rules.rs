@@ -66,6 +66,29 @@ fn f1_fixture_fires_for_both_missing_fsyncs() {
 }
 
 #[test]
+fn f1_fixture_fires_for_unsynced_in_place_writes() {
+    let (rel, src) = fixture("f1_unsynced_append.rs");
+    let findings = rules::scan_file(&rel, &src, &fixture_cfg(&rel));
+    assert_eq!(rules_fired(&findings), vec!["F1"], "{findings:?}");
+    // Both append sites fire the sync_all finding; neither renames, so
+    // the parent-directory finding stays quiet.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings
+        .iter()
+        .all(|f| f.message.contains("in-place writes")));
+}
+
+#[test]
+fn f1_fixture_fires_for_seal_without_dir_fsync() {
+    let (rel, src) = fixture("f1_unsynced_seal.rs");
+    let findings = rules::scan_file(&rel, &src, &fixture_cfg(&rel));
+    assert_eq!(rules_fired(&findings), vec!["F1"], "{findings:?}");
+    // sync_all is present, so only the parent-directory finding fires.
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("parent"));
+}
+
+#[test]
 fn p1_fixture_fires_for_every_panic_site() {
     let (rel, src) = fixture("p1_panic_recovery.rs");
     let findings = rules::scan_file(&rel, &src, &fixture_cfg(&rel));

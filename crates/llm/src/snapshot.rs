@@ -323,11 +323,22 @@ pub enum CrashPoint {
     /// After the record is fully appended: the write IS durable, the
     /// process dies before acknowledging.
     WalAfterAppend,
+    /// Before the rename that seals the active WAL tail into an
+    /// immutable segment. The records themselves are already durable;
+    /// only the seal is lost, so recovery replays the unsealed tail.
+    WalSegmentSeal,
+    /// Mid-append of a delta frame: a prefix of the frame lands, then
+    /// the process dies. Replay truncates to the previous intact frame.
+    DeltaTornAppend,
+    /// Before a group-commit batch reaches the file: every record in
+    /// the batch is lost together, so the durable log trails memory by
+    /// at most one batch.
+    GroupCommitFlush,
 }
 
 impl CrashPoint {
     /// Every crash point, for exhaustive matrices in tests.
-    pub const ALL: [CrashPoint; 7] = [
+    pub const ALL: [CrashPoint; 10] = [
         CrashPoint::SnapshotBeforeWrite,
         CrashPoint::SnapshotTornWrite,
         CrashPoint::SnapshotBeforeRename,
@@ -335,6 +346,9 @@ impl CrashPoint {
         CrashPoint::WalBeforeAppend,
         CrashPoint::WalTornAppend,
         CrashPoint::WalAfterAppend,
+        CrashPoint::WalSegmentSeal,
+        CrashPoint::DeltaTornAppend,
+        CrashPoint::GroupCommitFlush,
     ];
 
     /// Whether the write at this point is already durable when the crash
@@ -479,7 +493,7 @@ fn tmp_sibling(path: &Path) -> PathBuf {
 /// entry survives an OS crash/power cut, not merely a process crash.
 /// Platforms whose directory handles reject fsync (e.g. Windows) report
 /// success once the rename itself has been issued.
-fn sync_parent_dir(path: &Path) -> io::Result<()> {
+pub fn sync_parent_dir(path: &Path) -> io::Result<()> {
     if !cfg!(unix) {
         return Ok(());
     }
@@ -578,6 +592,116 @@ pub fn wal_append(path: &Path, seq: u64, payload: &str, plan: Option<&FailPlan>)
     }
     if let Some(plan) = plan {
         plan.check(CrashPoint::WalAfterAppend)?;
+    }
+    Ok(())
+}
+
+/// Appends a batch of records to the WAL at `path` with a SINGLE
+/// `sync_all` (group commit): records are numbered `first_seq..` in
+/// order and written as one contiguous byte run, so either the batch's
+/// prefix survives a tear (the per-record checksums truncate the rest)
+/// or the whole batch lands durably under one fsync. The optional
+/// [`FailPlan`] can drop the entire batch before any byte lands
+/// ([`CrashPoint::GroupCommitFlush`]) or tear it mid-record
+/// ([`CrashPoint::WalTornAppend`]).
+pub fn wal_append_batch(
+    path: &Path,
+    first_seq: u64,
+    payloads: &[String],
+    plan: Option<&FailPlan>,
+) -> io::Result<()> {
+    if payloads.is_empty() {
+        return Ok(());
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut batch = String::new();
+    for (i, payload) in payloads.iter().enumerate() {
+        batch.push_str(&wal_record_line(first_seq + i as u64, payload));
+    }
+    if let Some(plan) = plan {
+        plan.check(CrashPoint::GroupCommitFlush)?;
+    }
+    let created = !path.exists();
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if let Some(keep) = plan.and_then(|p| p.torn(CrashPoint::WalTornAppend)) {
+        let bytes = batch.as_bytes();
+        file.write_all(&bytes[..keep.min(bytes.len())])?;
+        file.flush()?;
+        return Err(FailPlan::crash_error(CrashPoint::WalTornAppend));
+    }
+    file.write_all(batch.as_bytes())?;
+    // One sync_all for the whole batch: this is the entire point of
+    // group commit — durability cost amortizes across the records.
+    file.sync_all()?;
+    if created {
+        sync_parent_dir(path)?;
+    }
+    if let Some(plan) = plan {
+        plan.check(CrashPoint::WalAfterAppend)?;
+    }
+    Ok(())
+}
+
+/// Seals the active WAL tail at `path` into the immutable segment file
+/// at `sealed` via rename. The records inside are already individually
+/// durable (every append fsyncs), so the seal is pure metadata: a crash
+/// before the rename ([`CrashPoint::WalSegmentSeal`]) simply leaves the
+/// tail active and recovery replays it in place. `sync_all` on the tail
+/// plus the parent-directory fsync make the new name itself survive a
+/// power cut.
+pub fn wal_seal_segment(path: &Path, sealed: &Path, plan: Option<&FailPlan>) -> io::Result<()> {
+    if let Some(plan) = plan {
+        plan.check(CrashPoint::WalSegmentSeal)?;
+    }
+    // Re-sync the tail so no acknowledged byte is still in the page
+    // cache when the rename commits the segment's final name.
+    std::fs::File::open(path)?.sync_all()?;
+    std::fs::rename(path, sealed)?;
+    sync_parent_dir(sealed)?;
+    Ok(())
+}
+
+/// Appends one checksummed delta frame to the chain at `path`. Same
+/// record codec and fsync discipline as [`wal_append`], but with its
+/// own torn-write crash point ([`CrashPoint::DeltaTornAppend`]) so the
+/// durability suite can kill a checkpoint's delta emission
+/// independently of the ledger WAL.
+pub fn delta_append(
+    path: &Path,
+    seq: u64,
+    payload: &str,
+    plan: Option<&FailPlan>,
+) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let line = wal_record_line(seq, payload);
+    let created = !path.exists();
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if let Some(keep) = plan.and_then(|p| p.torn(CrashPoint::DeltaTornAppend)) {
+        let bytes = line.as_bytes();
+        file.write_all(&bytes[..keep.min(bytes.len())])?;
+        file.flush()?;
+        return Err(FailPlan::crash_error(CrashPoint::DeltaTornAppend));
+    }
+    file.write_all(line.as_bytes())?;
+    // sync_all (not just flush): an emitted frame must survive an OS
+    // crash/power cut, or replay could skip a hole in the chain.
+    file.sync_all()?;
+    if created {
+        sync_parent_dir(path)?;
     }
     Ok(())
 }
@@ -820,6 +944,88 @@ mod tests {
         // The crash itself is the last record in the ring.
         let records = recorder.flight_records();
         assert_eq!(records.last().unwrap().kind, "crash_point");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn wal_append_batch_is_one_tail_and_replays_in_order() {
+        let d = dir("walbatch");
+        let path = d.join("ledger.wal");
+        wal_append(&path, 0, "admit\tacme", None).unwrap();
+        let batch = vec!["spend\tacme\t1".to_string(), "spend\tbolt\t2".to_string()];
+        wal_append_batch(&path, 1, &batch, None).unwrap();
+        let replay = wal_replay(&path).unwrap();
+        assert!(!replay.dropped_tail);
+        assert_eq!(
+            replay.records,
+            vec![
+                (0, "admit\tacme".to_string()),
+                (1, "spend\tacme\t1".to_string()),
+                (2, "spend\tbolt\t2".to_string()),
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn group_flush_crash_loses_the_whole_batch() {
+        let d = dir("groupflush");
+        let path = d.join("ledger.wal");
+        wal_append(&path, 0, "admit\tacme", None).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        let plan = FailPlan::new(CrashPoint::GroupCommitFlush);
+        let batch = vec!["spend\tacme\t1".to_string(), "spend\tbolt\t2".to_string()];
+        let err = wal_append_batch(&path, 1, &batch, Some(&plan)).unwrap_err();
+        assert!(FailPlan::is_crash(&err));
+        // Not a single byte of the batch landed: the log is exactly the
+        // pre-crash log (trails memory by one batch, never a torn one).
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_batch_keeps_an_intact_prefix() {
+        let d = dir("tornbatch");
+        let path = d.join("ledger.wal");
+        let first = wal_record_line(0, "spend\tacme\t1");
+        let plan = FailPlan::new(CrashPoint::WalTornAppend).torn_keep(first.len() + 5);
+        let batch = vec!["spend\tacme\t1".to_string(), "spend\tbolt\t2".to_string()];
+        let err = wal_append_batch(&path, 0, &batch, Some(&plan)).unwrap_err();
+        assert!(FailPlan::is_crash(&err));
+        let replay = wal_replay(&path).unwrap();
+        assert!(replay.dropped_tail);
+        assert_eq!(replay.records, vec![(0, "spend\tacme\t1".to_string())]);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn seal_crash_leaves_the_tail_active() {
+        let d = dir("seal");
+        let tail = d.join("ledger.wal");
+        let sealed = d.join("ledger.wal.0000000000000000.seg");
+        wal_append(&tail, 0, "a", None).unwrap();
+        let plan = FailPlan::new(CrashPoint::WalSegmentSeal);
+        let err = wal_seal_segment(&tail, &sealed, Some(&plan)).unwrap_err();
+        assert!(FailPlan::is_crash(&err));
+        assert!(tail.exists() && !sealed.exists());
+        // Without the plan the seal commits: same bytes, new name.
+        wal_seal_segment(&tail, &sealed, None).unwrap();
+        assert!(!tail.exists() && sealed.exists());
+        assert_eq!(wal_replay(&sealed).unwrap().records.len(), 1);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn delta_append_tears_like_a_wal_record() {
+        let d = dir("delta");
+        let path = d.join("state.delta");
+        delta_append(&path, 0, "I\tctx-one", None).unwrap();
+        let plan = FailPlan::new(CrashPoint::DeltaTornAppend).torn_keep(4);
+        let err = delta_append(&path, 1, "E\tctx-one", Some(&plan)).unwrap_err();
+        assert!(FailPlan::is_crash(&err));
+        let replay = wal_replay(&path).unwrap();
+        assert!(replay.dropped_tail);
+        assert_eq!(replay.records, vec![(0, "I\tctx-one".to_string())]);
         let _ = std::fs::remove_dir_all(&d);
     }
 

@@ -28,6 +28,10 @@ pub const CACHE_MISS: &str = "cache.miss";
 pub const CHECKPOINT_SAVES: &str = "checkpoint.saves";
 /// Checkpoint attempts that failed (serialization or commit error).
 pub const CHECKPOINT_ERRORS: &str = "checkpoint.errors";
+/// Bytes written by checkpoints (full snapshots + delta frames).
+pub const CHECKPOINT_BYTES: &str = "checkpoint.bytes_written";
+/// Incremental delta frames appended between full snapshots.
+pub const CHECKPOINT_DELTA_FRAMES: &str = "checkpoint.delta_frames";
 /// Contexts restored from a state file at cold start.
 pub const STATE_RESTORED_CONTEXTS: &str = "state.restored_contexts";
 /// SQL statements executed against the catalog.
@@ -54,6 +58,17 @@ pub const WAL_APPENDS: &str = "wal.appends";
 pub const WAL_APPEND_ERRORS: &str = "wal.append_errors";
 /// Ledger WAL compactions performed.
 pub const WAL_COMPACTIONS: &str = "wal.compactions";
+/// Compactions deferred off the query path to the ops-interval hook.
+pub const WAL_COMPACTIONS_DEFERRED: &str = "wal.compactions_deferred";
+/// Ops-interval compactions that failed (I/O error or injected crash;
+/// dispatch stops, exactly like an append failure).
+pub const WAL_COMPACTION_ERRORS: &str = "wal.compaction_errors";
+/// WAL tail segments sealed into immutable segment files.
+pub const WAL_SEGMENTS_SEALED: &str = "wal.segments_sealed";
+/// Physical fsyncs issued by the ledger WAL (appends + batch flushes).
+pub const WAL_FSYNCS: &str = "wal.fsyncs";
+/// Group-commit batches flushed (one fsync per batch).
+pub const WAL_GROUP_FLUSHES: &str = "wal.group_flushes";
 /// Ledger WAL records replayed during recovery.
 pub const WAL_REPLAYED_RECORDS: &str = "wal.replayed_records";
 /// Corrupt/unparseable WAL records skipped during recovery.
@@ -112,6 +127,8 @@ mod tests {
             CACHE_MISS,
             CHECKPOINT_SAVES,
             CHECKPOINT_ERRORS,
+            CHECKPOINT_BYTES,
+            CHECKPOINT_DELTA_FRAMES,
             STATE_RESTORED_CONTEXTS,
             SQL_STATEMENTS,
             CONTEXT_REUSE_HITS,
@@ -122,6 +139,11 @@ mod tests {
             WAL_APPENDS,
             WAL_APPEND_ERRORS,
             WAL_COMPACTIONS,
+            WAL_COMPACTIONS_DEFERRED,
+            WAL_COMPACTION_ERRORS,
+            WAL_SEGMENTS_SEALED,
+            WAL_FSYNCS,
+            WAL_GROUP_FLUSHES,
             WAL_REPLAYED_RECORDS,
             WAL_SKIPPED_RECORDS,
             WAL_DROPPED_TAILS,

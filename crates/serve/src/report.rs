@@ -122,11 +122,24 @@ pub struct ServiceReport {
     pub wal_appends: u64,
     /// Ledger-WAL compactions triggered during the run.
     pub wal_compactions: u64,
+    /// Compactions found due on the query path and deferred to the
+    /// ops-interval hook (one count per completion served while due).
+    pub wal_compactions_deferred: u64,
     /// Ledger-WAL records replayed at startup before this run.
     pub wal_replayed: u64,
+    /// Data-file fsyncs the ledger WAL issued during the run.
+    pub wal_fsyncs: u64,
+    /// Group-commit batches flushed during the run (one fsync each).
+    pub wal_group_flushes: u64,
+    /// WAL tails sealed into immutable segments during the run.
+    pub wal_segments_sealed: u64,
+    /// The crash-staleness bound in records: the durable log trails the
+    /// in-memory ledger by at most this many records (1 = per-record
+    /// durability; >1 = group commit; 0 = no WAL attached).
+    pub wal_batch_bound: u64,
     /// True when a WAL append or compaction failed and dispatch stopped
-    /// early (crash semantics: the durable log is at most one record
-    /// behind the in-memory ledger).
+    /// early (crash semantics: the durable log is at most
+    /// `wal_batch_bound` records behind the in-memory ledger).
     pub wal_failed: bool,
     /// Per-tenant windowed health rows, in tenant-id order (empty until
     /// a run evaluates them).
@@ -302,6 +315,15 @@ impl ServiceReport {
                 self.wal_replayed,
                 if self.wal_failed { ", WAL FAILED" } else { "" },
             );
+            let _ = writeln!(
+                out,
+                "log i/o: {} fsyncs / {} group flushes  (staleness bound {} records, {} segments sealed, {} compactions deferred)",
+                self.wal_fsyncs,
+                self.wal_group_flushes,
+                self.wal_batch_bound,
+                self.wal_segments_sealed,
+                self.wal_compactions_deferred,
+            );
         }
         match self.isolated_cost_usd {
             Some(isolated) if isolated > 0.0 => {
@@ -404,7 +426,12 @@ impl ServiceReport {
             .field("cache_hit_rate", self.cache_hit_rate())
             .field("wal_appends", self.wal_appends)
             .field("wal_compactions", self.wal_compactions)
+            .field("wal_compactions_deferred", self.wal_compactions_deferred)
             .field("wal_replayed", self.wal_replayed)
+            .field("wal_fsyncs", self.wal_fsyncs)
+            .field("wal_group_flushes", self.wal_group_flushes)
+            .field("wal_segments_sealed", self.wal_segments_sealed)
+            .field("wal_batch_bound", self.wal_batch_bound)
             .field("wal_failed", self.wal_failed)
             .field("slo_alerts", self.slo_alerts)
             .field("makespan_s", self.makespan_s)
@@ -548,6 +575,31 @@ mod tests {
         let jsonl = report.to_jsonl();
         assert!(jsonl.contains(r#""wal_appends":12"#));
         assert!(jsonl.contains(r#""wal_failed":true"#));
+    }
+
+    #[test]
+    fn log_io_line_surfaces_group_commit_and_staleness_bound() {
+        let mut report = ServiceReport::default();
+        assert!(!report.render().contains("log i/o:"));
+        report.wal_appends = 40;
+        report.wal_fsyncs = 6;
+        report.wal_group_flushes = 5;
+        report.wal_batch_bound = 8;
+        report.wal_segments_sealed = 2;
+        report.wal_compactions_deferred = 3;
+        let text = report.render();
+        assert!(
+            text.contains(
+                "log i/o: 6 fsyncs / 5 group flushes  (staleness bound 8 records, 2 segments sealed, 3 compactions deferred)"
+            ),
+            "{text}"
+        );
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains(r#""wal_fsyncs":6"#));
+        assert!(jsonl.contains(r#""wal_group_flushes":5"#));
+        assert!(jsonl.contains(r#""wal_batch_bound":8"#));
+        assert!(jsonl.contains(r#""wal_segments_sealed":2"#));
+        assert!(jsonl.contains(r#""wal_compactions_deferred":3"#));
     }
 
     fn health_row(tenant: &str, alerting: bool) -> TenantHealth {

@@ -44,6 +44,16 @@ pub struct ServeConfig {
     pub health_slots: usize,
     /// Burn-rate evaluation windows and alert threshold.
     pub slo_policy: SloPolicy,
+    /// Group-commit batch bound: ledger records are buffered and flushed
+    /// to the WAL under one fsync once this many accumulate (plus at
+    /// every ops-interval boundary and at end of run). `0` or `1` keeps
+    /// per-record durability. The bound is also the crash-staleness
+    /// guarantee: the durable log trails the in-memory ledger by at most
+    /// this many records.
+    pub group_commit: usize,
+    /// Completions between background-ops hooks (WAL compaction checks
+    /// run here, off the per-query path; minimum 1).
+    pub ops_interval: u64,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +64,8 @@ impl Default for ServeConfig {
             health_slot_s: 10.0,
             health_slots: 64,
             slo_policy: SloPolicy::default(),
+            group_commit: 0,
+            ops_interval: 16,
         }
     }
 }
@@ -83,6 +95,18 @@ impl ServeConfig {
     /// Sets the SLO burn-rate policy.
     pub fn slo_policy(mut self, policy: SloPolicy) -> ServeConfig {
         self.slo_policy = policy;
+        self
+    }
+
+    /// Sets the group-commit batch bound (0 or 1 = per-record fsync).
+    pub fn group_commit(mut self, records: usize) -> ServeConfig {
+        self.group_commit = records;
+        self
+    }
+
+    /// Sets how many completions pass between background-ops hooks.
+    pub fn ops_interval(mut self, completions: u64) -> ServeConfig {
+        self.ops_interval = completions;
         self
     }
 }
@@ -231,7 +255,10 @@ impl QueryService {
         let runtime = self.runtime.clone();
         let contexts = &self.contexts;
         let tenants = &mut self.tenants;
+        let wal_stats_before = self.wal.as_ref().map(|w| w.stats()).unwrap_or_default();
         let wal = &mut self.wal;
+        let group_commit = self.config.group_commit;
+        let ops_interval = self.config.ops_interval.max(1);
         let trace_gauge = runtime.recorder().is_enabled();
 
         std::thread::scope(|scope| {
@@ -278,7 +305,49 @@ impl QueryService {
                     });
                 };
 
+            // Group commit: the deterministic commit buffer. Records
+            // accumulate here and land under ONE fsync per batch — at
+            // the batch bound, at every ops-interval boundary, and at
+            // end of run. A crash loses at most one buffered batch.
+            let mut batch: Vec<LedgerRecord> = Vec::new();
+            let flush_batch = |w: &mut LedgerWal,
+                               batch: &mut Vec<LedgerRecord>,
+                               report: &mut ServiceReport|
+             -> std::io::Result<()> {
+                if batch.is_empty() {
+                    return Ok(());
+                }
+                let n = batch.len() as u64;
+                w.append_batch(batch)?;
+                batch.clear();
+                report.wal_appends += n;
+                runtime.recorder().counter_add(registry::WAL_APPENDS, n);
+                Ok(())
+            };
+            let log_record = |w: &mut LedgerWal,
+                              batch: &mut Vec<LedgerRecord>,
+                              report: &mut ServiceReport,
+                              record: LedgerRecord|
+             -> std::io::Result<()> {
+                if group_commit > 1 {
+                    batch.push(record);
+                    if batch.len() >= group_commit {
+                        return flush_batch(w, batch, report);
+                    }
+                    Ok(())
+                } else {
+                    w.append(&record)?;
+                    report.wal_appends += 1;
+                    runtime.recorder().counter_add(registry::WAL_APPENDS, 1);
+                    Ok(())
+                }
+            };
+
             let mut pending = requests.into_iter().peekable();
+            // Completions since the run began, driving the ops-interval
+            // hook (background WAL compaction runs there, never on the
+            // per-query path).
+            let mut ops_completions = 0u64;
             // The scheduler's virtual cursor: monotone, so admission and
             // dispatch instants never run backwards.
             let mut now = 0.0_f64;
@@ -317,25 +386,20 @@ impl QueryService {
                         Ok(()) => {
                             report.tenants.entry(tenant.clone()).or_default().admitted += 1;
                             if let Some(w) = wal.as_mut() {
-                                match w.append(&LedgerRecord::Admit {
+                                let record = LedgerRecord::Admit {
                                     tenant: tenant.clone(),
-                                }) {
-                                    Ok(_) => {
-                                        report.wal_appends += 1;
-                                        runtime.recorder().counter_add(registry::WAL_APPENDS, 1);
-                                    }
-                                    Err(e) => {
-                                        let recorder = runtime.recorder();
-                                        recorder.counter_add(registry::WAL_APPEND_ERRORS, 1);
-                                        recorder.event(Event::Error {
-                                            counter: registry::WAL_APPEND_ERRORS.to_string(),
-                                            detail: format!(
-                                                "admit record for tenant {tenant} failed: {e}"
-                                            ),
-                                        });
-                                        report.wal_failed = true;
-                                        break 'dispatch;
-                                    }
+                                };
+                                if let Err(e) = log_record(w, &mut batch, &mut report, record) {
+                                    let recorder = runtime.recorder();
+                                    recorder.counter_add(registry::WAL_APPEND_ERRORS, 1);
+                                    recorder.event(Event::Error {
+                                        counter: registry::WAL_APPEND_ERRORS.to_string(),
+                                        detail: format!(
+                                            "admit record for tenant {tenant} failed: {e}"
+                                        ),
+                                    });
+                                    report.wal_failed = true;
+                                    break 'dispatch;
                                 }
                             }
                         }
@@ -418,37 +482,59 @@ impl QueryService {
                         cache_hits: cache_delta.hits,
                         cache_coalesced: cache_delta.coalesced,
                     };
-                    let failure = match w.append(&record) {
-                        Ok(_) => {
-                            report.wal_appends += 1;
-                            runtime.recorder().counter_add(registry::WAL_APPENDS, 1);
-                            match w.maybe_compact(tenants) {
-                                Ok(compacted) => {
-                                    if compacted {
-                                        report.wal_compactions += 1;
-                                        runtime
-                                            .recorder()
-                                            .counter_add(registry::WAL_COMPACTIONS, 1);
-                                    }
-                                    None
+                    let mut fatal: Option<(&str, String)> = None;
+                    let spend_failed = |e: std::io::Error| {
+                        let detail =
+                            format!("spend record for tenant {} failed: {e}", request.tenant);
+                        (registry::WAL_APPEND_ERRORS, detail)
+                    };
+                    match log_record(w, &mut batch, &mut report, record) {
+                        Ok(()) => {
+                            ops_completions += 1;
+                            if ops_completions.is_multiple_of(ops_interval) {
+                                // Background ops: flush first so the
+                                // compaction snapshot never claims
+                                // coverage of records still sitting in
+                                // the commit buffer.
+                                match flush_batch(w, &mut batch, &mut report) {
+                                    Ok(()) if w.compaction_due() => match w.compact(tenants) {
+                                        Ok(_) => {
+                                            report.wal_compactions += 1;
+                                            runtime
+                                                .recorder()
+                                                .counter_add(registry::WAL_COMPACTIONS, 1);
+                                        }
+                                        Err(e) => {
+                                            fatal = Some((
+                                                registry::WAL_COMPACTION_ERRORS,
+                                                format!("ledger compaction failed: {e}"),
+                                            ));
+                                        }
+                                    },
+                                    Ok(()) => {}
+                                    Err(e) => fatal = Some(spend_failed(e)),
                                 }
-                                Err(e) => Some(e),
+                            } else if w.compaction_due() {
+                                // Due but not at an ops boundary: count
+                                // the deferral instead of paying the
+                                // snapshot rewrite on the query path.
+                                report.wal_compactions_deferred += 1;
+                                runtime
+                                    .recorder()
+                                    .counter_add(registry::WAL_COMPACTIONS_DEFERRED, 1);
                             }
                         }
-                        Err(e) => Some(e),
-                    };
-                    if let Some(e) = failure {
+                        Err(e) => fatal = Some(spend_failed(e)),
+                    }
+                    if let Some((counter, detail)) = fatal {
                         // Crash semantics: stop dispatching, so the durable
-                        // log trails the in-memory ledger by at most this
-                        // one record.
+                        // log trails the in-memory ledger by at most one
+                        // batch of records.
                         let recorder = runtime.recorder();
-                        recorder.counter_add(registry::WAL_APPEND_ERRORS, 1);
+                        recorder.counter_add(counter, 1);
                         recorder.event(Event::Error {
-                            counter: registry::WAL_APPEND_ERRORS.to_string(),
-                            detail: format!(
-                                "spend record for tenant {} failed: {e}",
-                                request.tenant
-                            ),
+                            counter: counter.to_string(),
+                            detail,
                         });
                         report.wal_failed = true;
                         break 'dispatch;
@@ -484,6 +570,21 @@ impl QueryService {
                 tenant_report.queue_wait.record(completion.queue_wait_s());
                 report.completions.push(completion);
             }
+            // End of run: drain the commit buffer so every acknowledged
+            // record is durable before the report is trusted.
+            if let Some(w) = wal.as_mut() {
+                if !report.wal_failed {
+                    if let Err(e) = flush_batch(w, &mut batch, &mut report) {
+                        let recorder = runtime.recorder();
+                        recorder.counter_add(registry::WAL_APPEND_ERRORS, 1);
+                        recorder.event(Event::Error {
+                            counter: registry::WAL_APPEND_ERRORS.to_string(),
+                            detail: format!("end-of-run group flush failed: {e}"),
+                        });
+                        report.wal_failed = true;
+                    }
+                }
+            }
             drop(job_tx);
         });
 
@@ -500,6 +601,17 @@ impl QueryService {
             report.cache_coalesced = delta.coalesced;
             report.cache_misses = delta.misses;
             report.cache_bytes = Some(after.bytes);
+        }
+        if let Some(w) = &self.wal {
+            let stats = w.stats();
+            report.wal_fsyncs = stats.fsyncs - wal_stats_before.fsyncs;
+            report.wal_group_flushes = stats.group_flushes - wal_stats_before.group_flushes;
+            report.wal_segments_sealed = stats.segments_sealed - wal_stats_before.segments_sealed;
+            report.wal_batch_bound = self.config.group_commit.max(1) as u64;
+            let recorder = self.runtime.recorder();
+            recorder.counter_add(registry::WAL_FSYNCS, report.wal_fsyncs);
+            recorder.counter_add(registry::WAL_GROUP_FLUSHES, report.wal_group_flushes);
+            recorder.counter_add(registry::WAL_SEGMENTS_SEALED, report.wal_segments_sealed);
         }
         report.makespan_s = timeline.makespan();
         report.total_cost_usd = report.tenants.values().map(|t| t.cost_usd).sum();
@@ -954,6 +1066,125 @@ mod tests {
         // Hit/coalesced/miss counts are visible on every surface.
         assert!(report.render().contains("semantic cache:"));
         assert!(report.to_jsonl().contains(r#""cache_hits""#));
+    }
+
+    #[test]
+    fn group_commit_reduces_fsyncs_at_identical_spend() {
+        let dir = std::env::temp_dir().join(format!(
+            "aida-svc-group-commit-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let requests = || -> Vec<QueryRequest> {
+            (0..8)
+                .map(|i| {
+                    let tenant = if i % 2 == 0 { "acme" } else { "bolt" };
+                    let mut r =
+                        QueryRequest::new(tenant, "reports", format!("count theft in 200{i}"))
+                            .at(i as f64 * 0.5);
+                    r.seq = i as u64;
+                    r
+                })
+                .collect()
+        };
+        let run = |config: ServeConfig, wal_path: &std::path::Path| {
+            let rt = Runtime::builder().seed(7).build();
+            let ctx = Context::builder("lake", lake())
+                .description("FTC identity theft reports by year")
+                .build(&rt);
+            let mut svc = QueryService::new(rt, config);
+            svc.register_context("reports", ctx);
+            svc.register_tenant("acme", TenantConfig::default());
+            svc.register_tenant("bolt", TenantConfig::default());
+            svc.attach_wal(LedgerWal::open(wal_path)).unwrap();
+            let report = svc.run(requests());
+            let spends: Vec<u64> = ["acme", "bolt"]
+                .iter()
+                .map(|t| svc.tenants().spend(&(*t).into()).usd.to_bits())
+                .collect();
+            (report, spends)
+        };
+        let base = ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            ..ServeConfig::default()
+        };
+        let (plain, plain_spend) = run(base.clone(), &dir.join("plain.wal"));
+        let (grouped, grouped_spend) = run(base.group_commit(8), &dir.join("grouped.wal"));
+        assert_eq!(plain.completions.len(), grouped.completions.len());
+        // Identical per-tenant dollars, bit for bit.
+        assert_eq!(plain_spend, grouped_spend);
+        assert_eq!(plain.wal_appends, grouped.wal_appends, "same records");
+        // 16 records (8 admits + 8 spends): per-record durability costs
+        // 16 fsyncs, batches of 8 cost 2.
+        assert_eq!(plain.wal_fsyncs, 16);
+        assert_eq!(plain.wal_batch_bound, 1);
+        assert_eq!(grouped.wal_fsyncs, 2);
+        assert_eq!(grouped.wal_group_flushes, 2);
+        assert_eq!(grouped.wal_batch_bound, 8);
+
+        // Both logs replay to the identical ledger.
+        for (wal_name, spends) in [("plain.wal", &plain_spend), ("grouped.wal", &grouped_spend)] {
+            let mut restarted = crate::tenant::TenantLedger::new();
+            LedgerWal::open(dir.join(wal_name))
+                .recover(&mut restarted)
+                .unwrap();
+            let replayed: Vec<u64> = ["acme", "bolt"]
+                .iter()
+                .map(|t| restarted.spend(&(*t).into()).usd.to_bits())
+                .collect();
+            assert_eq!(&replayed, spends, "{wal_name}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_waits_for_the_ops_interval_and_counts_deferrals() {
+        let dir = std::env::temp_dir().join(format!(
+            "aida-svc-ops-compact-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let rt = Runtime::builder().seed(7).build();
+        let ctx = Context::builder("lake", lake())
+            .description("FTC identity theft reports by year")
+            .build(&rt);
+        let mut svc = QueryService::new(
+            rt,
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 16,
+                ops_interval: 4,
+                ..ServeConfig::default()
+            },
+        );
+        svc.register_context("reports", ctx);
+        svc.register_tenant("acme", TenantConfig::default());
+        // Threshold 2: compaction is due almost immediately, but it may
+        // only run at every 4th completion.
+        svc.attach_wal(LedgerWal::open(dir.join("ledger.wal")).compact_threshold(2))
+            .unwrap();
+        let requests: Vec<QueryRequest> = (0..6)
+            .map(|i| {
+                let mut r = QueryRequest::new("acme", "reports", format!("count theft in 200{i}"))
+                    .at(i as f64 * 10.0);
+                r.seq = i as u64;
+                r
+            })
+            .collect();
+        let report = svc.run(requests);
+        assert_eq!(report.completions.len(), 6);
+        assert!(report.wal_compactions >= 1, "{}", report.render());
+        assert!(
+            report.wal_compactions_deferred >= 1,
+            "due-but-deferred completions must be counted: {}",
+            report.render()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -312,12 +312,28 @@ pub struct WalRecovery {
     /// them (a crash between snapshot-commit and WAL-truncate leaves
     /// such records behind; skipping keeps replay idempotent).
     pub skipped: u64,
-    /// Whether a torn/corrupt WAL tail was truncated — physically, so
+    /// Whether a torn/corrupt suffix was truncated — physically, so
     /// post-recovery appends start on a fresh line rather than merging
-    /// into the torn record.
+    /// into the torn record. Damage inside a sealed segment also drops
+    /// every later segment and the active tail.
     pub dropped_tail: bool,
+    /// Sealed segment files whose intact records were replayed.
+    pub sealed_segments: u64,
     /// The next sequence number new appends will use.
     pub next_seq: u64,
+}
+
+/// Lifetime I/O counters for one [`LedgerWal`] (monotone; diff two
+/// snapshots for a per-run delta).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Data-file fsyncs issued (appends, batch flushes, compactions;
+    /// directory fsyncs excluded).
+    pub fsyncs: u64,
+    /// Group-commit batches flushed (one fsync each).
+    pub group_flushes: u64,
+    /// Tail files sealed into immutable segments.
+    pub segments_sealed: u64,
 }
 
 const LEDGER_MAGIC: &str = "aida-ledger v1";
@@ -325,17 +341,36 @@ const LEDGER_MAGIC: &str = "aida-ledger v1";
 /// The append-only tenant-ledger WAL. Every admit and every completed
 /// query appends one checksummed, sequence-numbered record; on startup
 /// [`LedgerWal::recover`] loads the compacted snapshot (the WAL path's
-/// `.ledger` sibling) and replays the intact WAL suffix, so quotas and
-/// spend are exact across restarts. Once the replayable WAL grows past
-/// `compact_threshold` records, the ledger is compacted into the
-/// snapshot and the WAL truncated.
+/// `.ledger` sibling), replays every sealed segment in sequence order,
+/// then replays the intact active tail, so quotas and spend are exact
+/// across restarts.
+///
+/// # Log structure
+///
+/// With [`LedgerWal::segment_records`] set, the active tail file is
+/// sealed into an immutable sibling named `<wal>.<first_seq:hex16>.seg`
+/// once it holds that many records (hex-16 names sort in sequence
+/// order). Compaction then folds the durable state into the snapshot and
+/// deletes only sealed segment files — the active tail is never
+/// rewritten, so compaction cost is independent of concurrent appends
+/// (tail records the snapshot already covers replay as `skipped`).
+/// Without segmentation the WAL is a single file and compaction
+/// truncates it, as before.
 #[derive(Debug)]
 pub struct LedgerWal {
     path: PathBuf,
     snapshot_path: PathBuf,
     next_seq: u64,
     records_in_wal: usize,
+    /// Records physically in the active tail file (covered-by-snapshot
+    /// records included) — the seal threshold counts these.
+    records_in_tail: usize,
+    /// Sequence number of the tail's first record (names the segment the
+    /// tail becomes when sealed).
+    tail_first_seq: u64,
     compact_threshold: usize,
+    segment_max_records: usize,
+    stats: WalStats,
     plan: Option<Arc<FailPlan>>,
 }
 
@@ -352,7 +387,11 @@ impl LedgerWal {
             path,
             next_seq: 0,
             records_in_wal: 0,
+            records_in_tail: 0,
+            tail_first_seq: 0,
             compact_threshold: 256,
+            segment_max_records: 0,
+            stats: WalStats::default(),
             plan: None,
         }
     }
@@ -361,6 +400,13 @@ impl LedgerWal {
     /// (0 = never compact automatically).
     pub fn compact_threshold(mut self, records: usize) -> LedgerWal {
         self.compact_threshold = records;
+        self
+    }
+
+    /// Seals the active tail into an immutable `.seg` segment once it
+    /// holds this many records (0 = never seal; single-file WAL).
+    pub fn segment_records(mut self, records: usize) -> LedgerWal {
+        self.segment_max_records = records;
         self
     }
 
@@ -386,12 +432,78 @@ impl LedgerWal {
         self.next_seq
     }
 
+    /// Lifetime I/O counters (fsyncs, group flushes, seals).
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Whether the replayable WAL has reached the compaction threshold.
+    /// The query path checks this to *count* deferred compactions; the
+    /// ops-interval hook acts on it.
+    pub fn compaction_due(&self) -> bool {
+        self.compact_threshold > 0 && self.records_in_wal >= self.compact_threshold
+    }
+
+    /// The sealed-segment path for a tail whose first record is `seq`.
+    fn segment_path(&self, first_seq: u64) -> PathBuf {
+        let mut os = self.path.as_os_str().to_owned();
+        os.push(format!(".{first_seq:016x}.seg"));
+        PathBuf::from(os)
+    }
+
+    /// Sealed segment files beside the WAL, sorted by first sequence
+    /// number (the hex-16 name embeds it, so lexical order is replay
+    /// order).
+    fn sealed_segments(&self) -> std::io::Result<Vec<(u64, PathBuf)>> {
+        let parent = match self.path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        let Some(stem) = self
+            .path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+        else {
+            return Ok(Vec::new());
+        };
+        let entries = match std::fs::read_dir(parent) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut out = Vec::new();
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(hex) = name
+                .strip_prefix(stem.as_str())
+                .and_then(|rest| rest.strip_prefix('.'))
+                .and_then(|rest| rest.strip_suffix(".seg"))
+            else {
+                continue;
+            };
+            if hex.len() != 16 {
+                continue;
+            }
+            let Ok(seq) = u64::from_str_radix(hex, 16) else {
+                continue;
+            };
+            out.push((seq, entry.path()));
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        Ok(out)
+    }
+
     /// Rebuilds `ledger` from disk: applies the compacted snapshot (if
-    /// any), then replays every intact WAL record the snapshot does not
-    /// already cover. A torn tail is physically truncated off the file
-    /// so subsequent appends never merge into the torn record; a corrupt
-    /// snapshot is a typed error (the caller decides whether to start
-    /// cold).
+    /// any), replays every sealed segment in sequence order, then
+    /// replays the intact active tail — skipping records the snapshot
+    /// already covers. A torn suffix is physically truncated so
+    /// subsequent appends never merge into the torn record; damage
+    /// inside a sealed segment additionally drops every later segment
+    /// and the tail, so two recoveries in a row trust the same prefix.
+    /// A corrupt snapshot is a typed error (the caller decides whether
+    /// to start cold).
     pub fn recover(&mut self, ledger: &mut TenantLedger) -> Result<WalRecovery, SnapshotError> {
         let mut recovery = WalRecovery::default();
         let mut base_seq = 0u64;
@@ -408,29 +520,99 @@ impl LedgerWal {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e.into()),
         }
+        self.next_seq = base_seq;
+        self.records_in_wal = 0;
+        self.records_in_tail = 0;
+
+        // Replay stops trusting the log at the first violation; once a
+        // sealed segment is damaged or out of sequence, every later
+        // segment and the tail are dropped *physically*, so the next
+        // recovery reconstructs the identical state.
+        let mut last_seq: Option<u64> = None;
+        let mut poisoned = false;
+        for (_, seg_path) in self.sealed_segments().map_err(SnapshotError::Io)? {
+            if poisoned {
+                std::fs::remove_file(&seg_path).map_err(SnapshotError::Io)?;
+                continue;
+            }
+            let replay = snapshot::wal_replay(&seg_path)?;
+            // Within a file wal_replay enforces increasing sequence
+            // numbers, so a cross-file break can only show at the first
+            // record: a segment that does not continue the chain is not
+            // ours — drop it whole.
+            let continues = replay
+                .records
+                .first()
+                .is_none_or(|(seq, _)| last_seq.is_none_or(|last| *seq > last));
+            if !continues {
+                std::fs::remove_file(&seg_path).map_err(SnapshotError::Io)?;
+                recovery.dropped_tail = true;
+                poisoned = true;
+                continue;
+            }
+            for (seq, payload) in &replay.records {
+                if *seq < base_seq {
+                    recovery.skipped += 1;
+                } else {
+                    let record = LedgerRecord::decode(payload)?;
+                    ledger.apply(&record);
+                    recovery.replayed += 1;
+                    self.records_in_wal += 1;
+                }
+                last_seq = Some(*seq);
+                self.next_seq = *seq + 1;
+            }
+            recovery.sealed_segments += 1;
+            if replay.dropped_tail {
+                let file = std::fs::OpenOptions::new().write(true).open(&seg_path)?;
+                file.set_len(replay.valid_len)?;
+                file.sync_all()?;
+                recovery.dropped_tail = true;
+                poisoned = true;
+            }
+        }
+
+        if poisoned {
+            truncate_durably(&self.path, 0)?;
+            self.tail_first_seq = self.next_seq;
+            recovery.next_seq = self.next_seq;
+            return Ok(recovery);
+        }
         let replay = snapshot::wal_replay(&self.path)?;
-        recovery.dropped_tail = replay.dropped_tail;
+        let continues = replay
+            .records
+            .first()
+            .is_none_or(|(seq, _)| last_seq.is_none_or(|last| *seq > last));
+        if !continues {
+            truncate_durably(&self.path, 0)?;
+            recovery.dropped_tail = true;
+            self.tail_first_seq = self.next_seq;
+            recovery.next_seq = self.next_seq;
+            return Ok(recovery);
+        }
         if replay.dropped_tail {
             // Physically truncate the torn tail, not just logically skip
             // it: a later append would otherwise land on the torn line,
             // fail its checksum on the next replay, and drop every
             // acknowledged record written after this recovery.
-            let file = std::fs::OpenOptions::new().write(true).open(&self.path)?;
-            file.set_len(replay.valid_len)?;
-            file.sync_all()?;
+            truncate_durably(&self.path, replay.valid_len)?;
+            recovery.dropped_tail = true;
         }
-        self.next_seq = base_seq;
-        self.records_in_wal = 0;
-        for (seq, payload) in replay.records {
-            if seq < base_seq {
+        self.tail_first_seq = replay
+            .records
+            .first()
+            .map_or(self.next_seq, |(seq, _)| *seq);
+        for (seq, payload) in &replay.records {
+            if *seq < base_seq {
                 recovery.skipped += 1;
-                continue;
+            } else {
+                let record = LedgerRecord::decode(payload)?;
+                ledger.apply(&record);
+                recovery.replayed += 1;
+                self.records_in_wal += 1;
             }
-            let record = LedgerRecord::decode(&payload)?;
-            ledger.apply(&record);
-            recovery.replayed += 1;
-            self.records_in_wal += 1;
-            self.next_seq = seq + 1;
+            self.records_in_tail += 1;
+            self.next_seq = *seq + 1;
         }
         recovery.next_seq = self.next_seq;
         Ok(recovery)
@@ -443,42 +625,115 @@ impl LedgerWal {
     pub fn append(&mut self, record: &LedgerRecord) -> std::io::Result<u64> {
         let seq = self.next_seq;
         snapshot::wal_append(&self.path, seq, &record.encode(), self.plan.as_deref())?;
+        self.stats.fsyncs += 1;
         self.next_seq = seq + 1;
         self.records_in_wal += 1;
+        self.records_in_tail += 1;
+        self.maybe_seal()?;
         Ok(seq)
+    }
+
+    /// Appends a batch of records under a SINGLE fsync (group commit),
+    /// returning the first record's sequence number. Either a prefix of
+    /// the batch survives a tear or the whole batch lands; on an error
+    /// the caller must stop appending and recover, exactly as for
+    /// [`LedgerWal::append`].
+    pub fn append_batch(&mut self, records: &[LedgerRecord]) -> std::io::Result<u64> {
+        let first = self.next_seq;
+        if records.is_empty() {
+            return Ok(first);
+        }
+        let payloads: Vec<String> = records.iter().map(|r| r.encode()).collect();
+        snapshot::wal_append_batch(&self.path, first, &payloads, self.plan.as_deref())?;
+        self.stats.fsyncs += 1;
+        self.stats.group_flushes += 1;
+        self.next_seq = first + records.len() as u64;
+        self.records_in_wal += records.len();
+        self.records_in_tail += records.len();
+        self.maybe_seal()?;
+        Ok(first)
+    }
+
+    /// Seals the active tail into an immutable segment if it has reached
+    /// the segment size. Sealing renames the fsynced tail (records stay
+    /// durable throughout); the next append recreates the tail file.
+    fn maybe_seal(&mut self) -> std::io::Result<bool> {
+        if self.segment_max_records == 0 || self.records_in_tail < self.segment_max_records {
+            return Ok(false);
+        }
+        let sealed = self.segment_path(self.tail_first_seq);
+        snapshot::wal_seal_segment(&self.path, &sealed, self.plan.as_deref())?;
+        self.stats.fsyncs += 1;
+        self.stats.segments_sealed += 1;
+        self.records_in_tail = 0;
+        self.tail_first_seq = self.next_seq;
+        Ok(true)
     }
 
     /// Compacts if the replayable WAL has reached the threshold.
     /// Returns whether a compaction ran.
     pub fn maybe_compact(&mut self, ledger: &TenantLedger) -> std::io::Result<bool> {
-        if self.compact_threshold == 0 || self.records_in_wal < self.compact_threshold {
+        if !self.compaction_due() {
             return Ok(false);
         }
         self.compact(ledger)
     }
 
     /// Writes the ledger's current state into the compacted snapshot
-    /// (atomic commit), then truncates the WAL. A crash between the two
+    /// (atomic commit), then reclaims log space. A crash between the two
     /// steps is safe: recovery skips WAL records the snapshot already
     /// covers.
+    ///
+    /// `ledger` must reflect every record appended so far — with a
+    /// group-commit buffer in front of this WAL, flush it first, or the
+    /// snapshot would claim coverage of spends whose records never
+    /// landed.
+    ///
+    /// Segmented WALs delete sealed segment files only and leave the
+    /// active tail in place (its covered records replay as skipped);
+    /// single-file WALs truncate, as before.
     pub fn compact(&mut self, ledger: &TenantLedger) -> std::io::Result<bool> {
         let framed = encode_ledger_snapshot(self.next_seq, ledger);
         snapshot::commit_atomic(&self.snapshot_path, &framed, self.plan.as_deref())?;
-        // Durable truncate: `fs::write(path, "")` alone leaves the
-        // zero-length state unsynced, so after a power cut the WAL's
-        // on-disk length is undefined — stale pre-compaction bytes could
-        // coexist with post-compaction appends in whatever order the
-        // filesystem flushed them. fsyncing the truncation pins the
-        // empty state before any new append lands.
-        let wal = std::fs::OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&self.path)?;
-        wal.sync_all()?;
+        self.stats.fsyncs += 1;
+        if self.segment_max_records == 0 {
+            // Durable truncate: `fs::write(path, "")` alone leaves the
+            // zero-length state unsynced, so after a power cut the WAL's
+            // on-disk length is undefined — stale pre-compaction bytes
+            // could coexist with post-compaction appends in whatever
+            // order the filesystem flushed them. fsyncing the truncation
+            // pins the empty state before any new append lands.
+            let wal = std::fs::OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&self.path)?;
+            wal.sync_all()?;
+            self.stats.fsyncs += 1;
+            self.records_in_tail = 0;
+            self.tail_first_seq = self.next_seq;
+        } else {
+            for (_, seg) in self.sealed_segments()? {
+                std::fs::remove_file(seg)?;
+            }
+            snapshot::sync_parent_dir(&self.path)?;
+        }
         self.records_in_wal = 0;
         Ok(true)
     }
+}
+
+/// Truncates `path` to `len` bytes and fsyncs, so the dropped suffix is
+/// gone durably — not just until the next power cut. Missing files are
+/// fine (an empty tail needs no truncation).
+fn truncate_durably(path: &Path, len: u64) -> std::io::Result<()> {
+    let file = match std::fs::OpenOptions::new().write(true).open(path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    file.set_len(len)?;
+    file.sync_all()
 }
 
 fn encode_ledger_snapshot(next_seq: u64, ledger: &TenantLedger) -> String {
@@ -725,6 +980,253 @@ mod tests {
         assert_eq!(recovery2.replayed, 3);
         assert_eq!(
             ledger2.spend(&acme).usd.to_bits(),
+            ledger.spend(&acme).usd.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn segments_seal_and_recovery_replays_them_in_order() {
+        let d = wal_dir("segments");
+        let acme: TenantId = "acme".into();
+        let mut ledger = TenantLedger::new();
+        let mut wal = LedgerWal::open(d.join("tenants.wal")).segment_records(2);
+        for i in 0..5 {
+            let record = spend_record(&acme, 0.01 * (i + 1) as f64);
+            ledger.apply(&record);
+            wal.append(&record).unwrap();
+        }
+        // 5 appends at segment size 2: two sealed segments + 1-record tail.
+        assert_eq!(wal.stats().segments_sealed, 2);
+        assert!(d.join("tenants.wal.0000000000000000.seg").is_file());
+        assert!(d.join("tenants.wal.0000000000000002.seg").is_file());
+        assert!(d.join("tenants.wal").is_file());
+
+        let mut restarted = TenantLedger::new();
+        let mut wal2 = LedgerWal::open(d.join("tenants.wal")).segment_records(2);
+        let recovery = wal2.recover(&mut restarted).unwrap();
+        assert_eq!(recovery.sealed_segments, 2);
+        assert_eq!(recovery.replayed, 5);
+        assert!(!recovery.dropped_tail);
+        assert_eq!(wal2.next_seq(), 5);
+        assert_eq!(
+            restarted.spend(&acme).usd.to_bits(),
+            ledger.spend(&acme).usd.to_bits()
+        );
+
+        // Post-recovery appends continue the chain and survive another
+        // restart.
+        let post = spend_record(&acme, 1.0);
+        restarted.apply(&post);
+        wal2.append(&post).unwrap();
+        let mut again = TenantLedger::new();
+        let recovery2 = LedgerWal::open(d.join("tenants.wal"))
+            .segment_records(2)
+            .recover(&mut again)
+            .unwrap();
+        assert_eq!(recovery2.replayed, 6);
+        assert_eq!(
+            again.spend(&acme).usd.to_bits(),
+            restarted.spend(&acme).usd.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn batch_append_costs_one_fsync_and_replays_bit_identical() {
+        let d = wal_dir("batch");
+        let acme: TenantId = "acme".into();
+        let bolt: TenantId = "bolt".into();
+        let mut ledger = TenantLedger::new();
+        let mut wal = LedgerWal::open(d.join("tenants.wal"));
+        let batch = vec![
+            LedgerRecord::Admit {
+                tenant: acme.clone(),
+            },
+            spend_record(&acme, 0.123456789),
+            spend_record(&bolt, 0.000000071),
+        ];
+        for record in &batch {
+            ledger.apply(record);
+        }
+        assert_eq!(wal.append_batch(&batch).unwrap(), 0);
+        let stats = wal.stats();
+        assert_eq!(stats.fsyncs, 1, "one sync_all for the whole batch");
+        assert_eq!(stats.group_flushes, 1);
+        assert_eq!(wal.next_seq(), 3);
+
+        let mut restarted = TenantLedger::new();
+        let recovery = LedgerWal::open(d.join("tenants.wal"))
+            .recover(&mut restarted)
+            .unwrap();
+        assert_eq!(recovery.replayed, 3);
+        assert_eq!(
+            restarted.spend(&acme).usd.to_bits(),
+            ledger.spend(&acme).usd.to_bits()
+        );
+        assert_eq!(
+            restarted.spend(&bolt).usd.to_bits(),
+            ledger.spend(&bolt).usd.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn segmented_compaction_deletes_sealed_files_and_leaves_the_tail() {
+        let d = wal_dir("seg-compact");
+        let acme: TenantId = "acme".into();
+        let mut ledger = TenantLedger::new();
+        let mut wal = LedgerWal::open(d.join("tenants.wal"))
+            .segment_records(2)
+            .compact_threshold(4);
+        for i in 0..5 {
+            let record = spend_record(&acme, 0.01 * (i + 1) as f64);
+            ledger.apply(&record);
+            wal.append(&record).unwrap();
+        }
+        assert!(wal.maybe_compact(&ledger).unwrap());
+        // Sealed segments are reclaimed; the 1-record active tail stays.
+        assert!(!d.join("tenants.wal.0000000000000000.seg").exists());
+        assert!(!d.join("tenants.wal.0000000000000002.seg").exists());
+        assert!(d.join("tenants.wal").is_file());
+        assert!(std::fs::metadata(d.join("tenants.wal")).unwrap().len() > 0);
+
+        // The tail's leftover record is covered by the snapshot: skipped,
+        // so spend applies exactly once.
+        let mut restarted = TenantLedger::new();
+        let recovery = LedgerWal::open(d.join("tenants.wal"))
+            .segment_records(2)
+            .recover(&mut restarted)
+            .unwrap();
+        assert!(recovery.snapshot_loaded);
+        assert_eq!(recovery.replayed, 0);
+        assert_eq!(recovery.skipped, 1);
+        assert_eq!(recovery.next_seq, 5);
+        assert_eq!(
+            restarted.spend(&acme).usd.to_bits(),
+            ledger.spend(&acme).usd.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn segmented_compaction_is_crash_idempotent() {
+        let d = wal_dir("seg-compact-crash");
+        let acme: TenantId = "acme".into();
+        let mut ledger = TenantLedger::new();
+        let mut wal = LedgerWal::open(d.join("tenants.wal"))
+            .segment_records(2)
+            .compact_threshold(4);
+        for i in 0..4 {
+            let record = spend_record(&acme, 0.01 * (i + 1) as f64);
+            ledger.apply(&record);
+            wal.append(&record).unwrap();
+        }
+        // Simulate a crash between snapshot-commit and segment deletion:
+        // compact, then restore the sealed segment files.
+        let seg_a = d.join("tenants.wal.0000000000000000.seg");
+        let seg_b = d.join("tenants.wal.0000000000000002.seg");
+        let bytes_a = std::fs::read(&seg_a).unwrap();
+        let bytes_b = std::fs::read(&seg_b).unwrap();
+        assert!(wal.maybe_compact(&ledger).unwrap());
+        std::fs::write(&seg_a, &bytes_a).unwrap();
+        std::fs::write(&seg_b, &bytes_b).unwrap();
+
+        let mut restarted = TenantLedger::new();
+        let recovery = LedgerWal::open(d.join("tenants.wal"))
+            .segment_records(2)
+            .recover(&mut restarted)
+            .unwrap();
+        assert!(recovery.snapshot_loaded);
+        assert_eq!(recovery.skipped, 4);
+        assert_eq!(recovery.replayed, 0);
+        assert_eq!(
+            restarted.spend(&acme).usd.to_bits(),
+            ledger.spend(&acme).usd.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn damage_in_a_sealed_segment_drops_everything_after_it() {
+        let d = wal_dir("seg-damage");
+        let acme: TenantId = "acme".into();
+        let mut ledger = TenantLedger::new();
+        let mut wal = LedgerWal::open(d.join("tenants.wal")).segment_records(2);
+        for i in 0..5 {
+            let record = spend_record(&acme, 0.01 * (i + 1) as f64);
+            ledger.apply(&record);
+            wal.append(&record).unwrap();
+        }
+        // Corrupt the first segment's second record: replay trusts only
+        // record 0 and must drop the rest of the log — the later segment
+        // and the tail — physically.
+        let seg_a = d.join("tenants.wal.0000000000000000.seg");
+        let seg_b = d.join("tenants.wal.0000000000000002.seg");
+        let mut bytes = std::fs::read(&seg_a).unwrap();
+        let split = bytes.iter().position(|b| *b == b'\n').unwrap();
+        let flip = split + 10;
+        bytes[flip] ^= 0x5a;
+        std::fs::write(&seg_a, &bytes).unwrap();
+
+        let mut restarted = TenantLedger::new();
+        let mut wal2 = LedgerWal::open(d.join("tenants.wal")).segment_records(2);
+        let recovery = wal2.recover(&mut restarted).unwrap();
+        assert_eq!(recovery.replayed, 1);
+        assert!(recovery.dropped_tail);
+        assert_eq!(wal2.next_seq(), 1);
+        assert!(!seg_b.exists(), "later segment must be dropped");
+        assert_eq!(std::fs::metadata(d.join("tenants.wal")).unwrap().len(), 0);
+
+        // A second recovery reconstructs the identical state, and
+        // post-recovery appends replay intact.
+        let post = spend_record(&acme, 2.0);
+        restarted.apply(&post);
+        wal2.append(&post).unwrap();
+        let mut again = TenantLedger::new();
+        let recovery2 = LedgerWal::open(d.join("tenants.wal"))
+            .segment_records(2)
+            .recover(&mut again)
+            .unwrap();
+        assert!(!recovery2.dropped_tail);
+        assert_eq!(recovery2.replayed, 2);
+        assert_eq!(
+            again.spend(&acme).usd.to_bits(),
+            restarted.spend(&acme).usd.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn seal_crash_leaves_records_durable_in_the_tail() {
+        use aida_llm::snapshot::CrashPoint;
+        let d = wal_dir("seal-crash");
+        let acme: TenantId = "acme".into();
+        let plan = Arc::new(FailPlan::new(CrashPoint::WalSegmentSeal));
+        let mut wal = LedgerWal::open(d.join("tenants.wal"))
+            .segment_records(2)
+            .with_fail_plan(plan);
+        let mut ledger = TenantLedger::new();
+        let first = spend_record(&acme, 0.25);
+        ledger.apply(&first);
+        wal.append(&first).unwrap();
+        // The second append lands durably, then the seal crashes.
+        let second = spend_record(&acme, 0.5);
+        ledger.apply(&second);
+        let err = wal.append(&second).unwrap_err();
+        assert!(FailPlan::is_crash(&err));
+
+        // Recovery finds both records in the (unsealed) tail: the crash
+        // lost the rename, never the acknowledged data.
+        let mut restarted = TenantLedger::new();
+        let recovery = LedgerWal::open(d.join("tenants.wal"))
+            .segment_records(2)
+            .recover(&mut restarted)
+            .unwrap();
+        assert_eq!(recovery.sealed_segments, 0);
+        assert_eq!(recovery.replayed, 2);
+        assert_eq!(
+            restarted.spend(&acme).usd.to_bits(),
             ledger.spend(&acme).usd.to_bits()
         );
         let _ = std::fs::remove_dir_all(&d);

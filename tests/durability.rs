@@ -176,8 +176,10 @@ fn wal_crash_never_half_applies_a_ledger_entry() {
         CrashPoint::WalTornAppend,
         CrashPoint::WalAfterAppend,
     ];
-    // The two matrices together must cover every injection point.
-    assert_eq!(wal_points.len() + 4, crash_points().len());
+    // The snapshot matrix (4), this append matrix (3), and the
+    // log-structured matrix (3: seal, delta frame, group flush) must
+    // together cover every injection point.
+    assert_eq!(wal_points.len() + 4 + 3, crash_points().len());
     for point in wal_points {
         fs::write(&path, &base_bytes).unwrap();
         let plan = Arc::new(FailPlan::new(point).torn_keep(11));
@@ -202,6 +204,238 @@ fn wal_crash_never_half_applies_a_ledger_entry() {
             "{point:?}"
         );
     }
+}
+
+// ---- tentpole: log-structured crash matrix -----------------------------
+
+/// Crash the three log-structured sites. A group-commit flush crash
+/// loses the whole batch (never part of a record); a segment-seal crash
+/// loses only the rename (every acknowledged record stays durable in
+/// the unsealed tail); a torn batch keeps an intact record prefix.
+#[test]
+fn log_structured_crashes_lose_batches_whole_and_seals_lose_nothing() {
+    let dir = TestDir::new("log-crash");
+
+    // GroupCommitFlush: the batch is dropped before any byte lands.
+    let path = dir.file("group.wal");
+    let mut wal = LedgerWal::open(&path);
+    wal.append(&spend("acme", 0.25)).unwrap();
+    let (pre_bits, _) = recover_usd_bits(&path, "acme");
+    let plan = Arc::new(FailPlan::new(CrashPoint::GroupCommitFlush));
+    let mut w = LedgerWal::open(&path).with_fail_plan(plan.clone());
+    let mut scratch = TenantLedger::new();
+    w.recover(&mut scratch).unwrap();
+    let err = w
+        .append_batch(&[spend("acme", 1.0), spend("acme", 2.0)])
+        .unwrap_err();
+    assert!(FailPlan::is_crash(&err));
+    assert!(plan.tripped());
+    let (bits, recovery) = recover_usd_bits(&path, "acme");
+    assert_eq!(recovery.replayed, 1, "batch lost in full");
+    assert_eq!(bits, pre_bits);
+    assert!(!recovery.dropped_tail, "nothing landed, nothing torn");
+
+    // WalTornAppend through the batch path: an intact prefix of the
+    // batch survives, the torn record is truncated away.
+    let path = dir.file("torn-batch.wal");
+    let first = spend("acme", 1.0);
+    let first_len = {
+        // One record's exact line length, to tear inside record 2.
+        let probe = dir.file("probe.wal");
+        let mut w = LedgerWal::open(&probe);
+        w.append(&first).unwrap();
+        fs::read(&probe).unwrap().len()
+    };
+    let plan = Arc::new(FailPlan::new(CrashPoint::WalTornAppend).torn_keep(first_len + 7));
+    let mut w = LedgerWal::open(&path).with_fail_plan(plan);
+    let err = w
+        .append_batch(&[first.clone(), spend("acme", 2.0), spend("acme", 4.0)])
+        .unwrap_err();
+    assert!(FailPlan::is_crash(&err));
+    let (bits, recovery) = recover_usd_bits(&path, "acme");
+    assert_eq!(recovery.replayed, 1, "record 0 of the batch survives");
+    assert!(recovery.dropped_tail);
+    let mut only_first = TenantLedger::new();
+    only_first.apply(&first);
+    assert_eq!(bits, only_first.spend(&"acme".into()).usd.to_bits());
+
+    // WalSegmentSeal: the crash costs the rename, not the records.
+    let path = dir.file("seal.wal");
+    let plan = Arc::new(FailPlan::new(CrashPoint::WalSegmentSeal));
+    let mut w = LedgerWal::open(&path)
+        .segment_records(2)
+        .with_fail_plan(plan.clone());
+    w.append(&spend("acme", 0.25)).unwrap();
+    let err = w.append(&spend("acme", 0.5)).unwrap_err();
+    assert!(FailPlan::is_crash(&err));
+    assert!(plan.tripped());
+    let mut committed = TenantLedger::new();
+    committed.apply(&spend("acme", 0.25));
+    committed.apply(&spend("acme", 0.5));
+    let (bits, recovery) = recover_usd_bits(&path, "acme");
+    assert_eq!(recovery.replayed, 2, "both acknowledged records durable");
+    assert_eq!(bits, committed.spend(&"acme".into()).usd.to_bits());
+    assert_eq!(recovery.sealed_segments, 0, "the seal itself was lost");
+}
+
+/// Crash the delta-frame append: a torn frame rolls the restored
+/// manager back to the previous checkpoint — never to a half-applied
+/// store.
+#[test]
+fn torn_delta_frame_recovers_the_previous_checkpoint() {
+    let dir = TestDir::new("delta-torn");
+    let state = dir.file("state.bin");
+    let build = || {
+        Runtime::builder()
+            .seed(7)
+            .state_path(&state)
+            .delta_checkpoints(true)
+            .build()
+    };
+    let rt = build();
+    let mk = |name: &str| {
+        Context::builder(
+            name,
+            DataLake::from_docs([Document::new(format!("{name}.txt"), format!("{name} doc"))]),
+        )
+        .description(name)
+        .build(&rt)
+    };
+    rt.manager().register("alpha instruction", mk("alpha"), 1.0);
+    assert!(rt.save_state().unwrap()); // full snapshot (chain base)
+    rt.manager().register("beta instruction", mk("beta"), 2.0);
+    assert!(rt.save_state().unwrap()); // delta frame 1
+    let committed = rt.manager().encode_snapshot();
+
+    rt.manager().register("gamma instruction", mk("gamma"), 3.0);
+    let plan = FailPlan::new(CrashPoint::DeltaTornAppend).torn_keep(9);
+    let err = rt.save_state_with(Some(&plan)).unwrap_err();
+    assert!(FailPlan::is_crash(&err));
+    assert!(plan.tripped());
+
+    // Restart: the torn frame is dropped, the intact chain replays.
+    let rt2 = build();
+    assert_eq!(
+        rt2.manager().encode_snapshot(),
+        committed,
+        "recovery lands on the last intact frame, gamma is lost in full"
+    );
+}
+
+// ---- tentpole: delta-chain prefix consistency --------------------------
+
+/// Truncating the delta chain at *every* byte recovers a state that is
+/// exactly some frame prefix of the chain — never a blend, never a
+/// half-applied frame. Byte flips behave the same way.
+#[test]
+fn delta_chain_damage_recovers_an_exact_frame_prefix() {
+    let dir = TestDir::new("delta-prefix");
+    let state = dir.file("state.bin");
+    let build = || {
+        Runtime::builder()
+            .seed(7)
+            .state_path(&state)
+            .delta_checkpoints(true)
+            .build()
+    };
+    let rt = build();
+    let mk = |name: &str| {
+        Context::builder(
+            name,
+            DataLake::from_docs([Document::new(format!("{name}.txt"), format!("{name} doc"))]),
+        )
+        .description(name)
+        .build(&rt)
+    };
+    rt.manager().register("base instruction", mk("base"), 1.0);
+    assert!(rt.save_state().unwrap()); // full snapshot
+    let mut frame_states = vec![rt.manager().encode_snapshot()];
+    for i in 0..4 {
+        rt.manager()
+            .register(&format!("ctx{i} instruction"), mk(&format!("c{i}")), 2.0);
+        assert!(rt.save_state().unwrap()); // one delta frame each
+        frame_states.push(rt.manager().encode_snapshot());
+    }
+    let delta = rt.delta_path().expect("delta mode has a chain path");
+    let clean = fs::read(&delta).unwrap();
+    assert!(!clean.is_empty(), "four delta frames on disk");
+
+    for cut in 0..=clean.len() {
+        fs::write(&delta, &clean[..cut]).unwrap();
+        let rt2 = build();
+        let got = rt2.manager().encode_snapshot();
+        assert!(
+            frame_states.contains(&got),
+            "cut {cut}: recovered state must be an exact frame prefix"
+        );
+        drop(rt2);
+    }
+
+    for index in (0..clean.len()).step_by(5) {
+        fs::write(&delta, &clean).unwrap();
+        corrupt_byte(&delta, index);
+        let rt2 = build();
+        let got = rt2.manager().encode_snapshot();
+        assert!(
+            frame_states.contains(&got),
+            "flip at byte {index}: damage truncates the chain, never corrupts it"
+        );
+    }
+}
+
+/// A Context evicted between full snapshots must not resurrect through
+/// the delta chain: the eviction record replays and removes it.
+#[test]
+fn evicted_contexts_do_not_resurrect_through_delta_frames() {
+    let dir = TestDir::new("evict-delta");
+    let state = dir.file("state.bin");
+    let build = || {
+        Runtime::builder()
+            .seed(3)
+            .context_capacity(2)
+            .state_path(&state)
+            .delta_checkpoints(true)
+            .build()
+    };
+    let rt = build();
+    let mk = |name: &str| {
+        Context::builder(
+            name,
+            DataLake::from_docs([Document::new(format!("{name}.txt"), format!("{name} doc"))]),
+        )
+        .description(name)
+        .build(&rt)
+    };
+    rt.manager().register("alpha instruction", mk("alpha"), 1.0);
+    rt.manager().register("beta instruction", mk("beta"), 5.0);
+    assert!(rt.save_state().unwrap()); // full snapshot holds alpha + beta
+    let full = fs::read_to_string(&state).unwrap();
+    assert!(full.contains("alpha instruction"));
+
+    // gamma evicts alpha; the checkpoint is a delta frame, so the full
+    // snapshot on disk still contains alpha — only the chain's E record
+    // kills it.
+    rt.manager().register("gamma instruction", mk("gamma"), 9.0);
+    assert!(rt.save_state().unwrap());
+    let expected = rt.manager().encode_snapshot();
+    assert!(
+        fs::read_to_string(&state)
+            .unwrap()
+            .contains("alpha instruction"),
+        "base snapshot still holds the evicted entry; the delta must drop it"
+    );
+
+    let rt2 = build();
+    assert_eq!(rt2.manager().len(), 2);
+    assert_eq!(
+        rt2.manager().encode_snapshot(),
+        expected,
+        "evicted entry does not resurrect through the delta chain"
+    );
+    assert!(!rt2
+        .manager()
+        .encode_snapshot()
+        .contains("alpha instruction"));
 }
 
 /// The two-restart invariant: a torn tail must be physically removed by
@@ -769,6 +1003,120 @@ mod props {
                 .unwrap();
             prop_assert_eq!(restored, rt.manager().len());
             prop_assert_eq!(rt2.manager().encode_snapshot(), snap);
+        }
+
+        /// Group-committed, segmented WALs under arbitrary tail damage
+        /// lose only a record *suffix*: the recovered ledger equals the
+        /// direct application of exactly the first `replayed` records —
+        /// no double-spend, no reordering — and two recoveries from the
+        /// same damage agree bit-for-bit.
+        #[test]
+        fn segmented_batch_wal_damage_loses_only_a_suffix(
+            batches in prop::collection::vec(
+                prop::collection::vec(record_strategy(), 1..5),
+                1..5,
+            ),
+            segment_records in 0usize..4,
+            cut in 0usize..4096,
+        ) {
+            let dir = TestDir::new("prop-seg");
+            let path = dir.file("ledger.wal");
+            let mut wal = LedgerWal::open(&path).segment_records(segment_records);
+            let mut flat = Vec::new();
+            for batch in &batches {
+                wal.append_batch(batch).unwrap();
+                flat.extend(batch.iter().cloned());
+            }
+            drop(wal);
+
+            // Damage the *tail* file only; sealed segments stay intact,
+            // so the loss is bounded by the unsealed suffix. (The tail
+            // may not exist when the last append sealed it away.)
+            let tail = fs::read(&path).unwrap_or_default();
+            let keep = cut % (tail.len() + 1);
+            fs::write(&path, &tail[..keep]).unwrap();
+
+            let recover = || {
+                let mut ledger = TenantLedger::new();
+                let mut w = LedgerWal::open(&path).segment_records(segment_records);
+                let recovery = w.recover(&mut ledger).unwrap();
+                let spends: Vec<(String, u64, u64, u64)> = ledger
+                    .spends()
+                    .map(|(t, s)| (t.to_string(), s.usd.to_bits(), s.tokens, s.calls))
+                    .collect();
+                (spends, recovery.replayed, recovery.next_seq)
+            };
+            let a = recover();
+            let b = recover();
+            prop_assert_eq!(&a, &b, "recovery after damage is deterministic");
+
+            let replayed = a.1 as usize;
+            prop_assert!(replayed <= flat.len());
+            let mut prefix = TenantLedger::new();
+            for record in &flat[..replayed] {
+                prefix.apply(record);
+            }
+            let expected: Vec<(String, u64, u64, u64)> = prefix
+                .spends()
+                .map(|(t, s)| (t.to_string(), s.usd.to_bits(), s.tokens, s.calls))
+                .collect();
+            prop_assert_eq!(
+                a.0, expected,
+                "recovered ledger == prefix of {} records", replayed
+            );
+        }
+
+        /// Cutting the delta chain at an arbitrary byte recovers a state
+        /// that is exactly one of the checkpointed frame states — the
+        /// chain replays a frame prefix or nothing, never a blend.
+        #[test]
+        fn delta_chain_random_cut_recovers_a_checkpointed_state(
+            saves in 1usize..5,
+            cut in 0usize..8192,
+        ) {
+            let dir = TestDir::new("prop-delta");
+            let state = dir.file("state.bin");
+            let build = || {
+                Runtime::builder()
+                    .seed(13)
+                    .state_path(&state)
+                    .delta_checkpoints(true)
+                    .build()
+            };
+            let rt = build();
+            let mk = |name: &str| {
+                Context::builder(
+                    name,
+                    DataLake::from_docs([Document::new(
+                        format!("{name}.txt"),
+                        format!("{name} doc"),
+                    )]),
+                )
+                .description(name)
+                .build(&rt)
+            };
+            rt.manager().register("base instruction", mk("base"), 1.0);
+            prop_assert!(rt.save_state().unwrap());
+            let mut frame_states = vec![rt.manager().encode_snapshot()];
+            for i in 0..saves {
+                rt.manager()
+                    .register(&format!("ctx{i} instruction"), mk(&format!("c{i}")), 2.0);
+                prop_assert!(rt.save_state().unwrap());
+                frame_states.push(rt.manager().encode_snapshot());
+            }
+            let delta = rt.delta_path().expect("delta mode has a chain path");
+            drop(rt);
+
+            let chain = fs::read(&delta).unwrap();
+            let keep = cut % (chain.len() + 1);
+            fs::write(&delta, &chain[..keep]).unwrap();
+
+            let rt2 = build();
+            let got = rt2.manager().encode_snapshot();
+            prop_assert!(
+                frame_states.contains(&got),
+                "cut at byte {} must recover a checkpointed frame state", keep
+            );
         }
     }
 }
