@@ -39,6 +39,25 @@ cargo test -q --release --test serve
 SERVE_SOAK_SMOKE=1 AIDA_RESULTS_DIR=target/ci-cache-a \
   cargo run -q --release -p aida-bench --bin serve_soak >/dev/null
 
+# Live front door: wire-protocol codec properties, listener soaks, and
+# closed-loop client/autoscaler behavior (release: the soaks drive real
+# worker threads).
+cargo test -q --release --test net
+
+# Listener smoke: the live phase drives a closed-loop fleet over the
+# simulated transport through the wire protocol into the same service.
+# The binary asserts in-process byte-identity, an SLO-holding autoscaler
+# that beats the fixed max pool on worker-seconds, and zero wire errors;
+# the gate additionally demands two separate processes agree byte-for-
+# byte on the live trace, the live health export, and the bench JSON.
+SERVE_SOAK_SMOKE=1 SERVE_SOAK_LIVE=1 AIDA_RESULTS_DIR=target/ci-live-a \
+  cargo run -q --release -p aida-bench --bin serve_soak >/dev/null
+SERVE_SOAK_SMOKE=1 SERVE_SOAK_LIVE=1 AIDA_RESULTS_DIR=target/ci-live-b \
+  cargo run -q --release -p aida-bench --bin serve_soak >/dev/null
+cmp target/ci-live-a/traces/serve_live.jsonl target/ci-live-b/traces/serve_live.jsonl
+cmp target/ci-live-a/health_live.jsonl target/ci-live-b/health_live.jsonl
+cmp target/ci-live-a/BENCH_serve_live.json target/ci-live-b/BENCH_serve_live.json
+
 # Semantic cache: warm restarts, eviction interplay, and corrupted
 # snapshots (also covered in the debug `cargo test -q` above, but the
 # release run matches how the service actually ships).

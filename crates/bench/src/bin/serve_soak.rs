@@ -40,12 +40,16 @@ use aida_core::{Context, Runtime};
 use aida_llm::{CrashPoint, FailPlan, WallStopwatch};
 use aida_obs::{SloPolicy, Summary};
 use aida_serve::{
-    open_loop, LedgerWal, QueryRequest, QueryService, ServeConfig, ServiceReport, TenantConfig,
-    TenantLoad,
+    open_loop, AutoscaleConfig, ClientConfig, LedgerWal, LiveSource, QueryRequest, QueryService,
+    ServeConfig, ServiceReport, TenantConfig, TenantLoad,
 };
 use aida_synth::{enron, legal};
 use std::path::Path;
 use std::sync::Arc;
+
+/// Worker-pool shape: `(initial_workers, autoscaler)`. `None` keeps the
+/// default fixed pool.
+type PoolSetup = Option<(usize, Option<AutoscaleConfig>)>;
 
 fn build_service(
     seed: u64,
@@ -54,6 +58,7 @@ fn build_service(
     tracing: bool,
     crash: Option<CrashPoint>,
     group_commit: usize,
+    pool: PoolSetup,
 ) -> QueryService {
     let mut builder = Runtime::builder()
         .seed(seed)
@@ -97,6 +102,12 @@ fn build_service(
         });
     if group_commit > 1 {
         config = config.group_commit(group_commit);
+    }
+    if let Some((workers, autoscale)) = pool {
+        config.workers = workers;
+        if let Some(ac) = autoscale {
+            config = config.autoscale(ac);
+        }
     }
     let mut svc = QueryService::new(rt, config);
     svc.register_context("legal", legal_ctx);
@@ -209,6 +220,7 @@ fn crash_probe(seed: u64, requests: &[QueryRequest]) {
         true,
         Some(CrashPoint::WalTornAppend),
         0,
+        None,
     );
     let report = svc.run(requests.to_vec());
     if !report.wal_failed {
@@ -253,6 +265,187 @@ fn crash_probe(seed: u64, requests: &[QueryRequest]) {
     let _ = std::fs::remove_dir_all(&crash_dir);
 }
 
+/// One closed-loop client per connection. Tenants cycle
+/// acme/bolt/cora, with every 25th client on quota-capped dara so the
+/// fleet exercises terminal rejections too. A dense head ramps load
+/// onto the pool; the sparse tail lets the controller scale back down
+/// while traffic still flows. Every 10th client asks its question
+/// twice, so its second submission rides the plan-hash path.
+fn live_fleet(clients: usize, legal_mix: &[&str; 3], enron_mix: &[&str; 3]) -> Vec<ClientConfig> {
+    let head = (clients * 4) / 5;
+    (0..clients)
+        .map(|i| {
+            let (tenant, context, mix) = if i % 25 == 24 {
+                ("dara", "enron", enron_mix)
+            } else {
+                match i % 3 {
+                    0 => ("acme", "legal", legal_mix),
+                    1 => ("bolt", "legal", legal_mix),
+                    _ => ("cora", "enron", enron_mix),
+                }
+            };
+            let start_s = if i < head {
+                i as f64 * 0.5
+            } else {
+                head as f64 * 0.5 + (i - head) as f64 * 30.0
+            };
+            ClientConfig::new(tenant, context)
+                .instructions([mix[i % 3]])
+                .queries(if i % 10 == 9 { 2 } else { 1 })
+                .think(45.0)
+                .retries(3)
+                .backoff(30.0)
+                .start(start_s)
+        })
+        .collect()
+}
+
+/// `SERVE_SOAK_LIVE=1`: the live front door. A closed-loop fleet
+/// connects over the deterministic simulated transport (one connection
+/// per client), the listener decodes length-prefixed frames into the
+/// admission queue, and the latency-targeted autoscaler resizes the
+/// worker pool. The phase serves the same fleet twice on one seed —
+/// every report surface must be byte-identical — then once more on a
+/// fixed max-size pool, which the autoscaler must beat on
+/// worker-seconds while holding the p99 target.
+fn live_phase(seed: u64, smoke: bool, legal_mix: &[&str; 3], enron_mix: &[&str; 3]) {
+    let clients = if smoke { 150 } else { 1200 };
+    // Tight enough that the cold dense head breaches it (queue waits
+    // behind the first uncached queries), loose enough that the warm
+    // steady state clears it with room — so one run demonstrates both
+    // scale directions.
+    let target_p99_s = 60.0;
+    let autoscale = AutoscaleConfig::new(1, 8, target_p99_s)
+        .evaluate_every(30.0)
+        .window(240.0)
+        .cooldown(120.0);
+    let fleet = live_fleet(clients, legal_mix, enron_mix);
+    let serve_live = |pool: PoolSetup| {
+        let mut svc = build_service(seed, true, None, true, None, 0, pool);
+        let mut source = LiveSource::new(seed, fleet.clone());
+        let report = svc.serve(&mut source);
+        (report, source.outcomes())
+    };
+
+    let (report, outcomes) = serve_live(Some((2, Some(autoscale.clone()))));
+    let (replay, _) = serve_live(Some((2, Some(autoscale))));
+    if report.to_jsonl() != replay.to_jsonl()
+        || report.render() != replay.render()
+        || report.health_jsonl() != replay.health_jsonl()
+    {
+        eprintln!("FAIL: same-seed live runs diverged");
+        std::process::exit(1);
+    }
+    println!("{}", report.render());
+
+    let net = report.net.clone().expect("live run carries a net report");
+    if (net.stats.conns_opened as usize) < clients {
+        eprintln!(
+            "FAIL: only {} connections for {clients} clients",
+            net.stats.conns_opened
+        );
+        std::process::exit(1);
+    }
+    if net.stats.wire_error_total() != 0 {
+        eprintln!(
+            "FAIL: {} wire errors on a clean fleet",
+            net.stats.wire_error_total()
+        );
+        std::process::exit(1);
+    }
+    if net.stats.plan_hash_hits == 0 {
+        eprintln!("FAIL: repeat submissions never rode the plan-hash path");
+        std::process::exit(1);
+    }
+    if report.scale_events.is_empty() {
+        eprintln!("FAIL: the autoscaler never moved under the ramp");
+        std::process::exit(1);
+    }
+    if report.scale_ups() == 0 || report.scale_downs() == 0 {
+        eprintln!(
+            "FAIL: ramp must exercise both directions, saw {} ups / {} downs",
+            report.scale_ups(),
+            report.scale_downs()
+        );
+        std::process::exit(1);
+    }
+    // The cold burst breaches the target by design; the SLO claim is
+    // that the controller converges, so judge p99 over the completions
+    // in the second half of the run.
+    let latency = latency_summary(&report);
+    let mut steady = Summary::default();
+    for c in report
+        .completions
+        .iter()
+        .filter(|c| c.end_s * 2.0 >= report.makespan_s)
+    {
+        steady.record(c.latency_s());
+    }
+    if steady.p99() > target_p99_s {
+        eprintln!(
+            "FAIL: converged p99 {:.1}s blew the {target_p99_s:.0}s target",
+            steady.p99()
+        );
+        std::process::exit(1);
+    }
+    let completed = outcomes.iter().filter(|o| o.kind() == "completed").count();
+    if completed * 10 < clients * 8 {
+        eprintln!("FAIL: only {completed}/{clients} clients completed (< 80%)");
+        std::process::exit(1);
+    }
+
+    // Same fleet on a fixed pool at the autoscaler's max bound: the
+    // controller must hold the target with fewer worker-seconds.
+    let (fixed, _) = serve_live(Some((8, None)));
+    if report.worker_seconds >= fixed.worker_seconds {
+        eprintln!(
+            "FAIL: autoscaler spent {:.1} worker-seconds vs {:.1} fixed",
+            report.worker_seconds, fixed.worker_seconds
+        );
+        std::process::exit(1);
+    }
+    let saved_pct = 100.0 * (1.0 - report.worker_seconds / fixed.worker_seconds);
+    println!(
+        "live front door: {} conns (peak {}), {} queries, converged p99 {:.1}s vs target \
+         {target_p99_s:.0}s, {} ups / {} downs, {:.0} worker-seconds vs {:.0} fixed \
+         ({saved_pct:.1}% saved)",
+        net.stats.conns_opened,
+        net.stats.conns_peak,
+        report.completions.len(),
+        steady.p99(),
+        report.scale_ups(),
+        report.scale_downs(),
+        report.worker_seconds,
+        fixed.worker_seconds,
+    );
+
+    aida_bench::write_trace_jsonl("serve_live", &report.to_jsonl());
+    let health_path = aida_bench::results_dir().join("health_live.jsonl");
+    match std::fs::write(&health_path, report.health_jsonl()) {
+        Ok(()) => println!("(live health saved to {})", health_path.display()),
+        Err(err) => eprintln!("warning: could not save {}: {err}", health_path.display()),
+    }
+    aida_bench::emit_bench(
+        &BenchResult::new("serve_live", seed)
+            .metric("connections", net.stats.conns_opened as f64)
+            .metric("conns_peak", net.stats.conns_peak as f64)
+            .metric("clients_completed", net.clients_completed as f64)
+            .metric("clients_abandoned", net.clients_abandoned as f64)
+            .metric("client_retries", net.client_retries as f64)
+            .metric("queries", report.completions.len() as f64)
+            .metric("p99_s", latency.p99())
+            .metric("converged_p99_s", steady.p99())
+            .metric("target_p99_s", target_p99_s)
+            .metric("scale_ups", report.scale_ups() as f64)
+            .metric("scale_downs", report.scale_downs() as f64)
+            .metric("worker_seconds_autoscaled", report.worker_seconds)
+            .metric("worker_seconds_fixed", fixed.worker_seconds)
+            .metric("worker_seconds_saved_pct", saved_pct)
+            .metric("plan_hash_hits", net.stats.plan_hash_hits as f64)
+            .metric("wire_errors", net.stats.wire_error_total() as f64),
+    );
+}
+
 fn main() {
     let env_on = |k: &str| std::env::var(k).is_ok_and(|v| v != "0" && !v.is_empty());
     let smoke = env_on("SERVE_SOAK_SMOKE");
@@ -293,14 +486,14 @@ fn main() {
     let requests: Vec<QueryRequest> = open_loop(seed, &loads);
 
     // Baseline: the same workload through the same service, cache off.
-    let mut baseline_svc = build_service(seed, false, None, true, None, 0);
+    let mut baseline_svc = build_service(seed, false, None, true, None, 0, None);
     let baseline = baseline_svc.run(requests.clone());
 
     // Recorder-overhead reference: the headline workload with tracing
     // off. Modes alternate and each keeps its best of two samples, so
     // one background hiccup can't swing the comparison.
     let sample = |tracing: bool| {
-        let mut svc = build_service(seed, true, None, tracing, None, 0);
+        let mut svc = build_service(seed, true, None, tracing, None, 0, None);
         let watch = WallStopwatch::start();
         let report = svc.run(requests.clone());
         (report, watch.elapsed_s())
@@ -314,7 +507,7 @@ fn main() {
 
     // The headline run: shared semantic cache across all four tenants,
     // tracing on.
-    let isolated = build_service(seed, true, None, true, None, 0).isolated_cost(&requests);
+    let isolated = build_service(seed, true, None, true, None, 0, None).isolated_cost(&requests);
     report.set_isolated_baseline(isolated);
 
     println!("{}", report.render());
@@ -384,6 +577,10 @@ fn main() {
         crash_probe(seed, &requests);
     }
 
+    if env_on("SERVE_SOAK_LIVE") {
+        live_phase(seed, smoke, &legal_mix, &enron_mix);
+    }
+
     // ---- restart phase: the durable-state layer under a process death.
     //
     // A previous soak may have been killed mid-write (CI's kill-9
@@ -392,7 +589,7 @@ fn main() {
     // then the phase resets to a clean cold run.
     let durable_dir = aida_bench::results_dir().join("serve_soak_durable");
     if durable_dir.exists() {
-        let probe = build_service(seed, true, Some(&durable_dir), true, None, 0);
+        let probe = build_service(seed, true, Some(&durable_dir), true, None, 0, None);
         let recovery = probe.wal_recovery().expect("wal attached");
         println!(
             "restart probe: recovered {} contexts, replayed {} ledger records (dropped tail: {})",
@@ -406,7 +603,7 @@ fn main() {
     std::fs::create_dir_all(&durable_dir).expect("create durable dir");
 
     // Cold durable run: checkpoint every 16 agentic ops + final save.
-    let mut durable_svc = build_service(seed, true, Some(&durable_dir), true, None, 0);
+    let mut durable_svc = build_service(seed, true, Some(&durable_dir), true, None, 0, None);
     let durable_report = durable_svc.run(requests.clone());
     let cold_spends = spend_bits(&durable_svc);
     durable_svc
@@ -418,7 +615,7 @@ fn main() {
 
     // Warm restart: per-tenant dollars must replay bit-identically and
     // the restore itself must spend nothing.
-    let warm_svc = build_service(seed, true, Some(&durable_dir), true, None, 0);
+    let warm_svc = build_service(seed, true, Some(&durable_dir), true, None, 0, None);
     let recovery = warm_svc.wal_recovery().expect("wal attached");
     let restore_cost = warm_svc.runtime().cost();
     println!(
@@ -457,7 +654,7 @@ fn main() {
     }
     std::fs::create_dir_all(&grouped_dir).expect("create grouped dir");
     let group = 8;
-    let mut grouped_svc = build_service(seed, true, Some(&grouped_dir), true, None, group);
+    let mut grouped_svc = build_service(seed, true, Some(&grouped_dir), true, None, group, None);
     let grouped_report = grouped_svc.run(requests);
     let grouped_spends = spend_bits(&grouped_svc);
     drop(grouped_svc); // crash-stop again: only the log survives
@@ -491,7 +688,7 @@ fn main() {
 
     // Warm restart of the grouped log: the replay walks sealed segments
     // before the tail and lands on the same per-tenant dollars.
-    let grouped_warm = build_service(seed, true, Some(&grouped_dir), true, None, group);
+    let grouped_warm = build_service(seed, true, Some(&grouped_dir), true, None, group, None);
     let grouped_recovery = grouped_warm.wal_recovery().expect("wal attached");
     println!(
         "group commit restart: replayed {} records from {} sealed segments + tail",

@@ -76,27 +76,52 @@ pub struct ScheduledSlot {
 /// records the overlapped virtual start/end. Service latency, makespan,
 /// and queue-wait all fall out of the slots — byte-identically across
 /// runs, no matter how host threads interleave.
+/// Autoscaling note: the pool has a fixed *capacity* (`workers()`) but
+/// only the first `active()` workers accept new placements. Deactivating
+/// a worker never cancels committed slots — its `free_at` survives, so a
+/// later reactivation resumes from wherever its last job ended.
 #[derive(Debug, Clone)]
 pub struct Timeline {
     free_at: Vec<f64>,
+    active: usize,
 }
 
 impl Timeline {
-    /// Creates a timeline over `workers` parallel workers (at least 1).
+    /// Creates a timeline over `workers` parallel workers (at least 1),
+    /// all active.
     pub fn new(workers: usize) -> Self {
+        let n = workers.max(1);
         Timeline {
-            free_at: vec![0.0; workers.max(1)],
+            free_at: vec![0.0; n],
+            active: n,
         }
     }
 
-    /// Number of workers.
+    /// Pool capacity: total workers, active or not.
     pub fn workers(&self) -> usize {
         self.free_at.len()
     }
 
-    /// The earliest virtual instant at which any worker is free.
+    /// Workers currently accepting placements (indices `0..active`).
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Resizes the active prefix of the pool, clamped to
+    /// `1..=workers()`; returns the applied size. Placement only ever
+    /// targets indices below the active count, so shrinking strands no
+    /// committed work — a deactivated worker simply stops taking jobs.
+    pub fn set_active(&mut self, n: usize) -> usize {
+        self.active = n.clamp(1, self.free_at.len());
+        self.active
+    }
+
+    /// The earliest virtual instant at which any *active* worker is free.
     pub fn next_free(&self) -> f64 {
-        self.free_at.iter().copied().fold(f64::INFINITY, f64::min)
+        self.free_at[..self.active]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// The placement `schedule` would commit for a job ready at
@@ -116,7 +141,7 @@ impl Timeline {
 
     fn earliest_free_worker(&self) -> usize {
         let mut worker = 0;
-        for i in 1..self.free_at.len() {
+        for i in 1..self.active {
             if self.free_at[i] < self.free_at[worker] {
                 worker = i;
             }
@@ -296,6 +321,48 @@ mod tests {
         assert_eq!(peeked.worker, committed.worker);
         assert_eq!(peeked.start_s, committed.start_s);
         assert_eq!((committed.worker, committed.end_s), (1, 4.0));
+    }
+
+    #[test]
+    fn timeline_active_prefix_bounds_placement() {
+        let mut tl = Timeline::new(4);
+        assert_eq!(tl.active(), 4);
+        assert_eq!(tl.set_active(2), 2);
+        // Two 10s jobs saturate the active pair; the third queues on
+        // worker 0 even though workers 2/3 idle deactivated.
+        let a = tl.schedule(0.0, 10.0);
+        let b = tl.schedule(0.0, 10.0);
+        let c = tl.schedule(0.0, 10.0);
+        assert_eq!((a.worker, b.worker, c.worker), (0, 1, 0));
+        assert_eq!(c.start_s, 10.0);
+        assert_eq!(tl.next_free(), 10.0);
+        // Reactivating exposes the idle workers again.
+        tl.set_active(4);
+        assert_eq!(tl.next_free(), 0.0);
+        assert_eq!(tl.schedule(12.0, 1.0).worker, 2);
+    }
+
+    #[test]
+    fn timeline_set_active_clamps() {
+        let mut tl = Timeline::new(3);
+        assert_eq!(tl.set_active(0), 1);
+        assert_eq!(tl.set_active(9), 3);
+        assert_eq!(tl.workers(), 3);
+    }
+
+    #[test]
+    fn timeline_deactivation_preserves_committed_work() {
+        let mut tl = Timeline::new(2);
+        tl.schedule(0.0, 4.0); // worker 0 busy to t=4
+        tl.schedule(0.0, 9.0); // worker 1 busy to t=9
+        tl.set_active(1);
+        assert_eq!(tl.makespan(), 9.0); // worker 1's slot survives
+        tl.set_active(2);
+        // Worker 1 resumes from its last end, not from zero.
+        let s = tl.schedule(4.0, 10.0);
+        assert_eq!((s.worker, s.start_s), (0, 4.0));
+        let s = tl.schedule(4.0, 1.0);
+        assert_eq!((s.worker, s.start_s), (1, 9.0));
     }
 
     #[test]

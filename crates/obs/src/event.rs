@@ -76,6 +76,21 @@ pub enum Event {
         /// Human-readable cause.
         detail: String,
     },
+    /// The autoscaler resized the active worker pool.
+    Scale {
+        /// Virtual instant of the move.
+        at_s: f64,
+        /// Active workers before.
+        from: u64,
+        /// Active workers after.
+        to: u64,
+        /// Windowed p99 latency that justified the move.
+        p99_s: f64,
+        /// Fast-window latency burn rate at decision time.
+        fast_burn: f64,
+        /// Slow-window latency burn rate at decision time.
+        slow_burn: f64,
+    },
 }
 
 impl Event {
@@ -89,6 +104,7 @@ impl Event {
             Event::Sql { .. } => "sql",
             Event::Rewrite { .. } => "rewrite",
             Event::Error { .. } => "error",
+            Event::Scale { .. } => "scale",
         }
     }
 
@@ -152,6 +168,21 @@ impl Event {
                 .field("event", self.name())
                 .field("counter", counter.as_str())
                 .field("detail", detail.as_str()),
+            Event::Scale {
+                at_s,
+                from,
+                to,
+                p99_s,
+                fast_burn,
+                slow_burn,
+            } => Json::obj()
+                .field("event", self.name())
+                .field("at_s", *at_s)
+                .field("from", *from)
+                .field("to", *to)
+                .field("p99_s", *p99_s)
+                .field("fast_burn", *fast_burn)
+                .field("slow_burn", *slow_burn),
         }
     }
 }
@@ -173,6 +204,22 @@ mod tests {
         let line = e.to_json().render();
         assert!(line.starts_with(r#"{"event":"llm_call","model":"sim-4o""#));
         assert_eq!(e.name(), "llm_call");
+    }
+
+    #[test]
+    fn scale_event_is_typed() {
+        let e = Event::Scale {
+            at_s: 120.0,
+            from: 2,
+            to: 3,
+            p99_s: 42.5,
+            fast_burn: 3.0,
+            slow_burn: 1.5,
+        };
+        assert_eq!(e.name(), "scale");
+        let line = e.to_json().render();
+        assert!(line.starts_with(r#"{"event":"scale","at_s":120"#), "{line}");
+        assert!(line.contains(r#""from":2"#) && line.contains(r#""to":3"#));
     }
 
     #[test]

@@ -77,6 +77,26 @@ pub const WAL_SKIPPED_RECORDS: &str = "wal.skipped_records";
 pub const WAL_DROPPED_TAILS: &str = "wal.dropped_tails";
 /// SLO burn-rate alerts tripped across all tenants.
 pub const SLO_ALERTS: &str = "slo.alerts";
+/// Connections accepted by the network front door.
+pub const NET_CONNS_OPENED: &str = "net.conns_opened";
+/// Connections fully closed by the front door.
+pub const NET_CONNS_CLOSED: &str = "net.conns_closed";
+/// Complete request frames decoded off the wire.
+pub const NET_FRAMES_IN: &str = "net.frames_in";
+/// Response frames queued toward clients.
+pub const NET_FRAMES_OUT: &str = "net.frames_out";
+/// Header + payload bytes read off the fabric.
+pub const NET_BYTES_IN: &str = "net.bytes_in";
+/// Bytes accepted by fabric writes.
+pub const NET_BYTES_OUT: &str = "net.bytes_out";
+/// Typed wire-protocol errors, all kinds.
+pub const NET_WIRE_ERRORS: &str = "net.wire_errors";
+/// Request bodies resolved from an interned plan hash.
+pub const NET_PLAN_HASH_HITS: &str = "net.plan_hash_hits";
+/// Autoscaler scale-up moves committed.
+pub const AUTOSCALE_UPS: &str = "autoscale.ups";
+/// Autoscaler scale-down moves committed.
+pub const AUTOSCALE_DOWNS: &str = "autoscale.downs";
 
 // --- histograms -----------------------------------------------------------
 
@@ -89,6 +109,8 @@ pub const OPERATOR_SELECTIVITY: &str = "operator.selectivity";
 
 /// Admission-queue depth sampled at arrival/dispatch points.
 pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Active virtual workers after each autoscaler move.
+pub const SERVE_WORKERS: &str = "serve.workers";
 /// Semantic-cache resident bytes after each insert/eviction.
 pub const CACHE_BYTES: &str = "cache.bytes";
 
@@ -148,9 +170,20 @@ mod tests {
             WAL_SKIPPED_RECORDS,
             WAL_DROPPED_TAILS,
             SLO_ALERTS,
+            NET_CONNS_OPENED,
+            NET_CONNS_CLOSED,
+            NET_FRAMES_IN,
+            NET_FRAMES_OUT,
+            NET_BYTES_IN,
+            NET_BYTES_OUT,
+            NET_WIRE_ERRORS,
+            NET_PLAN_HASH_HITS,
+            AUTOSCALE_UPS,
+            AUTOSCALE_DOWNS,
             LLM_TOKENS_PER_CALL,
             OPERATOR_SELECTIVITY,
             SERVE_QUEUE_DEPTH,
+            SERVE_WORKERS,
             CACHE_BYTES,
             HEALTH_LATENCY_S,
             HEALTH_COST_USD,

@@ -7,9 +7,78 @@
 //! exponential, drawn from a [`KeyedRng`] seeded by `(seed, tenant)` —
 //! the same seed always produces the same workload, byte for byte.
 
-use crate::request::{Priority, QueryRequest};
+use crate::report::ServiceReport;
+use crate::request::{Completion, Priority, QueryRequest, Shed};
 use crate::TenantId;
 use aida_llm::noise::{self, KeyedRng};
+
+/// Where the service's requests come from: a pre-generated batch
+/// ([`ReplaySource`]) or the live front door (`LiveSource` in
+/// `client`). The scheduler pulls arrivals through this trait and
+/// pushes outcomes back, so batch replay and live traffic share one
+/// dispatch loop and one report path.
+///
+/// The contract is virtual-time-monotone: `pop(horizon_s)` yields
+/// requests whose `arrival_s <= horizon_s` in nondecreasing arrival
+/// order, and `next_arrival` never goes backwards. A live source may
+/// *advance its own world* (deliver frames, run client think timers)
+/// inside either call, as long as it respects the horizon.
+pub trait RequestSource {
+    /// The arrival instant of the next request, advancing the source's
+    /// world if needed to discover it. `None` means the workload is
+    /// exhausted and the run may end once the queue drains.
+    fn next_arrival(&mut self) -> Option<f64>;
+
+    /// Takes the next request arriving at or before `horizon_s`, if any.
+    fn pop(&mut self, horizon_s: f64) -> Option<QueryRequest>;
+
+    /// The request `seq` passed admission into the queue at `at_s`.
+    fn on_admitted(&mut self, _seq: u64, _tenant: &TenantId, _at_s: f64) {}
+
+    /// A request was refused (admission or dispatch-time re-check).
+    fn on_shed(&mut self, _shed: &Shed) {}
+
+    /// A query finished (its `end_s` may lie ahead of the dispatch
+    /// cursor — virtual completion instants are scheduled, not awaited).
+    fn on_completion(&mut self, _completion: &Completion) {}
+
+    /// The run is over: drain in-flight responses and write any
+    /// source-side summary (front-door stats, client outcomes) into the
+    /// report.
+    fn finish(&mut self, _report: &mut ServiceReport) {}
+}
+
+/// Batch replay: a sorted vector of pre-generated requests behind the
+/// [`RequestSource`] contract. This is exactly the service's historical
+/// input path — `QueryService::run` wraps its vector in one of these.
+#[derive(Debug)]
+pub struct ReplaySource {
+    requests: Vec<QueryRequest>,
+    next: usize,
+}
+
+impl ReplaySource {
+    /// Sorts the batch by `(arrival, seq)` and wraps it.
+    pub fn new(mut requests: Vec<QueryRequest>) -> ReplaySource {
+        requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.seq.cmp(&b.seq)));
+        ReplaySource { requests, next: 0 }
+    }
+}
+
+impl RequestSource for ReplaySource {
+    fn next_arrival(&mut self) -> Option<f64> {
+        self.requests.get(self.next).map(|r| r.arrival_s)
+    }
+
+    fn pop(&mut self, horizon_s: f64) -> Option<QueryRequest> {
+        let request = self.requests.get(self.next)?;
+        if request.arrival_s > horizon_s {
+            return None;
+        }
+        self.next += 1;
+        Some(self.requests[self.next - 1].clone())
+    }
+}
 
 /// One tenant's load profile.
 #[derive(Debug, Clone)]
@@ -195,6 +264,27 @@ mod tests {
             .collect();
         assert!(bolt.iter().all(|r| r.deadline_s == Some(120.0)));
         assert!(bolt.iter().all(|r| r.arrival_s > 5.0));
+    }
+
+    #[test]
+    fn replay_source_respects_the_horizon() {
+        let requests = open_loop(42, &loads());
+        let arrivals: Vec<f64> = requests.iter().map(|r| r.arrival_s).collect();
+        let mut source = ReplaySource::new(requests);
+        assert_eq!(source.next_arrival(), Some(arrivals[0]));
+        // Nothing pops before its arrival.
+        assert!(source.pop(arrivals[0] - 1e-9).is_none());
+        // Everything at or before the horizon pops, in arrival order.
+        let horizon = arrivals[2];
+        let mut popped = Vec::new();
+        while let Some(r) = source.pop(horizon) {
+            popped.push(r.arrival_s);
+        }
+        assert_eq!(popped, &arrivals[..3]);
+        assert_eq!(source.next_arrival(), Some(arrivals[3]));
+        // Exhaustion.
+        while source.pop(f64::INFINITY).is_some() {}
+        assert_eq!(source.next_arrival(), None);
     }
 
     #[test]

@@ -39,16 +39,25 @@
 //!
 //! [`Runtime`]: aida_core::Runtime
 
+mod autoscale;
+mod client;
 mod driver;
+mod net;
 mod queue;
 mod report;
 mod request;
 mod service;
 mod tenant;
 
-pub use driver::{open_loop, TenantLoad};
+pub use autoscale::{AutoscaleConfig, Autoscaler, ScaleEvent};
+pub use client::{ClientConfig, ClientOutcome, LiveSource};
+pub use driver::{open_loop, ReplaySource, RequestSource, TenantLoad};
+pub use net::{
+    encode_frame, plan_hash, Fabric, Frame, FrameReader, Inbound, Listener, NetStats, TcpFabric,
+    WireBody, WireError, WireRequest, MAX_FRAME_BYTES, WIRE_MAGIC, WIRE_VERSION,
+};
 pub use queue::AdmissionQueue;
-pub use report::{ServiceReport, TenantHealth, TenantReport};
+pub use report::{NetReport, ServiceReport, TenantHealth, TenantReport};
 pub use request::{Completion, Priority, QueryRequest, RejectReason, Shed, TenantId};
 pub use service::{QueryService, ServeConfig};
 pub use tenant::{LedgerRecord, LedgerWal, Spend, TenantConfig, TenantLedger, WalRecovery};

@@ -2,11 +2,64 @@
 //! counters, queue-depth trajectory, cross-tenant reuse trend, and the
 //! shared-vs-isolated cost comparison.
 
+use crate::autoscale::ScaleEvent;
+use crate::net::NetStats;
 use crate::request::{Completion, Shed};
 use crate::TenantId;
 use aida_obs::{Gauge, Json, SloVerdict, Summary, WindowSnapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write;
+
+/// What the live front door saw: wire-level traffic counters plus the
+/// closed-loop client fleet's resolved outcomes. `None` on the report
+/// means the run was batch replay — no listener was attached.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetReport {
+    /// Listener traffic counters (connections, frames, bytes, errors).
+    pub stats: NetStats,
+    /// Closed-loop clients that connected.
+    pub clients: u64,
+    /// Clients that completed every query they wanted.
+    pub clients_completed: u64,
+    /// Clients that exhausted their retry budget on a retryable shed.
+    pub clients_retries_exhausted: u64,
+    /// Clients that hit a terminal rejection and hung up.
+    pub clients_abandoned: u64,
+    /// Clients whose session died on a wire error (or never resolved).
+    pub clients_wire_failed: u64,
+    /// Retries spent across the fleet.
+    pub client_retries: u64,
+    /// Queries completed across the fleet (client-side count).
+    pub client_queries: u64,
+}
+
+impl NetReport {
+    /// Serializes as one `net` JSONL object.
+    pub fn to_json(&self) -> Json {
+        let mut errors = Json::obj();
+        for (kind, n) in &self.stats.wire_errors {
+            errors = errors.field(kind, *n);
+        }
+        Json::obj()
+            .field("type", "net")
+            .field("conns_opened", self.stats.conns_opened)
+            .field("conns_closed", self.stats.conns_closed)
+            .field("conns_peak", self.stats.conns_peak)
+            .field("frames_in", self.stats.frames_in)
+            .field("frames_out", self.stats.frames_out)
+            .field("bytes_in", self.stats.bytes_in)
+            .field("bytes_out", self.stats.bytes_out)
+            .field("plan_hash_hits", self.stats.plan_hash_hits)
+            .field("wire_errors", errors)
+            .field("clients", self.clients)
+            .field("clients_completed", self.clients_completed)
+            .field("clients_retries_exhausted", self.clients_retries_exhausted)
+            .field("clients_abandoned", self.clients_abandoned)
+            .field("clients_wire_failed", self.clients_wire_failed)
+            .field("client_retries", self.client_retries)
+            .field("client_queries", self.client_queries)
+    }
+}
 
 /// One tenant's windowed health: trailing-window latency/cost/queue-wait
 /// statistics plus the SLO burn-rate verdict, evaluated at the end of a
@@ -148,6 +201,16 @@ pub struct ServiceReport {
     pub queue_depth_health: Option<WindowSnapshot>,
     /// Tenants whose SLO burn rates were alerting at end of run.
     pub slo_alerts: u64,
+    /// Autoscaler moves committed during the run, in virtual-time order
+    /// (empty when no autoscaler was configured).
+    pub scale_events: Vec<ScaleEvent>,
+    /// Integral of active workers over the run: `Σ active(t) dt` up to
+    /// the makespan. With a fixed pool this is `workers * makespan_s`;
+    /// with an autoscaler it is what the latency target actually cost.
+    pub worker_seconds: f64,
+    /// Live front-door traffic and client outcomes (`None` in batch
+    /// replay).
+    pub net: Option<NetReport>,
 }
 
 impl ServiceReport {
@@ -179,6 +242,22 @@ impl ServiceReport {
         } else {
             saved as f64 / lookups as f64
         }
+    }
+
+    /// Scale-up moves committed during the run.
+    pub fn scale_ups(&self) -> u64 {
+        self.scale_events
+            .iter()
+            .filter(|e| e.direction() == "up")
+            .count() as u64
+    }
+
+    /// Scale-down moves committed during the run.
+    pub fn scale_downs(&self) -> u64 {
+        self.scale_events
+            .iter()
+            .filter(|e| e.direction() == "down")
+            .count() as u64
     }
 
     fn hit_rate(completions: &[Completion]) -> f64 {
@@ -273,58 +352,9 @@ impl ServiceReport {
                 self.cache_bytes.unwrap_or(0),
             );
         }
-        if !self.health.is_empty() {
-            let window_s = self.health[0].latency.window_s;
-            let _ = writeln!(
-                out,
-                "health ({window_s:.0}s window, {} slo alerts):",
-                self.slo_alerts
-            );
-            for h in &self.health {
-                let burns: Vec<String> = h
-                    .slo
-                    .burns
-                    .iter()
-                    .map(|b| format!("{} {:.2}/{:.2}", b.kind.name(), b.fast, b.slow))
-                    .collect();
-                let _ = writeln!(
-                    out,
-                    "  {:<10} n={:<4} p50 {:>6.1}s p95 {:>6.1}s p99 {:>6.1}s  ${:.4}/q  cache {:>5.1}%  slo {}{}",
-                    h.tenant.as_str(),
-                    h.latency.count,
-                    h.latency.p50,
-                    h.latency.p95,
-                    h.latency.p99,
-                    h.cost.mean,
-                    100.0 * h.cache_hit_rate,
-                    h.slo.verdict(),
-                    if burns.is_empty() {
-                        String::new()
-                    } else {
-                        format!("  (burn {})", burns.join(", "))
-                    },
-                );
-            }
-        }
-        if self.wal_appends + self.wal_replayed > 0 || self.wal_failed {
-            let _ = writeln!(
-                out,
-                "durability: {} wal appends / {} compactions  ({} replayed at startup{})",
-                self.wal_appends,
-                self.wal_compactions,
-                self.wal_replayed,
-                if self.wal_failed { ", WAL FAILED" } else { "" },
-            );
-            let _ = writeln!(
-                out,
-                "log i/o: {} fsyncs / {} group flushes  (staleness bound {} records, {} segments sealed, {} compactions deferred)",
-                self.wal_fsyncs,
-                self.wal_group_flushes,
-                self.wal_batch_bound,
-                self.wal_segments_sealed,
-                self.wal_compactions_deferred,
-            );
-        }
+        self.render_health(&mut out);
+        self.render_pool(&mut out);
+        self.render_durability(&mut out);
         match self.isolated_cost_usd {
             Some(isolated) if isolated > 0.0 => {
                 let _ = writeln!(
@@ -343,6 +373,133 @@ impl ServiceReport {
         out
     }
 
+    /// The windowed-health section of the dashboard (one row per tenant
+    /// with an SLO verdict), skipped when no run evaluated health.
+    fn render_health(&self, out: &mut String) {
+        if self.health.is_empty() {
+            return;
+        }
+        let window_s = self.health[0].latency.window_s;
+        let _ = writeln!(
+            out,
+            "health ({window_s:.0}s window, {} slo alerts):",
+            self.slo_alerts
+        );
+        for h in &self.health {
+            let burns: Vec<String> = h
+                .slo
+                .burns
+                .iter()
+                .map(|b| format!("{} {:.2}/{:.2}", b.kind.name(), b.fast, b.slow))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {:<10} n={:<4} p50 {:>6.1}s p95 {:>6.1}s p99 {:>6.1}s  ${:.4}/q  cache {:>5.1}%  slo {}{}",
+                h.tenant.as_str(),
+                h.latency.count,
+                h.latency.p50,
+                h.latency.p95,
+                h.latency.p99,
+                h.cost.mean,
+                100.0 * h.cache_hit_rate,
+                h.slo.verdict(),
+                if burns.is_empty() {
+                    String::new()
+                } else {
+                    format!("  (burn {})", burns.join(", "))
+                },
+            );
+        }
+    }
+
+    /// The worker-pool and front-door sections: autoscaler moves plus
+    /// the live listener's traffic and client outcomes.
+    fn render_pool(&self, out: &mut String) {
+        if !self.scale_events.is_empty() || self.worker_seconds > 0.0 {
+            let final_workers = self
+                .scale_events
+                .last()
+                .map(|e| e.to)
+                .unwrap_or(self.workers);
+            let _ = writeln!(
+                out,
+                "autoscale: {} ups / {} downs  (worker-seconds {:.1}, final pool {})",
+                self.scale_ups(),
+                self.scale_downs(),
+                self.worker_seconds,
+                final_workers,
+            );
+        }
+        if let Some(net) = &self.net {
+            let _ = writeln!(
+                out,
+                "front door: {} conns ({} peak open, {} closed), {} frames in / {} out, {} bytes in / {} out, {} plan-hash hits, {} wire errors",
+                net.stats.conns_opened,
+                net.stats.conns_peak,
+                net.stats.conns_closed,
+                net.stats.frames_in,
+                net.stats.frames_out,
+                net.stats.bytes_in,
+                net.stats.bytes_out,
+                net.stats.plan_hash_hits,
+                net.stats.wire_error_total(),
+            );
+            let _ = writeln!(
+                out,
+                "clients: {} total — {} completed, {} retries exhausted, {} abandoned, {} wire failed  ({} queries, {} retries)",
+                net.clients,
+                net.clients_completed,
+                net.clients_retries_exhausted,
+                net.clients_abandoned,
+                net.clients_wire_failed,
+                net.client_queries,
+                net.client_retries,
+            );
+        }
+    }
+
+    /// The ledger-WAL durability section, skipped when no WAL touched
+    /// the run.
+    fn render_durability(&self, out: &mut String) {
+        if self.wal_appends + self.wal_replayed == 0 && !self.wal_failed {
+            return;
+        }
+        let _ = writeln!(
+            out,
+            "durability: {} wal appends / {} compactions  ({} replayed at startup{})",
+            self.wal_appends,
+            self.wal_compactions,
+            self.wal_replayed,
+            if self.wal_failed { ", WAL FAILED" } else { "" },
+        );
+        let _ = writeln!(
+            out,
+            "log i/o: {} fsyncs / {} group flushes  (staleness bound {} records, {} segments sealed, {} compactions deferred)",
+            self.wal_fsyncs,
+            self.wal_group_flushes,
+            self.wal_batch_bound,
+            self.wal_segments_sealed,
+            self.wal_compactions_deferred,
+        );
+    }
+
+    /// Folds one completion into the per-tenant aggregates and the
+    /// dispatch-ordered completion log. The scheduler calls this once
+    /// per served query.
+    pub(crate) fn settle(&mut self, completion: Completion) {
+        let tenant_report = self.tenants.entry(completion.tenant.clone()).or_default();
+        tenant_report.completed += 1;
+        tenant_report.cost_usd += completion.cost_usd;
+        tenant_report.tokens += completion.tokens;
+        tenant_report.llm_calls += completion.llm_calls;
+        tenant_report.cache_hits += completion.cache_hits;
+        tenant_report.cache_coalesced += completion.cache_coalesced;
+        tenant_report.cache_misses += completion.cache_misses;
+        tenant_report.latency.record(completion.latency_s());
+        tenant_report.queue_wait.record(completion.queue_wait_s());
+        self.completions.push(completion);
+    }
+
     /// Exports the run as JSONL: one `query` line per completion in
     /// dispatch order, one `shed` line per rejection, one `tenant` line
     /// per tenant, and a final `service` summary line. Only virtual time
@@ -355,10 +512,14 @@ impl ServiceReport {
                 .field("seq", c.seq)
                 .field("tenant", c.tenant.as_str())
                 .field("worker", c.worker as u64)
+                .field("submitted_s", c.submitted_s)
                 .field("arrival_s", c.arrival_s)
+                .field("admit_s", c.admit_s)
                 .field("start_s", c.start_s)
                 .field("end_s", c.end_s)
                 .field("latency_s", c.latency_s())
+                .field("queue_wait_s", c.queue_wait_s())
+                .field("ingest_s", c.ingest_s())
                 .field("cost_usd", c.cost_usd)
                 .field("tokens", c.tokens)
                 .field("llm_calls", c.llm_calls)
@@ -380,6 +541,14 @@ impl ServiceReport {
                 .field("reason", s.reason.kind())
                 .field("detail", s.reason.to_string());
             out.push_str(&line.render());
+            out.push('\n');
+        }
+        for e in &self.scale_events {
+            out.push_str(&e.to_json().render());
+            out.push('\n');
+        }
+        if let Some(net) = &self.net {
+            out.push_str(&net.to_json().render());
             out.push('\n');
         }
         for (tenant, report) in &self.tenants {
@@ -434,6 +603,9 @@ impl ServiceReport {
             .field("wal_batch_bound", self.wal_batch_bound)
             .field("wal_failed", self.wal_failed)
             .field("slo_alerts", self.slo_alerts)
+            .field("scale_ups", self.scale_ups())
+            .field("scale_downs", self.scale_downs())
+            .field("worker_seconds", self.worker_seconds)
             .field("makespan_s", self.makespan_s)
             .field("queue_depth", self.queue_depth.to_json());
         if let Some(bytes) = self.cache_bytes {
@@ -481,7 +653,9 @@ mod tests {
             seq,
             tenant: "t".into(),
             worker: 0,
+            submitted_s: 0.0,
             arrival_s: 0.0,
+            admit_s: 0.0,
             start_s: 1.0,
             end_s: 2.0,
             cost_usd: 0.5,
@@ -654,6 +828,97 @@ mod tests {
         let jsonl = report.to_jsonl();
         assert!(jsonl.contains(r#""type":"health""#));
         assert!(jsonl.contains(r#""slo_alerts":1"#));
+    }
+
+    #[test]
+    fn autoscale_section_renders_and_exports() {
+        let mut report = ServiceReport::default();
+        assert!(!report.render().contains("autoscale:"));
+        report.workers = 8;
+        report.worker_seconds = 750.0;
+        report.scale_events.push(ScaleEvent {
+            at_s: 60.0,
+            from: 2,
+            to: 3,
+            p99_s: 40.0,
+            fast_burn: 3.0,
+            slow_burn: 2.0,
+            queue_depth: 6,
+        });
+        report.scale_events.push(ScaleEvent {
+            at_s: 400.0,
+            from: 3,
+            to: 2,
+            p99_s: 4.0,
+            fast_burn: 0.0,
+            slow_burn: 0.2,
+            queue_depth: 0,
+        });
+        let text = report.render();
+        assert!(
+            text.contains("autoscale: 1 ups / 1 downs  (worker-seconds 750.0, final pool 2)"),
+            "{text}"
+        );
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains(r#"{"type":"scale","at_s":60"#), "{jsonl}");
+        assert!(jsonl.contains(r#""scale_ups":1"#) && jsonl.contains(r#""scale_downs":1"#));
+        assert!(jsonl.contains(r#""worker_seconds":750"#));
+    }
+
+    #[test]
+    fn net_section_renders_and_exports() {
+        let mut report = ServiceReport::default();
+        assert!(!report.render().contains("front door:"));
+        let mut net = NetReport {
+            clients: 4,
+            clients_completed: 3,
+            clients_retries_exhausted: 1,
+            client_retries: 5,
+            client_queries: 9,
+            ..NetReport::default()
+        };
+        net.stats.conns_opened = 4;
+        net.stats.conns_closed = 4;
+        net.stats.conns_peak = 3;
+        net.stats.frames_in = 14;
+        net.stats.frames_out = 23;
+        net.stats.wire_errors.insert("bad_magic".to_string(), 2);
+        report.net = Some(net);
+        let text = report.render();
+        assert!(
+            text.contains("front door: 4 conns (3 peak open, 4 closed)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("clients: 4 total — 3 completed, 1 retries exhausted"),
+            "{text}"
+        );
+        let jsonl = report.to_jsonl();
+        assert!(
+            jsonl.contains(r#"{"type":"net","conns_opened":4"#),
+            "{jsonl}"
+        );
+        assert!(
+            jsonl.contains(r#""wire_errors":{"bad_magic":2}"#),
+            "{jsonl}"
+        );
+    }
+
+    #[test]
+    fn query_lines_carry_the_full_timestamp_chain() {
+        let mut report = ServiceReport::default();
+        let mut c = completion(0, 0, 0);
+        c.submitted_s = 0.5;
+        c.arrival_s = 1.0;
+        c.admit_s = 1.0;
+        report.completions.push(c);
+        let jsonl = report.to_jsonl();
+        assert!(
+            jsonl.contains(r#""submitted_s":0.5,"arrival_s":1,"admit_s":1"#),
+            "{jsonl}"
+        );
+        assert!(jsonl.contains(r#""queue_wait_s":0"#), "{jsonl}");
+        assert!(jsonl.contains(r#""ingest_s":0.5"#), "{jsonl}");
     }
 
     #[test]

@@ -63,6 +63,25 @@ impl Priority {
             Priority::Low => "low",
         }
     }
+
+    /// Wire-protocol code (see `net`): 0 = low, 1 = normal, 2 = high.
+    pub fn code(self) -> u8 {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+
+    /// Decodes a wire-protocol code; anything else is `None`.
+    pub fn from_code(code: u8) -> Option<Priority> {
+        match code {
+            0 => Some(Priority::Low),
+            1 => Some(Priority::Normal),
+            2 => Some(Priority::High),
+            _ => None,
+        }
+    }
 }
 
 /// One query submitted to the service: a `compute` instruction against a
@@ -83,8 +102,14 @@ pub struct QueryRequest {
     /// Maximum virtual seconds the request may wait in the queue before
     /// it is shed instead of dispatched.
     pub deadline_s: Option<f64>,
-    /// Virtual arrival instant (open-loop: set by the workload driver).
+    /// Virtual instant the request reached the service (open-loop: set
+    /// by the workload driver; live: when the front door decoded the
+    /// frame).
     pub arrival_s: f64,
+    /// Virtual instant the *client* sent the request. In batch replay
+    /// this equals `arrival_s`; over the live front door it precedes it
+    /// by the wire's ingest delay.
+    pub submitted_s: f64,
 }
 
 impl QueryRequest {
@@ -102,12 +127,22 @@ impl QueryRequest {
             priority: Priority::Normal,
             deadline_s: None,
             arrival_s: 0.0,
+            submitted_s: 0.0,
         }
     }
 
-    /// Sets the arrival instant.
+    /// Sets the arrival instant (and, for batch replay, the submit
+    /// instant with it — a replayed request has no wire delay).
     pub fn at(mut self, arrival_s: f64) -> QueryRequest {
         self.arrival_s = arrival_s;
+        self.submitted_s = arrival_s;
+        self
+    }
+
+    /// Sets the client-side submit instant independently of arrival
+    /// (live traffic: submit precedes arrival by the ingest delay).
+    pub fn submitted(mut self, submitted_s: f64) -> QueryRequest {
+        self.submitted_s = submitted_s;
         self
     }
 
@@ -184,6 +219,16 @@ impl RejectReason {
             RejectReason::UnknownTenant => "unknown_tenant",
         }
     }
+
+    /// Whether a client that backs off and retries can expect a
+    /// different answer. Queue pressure and queue-wait deadline expiry
+    /// are transient; exhausted quotas and unknown names are not.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            RejectReason::QueueFull { .. } | RejectReason::DeadlineExpired { .. }
+        )
+    }
 }
 
 impl fmt::Display for RejectReason {
@@ -235,8 +280,12 @@ pub struct Completion {
     pub tenant: TenantId,
     /// Virtual worker that served the query.
     pub worker: usize,
-    /// Arrival instant.
+    /// Client-side submit instant (equals `arrival_s` in batch replay).
+    pub submitted_s: f64,
+    /// Instant the request reached the service.
     pub arrival_s: f64,
+    /// Instant the request passed admission into the queue.
+    pub admit_s: f64,
     /// Virtual instant execution began.
     pub start_s: f64,
     /// Virtual instant execution finished.
@@ -265,14 +314,24 @@ pub struct Completion {
 }
 
 impl Completion {
-    /// End-to-end latency (arrival → completion) in virtual seconds.
+    /// End-to-end latency the *client* observed (submit → completion)
+    /// in virtual seconds. In batch replay `submitted_s == arrival_s`,
+    /// so this is the classic arrival-to-completion number; live runs
+    /// fold the wire's ingest delay in, and both paths feed the same
+    /// report and SLO evaluation.
     pub fn latency_s(&self) -> f64 {
-        self.end_s - self.arrival_s
+        self.end_s - self.submitted_s
     }
 
-    /// Time spent waiting in the queue before execution began.
+    /// Time spent waiting in the queue (admission → execution start).
     pub fn queue_wait_s(&self) -> f64 {
-        self.start_s - self.arrival_s
+        self.start_s - self.admit_s
+    }
+
+    /// Front-door delay (submit → admission): zero in batch replay,
+    /// wire propagation + decode over the live listener.
+    pub fn ingest_s(&self) -> f64 {
+        self.admit_s - self.submitted_s
     }
 }
 
@@ -321,12 +380,43 @@ mod tests {
     }
 
     #[test]
+    fn priority_wire_codes_round_trip() {
+        for p in [Priority::Low, Priority::Normal, Priority::High] {
+            assert_eq!(Priority::from_code(p.code()), Some(p));
+        }
+        assert_eq!(Priority::from_code(3), None);
+        assert_eq!(Priority::from_code(255), None);
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(RejectReason::QueueFull {
+            depth: 1,
+            capacity: 1
+        }
+        .retryable());
+        assert!(RejectReason::DeadlineExpired {
+            waited_s: 2.0,
+            deadline_s: 1.0
+        }
+        .retryable());
+        assert!(!RejectReason::BudgetExhausted {
+            spent_usd: 1.0,
+            quota_usd: 1.0
+        }
+        .retryable());
+        assert!(!RejectReason::UnknownTenant.retryable());
+    }
+
+    #[test]
     fn completion_latency_math() {
         let c = Completion {
             seq: 0,
             tenant: "t".into(),
             worker: 0,
+            submitted_s: 1.0,
             arrival_s: 2.0,
+            admit_s: 2.0,
             start_s: 5.0,
             end_s: 9.0,
             cost_usd: 0.0,
@@ -339,7 +429,8 @@ mod tests {
             cache_misses: 0,
             answered: true,
         };
-        assert_eq!(c.latency_s(), 7.0);
-        assert_eq!(c.queue_wait_s(), 3.0);
+        assert_eq!(c.latency_s(), 8.0); // submit -> end
+        assert_eq!(c.queue_wait_s(), 3.0); // admit -> start
+        assert_eq!(c.ingest_s(), 1.0); // submit -> admit
     }
 }

@@ -17,6 +17,8 @@
 //! Virtual-worker index `k` is pinned to real worker thread `k`, so the
 //! physical execution follows the virtual placement.
 
+use crate::autoscale::{AutoscaleConfig, Autoscaler};
+use crate::driver::{ReplaySource, RequestSource};
 use crate::queue::AdmissionQueue;
 use crate::report::ServiceReport;
 use crate::request::{Completion, QueryRequest, RejectReason, Shed};
@@ -25,7 +27,7 @@ use crate::TenantId;
 use aida_core::{Context, Runtime};
 use aida_llm::snapshot::SnapshotError;
 use aida_llm::Timeline;
-use aida_obs::{registry, Event, SeriesStore, SloPolicy, WindowSnapshot};
+use aida_obs::{registry, Event, Recorder, SeriesStore, SloPolicy, WindowSnapshot};
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 
@@ -54,6 +56,12 @@ pub struct ServeConfig {
     /// Completions between background-ops hooks (WAL compaction checks
     /// run here, off the per-query path; minimum 1).
     pub ops_interval: u64,
+    /// Latency-targeted autoscaling of the virtual worker pool. When
+    /// set, the service provisions `autoscale.max_workers` threads and
+    /// lets the controller resize the *active* prefix between the
+    /// configured bounds; `workers` becomes the initial pool size.
+    /// `None` keeps the fixed pool.
+    pub autoscale: Option<AutoscaleConfig>,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +74,7 @@ impl Default for ServeConfig {
             slo_policy: SloPolicy::default(),
             group_commit: 0,
             ops_interval: 16,
+            autoscale: None,
         }
     }
 }
@@ -109,12 +118,282 @@ impl ServeConfig {
         self.ops_interval = completions;
         self
     }
+
+    /// Enables latency-targeted autoscaling of the worker pool.
+    pub fn autoscale(mut self, config: AutoscaleConfig) -> ServeConfig {
+        self.autoscale = Some(config);
+        self
+    }
 }
 
 /// One query's work order, shipped to a worker thread.
 struct Job {
     ctx: Context,
     instruction: String,
+}
+
+/// Marks the run WAL-failed and records the error. Dispatch stops after
+/// this — crash semantics: the durable log trails the in-memory ledger
+/// by at most one batch of records.
+fn wal_fatal(
+    report: &mut ServiceReport,
+    recorder: &Recorder,
+    counter: &'static str,
+    detail: String,
+) {
+    recorder.counter_add(counter, 1);
+    recorder.event(Event::Error {
+        counter: counter.to_string(),
+        detail,
+    });
+    report.wal_failed = true;
+}
+
+/// Records one rejection: the typed shed reaches the source (so a live
+/// client hears about it over the wire), the tenant's shed counter, and
+/// the report's rejection log.
+fn shed_request(
+    report: &mut ServiceReport,
+    source: &mut dyn RequestSource,
+    seq: u64,
+    tenant: TenantId,
+    at_s: f64,
+    reason: RejectReason,
+) {
+    *report
+        .tenants
+        .entry(tenant.clone())
+        .or_default()
+        .shed
+        .entry(reason.kind())
+        .or_insert(0) += 1;
+    let shed = Shed {
+        seq,
+        tenant,
+        at_s,
+        reason,
+    };
+    source.on_shed(&shed);
+    report.sheds.push(shed);
+}
+
+/// The admission check: known tenant, known Context, quota headroom,
+/// queue bound. `Ok` means the request is in the queue.
+fn admit(
+    tenants: &TenantLedger,
+    contexts: &BTreeMap<String, Context>,
+    queue: &mut AdmissionQueue,
+    request: QueryRequest,
+) -> Result<(), RejectReason> {
+    if !tenants.knows(&request.tenant) {
+        Err(RejectReason::UnknownTenant)
+    } else if !contexts.contains_key(&request.context) {
+        Err(RejectReason::UnknownContext {
+            name: request.context.clone(),
+        })
+    } else if let Some(reason) = tenants.over_quota(&request.tenant) {
+        Err(reason)
+    } else {
+        queue.push(request)
+    }
+}
+
+/// Group commit: the deterministic commit buffer. Records accumulate
+/// here and land under ONE fsync per batch — at the batch bound, at
+/// every ops-interval boundary, and at end of run. A crash loses at
+/// most one buffered batch.
+struct WalPipeline<'a> {
+    wal: &'a mut LedgerWal,
+    batch: Vec<LedgerRecord>,
+    group_commit: usize,
+    ops_interval: u64,
+    /// Completions since the run began, driving the ops-interval hook
+    /// (background WAL compaction runs there, never on the per-query
+    /// path).
+    completions: u64,
+}
+
+impl<'a> WalPipeline<'a> {
+    fn new(wal: &'a mut LedgerWal, group_commit: usize, ops_interval: u64) -> WalPipeline<'a> {
+        WalPipeline {
+            wal,
+            batch: Vec::new(),
+            group_commit,
+            ops_interval: ops_interval.max(1),
+            completions: 0,
+        }
+    }
+
+    /// Flushes the commit buffer under one fsync.
+    fn flush(&mut self, report: &mut ServiceReport, recorder: &Recorder) -> std::io::Result<()> {
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        let n = self.batch.len() as u64;
+        self.wal.append_batch(&self.batch)?;
+        self.batch.clear();
+        report.wal_appends += n;
+        recorder.counter_add(registry::WAL_APPENDS, n);
+        Ok(())
+    }
+
+    /// Buffers one record (group commit) or appends it durably
+    /// (per-record fsync), per the configured bound.
+    fn log(
+        &mut self,
+        report: &mut ServiceReport,
+        recorder: &Recorder,
+        record: LedgerRecord,
+    ) -> std::io::Result<()> {
+        if self.group_commit > 1 {
+            self.batch.push(record);
+            if self.batch.len() >= self.group_commit {
+                return self.flush(report, recorder);
+            }
+            Ok(())
+        } else {
+            self.wal.append(&record)?;
+            report.wal_appends += 1;
+            recorder.counter_add(registry::WAL_APPENDS, 1);
+            Ok(())
+        }
+    }
+
+    /// Logs one completion's combined spend record and runs the
+    /// ops-interval hook: group flush plus background WAL compaction,
+    /// off the per-query path. Returns the fatal `(counter, detail)`
+    /// pair when durability failed and dispatch must stop.
+    fn settle_spend(
+        &mut self,
+        report: &mut ServiceReport,
+        recorder: &Recorder,
+        tenants: &TenantLedger,
+        tenant: &TenantId,
+        record: LedgerRecord,
+    ) -> Option<(&'static str, String)> {
+        let spend_failed = |e: std::io::Error| {
+            let detail = format!("spend record for tenant {tenant} failed: {e}");
+            (registry::WAL_APPEND_ERRORS, detail)
+        };
+        if let Err(e) = self.log(report, recorder, record) {
+            return Some(spend_failed(e));
+        }
+        self.completions += 1;
+        if self.completions.is_multiple_of(self.ops_interval) {
+            // Background ops: flush first so the compaction snapshot
+            // never claims coverage of records still sitting in the
+            // commit buffer.
+            match self.flush(report, recorder) {
+                Ok(()) if self.wal.compaction_due() => match self.wal.compact(tenants) {
+                    Ok(_) => {
+                        report.wal_compactions += 1;
+                        recorder.counter_add(registry::WAL_COMPACTIONS, 1);
+                    }
+                    Err(e) => {
+                        return Some((
+                            registry::WAL_COMPACTION_ERRORS,
+                            format!("ledger compaction failed: {e}"),
+                        ));
+                    }
+                },
+                Ok(()) => {}
+                Err(e) => return Some(spend_failed(e)),
+            }
+        } else if self.wal.compaction_due() {
+            // Due but not at an ops boundary: count the deferral instead
+            // of paying the snapshot rewrite on the query path.
+            report.wal_compactions_deferred += 1;
+            recorder.counter_add(registry::WAL_COMPACTIONS_DEFERRED, 1);
+        }
+        None
+    }
+}
+
+/// The autoscaling controller plus the worker-seconds integral it
+/// drives: `Σ active(t) dt`, advanced at every scale move and closed
+/// out at the makespan. A fixed pool integrates to `workers * makespan`.
+struct PoolController {
+    scaler: Option<(Autoscaler, aida_obs::SlidingWindow)>,
+    worker_seconds: f64,
+    active: usize,
+    last_t: f64,
+}
+
+impl PoolController {
+    fn new(config: Option<AutoscaleConfig>, initial_active: usize) -> PoolController {
+        // The controller reads the same windowed-p99 signal the health
+        // layer reports on, fed live at completion instants.
+        let scaler = config.map(|cfg| {
+            let slot_s = (cfg.evaluate_every_s / 2.0).max(1e-9);
+            let span_s = cfg.window_s.max(cfg.policy.slow_window_s) * 2.0;
+            let slots = ((span_s / slot_s).ceil() as usize).clamp(8, 16384);
+            let window = aida_obs::SlidingWindow::new(slot_s, slots);
+            (Autoscaler::new(cfg, initial_active), window)
+        });
+        PoolController {
+            scaler,
+            worker_seconds: 0.0,
+            active: initial_active,
+            last_t: 0.0,
+        }
+    }
+
+    /// Evaluates the controller at a dispatch instant and commits any
+    /// move: resizes the timeline's active prefix, advances the
+    /// worker-seconds integral, and records the typed scale event on
+    /// every surface (report, counters, gauge, event stream).
+    fn observe(
+        &mut self,
+        now: f64,
+        queue_depth: usize,
+        timeline: &mut Timeline,
+        report: &mut ServiceReport,
+        recorder: &Recorder,
+        trace_gauge: bool,
+    ) {
+        let Some((scaler, window)) = self.scaler.as_mut() else {
+            return;
+        };
+        let Some(event) = scaler.observe(now, window, queue_depth) else {
+            return;
+        };
+        self.worker_seconds += self.active as f64 * (event.at_s - self.last_t);
+        self.last_t = event.at_s;
+        self.active = event.to;
+        timeline.set_active(event.to);
+        recorder.counter_add(
+            if event.direction() == "up" {
+                registry::AUTOSCALE_UPS
+            } else {
+                registry::AUTOSCALE_DOWNS
+            },
+            1,
+        );
+        if trace_gauge {
+            recorder.gauge_set(registry::SERVE_WORKERS, event.at_s, event.to as f64);
+        }
+        recorder.event(Event::Scale {
+            at_s: event.at_s,
+            from: event.from as u64,
+            to: event.to as u64,
+            p99_s: event.p99_s,
+            fast_burn: event.fast_burn,
+            slow_burn: event.slow_burn,
+        });
+        report.scale_events.push(event);
+    }
+
+    /// Feeds one completion's latency into the controller's window.
+    fn record_latency(&mut self, end_s: f64, latency_s: f64) {
+        if let Some((_, window)) = self.scaler.as_mut() {
+            window.record(end_s, latency_s);
+        }
+    }
+
+    /// Closes out the integral at the end of the run.
+    fn total_worker_seconds(&self, end_t: f64) -> f64 {
+        self.worker_seconds + self.active as f64 * (end_t.max(self.last_t) - self.last_t)
+    }
 }
 
 /// A multi-tenant query service over one shared [`Runtime`].
@@ -217,29 +496,44 @@ impl QueryService {
     /// bound), queued, dispatched under weighted round-robin with
     /// per-tenant priorities, re-checked (deadline, quota) at dispatch,
     /// and executed on the worker pool.
-    pub fn run(&mut self, mut requests: Vec<QueryRequest>) -> ServiceReport {
-        requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.seq.cmp(&b.seq)));
+    pub fn run(&mut self, requests: Vec<QueryRequest>) -> ServiceReport {
+        let mut source = ReplaySource::new(requests);
+        self.serve(&mut source)
+    }
 
-        let workers = self.config.workers.max(1);
-        let mut timeline = Timeline::new(workers);
+    /// Serves whatever a [`RequestSource`] produces — batch replay or
+    /// the live front door — through one dispatch loop and one report
+    /// path. Admission verdicts and completions flow back to the source
+    /// through its callbacks, so a live source can answer its clients
+    /// over the wire at the exact virtual instants the scheduler
+    /// decided them.
+    pub fn serve(&mut self, source: &mut dyn RequestSource) -> ServiceReport {
+        let initial_workers = self.config.workers.max(1);
+        let autoscale_cfg = self.config.autoscale.clone();
+        // With an autoscaler the thread pool is provisioned at the max
+        // bound and the controller resizes the *active* prefix of the
+        // timeline; without one, active == capacity == `workers`.
+        let (capacity, initial_active) = match &autoscale_cfg {
+            Some(ac) => (
+                ac.max_workers,
+                initial_workers.clamp(ac.min_workers, ac.max_workers),
+            ),
+            None => (initial_workers, initial_workers),
+        };
+        let mut timeline = Timeline::new(capacity);
+        timeline.set_active(initial_active);
+        let mut pool = PoolController::new(autoscale_cfg, initial_active);
         let mut queue = AdmissionQueue::new(self.config.queue_capacity);
         for (tenant, config) in self.tenants.tenants() {
             queue.set_weight(tenant.clone(), config);
         }
 
         let mut report = ServiceReport {
-            workers,
+            workers: capacity,
             ..ServiceReport::default()
         };
         for (tenant, _) in self.tenants.tenants() {
             report.tenants.entry(tenant.clone()).or_default();
-        }
-        for request in &requests {
-            report
-                .tenants
-                .entry(request.tenant.clone())
-                .or_default()
-                .submitted += 1;
         }
 
         if let Some(recovery) = self.wal_recovery {
@@ -256,15 +550,18 @@ impl QueryService {
         let contexts = &self.contexts;
         let tenants = &mut self.tenants;
         let wal_stats_before = self.wal.as_ref().map(|w| w.stats()).unwrap_or_default();
-        let wal = &mut self.wal;
         let group_commit = self.config.group_commit;
-        let ops_interval = self.config.ops_interval.max(1);
+        let ops_interval = self.config.ops_interval;
+        let mut wal = self
+            .wal
+            .as_mut()
+            .map(|w| WalPipeline::new(w, group_commit, ops_interval));
         let trace_gauge = runtime.recorder().is_enabled();
 
         std::thread::scope(|scope| {
             let (done_tx, done_rx) = mpsc::channel();
-            let mut job_tx: Vec<mpsc::Sender<Job>> = Vec::with_capacity(workers);
-            for _ in 0..workers {
+            let mut job_tx: Vec<mpsc::Sender<Job>> = Vec::with_capacity(capacity);
+            for _ in 0..capacity {
                 let (tx, rx) = mpsc::channel::<Job>();
                 job_tx.push(tx);
                 let done = done_tx.clone();
@@ -288,122 +585,58 @@ impl QueryService {
                         .gauge_set(registry::SERVE_QUEUE_DEPTH, t, depth as f64);
                 }
             };
-            let shed =
-                |report: &mut ServiceReport, seq, tenant: TenantId, at_s, reason: RejectReason| {
-                    *report
-                        .tenants
-                        .entry(tenant.clone())
-                        .or_default()
-                        .shed
-                        .entry(reason.kind())
-                        .or_insert(0) += 1;
-                    report.sheds.push(Shed {
-                        seq,
-                        tenant,
-                        at_s,
-                        reason,
-                    });
-                };
 
-            // Group commit: the deterministic commit buffer. Records
-            // accumulate here and land under ONE fsync per batch — at
-            // the batch bound, at every ops-interval boundary, and at
-            // end of run. A crash loses at most one buffered batch.
-            let mut batch: Vec<LedgerRecord> = Vec::new();
-            let flush_batch = |w: &mut LedgerWal,
-                               batch: &mut Vec<LedgerRecord>,
-                               report: &mut ServiceReport|
-             -> std::io::Result<()> {
-                if batch.is_empty() {
-                    return Ok(());
-                }
-                let n = batch.len() as u64;
-                w.append_batch(batch)?;
-                batch.clear();
-                report.wal_appends += n;
-                runtime.recorder().counter_add(registry::WAL_APPENDS, n);
-                Ok(())
-            };
-            let log_record = |w: &mut LedgerWal,
-                              batch: &mut Vec<LedgerRecord>,
-                              report: &mut ServiceReport,
-                              record: LedgerRecord|
-             -> std::io::Result<()> {
-                if group_commit > 1 {
-                    batch.push(record);
-                    if batch.len() >= group_commit {
-                        return flush_batch(w, batch, report);
-                    }
-                    Ok(())
-                } else {
-                    w.append(&record)?;
-                    report.wal_appends += 1;
-                    runtime.recorder().counter_add(registry::WAL_APPENDS, 1);
-                    Ok(())
-                }
-            };
-
-            let mut pending = requests.into_iter().peekable();
-            // Completions since the run began, driving the ops-interval
-            // hook (background WAL compaction runs there, never on the
-            // per-query path).
-            let mut ops_completions = 0u64;
             // The scheduler's virtual cursor: monotone, so admission and
             // dispatch instants never run backwards.
             let mut now = 0.0_f64;
             'dispatch: loop {
                 if queue.is_empty() {
-                    match pending.peek() {
-                        Some(next) => now = now.max(next.arrival_s),
+                    match source.next_arrival() {
+                        Some(next) => now = now.max(next),
                         None => break,
                     }
                 }
+                // The controller evaluates at dispatch instants — the
+                // only points virtual time moves — on the live latency
+                // window and current queue depth.
+                pool.observe(
+                    now,
+                    queue.depth(),
+                    &mut timeline,
+                    &mut report,
+                    runtime.recorder(),
+                    trace_gauge,
+                );
                 // With a backlog, the next dispatch happens when a worker
                 // frees up; arrivals up to that instant compete in the
                 // same WRR round (arrivals at exactly the dispatch
                 // instant are admitted before the pop).
                 let dispatch_t = now.max(timeline.next_free());
-                while pending
-                    .peek()
-                    .is_some_and(|next| next.arrival_s <= dispatch_t)
-                {
-                    let request = pending.next().expect("peeked");
+                while let Some(request) = source.pop(dispatch_t) {
                     let at_s = request.arrival_s;
                     let tenant = request.tenant.clone();
                     let seq = request.seq;
-                    let verdict = if !tenants.knows(&tenant) {
-                        Err(RejectReason::UnknownTenant)
-                    } else if !contexts.contains_key(&request.context) {
-                        Err(RejectReason::UnknownContext {
-                            name: request.context.clone(),
-                        })
-                    } else if let Some(reason) = tenants.over_quota(&tenant) {
-                        Err(reason)
-                    } else {
-                        queue.push(request)
-                    };
-                    match verdict {
+                    report.tenants.entry(tenant.clone()).or_default().submitted += 1;
+                    match admit(tenants, contexts, &mut queue, request) {
                         Ok(()) => {
                             report.tenants.entry(tenant.clone()).or_default().admitted += 1;
-                            if let Some(w) = wal.as_mut() {
+                            source.on_admitted(seq, &tenant, at_s);
+                            if let Some(p) = wal.as_mut() {
                                 let record = LedgerRecord::Admit {
                                     tenant: tenant.clone(),
                                 };
-                                if let Err(e) = log_record(w, &mut batch, &mut report, record) {
-                                    let recorder = runtime.recorder();
-                                    recorder.counter_add(registry::WAL_APPEND_ERRORS, 1);
-                                    recorder.event(Event::Error {
-                                        counter: registry::WAL_APPEND_ERRORS.to_string(),
-                                        detail: format!(
-                                            "admit record for tenant {tenant} failed: {e}"
-                                        ),
-                                    });
-                                    report.wal_failed = true;
+                                if let Err(e) = p.log(&mut report, runtime.recorder(), record) {
+                                    wal_fatal(
+                                        &mut report,
+                                        runtime.recorder(),
+                                        registry::WAL_APPEND_ERRORS,
+                                        format!("admit record for tenant {tenant} failed: {e}"),
+                                    );
                                     break 'dispatch;
                                 }
                             }
                         }
-                        Err(reason) => shed(&mut report, seq, tenant, at_s, reason),
+                        Err(reason) => shed_request(&mut report, source, seq, tenant, at_s, reason),
                     }
                     sample_depth(&mut report, at_s, queue.depth());
                 }
@@ -419,8 +652,9 @@ impl QueryService {
                 if let Some(deadline_s) = request.deadline_s {
                     let waited_s = dispatch_t - request.arrival_s;
                     if waited_s > deadline_s {
-                        shed(
+                        shed_request(
                             &mut report,
+                            source,
                             request.seq,
                             request.tenant,
                             dispatch_t,
@@ -433,7 +667,14 @@ impl QueryService {
                     }
                 }
                 if let Some(reason) = tenants.over_quota(&request.tenant) {
-                    shed(&mut report, request.seq, request.tenant, dispatch_t, reason);
+                    shed_request(
+                        &mut report,
+                        source,
+                        request.seq,
+                        request.tenant,
+                        dispatch_t,
+                        reason,
+                    );
                     continue;
                 }
 
@@ -473,7 +714,7 @@ impl QueryService {
                 // One combined record per completion: the charge and its
                 // cache credit land atomically or not at all, so recovery
                 // never sees a half-applied spend.
-                if let Some(w) = wal.as_mut() {
+                if let Some(p) = wal.as_mut() {
                     let record = LedgerRecord::Spend {
                         tenant: request.tenant.clone(),
                         usd: cost_usd,
@@ -482,61 +723,14 @@ impl QueryService {
                         cache_hits: cache_delta.hits,
                         cache_coalesced: cache_delta.coalesced,
                     };
-                    let mut fatal: Option<(&str, String)> = None;
-                    let spend_failed = |e: std::io::Error| {
-                        let detail =
-                            format!("spend record for tenant {} failed: {e}", request.tenant);
-                        (registry::WAL_APPEND_ERRORS, detail)
-                    };
-                    match log_record(w, &mut batch, &mut report, record) {
-                        Ok(()) => {
-                            ops_completions += 1;
-                            if ops_completions.is_multiple_of(ops_interval) {
-                                // Background ops: flush first so the
-                                // compaction snapshot never claims
-                                // coverage of records still sitting in
-                                // the commit buffer.
-                                match flush_batch(w, &mut batch, &mut report) {
-                                    Ok(()) if w.compaction_due() => match w.compact(tenants) {
-                                        Ok(_) => {
-                                            report.wal_compactions += 1;
-                                            runtime
-                                                .recorder()
-                                                .counter_add(registry::WAL_COMPACTIONS, 1);
-                                        }
-                                        Err(e) => {
-                                            fatal = Some((
-                                                registry::WAL_COMPACTION_ERRORS,
-                                                format!("ledger compaction failed: {e}"),
-                                            ));
-                                        }
-                                    },
-                                    Ok(()) => {}
-                                    Err(e) => fatal = Some(spend_failed(e)),
-                                }
-                            } else if w.compaction_due() {
-                                // Due but not at an ops boundary: count
-                                // the deferral instead of paying the
-                                // snapshot rewrite on the query path.
-                                report.wal_compactions_deferred += 1;
-                                runtime
-                                    .recorder()
-                                    .counter_add(registry::WAL_COMPACTIONS_DEFERRED, 1);
-                            }
-                        }
-                        Err(e) => fatal = Some(spend_failed(e)),
-                    }
-                    if let Some((counter, detail)) = fatal {
-                        // Crash semantics: stop dispatching, so the durable
-                        // log trails the in-memory ledger by at most one
-                        // batch of records.
-                        let recorder = runtime.recorder();
-                        recorder.counter_add(counter, 1);
-                        recorder.event(Event::Error {
-                            counter: counter.to_string(),
-                            detail,
-                        });
-                        report.wal_failed = true;
+                    if let Some((counter, detail)) = p.settle_spend(
+                        &mut report,
+                        runtime.recorder(),
+                        tenants,
+                        &request.tenant,
+                        record,
+                    ) {
+                        wal_fatal(&mut report, runtime.recorder(), counter, detail);
                         break 'dispatch;
                     }
                 }
@@ -545,7 +739,12 @@ impl QueryService {
                     seq: request.seq,
                     tenant: request.tenant.clone(),
                     worker: slot.worker,
+                    submitted_s: request.submitted_s,
                     arrival_s: request.arrival_s,
+                    // Admission happened at the arrival instant (the
+                    // admission sweep runs every arrival up to the
+                    // dispatch cursor at its own arrival time).
+                    admit_s: request.arrival_s,
                     start_s: slot.start_s,
                     end_s: slot.end_s,
                     cost_usd,
@@ -558,35 +757,29 @@ impl QueryService {
                     cache_misses: cache_delta.misses,
                     answered: outcome.answer.is_some(),
                 };
-                let tenant_report = report.tenants.entry(request.tenant.clone()).or_default();
-                tenant_report.completed += 1;
-                tenant_report.cost_usd += cost_usd;
-                tenant_report.tokens += tokens;
-                tenant_report.llm_calls += llm_calls;
-                tenant_report.cache_hits += cache_delta.hits;
-                tenant_report.cache_coalesced += cache_delta.coalesced;
-                tenant_report.cache_misses += cache_delta.misses;
-                tenant_report.latency.record(completion.latency_s());
-                tenant_report.queue_wait.record(completion.queue_wait_s());
-                report.completions.push(completion);
+                pool.record_latency(completion.end_s, completion.latency_s());
+                source.on_completion(&completion);
+                report.settle(completion);
             }
             // End of run: drain the commit buffer so every acknowledged
             // record is durable before the report is trusted.
-            if let Some(w) = wal.as_mut() {
+            if let Some(p) = wal.as_mut() {
                 if !report.wal_failed {
-                    if let Err(e) = flush_batch(w, &mut batch, &mut report) {
-                        let recorder = runtime.recorder();
-                        recorder.counter_add(registry::WAL_APPEND_ERRORS, 1);
-                        recorder.event(Event::Error {
-                            counter: registry::WAL_APPEND_ERRORS.to_string(),
-                            detail: format!("end-of-run group flush failed: {e}"),
-                        });
-                        report.wal_failed = true;
+                    if let Err(e) = p.flush(&mut report, runtime.recorder()) {
+                        wal_fatal(
+                            &mut report,
+                            runtime.recorder(),
+                            registry::WAL_APPEND_ERRORS,
+                            format!("end-of-run group flush failed: {e}"),
+                        );
                     }
                 }
             }
             drop(job_tx);
         });
+        // The pipeline's borrow of the WAL must end before we read its
+        // end-of-run stats.
+        drop(wal);
 
         let (hits_after, misses_after) = self.runtime.reuse_stats();
         report.reuse_hits = hits_after - hits_before;
@@ -614,8 +807,24 @@ impl QueryService {
             recorder.counter_add(registry::WAL_SEGMENTS_SEALED, report.wal_segments_sealed);
         }
         report.makespan_s = timeline.makespan();
+        report.worker_seconds = pool.total_worker_seconds(report.makespan_s);
         report.total_cost_usd = report.tenants.values().map(|t| t.cost_usd).sum();
         self.evaluate_health(&mut report);
+        // Let the source drain its in-flight responses and write its
+        // summary (front-door stats, client outcomes), then mirror the
+        // wire counters into the registry.
+        source.finish(&mut report);
+        if let Some(net) = &report.net {
+            let recorder = self.runtime.recorder();
+            recorder.counter_add(registry::NET_CONNS_OPENED, net.stats.conns_opened);
+            recorder.counter_add(registry::NET_CONNS_CLOSED, net.stats.conns_closed);
+            recorder.counter_add(registry::NET_FRAMES_IN, net.stats.frames_in);
+            recorder.counter_add(registry::NET_FRAMES_OUT, net.stats.frames_out);
+            recorder.counter_add(registry::NET_BYTES_IN, net.stats.bytes_in);
+            recorder.counter_add(registry::NET_BYTES_OUT, net.stats.bytes_out);
+            recorder.counter_add(registry::NET_PLAN_HASH_HITS, net.stats.plan_hash_hits);
+            recorder.counter_add(registry::NET_WIRE_ERRORS, net.stats.wire_error_total());
+        }
         report
     }
 

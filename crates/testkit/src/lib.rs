@@ -15,7 +15,10 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+pub mod netsim;
+
 pub use aida_llm::snapshot::{CrashPoint, FailPlan};
+pub use netsim::{NetSim, NetSimConfig};
 
 static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
 

@@ -1,0 +1,544 @@
+//! # netsim — a deterministic in-process network fabric
+//!
+//! A discrete-event stand-in for a TCP stack, so the serving layer's
+//! listener can be soaked with thousands of connections — partial
+//! reads, partial writes, reordered readiness, and mid-frame
+//! disconnects included — without opening a socket and without giving
+//! up byte-identical replay.
+//!
+//! The model: every connection is a pair of one-way pipes. A send is
+//! split into 1..=`max_chunk`-byte segments, each assigned a seeded
+//! propagation delay; a segment becomes readable once virtual time
+//! passes its delivery instant. Per-pipe delivery is FIFO (delays are
+//! monotone within a pipe), but *across* connections readiness order is
+//! a seeded shuffle — the interleaving a real `poll(2)` loop would see,
+//! minus the nondeterminism.
+//!
+//! Everything is keyed off one [`KeyedRng`] advanced only by the
+//! single-threaded simulation loop, so the whole fabric replays exactly
+//! at the same seed.
+
+use aida_llm::noise::KeyedRng;
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+
+/// Tuning knobs for the simulated fabric. Shrinking `max_chunk` /
+/// `max_write` injects aggressive partial reads and writes.
+#[derive(Debug, Clone)]
+pub struct NetSimConfig {
+    /// Seed for chunking, delays, and readiness shuffles.
+    pub seed: u64,
+    /// Mean per-segment propagation delay (virtual seconds).
+    pub mean_delay_s: f64,
+    /// Largest contiguous segment a send is split into (>= 1). One
+    /// `read` returns at most one segment, so this caps read sizes.
+    pub max_chunk: usize,
+    /// Most bytes one `write` call accepts (>= 1); the remainder is
+    /// reported as a short write, as a congested socket would.
+    pub max_write: usize,
+}
+
+impl Default for NetSimConfig {
+    fn default() -> Self {
+        NetSimConfig {
+            seed: 0,
+            mean_delay_s: 0.01,
+            max_chunk: 512,
+            max_write: 4096,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Segment {
+    deliver_s: f64,
+    bytes: Vec<u8>,
+    offset: usize,
+}
+
+#[derive(Debug, Default)]
+struct Pipe {
+    segments: VecDeque<Segment>,
+    /// Last scheduled delivery instant — keeps the pipe FIFO.
+    last_deliver_s: f64,
+    /// Clean-close instant (readable as EOF once queued data drains).
+    fin_s: Option<f64>,
+}
+
+impl Pipe {
+    fn readable_at(&self, now_s: f64) -> bool {
+        self.segments
+            .front()
+            .is_some_and(|seg| seg.deliver_s <= now_s)
+    }
+
+    fn eof_at(&self, now_s: f64) -> bool {
+        self.segments.is_empty() && self.fin_s.is_some_and(|fin| fin <= now_s)
+    }
+}
+
+#[derive(Debug)]
+struct Conn {
+    connect_s: f64,
+    accepted: bool,
+    /// Abrupt client disconnect instant (undelivered bytes dropped).
+    abort_s: Option<f64>,
+    server_closed: bool,
+    to_server: Pipe,
+    to_client: Pipe,
+}
+
+/// The simulated fabric: both ends of every connection, one virtual
+/// clock, one seeded RNG. The server side (accept/poll/read/write) is
+/// consumed by the listener; the client side (`connect`/`client_send`/
+/// `client_recv`/...) by the closed-loop driver.
+#[derive(Debug)]
+pub struct NetSim {
+    cfg: NetSimConfig,
+    rng: KeyedRng,
+    conns: BTreeMap<usize, Conn>,
+    next_token: usize,
+    now_s: f64,
+}
+
+impl NetSim {
+    /// Creates a fabric with the given knobs.
+    pub fn new(cfg: NetSimConfig) -> NetSim {
+        let rng = KeyedRng::new(cfg.seed ^ 0x6E65_7473_696D_0001);
+        NetSim {
+            cfg,
+            rng,
+            conns: BTreeMap::new(),
+            next_token: 0,
+            now_s: 0.0,
+        }
+    }
+
+    /// Creates a fabric with default knobs and the given seed.
+    pub fn seeded(seed: u64) -> NetSim {
+        NetSim::new(NetSimConfig {
+            seed,
+            ..NetSimConfig::default()
+        })
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Advances virtual time (never backwards).
+    pub fn advance(&mut self, now_s: f64) {
+        if now_s > self.now_s {
+            self.now_s = now_s;
+        }
+    }
+
+    /// The next instant at which anything changes: a pending connect, a
+    /// segment delivery, or a queued FIN. `None` when fully quiescent.
+    pub fn next_event_s(&self) -> Option<f64> {
+        let mut next = f64::INFINITY;
+        let mut fold = |t: f64| {
+            if t > self.now_s && t < next {
+                next = t;
+            }
+        };
+        for conn in self.conns.values() {
+            if !conn.accepted {
+                fold(conn.connect_s);
+            }
+            for pipe in [&conn.to_server, &conn.to_client] {
+                if let Some(seg) = pipe.segments.front() {
+                    fold(seg.deliver_s);
+                }
+                if let Some(fin) = pipe.fin_s {
+                    fold(fin);
+                }
+            }
+        }
+        next.is_finite().then_some(next)
+    }
+
+    fn transmit(rng: &mut KeyedRng, cfg: &NetSimConfig, pipe: &mut Pipe, now_s: f64, bytes: &[u8]) {
+        let mut at = pipe.last_deliver_s.max(now_s);
+        let mut off = 0;
+        while off < bytes.len() {
+            let n = (bytes.len() - off).min(1 + rng.below(cfg.max_chunk.max(1)));
+            at += cfg.mean_delay_s * (0.5 + rng.next_f64());
+            pipe.segments.push_back(Segment {
+                deliver_s: at,
+                bytes: bytes[off..off + n].to_vec(),
+                offset: 0,
+            });
+            pipe.last_deliver_s = at;
+            off += n;
+        }
+    }
+
+    fn shuffled(&mut self, mut tokens: Vec<usize>) -> Vec<usize> {
+        for i in (1..tokens.len()).rev() {
+            tokens.swap(i, self.rng.below(i + 1));
+        }
+        tokens
+    }
+
+    // ----- client side -------------------------------------------------
+
+    /// Opens a connection that the server can accept from `at_s` on.
+    /// Returns the connection token shared by both ends.
+    pub fn connect(&mut self, at_s: f64) -> usize {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.conns.insert(
+            token,
+            Conn {
+                connect_s: at_s.max(self.now_s),
+                accepted: false,
+                abort_s: None,
+                server_closed: false,
+                to_server: Pipe::default(),
+                to_client: Pipe::default(),
+            },
+        );
+        token
+    }
+
+    /// Queues bytes toward the server (chunked, delayed). Sends on an
+    /// aborted or closed connection are dropped on the floor, exactly
+    /// like packets after a RST.
+    pub fn client_send(&mut self, token: usize, bytes: &[u8]) {
+        let now = self.now_s;
+        let mut rng = self.rng.clone();
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if conn.abort_s.is_some() || conn.to_server.fin_s.is_some() {
+                return;
+            }
+            Self::transmit(&mut rng, &self.cfg, &mut conn.to_server, now, bytes);
+            self.rng = rng;
+        }
+    }
+
+    /// Drains every server->client byte delivered by now.
+    pub fn client_recv(&mut self, token: usize) -> Vec<u8> {
+        let now = self.now_s;
+        let mut out = Vec::new();
+        if let Some(conn) = self.conns.get_mut(&token) {
+            while conn.to_client.readable_at(now) {
+                let seg = conn.to_client.segments.pop_front().expect("front checked");
+                out.extend_from_slice(&seg.bytes[seg.offset..]);
+            }
+        }
+        out
+    }
+
+    /// Whether the client end has delivered bytes waiting.
+    pub fn client_readable(&self, token: usize) -> bool {
+        self.conns
+            .get(&token)
+            .is_some_and(|conn| conn.to_client.readable_at(self.now_s))
+    }
+
+    /// Cleanly closes the client end: queued bytes still deliver, then
+    /// the server reads EOF.
+    pub fn client_close(&mut self, token: usize) {
+        let now = self.now_s;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if conn.to_server.fin_s.is_none() {
+                conn.to_server.fin_s = Some(conn.to_server.last_deliver_s.max(now));
+            }
+        }
+    }
+
+    /// Abruptly disconnects the client: bytes not yet delivered are
+    /// dropped (this is how a mid-frame disconnect is injected), reads
+    /// on the server side fail with `ConnectionReset` once drained, and
+    /// server writes fail with `BrokenPipe` immediately.
+    pub fn client_abort(&mut self, token: usize) {
+        let now = self.now_s;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if conn.abort_s.is_none() {
+                conn.abort_s = Some(now);
+                conn.to_server.segments.retain(|seg| seg.deliver_s <= now);
+                conn.to_client.segments.clear();
+                conn.to_server.fin_s = None;
+            }
+        }
+    }
+
+    // ----- server side -------------------------------------------------
+
+    /// Connections that have arrived and not yet been accepted, in a
+    /// seeded order.
+    pub fn accept(&mut self) -> Vec<usize> {
+        let now = self.now_s;
+        let fresh: Vec<usize> = self
+            .conns
+            .iter_mut()
+            .filter(|(_, conn)| !conn.accepted && conn.connect_s <= now)
+            .map(|(token, conn)| {
+                conn.accepted = true;
+                *token
+            })
+            .collect();
+        self.shuffled(fresh)
+    }
+
+    /// Accepted, server-open connections with something to report:
+    /// delivered bytes, a reachable EOF, or an abort. Seeded order.
+    pub fn poll(&mut self) -> Vec<usize> {
+        let now = self.now_s;
+        let ready: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| {
+                conn.accepted
+                    && !conn.server_closed
+                    && (conn.to_server.readable_at(now)
+                        || conn.to_server.eof_at(now)
+                        || conn.abort_s.is_some_and(|at| at <= now))
+            })
+            .map(|(token, _)| *token)
+            .collect();
+        self.shuffled(ready)
+    }
+
+    /// Nonblocking read on the server end. Returns at most one
+    /// delivered segment per call (partial reads are the norm);
+    /// `Ok(0)` is a clean EOF, `WouldBlock` means undelivered data (or
+    /// none yet), `ConnectionReset` reports a client abort.
+    pub fn read(&mut self, token: usize, buf: &mut [u8]) -> io::Result<usize> {
+        let now = self.now_s;
+        let conn = self
+            .conns
+            .get_mut(&token)
+            .filter(|conn| conn.accepted && !conn.server_closed)
+            .ok_or_else(|| io::Error::from(io::ErrorKind::NotConnected))?;
+        if conn.to_server.readable_at(now) {
+            let seg = conn.to_server.segments.front_mut().expect("front checked");
+            let n = buf.len().min(seg.bytes.len() - seg.offset);
+            buf[..n].copy_from_slice(&seg.bytes[seg.offset..seg.offset + n]);
+            seg.offset += n;
+            if seg.offset == seg.bytes.len() {
+                conn.to_server.segments.pop_front();
+            }
+            return Ok(n);
+        }
+        if conn.abort_s.is_some_and(|at| at <= now) {
+            return Err(io::Error::from(io::ErrorKind::ConnectionReset));
+        }
+        if conn.to_server.eof_at(now) {
+            return Ok(0);
+        }
+        Err(io::Error::from(io::ErrorKind::WouldBlock))
+    }
+
+    /// Nonblocking write on the server end: accepts at most
+    /// `max_write` bytes (short writes exercise the caller's
+    /// out-buffer), queues them toward the client with seeded delays.
+    pub fn write(&mut self, token: usize, bytes: &[u8]) -> io::Result<usize> {
+        let now = self.now_s;
+        let mut rng = self.rng.clone();
+        let cfg = self.cfg.clone();
+        let conn = self
+            .conns
+            .get_mut(&token)
+            .filter(|conn| conn.accepted && !conn.server_closed)
+            .ok_or_else(|| io::Error::from(io::ErrorKind::NotConnected))?;
+        if conn.abort_s.is_some_and(|at| at <= now) {
+            return Err(io::Error::from(io::ErrorKind::BrokenPipe));
+        }
+        if bytes.is_empty() {
+            return Ok(0);
+        }
+        let n = bytes.len().min(cfg.max_write.max(1));
+        Self::transmit(&mut rng, &cfg, &mut conn.to_client, now, &bytes[..n]);
+        self.rng = rng;
+        Ok(n)
+    }
+
+    /// Closes the server end; further server reads/writes fail.
+    pub fn close(&mut self, token: usize) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.server_closed = true;
+        }
+    }
+
+    /// Whether the server has closed its end of `token`.
+    pub fn server_closed(&self, token: usize) -> bool {
+        self.conns.get(&token).is_none_or(|conn| conn.server_closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(sim: &mut NetSim, token: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut buf = [0u8; 64];
+        loop {
+            match sim.read(token, &mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => panic!("unexpected read error: {e}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn bytes_round_trip_in_order() {
+        let mut sim = NetSim::seeded(7);
+        let token = sim.connect(0.0);
+        sim.advance(0.0);
+        assert_eq!(sim.accept(), vec![token]);
+        sim.client_send(token, b"hello fabric, this is a long-ish message");
+        // Nothing is readable before its delivery instant.
+        assert!(sim.poll().is_empty());
+        let mut got = Vec::new();
+        while let Some(t) = sim.next_event_s() {
+            sim.advance(t);
+            for ready in sim.poll() {
+                got.extend(drain(&mut sim, ready));
+            }
+        }
+        assert_eq!(got, b"hello fabric, this is a long-ish message");
+    }
+
+    #[test]
+    fn same_seed_replays_identical_event_sequence() {
+        let run = |seed: u64| {
+            let mut sim = NetSim::seeded(seed);
+            let a = sim.connect(0.0);
+            let b = sim.connect(0.0);
+            sim.advance(0.0);
+            let order = sim.accept();
+            sim.client_send(a, b"aaaaaaaaaaaaaaaaaaaaaaaa");
+            sim.client_send(b, b"bbbbbbbbbbbbbbbbbbbbbbbb");
+            let mut log: Vec<(usize, Vec<u8>)> = vec![];
+            while let Some(t) = sim.next_event_s() {
+                sim.advance(t);
+                for ready in sim.poll() {
+                    let bytes = drain(&mut sim, ready);
+                    if !bytes.is_empty() {
+                        log.push((ready, bytes));
+                    }
+                }
+            }
+            (order, log)
+        };
+        assert_eq!(run(3), run(3));
+        // A different seed perturbs chunking/interleaving but not content.
+        let (_, log3) = run(3);
+        let (_, log4) = run(4);
+        let cat = |log: &[(usize, Vec<u8>)], t: usize| -> Vec<u8> {
+            log.iter()
+                .filter(|(tok, _)| *tok == t)
+                .flat_map(|(_, b)| b.clone())
+                .collect()
+        };
+        assert_eq!(cat(&log3, 0), cat(&log4, 0));
+        assert_eq!(cat(&log3, 1), cat(&log4, 1));
+    }
+
+    #[test]
+    fn chunking_injects_partial_reads() {
+        let mut sim = NetSim::new(NetSimConfig {
+            seed: 1,
+            max_chunk: 3,
+            ..NetSimConfig::default()
+        });
+        let token = sim.connect(0.0);
+        sim.advance(0.0);
+        sim.accept();
+        sim.client_send(token, b"0123456789");
+        sim.advance(1e9);
+        let mut buf = [0u8; 64];
+        let first = sim.read(token, &mut buf).unwrap();
+        assert!(first <= 3, "segment cap respected, got {first}");
+        assert_eq!(drain(&mut sim, token).len(), 10 - first);
+    }
+
+    #[test]
+    fn short_writes_respect_max_write() {
+        let mut sim = NetSim::new(NetSimConfig {
+            seed: 1,
+            max_write: 4,
+            ..NetSimConfig::default()
+        });
+        let token = sim.connect(0.0);
+        sim.advance(0.0);
+        sim.accept();
+        assert_eq!(sim.write(token, b"0123456789").unwrap(), 4);
+        assert_eq!(sim.write(token, b"456789").unwrap(), 4);
+        assert_eq!(sim.write(token, b"89").unwrap(), 2);
+        sim.advance(1e9);
+        assert_eq!(sim.client_recv(token), b"0123456789");
+    }
+
+    #[test]
+    fn clean_close_yields_eof_after_data() {
+        let mut sim = NetSim::seeded(9);
+        let token = sim.connect(0.0);
+        sim.advance(0.0);
+        sim.accept();
+        sim.client_send(token, b"tail");
+        sim.client_close(token);
+        sim.advance(1e9);
+        assert_eq!(drain(&mut sim, token), b"tail");
+        let mut buf = [0u8; 8];
+        assert_eq!(sim.read(token, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn abort_drops_undelivered_bytes_and_resets() {
+        let mut sim = NetSim::seeded(11);
+        let token = sim.connect(0.0);
+        sim.advance(0.0);
+        sim.accept();
+        sim.client_send(token, b"this frame will be torn off mid-flight");
+        // Let a prefix deliver, then yank the cable.
+        let first = sim.next_event_s().unwrap();
+        sim.advance(first);
+        let prefix = drain(&mut sim, token);
+        sim.client_abort(token);
+        sim.advance(1e9);
+        assert!(prefix.len() < 39);
+        let mut buf = [0u8; 64];
+        let err = sim.read(token, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        let err = sim.write(token, b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn server_close_disconnects_the_token() {
+        let mut sim = NetSim::seeded(2);
+        let token = sim.connect(0.0);
+        sim.advance(0.0);
+        sim.accept();
+        sim.close(token);
+        assert!(sim.server_closed(token));
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            sim.read(token, &mut buf).unwrap_err().kind(),
+            io::ErrorKind::NotConnected
+        );
+        assert!(sim.poll().is_empty());
+    }
+
+    #[test]
+    fn connects_are_not_visible_before_their_instant() {
+        let mut sim = NetSim::seeded(5);
+        let _early = sim.connect(1.0);
+        let _late = sim.connect(5.0);
+        sim.advance(0.5);
+        assert!(sim.accept().is_empty());
+        assert_eq!(sim.next_event_s(), Some(1.0));
+        sim.advance(1.0);
+        assert_eq!(sim.accept().len(), 1);
+        sim.advance(5.0);
+        assert_eq!(sim.accept().len(), 1);
+    }
+}

@@ -59,6 +59,7 @@ pub mod prelude {
     pub use aida_llm::{ModelId, UsageMeter};
     pub use aida_semops::Dataset;
     pub use aida_serve::{
-        open_loop, QueryRequest, QueryService, ServeConfig, TenantConfig, TenantId, TenantLoad,
+        open_loop, AutoscaleConfig, ClientConfig, LiveSource, QueryRequest, QueryService,
+        ServeConfig, TenantConfig, TenantId, TenantLoad,
     };
 }
