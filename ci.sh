@@ -30,6 +30,17 @@ AIDA_RESULTS_DIR=target/ci-pyrite-b \
   cargo run -q --release -p aida-bench --bin pyrite_bench >/dev/null
 cmp target/ci-pyrite-a/BENCH_pyrite_vm.json target/ci-pyrite-b/BENCH_pyrite_vm.json
 
+# Static cost bounds: the analyzer snapshot over the fixed corpus must
+# be deterministic — two runs byte-identical on both the canonical JSON
+# and the per-program JSONL — and the binary itself asserts every bound
+# survives the plan-cache artifact round-trip (exit nonzero otherwise).
+AIDA_RESULTS_DIR=target/ci-bounds-a \
+  cargo run -q --release -p aida-bench --bin bounds_bench >/dev/null
+AIDA_RESULTS_DIR=target/ci-bounds-b \
+  cargo run -q --release -p aida-bench --bin bounds_bench >/dev/null
+cmp target/ci-bounds-a/BENCH_bounds.json target/ci-bounds-b/BENCH_bounds.json
+cmp target/ci-bounds-a/bounds.jsonl target/ci-bounds-b/bounds.jsonl
+
 # Serving layer: the concurrency stress test wants optimized atomics and
 # real thread pressure, and the soak smoke proves the service binary
 # runs end to end (SERVE_SOAK_SMOKE=1 shrinks the workload). The soak

@@ -33,6 +33,10 @@ pub struct StepTrace {
     /// The observation the code produced (printed output, final value, or
     /// the error message).
     pub observation: String,
+    /// The static cost bound of the compiled step, computed before the
+    /// planning call was billed. `None` when the step never compiled
+    /// (static-check or typecheck rejection).
+    pub bound: Option<aida_script::bounds::CostBound>,
 }
 
 /// The result of an agent run.
@@ -139,6 +143,54 @@ impl<'a> AgentRuntime<'a> {
         aida_script::compile(&program)
     }
 
+    /// Static check first: a program the checker can prove malformed
+    /// (unknown tool, name defined nowhere, `while True` with no exit)
+    /// is rejected *before* the planning call is billed, so a bad
+    /// generation costs $0 and zero virtual latency. `Err` names the
+    /// pass that rejected the program.
+    fn check_and_compile(
+        &self,
+        registry: &ToolRegistry,
+        interp: &Interpreter,
+        code: &str,
+    ) -> Result<aida_script::CompiledProgram, (&'static str, String)> {
+        match aida_script::check::first_error(&interp.check_source(code)) {
+            Some(err) => Err(("static-check", err.to_string())),
+            None => self
+                .typecheck_and_compile(registry, interp, code)
+                .map_err(|err| ("typecheck", err.to_string())),
+        }
+    }
+
+    /// Step-rejection bookkeeping shared by the static-check and
+    /// cost-ceiling paths: flight-record the reason and feed the error
+    /// observation back to the policy. The step bills nothing.
+    fn record_rejection(
+        &self,
+        steps: &mut Vec<StepTrace>,
+        observations: &mut Vec<String>,
+        step: usize,
+        code: String,
+        bound: Option<aida_script::bounds::CostBound>,
+        texts: (String, String),
+    ) {
+        let (flight, observation) = texts;
+        if self.env.recorder.is_enabled() {
+            self.env.recorder.flight(
+                "agents.step",
+                "step_rejected",
+                format!("step {step}: {flight}"),
+            );
+        }
+        steps.push(StepTrace {
+            step,
+            code,
+            observation: observation.clone(),
+            bound,
+        });
+        observations.push(observation);
+    }
+
     /// Runs an agent on a task to completion.
     pub fn run(&self, agent: &CodeAgent, task: &str) -> AgentOutcome {
         let answer = AnswerCell::new();
@@ -180,40 +232,28 @@ impl<'a> AgentRuntime<'a> {
             };
             step_span.attr("code", aida_obs::clip(&code, 80));
 
-            // Static check first: a program the checker can prove
-            // malformed (unknown tool, name defined nowhere, `while
-            // True` with no exit) is rejected *before* the planning
-            // call is billed, so a bad generation costs $0 and zero
-            // virtual latency — the error still feeds back as the
-            // step's observation so the policy can correct course.
-            let checked = match aida_script::check::first_error(&interp.check_source(&code)) {
-                Some(err) => Err(("static-check", err)),
-                None => self
-                    .typecheck_and_compile(&registry, &interp, &code)
-                    .map_err(|err| ("typecheck", err)),
-            };
-            let compiled = match checked {
+            let compiled = match self.check_and_compile(&registry, &interp, &code) {
                 Ok(compiled) => compiled,
                 Err((pass, err)) => {
                     step_span.attr("rejected", pass);
-                    if self.env.recorder.is_enabled() {
-                        self.env.recorder.flight(
-                            "agents.step",
-                            "step_rejected",
-                            format!("step {step}: {err}"),
-                        );
-                    }
-                    let observation = format!("ERROR: {err}");
-                    steps.push(StepTrace {
-                        step,
-                        code,
-                        observation: observation.clone(),
-                    });
-                    observations.push(observation);
+                    let texts = (err.clone(), format!("ERROR: {err}"));
+                    self.record_rejection(&mut steps, &mut observations, step, code, None, texts);
                     step_span.finish(self.env.clock.now());
                     continue;
                 }
             };
+            step_span.attr("bound", compiled.bound.render());
+
+            // The proven worst case is known before any billing; an
+            // over-ceiling step is rejected at $0 and zero virtual time
+            // (see `ceiling_rejection` for the pass/reject rules).
+            if let Some(texts) = ceiling_rejection(&agent.config, &compiled.bound) {
+                step_span.attr("rejected", "cost-bound");
+                let bound = Some(compiled.bound.clone());
+                self.record_rejection(&mut steps, &mut observations, step, code, bound, texts);
+                step_span.finish(self.env.clock.now());
+                continue;
+            }
 
             // Bill the planning step: the agent "reads" the task, tools,
             // and observation tail, and "writes" the code.
@@ -256,6 +296,7 @@ impl<'a> AgentRuntime<'a> {
                 step,
                 code,
                 observation: observation.clone(),
+                bound: Some(compiled.bound.clone()),
             });
             observations.push(observation);
             step_span.finish(self.env.clock.now());
@@ -272,6 +313,28 @@ impl<'a> AgentRuntime<'a> {
             cost_usd: delta.cost(self.env.llm.catalog()),
             time_s: self.env.clock.now() - t0,
         }
+    }
+}
+
+/// The per-step cost ceiling: `Some((flight_detail, observation))` when
+/// the step's statically proven worst case (priced at this agent's
+/// model) exceeds the configured ceiling. Unbounded plans pass — the
+/// ceiling rejects overspend the analyzer can prove, not ignorance.
+fn ceiling_rejection(
+    config: &crate::AgentConfig,
+    bound: &aida_script::bounds::CostBound,
+) -> Option<(String, String)> {
+    let ceiling = config.step_usd_ceiling?;
+    let usd_max = bound.usd_max(config.model);
+    if usd_max.is_finite() && usd_max > ceiling {
+        Some((
+            format!("bound ${usd_max:.4} > ceiling ${ceiling:.4}"),
+            format!(
+                "ERROR: static cost bound ${usd_max:.4} exceeds the per-step ceiling ${ceiling:.4}"
+            ),
+        ))
+    } else {
+        None
     }
 }
 
@@ -533,6 +596,96 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.plan_hits, 1, "the hit is plan-keyed");
         assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn steps_are_annotated_with_their_static_bound() {
+        let env = runtime_env();
+        let lake = lake();
+        let rt = AgentRuntime::new(&env, registry(&lake), None);
+        let agent = CodeAgent::with_policy(
+            AgentConfig::default(),
+            Box::new(FixedPolicy(vec![
+                "c = read_file('data.csv')\nprint(c)",
+                "serch_files()",
+            ])),
+        );
+        let outcome = rt.run(&agent, "look at the data");
+        let bound = outcome.steps[0].bound.as_ref().expect("compiled step");
+        assert_eq!(
+            bound.call_bound("read_file"),
+            aida_script::bounds::Bound::Finite(1)
+        );
+        assert!(bound
+            .usd_max(aida_llm::models::ModelId::Flagship)
+            .is_finite());
+        assert!(
+            outcome.steps[1].bound.is_none(),
+            "a step that never compiled has no bound"
+        );
+    }
+
+    #[test]
+    fn over_ceiling_steps_cost_nothing() {
+        let env = runtime_env();
+        let lake = lake();
+        let rt = AgentRuntime::new(&env, registry(&lake), None);
+        let config = AgentConfig {
+            step_usd_ceiling: Some(0.05),
+            ..AgentConfig::default()
+        };
+        // 40 worst-case `read_file` calls price far above five cents at
+        // the Flagship tier; the step must be rejected before billing.
+        let agent = CodeAgent::with_policy(
+            config,
+            Box::new(FixedPolicy(vec![
+                "t = 0\nfor i in range(40):\n    t += len(read_file('data.csv'))\nprint(t)",
+            ])),
+        );
+        let outcome = rt.run(&agent, "hammer the lake");
+        assert_eq!(outcome.steps.len(), 1);
+        assert!(
+            outcome.steps[0]
+                .observation
+                .starts_with("ERROR: static cost bound"),
+            "{}",
+            outcome.steps[0].observation
+        );
+        assert!(
+            outcome.steps[0].bound.is_some(),
+            "the rejecting bound is recorded on the trace"
+        );
+        assert_eq!(outcome.cost_usd, 0.0, "over-ceiling steps must not bill");
+        assert_eq!(outcome.time_s, 0.0, "over-ceiling steps must not take time");
+    }
+
+    #[test]
+    fn ceiling_passes_affordable_and_unbounded_steps() {
+        let env = runtime_env();
+        let lake = lake();
+        let rt = AgentRuntime::new(&env, registry(&lake), None);
+        let config = AgentConfig {
+            step_usd_ceiling: Some(0.05),
+            ..AgentConfig::default()
+        };
+        // Step 0 iterates tool output — no finite bound, so the ceiling
+        // cannot prove a violation and must let it run. Step 1 is a
+        // single affordable call under the ceiling.
+        let agent = CodeAgent::with_policy(
+            config,
+            Box::new(FixedPolicy(vec![
+                "for f in list_files():\n    print(read_file(f))",
+                "final_answer('done')",
+            ])),
+        );
+        let outcome = rt.run(&agent, "read everything");
+        assert_eq!(outcome.answer, Some(Value::Str("done".into())));
+        assert!(
+            !outcome.steps[0].observation.starts_with("ERROR:"),
+            "{}",
+            outcome.steps[0].observation
+        );
+        assert!(outcome.cost_usd > 0.0, "admitted steps still bill");
     }
 
     #[test]

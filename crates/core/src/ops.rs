@@ -316,6 +316,7 @@ fn run_op(
                 verify_budget: 4,
             },
             seed: noise::combine(&[runtime.config().seed, idx, noise::hash_str(&instruction)]),
+            ..AgentConfig::default()
         },
         Box::new(AgenticOpPolicy {
             instruction: instruction.clone(),

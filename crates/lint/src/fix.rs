@@ -1,0 +1,178 @@
+//! Machine application of lint `SuggestedFix`es: splice replacement
+//! spans into a source file and render the result as a unified diff.
+//!
+//! Fixes are byte-offset replacements produced against a specific scan
+//! of the file, so application is all-at-once: sort by span, drop
+//! overlaps (first wins), splice front-to-back. Callers re-scan after
+//! applying; a fix whose output still lints dirty is a rule bug, and
+//! the fixture tests assert exactly that round trip.
+
+use crate::rules::{Finding, SuggestedFix};
+
+/// Applies every fix carried by `findings` to `src`, returning the
+/// rewritten text and how many fixes were spliced in. Overlapping or
+/// out-of-bounds spans are skipped, never mangled.
+pub fn apply(src: &str, findings: &[Finding]) -> (String, usize) {
+    let mut fixes: Vec<&SuggestedFix> = findings.iter().filter_map(|f| f.fix.as_ref()).collect();
+    fixes.sort_by_key(|f| (f.start, f.end));
+    fixes.dedup_by(|a, b| a.start == b.start && a.end == b.end && a.replacement == b.replacement);
+    let mut out = String::with_capacity(src.len());
+    let mut cursor = 0usize;
+    let mut applied = 0usize;
+    for fix in fixes {
+        if fix.start < cursor || fix.end < fix.start || fix.end > src.len() {
+            continue;
+        }
+        if !src.is_char_boundary(fix.start) || !src.is_char_boundary(fix.end) {
+            continue;
+        }
+        out.push_str(&src[cursor..fix.start]);
+        out.push_str(&fix.replacement);
+        cursor = fix.end;
+        applied += 1;
+    }
+    out.push_str(&src[cursor..]);
+    (out, applied)
+}
+
+/// Renders `old` → `new` as a single-hunk unified diff with three
+/// context lines, headed `--- a/<rel>` / `+++ b/<rel>`. Returns an
+/// empty string when the texts are identical.
+pub fn unified_diff(rel: &str, old: &str, new: &str) -> String {
+    if old == new {
+        return String::new();
+    }
+    let old_lines: Vec<&str> = old.lines().collect();
+    let new_lines: Vec<&str> = new.lines().collect();
+    // Trim the common prefix and suffix; everything between is the hunk
+    // body. Lint fixes are local, so one hunk covers the practical case
+    // and keeps the renderer dependency-free.
+    let mut prefix = 0usize;
+    while prefix < old_lines.len()
+        && prefix < new_lines.len()
+        && old_lines[prefix] == new_lines[prefix]
+    {
+        prefix += 1;
+    }
+    let mut suffix = 0usize;
+    while suffix < old_lines.len() - prefix
+        && suffix < new_lines.len() - prefix
+        && old_lines[old_lines.len() - 1 - suffix] == new_lines[new_lines.len() - 1 - suffix]
+    {
+        suffix += 1;
+    }
+    const CTX: usize = 3;
+    let ctx_before = prefix.min(CTX);
+    let old_mid = &old_lines[prefix..old_lines.len() - suffix];
+    let new_mid = &new_lines[prefix..new_lines.len() - suffix];
+    let ctx_after = suffix.min(CTX);
+
+    let old_start = prefix - ctx_before;
+    let new_start = old_start;
+    let old_count = ctx_before + old_mid.len() + ctx_after;
+    let new_count = ctx_before + new_mid.len() + ctx_after;
+
+    let mut out = String::new();
+    out.push_str(&format!("--- a/{rel}\n+++ b/{rel}\n"));
+    out.push_str(&format!(
+        "@@ -{},{old_count} +{},{new_count} @@\n",
+        old_start + 1,
+        new_start + 1
+    ));
+    for line in &old_lines[old_start..prefix] {
+        out.push_str(&format!(" {line}\n"));
+    }
+    for line in old_mid {
+        out.push_str(&format!("-{line}\n"));
+    }
+    for line in new_mid {
+        out.push_str(&format!("+{line}\n"));
+    }
+    let tail = old_lines.len() - suffix;
+    for line in &old_lines[tail..tail + ctx_after] {
+        out.push_str(&format!(" {line}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn finding_with(fix: Option<SuggestedFix>) -> Finding {
+        Finding {
+            rule: "D2",
+            severity: Severity::Error,
+            file: "crates/x/src/a.rs".into(),
+            line: 1,
+            message: String::new(),
+            snippet: String::new(),
+            fix,
+        }
+    }
+
+    #[test]
+    fn apply_splices_sorted_nonoverlapping_spans() {
+        let src = "let a = thread_rng();\nlet b = thread_rng();\n";
+        let findings = vec![
+            finding_with(Some(SuggestedFix {
+                start: 30,
+                end: 42,
+                replacement: "seeded()".into(),
+            })),
+            finding_with(Some(SuggestedFix {
+                start: 8,
+                end: 20,
+                replacement: "seeded()".into(),
+            })),
+        ];
+        let (out, n) = apply(src, &findings);
+        assert_eq!(n, 2);
+        assert_eq!(out, "let a = seeded();\nlet b = seeded();\n");
+    }
+
+    #[test]
+    fn overlapping_and_out_of_bounds_fixes_are_skipped() {
+        let src = "abcdef";
+        let findings = vec![
+            finding_with(Some(SuggestedFix {
+                start: 1,
+                end: 4,
+                replacement: "X".into(),
+            })),
+            finding_with(Some(SuggestedFix {
+                start: 3,
+                end: 5,
+                replacement: "Y".into(),
+            })),
+            finding_with(Some(SuggestedFix {
+                start: 5,
+                end: 99,
+                replacement: "Z".into(),
+            })),
+            finding_with(None),
+        ];
+        let (out, n) = apply(src, &findings);
+        assert_eq!(n, 1);
+        assert_eq!(out, "aXef");
+    }
+
+    #[test]
+    fn unified_diff_has_headers_hunk_and_context() {
+        let old = "a\nb\nc\nd\ne\nf\ng\n";
+        let new = "a\nb\nc\nD\ne\nf\ng\n";
+        let diff = unified_diff("crates/x/src/a.rs", old, new);
+        assert!(diff.starts_with("--- a/crates/x/src/a.rs\n+++ b/crates/x/src/a.rs\n"));
+        assert!(diff.contains("@@ -1,7 +1,7 @@\n"), "{diff}");
+        assert!(diff.contains("-d\n+D\n"), "{diff}");
+        // Three lines of context either side.
+        assert!(diff.contains(" a\n b\n c\n-d\n"), "{diff}");
+        assert!(diff.ends_with("+D\n e\n f\n g\n"), "{diff}");
+    }
+
+    #[test]
+    fn identical_texts_diff_to_nothing() {
+        assert_eq!(unified_diff("x", "same\n", "same\n"), "");
+    }
+}

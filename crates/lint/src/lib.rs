@@ -14,6 +14,7 @@
 //! See `docs/lint.md` for the rule catalog and baselining workflow.
 
 pub mod baseline;
+pub mod fix;
 pub mod lexer;
 pub mod report;
 pub mod rules;

@@ -39,6 +39,20 @@ impl Severity {
     }
 }
 
+/// A machine-applicable fix: splice `replacement` over the half-open
+/// byte span `[start, end)` of the file. `start == end` is a pure
+/// insertion. Spans come from lexer token offsets, so they always fall
+/// on character boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuggestedFix {
+    /// Byte offset of the first replaced byte.
+    pub start: usize,
+    /// Byte offset one past the last replaced byte.
+    pub end: usize,
+    /// Replacement text.
+    pub replacement: String,
+}
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -54,6 +68,9 @@ pub struct Finding {
     pub message: String,
     /// The trimmed source line, for context and baseline matching.
     pub snippet: String,
+    /// Machine-applicable replacement, when the rule can compute one
+    /// (D2 reseeding, F1 fsync insertion, P1 `?` propagation).
+    pub fix: Option<SuggestedFix>,
 }
 
 impl Finding {
@@ -148,7 +165,55 @@ impl<'a> FileView<'a> {
             line: self.toks[i].line,
             message,
             snippet: self.snippet(i),
+            fix: None,
         }
+    }
+
+    /// Byte offset one past the `)` closing the call whose `(` directly
+    /// follows token `i`, or `None` when no call follows.
+    fn call_end(&self, i: usize) -> Option<usize> {
+        if !self.is_punct(i + 1, "(") {
+            return None;
+        }
+        let mut depth = 0i64;
+        for j in (i + 1)..self.toks.len() {
+            match self.text(j) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(self.toks[j].end);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Token index of the `)` closing the call whose `(` sits at `open`.
+    fn close_paren(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        for j in open..self.toks.len() {
+            match self.text(j) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// The leading whitespace of the line containing token `i`.
+    fn indent_of(&self, i: usize) -> String {
+        let line = self.toks[i].line;
+        let text = self.src.lines().nth(line.saturating_sub(1)).unwrap_or("");
+        text.chars().take_while(|c| c.is_whitespace()).collect()
     }
 }
 
@@ -369,13 +434,57 @@ fn rule_d2_unseeded_rng(view: &FileView, out: &mut Vec<Finding>) {
         let hit = ENTROPY.contains(&t)
             || (t == "rand" && view.is_punct(i + 1, "::") && view.is_ident(i + 2, "random"));
         if hit {
-            out.push(view.finding(
+            let mut f = view.finding(
                 "D2",
                 Severity::Error,
                 i,
                 format!("`{t}` draws entropy from the environment; seed RNGs explicitly"),
-            ));
+            );
+            f.fix = d2_fix(view, i);
+            out.push(f);
         }
+    }
+}
+
+/// The D2 autofix: rewrite the entropy draw into an explicitly seeded
+/// constructor. The seed `0` is a placeholder the author threads a real
+/// configuration seed through; what matters is that the source of
+/// randomness is no longer the environment.
+fn d2_fix(view: &FileView, i: usize) -> Option<SuggestedFix> {
+    let tok = |j: usize| &view.toks[j];
+    match view.text(i) {
+        "thread_rng" => {
+            // `rand::thread_rng()` / `thread_rng()` → seeded StdRng.
+            let start = if i >= 2 && view.is_punct(i - 1, "::") && view.is_ident(i - 2, "rand") {
+                tok(i - 2).start
+            } else {
+                tok(i).start
+            };
+            Some(SuggestedFix {
+                start,
+                end: view.call_end(i).unwrap_or(tok(i).end),
+                replacement: "StdRng::seed_from_u64(0)".to_string(),
+            })
+        }
+        // `Rng::from_entropy()` → `Rng::seed_from_u64(0)`.
+        "from_entropy" => Some(SuggestedFix {
+            start: tok(i).start,
+            end: view.call_end(i).unwrap_or(tok(i).end),
+            replacement: "seed_from_u64(0)".to_string(),
+        }),
+        // Bare entropy RNG values/types.
+        "OsRng" | "ThreadRng" => Some(SuggestedFix {
+            start: tok(i).start,
+            end: tok(i).end,
+            replacement: "StdRng::seed_from_u64(0)".to_string(),
+        }),
+        // `rand::random()` → draw from a seeded generator instead.
+        "rand" if view.is_ident(i + 2, "random") => Some(SuggestedFix {
+            start: tok(i).start,
+            end: view.call_end(i + 2).unwrap_or(tok(i + 2).end),
+            replacement: "StdRng::seed_from_u64(0).gen()".to_string(),
+        }),
+        _ => None,
     }
 }
 
@@ -544,7 +653,7 @@ fn rule_f1_fsync_pairing(view: &FileView, out: &mut Vec<Finding>) {
                 Some(&j) => (j, "creates/renames a file"),
                 None => (in_place[0], "opens a file for in-place writes"),
             };
-            out.push(view.finding(
+            let mut finding = view.finding(
                 "F1",
                 Severity::Error,
                 first,
@@ -553,10 +662,12 @@ fn rule_f1_fsync_pairing(view: &FileView, out: &mut Vec<Finding>) {
                      the write is not durable across a crash",
                     f.name
                 ),
-            ));
+            );
+            finding.fix = f1_sync_all_fix(view, f, first);
+            out.push(finding);
         }
         if !writes.is_empty() && !has_dir_sync {
-            out.push(view.finding(
+            let mut finding = view.finding(
                 "F1",
                 Severity::Error,
                 writes[0],
@@ -565,9 +676,136 @@ fn rule_f1_fsync_pairing(view: &FileView, out: &mut Vec<Finding>) {
                      directory; the rename itself can be lost",
                     f.name
                 ),
-            ));
+            );
+            finding.fix = f1_dir_sync_fix(view, f, &writes);
+            out.push(finding);
         }
     }
+}
+
+/// The F1 missing-`sync_all` autofix: chain an fsync after the *last*
+/// buffered write in the function (so it covers everything written),
+/// falling back to the flagged open/create site when no write follows.
+fn f1_sync_all_fix(view: &FileView, f: &FnSpan, anchor: usize) -> Option<SuggestedFix> {
+    let hi = f.range.1.min(view.toks.len());
+    let mut site = anchor;
+    for j in f.range.0..hi {
+        if view.toks[j].kind == TokKind::Ident
+            && matches!(view.text(j), "write_all" | "write" | "flush")
+            && view.is_punct(j + 1, "(")
+        {
+            site = j;
+        }
+    }
+    let receiver = write_receiver(view, site, anchor)?;
+    insert_after_statement(view, site, hi, &format!("{receiver}.sync_all()"))
+}
+
+/// The F1 missing-directory-fsync autofix: fsync the parent of the
+/// published name right after the rename (or create, when nothing is
+/// renamed), using the workspace's `sync_parent_dir` helper.
+fn f1_dir_sync_fix(view: &FileView, f: &FnSpan, writes: &[usize]) -> Option<SuggestedFix> {
+    // Prefer the last rename — that is the durability point the parent
+    // directory must persist.
+    let site = *writes
+        .iter()
+        .rev()
+        .find(|&&j| view.text(j) == "fs")
+        .or_else(|| writes.last())?;
+    let open = site + 3;
+    if !view.is_punct(open, "(") {
+        return None;
+    }
+    let close = view.close_paren(open)?;
+    // The destination path is the call's last top-level argument.
+    let mut arg_start = open + 1;
+    let mut depth = 0i64;
+    for j in (open + 1)..close {
+        match view.text(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "," if depth == 0 => arg_start = j + 1,
+            _ => {}
+        }
+    }
+    if arg_start >= close {
+        return None;
+    }
+    let arg = view.src[view.toks[arg_start].start..view.toks[close].start].trim();
+    insert_after_statement(
+        view,
+        site,
+        f.range.1.min(view.toks.len()),
+        &format!("sync_parent_dir({arg})"),
+    )
+}
+
+/// The receiver of the buffered write at `site` (`file.flush()` →
+/// `file`), else the `let` binding the flagged statement at `anchor`
+/// assigns into.
+fn write_receiver(view: &FileView, site: usize, anchor: usize) -> Option<String> {
+    if site >= 2 && view.is_punct(site - 1, ".") && view.toks[site - 2].kind == TokKind::Ident {
+        return Some(view.text(site - 2).to_string());
+    }
+    let mut j = anchor;
+    while j > 0 && !matches!(view.text(j - 1), ";" | "{" | "}") {
+        j -= 1;
+    }
+    for k in j..anchor {
+        if view.is_ident(k, "let") {
+            let mut n = k + 1;
+            if view.is_ident(n, "mut") {
+                n += 1;
+            }
+            if view.toks.get(n).map(|t| t.kind) == Some(TokKind::Ident) {
+                return Some(view.text(n).to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Builds the insertion that runs `base` (an expression returning
+/// `io::Result`) right after the statement containing token `site`.
+/// When that statement ends in `;`, the insertion is a new `{base}?;`
+/// statement; when it is the function's tail expression, the tail is
+/// `?`-terminated and `base` becomes the new tail.
+fn insert_after_statement(
+    view: &FileView,
+    site: usize,
+    hi: usize,
+    base: &str,
+) -> Option<SuggestedFix> {
+    let indent = view.indent_of(site);
+    let mut depth = 0i64;
+    for k in site..hi {
+        match view.text(k) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            ";" if depth <= 0 => {
+                let at = view.toks[k].end;
+                return Some(SuggestedFix {
+                    start: at,
+                    end: at,
+                    replacement: format!("\n{indent}{base}?;"),
+                });
+            }
+            _ => {}
+        }
+    }
+    // Tail expression: `recv.call(args)` directly before the closing
+    // brace. Anything more elaborate is left to the author.
+    let open = (site..hi).find(|&j| view.is_punct(j, "("))?;
+    let close = view.close_paren(open)?;
+    if !view.is_punct(close + 1, "}") {
+        return None;
+    }
+    let at = view.toks[close].end;
+    Some(SuggestedFix {
+        start: at,
+        end: at,
+        replacement: format!("?;\n{indent}{base}"),
+    })
 }
 
 // ---------------------------------------------------------------- P1
@@ -594,7 +832,7 @@ fn rule_p1_panic_free_recovery(view: &FileView, cfg: &Config, out: &mut Vec<Find
             let macro_panic = matches!(t, "panic" | "unreachable" | "todo" | "unimplemented")
                 && view.is_punct(j + 1, "!");
             if call_panic || macro_panic {
-                out.push(view.finding(
+                let mut finding = view.finding(
                     "P1",
                     Severity::Error,
                     j,
@@ -603,7 +841,17 @@ fn rule_p1_panic_free_recovery(view: &FileView, cfg: &Config, out: &mut Vec<Find
                          typed errors, never panic",
                         f.name, f.line
                     ),
-                ));
+                );
+                // `.unwrap()` / `.expect(..)` rewrite mechanically to `?`;
+                // panicking macros need a human to pick the error value.
+                if call_panic && j >= 1 && view.is_punct(j - 1, ".") {
+                    finding.fix = view.call_end(j).map(|end| SuggestedFix {
+                        start: view.toks[j - 1].start,
+                        end,
+                        replacement: "?".to_string(),
+                    });
+                }
+                out.push(finding);
             }
         }
     }
@@ -688,6 +936,7 @@ fn rule_s1_fn_budget(view: &FileView, cfg: &Config, out: &mut Vec<Finding>) {
                     f.name, cfg.s1_max_fn_lines
                 ),
                 snippet: line_snippet(view.src, f.line),
+                fix: None,
             });
         }
         if branches > cfg.s1_max_fn_branches {
@@ -702,6 +951,7 @@ fn rule_s1_fn_budget(view: &FileView, cfg: &Config, out: &mut Vec<Finding>) {
                     f.name, cfg.s1_max_fn_branches
                 ),
                 snippet: line_snippet(view.src, f.line),
+                fix: None,
             });
         }
     }
@@ -845,6 +1095,7 @@ pub fn rule_l1_lock_cycles(seqs: &[Vec<LockAcq>]) -> Vec<Finding> {
                         acq.func
                     ),
                     snippet: String::new(),
+                    fix: None,
                 });
             }
         }

@@ -1,0 +1,130 @@
+//! Round-trip proof for the autofix engine: applying every suggested
+//! fix to a fixture and re-scanning must leave it lint-clean (or, for
+//! the partially-fixable P1 fixture, leave exactly the unfixable
+//! finding). A fix that survives its own re-scan is a rule bug.
+
+use aida_lint::rules::{self, Finding};
+use aida_lint::{fix, Config};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> (String, String) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture exists");
+    (name.to_string(), src)
+}
+
+fn fixture_cfg(rel: &str) -> Config {
+    let mut cfg = Config::default_config();
+    cfg.serializer_modules = vec![rel.to_string()];
+    cfg.durability_files = vec![rel.to_string()];
+    cfg.recovery_files = vec![rel.to_string()];
+    cfg
+}
+
+fn scan(rel: &str, src: &str) -> Vec<Finding> {
+    rules::scan_file(rel, src, &fixture_cfg(rel))
+}
+
+/// Scan → apply every fix → re-scan; returns (fixes applied, findings
+/// remaining, fixed source).
+fn round_trip(name: &str) -> (usize, Vec<Finding>, String) {
+    let (rel, src) = fixture(name);
+    let findings = scan(&rel, &src);
+    assert!(!findings.is_empty(), "{name}: fixture must fire");
+    let (fixed, applied) = fix::apply(&src, &findings);
+    let remaining = scan(&rel, &fixed);
+    (applied, remaining, fixed)
+}
+
+#[test]
+fn d2_fixture_fixes_to_clean() {
+    let (rel, src) = fixture("d2_unseeded_rng.rs");
+    let findings = scan(&rel, &src);
+    // Every entropy source in the fixture is mechanically fixable.
+    assert!(findings.iter().all(|f| f.fix.is_some()), "{findings:?}");
+    let (applied, remaining, fixed) = round_trip("d2_unseeded_rng.rs");
+    assert!(applied >= 4, "applied {applied}");
+    assert!(remaining.is_empty(), "{remaining:?}\n{fixed}");
+    assert!(fixed.contains("StdRng::seed_from_u64(0)"), "{fixed}");
+    assert!(!fixed.contains("thread_rng()"), "{fixed}");
+}
+
+#[test]
+fn f1_missing_fsync_fixes_to_clean() {
+    let (applied, remaining, fixed) = round_trip("f1_missing_fsync.rs");
+    assert_eq!(applied, 2, "{fixed}");
+    assert!(remaining.is_empty(), "{remaining:?}\n{fixed}");
+    // The fsync lands after the last buffered write, before the rename
+    // publishes the file; the parent-dir fsync lands after the rename.
+    let sync = fixed.find("file.sync_all()?;").expect("sync_all inserted");
+    let rename = fixed.find("fs::rename").expect("rename kept");
+    assert!(sync < rename, "{fixed}");
+    assert!(fixed.contains("sync_parent_dir(path)?;"), "{fixed}");
+}
+
+#[test]
+fn f1_append_fixture_fixes_both_statement_and_tail_forms() {
+    let (applied, remaining, fixed) = round_trip("f1_unsynced_append.rs");
+    assert_eq!(applied, 2, "{fixed}");
+    assert!(remaining.is_empty(), "{remaining:?}\n{fixed}");
+    // Statement form: a new `sync_all` statement after the flush.
+    assert!(fixed.contains("file.sync_all()?;"), "{fixed}");
+    // Tail form: the write is `?`-terminated and the fsync becomes the
+    // new tail expression.
+    assert!(fixed.contains("file.write_all(frame)?;"), "{fixed}");
+    assert!(fixed.trim_end().ends_with("file.sync_all()\n}"), "{fixed}");
+}
+
+#[test]
+fn f1_seal_fixture_gets_a_parent_dir_fsync_tail() {
+    let (applied, remaining, fixed) = round_trip("f1_unsynced_seal.rs");
+    assert_eq!(applied, 1, "{fixed}");
+    assert!(remaining.is_empty(), "{remaining:?}\n{fixed}");
+    assert!(fixed.contains("std::fs::rename(tail, sealed)?;"), "{fixed}");
+    assert!(fixed.contains("sync_parent_dir(sealed)"), "{fixed}");
+}
+
+#[test]
+fn p1_fixes_unwraps_but_leaves_the_macro_to_a_human() {
+    let (rel, src) = fixture("p1_panic_recovery.rs");
+    let findings = scan(&rel, &src);
+    let fixable: Vec<_> = findings.iter().filter(|f| f.fix.is_some()).collect();
+    // `.expect(..)` and `.unwrap()` rewrite to `?`; `panic!` does not.
+    assert_eq!(fixable.len(), 2, "{findings:?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.fix.is_none() && f.message.contains("panic")));
+    let (applied, remaining, fixed) = round_trip("p1_panic_recovery.rs");
+    assert_eq!(applied, 2);
+    assert_eq!(remaining.len(), 1, "{remaining:?}");
+    assert!(remaining[0].message.contains("panic"), "{remaining:?}");
+    assert!(fixed.contains("line.split_once('\\t')?"), "{fixed}");
+    assert!(fixed.contains("seq.parse()?"), "{fixed}");
+    assert!(!fixed.contains(".unwrap()"), "{fixed}");
+}
+
+#[test]
+fn dry_run_diff_shape_for_a_fixture() {
+    let (rel, src) = fixture("d2_unseeded_rng.rs");
+    let findings = scan(&rel, &src);
+    let (fixed, _) = fix::apply(&src, &findings);
+    let diff = fix::unified_diff(&rel, &src, &fixed);
+    assert!(diff.starts_with("--- a/d2_unseeded_rng.rs\n+++ b/d2_unseeded_rng.rs\n"));
+    assert!(diff.contains("@@ -"), "{diff}");
+    assert!(diff.contains("-    let mut rng = thread_rng();"), "{diff}");
+    assert!(
+        diff.contains("+    let mut rng = StdRng::seed_from_u64(0);"),
+        "{diff}"
+    );
+}
+
+#[test]
+fn jsonl_export_carries_fixture_fixes() {
+    let (rel, src) = fixture("f1_missing_fsync.rs");
+    let findings = scan(&rel, &src);
+    let jsonl = aida_lint::report::render_jsonl(&findings, &[], 1);
+    assert!(jsonl.contains("\"suggested_fix\""), "{jsonl}");
+    assert!(jsonl.contains("sync_parent_dir"), "{jsonl}");
+}

@@ -33,7 +33,7 @@ pub mod cost;
 pub mod policy;
 pub mod sampler;
 
-pub use cost::{pareto_frontier, PlanEstimate};
+pub use cost::{pareto_frontier, PlanEstimate, StaticPrior};
 pub use policy::Policy;
 pub use sampler::{SampleMatrix, Sampler, SamplerConfig};
 
@@ -52,6 +52,10 @@ pub struct OptimizerConfig {
     pub reorder_filters: bool,
     /// Skip the sampling phase entirely (priors only) — used by ablations.
     pub skip_sampling: bool,
+    /// Static cost-bound priors from `aida_script::bounds`: sound
+    /// worst-case dollar ceilings per tier that cap sampled cost
+    /// extrapolations (see [`cost::StaticPrior`]).
+    pub static_prior: StaticPrior,
 }
 
 impl Default for OptimizerConfig {
@@ -61,6 +65,7 @@ impl Default for OptimizerConfig {
             parallelism: 8,
             reorder_filters: true,
             skip_sampling: false,
+            static_prior: StaticPrior::new(),
         }
     }
 }
@@ -120,26 +125,28 @@ impl<'a> Optimizer<'a> {
                 // Align the model list with the order: models are assigned
                 // per original operator index.
                 let ordered_models: Vec<ModelId> = order.iter().map(|&idx| models[idx]).collect();
-                candidates.push(cost::estimate(
+                candidates.push(cost::estimate_with_prior(
                     plan,
                     order,
                     &ordered_models,
                     &matrix,
                     input_cardinality,
                     self.config.parallelism,
+                    &self.config.static_prior,
                 ));
             }
         }
         let considered = candidates.len();
         let frontier = pareto_frontier(candidates);
         let chosen = policy.choose(&frontier).cloned().unwrap_or_else(|| {
-            cost::estimate(
+            cost::estimate_with_prior(
                 plan,
                 &(0..plan.len()).collect::<Vec<_>>(),
                 &vec![ModelId::Flagship; plan.len()],
                 &matrix,
                 input_cardinality,
                 self.config.parallelism,
+                &self.config.static_prior,
             )
         });
 

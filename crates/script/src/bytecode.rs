@@ -31,8 +31,10 @@
 //!   cache entry.
 
 use crate::ast::*;
+use crate::bounds::{self, Bound, CostBound};
 use crate::error::ScriptError;
 use crate::parser::parse;
+use aida_llm::models::ModelId;
 use aida_llm::snapshot::{decode_file, encode_file, esc, fnv64, unesc};
 use aida_llm::CacheKey;
 use std::collections::HashMap;
@@ -228,6 +230,11 @@ pub struct CompiledProgram {
     pub funcs: Vec<CompiledFn>,
     /// Top-level code.
     pub main: Chunk,
+    /// Static cost bound (see [`crate::bounds`]). Computed by
+    /// [`compile`], carried in the serialized artifact (version 2
+    /// body), and excluded from the canonical content hash — the hash
+    /// identifies the *instructions*; the bound is derived metadata.
+    pub bound: CostBound,
 }
 
 impl CompiledProgram {
@@ -267,7 +274,7 @@ impl CompiledProgram {
 
     fn body_text(&self, canonical: bool) -> String {
         let mut out = String::new();
-        out.push_str("version 1\n");
+        out.push_str("version 2\n");
         out.push_str(&format!("consts {}\n", self.consts.len()));
         for c in &self.consts {
             match c {
@@ -323,6 +330,27 @@ impl CompiledProgram {
         ));
         for i in &self.main.code {
             write_insn(&mut out, i, canonical);
+        }
+        // The bound rides in the artifact (exact round-trip) but stays
+        // out of the canonical text: the content hash identifies the
+        // instruction stream alone.
+        if !canonical {
+            out.push_str(&format!(
+                "bound unbounded={} open={} fuel={}\n",
+                u8::from(self.bound.unbounded),
+                u8::from(self.bound.calls_open),
+                self.bound.fuel_max,
+            ));
+            out.push_str(&format!("bcalls {}\n", self.bound.calls_per_tool.len()));
+            for (name, b) in &self.bound.calls_per_tool {
+                out.push_str(&format!("bc {b} "));
+                esc(name, &mut out);
+                out.push('\n');
+            }
+            out.push_str(&format!("busd {}\n", self.bound.usd_max_per_tier.len()));
+            for (tier, usd) in &self.bound.usd_max_per_tier {
+                out.push_str(&format!("bu {} {:016x}\n", tier.name(), usd.to_bits()));
+            }
         }
         out
     }
@@ -675,9 +703,13 @@ fn decode_body(body: &str) -> Result<CompiledProgram, ScriptError> {
             .ok_or_else(|| bad_artifact(format!("missing {what}")))
     };
     let version = next("version")?;
-    if version != "version 1" {
-        return Err(bad_artifact(format!("unsupported version {version:?}")));
-    }
+    let has_bound_section = match version {
+        // Version 1 artifacts predate static cost bounds; the bound is
+        // recomputed after decode.
+        "version 1" => false,
+        "version 2" => true,
+        _ => return Err(bad_artifact(format!("unsupported version {version:?}"))),
+    };
     fn counted(line: &str, key: &str) -> Result<usize, ScriptError> {
         line.strip_prefix(key)
             .and_then(|s| s.strip_prefix(' '))
@@ -794,20 +826,106 @@ fn decode_body(body: &str) -> Result<CompiledProgram, ScriptError> {
         code.push(parse_insn(next("instruction")?)?);
     }
     p.main = Chunk { code, nregs };
+    if has_bound_section {
+        p.bound = decode_bound(&mut next)?;
+    } else {
+        p.bound = bounds::analyze(&p);
+    }
     Ok(p)
+}
+
+fn parse_bound_token(tok: &str) -> Result<Bound, ScriptError> {
+    if tok == "inf" {
+        return Ok(Bound::Unbounded);
+    }
+    tok.parse()
+        .map(Bound::Finite)
+        .map_err(|_| bad_artifact(format!("bad bound value {tok:?}")))
+}
+
+/// Parses the version-2 bound section (exact round-trip of
+/// [`CostBound`] as written by `body_text`).
+fn decode_bound<'a>(
+    next: &mut impl FnMut(&str) -> Result<&'a str, ScriptError>,
+) -> Result<CostBound, ScriptError> {
+    let line = next("bound header")?;
+    let rest = line
+        .strip_prefix("bound ")
+        .ok_or_else(|| bad_artifact(format!("bad bound header {line:?}")))?;
+    let mut unbounded = None;
+    let mut open = None;
+    let mut fuel = None;
+    for tok in rest.split(' ') {
+        match tok.split_once('=') {
+            Some(("unbounded", v)) => unbounded = Some(v == "1"),
+            Some(("open", v)) => open = Some(v == "1"),
+            Some(("fuel", v)) => fuel = Some(parse_bound_token(v)?),
+            _ => return Err(bad_artifact(format!("bad bound field {tok:?}"))),
+        }
+    }
+    let (Some(unbounded), Some(open), Some(fuel)) = (unbounded, open, fuel) else {
+        return Err(bad_artifact(format!("incomplete bound header {line:?}")));
+    };
+    let count = |line: &str, key: &str| -> Result<usize, ScriptError> {
+        line.strip_prefix(key)
+            .and_then(|s| s.strip_prefix(' '))
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| bad_artifact(format!("bad {key} header: {line:?}")))
+    };
+    let n = count(next("bcalls")?, "bcalls")?;
+    let mut calls = std::collections::BTreeMap::new();
+    for _ in 0..n {
+        let line = next("bound call")?;
+        let rest = line
+            .strip_prefix("bc ")
+            .ok_or_else(|| bad_artifact(format!("bad bound call line {line:?}")))?;
+        let (b, raw) = rest
+            .split_once(' ')
+            .ok_or_else(|| bad_artifact(format!("bad bound call line {line:?}")))?;
+        let name = unesc(raw).map_err(|e| bad_artifact(format!("bad bound call name: {e:?}")))?;
+        calls.insert(name, parse_bound_token(b)?);
+    }
+    let n = count(next("busd")?, "busd")?;
+    let mut usd = std::collections::BTreeMap::new();
+    for _ in 0..n {
+        let line = next("bound usd")?;
+        let rest = line
+            .strip_prefix("bu ")
+            .ok_or_else(|| bad_artifact(format!("bad bound usd line {line:?}")))?;
+        let (model, bits) = rest
+            .split_once(' ')
+            .ok_or_else(|| bad_artifact(format!("bad bound usd line {line:?}")))?;
+        let tier = ModelId::parse(model)
+            .ok_or_else(|| bad_artifact(format!("unknown model tier {model:?}")))?;
+        let value = f64::from_bits(
+            u64::from_str_radix(bits, 16)
+                .map_err(|_| bad_artifact(format!("bad bound usd bits {bits:?}")))?,
+        );
+        usd.insert(tier, value);
+    }
+    Ok(CostBound {
+        fuel_max: fuel,
+        calls_per_tool: calls,
+        calls_open: open,
+        usd_max_per_tier: usd,
+        unbounded,
+    })
 }
 
 /// Compiles a parsed program.
 pub fn compile(program: &Program) -> Result<CompiledProgram, ScriptError> {
     let mut c = Compiler::default();
     let main = c.compile_chunk(&program.body, None)?;
-    Ok(CompiledProgram {
+    let mut p = CompiledProgram {
         consts: c.consts,
         names: c.names,
         var_lists: c.var_lists,
         funcs: c.funcs,
         main,
-    })
+        bound: CostBound::unbounded_all(),
+    };
+    p.bound = bounds::analyze(&p);
+    Ok(p)
 }
 
 /// Parses and compiles source in one step.
@@ -1773,6 +1891,41 @@ mod tests {
             assert_eq!(a.chunk, b.chunk);
             assert_eq!(a.locals, b.locals);
         }
+        // The static cost bound round-trips exactly.
+        assert_eq!(back.bound, p.bound);
+    }
+
+    #[test]
+    fn roundtrip_preserves_unbounded_bound() {
+        let p = compiled("i = 10\nwhile i > 0:\n    i = i - 1\ni");
+        assert!(p.bound.unbounded);
+        let back = CompiledProgram::decode(&p.encode()).expect("decodes");
+        assert_eq!(back.bound, p.bound);
+    }
+
+    #[test]
+    fn version_1_artifacts_decode_and_recompute_bound() {
+        let p = compiled("total = 0\nfor i in range(4):\n    total += i\ntotal");
+        // Rebuild the artifact as a version-1 body: old header, no
+        // bound section.
+        let body = p.body_text(false);
+        let v1_body: String = body
+            .lines()
+            .take_while(|l| !l.starts_with("bound "))
+            .map(|l| {
+                if l == "version 2" {
+                    "version 1\n".to_string()
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let encoded = encode_file(BYTECODE_MAGIC, &v1_body);
+        let back = CompiledProgram::decode(&encoded).expect("v1 decodes");
+        assert_eq!(back.main, p.main);
+        // The bound is recomputed from the decoded instructions and
+        // matches what compile() produced.
+        assert_eq!(back.bound, p.bound);
     }
 
     #[test]

@@ -567,34 +567,29 @@ impl Interpreter {
             }
             ExprKind::Slice(obj, lo, hi) => {
                 let obj_v = self.eval(obj, locals)?;
-                let lo_v = match lo {
-                    Some(e) => {
-                        Some(
-                            self.eval(e, locals)?
-                                .as_int()
-                                .map_err(|_| ScriptError::Type {
-                                    line: expr.line,
-                                    message: "slice bounds must be ints".into(),
-                                })?,
-                        )
-                    }
-                    None => None,
-                };
-                let hi_v = match hi {
-                    Some(e) => {
-                        Some(
-                            self.eval(e, locals)?
-                                .as_int()
-                                .map_err(|_| ScriptError::Type {
-                                    line: expr.line,
-                                    message: "slice bounds must be ints".into(),
-                                })?,
-                        )
-                    }
-                    None => None,
-                };
+                let lo_v = self.slice_bound(lo, locals, expr.line)?;
+                let hi_v = self.slice_bound(hi, locals, expr.line)?;
                 self.slice(&obj_v, lo_v, hi_v, expr.line)
             }
+        }
+    }
+
+    /// Evaluates an optional slice bound to an int (`None` bound stays
+    /// `None`; a non-int bound is a type error).
+    fn slice_bound(
+        &mut self,
+        bound: &Option<Box<Expr>>,
+        locals: &mut Option<&mut HashMap<String, ScriptValue>>,
+        line: usize,
+    ) -> Result<Option<i64>, ScriptError> {
+        match bound {
+            Some(e) => Ok(Some(self.eval(e, locals)?.as_int().map_err(|_| {
+                ScriptError::Type {
+                    line,
+                    message: "slice bounds must be ints".into(),
+                }
+            })?)),
+            None => Ok(None),
         }
     }
 
@@ -875,12 +870,81 @@ impl Interpreter {
         }
     }
 
+    /// Builtin dispatch, split by group: scalar conversions, sequence
+    /// reducers, and the two effectful builtins kept here. `Ok(None)`
+    /// means "not a builtin" and the caller resolves the name normally.
     pub(crate) fn call_builtin(
         &mut self,
         name: &str,
         args: &[ScriptValue],
         line: usize,
     ) -> Result<Option<ScriptValue>, ScriptError> {
+        use ScriptValue as V;
+        let arity_err = |want: &str| ScriptError::Type {
+            line,
+            message: format!("{name}() expects {want} argument(s), got {}", args.len()),
+        };
+        let result = match name {
+            "len" | "str" | "int" | "float" | "bool" | "abs" | "round" => {
+                self.builtin_scalar(name, args, line)?
+            }
+            "sum" | "min" | "max" | "sorted" | "enumerate" => {
+                self.builtin_sequence(name, args, line)?
+            }
+            "range" => {
+                let (start, stop, step) = match args {
+                    [stop] => (0, stop.as_int().map_err(|_| arity_err("int"))?, 1),
+                    [start, stop] => (
+                        start.as_int().map_err(|_| arity_err("int"))?,
+                        stop.as_int().map_err(|_| arity_err("int"))?,
+                        1,
+                    ),
+                    [start, stop, step] => (
+                        start.as_int().map_err(|_| arity_err("int"))?,
+                        stop.as_int().map_err(|_| arity_err("int"))?,
+                        step.as_int().map_err(|_| arity_err("int"))?,
+                    ),
+                    _ => return Err(arity_err("1-3")),
+                };
+                if step == 0 {
+                    return Err(ScriptError::Arithmetic {
+                        line,
+                        message: "range() step cannot be zero".into(),
+                    });
+                }
+                let mut items = Vec::new();
+                let mut i = start;
+                while (step > 0 && i < stop) || (step < 0 && i > stop) {
+                    items.push(V::Int(i));
+                    i += step;
+                    if items.len() as u64 > self.fuel {
+                        return Err(ScriptError::FuelExhausted);
+                    }
+                }
+                V::list(items)
+            }
+            "print" => {
+                let text = args
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                self.output.push(text);
+                V::None
+            }
+            _ => return Ok(None),
+        };
+        Ok(Some(result))
+    }
+
+    /// Scalar-conversion builtins: `len`, `str`, `int`, `float`,
+    /// `bool`, `abs`, `round`.
+    fn builtin_scalar(
+        &mut self,
+        name: &str,
+        args: &[ScriptValue],
+        line: usize,
+    ) -> Result<ScriptValue, ScriptError> {
         use ScriptValue as V;
         let arity_err = |want: &str| ScriptError::Type {
             line,
@@ -995,47 +1059,25 @@ impl Interpreter {
                 }
                 _ => return Err(arity_err("1 or 2")),
             },
-            "range" => {
-                let (start, stop, step) = match args {
-                    [stop] => (0, stop.as_int().map_err(|_| arity_err("int"))?, 1),
-                    [start, stop] => (
-                        start.as_int().map_err(|_| arity_err("int"))?,
-                        stop.as_int().map_err(|_| arity_err("int"))?,
-                        1,
-                    ),
-                    [start, stop, step] => (
-                        start.as_int().map_err(|_| arity_err("int"))?,
-                        stop.as_int().map_err(|_| arity_err("int"))?,
-                        step.as_int().map_err(|_| arity_err("int"))?,
-                    ),
-                    _ => return Err(arity_err("1-3")),
-                };
-                if step == 0 {
-                    return Err(ScriptError::Arithmetic {
-                        line,
-                        message: "range() step cannot be zero".into(),
-                    });
-                }
-                let mut items = Vec::new();
-                let mut i = start;
-                while (step > 0 && i < stop) || (step < 0 && i > stop) {
-                    items.push(V::Int(i));
-                    i += step;
-                    if items.len() as u64 > self.fuel {
-                        return Err(ScriptError::FuelExhausted);
-                    }
-                }
-                V::list(items)
-            }
-            "print" => {
-                let text = args
-                    .iter()
-                    .map(|v| v.to_string())
-                    .collect::<Vec<_>>()
-                    .join(" ");
-                self.output.push(text);
-                V::None
-            }
+            _ => unreachable!("call_builtin gates the scalar builtin names"),
+        };
+        Ok(result)
+    }
+
+    /// Sequence-reducing builtins: `sum`, `min`, `max`, `sorted`,
+    /// `enumerate`.
+    fn builtin_sequence(
+        &mut self,
+        name: &str,
+        args: &[ScriptValue],
+        line: usize,
+    ) -> Result<ScriptValue, ScriptError> {
+        use ScriptValue as V;
+        let arity_err = |want: &str| ScriptError::Type {
+            line,
+            message: format!("{name}() expects {want} argument(s), got {}", args.len()),
+        };
+        let result = match name {
             "sum" => {
                 let [v] = args else {
                     return Err(arity_err("1"));
@@ -1152,9 +1194,9 @@ impl Interpreter {
                         .collect(),
                 )
             }
-            _ => return Ok(None),
+            _ => unreachable!("call_builtin gates the sequence builtin names"),
         };
-        Ok(Some(result))
+        Ok(result)
     }
 
     pub(crate) fn call_method(

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod ast;
+pub mod bounds;
 pub mod bytecode;
 pub mod check;
 pub mod error;
@@ -53,6 +54,10 @@ pub mod types;
 pub mod value;
 pub mod vm;
 
+pub use bounds::{
+    analyze, Bound, CostBound, BUILTIN_NAMES, TOOL_CALL_MAX_INPUT_TOKENS,
+    TOOL_CALL_MAX_OUTPUT_TOKENS,
+};
 pub use bytecode::{compile, compile_source, plan_content_hash, CompiledProgram};
 pub use check::{CheckEnv, CheckIssue, CheckSeverity};
 pub use error::ScriptError;

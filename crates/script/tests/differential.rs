@@ -15,85 +15,12 @@
 //! artifact format.
 
 use aida_script::bytecode::{compile_source, CompiledProgram};
-use aida_script::{Interpreter, ScriptValue, ToolSig, TypeEnv};
+use aida_script::{Interpreter, ToolSig, TypeEnv};
 use std::cell::RefCell;
 use std::rc::Rc;
 
-/// Everything observable about one engine run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Observed {
-    /// `Ok: <value>` or `Err: <error display>`.
-    result: String,
-    /// Host (tool) calls in order, with rendered arguments.
-    trace: Vec<String>,
-    /// Captured `print` lines.
-    output: Vec<String>,
-    /// Fuel left after the run.
-    fuel_remaining: u64,
-}
-
-fn instrument(interp: &mut Interpreter, trace: Rc<RefCell<Vec<String>>>) {
-    let t = trace.clone();
-    interp.bind_host_fn("list_files", move |args| {
-        t.borrow_mut().push(format!("list_files/{}", args.len()));
-        Ok(ScriptValue::list(vec![
-            ScriptValue::str("a.csv"),
-            ScriptValue::str("b.csv"),
-            ScriptValue::str("notes.txt"),
-        ]))
-    });
-    let t = trace.clone();
-    interp.bind_host_fn("read_file", move |args| {
-        let name = args[0].as_str()?.to_string();
-        t.borrow_mut().push(format!("read_file({name})"));
-        Ok(ScriptValue::str(match name.as_str() {
-            "a.csv" => "year,count\n2001,10\n2002,30",
-            "b.csv" => "year,count\n2001,5",
-            _ => "plain text notes",
-        }))
-    });
-    let t = trace;
-    interp.bind_host_fn("emit", move |args| {
-        let rendered: Vec<String> = args.iter().map(|a| a.to_string()).collect();
-        t.borrow_mut()
-            .push(format!("emit({})", rendered.join(", ")));
-        Ok(ScriptValue::None)
-    });
-}
-
-fn observe_interp(src: &str, fuel: u64) -> Observed {
-    let trace = Rc::new(RefCell::new(Vec::new()));
-    let mut interp = Interpreter::new().with_fuel(fuel);
-    instrument(&mut interp, trace.clone());
-    let result = match interp.run(src) {
-        Ok(v) => format!("Ok: {v}"),
-        Err(e) => format!("Err: {e}"),
-    };
-    let calls = trace.borrow().clone();
-    Observed {
-        result,
-        trace: calls,
-        output: interp.take_output(),
-        fuel_remaining: interp.fuel_remaining(),
-    }
-}
-
-fn observe_vm(src: &str, fuel: u64) -> Observed {
-    let trace = Rc::new(RefCell::new(Vec::new()));
-    let mut interp = Interpreter::new().with_fuel(fuel);
-    instrument(&mut interp, trace.clone());
-    let result = match compile_source(src).and_then(|p| interp.run_compiled(&p)) {
-        Ok(v) => format!("Ok: {v}"),
-        Err(e) => format!("Err: {e}"),
-    };
-    let calls = trace.borrow().clone();
-    Observed {
-        result,
-        trace: calls,
-        output: interp.take_output(),
-        fuel_remaining: interp.fuel_remaining(),
-    }
-}
+mod common;
+use common::{instrument, observe_interp, observe_vm, Observed};
 
 #[track_caller]
 fn assert_parity(src: &str, fuel: u64) -> Observed {
@@ -281,174 +208,8 @@ fn tool_signature_parsing_matches_registry_style() {
 
 mod generated {
     use super::*;
+    use common::templates::{render_program, tpl};
     use proptest::prelude::*;
-
-    /// A generated statement template. Rendering always yields a
-    /// parseable program; runtime errors are fine (both engines must
-    /// produce the same one).
-    #[derive(Debug, Clone)]
-    enum Tpl {
-        AssignInt(u8, i64),
-        AssignStr(u8, String),
-        AssignList(u8, Vec<i64>),
-        Arith(u8, u8, u8, u8),
-        Concat(u8, u8, u8),
-        AugAdd(u8, i64),
-        IfElse(u8, i64, Box<Tpl>, Box<Tpl>),
-        ForRange(u8, u8, Box<Tpl>),
-        ForList(u8, u8, Box<Tpl>),
-        WhileCount(u8, u8, Box<Tpl>),
-        ListComp(u8, u8, u8),
-        IndexGet(u8, u8, i64),
-        SliceGet(u8, u8, i64, i64),
-        Method(u8, u8, u8),
-        DefCall(u8, u8, i64),
-        Tool(u8, u8),
-        Print(u8),
-        Emit(u8),
-        Result(u8),
-    }
-
-    fn var(i: u8) -> String {
-        format!("v{}", i % 5)
-    }
-
-    fn op(i: u8) -> &'static str {
-        ["+", "-", "*", "//", "%"][i as usize % 5]
-    }
-
-    impl Tpl {
-        fn render(&self, out: &mut String, indent: usize) {
-            let pad = "    ".repeat(indent);
-            match self {
-                Tpl::AssignInt(v, n) => out.push_str(&format!("{pad}{} = {n}\n", var(*v))),
-                Tpl::AssignStr(v, s) => out.push_str(&format!("{pad}{} = '{s}'\n", var(*v))),
-                Tpl::AssignList(v, items) => {
-                    let body: Vec<String> = items.iter().map(|n| n.to_string()).collect();
-                    out.push_str(&format!("{pad}{} = [{}]\n", var(*v), body.join(", ")));
-                }
-                Tpl::Arith(d, a, b, o) => out.push_str(&format!(
-                    "{pad}{} = {} {} {}\n",
-                    var(*d),
-                    var(*a),
-                    op(*o),
-                    var(*b)
-                )),
-                Tpl::Concat(d, a, b) => out.push_str(&format!(
-                    "{pad}{} = str({}) + str({})\n",
-                    var(*d),
-                    var(*a),
-                    var(*b)
-                )),
-                Tpl::AugAdd(v, n) => out.push_str(&format!("{pad}{} += {n}\n", var(*v))),
-                Tpl::IfElse(v, n, t, e) => {
-                    out.push_str(&format!("{pad}if {} > {n}:\n", var(*v)));
-                    t.render(out, indent + 1);
-                    out.push_str(&format!("{pad}else:\n"));
-                    e.render(out, indent + 1);
-                }
-                Tpl::ForRange(v, n, body) => {
-                    out.push_str(&format!("{pad}for {} in range({}):\n", var(*v), n % 6));
-                    body.render(out, indent + 1);
-                }
-                Tpl::ForList(v, src, body) => {
-                    out.push_str(&format!("{pad}for {} in {}:\n", var(*v), var(*src)));
-                    body.render(out, indent + 1);
-                }
-                Tpl::WhileCount(v, n, body) => {
-                    out.push_str(&format!("{pad}{} = 0\n", var(*v)));
-                    out.push_str(&format!("{pad}while {} < {}:\n", var(*v), n % 5));
-                    body.render(out, indent + 1);
-                    out.push_str(&format!("{pad}    {} += 1\n", var(*v)));
-                }
-                Tpl::ListComp(d, v, n) => out.push_str(&format!(
-                    "{pad}{} = [{x} * 2 for {x} in range({}) if {x} != {}]\n",
-                    var(*d),
-                    n % 7,
-                    n % 3,
-                    x = var(*v)
-                )),
-                Tpl::IndexGet(d, s, i) => {
-                    out.push_str(&format!("{pad}{} = {}[{i}]\n", var(*d), var(*s)))
-                }
-                Tpl::SliceGet(d, s, lo, hi) => {
-                    out.push_str(&format!("{pad}{} = {}[{lo}:{hi}]\n", var(*d), var(*s)))
-                }
-                Tpl::Method(d, s, m) => {
-                    let call = ["str({v}).upper()", "str({v}).split('2')", "len(str({v}))"]
-                        [*m as usize % 3]
-                        .replace("{v}", &var(*s));
-                    out.push_str(&format!("{pad}{} = {call}\n", var(*d)));
-                }
-                Tpl::DefCall(d, a, n) => {
-                    let f = format!("fn{}", d % 3);
-                    out.push_str(&format!("{pad}def {f}(p):\n{pad}    return p + {n}\n"));
-                    out.push_str(&format!("{pad}{} = {f}({})\n", var(*d), var(*a)));
-                }
-                Tpl::Tool(d, f) => {
-                    let call = ["list_files()", "read_file('a.csv')", "read_file('nope')"]
-                        [*f as usize % 3];
-                    out.push_str(&format!("{pad}{} = {call}\n", var(*d)));
-                }
-                Tpl::Print(v) => out.push_str(&format!("{pad}print({})\n", var(*v))),
-                Tpl::Emit(v) => out.push_str(&format!("{pad}emit({})\n", var(*v))),
-                Tpl::Result(v) => out.push_str(&format!("{pad}{}\n", var(*v))),
-            }
-        }
-    }
-
-    fn leaf() -> impl Strategy<Value = Tpl> {
-        prop_oneof![
-            (0u8..5, -50i64..50).prop_map(|(v, n)| Tpl::AssignInt(v, n)),
-            (0u8..5, "[a-z]{1,6}").prop_map(|(v, s)| Tpl::AssignStr(v, s)),
-            (0u8..5, prop::collection::vec(-9i64..9, 0..4))
-                .prop_map(|(v, xs)| Tpl::AssignList(v, xs)),
-            (0u8..5, 0u8..5, 0u8..5, 0u8..5).prop_map(|(d, a, b, o)| Tpl::Arith(d, a, b, o)),
-            (0u8..5, 0u8..5, 0u8..5).prop_map(|(d, a, b)| Tpl::Concat(d, a, b)),
-            (0u8..5, -5i64..5).prop_map(|(v, n)| Tpl::AugAdd(v, n)),
-            (0u8..5, 0u8..8, 0u8..8).prop_map(|(d, v, n)| Tpl::ListComp(d, v, n)),
-            (0u8..5, 0u8..5, -4i64..4).prop_map(|(d, s, i)| Tpl::IndexGet(d, s, i)),
-            (0u8..5, 0u8..5, -4i64..4, -4i64..6)
-                .prop_map(|(d, s, lo, hi)| Tpl::SliceGet(d, s, lo, hi)),
-            (0u8..5, 0u8..5, 0u8..3).prop_map(|(d, s, m)| Tpl::Method(d, s, m)),
-            (0u8..5, 0u8..5, -9i64..9).prop_map(|(d, a, n)| Tpl::DefCall(d, a, n)),
-            (0u8..5, 0u8..3).prop_map(|(d, f)| Tpl::Tool(d, f)),
-            (0u8..5).prop_map(Tpl::Print),
-            (0u8..5).prop_map(Tpl::Emit),
-            (0u8..5).prop_map(Tpl::Result),
-        ]
-    }
-
-    fn tpl() -> impl Strategy<Value = Tpl> {
-        leaf().prop_recursive(3, 24, 2, |inner| {
-            prop_oneof![
-                (0u8..5, -5i64..5, inner.clone(), inner.clone())
-                    .prop_map(|(v, n, t, e)| Tpl::IfElse(v, n, Box::new(t), Box::new(e))),
-                (0u8..5, 0u8..8, inner.clone()).prop_map(|(v, n, b)| Tpl::ForRange(
-                    v,
-                    n,
-                    Box::new(b)
-                )),
-                (0u8..5, 0u8..5, inner.clone()).prop_map(|(v, s, b)| Tpl::ForList(
-                    v,
-                    s,
-                    Box::new(b)
-                )),
-                (0u8..5, 0u8..6, inner).prop_map(|(v, n, b)| Tpl::WhileCount(v, n, Box::new(b))),
-            ]
-        })
-    }
-
-    fn render_program(stmts: &[Tpl]) -> String {
-        // Seed every variable so generated reads have *some* value on
-        // most paths; use-before-assign programs are still generated via
-        // shadowing in bodies, which is exactly the point.
-        let mut src = String::from("v0 = 1\nv1 = 2\nv2 = 'ab'\nv3 = [1, 2, 3]\nv4 = 7\n");
-        for t in stmts {
-            t.render(&mut src, 0);
-        }
-        src
-    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(96))]

@@ -40,6 +40,7 @@
 //! [`Runtime`]: aida_core::Runtime
 
 mod autoscale;
+mod bounds;
 mod client;
 mod driver;
 mod net;
@@ -50,6 +51,7 @@ mod service;
 mod tenant;
 
 pub use autoscale::{AutoscaleConfig, Autoscaler, ScaleEvent};
+pub use bounds::{BoundGate, StaticVerdict};
 pub use client::{ClientConfig, ClientOutcome, LiveSource};
 pub use driver::{open_loop, ReplaySource, RequestSource, TenantLoad};
 pub use net::{

@@ -18,6 +18,7 @@
 //! physical execution follows the virtual placement.
 
 use crate::autoscale::{AutoscaleConfig, Autoscaler};
+use crate::bounds::BoundGate;
 use crate::driver::{ReplaySource, RequestSource};
 use crate::queue::AdmissionQueue;
 use crate::report::ServiceReport;
@@ -62,6 +63,13 @@ pub struct ServeConfig {
     /// configured bounds; `workers` becomes the initial pool size.
     /// `None` keeps the fixed pool.
     pub autoscale: Option<AutoscaleConfig>,
+    /// Static cost-bound admission gating: when set, every instruction
+    /// that compiles as Pyrite is analyzed (`aida_script::bounds`) and a
+    /// request whose worst-case dollars at this execution tier provably
+    /// exceed the tenant's remaining dollar quota is shed with
+    /// [`RejectReason::CostBoundExceeded`] *before* dispatch, at zero
+    /// attributed spend. `None` disables the gate.
+    pub cost_bounds: Option<aida_llm::models::ModelId>,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +83,7 @@ impl Default for ServeConfig {
             group_commit: 0,
             ops_interval: 16,
             autoscale: None,
+            cost_bounds: None,
         }
     }
 }
@@ -122,6 +131,13 @@ impl ServeConfig {
     /// Enables latency-targeted autoscaling of the worker pool.
     pub fn autoscale(mut self, config: AutoscaleConfig) -> ServeConfig {
         self.autoscale = Some(config);
+        self
+    }
+
+    /// Enables static cost-bound admission gating, pricing worst cases
+    /// at `tier`.
+    pub fn cost_bounds(mut self, tier: aida_llm::models::ModelId) -> ServeConfig {
+        self.cost_bounds = Some(tier);
         self
     }
 }
@@ -178,11 +194,13 @@ fn shed_request(
 }
 
 /// The admission check: known tenant, known Context, quota headroom,
-/// queue bound. `Ok` means the request is in the queue.
+/// static cost bound, queue bound. `Ok` means the request is in the
+/// queue.
 fn admit(
     tenants: &TenantLedger,
     contexts: &BTreeMap<String, Context>,
     queue: &mut AdmissionQueue,
+    gate: Option<&mut BoundGate>,
     request: QueryRequest,
 ) -> Result<(), RejectReason> {
     if !tenants.knows(&request.tenant) {
@@ -193,9 +211,28 @@ fn admit(
         })
     } else if let Some(reason) = tenants.over_quota(&request.tenant) {
         Err(reason)
+    } else if let Some(reason) = check_cost_bound(tenants, gate, &request) {
+        Err(reason)
     } else {
         queue.push(request)
     }
+}
+
+/// The static-bound budget check, shared by admission and the
+/// dispatch-time re-check: sheds only when the analyzer *proves* the
+/// plan's worst case cannot fit the tenant's remaining dollars.
+fn check_cost_bound(
+    tenants: &TenantLedger,
+    gate: Option<&mut BoundGate>,
+    request: &QueryRequest,
+) -> Option<RejectReason> {
+    let gate = gate?;
+    let remaining = tenants.remaining_usd(&request.tenant);
+    let (usd_max, remaining_usd) = gate.over_budget(&request.instruction, remaining)?;
+    Some(RejectReason::CostBoundExceeded {
+        usd_max,
+        remaining_usd,
+    })
 }
 
 /// Group commit: the deterministic commit buffer. Records accumulate
@@ -556,6 +593,7 @@ impl QueryService {
             .wal
             .as_mut()
             .map(|w| WalPipeline::new(w, group_commit, ops_interval));
+        let mut bound_gate = self.config.cost_bounds.map(BoundGate::new);
         let trace_gauge = runtime.recorder().is_enabled();
 
         std::thread::scope(|scope| {
@@ -617,7 +655,7 @@ impl QueryService {
                     let tenant = request.tenant.clone();
                     let seq = request.seq;
                     report.tenants.entry(tenant.clone()).or_default().submitted += 1;
-                    match admit(tenants, contexts, &mut queue, request) {
+                    match admit(tenants, contexts, &mut queue, bound_gate.as_mut(), request) {
                         Ok(()) => {
                             report.tenants.entry(tenant.clone()).or_default().admitted += 1;
                             source.on_admitted(seq, &tenant, at_s);
@@ -667,6 +705,21 @@ impl QueryService {
                     }
                 }
                 if let Some(reason) = tenants.over_quota(&request.tenant) {
+                    shed_request(
+                        &mut report,
+                        source,
+                        request.seq,
+                        request.tenant,
+                        dispatch_t,
+                        reason,
+                    );
+                    continue;
+                }
+                // Earlier dispatches shrank the tenant's headroom, so a
+                // plan that fit at admission may no longer: re-prove the
+                // static bound against the *current* remaining dollars
+                // (cached by plan hash — no recompile).
+                if let Some(reason) = check_cost_bound(tenants, bound_gate.as_mut(), &request) {
                     shed_request(
                         &mut report,
                         source,
@@ -780,6 +833,18 @@ impl QueryService {
         // The pipeline's borrow of the WAL must end before we read its
         // end-of-run stats.
         drop(wal);
+
+        if let Some(gate) = &bound_gate {
+            report.bounds_gated = true;
+            report.bounds_checked = gate.checked;
+            report.bounds_unbounded = gate.unbounded;
+            report.bounds_cache_hits = gate.cache_hits;
+            let recorder = self.runtime.recorder();
+            recorder.counter_add(registry::BOUNDS_CHECKED, gate.checked);
+            recorder.counter_add(registry::BOUNDS_UNBOUNDED, gate.unbounded);
+            recorder.counter_add(registry::BOUNDS_CACHE_HITS, gate.cache_hits);
+            recorder.counter_add(registry::BOUNDS_REJECTS, report.bounds_rejects());
+        }
 
         let (hits_after, misses_after) = self.runtime.reuse_stats();
         report.reuse_hits = hits_after - hits_before;
@@ -1123,6 +1188,192 @@ mod tests {
             "{:?}",
             report.sheds
         );
+    }
+
+    /// A Pyrite plan whose static worst case (40 billed tool calls at
+    /// the envelope ceiling) dwarfs a micro dollar quota.
+    const EXPENSIVE_PLAN: &str =
+        "total = 0\nfor i in range(40):\n    total += len(read_file('a.csv'))\ntotal";
+
+    #[test]
+    fn over_budget_plan_is_shed_before_dispatch_at_zero_spend() {
+        let rt = Runtime::builder().seed(7).build();
+        let ctx = Context::builder("lake", lake())
+            .description("FTC identity theft reports by year")
+            .build(&rt);
+        let mut svc = QueryService::new(
+            rt,
+            ServeConfig::with_workers(1).cost_bounds(aida_llm::models::ModelId::Flagship),
+        );
+        svc.register_context("reports", ctx);
+        // Dollar headroom far below the plan's static worst case.
+        svc.register_tenant("dara", TenantConfig::default().dollars(1e-6));
+        let mut r = QueryRequest::new("dara", "reports", EXPENSIVE_PLAN);
+        r.seq = 0;
+        let report = svc.run(vec![r]);
+        assert_eq!(report.completions.len(), 0);
+        assert_eq!(report.sheds.len(), 1);
+        match &report.sheds[0].reason {
+            RejectReason::CostBoundExceeded {
+                usd_max,
+                remaining_usd,
+            } => {
+                assert!(usd_max > remaining_usd);
+                assert_eq!(*remaining_usd, 1e-6);
+            }
+            other => panic!("expected CostBoundExceeded, got {other:?}"),
+        }
+        // Shed before dispatch: exactly zero dollars attributed.
+        assert_eq!(svc.tenants().spend(&"dara".into()).usd, 0.0);
+        assert_eq!(report.total_cost_usd, 0.0);
+        // The gate's activity is on every surface.
+        assert!(report.bounds_gated);
+        assert_eq!(report.bounds_checked, 1);
+        assert_eq!(report.bounds_rejects(), 1);
+        let text = report.render();
+        assert!(
+            text.contains("cost bounds: 1 plans checked, 0 unbounded, 1 over-budget rejects"),
+            "{text}"
+        );
+        assert!(
+            text.contains("shed by reason: cost_bound_exceeded=1"),
+            "{text}"
+        );
+        let jsonl = report.to_jsonl();
+        assert!(
+            jsonl.contains(r#""reason":"cost_bound_exceeded""#),
+            "{jsonl}"
+        );
+        assert!(jsonl.contains(r#""bounds_rejects":1"#), "{jsonl}");
+    }
+
+    #[test]
+    fn bound_gate_admits_natural_language_unbounded_and_affordable_plans() {
+        let rt = Runtime::builder().seed(7).tracing(true).build();
+        let ctx = Context::builder("lake", lake())
+            .description("FTC identity theft reports by year")
+            .build(&rt);
+        let mut svc = QueryService::new(
+            rt,
+            ServeConfig::with_workers(1).cost_bounds(aida_llm::models::ModelId::Flagship),
+        );
+        svc.register_context("reports", ctx);
+        svc.register_tenant("acme", TenantConfig::default().dollars(100.0));
+        let requests = vec![
+            // Natural language (fails to lex): not a plan, never gated.
+            {
+                let mut r = QueryRequest::new(
+                    "acme",
+                    "reports",
+                    "how many identity theft reports in 2002?",
+                );
+                r.seq = 0;
+                r
+            },
+            // Dollar-unbounded plan (iterates tool output): the analyzer
+            // cannot prove overspend, so the gate admits it (the post-hoc
+            // quota gate still holds).
+            {
+                let mut r = QueryRequest::new(
+                    "acme",
+                    "reports",
+                    "for f in list_files():\n    read_file(f)\n0",
+                )
+                .at(100.0);
+                r.seq = 1;
+                r
+            },
+            // Affordable plan: finite bound under the headroom.
+            {
+                let mut r = QueryRequest::new("acme", "reports", EXPENSIVE_PLAN).at(200.0);
+                r.seq = 2;
+                r
+            },
+        ];
+        let report = svc.run(requests);
+        assert!(
+            report
+                .sheds
+                .iter()
+                .all(|s| s.reason.kind() != "cost_bound_exceeded"),
+            "{:?}",
+            report.sheds
+        );
+        assert_eq!(report.completions.len(), 3);
+        // Two Pyrite plans checked at admission + re-proved at dispatch;
+        // all three dispatch re-proofs (the non-plan included) hit the
+        // plan-hash cache.
+        assert_eq!(report.bounds_checked, 4);
+        assert_eq!(report.bounds_unbounded, 2);
+        assert_eq!(report.bounds_cache_hits, 3);
+        // The mirrored counters feed the EXPLAIN ANALYZE bounds: line.
+        let trace = svc.runtime().recorder().trace();
+        assert_eq!(
+            trace.bounds_summary().as_deref(),
+            Some("bounds: 4 plans checked, 2 unbounded, 0 over-budget rejects (3 cache hits)")
+        );
+    }
+
+    #[test]
+    fn dispatch_recheck_sheds_when_earlier_queries_drain_the_headroom() {
+        // Both requests arrive together and pass admission against the
+        // same untouched quota; the first dispatch spends enough that
+        // the second's static bound no longer fits at dispatch time.
+        let rt = Runtime::builder().seed(7).build();
+        let ctx = Context::builder("lake", lake())
+            .description("FTC identity theft reports by year")
+            .build(&rt);
+        let mut svc = QueryService::new(
+            rt,
+            ServeConfig::with_workers(1).cost_bounds(aida_llm::models::ModelId::Flagship),
+        );
+        svc.register_context("reports", ctx);
+        // Headroom above the plan's worst case, but below worst case +
+        // one real query's spend.
+        let mut probe = QueryService::new(
+            Runtime::builder().seed(7).build(),
+            ServeConfig::with_workers(1),
+        );
+        let probe_ctx = Context::builder("lake", lake())
+            .description("FTC identity theft reports by year")
+            .build(probe.runtime());
+        probe.register_context("reports", probe_ctx);
+        probe.register_tenant("acme", TenantConfig::default());
+        let mut pr = QueryRequest::new("acme", "reports", "count identity theft in 2001");
+        pr.seq = 0;
+        probe.run(vec![pr]);
+        let first_query_usd = probe.tenants().spend(&"acme".into()).usd;
+        assert!(first_query_usd > 0.0);
+
+        let plan_worst = {
+            let mut gate = crate::bounds::BoundGate::new(aida_llm::models::ModelId::Flagship);
+            match gate.verdict(EXPENSIVE_PLAN) {
+                crate::bounds::StaticVerdict::UsdMax(v) => v,
+                other => panic!("{other:?}"),
+            }
+        };
+        svc.register_tenant(
+            "acme",
+            TenantConfig::default().dollars(plan_worst + first_query_usd / 2.0),
+        );
+        let requests = vec![
+            {
+                let mut r = QueryRequest::new("acme", "reports", "count identity theft in 2001");
+                r.seq = 0;
+                r
+            },
+            {
+                let mut r = QueryRequest::new("acme", "reports", EXPENSIVE_PLAN);
+                r.seq = 1;
+                r.priority = crate::Priority::Low;
+                r
+            },
+        ];
+        let report = svc.run(requests);
+        assert_eq!(report.completions.len(), 1);
+        assert_eq!(report.sheds.len(), 1);
+        assert_eq!(report.sheds[0].seq, 1);
+        assert_eq!(report.sheds[0].reason.kind(), "cost_bound_exceeded");
     }
 
     #[test]
